@@ -1,0 +1,134 @@
+//! Quick ASCII charts for terminal inspection of sweep results.
+//!
+//! The paper's Fig. 3 plots are log-scale bar/line series. A coarse ASCII
+//! rendition is enough to eyeball the shape of a reproduced series directly
+//! from `cargo run` output without any plotting dependency.
+
+/// Renders a horizontal bar chart with logarithmic bar lengths.
+///
+/// Each entry is a `(label, value)` pair; values must be strictly positive.
+/// Bars are scaled so that the largest value occupies `width` characters and a
+/// value one decade smaller is ~`width / decades` characters shorter.
+///
+/// Returns `None` if `series` is empty, `width` is zero, or any value is not
+/// strictly positive/finite.
+///
+/// # Examples
+///
+/// ```
+/// use rram_analysis::ascii_plot::log_bar_chart;
+/// let chart = log_bar_chart(&[("10 ns".into(), 1e4), ("100 ns".into(), 1e3)], 40).unwrap();
+/// assert!(chart.lines().count() == 2);
+/// ```
+pub fn log_bar_chart(series: &[(String, f64)], width: usize) -> Option<String> {
+    if series.is_empty() || width == 0 {
+        return None;
+    }
+    if series.iter().any(|(_, v)| !(*v > 0.0) || !v.is_finite()) {
+        return None;
+    }
+    let logs: Vec<f64> = series.iter().map(|(_, v)| v.log10()).collect();
+    let max_log = logs.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+    let min_log = logs.iter().cloned().fold(f64::INFINITY, f64::min);
+    // Anchor the scale one decade below the minimum so the smallest bar is
+    // still visible, and avoid a zero range for constant series.
+    let floor = min_log - 1.0;
+    let range = (max_log - floor).max(1e-9);
+
+    let label_width = series
+        .iter()
+        .map(|(l, _)| l.chars().count())
+        .max()
+        .unwrap_or(0);
+
+    let mut out = String::new();
+    for ((label, value), log) in series.iter().zip(logs.iter()) {
+        let frac = (log - floor) / range;
+        let bars = ((frac * width as f64).round() as usize).max(1);
+        out.push_str(&format!(
+            "{label:<label_width$} | {} {value:.3e}\n",
+            "#".repeat(bars)
+        ));
+    }
+    Some(out)
+}
+
+/// Renders a sparkline (single line) of a series using block characters.
+///
+/// Returns `None` for an empty series or non-finite values. Constant series
+/// render as a flat mid-height line.
+pub fn sparkline(series: &[f64]) -> Option<String> {
+    const BLOCKS: [char; 8] = ['▁', '▂', '▃', '▄', '▅', '▆', '▇', '█'];
+    if series.is_empty() || series.iter().any(|v| !v.is_finite()) {
+        return None;
+    }
+    let max = series.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+    let min = series.iter().cloned().fold(f64::INFINITY, f64::min);
+    let range = max - min;
+    let line: String = series
+        .iter()
+        .map(|v| {
+            let idx = if range == 0.0 {
+                3
+            } else {
+                (((v - min) / range) * 7.0).round() as usize
+            };
+            BLOCKS[idx.min(7)]
+        })
+        .collect();
+    Some(line)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bar_chart_orders_lengths_by_magnitude() {
+        let chart = log_bar_chart(
+            &[
+                ("small".into(), 1e2),
+                ("medium".into(), 1e3),
+                ("large".into(), 1e5),
+            ],
+            30,
+        )
+        .unwrap();
+        let lengths: Vec<usize> = chart
+            .lines()
+            .map(|l| l.chars().filter(|&c| c == '#').count())
+            .collect();
+        assert!(lengths[0] < lengths[1]);
+        assert!(lengths[1] < lengths[2]);
+    }
+
+    #[test]
+    fn bar_chart_rejects_bad_input() {
+        assert!(log_bar_chart(&[], 20).is_none());
+        assert!(log_bar_chart(&[("x".into(), -1.0)], 20).is_none());
+        assert!(log_bar_chart(&[("x".into(), 1.0)], 0).is_none());
+        assert!(log_bar_chart(&[("x".into(), f64::NAN)], 10).is_none());
+    }
+
+    #[test]
+    fn bar_chart_constant_series_is_ok() {
+        let chart = log_bar_chart(&[("a".into(), 5.0), ("b".into(), 5.0)], 10).unwrap();
+        assert_eq!(chart.lines().count(), 2);
+    }
+
+    #[test]
+    fn sparkline_spans_range() {
+        let line = sparkline(&[0.0, 0.5, 1.0]).unwrap();
+        let chars: Vec<char> = line.chars().collect();
+        assert_eq!(chars.len(), 3);
+        assert_eq!(chars[0], '▁');
+        assert_eq!(chars[2], '█');
+    }
+
+    #[test]
+    fn sparkline_handles_constant_and_empty() {
+        assert!(sparkline(&[]).is_none());
+        let flat = sparkline(&[2.0, 2.0]).unwrap();
+        assert_eq!(flat.chars().count(), 2);
+    }
+}

@@ -1,0 +1,89 @@
+//! Minimal CSV writing so experiment results can be post-processed.
+//!
+//! Only the subset of CSV required for numeric result tables is implemented
+//! (comma separation, quoting of fields containing commas/quotes/newlines);
+//! this keeps the workspace inside the allowed dependency set.
+
+use std::fmt::Write as _;
+use std::io;
+use std::path::Path;
+
+/// Escapes a single CSV field, quoting it when necessary.
+fn escape(field: &str) -> String {
+    if field.contains(',') || field.contains('"') || field.contains('\n') {
+        format!("\"{}\"", field.replace('"', "\"\""))
+    } else {
+        field.to_string()
+    }
+}
+
+/// Serialises a header plus rows into a CSV string.
+///
+/// # Examples
+///
+/// ```
+/// use rram_analysis::csv::to_csv_string;
+/// let s = to_csv_string(&["a", "b"], &[vec!["1".into(), "2".into()]]);
+/// assert_eq!(s, "a,b\n1,2\n");
+/// ```
+pub fn to_csv_string(headers: &[&str], rows: &[Vec<String>]) -> String {
+    let mut out = String::new();
+    let header_line: Vec<String> = headers.iter().map(|h| escape(h)).collect();
+    let _ = writeln!(out, "{}", header_line.join(","));
+    for row in rows {
+        let cells: Vec<String> = row.iter().map(|c| escape(c)).collect();
+        let _ = writeln!(out, "{}", cells.join(","));
+    }
+    out
+}
+
+/// Writes a CSV file to `path`.
+///
+/// # Errors
+///
+/// Returns any I/O error from creating or writing the file.
+pub fn write_csv_file(
+    path: &Path,
+    headers: &[&str],
+    rows: &[Vec<String>],
+) -> Result<(), io::Error> {
+    std::fs::write(path, to_csv_string(headers, rows))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn simple_rows_round_trip() {
+        let s = to_csv_string(
+            &["x", "y"],
+            &[
+                vec!["1".into(), "2".into()],
+                vec!["3".into(), "4".into()],
+            ],
+        );
+        assert_eq!(s, "x,y\n1,2\n3,4\n");
+    }
+
+    #[test]
+    fn fields_with_commas_and_quotes_are_escaped() {
+        let s = to_csv_string(
+            &["label"],
+            &[vec!["a,b".into()], vec!["he said \"hi\"".into()]],
+        );
+        assert!(s.contains("\"a,b\""));
+        assert!(s.contains("\"he said \"\"hi\"\"\""));
+    }
+
+    #[test]
+    fn write_and_read_back_file() {
+        let dir = std::env::temp_dir().join("rram_analysis_csv_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("out.csv");
+        write_csv_file(&path, &["a"], &[vec!["1".into()]]).unwrap();
+        let content = std::fs::read_to_string(&path).unwrap();
+        assert_eq!(content, "a\n1\n");
+        std::fs::remove_file(&path).ok();
+    }
+}

@@ -1,0 +1,43 @@
+//! Regression, statistics and reporting helpers for the NeuroHammer reproduction.
+//!
+//! The paper extracts its thermal model by *linear regression* of filament
+//! temperature against dissipated power (Eq. 3–4) and reports its evaluation
+//! as log-scale series of "# pulses to trigger a bit-flip" against swept
+//! parameters (Fig. 3). This crate provides those numerical and reporting
+//! building blocks:
+//!
+//! * [`regression`] — ordinary least squares for the `T(P)` fits, including
+//!   the coefficient of determination used to check linearity.
+//! * [`stats`] — summary statistics and log-space helpers for sweep series.
+//! * [`table`] — a plain-text table builder used by the figure-regeneration
+//!   binaries to print the same rows the paper plots.
+//! * [`ascii_plot`] — quick semi-log ASCII charts for terminal inspection.
+//! * [`csv`] — minimal CSV writing (no external dependency) so results can be
+//!   post-processed.
+//!
+//! # Examples
+//!
+//! ```
+//! use rram_analysis::regression::linear_fit;
+//!
+//! // T = 300 + 1.5e5 * P, recovered from noisy-free samples.
+//! let power = [1e-4, 2e-4, 3e-4, 4e-4];
+//! let temp: Vec<f64> = power.iter().map(|p| 300.0 + 1.5e5 * p).collect();
+//! let fit = linear_fit(&power, &temp).unwrap();
+//! assert!((fit.slope - 1.5e5).abs() < 1.0);
+//! assert!((fit.intercept - 300.0).abs() < 1e-6);
+//! assert!(fit.r_squared > 0.999_999);
+//! ```
+
+#![deny(missing_docs)]
+#![deny(unsafe_code)]
+
+pub mod ascii_plot;
+pub mod csv;
+pub mod regression;
+pub mod stats;
+pub mod table;
+
+pub use regression::{linear_fit, FitError, LinearFit};
+pub use stats::Summary;
+pub use table::Table;

@@ -1,0 +1,291 @@
+//! Ordinary least-squares linear regression.
+//!
+//! The crosstalk-coefficient extraction (Eq. 3–4 of the paper) fits
+//! `T_ij(P_LRS) = T0 + R_th · α_ij · P_LRS` for every cell of the crossbar.
+//! The fits are one-dimensional, so a closed-form least-squares solution is
+//! all that is needed.
+
+use std::error::Error;
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+/// Result of a one-dimensional linear least-squares fit `y = intercept + slope·x`.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct LinearFit {
+    /// Slope of the fitted line.
+    pub slope: f64,
+    /// Intercept of the fitted line.
+    pub intercept: f64,
+    /// Coefficient of determination (R²) of the fit; `1.0` for a perfect fit.
+    pub r_squared: f64,
+    /// Number of samples the fit used.
+    pub n: usize,
+}
+
+impl LinearFit {
+    /// Evaluates the fitted line at `x`.
+    #[inline]
+    pub fn predict(&self, x: f64) -> f64 {
+        self.intercept + self.slope * x
+    }
+
+    /// Returns the residual `y - predict(x)` for a sample.
+    #[inline]
+    pub fn residual(&self, x: f64, y: f64) -> f64 {
+        y - self.predict(x)
+    }
+}
+
+/// Errors produced by [`linear_fit`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FitError {
+    /// Fewer than two samples were provided.
+    TooFewSamples {
+        /// Number of samples that were provided.
+        provided: usize,
+    },
+    /// The `x` and `y` slices have different lengths.
+    LengthMismatch {
+        /// Length of the `x` slice.
+        x_len: usize,
+        /// Length of the `y` slice.
+        y_len: usize,
+    },
+    /// All `x` values are identical, so the slope is not defined.
+    DegenerateX,
+    /// A non-finite sample value was encountered.
+    NonFiniteSample,
+}
+
+impl fmt::Display for FitError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FitError::TooFewSamples { provided } => {
+                write!(f, "linear fit needs at least 2 samples, got {provided}")
+            }
+            FitError::LengthMismatch { x_len, y_len } => {
+                write!(f, "x and y have different lengths ({x_len} vs {y_len})")
+            }
+            FitError::DegenerateX => write!(f, "all x values are identical"),
+            FitError::NonFiniteSample => write!(f, "encountered a non-finite sample"),
+        }
+    }
+}
+
+impl Error for FitError {}
+
+/// Fits `y = intercept + slope·x` by ordinary least squares.
+///
+/// # Errors
+///
+/// Returns an error when fewer than two samples are given, when the slices
+/// have different lengths, when every `x` is identical, or when any sample is
+/// not finite.
+///
+/// # Examples
+///
+/// ```
+/// use rram_analysis::regression::linear_fit;
+/// let fit = linear_fit(&[0.0, 1.0, 2.0], &[1.0, 3.0, 5.0])?;
+/// assert!((fit.slope - 2.0).abs() < 1e-12);
+/// assert!((fit.intercept - 1.0).abs() < 1e-12);
+/// # Ok::<(), rram_analysis::regression::FitError>(())
+/// ```
+pub fn linear_fit(x: &[f64], y: &[f64]) -> Result<LinearFit, FitError> {
+    if x.len() != y.len() {
+        return Err(FitError::LengthMismatch {
+            x_len: x.len(),
+            y_len: y.len(),
+        });
+    }
+    if x.len() < 2 {
+        return Err(FitError::TooFewSamples { provided: x.len() });
+    }
+    if x.iter().chain(y.iter()).any(|v| !v.is_finite()) {
+        return Err(FitError::NonFiniteSample);
+    }
+
+    let n = x.len() as f64;
+    let mean_x = x.iter().sum::<f64>() / n;
+    let mean_y = y.iter().sum::<f64>() / n;
+
+    let mut sxx = 0.0;
+    let mut sxy = 0.0;
+    let mut syy = 0.0;
+    for (&xi, &yi) in x.iter().zip(y.iter()) {
+        let dx = xi - mean_x;
+        let dy = yi - mean_y;
+        sxx += dx * dx;
+        sxy += dx * dy;
+        syy += dy * dy;
+    }
+
+    if sxx == 0.0 {
+        return Err(FitError::DegenerateX);
+    }
+
+    let slope = sxy / sxx;
+    let intercept = mean_y - slope * mean_x;
+
+    // R² = 1 - SS_res / SS_tot. When the response is constant the fit is exact
+    // (slope explains all of nothing), report 1.0 instead of 0/0.
+    let r_squared = if syy == 0.0 {
+        1.0
+    } else {
+        let ss_res: f64 = x
+            .iter()
+            .zip(y.iter())
+            .map(|(&xi, &yi)| {
+                let e = yi - (intercept + slope * xi);
+                e * e
+            })
+            .sum();
+        1.0 - ss_res / syy
+    };
+
+    Ok(LinearFit {
+        slope,
+        intercept,
+        r_squared,
+        n: x.len(),
+    })
+}
+
+/// Fits `y = slope·x` (regression through the origin).
+///
+/// Used when the physical model forces a zero intercept, e.g. fitting the
+/// *additional* temperature rise of a neighbour cell against dissipated power.
+///
+/// # Errors
+///
+/// Same conditions as [`linear_fit`].
+pub fn proportional_fit(x: &[f64], y: &[f64]) -> Result<LinearFit, FitError> {
+    if x.len() != y.len() {
+        return Err(FitError::LengthMismatch {
+            x_len: x.len(),
+            y_len: y.len(),
+        });
+    }
+    if x.is_empty() {
+        return Err(FitError::TooFewSamples { provided: 0 });
+    }
+    if x.iter().chain(y.iter()).any(|v| !v.is_finite()) {
+        return Err(FitError::NonFiniteSample);
+    }
+    let sxx: f64 = x.iter().map(|v| v * v).sum();
+    if sxx == 0.0 {
+        return Err(FitError::DegenerateX);
+    }
+    let sxy: f64 = x.iter().zip(y.iter()).map(|(a, b)| a * b).sum();
+    let slope = sxy / sxx;
+
+    let mean_y = y.iter().sum::<f64>() / y.len() as f64;
+    let syy: f64 = y.iter().map(|v| (v - mean_y) * (v - mean_y)).sum();
+    let ss_res: f64 = x
+        .iter()
+        .zip(y.iter())
+        .map(|(&xi, &yi)| {
+            let e = yi - slope * xi;
+            e * e
+        })
+        .sum();
+    let r_squared = if syy == 0.0 { 1.0 } else { 1.0 - ss_res / syy };
+
+    Ok(LinearFit {
+        slope,
+        intercept: 0.0,
+        r_squared,
+        n: x.len(),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exact_line_is_recovered() {
+        let x = [1.0, 2.0, 3.0, 4.0, 5.0];
+        let y: Vec<f64> = x.iter().map(|v| 3.0 * v - 7.0).collect();
+        let fit = linear_fit(&x, &y).unwrap();
+        assert!((fit.slope - 3.0).abs() < 1e-12);
+        assert!((fit.intercept + 7.0).abs() < 1e-12);
+        assert!((fit.r_squared - 1.0).abs() < 1e-12);
+        assert_eq!(fit.n, 5);
+    }
+
+    #[test]
+    fn noisy_line_has_reasonable_r_squared() {
+        let x: Vec<f64> = (0..50).map(|i| i as f64).collect();
+        let y: Vec<f64> = x
+            .iter()
+            .enumerate()
+            .map(|(i, v)| 2.0 * v + 1.0 + if i % 2 == 0 { 0.5 } else { -0.5 })
+            .collect();
+        let fit = linear_fit(&x, &y).unwrap();
+        assert!((fit.slope - 2.0).abs() < 0.01);
+        assert!(fit.r_squared > 0.999);
+    }
+
+    #[test]
+    fn mismatched_lengths_error() {
+        assert_eq!(
+            linear_fit(&[1.0, 2.0], &[1.0]),
+            Err(FitError::LengthMismatch { x_len: 2, y_len: 1 })
+        );
+    }
+
+    #[test]
+    fn too_few_samples_error() {
+        assert_eq!(
+            linear_fit(&[1.0], &[1.0]),
+            Err(FitError::TooFewSamples { provided: 1 })
+        );
+    }
+
+    #[test]
+    fn degenerate_x_error() {
+        assert_eq!(
+            linear_fit(&[2.0, 2.0, 2.0], &[1.0, 2.0, 3.0]),
+            Err(FitError::DegenerateX)
+        );
+    }
+
+    #[test]
+    fn non_finite_sample_error() {
+        assert_eq!(
+            linear_fit(&[1.0, f64::NAN], &[1.0, 2.0]),
+            Err(FitError::NonFiniteSample)
+        );
+    }
+
+    #[test]
+    fn constant_y_has_unit_r_squared() {
+        let fit = linear_fit(&[1.0, 2.0, 3.0], &[5.0, 5.0, 5.0]).unwrap();
+        assert!((fit.slope).abs() < 1e-12);
+        assert_eq!(fit.r_squared, 1.0);
+    }
+
+    #[test]
+    fn proportional_fit_recovers_slope() {
+        let x = [1.0, 2.0, 4.0];
+        let y = [0.5, 1.0, 2.0];
+        let fit = proportional_fit(&x, &y).unwrap();
+        assert!((fit.slope - 0.5).abs() < 1e-12);
+        assert_eq!(fit.intercept, 0.0);
+    }
+
+    #[test]
+    fn predict_and_residual() {
+        let fit = linear_fit(&[0.0, 1.0], &[1.0, 2.0]).unwrap();
+        assert!((fit.predict(3.0) - 4.0).abs() < 1e-12);
+        assert!((fit.residual(3.0, 4.5) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn error_display_is_informative() {
+        let msg = format!("{}", FitError::DegenerateX);
+        assert!(msg.contains("identical"));
+    }
+}

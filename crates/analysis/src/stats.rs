@@ -1,0 +1,172 @@
+//! Summary statistics and log-space helpers for sweep series.
+
+use serde::{Deserialize, Serialize};
+
+/// Summary statistics of a sample.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Summary {
+    /// Number of samples.
+    pub n: usize,
+    /// Arithmetic mean.
+    pub mean: f64,
+    /// Sample standard deviation (n-1 denominator); zero for a single sample.
+    pub std_dev: f64,
+    /// Minimum sample.
+    pub min: f64,
+    /// Maximum sample.
+    pub max: f64,
+    /// Median (average of the two central samples for even n).
+    pub median: f64,
+}
+
+impl Summary {
+    /// Computes summary statistics of `data`.
+    ///
+    /// Returns `None` for an empty slice or if any sample is not finite.
+    pub fn of(data: &[f64]) -> Option<Self> {
+        if data.is_empty() || data.iter().any(|v| !v.is_finite()) {
+            return None;
+        }
+        let n = data.len();
+        let mean = data.iter().sum::<f64>() / n as f64;
+        let var = if n > 1 {
+            data.iter().map(|v| (v - mean) * (v - mean)).sum::<f64>() / (n as f64 - 1.0)
+        } else {
+            0.0
+        };
+        let mut sorted = data.to_vec();
+        sorted.sort_by(|a, b| a.partial_cmp(b).expect("finite values are comparable"));
+        let median = if n % 2 == 1 {
+            sorted[n / 2]
+        } else {
+            0.5 * (sorted[n / 2 - 1] + sorted[n / 2])
+        };
+        Some(Summary {
+            n,
+            mean,
+            std_dev: var.sqrt(),
+            min: sorted[0],
+            max: sorted[n - 1],
+            median,
+        })
+    }
+}
+
+/// Geometric mean of strictly positive samples; `None` otherwise.
+pub fn geometric_mean(data: &[f64]) -> Option<f64> {
+    if data.is_empty() || data.iter().any(|&v| !(v > 0.0) || !v.is_finite()) {
+        return None;
+    }
+    let log_sum: f64 = data.iter().map(|v| v.ln()).sum();
+    Some((log_sum / data.len() as f64).exp())
+}
+
+/// Ratio between the first and last element of a series — the "speed-up"
+/// convention used when comparing the end points of a sweep (e.g. pulses
+/// needed at 10 ns vs. 100 ns pulse length).
+///
+/// Returns `None` for series shorter than two elements or a zero last element.
+pub fn endpoint_ratio(series: &[f64]) -> Option<f64> {
+    let (first, last) = (series.first()?, series.last()?);
+    if series.len() < 2 || *last == 0.0 {
+        return None;
+    }
+    Some(first / last)
+}
+
+/// Returns `true` when the series is monotonically non-increasing.
+///
+/// Used by the experiment self-checks: all three sweeps of Fig. 3 must show a
+/// monotonic decrease of pulses-to-flip as the swept parameter grows
+/// (pulse length, 1/spacing, ambient temperature).
+pub fn is_monotonic_decreasing(series: &[f64]) -> bool {
+    series.windows(2).all(|w| w[1] <= w[0])
+}
+
+/// Returns `true` when the series is monotonically non-decreasing.
+pub fn is_monotonic_increasing(series: &[f64]) -> bool {
+    series.windows(2).all(|w| w[1] >= w[0])
+}
+
+/// log10 of every element; `None` if any element is not strictly positive.
+pub fn log10_series(series: &[f64]) -> Option<Vec<f64>> {
+    if series.iter().any(|&v| !(v > 0.0)) {
+        return None;
+    }
+    Some(series.iter().map(|v| v.log10()).collect())
+}
+
+/// Number of decades spanned by a strictly positive series (max/min in log10).
+pub fn decades_spanned(series: &[f64]) -> Option<f64> {
+    let logs = log10_series(series)?;
+    let max = logs.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+    let min = logs.iter().cloned().fold(f64::INFINITY, f64::min);
+    Some(max - min)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn summary_of_known_sample() {
+        let s = Summary::of(&[1.0, 2.0, 3.0, 4.0, 5.0]).unwrap();
+        assert_eq!(s.n, 5);
+        assert!((s.mean - 3.0).abs() < 1e-12);
+        assert!((s.median - 3.0).abs() < 1e-12);
+        assert!((s.std_dev - (2.5f64).sqrt()).abs() < 1e-12);
+        assert_eq!(s.min, 1.0);
+        assert_eq!(s.max, 5.0);
+    }
+
+    #[test]
+    fn summary_even_length_median() {
+        let s = Summary::of(&[4.0, 1.0, 3.0, 2.0]).unwrap();
+        assert!((s.median - 2.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn summary_rejects_empty_and_nan() {
+        assert!(Summary::of(&[]).is_none());
+        assert!(Summary::of(&[1.0, f64::NAN]).is_none());
+    }
+
+    #[test]
+    fn summary_single_sample_zero_std() {
+        let s = Summary::of(&[42.0]).unwrap();
+        assert_eq!(s.std_dev, 0.0);
+        assert_eq!(s.median, 42.0);
+    }
+
+    #[test]
+    fn geometric_mean_of_powers_of_ten() {
+        let g = geometric_mean(&[10.0, 1000.0]).unwrap();
+        assert!((g - 100.0).abs() < 1e-9);
+        assert!(geometric_mean(&[1.0, -1.0]).is_none());
+        assert!(geometric_mean(&[]).is_none());
+    }
+
+    #[test]
+    fn monotonicity_checks() {
+        assert!(is_monotonic_decreasing(&[5.0, 4.0, 4.0, 1.0]));
+        assert!(!is_monotonic_decreasing(&[5.0, 6.0]));
+        assert!(is_monotonic_increasing(&[1.0, 1.0, 2.0]));
+        assert!(!is_monotonic_increasing(&[2.0, 1.0]));
+        assert!(is_monotonic_decreasing(&[]));
+        assert!(is_monotonic_decreasing(&[1.0]));
+    }
+
+    #[test]
+    fn endpoint_ratio_works() {
+        assert_eq!(endpoint_ratio(&[100.0, 50.0, 10.0]), Some(10.0));
+        assert_eq!(endpoint_ratio(&[1.0]), None);
+        assert_eq!(endpoint_ratio(&[1.0, 0.0]), None);
+    }
+
+    #[test]
+    fn decades_spanned_works() {
+        let d = decades_spanned(&[100.0, 1e5]).unwrap();
+        assert!((d - 3.0).abs() < 1e-12);
+        assert!(decades_spanned(&[1.0, 0.0]).is_none());
+    }
+}

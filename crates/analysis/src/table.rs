@@ -1,0 +1,160 @@
+//! Plain-text table rendering for the figure-regeneration binaries.
+//!
+//! The benchmark harness prints the same rows/series the paper plots; a small
+//! monospace table keeps that output readable without pulling in a plotting
+//! dependency.
+
+use std::fmt;
+
+/// A simple column-aligned text table.
+///
+/// # Examples
+///
+/// ```
+/// use rram_analysis::Table;
+///
+/// let mut t = Table::new(vec!["pulse length".into(), "# pulses".into()]);
+/// t.push_row(vec!["10 ns".into(), "31400".into()]);
+/// t.push_row(vec!["100 ns".into(), "1900".into()]);
+/// let text = t.to_string();
+/// assert!(text.contains("pulse length"));
+/// assert!(text.contains("31400"));
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct Table {
+    headers: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Creates a table with the given column headers.
+    pub fn new(headers: Vec<String>) -> Self {
+        Table {
+            headers,
+            rows: Vec::new(),
+        }
+    }
+
+    /// Convenience constructor from string slices.
+    pub fn with_headers(headers: &[&str]) -> Self {
+        Table::new(headers.iter().map(|s| s.to_string()).collect())
+    }
+
+    /// Appends a row.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the row length differs from the header length.
+    pub fn push_row(&mut self, row: Vec<String>) {
+        assert_eq!(
+            row.len(),
+            self.headers.len(),
+            "row length must match header length"
+        );
+        self.rows.push(row);
+    }
+
+    /// Appends a row built from anything displayable.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the row length differs from the header length.
+    pub fn push_display_row<T: fmt::Display>(&mut self, row: &[T]) {
+        self.push_row(row.iter().map(|v| v.to_string()).collect());
+    }
+
+    /// Number of data rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Returns `true` when the table has no data rows.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Column headers.
+    pub fn headers(&self) -> &[String] {
+        &self.headers
+    }
+
+    /// Data rows.
+    pub fn rows(&self) -> &[Vec<String>] {
+        &self.rows
+    }
+
+    fn column_widths(&self) -> Vec<usize> {
+        let mut widths: Vec<usize> = self.headers.iter().map(|h| h.chars().count()).collect();
+        for row in &self.rows {
+            for (i, cell) in row.iter().enumerate() {
+                widths[i] = widths[i].max(cell.chars().count());
+            }
+        }
+        widths
+    }
+}
+
+impl fmt::Display for Table {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let widths = self.column_widths();
+        let write_row = |f: &mut fmt::Formatter<'_>, cells: &[String]| -> fmt::Result {
+            write!(f, "|")?;
+            for (cell, width) in cells.iter().zip(widths.iter()) {
+                write!(f, " {cell:<width$} |", width = width)?;
+            }
+            writeln!(f)
+        };
+        write_row(f, &self.headers)?;
+        write!(f, "|")?;
+        for width in &widths {
+            write!(f, "{:-<w$}|", "", w = width + 2)?;
+        }
+        writeln!(f)?;
+        for row in &self.rows {
+            write_row(f, row)?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_aligned_columns() {
+        let mut t = Table::with_headers(&["a", "longer"]);
+        t.push_row(vec!["x".into(), "1".into()]);
+        t.push_row(vec!["yyyy".into(), "22".into()]);
+        let out = t.to_string();
+        let lines: Vec<&str> = out.lines().collect();
+        assert_eq!(lines.len(), 4);
+        // All lines have the same width.
+        assert!(lines.windows(2).all(|w| w[0].len() == w[1].len()));
+        assert!(lines[0].contains("longer"));
+    }
+
+    #[test]
+    fn push_display_row_formats_values() {
+        let mut t = Table::with_headers(&["v", "w"]);
+        t.push_display_row(&[1.5, 2.25]);
+        assert_eq!(t.rows()[0], vec!["1.5".to_string(), "2.25".to_string()]);
+        assert_eq!(t.len(), 1);
+        assert!(!t.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "row length")]
+    fn mismatched_row_panics() {
+        let mut t = Table::with_headers(&["only one"]);
+        t.push_row(vec!["a".into(), "b".into()]);
+    }
+
+    #[test]
+    fn empty_table_renders_headers_only() {
+        let t = Table::with_headers(&["h1", "h2"]);
+        assert!(t.is_empty());
+        let out = t.to_string();
+        assert_eq!(out.lines().count(), 2);
+    }
+}

@@ -1,0 +1,82 @@
+//! Property-based tests for the regression and statistics helpers.
+
+use proptest::prelude::*;
+use rram_analysis::regression::{linear_fit, proportional_fit};
+use rram_analysis::stats::{geometric_mean, is_monotonic_decreasing, Summary};
+
+proptest! {
+    /// A noiseless line is always recovered exactly (up to numerical error).
+    #[test]
+    fn exact_line_recovery(
+        slope in -1e3f64..1e3,
+        intercept in -1e3f64..1e3,
+        n in 3usize..40,
+    ) {
+        let x: Vec<f64> = (0..n).map(|i| i as f64 * 0.5 + 1.0).collect();
+        let y: Vec<f64> = x.iter().map(|v| intercept + slope * v).collect();
+        let fit = linear_fit(&x, &y).unwrap();
+        let scale = 1.0 + slope.abs() + intercept.abs();
+        prop_assert!((fit.slope - slope).abs() < 1e-6 * scale);
+        prop_assert!((fit.intercept - intercept).abs() < 1e-6 * scale);
+        prop_assert!(fit.r_squared > 1.0 - 1e-9);
+    }
+
+    /// The fitted line always passes through the centroid of the data.
+    #[test]
+    fn fit_passes_through_centroid(xs in prop::collection::vec(-100.0f64..100.0, 3..30)) {
+        // Build y from a quadratic so the fit is not exact.
+        let ys: Vec<f64> = xs.iter().map(|x| 0.3 * x * x - 2.0 * x + 5.0).collect();
+        // Need non-degenerate x.
+        prop_assume!(xs.iter().any(|&x| (x - xs[0]).abs() > 1e-9));
+        let fit = linear_fit(&xs, &ys).unwrap();
+        let mean_x = xs.iter().sum::<f64>() / xs.len() as f64;
+        let mean_y = ys.iter().sum::<f64>() / ys.len() as f64;
+        prop_assert!((fit.predict(mean_x) - mean_y).abs() < 1e-6 * (1.0 + mean_y.abs()));
+    }
+
+    /// R² is always within [−∞, 1]; for a least-squares fit with intercept it is within [0, 1]
+    /// up to numerical noise.
+    #[test]
+    fn r_squared_bounded(xs in prop::collection::vec(-50.0f64..50.0, 4..30)) {
+        let ys: Vec<f64> = xs.iter().enumerate().map(|(i, x)| x.sin() * 10.0 + i as f64).collect();
+        prop_assume!(xs.iter().any(|&x| (x - xs[0]).abs() > 1e-9));
+        let fit = linear_fit(&xs, &ys).unwrap();
+        prop_assert!(fit.r_squared <= 1.0 + 1e-9);
+        prop_assert!(fit.r_squared >= -1e-6);
+    }
+
+    /// Proportional fit of perfectly proportional data recovers the factor.
+    #[test]
+    fn proportional_recovery(k in 0.01f64..100.0, n in 2usize..20) {
+        let x: Vec<f64> = (1..=n).map(|i| i as f64).collect();
+        let y: Vec<f64> = x.iter().map(|v| k * v).collect();
+        let fit = proportional_fit(&x, &y).unwrap();
+        prop_assert!((fit.slope - k).abs() < 1e-9 * k.max(1.0));
+    }
+
+    /// Summary statistics bound the data.
+    #[test]
+    fn summary_bounds(data in prop::collection::vec(-1e4f64..1e4, 1..50)) {
+        let s = Summary::of(&data).unwrap();
+        prop_assert!(s.min <= s.mean + 1e-9);
+        prop_assert!(s.mean <= s.max + 1e-9);
+        prop_assert!(s.min <= s.median && s.median <= s.max);
+        prop_assert!(s.std_dev >= 0.0);
+    }
+
+    /// The geometric mean is bounded by min and max for positive data.
+    #[test]
+    fn geometric_mean_bounds(data in prop::collection::vec(0.1f64..1e4, 1..30)) {
+        let g = geometric_mean(&data).unwrap();
+        let min = data.iter().cloned().fold(f64::INFINITY, f64::min);
+        let max = data.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+        prop_assert!(g >= min - 1e-9 && g <= max + 1e-9);
+    }
+
+    /// A sorted-descending series is always reported as monotonically decreasing.
+    #[test]
+    fn sorted_series_is_monotonic(mut data in prop::collection::vec(0.0f64..1e6, 0..30)) {
+        data.sort_by(|a, b| b.partial_cmp(a).unwrap());
+        prop_assert!(is_monotonic_decreasing(&data));
+    }
+}

@@ -1,0 +1,56 @@
+//! Benchmarks the thermal-crosstalk coefficient extraction (Section IV-A /
+//! Fig. 2a): geometry build, steady-state heat solve and the regression.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use rram_fem::alpha::{extract_alpha, AlphaConfig};
+use rram_fem::geometry::CrossbarGeometry;
+use rram_fem::heat::{HeatProblem, HeatSource};
+use rram_units::{Kelvin, Watts};
+
+fn coarse_geometry() -> CrossbarGeometry {
+    CrossbarGeometry {
+        rows: 3,
+        cols: 3,
+        voxel_nm: 25.0,
+        margin_nm: 50.0,
+        ..CrossbarGeometry::default()
+    }
+}
+
+fn bench_alpha(c: &mut Criterion) {
+    let mut group = c.benchmark_group("alpha_extraction");
+    group.sample_size(10);
+
+    group.bench_function("geometry_build_3x3", |b| {
+        b.iter(|| coarse_geometry().build().expect("valid geometry"))
+    });
+
+    group.bench_function("heat_solve_3x3", |b| {
+        let model = coarse_geometry().build().expect("valid geometry");
+        b.iter_batched(
+            || (),
+            |()| {
+                HeatProblem::new(&model, Kelvin(300.0))
+                    .with_source(HeatSource { row: 1, col: 1, power: Watts(40e-6) })
+                    .solve_cell_matrix()
+                    .expect("heat solve")
+            },
+            BatchSize::SmallInput,
+        )
+    });
+
+    group.bench_function("full_extraction_3x3", |b| {
+        let geometry = coarse_geometry();
+        let config = AlphaConfig {
+            ambient: Kelvin(300.0),
+            selected: (1, 1),
+            powers: vec![Watts(10e-6), Watts(30e-6)],
+        };
+        b.iter(|| extract_alpha(&geometry, &config).expect("extraction"))
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_alpha);
+criterion_main!(benches);

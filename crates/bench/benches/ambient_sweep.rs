@@ -1,0 +1,41 @@
+//! Benchmarks the Fig. 3c flow: attacks at different ambient temperatures.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use neurohammer::attack::{run_attack, AttackConfig};
+use neurohammer::pattern::AttackPattern;
+use rram_crossbar::{CellAddress, CrossbarArray, CrosstalkHub, EngineConfig, PulseEngine};
+use rram_jart::DeviceParams;
+use rram_units::{Kelvin, Seconds, Volts};
+
+fn attack_at(ambient: f64) -> u64 {
+    let device = DeviceParams::builder().ambient_temperature(ambient).build().expect("params");
+    let array = CrossbarArray::new(5, 5, device);
+    let hub = CrosstalkHub::uniform(5, 5, 0.18, 0.09, 0.045, Seconds(30e-9));
+    let engine_config = EngineConfig { ambient: Kelvin(ambient), ..EngineConfig::default() };
+    let mut engine = PulseEngine::new(array, hub, engine_config);
+    let config = AttackConfig {
+        victim: CellAddress::new(2, 1),
+        pattern: AttackPattern::SingleAggressor,
+        amplitude: Volts(1.05),
+        pulse_length: Seconds(50e-9),
+        gap: Seconds(50e-9),
+        max_pulses: 3_000_000,
+        batching: true,
+        trace: false,
+    };
+    run_attack(&mut engine, &config).pulses
+}
+
+fn bench_ambient(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig3c_ambient");
+    group.sample_size(10);
+    for &t in &[323.0_f64, 373.0] {
+        group.bench_with_input(BenchmarkId::from_parameter(format!("{t}K")), &t, |b, &t| {
+            b.iter(|| attack_at(t))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_ambient);
+criterion_main!(benches);

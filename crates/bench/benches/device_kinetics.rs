@@ -1,0 +1,36 @@
+//! Micro-benchmarks of the compact model: static operating point, pulse
+//! integration and the characteristic switching-time measurement.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use rram_jart::calibration::time_to_set;
+use rram_jart::current::solve_operating_point;
+use rram_jart::{DeviceParams, JartDevice};
+use rram_units::{Kelvin, Seconds, Volts};
+
+fn bench_device(c: &mut Criterion) {
+    let params = DeviceParams::default();
+    let mut group = c.benchmark_group("device_kinetics");
+
+    group.bench_function("operating_point_hrs", |b| {
+        b.iter(|| solve_operating_point(&params, 0.525, params.n_min))
+    });
+    group.bench_function("operating_point_lrs", |b| {
+        b.iter(|| solve_operating_point(&params, 1.05, params.n_max))
+    });
+    group.bench_function("half_select_pulse_50ns", |b| {
+        b.iter(|| {
+            let mut device = JartDevice::new(params.clone());
+            device.set_crosstalk_delta(Kelvin(60.0));
+            device.step(Volts(0.525), Seconds(50e-9));
+            device.concentration()
+        })
+    });
+    group.sample_size(10);
+    group.bench_function("time_to_set_heated", |b| {
+        b.iter(|| time_to_set(&params, Volts(0.525), Kelvin(90.0), Seconds(10e-3)))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_device);
+criterion_main!(benches);

@@ -1,0 +1,38 @@
+//! Benchmarks the Fig. 3d–h flow: one hammering campaign per attack pattern.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use neurohammer::attack::{run_attack, AttackConfig};
+use neurohammer::pattern::AttackPattern;
+use rram_crossbar::{CellAddress, EngineConfig, PulseEngine};
+use rram_jart::DeviceParams;
+use rram_units::{Seconds, Volts};
+
+fn attack_with_pattern(pattern: AttackPattern) -> u64 {
+    let mut engine = PulseEngine::with_uniform_coupling(
+        5, 5, DeviceParams::default(), 0.18, EngineConfig::default());
+    let config = AttackConfig {
+        victim: CellAddress::new(2, 2),
+        pattern,
+        amplitude: Volts(1.05),
+        pulse_length: Seconds(100e-9),
+        gap: Seconds(100e-9),
+        max_pulses: 2_000_000,
+        batching: true,
+        trace: false,
+    };
+    run_attack(&mut engine, &config).pulses
+}
+
+fn bench_patterns(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig3d_patterns");
+    group.sample_size(10);
+    for &pattern in &[AttackPattern::SingleAggressor, AttackPattern::DoubleSidedRow, AttackPattern::Quad] {
+        group.bench_with_input(BenchmarkId::from_parameter(pattern.label()), &pattern, |b, &p| {
+            b.iter(|| attack_with_pattern(p))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_patterns);
+criterion_main!(benches);

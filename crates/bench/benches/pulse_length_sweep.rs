@@ -1,0 +1,39 @@
+//! Benchmarks single-aggressor hammering campaigns at the pulse lengths of
+//! Fig. 3a (synthetic coupling so only the attack engine is measured).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use neurohammer::attack::{run_attack, AttackConfig};
+use neurohammer::pattern::AttackPattern;
+use rram_crossbar::{CellAddress, EngineConfig, PulseEngine};
+use rram_jart::DeviceParams;
+use rram_units::{Seconds, Volts};
+
+fn attack(pulse_ns: f64) -> u64 {
+    let mut engine = PulseEngine::with_uniform_coupling(
+        5, 5, DeviceParams::default(), 0.18, EngineConfig::default());
+    let config = AttackConfig {
+        victim: CellAddress::new(2, 1),
+        pattern: AttackPattern::SingleAggressor,
+        amplitude: Volts(1.05),
+        pulse_length: Seconds(pulse_ns * 1e-9),
+        gap: Seconds(pulse_ns * 1e-9),
+        max_pulses: 2_000_000,
+        batching: true,
+        trace: false,
+    };
+    run_attack(&mut engine, &config).pulses
+}
+
+fn bench_pulse_length(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig3a_pulse_length");
+    group.sample_size(10);
+    for &ns in &[50.0_f64, 100.0] {
+        group.bench_with_input(BenchmarkId::from_parameter(format!("{ns}ns")), &ns, |b, &ns| {
+            b.iter(|| attack(ns))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_pulse_length);
+criterion_main!(benches);

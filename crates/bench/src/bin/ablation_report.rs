@@ -1,0 +1,30 @@
+//! Ablation study over the design choices documented in DESIGN.md:
+//! crosstalk hub on/off, thermal time constant, pulse batching, and the
+//! closed-form estimator vs. the simulation.
+//!
+//! Run with `cargo run -p neurohammer-bench --release --bin ablation_report`.
+
+use neurohammer::ablation_report;
+use neurohammer_bench::{figure_setup, quick_requested};
+use rram_analysis::Table;
+
+fn main() {
+    let setup = figure_setup(quick_requested());
+    let report = ablation_report(&setup).expect("ablation failed");
+
+    println!("# Ablation report (50 ns pulses, 50 nm spacing, 300 K)");
+    let mut table = Table::with_headers(&["variant", "# pulses to bit-flip"]);
+    for row in &report.rows {
+        table.push_row(vec![
+            row.variant.clone(),
+            row.pulses.map(|p| p.to_string()).unwrap_or_else(|| "no flip within budget".into()),
+        ]);
+    }
+    println!("{table}");
+    println!(
+        "closed-form estimator: {} pulses (aggressor {:.0} K, victim {:.0} K)",
+        report.estimate.pulses_to_flip.map(|p| p.to_string()).unwrap_or_else(|| "-".into()),
+        report.estimate.aggressor_temperature.0,
+        report.estimate.victim_temperature.0
+    );
+}

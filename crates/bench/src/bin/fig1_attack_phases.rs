@@ -1,0 +1,44 @@
+//! Regenerates the Fig. 1 trace: the four phases of a NeuroHammer attack
+//! (hammering, temperature increase, changed switching kinetics, bit-flip).
+//!
+//! Run with `cargo run -p neurohammer-bench --release --bin fig1_attack_phases`.
+
+use neurohammer::fig1_trace;
+use neurohammer_bench::{figure_setup, quick_requested};
+use rram_analysis::ascii_plot::sparkline;
+use rram_units::Seconds;
+
+fn main() {
+    let setup = figure_setup(quick_requested());
+    let result = fig1_trace(&setup, Seconds(50e-9)).expect("trace experiment failed");
+
+    println!("# Fig. 1 — NeuroHammer attack phases (50 ns pulses, 50 nm spacing, 300 K)");
+    println!("bit-flip after {} pulses ({:.3e} s of attack time)\n", result.pulses, result.elapsed.0);
+
+    let sample = |f: &dyn Fn(&neurohammer::TracePoint) -> f64| -> Vec<f64> {
+        // Down-sample the trace to at most 60 points for the sparkline.
+        let stride = (result.trace.len() / 60).max(1);
+        result.trace.iter().step_by(stride).map(f).collect()
+    };
+    println!("aggressor temperature [K]: {}", sparkline(&sample(&|p| p.aggressor_temperature.0)).unwrap_or_default());
+    println!("victim temperature    [K]: {}", sparkline(&sample(&|p| p.victim_temperature.0)).unwrap_or_default());
+    println!("victim crosstalk ΔT   [K]: {}", sparkline(&sample(&|p| p.victim_crosstalk.0)).unwrap_or_default());
+    println!("victim state     [0..1]  : {}", sparkline(&sample(&|p| p.victim_state)).unwrap_or_default());
+
+    println!("\n{:>8} {:>12} {:>10} {:>10} {:>10} {:>8}", "pulse", "time [s]", "T_aggr [K]", "T_vict [K]", "ΔT_xt [K]", "state");
+    let stride = (result.trace.len() / 12).max(1);
+    for point in result.trace.iter().step_by(stride) {
+        println!(
+            "{:>8} {:>12.3e} {:>10.1} {:>10.1} {:>10.1} {:>8.3}",
+            point.pulses, point.time.0, point.aggressor_temperature.0,
+            point.victim_temperature.0, point.victim_crosstalk.0, point.victim_state
+        );
+    }
+    if let Some(last) = result.trace.last() {
+        println!(
+            "{:>8} {:>12.3e} {:>10.1} {:>10.1} {:>10.1} {:>8.3}",
+            last.pulses, last.time.0, last.aggressor_temperature.0,
+            last.victim_temperature.0, last.victim_crosstalk.0, last.victim_state
+        );
+    }
+}

@@ -1,0 +1,25 @@
+//! Regenerates Fig. 3a: number of pulses to trigger a bit-flip vs. pulse
+//! length (10–100 ns), 50 nm electrode spacing, 300 K ambient.
+//!
+//! Run with `cargo run -p neurohammer-bench --release --bin fig3a_pulse_length`.
+
+use neurohammer::fig3a_pulse_length;
+use neurohammer_bench::{figure_setup, print_series, quick_requested};
+
+fn main() {
+    let quick = quick_requested();
+    let setup = figure_setup(quick);
+    let lengths: Vec<f64> = if quick {
+        vec![10.0, 30.0, 50.0, 100.0]
+    } else {
+        (1..=10).map(|i| i as f64 * 10.0).collect()
+    };
+    let series = fig3a_pulse_length(&setup, &lengths).expect("fig3a failed");
+    println!("# Fig. 3a — impact of the pulse length (50 nm spacing, 300 K)");
+    print_series(&series, "pulse length");
+    println!(
+        "monotonically decreasing: {} | first/last ratio: {:.1}",
+        series.is_monotonically_decreasing(),
+        series.endpoint_ratio().unwrap_or(f64::NAN)
+    );
+}

@@ -1,0 +1,24 @@
+//! Regenerates Fig. 3c: number of pulses to trigger a bit-flip vs. ambient
+//! temperature (273–373 K) for 10/30/50 ns pulses at 50 nm spacing.
+//!
+//! Run with `cargo run -p neurohammer-bench --release --bin fig3c_ambient_temperature`.
+
+use neurohammer::fig3c_ambient_temperature;
+use neurohammer_bench::{figure_setup, print_series, quick_requested};
+
+fn main() {
+    let quick = quick_requested();
+    let setup = figure_setup(quick);
+    let ambients = [273.0, 298.0, 323.0, 348.0, 373.0];
+    let lengths: Vec<f64> = if quick { vec![50.0] } else { vec![10.0, 30.0, 50.0] };
+    let series = fig3c_ambient_temperature(&setup, &ambients, &lengths).expect("fig3c failed");
+    println!("# Fig. 3c — impact of the ambient temperature (50 nm spacing)");
+    for s in &series {
+        print_series(s, "ambient temperature");
+        println!(
+            "monotonically decreasing with temperature: {} | 273 K / 373 K ratio: {:.1}\n",
+            s.is_monotonically_decreasing(),
+            s.endpoint_ratio().unwrap_or(f64::NAN)
+        );
+    }
+}

@@ -1,0 +1,15 @@
+//! Regenerates the Fig. 3d–h attack-pattern comparison: pulses-to-flip for
+//! the single, double-sided, quad and diagonal aggressor patterns.
+//!
+//! Run with `cargo run -p neurohammer-bench --release --bin fig3d_attack_patterns`.
+
+use neurohammer::fig3d_attack_patterns;
+use neurohammer_bench::{figure_setup, print_series, quick_requested};
+use rram_units::Seconds;
+
+fn main() {
+    let setup = figure_setup(quick_requested());
+    let series = fig3d_attack_patterns(&setup, Seconds(50e-9)).expect("fig3d failed");
+    println!("# Fig. 3d–h — impact of different attack patterns (50 ns pulses, 50 nm, 300 K)");
+    print_series(&series, "attack pattern");
+}

@@ -1,0 +1,114 @@
+//! Shared helpers for the figure-regeneration binaries and Criterion
+//! benchmarks of the NeuroHammer reproduction.
+//!
+//! Each binary in `src/bin/` regenerates one table/figure of the paper (see
+//! `DESIGN.md` for the experiment index) and prints it as a plain-text table
+//! plus a log-scale ASCII chart; `EXPERIMENTS.md` records the outputs next to
+//! the paper's values.
+
+#![deny(missing_docs)]
+#![deny(unsafe_code)]
+
+use neurohammer::{ExperimentSetup, SweepSeries};
+use rram_analysis::ascii_plot::log_bar_chart;
+use rram_analysis::Table;
+
+/// Returns the experiment setup used by the figure binaries.
+///
+/// `quick` (set via the `NEUROHAMMER_QUICK` environment variable or the
+/// `--quick` flag) switches to synthetic coupling coefficients and a smaller
+/// pulse budget so a full regeneration finishes in a couple of minutes.
+pub fn figure_setup(quick: bool) -> ExperimentSetup {
+    if quick {
+        ExperimentSetup {
+            max_pulses: 1_500_000,
+            batching: true,
+            ..ExperimentSetup::quick()
+        }
+    } else {
+        ExperimentSetup {
+            // Pulse batching keeps the multi-point sweeps tractable; the
+            // ablation binary quantifies its (small) bias against exact
+            // pulse-by-pulse simulation.
+            batching: true,
+            ..ExperimentSetup::default()
+        }
+    }
+}
+
+/// Reads the `--quick` flag / `NEUROHAMMER_QUICK` environment variable.
+pub fn quick_requested() -> bool {
+    std::env::args().any(|a| a == "--quick") || std::env::var_os("NEUROHAMMER_QUICK").is_some()
+}
+
+/// Formats a sweep series as a table with one row per point.
+pub fn series_table(series: &SweepSeries, parameter_name: &str) -> Table {
+    let mut table = Table::with_headers(&[parameter_name, "# pulses to trigger a bit-flip"]);
+    for point in &series.points {
+        let pulses = point
+            .pulses
+            .map(|p| p.to_string())
+            .unwrap_or_else(|| "no flip within budget".to_string());
+        table.push_row(vec![point.label.clone(), pulses]);
+    }
+    table
+}
+
+/// Prints a series as a table followed by a log-scale bar chart.
+pub fn print_series(series: &SweepSeries, parameter_name: &str) {
+    println!("## {}", series.name);
+    println!("{}", series_table(series, parameter_name));
+    let bars: Vec<(String, f64)> = series
+        .points
+        .iter()
+        .filter_map(|p| p.pulses.map(|n| (p.label.clone(), n as f64)))
+        .collect();
+    if let Some(chart) = log_bar_chart(&bars, 50) {
+        println!("{chart}");
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use neurohammer::SweepPoint;
+
+    fn series() -> SweepSeries {
+        SweepSeries {
+            name: "demo".into(),
+            points: vec![
+                SweepPoint {
+                    parameter: 10.0,
+                    label: "10 ns".into(),
+                    pulses: Some(30_000),
+                    flipped: true,
+                },
+                SweepPoint {
+                    parameter: 100.0,
+                    label: "100 ns".into(),
+                    pulses: None,
+                    flipped: false,
+                },
+            ],
+        }
+    }
+
+    #[test]
+    fn series_table_includes_budget_misses() {
+        let table = series_table(&series(), "pulse length");
+        let text = table.to_string();
+        assert!(text.contains("30000"));
+        assert!(text.contains("no flip within budget"));
+    }
+
+    #[test]
+    fn quick_setup_uses_synthetic_coupling() {
+        let setup = figure_setup(true);
+        assert!(matches!(
+            setup.coupling,
+            neurohammer::CouplingSource::Uniform { .. }
+        ));
+        let full = figure_setup(false);
+        assert!(matches!(full.coupling, neurohammer::CouplingSource::Fem { .. }));
+    }
+}

@@ -1,0 +1,53 @@
+//! A small modified-nodal-analysis (MNA) circuit simulator — the
+//! Cadence-Virtuoso substitute of the NeuroHammer reproduction
+//! (Section IV-B of the paper).
+//!
+//! The circuit-level part of the paper's framework drives a passive
+//! memristive crossbar with rectangular pulses and simulates the resulting
+//! currents and device state changes. This crate provides the generic
+//! circuit machinery for that:
+//!
+//! * [`netlist`] — nodes, resistors, capacitors, independent sources with DC
+//!   and pulse waveforms, and a [`netlist::NonlinearTwoTerminal`] trait for
+//!   device models such as the VCM cell of `rram-jart`;
+//! * [`dense`] — dense LU solver for the MNA equations;
+//! * [`analysis`] — Newton–Raphson DC operating point and fixed-step
+//!   backward-Euler transient analysis, with a per-step `commit` callback so
+//!   stateful devices can advance their internal state.
+//!
+//! The crossbar crate uses this engine for its *detailed* simulation mode
+//! (including line resistances and sneak paths); the fast pulse engine used
+//! for long hammering campaigns bypasses the matrix solve and is validated
+//! against this engine in integration tests.
+//!
+//! # Examples
+//!
+//! A resistive divider:
+//!
+//! ```
+//! use rram_circuit::{Netlist, NodeId, Waveform, solve_dc};
+//!
+//! let mut netlist = Netlist::new();
+//! let top = netlist.node("top");
+//! let mid = netlist.node("mid");
+//! netlist.add_voltage_source(top, NodeId::GROUND, Waveform::Dc(1.0));
+//! netlist.add_resistor(top, mid, 10_000.0);
+//! netlist.add_resistor(mid, NodeId::GROUND, 10_000.0);
+//! let solution = solve_dc(&netlist)?;
+//! assert!((solution.voltage(mid) - 0.5).abs() < 1e-9);
+//! # Ok::<(), rram_circuit::CircuitError>(())
+//! ```
+
+#![deny(missing_docs)]
+#![deny(unsafe_code)]
+
+pub mod analysis;
+pub mod dense;
+pub mod netlist;
+
+pub use analysis::{
+    run_transient, solve_dc, CircuitError, NewtonOptions, Solution, TransientOptions,
+    TransientResult,
+};
+pub use dense::{DenseMatrix, LinearError};
+pub use netlist::{Element, ElementId, Netlist, NodeId, NonlinearTwoTerminal, Waveform};

@@ -1,0 +1,356 @@
+//! Countermeasures against NeuroHammer (the paper's announced future work,
+//! built out here as an extension).
+//!
+//! Three defence families are modelled, mirroring the RowHammer literature:
+//!
+//! * **Write counters** ([`WriteCounterGuard`]) — a pTRR/TRR-like mechanism
+//!   that counts writes per cell within a time window and, when a cell
+//!   exceeds the threshold, refreshes (rewrites) its half-selected
+//!   neighbours, erasing any partial state drift.
+//! * **Thermal monitoring** ([`ThermalSensorGuard`]) — on-die temperature
+//!   sensors that throttle writes (insert idle time) whenever the estimated
+//!   crosstalk temperature of any cell exceeds a threshold.
+//! * **Scrubbing** ([`ScrubbingGuard`]) — periodic rewriting of the whole
+//!   array, bounding how much drift can accumulate between scrubs.
+//!
+//! [`evaluate_countermeasure`] replays a hammering campaign with a guard in
+//! the loop and reports whether the attack still succeeds and at what cost.
+
+use serde::{Deserialize, Serialize};
+
+use crate::attack::AttackConfig;
+use rram_crossbar::{CellAddress, PulseEngine};
+use rram_jart::DigitalState;
+use rram_units::{Kelvin, Seconds};
+
+/// Action a guard requests after observing a write.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum GuardAction {
+    /// Let the write proceed normally.
+    Allow,
+    /// Insert idle time before the next write (throttling).
+    Throttle(Seconds),
+    /// Refresh the half-selected neighbours of the hammered cell.
+    RefreshNeighbors,
+}
+
+/// A runtime defence observing the write stream and the thermal state.
+pub trait Countermeasure: std::fmt::Debug {
+    /// Called for every hammer/write pulse issued to `cell` at simulated
+    /// time `now`; `hub_deltas` is the current crosstalk ΔT map (row-major).
+    fn on_write(&mut self, cell: CellAddress, now: Seconds, hub_deltas: &[f64]) -> GuardAction;
+
+    /// Human-readable name for reports.
+    fn name(&self) -> &'static str;
+}
+
+/// pTRR/TRR-like write-counter guard.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct WriteCounterGuard {
+    /// Writes allowed to a single cell within one window before its
+    /// neighbours are refreshed.
+    pub threshold: u64,
+    /// Length of the counting window, s.
+    pub window: Seconds,
+    counts: std::collections::HashMap<CellAddress, u64>,
+    window_start: f64,
+}
+
+impl WriteCounterGuard {
+    /// Creates a guard with the given per-window write threshold.
+    pub fn new(threshold: u64, window: Seconds) -> Self {
+        WriteCounterGuard {
+            threshold,
+            window,
+            counts: std::collections::HashMap::new(),
+            window_start: 0.0,
+        }
+    }
+}
+
+impl Countermeasure for WriteCounterGuard {
+    fn on_write(&mut self, cell: CellAddress, now: Seconds, _hub_deltas: &[f64]) -> GuardAction {
+        if now.0 - self.window_start > self.window.0 {
+            self.counts.clear();
+            self.window_start = now.0;
+        }
+        let count = self.counts.entry(cell).or_insert(0);
+        *count += 1;
+        if *count >= self.threshold {
+            *count = 0;
+            GuardAction::RefreshNeighbors
+        } else {
+            GuardAction::Allow
+        }
+    }
+
+    fn name(&self) -> &'static str {
+        "write counters (TRR-like)"
+    }
+}
+
+/// Thermal-sensor guard: throttles writes when any cell's crosstalk ΔT
+/// exceeds a threshold.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ThermalSensorGuard {
+    /// Crosstalk temperature threshold, K.
+    pub threshold: Kelvin,
+    /// Idle time inserted when the threshold is exceeded, s.
+    pub cooldown: Seconds,
+}
+
+impl ThermalSensorGuard {
+    /// Creates a guard that cools the array down whenever any cell's
+    /// crosstalk ΔT exceeds `threshold`.
+    pub fn new(threshold: Kelvin, cooldown: Seconds) -> Self {
+        ThermalSensorGuard { threshold, cooldown }
+    }
+}
+
+impl Countermeasure for ThermalSensorGuard {
+    fn on_write(&mut self, _cell: CellAddress, _now: Seconds, hub_deltas: &[f64]) -> GuardAction {
+        let max = hub_deltas.iter().cloned().fold(0.0_f64, f64::max);
+        if max > self.threshold.0 {
+            GuardAction::Throttle(self.cooldown)
+        } else {
+            GuardAction::Allow
+        }
+    }
+
+    fn name(&self) -> &'static str {
+        "thermal sensors + throttling"
+    }
+}
+
+/// Periodic scrubbing guard: refreshes the neighbours of the most recently
+/// written cell every `period` of simulated time.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ScrubbingGuard {
+    /// Scrub period, s.
+    pub period: Seconds,
+    last_scrub: f64,
+}
+
+impl ScrubbingGuard {
+    /// Creates a scrubbing guard with the given period.
+    pub fn new(period: Seconds) -> Self {
+        ScrubbingGuard {
+            period,
+            last_scrub: 0.0,
+        }
+    }
+}
+
+impl Countermeasure for ScrubbingGuard {
+    fn on_write(&mut self, _cell: CellAddress, now: Seconds, _hub_deltas: &[f64]) -> GuardAction {
+        if now.0 - self.last_scrub >= self.period.0 {
+            self.last_scrub = now.0;
+            GuardAction::RefreshNeighbors
+        } else {
+            GuardAction::Allow
+        }
+    }
+
+    fn name(&self) -> &'static str {
+        "periodic scrubbing"
+    }
+}
+
+/// Outcome of an attack replayed against a countermeasure.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DefenseEvaluation {
+    /// Name of the countermeasure.
+    pub countermeasure: String,
+    /// Whether the victim still flipped within the pulse budget.
+    pub attack_succeeded: bool,
+    /// Pulses issued until the flip (or until the budget ran out).
+    pub pulses: u64,
+    /// Number of neighbour refreshes the guard triggered.
+    pub refreshes: u64,
+    /// Total throttling idle time inserted, s.
+    pub throttle_time: Seconds,
+}
+
+/// Replays a hammering campaign with a countermeasure in the loop.
+///
+/// The attack follows the same round-robin structure as
+/// [`crate::attack::run_attack`] (without pulse batching, so the guard sees
+/// every write), and the guard may refresh victims or throttle the attacker.
+pub fn evaluate_countermeasure(
+    engine: &mut PulseEngine,
+    config: &AttackConfig,
+    guard: &mut dyn Countermeasure,
+) -> DefenseEvaluation {
+    let rows = engine.array().rows();
+    let cols = engine.array().cols();
+    let aggressors = config.pattern.aggressors(config.victim, rows, cols);
+
+    for &aggressor in &aggressors {
+        engine.array_mut().cell_mut(aggressor).force_state(DigitalState::Lrs);
+    }
+    engine
+        .array_mut()
+        .cell_mut(config.victim)
+        .force_state(DigitalState::Hrs);
+
+    let mut pulses = 0u64;
+    let mut refreshes = 0u64;
+    let mut throttle_time = 0.0f64;
+
+    'outer: while pulses < config.max_pulses {
+        for &aggressor in &aggressors {
+            engine.apply_pulse(aggressor, config.amplitude, config.pulse_length);
+            pulses += 1;
+
+            // The guard samples the thermal state right after the pulse (the
+            // hottest instant), before the inter-pulse gap lets it decay.
+            let deltas = engine.hub().deltas().to_vec();
+            if config.gap.0 > 0.0 {
+                engine.idle(config.gap);
+            }
+            match guard.on_write(aggressor, engine.elapsed(), &deltas) {
+                GuardAction::Allow => {}
+                GuardAction::Throttle(pause) => {
+                    engine.idle(pause);
+                    throttle_time += pause.0;
+                }
+                GuardAction::RefreshNeighbors => {
+                    refreshes += 1;
+                    // Rewriting an HRS victim erases its partial SET drift.
+                    for col in 0..cols {
+                        let address = CellAddress::new(aggressor.row, col);
+                        refresh_if_hrs(engine, address);
+                    }
+                    for row in 0..rows {
+                        let address = CellAddress::new(row, aggressor.col);
+                        refresh_if_hrs(engine, address);
+                    }
+                }
+            }
+
+            if engine.array().cell(config.victim).is_lrs() {
+                break 'outer;
+            }
+            if pulses >= config.max_pulses {
+                break 'outer;
+            }
+        }
+    }
+
+    DefenseEvaluation {
+        countermeasure: guard.name().to_string(),
+        attack_succeeded: engine.array().cell(config.victim).is_lrs(),
+        pulses,
+        refreshes,
+        throttle_time: Seconds(throttle_time),
+    }
+}
+
+fn refresh_if_hrs(engine: &mut PulseEngine, address: CellAddress) {
+    let cell = engine.array_mut().cell_mut(address);
+    if cell.is_hrs() {
+        cell.force_state(DigitalState::Hrs);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pattern::AttackPattern;
+    use rram_crossbar::EngineConfig;
+    use rram_jart::DeviceParams;
+
+    fn engine() -> PulseEngine {
+        PulseEngine::with_uniform_coupling(
+            5,
+            5,
+            DeviceParams::default(),
+            0.15,
+            EngineConfig::default(),
+        )
+    }
+
+    fn attack() -> AttackConfig {
+        AttackConfig {
+            victim: CellAddress::new(2, 1),
+            pattern: AttackPattern::SingleAggressor,
+            pulse_length: Seconds(100e-9),
+            gap: Seconds(100e-9),
+            max_pulses: 30_000,
+            batching: false,
+            trace: false,
+            ..AttackConfig::default()
+        }
+    }
+
+    #[test]
+    fn undefended_attack_succeeds() {
+        #[derive(Debug)]
+        struct NoDefense;
+        impl Countermeasure for NoDefense {
+            fn on_write(&mut self, _: CellAddress, _: Seconds, _: &[f64]) -> GuardAction {
+                GuardAction::Allow
+            }
+            fn name(&self) -> &'static str {
+                "none"
+            }
+        }
+        let mut guard = NoDefense;
+        let result = evaluate_countermeasure(&mut engine(), &attack(), &mut guard);
+        assert!(result.attack_succeeded, "pulses = {}", result.pulses);
+    }
+
+    #[test]
+    fn aggressive_write_counters_stop_the_attack() {
+        let mut guard = WriteCounterGuard::new(50, Seconds(1.0));
+        let mut config = attack();
+        config.max_pulses = 3_000;
+        let result = evaluate_countermeasure(&mut engine(), &config, &mut guard);
+        assert!(!result.attack_succeeded, "flipped after {} pulses", result.pulses);
+        assert!(result.refreshes > 0);
+    }
+
+    #[test]
+    fn lax_write_counters_do_not_stop_the_attack() {
+        let mut guard = WriteCounterGuard::new(1_000_000, Seconds(1.0));
+        let result = evaluate_countermeasure(&mut engine(), &attack(), &mut guard);
+        assert!(result.attack_succeeded);
+        assert_eq!(result.refreshes, 0);
+    }
+
+    #[test]
+    fn thermal_guard_slows_or_stops_the_attack() {
+        let mut undefended_engine = engine();
+        #[derive(Debug)]
+        struct NoDefense;
+        impl Countermeasure for NoDefense {
+            fn on_write(&mut self, _: CellAddress, _: Seconds, _: &[f64]) -> GuardAction {
+                GuardAction::Allow
+            }
+            fn name(&self) -> &'static str {
+                "none"
+            }
+        }
+        let baseline = evaluate_countermeasure(&mut undefended_engine, &attack(), &mut NoDefense);
+
+        let mut guard = ThermalSensorGuard::new(Kelvin(20.0), Seconds(1e-6));
+        let mut config = attack();
+        config.max_pulses = 3_000;
+        let result = evaluate_countermeasure(&mut engine(), &config, &mut guard);
+        // Throttling must engage, and the attack must not get cheaper.
+        assert!(result.throttle_time.0 > 0.0);
+        if result.attack_succeeded && baseline.attack_succeeded {
+            assert!(result.pulses >= baseline.pulses);
+        }
+    }
+
+    #[test]
+    fn scrubbing_guard_triggers_refreshes() {
+        let mut guard = ScrubbingGuard::new(Seconds(2e-6));
+        let mut config = attack();
+        config.max_pulses = 3_000;
+        let result = evaluate_countermeasure(&mut engine(), &config, &mut guard);
+        assert!(result.refreshes > 0);
+        assert!(!result.attack_succeeded || result.pulses > 100);
+    }
+}

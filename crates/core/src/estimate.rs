@@ -1,0 +1,192 @@
+//! Closed-form estimate of the number of pulses needed to flip a victim.
+//!
+//! The estimator reproduces, analytically, the chain the simulation computes
+//! numerically:
+//!
+//! 1. the aggressor's LRS operating point at the hammer amplitude gives its
+//!    filament temperature rise (Eq. 6),
+//! 2. the crosstalk coefficients give the victim's steady-state temperature
+//!    rise, de-rated by the pulse duty cycle and the first-order thermal lag,
+//! 3. the victim's SET rate at (V/2, T_victim) gives the stress time to reach
+//!    the flip threshold, which divided by the per-pulse stress time gives
+//!    the pulse count.
+//!
+//! It ignores the victim's own runaway acceleration, so it is a conservative
+//! (over-)estimate; the `estimator_accuracy` integration test checks it stays
+//! within an order of magnitude of the simulated count. The sweeps use it for
+//! fast sanity checks and the benches use it to size pulse budgets.
+
+use serde::{Deserialize, Serialize};
+
+use crate::attack::AttackConfig;
+use rram_crossbar::CrosstalkHub;
+use rram_jart::current::solve_operating_point;
+use rram_jart::kinetics::concentration_rate;
+use rram_jart::DeviceParams;
+use rram_units::{Kelvin, Seconds};
+
+/// Analytic estimate of an attack's outcome.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct AttackEstimate {
+    /// Estimated steady-state aggressor filament temperature, K.
+    pub aggressor_temperature: Kelvin,
+    /// Estimated victim temperature during a pulse, K.
+    pub victim_temperature: Kelvin,
+    /// Estimated pulses to flip (`None` when the rate is effectively zero).
+    pub pulses_to_flip: Option<u64>,
+    /// Estimated cumulative half-select stress time to flip, s.
+    pub stress_time: Option<Seconds>,
+}
+
+/// Computes the analytic estimate for an attack described by `config`,
+/// running on devices with `params` and coupling described by `hub`.
+pub fn estimate_attack(
+    params: &DeviceParams,
+    hub: &CrosstalkHub,
+    config: &AttackConfig,
+) -> AttackEstimate {
+    let rows = hub.rows();
+    let cols = hub.cols();
+    let aggressors = config.pattern.aggressors(config.victim, rows, cols);
+
+    // 1. Aggressor operating point in LRS at the hammer amplitude.
+    let op = solve_operating_point(params, config.amplitude.0, params.n_max);
+    let aggressor_rise = params.r_th_eff * op.power_active;
+    let aggressor_temperature = (params.ambient_temperature + aggressor_rise)
+        .min(params.max_temperature);
+
+    // 2. Victim temperature *during a hammer pulse*: sum of coupled rises,
+    //    de-rated by the fraction of the steady state the first-order lag
+    //    reaches within one pulse. The duty cycle does not enter here because
+    //    the stress accounting below only counts the pulse-on time (the
+    //    victim is essentially frozen during the gaps).
+    let lag_fraction = if hub.tau().0 > 0.0 {
+        // Average build-up over a pulse assuming the state decays in the gap:
+        // a pragmatic mid-point between instant coupling (1.0) and none.
+        (1.0 - (-config.pulse_length.0 / hub.tau().0).exp()).clamp(0.05, 1.0)
+    } else {
+        1.0
+    };
+    let mut victim_delta = 0.0;
+    for aggressor in &aggressors {
+        let alpha = hub.alpha().alpha_by_offset(
+            config.victim.row as isize - aggressor.row as isize,
+            config.victim.col as isize - aggressor.col as isize,
+        );
+        victim_delta += alpha * (aggressor_temperature - params.ambient_temperature);
+    }
+    // Round-robin hammering means each aggressor is active 1/n of the time.
+    let activity = 1.0 / aggressors.len() as f64;
+    victim_delta *= lag_fraction * activity;
+
+    // 3. Victim SET rate at half-select stress and the elevated temperature.
+    let v_half = config.amplitude.0 / 2.0;
+    let victim_op = solve_operating_point(params, v_half, params.n_min);
+    let self_heating = params.r_th_eff * victim_op.power_active;
+    let victim_temperature =
+        (params.ambient_temperature + victim_delta + self_heating).min(params.max_temperature);
+    let rate = concentration_rate(params, victim_op.v_active, victim_temperature, params.n_min);
+
+    if rate <= 0.0 {
+        return AttackEstimate {
+            aggressor_temperature: Kelvin(aggressor_temperature),
+            victim_temperature: Kelvin(victim_temperature),
+            pulses_to_flip: None,
+            stress_time: None,
+        };
+    }
+
+    // Once the victim has drifted a modest fraction of the way towards the
+    // threshold, its own self-heating takes over and the transition completes
+    // quickly (the runaway the full simulation captures); the slow initiation
+    // phase therefore dominates the pulse count.
+    let initiation_fraction = 0.15;
+    let dn_to_flip = initiation_fraction * (params.flip_threshold() - params.n_min);
+    let stress_time = dn_to_flip / rate;
+    // Each round-robin turn applies one pulse of half-select stress to the
+    // victim per aggressor that shares a line with it.
+    let stress_per_pulse = config.pulse_length.0;
+    let pulses = (stress_time / stress_per_pulse).ceil();
+
+    AttackEstimate {
+        aggressor_temperature: Kelvin(aggressor_temperature),
+        victim_temperature: Kelvin(victim_temperature),
+        pulses_to_flip: if pulses.is_finite() && pulses < 1e18 {
+            Some(pulses as u64)
+        } else {
+            None
+        },
+        stress_time: Some(Seconds(stress_time)),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pattern::AttackPattern;
+    use rram_crossbar::CellAddress;
+
+    fn hub() -> CrosstalkHub {
+        CrosstalkHub::uniform(5, 5, 0.15, 0.07, 0.03, Seconds(30e-9))
+    }
+
+    fn config() -> AttackConfig {
+        AttackConfig {
+            victim: CellAddress::new(2, 2),
+            pattern: AttackPattern::SingleAggressor,
+            ..AttackConfig::default()
+        }
+    }
+
+    #[test]
+    fn estimate_is_finite_and_plausible() {
+        let estimate = estimate_attack(&DeviceParams::default(), &hub(), &config());
+        assert!(estimate.aggressor_temperature.0 > 700.0);
+        assert!(estimate.victim_temperature.0 > 310.0);
+        let pulses = estimate.pulses_to_flip.expect("attack should be feasible");
+        assert!(pulses > 10 && pulses < 100_000_000, "pulses = {pulses}");
+    }
+
+    #[test]
+    fn longer_pulses_need_fewer_pulses() {
+        let params = DeviceParams::default();
+        let mut short = config();
+        short.pulse_length = Seconds(10e-9);
+        let mut long = config();
+        long.pulse_length = Seconds(100e-9);
+        let short_est = estimate_attack(&params, &hub(), &short).pulses_to_flip.unwrap();
+        let long_est = estimate_attack(&params, &hub(), &long).pulses_to_flip.unwrap();
+        assert!(long_est < short_est, "long {long_est} vs short {short_est}");
+    }
+
+    #[test]
+    fn stronger_coupling_speeds_up_the_attack() {
+        let params = DeviceParams::default();
+        let weak = CrosstalkHub::uniform(5, 5, 0.05, 0.02, 0.01, Seconds(30e-9));
+        let strong = CrosstalkHub::uniform(5, 5, 0.2, 0.1, 0.05, Seconds(30e-9));
+        let weak_est = estimate_attack(&params, &weak, &config()).pulses_to_flip.unwrap();
+        let strong_est = estimate_attack(&params, &strong, &config()).pulses_to_flip.unwrap();
+        assert!(strong_est < weak_est);
+    }
+
+    #[test]
+    fn higher_ambient_speeds_up_the_attack() {
+        let cold = DeviceParams::builder().ambient_temperature(273.0).build().unwrap();
+        let hot = DeviceParams::builder().ambient_temperature(373.0).build().unwrap();
+        let cold_est = estimate_attack(&cold, &hub(), &config()).pulses_to_flip.unwrap();
+        let hot_est = estimate_attack(&hot, &hub(), &config()).pulses_to_flip.unwrap();
+        assert!(hot_est < cold_est / 10, "hot {hot_est} vs cold {cold_est}");
+    }
+
+    #[test]
+    fn double_sided_attack_is_faster_than_single() {
+        let params = DeviceParams::default();
+        let single = estimate_attack(&params, &hub(), &config()).pulses_to_flip.unwrap();
+        let mut double_config = config();
+        double_config.pattern = AttackPattern::DoubleSidedRow;
+        let double = estimate_attack(&params, &hub(), &double_config)
+            .pulses_to_flip
+            .unwrap();
+        assert!(double <= single);
+    }
+}

@@ -1,0 +1,79 @@
+//! NeuroHammer: thermal-crosstalk bit-flip attacks on memristive crossbar
+//! memories — the primary contribution of the reproduced paper
+//! (Staudigl et al., DATE 2022), built on the substrates in the sibling
+//! crates (`rram-fem`, `rram-jart`, `rram-circuit`, `rram-crossbar`).
+//!
+//! The crate provides:
+//!
+//! * [`attack`] — the hammering campaign engine implementing the four attack
+//!   phases of Fig. 1, with bit-flip detection, pulse batching and a
+//!   time-resolved trace;
+//! * [`pattern`] — aggressor placement patterns (single, double-sided, quad,
+//!   diagonal; Fig. 3d–h);
+//! * [`estimate`] — a closed-form pulses-to-flip estimator used for
+//!   cross-checks and budget sizing;
+//! * [`experiments`] — one driver per figure of the paper's evaluation
+//!   (Fig. 2a, Fig. 3a–d) plus the design-choice ablations;
+//! * [`sweep`] — sweep data types and a parallel map helper;
+//! * [`countermeasures`] — write-counter, thermal-sensor and scrubbing
+//!   defences with an evaluation harness (the paper's future work);
+//! * [`scenario`] — end-to-end security scenarios: page-table privilege
+//!   escalation and neuromorphic weight corruption (Section VI).
+//!
+//! # Examples
+//!
+//! Running a single NeuroHammer attack on a 5×5 crossbar with synthetic
+//! coupling coefficients:
+//!
+//! ```
+//! use neurohammer::attack::{run_attack, AttackConfig};
+//! use neurohammer::pattern::AttackPattern;
+//! use rram_crossbar::{CellAddress, EngineConfig, PulseEngine};
+//! use rram_jart::DeviceParams;
+//! use rram_units::{Seconds, Volts};
+//!
+//! let mut engine = PulseEngine::with_uniform_coupling(
+//!     5, 5, DeviceParams::default(), 0.15, EngineConfig::default());
+//! let config = AttackConfig {
+//!     victim: CellAddress::new(2, 1),
+//!     pattern: AttackPattern::SingleAggressor,
+//!     amplitude: Volts(1.05),
+//!     pulse_length: Seconds(100e-9),
+//!     gap: Seconds(100e-9),
+//!     max_pulses: 1_000_000,
+//!     batching: true,
+//!     trace: false,
+//! };
+//! let result = run_attack(&mut engine, &config);
+//! assert!(result.flipped);
+//! println!("bit-flip after {} pulses", result.pulses);
+//! ```
+
+#![deny(missing_docs)]
+#![deny(unsafe_code)]
+
+pub mod attack;
+pub mod countermeasures;
+pub mod estimate;
+pub mod experiments;
+pub mod pattern;
+pub mod scenario;
+pub mod sweep;
+
+pub use attack::{run_attack, AttackConfig, AttackResult, TracePoint};
+pub use countermeasures::{
+    evaluate_countermeasure, Countermeasure, DefenseEvaluation, GuardAction, ScrubbingGuard,
+    ThermalSensorGuard, WriteCounterGuard,
+};
+pub use estimate::{estimate_attack, AttackEstimate};
+pub use experiments::{
+    ablation_report, fig1_trace, fig2a_temperature_matrix, fig3a_pulse_length,
+    fig3b_electrode_spacing, fig3c_ambient_temperature, fig3d_attack_patterns, AblationReport,
+    CouplingSource, ExperimentSetup, Fig2aResult,
+};
+pub use pattern::AttackPattern;
+pub use scenario::{
+    EscalationOutcome, NeuromorphicOutcome, NeuromorphicScenario, PageTableEntry,
+    PrivilegeEscalationScenario,
+};
+pub use sweep::{parallel_map, SweepPoint, SweepSeries};

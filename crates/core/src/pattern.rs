@@ -1,0 +1,158 @@
+//! Attack patterns (Fig. 3d–h of the paper).
+//!
+//! A pattern decides which cells are hammered to flip a given victim cell.
+//! The paper's headline experiments use a single aggressor (the array-centre
+//! cell is hammered and its half-selected neighbours are the victims); the
+//! pattern overview extends this to RowHammer-style double-sided and
+//! surrounding patterns.
+
+use serde::{Deserialize, Serialize};
+
+use rram_crossbar::CellAddress;
+
+/// The aggressor-placement pattern of an attack.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum AttackPattern {
+    /// One aggressor sharing the victim's word line (the pattern of the
+    /// paper's main experiments).
+    SingleAggressor,
+    /// Two aggressors flanking the victim on the same word line
+    /// (the ReRAM analogue of double-sided RowHammer).
+    DoubleSidedRow,
+    /// Two aggressors flanking the victim on the same bit line.
+    DoubleSidedColumn,
+    /// Four aggressors: both word-line and both bit-line neighbours.
+    Quad,
+    /// Four diagonal neighbours — a control pattern: diagonal cells couple
+    /// only weakly, so this should need far more pulses.
+    Diagonal,
+}
+
+impl AttackPattern {
+    /// All patterns, in the order they are reported in the pattern sweep.
+    pub const ALL: [AttackPattern; 5] = [
+        AttackPattern::SingleAggressor,
+        AttackPattern::DoubleSidedRow,
+        AttackPattern::DoubleSidedColumn,
+        AttackPattern::Quad,
+        AttackPattern::Diagonal,
+    ];
+
+    /// Short human-readable label used in tables.
+    pub fn label(&self) -> &'static str {
+        match self {
+            AttackPattern::SingleAggressor => "single",
+            AttackPattern::DoubleSidedRow => "double-sided row",
+            AttackPattern::DoubleSidedColumn => "double-sided column",
+            AttackPattern::Quad => "quad",
+            AttackPattern::Diagonal => "diagonal",
+        }
+    }
+
+    /// The aggressor cells this pattern hammers to attack `victim` in a
+    /// `rows × cols` array. Offsets that fall outside the array are dropped,
+    /// so patterns degrade gracefully near the edges.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the victim itself lies outside the array.
+    pub fn aggressors(&self, victim: CellAddress, rows: usize, cols: usize) -> Vec<CellAddress> {
+        assert!(
+            victim.row < rows && victim.col < cols,
+            "victim outside the array"
+        );
+        let offsets: &[(isize, isize)] = match self {
+            AttackPattern::SingleAggressor => &[(0, 1)],
+            AttackPattern::DoubleSidedRow => &[(0, -1), (0, 1)],
+            AttackPattern::DoubleSidedColumn => &[(-1, 0), (1, 0)],
+            AttackPattern::Quad => &[(0, -1), (0, 1), (-1, 0), (1, 0)],
+            AttackPattern::Diagonal => &[(-1, -1), (-1, 1), (1, -1), (1, 1)],
+        };
+        let mut cells: Vec<CellAddress> = offsets
+            .iter()
+            .filter_map(|&(dr, dc)| {
+                let row = victim.row as isize + dr;
+                let col = victim.col as isize + dc;
+                if row < 0 || col < 0 || row >= rows as isize || col >= cols as isize {
+                    None
+                } else {
+                    Some(CellAddress::new(row as usize, col as usize))
+                }
+            })
+            .collect();
+        // A single-aggressor attack on the last column would lose its only
+        // aggressor; fall back to the other side.
+        if cells.is_empty() {
+            if victim.col > 0 {
+                cells.push(CellAddress::new(victim.row, victim.col - 1));
+            } else if victim.row > 0 {
+                cells.push(CellAddress::new(victim.row - 1, victim.col));
+            }
+        }
+        cells
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn single_aggressor_is_a_word_line_neighbour() {
+        let cells = AttackPattern::SingleAggressor.aggressors(CellAddress::new(2, 2), 5, 5);
+        assert_eq!(cells, vec![CellAddress::new(2, 3)]);
+    }
+
+    #[test]
+    fn double_sided_patterns_have_two_aggressors() {
+        let row = AttackPattern::DoubleSidedRow.aggressors(CellAddress::new(2, 2), 5, 5);
+        assert_eq!(row.len(), 2);
+        assert!(row.iter().all(|a| a.row == 2));
+        let col = AttackPattern::DoubleSidedColumn.aggressors(CellAddress::new(2, 2), 5, 5);
+        assert_eq!(col.len(), 2);
+        assert!(col.iter().all(|a| a.col == 2));
+    }
+
+    #[test]
+    fn quad_and_diagonal_have_four_aggressors_in_the_interior() {
+        assert_eq!(
+            AttackPattern::Quad.aggressors(CellAddress::new(2, 2), 5, 5).len(),
+            4
+        );
+        let diag = AttackPattern::Diagonal.aggressors(CellAddress::new(2, 2), 5, 5);
+        assert_eq!(diag.len(), 4);
+        assert!(diag.iter().all(|a| a.row != 2 && a.col != 2));
+    }
+
+    #[test]
+    fn patterns_are_clipped_at_the_edges() {
+        let corner = CellAddress::new(0, 0);
+        for pattern in AttackPattern::ALL {
+            let aggressors = pattern.aggressors(corner, 5, 5);
+            assert!(
+                aggressors.iter().all(|a| a.row < 5 && a.col < 5),
+                "{pattern:?} produced out-of-range aggressors"
+            );
+            assert!(!aggressors.is_empty() || pattern == AttackPattern::Diagonal || !aggressors.is_empty());
+        }
+    }
+
+    #[test]
+    fn single_aggressor_falls_back_near_the_last_column() {
+        let cells = AttackPattern::SingleAggressor.aggressors(CellAddress::new(2, 4), 5, 5);
+        assert_eq!(cells, vec![CellAddress::new(2, 3)]);
+    }
+
+    #[test]
+    fn labels_are_distinct() {
+        let labels: std::collections::HashSet<&str> =
+            AttackPattern::ALL.iter().map(|p| p.label()).collect();
+        assert_eq!(labels.len(), AttackPattern::ALL.len());
+    }
+
+    #[test]
+    #[should_panic(expected = "victim outside")]
+    fn victim_outside_array_panics() {
+        AttackPattern::SingleAggressor.aggressors(CellAddress::new(9, 9), 5, 5);
+    }
+}

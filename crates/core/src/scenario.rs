@@ -1,0 +1,20 @@
+//! Security scenarios (Section VI of the paper, made executable).
+//!
+//! The paper argues that RowHammer-style exploitation carries over to
+//! NeuroHammer once ReRAM is used as main memory or as the weight storage of
+//! a neuromorphic accelerator. This module builds both end-to-end scenarios
+//! on top of the attack engine:
+//!
+//! * [`privilege`] — a page-table entry stored in a ReRAM crossbar is
+//!   corrupted by hammering attacker-owned neighbouring cells until a frame
+//!   bit flips, redirecting the mapping to an attacker-controlled frame
+//!   (the Seaborn et al. attack structure).
+//! * [`neuromorphic`] — the quantised weights of a small classifier are
+//!   stored bit-by-bit in a crossbar; hammering flips the most significant
+//!   bits of selected weights and degrades the model's accuracy.
+
+pub mod neuromorphic;
+pub mod privilege;
+
+pub use neuromorphic::{NeuromorphicOutcome, NeuromorphicScenario};
+pub use privilege::{EscalationOutcome, PageTableEntry, PrivilegeEscalationScenario};

@@ -1,0 +1,368 @@
+//! Neuromorphic-accelerator scenario: corrupting quantised classifier
+//! weights stored in a ReRAM crossbar.
+//!
+//! The paper motivates NeuroHammer as "a supplementary threat to emerging
+//! neuromorphic-based systems, such as neuromorphic machine-learning
+//! accelerators". This scenario makes that concrete:
+//!
+//! 1. a small linear classifier is trained on a synthetic Gaussian-cluster
+//!    dataset,
+//! 2. its weights are quantised to 4-bit sign-magnitude values and stored
+//!    bit-by-bit in a crossbar (one row per weight),
+//! 3. the attacker hammers cells adjacent to the most significant magnitude
+//!    bits of the largest weights, and
+//! 4. the corrupted weights are read back and the classification accuracy is
+//!    re-measured.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+use crate::attack::{run_attack, AttackConfig};
+use crate::pattern::AttackPattern;
+use rram_crossbar::{CellAddress, EngineConfig, PulseEngine};
+use rram_jart::{DeviceParams, DigitalState};
+use rram_units::{Seconds, Volts};
+
+/// Number of input features of the toy classifier.
+pub const FEATURES: usize = 4;
+/// Number of classes.
+pub const CLASSES: usize = 3;
+/// Bits per quantised weight (1 sign + 3 magnitude).
+pub const WEIGHT_BITS: usize = 4;
+
+/// A labelled sample of the synthetic dataset.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Sample {
+    /// Feature vector.
+    pub features: [f64; FEATURES],
+    /// Class label.
+    pub label: usize,
+}
+
+/// Generates a synthetic Gaussian-cluster dataset with `per_class` samples
+/// per class.
+pub fn synthetic_dataset(seed: u64, per_class: usize) -> Vec<Sample> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    // Three well-separated cluster centres in the 4-D feature space.
+    let centres: [[f64; FEATURES]; CLASSES] = [
+        [2.0, 0.0, -1.5, 0.5],
+        [-2.0, 1.5, 1.0, -0.5],
+        [0.0, -2.0, 0.5, 2.0],
+    ];
+    let mut samples = Vec::with_capacity(per_class * CLASSES);
+    for (label, centre) in centres.iter().enumerate() {
+        for _ in 0..per_class {
+            let mut features = [0.0; FEATURES];
+            for (f, c) in features.iter_mut().zip(centre.iter()) {
+                // Box–Muller-free noise: sum of uniforms approximates a
+                // Gaussian well enough for a toy dataset.
+                let noise: f64 = (0..6).map(|_| rng.gen_range(-0.5..0.5)).sum::<f64>() / 3.0;
+                *f = c + noise;
+            }
+            samples.push(Sample { features, label });
+        }
+    }
+    samples
+}
+
+/// A linear classifier with per-class weight vectors and biases.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct LinearClassifier {
+    /// Weights, `weights[class][feature]`.
+    pub weights: [[f64; FEATURES]; CLASSES],
+    /// Per-class biases.
+    pub biases: [f64; CLASSES],
+}
+
+impl LinearClassifier {
+    /// Trains the classifier with the perceptron rule.
+    pub fn train(samples: &[Sample], epochs: usize, learning_rate: f64) -> Self {
+        let mut model = LinearClassifier {
+            weights: [[0.0; FEATURES]; CLASSES],
+            biases: [0.0; CLASSES],
+        };
+        for _ in 0..epochs {
+            for sample in samples {
+                let predicted = model.predict(&sample.features);
+                if predicted != sample.label {
+                    for f in 0..FEATURES {
+                        model.weights[sample.label][f] += learning_rate * sample.features[f];
+                        model.weights[predicted][f] -= learning_rate * sample.features[f];
+                    }
+                    model.biases[sample.label] += learning_rate;
+                    model.biases[predicted] -= learning_rate;
+                }
+            }
+        }
+        model
+    }
+
+    /// Predicts the class of a feature vector.
+    pub fn predict(&self, features: &[f64; FEATURES]) -> usize {
+        let mut best = 0;
+        let mut best_score = f64::NEG_INFINITY;
+        for class in 0..CLASSES {
+            let score: f64 = self.biases[class]
+                + self.weights[class]
+                    .iter()
+                    .zip(features.iter())
+                    .map(|(w, x)| w * x)
+                    .sum::<f64>();
+            if score > best_score {
+                best_score = score;
+                best = class;
+            }
+        }
+        best
+    }
+
+    /// Classification accuracy on a dataset.
+    pub fn accuracy(&self, samples: &[Sample]) -> f64 {
+        if samples.is_empty() {
+            return 0.0;
+        }
+        let correct = samples
+            .iter()
+            .filter(|s| self.predict(&s.features) == s.label)
+            .count();
+        correct as f64 / samples.len() as f64
+    }
+}
+
+/// Quantises a weight into a 4-bit sign-magnitude code for a given scale
+/// (the magnitude is clamped to 3 bits).
+pub fn quantize(weight: f64, scale: f64) -> [bool; WEIGHT_BITS] {
+    let magnitude = ((weight.abs() / scale) * 7.0).round().min(7.0) as u8;
+    [
+        weight < 0.0,
+        magnitude & 0b100 != 0,
+        magnitude & 0b010 != 0,
+        magnitude & 0b001 != 0,
+    ]
+}
+
+/// Reconstructs a weight from its 4-bit sign-magnitude code.
+pub fn dequantize(bits: [bool; WEIGHT_BITS], scale: f64) -> f64 {
+    let magnitude = (bits[1] as u8) * 4 + (bits[2] as u8) * 2 + bits[3] as u8;
+    let value = magnitude as f64 / 7.0 * scale;
+    if bits[0] {
+        -value
+    } else {
+        value
+    }
+}
+
+/// Configuration of the neuromorphic corruption scenario.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct NeuromorphicScenario {
+    /// RNG seed of the synthetic dataset.
+    pub seed: u64,
+    /// Samples per class.
+    pub samples_per_class: usize,
+    /// Number of weights the attacker targets (largest magnitudes first).
+    pub targeted_weights: usize,
+    /// Hammer pulse length, s.
+    pub pulse_length: Seconds,
+    /// Pulse budget per targeted bit.
+    pub max_pulses: u64,
+    /// Nearest-neighbour crosstalk coefficient of the weight array.
+    pub coupling: f64,
+}
+
+impl Default for NeuromorphicScenario {
+    fn default() -> Self {
+        NeuromorphicScenario {
+            seed: 7,
+            samples_per_class: 60,
+            targeted_weights: 3,
+            pulse_length: Seconds(100e-9),
+            max_pulses: 500_000,
+            coupling: 0.15,
+        }
+    }
+}
+
+/// Outcome of the weight-corruption attack.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct NeuromorphicOutcome {
+    /// Accuracy of the quantised model before the attack.
+    pub baseline_accuracy: f64,
+    /// Accuracy after the attack.
+    pub corrupted_accuracy: f64,
+    /// Number of weight bits that flipped (including collateral flips inside
+    /// the weight array).
+    pub flipped_bits: usize,
+    /// Total hammer pulses issued.
+    pub pulses: u64,
+}
+
+impl NeuromorphicScenario {
+    /// Runs the scenario end-to-end.
+    pub fn run(&self) -> NeuromorphicOutcome {
+        let dataset = synthetic_dataset(self.seed, self.samples_per_class);
+        let model = LinearClassifier::train(&dataset, 30, 0.05);
+
+        // Quantisation scale: the largest absolute weight.
+        let scale = model
+            .weights
+            .iter()
+            .flatten()
+            .fold(0.0_f64, |acc, w| acc.max(w.abs()))
+            .max(1e-9);
+
+        // Weight array: one row per weight, bits in columns 1..=4; rows 0 and
+        // rows between weights are attacker-accessible scratch space.
+        // Layout: weight k lives in row 2k+1 of a (2·N_w + 1) × 6 array.
+        let n_weights = FEATURES * CLASSES;
+        let rows = 2 * n_weights + 1;
+        let cols = WEIGHT_BITS + 2;
+        let mut engine = PulseEngine::with_uniform_coupling(
+            rows,
+            cols,
+            DeviceParams::default(),
+            self.coupling,
+            EngineConfig::default(),
+        );
+
+        let weight_row = |index: usize| 2 * index + 1;
+        let flat_weights: Vec<f64> = model.weights.iter().flatten().cloned().collect();
+        for (index, &w) in flat_weights.iter().enumerate() {
+            let bits = quantize(w, scale);
+            for (b, &bit) in bits.iter().enumerate() {
+                let state = if bit { DigitalState::Lrs } else { DigitalState::Hrs };
+                engine
+                    .array_mut()
+                    .cell_mut(CellAddress::new(weight_row(index), 1 + b))
+                    .force_state(state);
+            }
+        }
+
+        // Baseline accuracy of the quantised model.
+        let read_model = |engine: &PulseEngine| -> LinearClassifier {
+            let mut weights = [[0.0; FEATURES]; CLASSES];
+            for class in 0..CLASSES {
+                for feature in 0..FEATURES {
+                    let index = class * FEATURES + feature;
+                    let mut bits = [false; WEIGHT_BITS];
+                    for (b, bit) in bits.iter_mut().enumerate() {
+                        *bit = engine
+                            .array()
+                            .read(CellAddress::new(weight_row(index), 1 + b))
+                            == DigitalState::Lrs;
+                    }
+                    weights[class][feature] = dequantize(bits, scale);
+                }
+            }
+            LinearClassifier {
+                weights,
+                biases: model.biases,
+            }
+        };
+        let baseline_accuracy = read_model(&engine).accuracy(&dataset);
+        let reference = engine.array().read_all();
+
+        // Target the most significant *unset* magnitude bit of the largest
+        // weights: flipping it multiplies the weight's magnitude.
+        let mut order: Vec<usize> = (0..n_weights).collect();
+        order.sort_by(|&a, &b| {
+            flat_weights[b]
+                .abs()
+                .partial_cmp(&flat_weights[a].abs())
+                .expect("weights are finite")
+        });
+
+        let mut pulses = 0u64;
+        let mut targeted = 0usize;
+        for &index in &order {
+            if targeted >= self.targeted_weights {
+                break;
+            }
+            let bits = quantize(flat_weights[index], scale);
+            // Prefer the sign bit (column 1); otherwise the highest unset
+            // magnitude bit.
+            let target_bit = if !bits[0] {
+                Some(0)
+            } else {
+                (1..WEIGHT_BITS).find(|&b| !bits[b])
+            };
+            let Some(bit) = target_bit else { continue };
+            let victim = CellAddress::new(weight_row(index), 1 + bit);
+            let config = AttackConfig {
+                victim,
+                pattern: AttackPattern::DoubleSidedColumn,
+                amplitude: Volts(rram_units::V_SET),
+                pulse_length: self.pulse_length,
+                gap: self.pulse_length,
+                max_pulses: self.max_pulses,
+                batching: true,
+                trace: false,
+            };
+            let result = run_attack(&mut engine, &config);
+            pulses += result.pulses;
+            targeted += 1;
+        }
+
+        let corrupted_accuracy = read_model(&engine).accuracy(&dataset);
+        let flipped_bits = engine.array().count_differences(&reference);
+
+        NeuromorphicOutcome {
+            baseline_accuracy,
+            corrupted_accuracy,
+            flipped_bits,
+            pulses,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn synthetic_dataset_is_balanced_and_reproducible() {
+        let a = synthetic_dataset(3, 20);
+        let b = synthetic_dataset(3, 20);
+        assert_eq!(a, b);
+        assert_eq!(a.len(), 60);
+        for class in 0..CLASSES {
+            assert_eq!(a.iter().filter(|s| s.label == class).count(), 20);
+        }
+    }
+
+    #[test]
+    fn trained_classifier_beats_chance_by_a_wide_margin() {
+        let dataset = synthetic_dataset(11, 50);
+        let model = LinearClassifier::train(&dataset, 30, 0.05);
+        assert!(model.accuracy(&dataset) > 0.85);
+    }
+
+    #[test]
+    fn quantization_round_trip_is_monotone() {
+        let scale = 2.0;
+        for &w in &[-1.9, -0.6, 0.0, 0.3, 1.2, 1.9] {
+            let q = dequantize(quantize(w, scale), scale);
+            assert!((q - w).abs() < scale / 3.0, "w={w}, q={q}");
+        }
+        // Sign bit round trip.
+        assert!(dequantize(quantize(-1.0, scale), scale) < 0.0);
+    }
+
+    #[test]
+    fn weight_corruption_degrades_accuracy() {
+        let scenario = NeuromorphicScenario {
+            samples_per_class: 40,
+            targeted_weights: 3,
+            max_pulses: 300_000,
+            ..NeuromorphicScenario::default()
+        };
+        let outcome = scenario.run();
+        assert!(outcome.baseline_accuracy > 0.8, "{outcome:?}");
+        assert!(outcome.flipped_bits > 0, "{outcome:?}");
+        assert!(
+            outcome.corrupted_accuracy <= outcome.baseline_accuracy,
+            "{outcome:?}"
+        );
+        assert!(outcome.pulses > 10);
+    }
+}

@@ -1,0 +1,305 @@
+//! Privilege-escalation scenario: flipping a page-table-entry bit stored in
+//! a ReRAM crossbar.
+//!
+//! The memory layout mirrors the structure of the RowHammer kernel-privilege
+//! exploit described in the paper (Section VI): a victim page-table entry
+//! (PTE) lives in a row of the crossbar that the attacker cannot write, but
+//! the attacker owns the adjacent rows and may write them as often as it
+//! likes. Hammering the attacker-owned cells that sit directly above and
+//! below a frame-number bit of the PTE eventually flips that bit, after
+//! which the PTE points into an attacker-controlled physical frame.
+
+use serde::{Deserialize, Serialize};
+
+use crate::attack::{run_attack, AttackConfig};
+use crate::pattern::AttackPattern;
+use rram_crossbar::{CellAddress, EngineConfig, PulseEngine};
+use rram_jart::{DeviceParams, DigitalState};
+use rram_units::{Seconds, Volts};
+
+/// A simplified page-table entry: a physical frame number plus the two
+/// permission flags the exploit cares about.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct PageTableEntry {
+    /// Physical frame number (4 bits in this model).
+    pub frame: u8,
+    /// User-accessible flag.
+    pub user: bool,
+    /// Present flag.
+    pub present: bool,
+}
+
+impl PageTableEntry {
+    /// Number of bits of the stored representation.
+    pub const BITS: usize = 6;
+
+    /// Encodes the entry as bits, most significant frame bit first, followed
+    /// by the `user` and `present` flags.
+    pub fn to_bits(self) -> [bool; Self::BITS] {
+        [
+            self.frame & 0b1000 != 0,
+            self.frame & 0b0100 != 0,
+            self.frame & 0b0010 != 0,
+            self.frame & 0b0001 != 0,
+            self.user,
+            self.present,
+        ]
+    }
+
+    /// Decodes an entry from its bit representation.
+    pub fn from_bits(bits: [bool; Self::BITS]) -> Self {
+        let mut frame = 0u8;
+        for (i, &bit) in bits.iter().take(4).enumerate() {
+            if bit {
+                frame |= 1 << (3 - i);
+            }
+        }
+        PageTableEntry {
+            frame,
+            user: bits[4],
+            present: bits[5],
+        }
+    }
+}
+
+/// Configuration of the privilege-escalation scenario.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PrivilegeEscalationScenario {
+    /// The victim PTE as installed by the (simulated) kernel.
+    pub victim_pte: PageTableEntry,
+    /// Physical frame the attacker controls; the attack succeeds when the
+    /// corrupted PTE points into this frame.
+    pub attacker_frame: u8,
+    /// Hammer pulse length, s.
+    pub pulse_length: Seconds,
+    /// Pulse budget per targeted bit.
+    pub max_pulses: u64,
+    /// Nearest-neighbour crosstalk coefficient of the memory array.
+    pub coupling: f64,
+}
+
+impl Default for PrivilegeEscalationScenario {
+    fn default() -> Self {
+        PrivilegeEscalationScenario {
+            victim_pte: PageTableEntry {
+                frame: 0b0101,
+                user: false,
+                present: true,
+            },
+            attacker_frame: 0b0111,
+            pulse_length: Seconds(100e-9),
+            max_pulses: 1_000_000,
+            coupling: 0.15,
+        }
+    }
+}
+
+/// Outcome of the scenario.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct EscalationOutcome {
+    /// The PTE before the attack.
+    pub original: PageTableEntry,
+    /// The PTE after the attack.
+    pub corrupted: PageTableEntry,
+    /// Bit positions (0 = MSB of the frame) that flipped.
+    pub flipped_bits: Vec<usize>,
+    /// Total hammer pulses issued.
+    pub pulses: u64,
+    /// Whether the corrupted PTE now points into the attacker's frame while
+    /// still being present — i.e. the privilege escalation succeeded.
+    pub escalated: bool,
+    /// Number of unrelated cells that also changed state (collateral
+    /// corruption elsewhere in the array).
+    pub collateral_flips: usize,
+}
+
+/// Row of the crossbar holding the victim PTE.
+const VICTIM_ROW: usize = 3;
+/// Rows owned by the attacker (adjacent to the victim row).
+const ATTACKER_ROWS: [usize; 2] = [2, 4];
+/// Column of the first PTE bit.
+const FIRST_BIT_COL: usize = 1;
+
+impl PrivilegeEscalationScenario {
+    /// Bits that must flip 0→1 to turn the victim frame number into the
+    /// attacker frame number. NeuroHammer (in the SET direction used here)
+    /// can only flip HRS→LRS, i.e. 0→1, so the attack is only feasible when
+    /// `attacker_frame` is a superset of the victim's frame bits.
+    pub fn required_bit_flips(&self) -> Vec<usize> {
+        let victim_bits = self.victim_pte.to_bits();
+        let attacker_bits = PageTableEntry {
+            frame: self.attacker_frame,
+            ..self.victim_pte
+        }
+        .to_bits();
+        (0..4)
+            .filter(|&i| attacker_bits[i] && !victim_bits[i])
+            .collect()
+    }
+
+    /// Returns `true` when the attack is representable with SET-direction
+    /// flips only.
+    pub fn is_feasible(&self) -> bool {
+        let victim_bits = self.victim_pte.to_bits();
+        let attacker_bits = PageTableEntry {
+            frame: self.attacker_frame,
+            ..self.victim_pte
+        }
+        .to_bits();
+        (0..4).all(|i| attacker_bits[i] || !victim_bits[i])
+    }
+
+    /// Runs the scenario.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the scenario is infeasible (requires a 1→0 flip); check
+    /// [`PrivilegeEscalationScenario::is_feasible`] first.
+    pub fn run(&self) -> EscalationOutcome {
+        assert!(
+            self.is_feasible(),
+            "attacker frame requires RESET-direction flips, which V/2 SET hammering cannot produce"
+        );
+
+        // 8×8 memory tile: row 3 holds the victim PTE, rows 2 and 4 belong to
+        // the attacker.
+        let mut engine = PulseEngine::with_uniform_coupling(
+            8,
+            8,
+            DeviceParams::default(),
+            self.coupling,
+            EngineConfig::default(),
+        );
+
+        // Install the victim PTE.
+        let bits = self.victim_pte.to_bits();
+        for (i, &bit) in bits.iter().enumerate() {
+            let state = if bit { DigitalState::Lrs } else { DigitalState::Hrs };
+            engine
+                .array_mut()
+                .cell_mut(CellAddress::new(VICTIM_ROW, FIRST_BIT_COL + i))
+                .force_state(state);
+        }
+        let reference = engine.array().read_all();
+
+        // Hammer each required bit with the double-sided column pattern
+        // (attacker rows above and below the victim bit).
+        let mut pulses = 0u64;
+        for bit in self.required_bit_flips() {
+            let victim_cell = CellAddress::new(VICTIM_ROW, FIRST_BIT_COL + bit);
+            let config = AttackConfig {
+                victim: victim_cell,
+                pattern: AttackPattern::DoubleSidedColumn,
+                amplitude: Volts(rram_units::V_SET),
+                pulse_length: self.pulse_length,
+                gap: self.pulse_length,
+                max_pulses: self.max_pulses,
+                batching: true,
+                trace: false,
+            };
+            let result = run_attack(&mut engine, &config);
+            pulses += result.pulses;
+            let _ = ATTACKER_ROWS; // rows are implied by the double-sided pattern
+        }
+
+        // Read the PTE back.
+        let mut read_bits = [false; PageTableEntry::BITS];
+        for (i, bit) in read_bits.iter_mut().enumerate() {
+            *bit = engine
+                .array()
+                .read(CellAddress::new(VICTIM_ROW, FIRST_BIT_COL + i))
+                == DigitalState::Lrs;
+        }
+        let corrupted = PageTableEntry::from_bits(read_bits);
+
+        let flipped_bits: Vec<usize> = self
+            .victim_pte
+            .to_bits()
+            .iter()
+            .zip(read_bits.iter())
+            .enumerate()
+            .filter(|(_, (before, after))| before != after)
+            .map(|(i, _)| i)
+            .collect();
+
+        let pte_cells: Vec<CellAddress> = (0..PageTableEntry::BITS)
+            .map(|i| CellAddress::new(VICTIM_ROW, FIRST_BIT_COL + i))
+            .collect();
+        let collateral_flips = engine
+            .array()
+            .changed_cells(&reference)
+            .into_iter()
+            .filter(|c| !pte_cells.contains(c))
+            .count();
+
+        EscalationOutcome {
+            original: self.victim_pte,
+            corrupted,
+            escalated: corrupted.frame == self.attacker_frame && corrupted.present,
+            flipped_bits,
+            pulses,
+            collateral_flips,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pte_bit_round_trip() {
+        let pte = PageTableEntry {
+            frame: 0b1010,
+            user: true,
+            present: false,
+        };
+        assert_eq!(PageTableEntry::from_bits(pte.to_bits()), pte);
+    }
+
+    #[test]
+    fn required_flips_are_only_zero_to_one() {
+        let scenario = PrivilegeEscalationScenario::default();
+        // victim 0101 → attacker 0111: only bit 2 (value 0b0010) must flip.
+        assert_eq!(scenario.required_bit_flips(), vec![2]);
+        assert!(scenario.is_feasible());
+    }
+
+    #[test]
+    fn infeasible_target_is_detected() {
+        let scenario = PrivilegeEscalationScenario {
+            attacker_frame: 0b0001, // would need 0100 → 0, a RESET flip
+            ..PrivilegeEscalationScenario::default()
+        };
+        assert!(!scenario.is_feasible());
+    }
+
+    #[test]
+    fn escalation_succeeds_with_default_parameters() {
+        let scenario = PrivilegeEscalationScenario {
+            max_pulses: 500_000,
+            ..PrivilegeEscalationScenario::default()
+        };
+        let outcome = scenario.run();
+        assert!(outcome.escalated, "outcome: {outcome:?}");
+        assert_eq!(outcome.corrupted.frame, scenario.attacker_frame);
+        assert!(outcome.corrupted.present);
+        assert!(outcome.flipped_bits.contains(&2));
+        assert!(outcome.pulses > 10);
+    }
+
+    #[test]
+    #[should_panic(expected = "RESET-direction")]
+    fn running_an_infeasible_scenario_panics() {
+        let scenario = PrivilegeEscalationScenario {
+            attacker_frame: 0b0000,
+            victim_pte: PageTableEntry {
+                frame: 0b1111,
+                user: false,
+                present: true,
+            },
+            ..PrivilegeEscalationScenario::default()
+        };
+        let _ = scenario.run();
+    }
+}

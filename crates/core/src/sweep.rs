@@ -1,0 +1,172 @@
+//! Sweep utilities: data types for parameter sweeps and a small parallel map
+//! built on crossbeam's scoped threads.
+
+use serde::{Deserialize, Serialize};
+
+/// One point of a parameter sweep.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SweepPoint {
+    /// The swept parameter value (in the unit stated by the series label).
+    pub parameter: f64,
+    /// Human-readable label of the point (e.g. `"50 ns"`).
+    pub label: String,
+    /// Number of pulses needed to trigger the bit-flip, if it occurred
+    /// within the budget.
+    pub pulses: Option<u64>,
+    /// Whether the flip occurred within the budget.
+    pub flipped: bool,
+}
+
+/// A named series of sweep points (one line of a Fig. 3 plot).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize, Default)]
+pub struct SweepSeries {
+    /// Name of the series (e.g. `"50 ns pulses"`).
+    pub name: String,
+    /// The points, in sweep order.
+    pub points: Vec<SweepPoint>,
+}
+
+impl SweepSeries {
+    /// Creates an empty series.
+    pub fn new(name: impl Into<String>) -> Self {
+        SweepSeries {
+            name: name.into(),
+            points: Vec::new(),
+        }
+    }
+
+    /// Pulse counts of the points that flipped, in order.
+    pub fn pulse_counts(&self) -> Vec<f64> {
+        self.points
+            .iter()
+            .filter_map(|p| p.pulses.map(|n| n as f64))
+            .collect()
+    }
+
+    /// Returns `true` when every point flipped within its budget.
+    pub fn all_flipped(&self) -> bool {
+        self.points.iter().all(|p| p.flipped)
+    }
+
+    /// Returns `true` when the pulse counts decrease (non-strictly) along the
+    /// sweep — the qualitative check used for Fig. 3a/3c.
+    pub fn is_monotonically_decreasing(&self) -> bool {
+        rram_analysis::stats::is_monotonic_decreasing(&self.pulse_counts())
+    }
+
+    /// Returns `true` when the pulse counts increase (non-strictly) along the
+    /// sweep — the qualitative check used for Fig. 3b.
+    pub fn is_monotonically_increasing(&self) -> bool {
+        rram_analysis::stats::is_monotonic_increasing(&self.pulse_counts())
+    }
+
+    /// Ratio between the first and last pulse count, if both exist.
+    pub fn endpoint_ratio(&self) -> Option<f64> {
+        rram_analysis::stats::endpoint_ratio(&self.pulse_counts())
+    }
+}
+
+/// Applies `f` to every item, running the evaluations on scoped worker
+/// threads (at most `max_threads` at a time), and returns the results in the
+/// original order.
+///
+/// # Panics
+///
+/// Panics if a worker thread panics.
+pub fn parallel_map<T, R, F>(items: &[T], max_threads: usize, f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(&T) -> R + Sync,
+{
+    if items.is_empty() {
+        return Vec::new();
+    }
+    let threads = max_threads.max(1).min(items.len());
+    let mut results: Vec<Option<R>> = (0..items.len()).map(|_| None).collect();
+    let next = std::sync::atomic::AtomicUsize::new(0);
+    let results_mutex = parking_lot::Mutex::new(&mut results);
+
+    crossbeam::scope(|scope| {
+        for _ in 0..threads {
+            scope.spawn(|_| loop {
+                let index = next.fetch_add(1, std::sync::atomic::Ordering::SeqCst);
+                if index >= items.len() {
+                    break;
+                }
+                let value = f(&items[index]);
+                results_mutex.lock()[index] = Some(value);
+            });
+        }
+    })
+    .expect("sweep worker thread panicked");
+
+    results
+        .into_iter()
+        .map(|r| r.expect("every index was processed"))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn series(pulses: &[u64]) -> SweepSeries {
+        SweepSeries {
+            name: "test".into(),
+            points: pulses
+                .iter()
+                .enumerate()
+                .map(|(i, &n)| SweepPoint {
+                    parameter: i as f64,
+                    label: format!("{i}"),
+                    pulses: Some(n),
+                    flipped: true,
+                })
+                .collect(),
+        }
+    }
+
+    #[test]
+    fn monotonicity_helpers() {
+        assert!(series(&[1000, 500, 100]).is_monotonically_decreasing());
+        assert!(!series(&[100, 500]).is_monotonically_decreasing());
+        assert!(series(&[100, 500, 500]).is_monotonically_increasing());
+        assert_eq!(series(&[1000, 100]).endpoint_ratio(), Some(10.0));
+    }
+
+    #[test]
+    fn all_flipped_accounts_for_failures() {
+        let mut s = series(&[10, 20]);
+        assert!(s.all_flipped());
+        s.points.push(SweepPoint {
+            parameter: 2.0,
+            label: "x".into(),
+            pulses: None,
+            flipped: false,
+        });
+        assert!(!s.all_flipped());
+        // Unflipped points do not contribute pulse counts.
+        assert_eq!(s.pulse_counts().len(), 2);
+    }
+
+    #[test]
+    fn parallel_map_preserves_order() {
+        let items: Vec<u64> = (0..37).collect();
+        let out = parallel_map(&items, 4, |&x| x * x);
+        assert_eq!(out, items.iter().map(|x| x * x).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn parallel_map_handles_empty_and_single() {
+        let empty: Vec<u64> = vec![];
+        assert!(parallel_map(&empty, 4, |&x: &u64| x).is_empty());
+        assert_eq!(parallel_map(&[7u64], 8, |&x| x + 1), vec![8]);
+    }
+
+    #[test]
+    fn parallel_map_runs_with_one_thread() {
+        let items = vec![1, 2, 3];
+        assert_eq!(parallel_map(&items, 0, |&x| x), vec![1, 2, 3]);
+    }
+}

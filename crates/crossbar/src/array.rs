@@ -1,0 +1,257 @@
+//! The passive memristive crossbar array: a grid of VCM cells.
+
+use serde::{Deserialize, Serialize};
+
+use crate::scheme::CellAddress;
+use rram_jart::{DeviceParams, DigitalState, JartDevice};
+use rram_units::{Kelvin, Ohms, Volts};
+
+/// A rows × cols array of memristive cells.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CrossbarArray {
+    rows: usize,
+    cols: usize,
+    cells: Vec<JartDevice>,
+}
+
+impl CrossbarArray {
+    /// Creates an array with every cell in the HRS.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rows` or `cols` is zero.
+    pub fn new(rows: usize, cols: usize, params: DeviceParams) -> Self {
+        assert!(rows > 0 && cols > 0, "array must have at least one cell");
+        let cells = (0..rows * cols)
+            .map(|_| JartDevice::new(params.clone()))
+            .collect();
+        CrossbarArray { rows, cols, cells }
+    }
+
+    /// Creates an array and initialises every cell to the given state.
+    pub fn filled(rows: usize, cols: usize, params: DeviceParams, state: DigitalState) -> Self {
+        let mut array = CrossbarArray::new(rows, cols, params);
+        for cell in &mut array.cells {
+            cell.force_state(state);
+        }
+        array
+    }
+
+    /// Number of word lines (rows).
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of bit lines (columns).
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Total number of cells.
+    pub fn len(&self) -> usize {
+        self.cells.len()
+    }
+
+    /// Returns `true` if the array has no cells (never true for a
+    /// constructed array).
+    pub fn is_empty(&self) -> bool {
+        self.cells.is_empty()
+    }
+
+    fn index(&self, address: CellAddress) -> usize {
+        assert!(
+            address.row < self.rows && address.col < self.cols,
+            "cell {address:?} outside a {}x{} array",
+            self.rows,
+            self.cols
+        );
+        address.row * self.cols + address.col
+    }
+
+    /// Immutable access to a cell.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the address is out of range.
+    pub fn cell(&self, address: CellAddress) -> &JartDevice {
+        &self.cells[self.index(address)]
+    }
+
+    /// Mutable access to a cell.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the address is out of range.
+    pub fn cell_mut(&mut self, address: CellAddress) -> &mut JartDevice {
+        let idx = self.index(address);
+        &mut self.cells[idx]
+    }
+
+    /// Iterates over `(address, cell)` pairs in row-major order.
+    pub fn iter(&self) -> impl Iterator<Item = (CellAddress, &JartDevice)> {
+        self.cells.iter().enumerate().map(move |(i, cell)| {
+            (
+                CellAddress::new(i / self.cols, i % self.cols),
+                cell,
+            )
+        })
+    }
+
+    /// Iterates mutably over `(address, cell)` pairs in row-major order.
+    pub fn iter_mut(&mut self) -> impl Iterator<Item = (CellAddress, &mut JartDevice)> {
+        let cols = self.cols;
+        self.cells.iter_mut().enumerate().map(move |(i, cell)| {
+            (CellAddress::new(i / cols, i % cols), cell)
+        })
+    }
+
+    /// Digital read-out of the whole array, row-major.
+    pub fn read_all(&self) -> Vec<DigitalState> {
+        self.cells.iter().map(|c| c.digital_state()).collect()
+    }
+
+    /// Digital state of one cell.
+    pub fn read(&self, address: CellAddress) -> DigitalState {
+        self.cell(address).digital_state()
+    }
+
+    /// Read resistance of one cell at the given read voltage.
+    pub fn read_resistance(&self, address: CellAddress, v_read: Volts) -> Ohms {
+        self.cell(address).read_resistance(v_read)
+    }
+
+    /// Exported filament temperatures of all cells, row-major (the hub's
+    /// input vector).
+    pub fn exported_temperatures(&self) -> Vec<f64> {
+        self.cells.iter().map(|c| c.exported_temperature().0).collect()
+    }
+
+    /// Writes the crosstalk ΔT of every cell from a row-major slice.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the slice length does not match the cell count.
+    pub fn import_crosstalk(&mut self, deltas: &[f64]) {
+        assert_eq!(deltas.len(), self.cells.len(), "delta length mismatch");
+        for (cell, &dt) in self.cells.iter_mut().zip(deltas.iter()) {
+            cell.set_crosstalk_delta(Kelvin(dt));
+        }
+    }
+
+    /// Number of cells whose digital state differs from `reference`
+    /// (row-major). Used to count attack-induced bit-flips.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `reference.len()` does not match the cell count.
+    pub fn count_differences(&self, reference: &[DigitalState]) -> usize {
+        assert_eq!(reference.len(), self.cells.len(), "reference length mismatch");
+        self.read_all()
+            .iter()
+            .zip(reference.iter())
+            .filter(|(a, b)| a != b)
+            .count()
+    }
+
+    /// Addresses of the cells whose state differs from `reference`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `reference.len()` does not match the cell count.
+    pub fn changed_cells(&self, reference: &[DigitalState]) -> Vec<CellAddress> {
+        assert_eq!(reference.len(), self.cells.len(), "reference length mismatch");
+        self.read_all()
+            .iter()
+            .zip(reference.iter())
+            .enumerate()
+            .filter(|(_, (a, b))| a != b)
+            .map(|(i, _)| CellAddress::new(i / self.cols, i % self.cols))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn array() -> CrossbarArray {
+        CrossbarArray::new(3, 4, DeviceParams::default())
+    }
+
+    #[test]
+    fn new_array_is_all_hrs() {
+        let a = array();
+        assert_eq!(a.rows(), 3);
+        assert_eq!(a.cols(), 4);
+        assert_eq!(a.len(), 12);
+        assert!(!a.is_empty());
+        assert!(a.read_all().iter().all(|&s| s == DigitalState::Hrs));
+    }
+
+    #[test]
+    fn filled_array_is_all_lrs() {
+        let a = CrossbarArray::filled(2, 2, DeviceParams::default(), DigitalState::Lrs);
+        assert!(a.read_all().iter().all(|&s| s == DigitalState::Lrs));
+    }
+
+    #[test]
+    fn cell_access_round_trips() {
+        let mut a = array();
+        a.cell_mut(CellAddress::new(1, 2)).force_state(DigitalState::Lrs);
+        assert_eq!(a.read(CellAddress::new(1, 2)), DigitalState::Lrs);
+        assert_eq!(a.read(CellAddress::new(1, 1)), DigitalState::Hrs);
+    }
+
+    #[test]
+    fn iter_visits_every_cell_once() {
+        let a = array();
+        let addresses: Vec<CellAddress> = a.iter().map(|(addr, _)| addr).collect();
+        assert_eq!(addresses.len(), 12);
+        assert_eq!(addresses[0], CellAddress::new(0, 0));
+        assert_eq!(addresses[11], CellAddress::new(2, 3));
+    }
+
+    #[test]
+    fn count_differences_detects_flips() {
+        let mut a = array();
+        let reference = a.read_all();
+        assert_eq!(a.count_differences(&reference), 0);
+        a.cell_mut(CellAddress::new(0, 1)).force_state(DigitalState::Lrs);
+        a.cell_mut(CellAddress::new(2, 3)).force_state(DigitalState::Lrs);
+        assert_eq!(a.count_differences(&reference), 2);
+        let changed = a.changed_cells(&reference);
+        assert_eq!(changed, vec![CellAddress::new(0, 1), CellAddress::new(2, 3)]);
+    }
+
+    #[test]
+    fn crosstalk_import_reaches_cells() {
+        let mut a = array();
+        let mut deltas = vec![0.0; 12];
+        deltas[5] = 42.0;
+        a.import_crosstalk(&deltas);
+        assert_eq!(a.cell(CellAddress::new(1, 1)).crosstalk_delta().0, 42.0);
+        assert_eq!(a.cell(CellAddress::new(0, 0)).crosstalk_delta().0, 0.0);
+    }
+
+    #[test]
+    fn read_resistance_separates_states() {
+        let mut a = array();
+        a.cell_mut(CellAddress::new(0, 0)).force_state(DigitalState::Lrs);
+        let r_lrs = a.read_resistance(CellAddress::new(0, 0), Volts(0.2));
+        let r_hrs = a.read_resistance(CellAddress::new(0, 1), Volts(0.2));
+        assert!(r_hrs.0 > 20.0 * r_lrs.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "outside")]
+    fn out_of_range_access_panics() {
+        let a = array();
+        let _ = a.cell(CellAddress::new(5, 0));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one cell")]
+    fn empty_array_panics() {
+        let _ = CrossbarArray::new(0, 3, DeviceParams::default());
+    }
+}

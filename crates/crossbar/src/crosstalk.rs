@@ -1,0 +1,322 @@
+//! The crosstalk hub (Eq. 5 of the paper).
+//!
+//! The hub owns the thermal-coupling state of the array: for every cell it
+//! tracks the additional temperature contributed by all other cells,
+//!
+//! ```text
+//!   ΔT_in(i,j) = Σ_{(k,l) ≠ (i,j)} α(i−k, j−l) · (T_out(k,l) − T₀)
+//! ```
+//!
+//! driven through a first-order lag with time constant `τ_th`, so that the
+//! gradual temperature build-up of Fig. 1 (Phase 2) is reproduced. Setting
+//! `τ_th = 0` recovers the static relation. The α values come from the
+//! finite-volume extraction of `rram-fem` and are looked up by cell offset,
+//! which assumes translational invariance of the coupling away from the array
+//! edges.
+//!
+//! The paper's Eq. 5 sums absolute temperatures; this implementation sums
+//! temperature *rises* above ambient, which is the dimensionally consistent
+//! reading of the same coefficients (an unpowered array then contributes no
+//! crosstalk).
+
+use serde::{Deserialize, Serialize};
+
+use rram_fem::AlphaMatrix;
+use rram_units::{Kelvin, Seconds};
+
+/// The thermal crosstalk hub of one crossbar array.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CrosstalkHub {
+    rows: usize,
+    cols: usize,
+    alpha: AlphaMatrix,
+    /// Thermal time constant of the coupling, s.
+    tau: f64,
+    /// Whether coupling is applied at all (disabled for ablations).
+    enabled: bool,
+    /// Current ΔT state per cell, K.
+    state: Vec<f64>,
+}
+
+impl CrosstalkHub {
+    /// Creates a hub from an extracted α matrix.
+    ///
+    /// `rows`/`cols` are the dimensions of the *simulated* array, which may
+    /// differ from the extraction array; coupling beyond the extracted
+    /// offsets is treated as zero.
+    pub fn new(rows: usize, cols: usize, alpha: AlphaMatrix, tau: Seconds) -> Self {
+        assert!(rows > 0 && cols > 0, "array must be non-empty");
+        assert!(tau.0 >= 0.0 && tau.0.is_finite(), "tau must be non-negative");
+        CrosstalkHub {
+            rows,
+            cols,
+            alpha,
+            tau: tau.0,
+            enabled: true,
+            state: vec![0.0; rows * cols],
+        }
+    }
+
+    /// Creates a hub with a synthetic two-ring coupling profile — convenient
+    /// for unit tests and quick experiments that do not want to run the field
+    /// solver. `nearest` applies to the four in-line neighbours, `diagonal` to
+    /// the four diagonal neighbours, and `second` to the cells two lines away.
+    pub fn uniform(
+        rows: usize,
+        cols: usize,
+        nearest: f64,
+        diagonal: f64,
+        second: f64,
+        tau: Seconds,
+    ) -> Self {
+        // Build a 5×5 synthetic alpha map with the selected cell at (2, 2).
+        let mut values = vec![0.0; 25];
+        for r in 0..5usize {
+            for c in 0..5usize {
+                let dr = r.abs_diff(2);
+                let dc = c.abs_diff(2);
+                values[r * 5 + c] = match (dr, dc) {
+                    (0, 0) => 1.0,
+                    (0, 1) | (1, 0) => nearest,
+                    (1, 1) => diagonal,
+                    (0, 2) | (2, 0) => second,
+                    _ => second * 0.5,
+                };
+            }
+        }
+        let alpha = AlphaMatrix::from_values(5, 5, (2, 2), values);
+        CrosstalkHub::new(rows, cols, alpha, tau)
+    }
+
+    /// A hub with coupling switched off (ablation baseline).
+    pub fn disabled(rows: usize, cols: usize) -> Self {
+        let mut hub = CrosstalkHub::uniform(rows, cols, 0.0, 0.0, 0.0, Seconds(0.0));
+        hub.enabled = false;
+        hub
+    }
+
+    /// Returns `true` when coupling is active.
+    pub fn is_enabled(&self) -> bool {
+        self.enabled
+    }
+
+    /// Disables or re-enables coupling (used by the hub ablation experiment).
+    pub fn set_enabled(&mut self, enabled: bool) {
+        self.enabled = enabled;
+        if !enabled {
+            self.state.iter_mut().for_each(|v| *v = 0.0);
+        }
+    }
+
+    /// Thermal time constant.
+    pub fn tau(&self) -> Seconds {
+        Seconds(self.tau)
+    }
+
+    /// The α matrix used for the offset lookup.
+    pub fn alpha(&self) -> &AlphaMatrix {
+        &self.alpha
+    }
+
+    /// Number of rows of the simulated array.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns of the simulated array.
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Current crosstalk temperature increase of cell `(row, col)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the address is out of range.
+    pub fn delta(&self, row: usize, col: usize) -> Kelvin {
+        assert!(row < self.rows && col < self.cols, "cell out of range");
+        Kelvin(self.state[row * self.cols + col])
+    }
+
+    /// All current ΔT values, row-major.
+    pub fn deltas(&self) -> &[f64] {
+        &self.state
+    }
+
+    /// Resets the thermal state to zero (array fully cooled down).
+    pub fn reset(&mut self) {
+        self.state.iter_mut().for_each(|v| *v = 0.0);
+    }
+
+    /// Steady-state target ΔT for cell `(row, col)` given exported filament
+    /// temperatures (row-major, length `rows·cols`) and the ambient
+    /// temperature.
+    fn target(
+        &self,
+        row: usize,
+        col: usize,
+        temperatures: &[f64],
+        ambient: f64,
+        previous_state: &[f64],
+    ) -> f64 {
+        let mut sum = 0.0;
+        for src_row in 0..self.rows {
+            for src_col in 0..self.cols {
+                if src_row == row && src_col == col {
+                    continue;
+                }
+                // Contribution of a source cell is its *self-heating* rise:
+                // the exported filament temperature minus the crosstalk ΔT
+                // this hub itself delivered to that cell. Using the total
+                // temperature would double-count coupled heat and create a
+                // positive feedback loop (the linear heat equation
+                // superposes the responses to each cell's own dissipation).
+                let src_idx = src_row * self.cols + src_col;
+                let rise = temperatures[src_idx] - ambient - previous_state[src_idx];
+                if rise <= 0.0 {
+                    continue;
+                }
+                let alpha = self.alpha.alpha_by_offset(
+                    row as isize - src_row as isize,
+                    col as isize - src_col as isize,
+                );
+                sum += alpha * rise;
+            }
+        }
+        sum
+    }
+
+    /// Advances the hub by `dt`, given the filament temperatures exported by
+    /// every cell (row-major) and the ambient temperature.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `temperatures.len() != rows·cols` or `dt` is negative.
+    pub fn update(&mut self, temperatures: &[f64], ambient: Kelvin, dt: Seconds) {
+        assert_eq!(
+            temperatures.len(),
+            self.rows * self.cols,
+            "temperature vector length mismatch"
+        );
+        assert!(dt.0 >= 0.0, "dt must be non-negative");
+        if !self.enabled {
+            return;
+        }
+        // Exact first-order-lag update for a piecewise-constant target.
+        let blend = if self.tau == 0.0 {
+            1.0
+        } else {
+            1.0 - (-dt.0 / self.tau).exp()
+        };
+        // Targets are computed from a snapshot of the state so the update is
+        // independent of cell iteration order.
+        let previous_state = self.state.clone();
+        for row in 0..self.rows {
+            for col in 0..self.cols {
+                let idx = row * self.cols + col;
+                let target = self.target(row, col, temperatures, ambient.0, &previous_state);
+                self.state[idx] += (target - self.state[idx]) * blend;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn hot_center(rows: usize, cols: usize, hot: f64) -> Vec<f64> {
+        let mut t = vec![300.0; rows * cols];
+        t[(rows / 2) * cols + cols / 2] = hot;
+        t
+    }
+
+    #[test]
+    fn static_hub_reaches_target_immediately() {
+        let mut hub = CrosstalkHub::uniform(5, 5, 0.1, 0.05, 0.02, Seconds(0.0));
+        hub.update(&hot_center(5, 5, 900.0), Kelvin(300.0), Seconds(1e-9));
+        // Nearest neighbour of the hot centre: α = 0.1, rise = 600 K → 60 K.
+        assert!((hub.delta(2, 1).0 - 60.0).abs() < 1e-9);
+        assert!((hub.delta(1, 1).0 - 30.0).abs() < 1e-9);
+        assert!((hub.delta(2, 0).0 - 12.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn lagged_hub_converges_exponentially() {
+        let mut hub = CrosstalkHub::uniform(3, 3, 0.1, 0.05, 0.02, Seconds(100e-9));
+        let temps = hot_center(3, 3, 900.0);
+        hub.update(&temps, Kelvin(300.0), Seconds(100e-9));
+        let after_one_tau = hub.delta(1, 0).0;
+        let target = 60.0;
+        assert!((after_one_tau - target * (1.0 - (-1.0f64).exp())).abs() < 1e-6);
+        // Keep updating; it should approach the target.
+        for _ in 0..50 {
+            hub.update(&temps, Kelvin(300.0), Seconds(100e-9));
+        }
+        assert!((hub.delta(1, 0).0 - target).abs() < 1e-3);
+    }
+
+    #[test]
+    fn cooling_decays_back_to_zero() {
+        let mut hub = CrosstalkHub::uniform(3, 3, 0.1, 0.05, 0.02, Seconds(50e-9));
+        let temps = hot_center(3, 3, 900.0);
+        hub.update(&temps, Kelvin(300.0), Seconds(1e-6));
+        assert!(hub.delta(1, 0).0 > 50.0);
+        let ambient_only = vec![300.0; 9];
+        hub.update(&ambient_only, Kelvin(300.0), Seconds(1e-6));
+        assert!(hub.delta(1, 0).0 < 1.0);
+    }
+
+    #[test]
+    fn disabled_hub_stays_cold() {
+        let mut hub = CrosstalkHub::disabled(3, 3);
+        hub.update(&hot_center(3, 3, 1000.0), Kelvin(300.0), Seconds(1e-6));
+        assert_eq!(hub.delta(1, 0).0, 0.0);
+        assert!(!hub.is_enabled());
+    }
+
+    #[test]
+    fn disabling_clears_state() {
+        let mut hub = CrosstalkHub::uniform(3, 3, 0.1, 0.05, 0.02, Seconds(0.0));
+        hub.update(&hot_center(3, 3, 900.0), Kelvin(300.0), Seconds(1e-9));
+        assert!(hub.delta(1, 0).0 > 0.0);
+        hub.set_enabled(false);
+        assert_eq!(hub.delta(1, 0).0, 0.0);
+    }
+
+    #[test]
+    fn colder_than_ambient_sources_are_ignored() {
+        let mut hub = CrosstalkHub::uniform(3, 3, 0.1, 0.05, 0.02, Seconds(0.0));
+        let mut temps = vec![300.0; 9];
+        temps[0] = 250.0;
+        hub.update(&temps, Kelvin(300.0), Seconds(1e-9));
+        assert_eq!(hub.delta(1, 1).0, 0.0);
+    }
+
+    #[test]
+    fn reset_clears_the_state() {
+        let mut hub = CrosstalkHub::uniform(3, 3, 0.1, 0.05, 0.02, Seconds(0.0));
+        hub.update(&hot_center(3, 3, 900.0), Kelvin(300.0), Seconds(1e-9));
+        hub.reset();
+        assert!(hub.deltas().iter().all(|&v| v == 0.0));
+    }
+
+    #[test]
+    fn superposition_of_two_aggressors() {
+        let mut hub = CrosstalkHub::uniform(5, 5, 0.1, 0.05, 0.02, Seconds(0.0));
+        let mut temps = vec![300.0; 25];
+        // Two aggressors flanking the victim at (2,2).
+        temps[2 * 5 + 1] = 900.0;
+        temps[2 * 5 + 3] = 900.0;
+        hub.update(&temps, Kelvin(300.0), Seconds(1e-9));
+        // Victim receives 0.1·600 from each side.
+        assert!((hub.delta(2, 2).0 - 120.0).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn wrong_temperature_length_panics() {
+        let mut hub = CrosstalkHub::uniform(3, 3, 0.1, 0.05, 0.02, Seconds(0.0));
+        hub.update(&[300.0; 4], Kelvin(300.0), Seconds(1e-9));
+    }
+}

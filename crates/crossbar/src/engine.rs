@@ -1,0 +1,341 @@
+//! The fast (ideal-driver) pulse engine.
+//!
+//! Long hammer campaigns apply 10²–10⁵ identical pulses; simulating each one
+//! through the full MNA solver would dominate the runtime without changing
+//! the outcome, because with ideal line drivers the voltage across every cell
+//! follows directly from the write scheme. This engine exploits that:
+//!
+//! 1. the scheme determines each cell's voltage,
+//! 2. every cell integrates its own state/temperature for the sub-step,
+//! 3. the crosstalk hub redistributes the exported filament temperatures.
+//!
+//! The sub-step length is chosen from the hub's thermal time constant so the
+//! first-order coupling lag is resolved. The `detailed` module provides the
+//! MNA-backed reference engine; `tests/engine_agreement.rs` (workspace root)
+//! checks the two agree when line resistance is negligible.
+
+use serde::{Deserialize, Serialize};
+
+use crate::array::CrossbarArray;
+use crate::crosstalk::CrosstalkHub;
+use crate::scheme::{CellAddress, WriteScheme};
+use rram_jart::{DeviceParams, DigitalState};
+use rram_units::{Kelvin, Seconds, Volts};
+
+/// Configuration of the pulse engine.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct EngineConfig {
+    /// Write scheme used for every access.
+    pub scheme: WriteScheme,
+    /// Nominal write amplitude (V_SET of the paper).
+    pub v_write: Volts,
+    /// Maximum sub-step used to resolve the crosstalk lag, s.
+    pub max_substep: Seconds,
+    /// Ambient temperature, K.
+    pub ambient: Kelvin,
+}
+
+impl Default for EngineConfig {
+    fn default() -> Self {
+        EngineConfig {
+            scheme: WriteScheme::HalfVoltage,
+            v_write: Volts(rram_units::V_SET),
+            max_substep: Seconds(10e-9),
+            ambient: Kelvin(300.0),
+        }
+    }
+}
+
+/// Snapshot of one cell's thermal/electrical situation, used for tracing the
+/// attack phases of Fig. 1.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct CellSnapshot {
+    /// Cell address.
+    pub address: CellAddress,
+    /// Applied cell voltage during the last step, V.
+    pub voltage: Volts,
+    /// Filament temperature, K.
+    pub temperature: Kelvin,
+    /// Imported crosstalk temperature, K.
+    pub crosstalk: Kelvin,
+    /// Normalised internal state (0 = HRS, 1 = LRS).
+    pub state: f64,
+}
+
+/// The ideal-driver pulse engine: array + hub + scheme.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PulseEngine {
+    array: CrossbarArray,
+    hub: CrosstalkHub,
+    config: EngineConfig,
+    /// Simulated time elapsed, s.
+    elapsed: f64,
+}
+
+impl PulseEngine {
+    /// Creates an engine around an existing array and hub.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the hub dimensions do not match the array.
+    pub fn new(array: CrossbarArray, hub: CrosstalkHub, config: EngineConfig) -> Self {
+        assert_eq!(array.rows(), hub.rows(), "row count mismatch");
+        assert_eq!(array.cols(), hub.cols(), "column count mismatch");
+        PulseEngine {
+            array,
+            hub,
+            config,
+            elapsed: 0.0,
+        }
+    }
+
+    /// Convenience constructor: fresh HRS array with the given device
+    /// parameters and a synthetic uniform coupling profile.
+    pub fn with_uniform_coupling(
+        rows: usize,
+        cols: usize,
+        params: DeviceParams,
+        nearest_alpha: f64,
+        config: EngineConfig,
+    ) -> Self {
+        let array = CrossbarArray::new(rows, cols, params);
+        let hub = CrosstalkHub::uniform(
+            rows,
+            cols,
+            nearest_alpha,
+            nearest_alpha * 0.5,
+            nearest_alpha * 0.25,
+            Seconds(30e-9),
+        );
+        PulseEngine::new(array, hub, config)
+    }
+
+    /// The underlying array.
+    pub fn array(&self) -> &CrossbarArray {
+        &self.array
+    }
+
+    /// Mutable access to the array (initialisation, fault injection).
+    pub fn array_mut(&mut self) -> &mut CrossbarArray {
+        &mut self.array
+    }
+
+    /// The crosstalk hub.
+    pub fn hub(&self) -> &CrosstalkHub {
+        &self.hub
+    }
+
+    /// Mutable access to the hub (ablations).
+    pub fn hub_mut(&mut self) -> &mut CrosstalkHub {
+        &mut self.hub
+    }
+
+    /// Engine configuration.
+    pub fn config(&self) -> &EngineConfig {
+        &self.config
+    }
+
+    /// Total simulated time, s.
+    pub fn elapsed(&self) -> Seconds {
+        Seconds(self.elapsed)
+    }
+
+    /// Advances the whole array by `duration` with the line bias produced by
+    /// selecting `selected` at amplitude `amplitude` (None = all lines
+    /// grounded / idle).
+    fn advance(&mut self, selected: Option<(CellAddress, Volts)>, duration: Seconds) {
+        let mut remaining = duration.0;
+        // Idle periods have no electrical drive; the only dynamics is the
+        // exponential decay of the crosstalk state, which tolerates much
+        // coarser steps than an active pulse.
+        let substep = if selected.is_some() {
+            self.config.max_substep.0.max(1e-12)
+        } else {
+            (self.config.max_substep.0 * 10.0).max(1e-12)
+        };
+        let bias = selected.map(|(address, amplitude)| {
+            self.config.scheme.line_bias(
+                self.array.rows(),
+                self.array.cols(),
+                address,
+                amplitude,
+            )
+        });
+        while remaining > 0.0 {
+            let dt = remaining.min(substep);
+            // Import the hub state, then step every cell under its bias.
+            let deltas: Vec<f64> = self.hub.deltas().to_vec();
+            self.array.import_crosstalk(&deltas);
+            for (address, cell) in self.array.iter_mut() {
+                let v = match &bias {
+                    Some(b) => b.cell_voltage(address),
+                    None => Volts(0.0),
+                };
+                cell.step(v, Seconds(dt));
+            }
+            // Redistribute the exported temperatures.
+            let temperatures = self.array.exported_temperatures();
+            self.hub
+                .update(&temperatures, self.config.ambient, Seconds(dt));
+            remaining -= dt;
+            self.elapsed += dt;
+        }
+    }
+
+    /// Applies one write pulse of the given length to `selected` using the
+    /// configured scheme and amplitude. Positive amplitude drives SET.
+    pub fn apply_pulse(&mut self, selected: CellAddress, amplitude: Volts, length: Seconds) {
+        self.advance(Some((selected, amplitude)), length);
+    }
+
+    /// Lets the array idle (all lines grounded) for `duration`; filaments
+    /// cool and the crosstalk state decays.
+    pub fn idle(&mut self, duration: Seconds) {
+        self.advance(None, duration);
+    }
+
+    /// Performs a full write of `target` into `selected`: applies SET or
+    /// RESET pulses (with the configured amplitude, RESET uses −1.25·V) until
+    /// the cell reads back the target state or the attempt budget is
+    /// exhausted. Returns `true` on success.
+    pub fn write(&mut self, selected: CellAddress, target: DigitalState) -> bool {
+        let pulse = Seconds(100e-9);
+        for _ in 0..50 {
+            if self.array.read(selected) == target {
+                return true;
+            }
+            let amplitude = match target {
+                DigitalState::Lrs => self.config.v_write,
+                DigitalState::Hrs => Volts(-1.25 * self.config.v_write.0),
+            };
+            self.apply_pulse(selected, amplitude, pulse);
+        }
+        self.array.read(selected) == target
+    }
+
+    /// Non-destructive read of one cell.
+    pub fn read(&self, selected: CellAddress) -> DigitalState {
+        self.array.read(selected)
+    }
+
+    /// Thermal/electrical snapshot of one cell (for the Fig. 1 trace).
+    pub fn snapshot(&self, address: CellAddress, voltage: Volts) -> CellSnapshot {
+        let cell = self.array.cell(address);
+        CellSnapshot {
+            address,
+            voltage,
+            temperature: cell.temperature(),
+            crosstalk: cell.crosstalk_delta(),
+            state: cell.normalized_state(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rram_units::SiExt;
+
+    fn engine() -> PulseEngine {
+        PulseEngine::with_uniform_coupling(
+            5,
+            5,
+            DeviceParams::default(),
+            0.12,
+            EngineConfig::default(),
+        )
+    }
+
+    #[test]
+    fn write_and_read_back_both_states() {
+        let mut e = engine();
+        let cell = CellAddress::new(2, 2);
+        assert!(e.write(cell, DigitalState::Lrs));
+        assert_eq!(e.read(cell), DigitalState::Lrs);
+        assert!(e.write(cell, DigitalState::Hrs));
+        assert_eq!(e.read(cell), DigitalState::Hrs);
+    }
+
+    #[test]
+    fn writing_one_cell_leaves_the_rest_untouched() {
+        let mut e = engine();
+        let reference = e.array().read_all();
+        assert!(e.write(CellAddress::new(1, 3), DigitalState::Lrs));
+        // Only the written cell changed.
+        assert_eq!(e.array().count_differences(&reference), 1);
+    }
+
+    #[test]
+    fn hammering_heats_the_neighbours() {
+        let mut e = engine();
+        let aggressor = CellAddress::new(2, 2);
+        // Aggressor in LRS maximises the current (paper, Phase 1).
+        e.array_mut().cell_mut(aggressor).force_state(DigitalState::Lrs);
+        for _ in 0..20 {
+            e.apply_pulse(aggressor, Volts(1.05), 50.0.ns());
+        }
+        // The half-selected neighbour should have accumulated crosstalk heat.
+        let victim = CellAddress::new(2, 1);
+        assert!(
+            e.hub().delta(victim.row, victim.col).0 > 20.0,
+            "victim ΔT = {}",
+            e.hub().delta(victim.row, victim.col).0
+        );
+        // A fully unselected cell far away should be much cooler.
+        let far = CellAddress::new(0, 0);
+        assert!(e.hub().delta(far.row, far.col).0 < e.hub().delta(victim.row, victim.col).0);
+    }
+
+    #[test]
+    fn idle_cools_the_array() {
+        let mut e = engine();
+        let aggressor = CellAddress::new(2, 2);
+        e.array_mut().cell_mut(aggressor).force_state(DigitalState::Lrs);
+        for _ in 0..10 {
+            e.apply_pulse(aggressor, Volts(1.05), 50.0.ns());
+        }
+        let hot = e.hub().delta(2, 1).0;
+        e.idle(1.0.us());
+        let cooled = e.hub().delta(2, 1).0;
+        assert!(cooled < 0.2 * hot, "hot {hot} vs cooled {cooled}");
+    }
+
+    #[test]
+    fn elapsed_time_accumulates() {
+        let mut e = engine();
+        e.apply_pulse(CellAddress::new(0, 0), Volts(0.5), 100.0.ns());
+        e.idle(100.0.ns());
+        assert!((e.elapsed().0 - 200e-9).abs() < 1e-15);
+    }
+
+    #[test]
+    fn snapshot_reports_state_and_temperature() {
+        let mut e = engine();
+        let aggressor = CellAddress::new(2, 2);
+        e.array_mut().cell_mut(aggressor).force_state(DigitalState::Lrs);
+        e.apply_pulse(aggressor, Volts(1.05), 20.0.ns());
+        let snap = e.snapshot(aggressor, Volts(1.05));
+        assert!(snap.temperature.0 > 600.0);
+        assert!((snap.state - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn disabled_hub_blocks_crosstalk() {
+        let mut e = engine();
+        e.hub_mut().set_enabled(false);
+        let aggressor = CellAddress::new(2, 2);
+        e.array_mut().cell_mut(aggressor).force_state(DigitalState::Lrs);
+        for _ in 0..20 {
+            e.apply_pulse(aggressor, Volts(1.05), 50.0.ns());
+        }
+        assert_eq!(e.hub().delta(2, 1).0, 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "row count mismatch")]
+    fn mismatched_hub_panics() {
+        let array = CrossbarArray::new(3, 3, DeviceParams::default());
+        let hub = CrosstalkHub::uniform(4, 3, 0.1, 0.05, 0.02, Seconds(0.0));
+        let _ = PulseEngine::new(array, hub, EngineConfig::default());
+    }
+}

@@ -1,0 +1,43 @@
+//! Prints the extracted α matrix and R_th of a 5×5 crossbar at a given
+//! electrode spacing (default 50 nm), mirroring the Fig. 2a setup.
+//!
+//! Run with `cargo run -p rram-fem --release --example alpha_preview [spacing_nm]`.
+
+use rram_fem::alpha::{extract_alpha, AlphaConfig};
+use rram_fem::geometry::CrossbarGeometry;
+
+fn main() {
+    let spacing: f64 = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(50.0);
+
+    let geometry = CrossbarGeometry {
+        electrode_spacing_nm: spacing,
+        ..CrossbarGeometry::default()
+    };
+    let config = AlphaConfig::centered(&geometry);
+    let start = std::time::Instant::now();
+    let extraction = extract_alpha(&geometry, &config).expect("extraction should succeed");
+    let elapsed = start.elapsed();
+
+    println!("spacing          : {spacing} nm");
+    println!("R_th (selected)  : {:.3e} K/W", extraction.r_th.0);
+    println!("T0 intercept     : {:.2} K", extraction.t0.0);
+    println!("min R^2          : {:.6}", extraction.min_r_squared);
+    println!("extraction time  : {elapsed:.2?}");
+    println!("alpha matrix (selected cell = centre):");
+    for row in 0..extraction.alpha.rows() {
+        let line: Vec<String> = (0..extraction.alpha.cols())
+            .map(|col| format!("{:7.4}", extraction.alpha.get(row, col)))
+            .collect();
+        println!("  {}", line.join(" "));
+    }
+    println!("temperature matrix at the largest swept power:");
+    for row in 0..extraction.temperature_matrix.rows() {
+        let line: Vec<String> = (0..extraction.temperature_matrix.cols())
+            .map(|col| format!("{:7.1}", extraction.temperature_matrix.get(row, col).0))
+            .collect();
+        println!("  {}", line.join(" "));
+    }
+}

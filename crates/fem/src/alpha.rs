@@ -1,0 +1,413 @@
+//! Extraction of the thermal resistance and the crosstalk coefficients
+//! ("alpha values", Eq. 3–4 of the paper).
+//!
+//! The dissipated power of the selected cell is swept; for every cell of the
+//! array the mean filament temperature is regressed against that power:
+//!
+//! ```text
+//!   T_sel(P)  = T₀ + R_th · P            (Eq. 3)
+//!   T_ij(P)   = T₀ + R_th · α_ij · P      (Eq. 4)
+//! ```
+//!
+//! `R_th` is the slope of the selected cell's fit and `α_ij` the ratio of
+//! cell (i,j)'s slope to the selected cell's slope. Because the steady-state
+//! heat equation is linear, the fits are essentially exact (R² ≈ 1); the
+//! regression is kept anyway because it mirrors the paper's methodology and
+//! doubles as a numerical linearity check.
+
+use std::error::Error;
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+use crate::geometry::{CrossbarGeometry, GeometryError};
+use crate::heat::{CellTemperatureMatrix, HeatProblem, HeatSource};
+use crate::solver::SolveError;
+use rram_analysis::regression::{linear_fit, FitError};
+use rram_units::{Kelvin, KelvinPerWatt, Watts};
+
+/// The matrix of crosstalk coefficients for one selected (aggressor) cell.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct AlphaMatrix {
+    rows: usize,
+    cols: usize,
+    selected_row: usize,
+    selected_col: usize,
+    /// α value per cell, row-major. The selected cell carries α = 1.
+    values: Vec<f64>,
+}
+
+impl AlphaMatrix {
+    /// Number of rows.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// The selected (aggressor) cell this matrix was extracted for.
+    pub fn selected(&self) -> (usize, usize) {
+        (self.selected_row, self.selected_col)
+    }
+
+    /// α value of cell `(row, col)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the coordinates are out of range.
+    pub fn get(&self, row: usize, col: usize) -> f64 {
+        assert!(row < self.rows && col < self.cols, "cell out of range");
+        self.values[row * self.cols + col]
+    }
+
+    /// α value looked up by the offset from the selected cell. Offsets beyond
+    /// the extracted array return 0 (no coupling).
+    ///
+    /// The crosstalk hub uses this to apply one extraction (selected cell in
+    /// the array centre) to arbitrary aggressor/victim pairs via translation:
+    /// coupling is assumed to depend only on the relative cell offset, which
+    /// holds away from the array edges.
+    pub fn alpha_by_offset(&self, d_row: isize, d_col: isize) -> f64 {
+        let row = self.selected_row as isize + d_row;
+        let col = self.selected_col as isize + d_col;
+        if row < 0 || col < 0 || row >= self.rows as isize || col >= self.cols as isize {
+            return 0.0;
+        }
+        self.get(row as usize, col as usize)
+    }
+
+    /// Iterates over `(row, col, alpha)` in row-major order.
+    pub fn iter(&self) -> impl Iterator<Item = (usize, usize, f64)> + '_ {
+        self.values
+            .iter()
+            .enumerate()
+            .map(move |(i, &v)| (i / self.cols, i % self.cols, v))
+    }
+
+    /// Largest α value excluding the selected cell itself — the coupling to
+    /// the most exposed victim.
+    pub fn max_neighbor_alpha(&self) -> f64 {
+        self.iter()
+            .filter(|&(r, c, _)| (r, c) != (self.selected_row, self.selected_col))
+            .map(|(_, _, a)| a)
+            .fold(0.0, f64::max)
+    }
+
+    /// Builds a matrix directly from raw values (primarily for tests and for
+    /// loading previously extracted coefficients).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `values.len() != rows * cols` or the selected cell is out of
+    /// range.
+    pub fn from_values(
+        rows: usize,
+        cols: usize,
+        selected: (usize, usize),
+        values: Vec<f64>,
+    ) -> Self {
+        assert_eq!(values.len(), rows * cols, "value count must match the array");
+        assert!(selected.0 < rows && selected.1 < cols, "selected cell out of range");
+        AlphaMatrix {
+            rows,
+            cols,
+            selected_row: selected.0,
+            selected_col: selected.1,
+            values,
+        }
+    }
+}
+
+/// Result of the crosstalk-coefficient extraction.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct AlphaExtraction {
+    /// Thermal resistance of the selected cell (Eq. 3), K/W.
+    pub r_th: KelvinPerWatt,
+    /// Fitted ambient temperature intercept, K.
+    pub t0: Kelvin,
+    /// The crosstalk coefficient matrix.
+    pub alpha: AlphaMatrix,
+    /// Worst-case (lowest) R² over all per-cell fits — a linearity check.
+    pub min_r_squared: f64,
+    /// The cell-temperature matrix at the largest swept power
+    /// (this is the Fig. 2a heat map).
+    pub temperature_matrix: CellTemperatureMatrix,
+}
+
+/// Errors of the extraction flow.
+#[derive(Debug, Clone, PartialEq)]
+pub enum AlphaError {
+    /// The geometry configuration is invalid.
+    Geometry(GeometryError),
+    /// The heat solve failed.
+    Solve(SolveError),
+    /// A regression failed (degenerate power sweep).
+    Fit(FitError),
+    /// Fewer than two powers were supplied.
+    NotEnoughPowers {
+        /// Number of powers supplied.
+        provided: usize,
+    },
+    /// The selected cell lies outside the array.
+    SelectedOutOfRange {
+        /// Requested cell.
+        cell: (usize, usize),
+        /// Array dimensions.
+        dims: (usize, usize),
+    },
+}
+
+impl fmt::Display for AlphaError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AlphaError::Geometry(e) => write!(f, "geometry error: {e}"),
+            AlphaError::Solve(e) => write!(f, "heat solve failed: {e}"),
+            AlphaError::Fit(e) => write!(f, "regression failed: {e}"),
+            AlphaError::NotEnoughPowers { provided } => {
+                write!(f, "power sweep needs at least 2 points, got {provided}")
+            }
+            AlphaError::SelectedOutOfRange { cell, dims } => write!(
+                f,
+                "selected cell ({}, {}) outside a {}×{} array",
+                cell.0, cell.1, dims.0, dims.1
+            ),
+        }
+    }
+}
+
+impl Error for AlphaError {}
+
+impl From<GeometryError> for AlphaError {
+    fn from(e: GeometryError) -> Self {
+        AlphaError::Geometry(e)
+    }
+}
+
+impl From<SolveError> for AlphaError {
+    fn from(e: SolveError) -> Self {
+        AlphaError::Solve(e)
+    }
+}
+
+impl From<FitError> for AlphaError {
+    fn from(e: FitError) -> Self {
+        AlphaError::Fit(e)
+    }
+}
+
+/// Extraction configuration.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct AlphaConfig {
+    /// Ambient (heat sink) temperature.
+    pub ambient: Kelvin,
+    /// The selected (aggressor) cell.
+    pub selected: (usize, usize),
+    /// The dissipated powers to sweep, W. The paper sweeps V_SET and records
+    /// `P_LRS = V_SET · I`; this crate sweeps the power directly because the
+    /// electrical operating point comes from the compact model.
+    pub powers: Vec<Watts>,
+}
+
+impl AlphaConfig {
+    /// A reasonable default sweep around the LRS operating point of the
+    /// compact model: 10–50 µW in 5 steps, selected cell in the array centre.
+    pub fn centered(geometry: &CrossbarGeometry) -> Self {
+        AlphaConfig {
+            ambient: Kelvin(300.0),
+            selected: (geometry.rows / 2, geometry.cols / 2),
+            powers: (1..=5).map(|i| Watts(i as f64 * 10e-6)).collect(),
+        }
+    }
+}
+
+/// Runs the full extraction: builds the geometry, sweeps the power, fits
+/// every cell and normalises the slopes into α values.
+///
+/// # Errors
+///
+/// Returns an [`AlphaError`] describing the failing stage.
+pub fn extract_alpha(
+    geometry: &CrossbarGeometry,
+    config: &AlphaConfig,
+) -> Result<AlphaExtraction, AlphaError> {
+    if config.powers.len() < 2 {
+        return Err(AlphaError::NotEnoughPowers {
+            provided: config.powers.len(),
+        });
+    }
+    if config.selected.0 >= geometry.rows || config.selected.1 >= geometry.cols {
+        return Err(AlphaError::SelectedOutOfRange {
+            cell: config.selected,
+            dims: (geometry.rows, geometry.cols),
+        });
+    }
+
+    let model = geometry.build()?;
+    let mut matrices: Vec<CellTemperatureMatrix> = Vec::with_capacity(config.powers.len());
+    for &power in &config.powers {
+        let matrix = HeatProblem::new(&model, config.ambient)
+            .with_source(HeatSource {
+                row: config.selected.0,
+                col: config.selected.1,
+                power,
+            })
+            .solve_cell_matrix()?;
+        matrices.push(matrix);
+    }
+
+    let powers: Vec<f64> = config.powers.iter().map(|p| p.0).collect();
+
+    // Fit the selected cell first (Eq. 3).
+    let selected_temps: Vec<f64> = matrices
+        .iter()
+        .map(|m| m.get(config.selected.0, config.selected.1).0)
+        .collect();
+    let selected_fit = linear_fit(&powers, &selected_temps)?;
+    let r_th = selected_fit.slope;
+    let mut min_r_squared = selected_fit.r_squared;
+
+    // Fit every cell and normalise (Eq. 4).
+    let mut alpha_values = Vec::with_capacity(geometry.rows * geometry.cols);
+    for row in 0..geometry.rows {
+        for col in 0..geometry.cols {
+            let temps: Vec<f64> = matrices.iter().map(|m| m.get(row, col).0).collect();
+            let fit = linear_fit(&powers, &temps)?;
+            min_r_squared = min_r_squared.min(fit.r_squared);
+            alpha_values.push(fit.slope / r_th);
+        }
+    }
+
+    let temperature_matrix = matrices
+        .pop()
+        .expect("at least two power points were simulated");
+
+    Ok(AlphaExtraction {
+        r_th: KelvinPerWatt(r_th),
+        t0: Kelvin(selected_fit.intercept),
+        alpha: AlphaMatrix::from_values(
+            geometry.rows,
+            geometry.cols,
+            config.selected,
+            alpha_values,
+        ),
+        min_r_squared,
+        temperature_matrix,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fast_geometry(spacing_nm: f64) -> CrossbarGeometry {
+        CrossbarGeometry {
+            rows: 3,
+            cols: 3,
+            voxel_nm: 25.0,
+            electrode_width_nm: 50.0,
+            electrode_spacing_nm: spacing_nm,
+            margin_nm: 50.0,
+            ..CrossbarGeometry::default()
+        }
+    }
+
+    fn quick_config() -> AlphaConfig {
+        AlphaConfig {
+            ambient: Kelvin(300.0),
+            selected: (1, 1),
+            powers: vec![Watts(10e-6), Watts(30e-6)],
+        }
+    }
+
+    #[test]
+    fn extraction_yields_unit_alpha_for_selected_cell() {
+        let extraction = extract_alpha(&fast_geometry(50.0), &quick_config()).unwrap();
+        assert!((extraction.alpha.get(1, 1) - 1.0).abs() < 1e-9);
+        assert_eq!(extraction.alpha.selected(), (1, 1));
+    }
+
+    #[test]
+    fn neighbours_have_alpha_between_zero_and_one() {
+        let extraction = extract_alpha(&fast_geometry(50.0), &quick_config()).unwrap();
+        for (r, c, a) in extraction.alpha.iter() {
+            if (r, c) == (1, 1) {
+                continue;
+            }
+            assert!(a > 0.0 && a < 1.0, "alpha({r},{c}) = {a}");
+        }
+        assert!(extraction.alpha.max_neighbor_alpha() < 0.6);
+        assert!(extraction.alpha.max_neighbor_alpha() > 0.005);
+    }
+
+    #[test]
+    fn fits_are_linear_and_intercept_is_ambient() {
+        let extraction = extract_alpha(&fast_geometry(50.0), &quick_config()).unwrap();
+        assert!(extraction.min_r_squared > 0.999_9);
+        assert!((extraction.t0.0 - 300.0).abs() < 0.5);
+        assert!(extraction.r_th.0 > 1e5, "R_th = {:?}", extraction.r_th);
+    }
+
+    #[test]
+    fn closer_spacing_gives_stronger_coupling() {
+        let tight = extract_alpha(&fast_geometry(25.0), &quick_config()).unwrap();
+        let loose = extract_alpha(&fast_geometry(100.0), &quick_config()).unwrap();
+        assert!(
+            tight.alpha.max_neighbor_alpha() > loose.alpha.max_neighbor_alpha(),
+            "tight {} vs loose {}",
+            tight.alpha.max_neighbor_alpha(),
+            loose.alpha.max_neighbor_alpha()
+        );
+    }
+
+    #[test]
+    fn offset_lookup_matches_direct_access() {
+        let extraction = extract_alpha(&fast_geometry(50.0), &quick_config()).unwrap();
+        assert_eq!(
+            extraction.alpha.alpha_by_offset(0, 1),
+            extraction.alpha.get(1, 2)
+        );
+        assert_eq!(extraction.alpha.alpha_by_offset(-1, -1), extraction.alpha.get(0, 0));
+        assert_eq!(extraction.alpha.alpha_by_offset(5, 5), 0.0);
+    }
+
+    #[test]
+    fn config_errors_are_reported() {
+        let geometry = fast_geometry(50.0);
+        let mut config = quick_config();
+        config.powers = vec![Watts(1e-6)];
+        assert!(matches!(
+            extract_alpha(&geometry, &config),
+            Err(AlphaError::NotEnoughPowers { provided: 1 })
+        ));
+
+        let mut config = quick_config();
+        config.selected = (7, 0);
+        assert!(matches!(
+            extract_alpha(&geometry, &config),
+            Err(AlphaError::SelectedOutOfRange { .. })
+        ));
+    }
+
+    #[test]
+    fn from_values_validates_dimensions() {
+        let m = AlphaMatrix::from_values(2, 2, (0, 0), vec![1.0, 0.1, 0.1, 0.05]);
+        assert_eq!(m.get(1, 1), 0.05);
+    }
+
+    #[test]
+    #[should_panic(expected = "match the array")]
+    fn from_values_rejects_wrong_length() {
+        AlphaMatrix::from_values(2, 2, (0, 0), vec![1.0]);
+    }
+
+    #[test]
+    fn centered_config_targets_array_centre() {
+        let g = CrossbarGeometry::default();
+        let c = AlphaConfig::centered(&g);
+        assert_eq!(c.selected, (2, 2));
+        assert!(c.powers.len() >= 2);
+    }
+}

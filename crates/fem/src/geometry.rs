@@ -1,0 +1,478 @@
+//! Voxelised crossbar geometry builder (the structure of Fig. 2b).
+//!
+//! The simulated domain is a layered stack on a silicon substrate:
+//!
+//! ```text
+//!   passivation
+//!   top electrodes (bit lines, running along y)
+//!   switching oxide with conductive filaments at the crosspoints
+//!   bottom electrodes (word lines, running along x)
+//!   substrate (Dirichlet heat sink at its bottom face)
+//! ```
+//!
+//! The *electrode spacing* swept in Fig. 3b is the lateral gap between two
+//! adjacent electrodes; together with the electrode width it defines the cell
+//! pitch and therefore the distance between neighbouring filaments.
+
+use std::error::Error;
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+use crate::grid::{Grid, VoxelIndex};
+use crate::materials::{Material, MaterialSet};
+
+/// Configuration of the crossbar geometry. All lengths in nanometres.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CrossbarGeometry {
+    /// Number of word lines (rows).
+    pub rows: usize,
+    /// Number of bit lines (columns).
+    pub cols: usize,
+    /// Width of each electrode, nm.
+    pub electrode_width_nm: f64,
+    /// Lateral gap between adjacent electrodes, nm (the Fig. 3b parameter).
+    pub electrode_spacing_nm: f64,
+    /// Electrode thickness, nm.
+    pub electrode_thickness_nm: f64,
+    /// Switching-oxide thickness, nm.
+    pub oxide_thickness_nm: f64,
+    /// Substrate thickness included in the simulation domain, nm.
+    pub substrate_thickness_nm: f64,
+    /// SiO₂ buffer (inter-layer dielectric) thickness between the substrate
+    /// and the bottom electrodes, nm.
+    pub buffer_thickness_nm: f64,
+    /// Passivation thickness, nm.
+    pub passivation_thickness_nm: f64,
+    /// Lateral margin around the array, nm.
+    pub margin_nm: f64,
+    /// Filament diameter, nm (Fig. 2b: 30 nm).
+    pub filament_diameter_nm: f64,
+    /// Voxel edge length, nm. Smaller values resolve the geometry better at
+    /// cubically growing cost.
+    pub voxel_nm: f64,
+    /// Material thermal conductivities.
+    pub materials: MaterialSet,
+}
+
+impl Default for CrossbarGeometry {
+    fn default() -> Self {
+        CrossbarGeometry {
+            rows: 5,
+            cols: 5,
+            electrode_width_nm: 50.0,
+            electrode_spacing_nm: 50.0,
+            electrode_thickness_nm: 20.0,
+            oxide_thickness_nm: 10.0,
+            substrate_thickness_nm: 60.0,
+            buffer_thickness_nm: 60.0,
+            passivation_thickness_nm: 20.0,
+            margin_nm: 40.0,
+            filament_diameter_nm: 30.0,
+            voxel_nm: 10.0,
+            materials: MaterialSet::default(),
+        }
+    }
+}
+
+/// Errors produced while validating or building a geometry.
+#[derive(Debug, Clone, PartialEq)]
+pub enum GeometryError {
+    /// The array must have at least one row and one column.
+    EmptyArray,
+    /// A dimension that must be positive is not.
+    NotPositive {
+        /// Name of the offending field.
+        name: &'static str,
+        /// Offending value.
+        value: f64,
+    },
+    /// The voxel size is too coarse to resolve the electrodes or spacing.
+    VoxelTooCoarse {
+        /// Requested voxel size in nm.
+        voxel_nm: f64,
+        /// Smallest lateral feature in nm.
+        feature_nm: f64,
+    },
+    /// The material set contains non-positive conductivities.
+    InvalidMaterials,
+}
+
+impl fmt::Display for GeometryError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GeometryError::EmptyArray => write!(f, "crossbar must have at least 1 row and column"),
+            GeometryError::NotPositive { name, value } => {
+                write!(f, "geometry field {name} must be positive, got {value}")
+            }
+            GeometryError::VoxelTooCoarse { voxel_nm, feature_nm } => write!(
+                f,
+                "voxel size {voxel_nm} nm cannot resolve the smallest feature of {feature_nm} nm"
+            ),
+            GeometryError::InvalidMaterials => write!(f, "material set has non-positive conductivity"),
+        }
+    }
+}
+
+impl Error for GeometryError {}
+
+impl CrossbarGeometry {
+    /// Cell pitch (electrode width + spacing) in nanometres.
+    pub fn pitch_nm(&self) -> f64 {
+        self.electrode_width_nm + self.electrode_spacing_nm
+    }
+
+    /// Validates the configuration.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`GeometryError`] describing the first violated constraint.
+    pub fn validate(&self) -> Result<(), GeometryError> {
+        if self.rows == 0 || self.cols == 0 {
+            return Err(GeometryError::EmptyArray);
+        }
+        let fields = [
+            ("electrode_width_nm", self.electrode_width_nm),
+            ("electrode_spacing_nm", self.electrode_spacing_nm),
+            ("electrode_thickness_nm", self.electrode_thickness_nm),
+            ("oxide_thickness_nm", self.oxide_thickness_nm),
+            ("substrate_thickness_nm", self.substrate_thickness_nm),
+            ("buffer_thickness_nm", self.buffer_thickness_nm),
+            ("passivation_thickness_nm", self.passivation_thickness_nm),
+            ("margin_nm", self.margin_nm),
+            ("filament_diameter_nm", self.filament_diameter_nm),
+            ("voxel_nm", self.voxel_nm),
+        ];
+        for (name, value) in fields {
+            if !(value > 0.0) || !value.is_finite() {
+                return Err(GeometryError::NotPositive { name, value });
+            }
+        }
+        let feature = self
+            .electrode_width_nm
+            .min(self.electrode_spacing_nm)
+            .min(self.filament_diameter_nm);
+        if self.voxel_nm > feature {
+            return Err(GeometryError::VoxelTooCoarse {
+                voxel_nm: self.voxel_nm,
+                feature_nm: feature,
+            });
+        }
+        if !self.materials.is_valid() {
+            return Err(GeometryError::InvalidMaterials);
+        }
+        Ok(())
+    }
+
+    /// Builds the voxelised model.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`GeometryError`] if the configuration is invalid.
+    pub fn build(&self) -> Result<CrossbarModel, GeometryError> {
+        self.validate()?;
+
+        let vox = self.voxel_nm;
+        let to_vox = |nm: f64| -> usize { (nm / vox).round().max(1.0) as usize };
+
+        let width_v = to_vox(self.electrode_width_nm);
+        let gap_v = to_vox(self.electrode_spacing_nm);
+        let pitch_v = width_v + gap_v;
+        let margin_v = to_vox(self.margin_nm);
+        let fil_v = to_vox(self.filament_diameter_nm);
+
+        // Lateral extent: margin + (n-1) pitches + one electrode width + margin.
+        let nx = 2 * margin_v + (self.cols - 1) * pitch_v + width_v;
+        let ny = 2 * margin_v + (self.rows - 1) * pitch_v + width_v;
+
+        let substrate_v = to_vox(self.substrate_thickness_nm);
+        let buffer_v = to_vox(self.buffer_thickness_nm);
+        let electrode_v = to_vox(self.electrode_thickness_nm);
+        let oxide_v = to_vox(self.oxide_thickness_nm);
+        let passivation_v = to_vox(self.passivation_thickness_nm);
+        let nz = substrate_v + buffer_v + electrode_v + oxide_v + electrode_v + passivation_v;
+
+        let grid = Grid::new(nx, ny, nz, vox * 1e-9);
+
+        // z-layer boundaries.
+        let z_buffer = substrate_v..substrate_v + buffer_v;
+        let z_bottom_electrode = z_buffer.end..z_buffer.end + electrode_v;
+        let z_oxide = z_bottom_electrode.end..z_bottom_electrode.end + oxide_v;
+        let z_top_electrode = z_oxide.end..z_oxide.end + electrode_v;
+
+        // Lateral band of electrode k (0-based): [start, start + width).
+        let band = |k: usize| -> std::ops::Range<usize> {
+            let start = margin_v + k * pitch_v;
+            start..start + width_v
+        };
+        let in_any_band = |coord: usize, count: usize| -> bool {
+            (0..count).any(|k| band(k).contains(&coord))
+        };
+
+        let mut materials = vec![Material::Isolation; grid.len()];
+        let mut filaments: Vec<Vec<usize>> = vec![Vec::new(); self.rows * self.cols];
+
+        for flat in grid.iter() {
+            let v = grid.voxel(flat);
+            let material = if v.z < substrate_v {
+                Material::Substrate
+            } else if z_buffer.contains(&v.z) {
+                Material::Isolation
+            } else if z_bottom_electrode.contains(&v.z) {
+                // Word lines run along x: they occupy full x extent within
+                // their y band.
+                if in_any_band(v.y, self.rows) {
+                    Material::Electrode
+                } else {
+                    Material::Isolation
+                }
+            } else if z_oxide.contains(&v.z) {
+                Material::SwitchingOxide
+            } else if z_top_electrode.contains(&v.z) {
+                // Bit lines run along y: they occupy full y extent within
+                // their x band.
+                if in_any_band(v.x, self.cols) {
+                    Material::Electrode
+                } else {
+                    Material::Isolation
+                }
+            } else {
+                Material::Passivation
+            };
+            materials[flat] = material;
+        }
+
+        // Carve the filaments into the oxide layer at each crosspoint.
+        for row in 0..self.rows {
+            for col in 0..self.cols {
+                let yb = band(row);
+                let xb = band(col);
+                let yc = (yb.start + yb.end) / 2;
+                let xc = (xb.start + xb.end) / 2;
+                let half = fil_v / 2;
+                let x_lo = xc.saturating_sub(half);
+                let y_lo = yc.saturating_sub(half);
+                let x_hi = (xc + half.max(1)).min(nx);
+                let y_hi = (yc + half.max(1)).min(ny);
+                for z in z_oxide.clone() {
+                    for y in y_lo..y_hi {
+                        for x in x_lo..x_hi {
+                            let flat = grid.index(VoxelIndex { x, y, z });
+                            materials[flat] = Material::Filament;
+                            filaments[row * self.cols + col].push(flat);
+                        }
+                    }
+                }
+            }
+        }
+
+        Ok(CrossbarModel {
+            config: self.clone(),
+            grid,
+            materials,
+            filaments,
+        })
+    }
+}
+
+/// The voxelised crossbar: grid, per-voxel materials and the filament voxel
+/// groups of every cell.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CrossbarModel {
+    config: CrossbarGeometry,
+    grid: Grid,
+    materials: Vec<Material>,
+    filaments: Vec<Vec<usize>>,
+}
+
+impl CrossbarModel {
+    /// The geometry configuration this model was built from.
+    pub fn config(&self) -> &CrossbarGeometry {
+        &self.config
+    }
+
+    /// The voxel grid.
+    pub fn grid(&self) -> &Grid {
+        &self.grid
+    }
+
+    /// Number of word lines (rows).
+    pub fn rows(&self) -> usize {
+        self.config.rows
+    }
+
+    /// Number of bit lines (columns).
+    pub fn cols(&self) -> usize {
+        self.config.cols
+    }
+
+    /// Material of a voxel.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `flat` is out of bounds.
+    pub fn material(&self, flat: usize) -> Material {
+        self.materials[flat]
+    }
+
+    /// Thermal conductivity of a voxel, W/(m·K).
+    pub fn conductivity(&self, flat: usize) -> f64 {
+        self.config.materials.conductivity(self.materials[flat])
+    }
+
+    /// The filament voxels of cell `(row, col)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the cell coordinates are out of range.
+    pub fn filament_voxels(&self, row: usize, col: usize) -> &[usize] {
+        assert!(row < self.rows() && col < self.cols(), "cell out of range");
+        &self.filaments[row * self.cols() + col]
+    }
+
+    /// Number of voxels of each material — used for sanity checks and
+    /// reporting.
+    pub fn material_histogram(&self) -> Vec<(Material, usize)> {
+        Material::ALL
+            .iter()
+            .map(|&m| (m, self.materials.iter().filter(|&&x| x == m).count()))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small_geometry() -> CrossbarGeometry {
+        CrossbarGeometry {
+            rows: 3,
+            cols: 3,
+            voxel_nm: 25.0,
+            electrode_width_nm: 50.0,
+            electrode_spacing_nm: 50.0,
+            margin_nm: 50.0,
+            filament_diameter_nm: 30.0,
+            ..CrossbarGeometry::default()
+        }
+    }
+
+    #[test]
+    fn default_geometry_is_valid() {
+        CrossbarGeometry::default().validate().unwrap();
+    }
+
+    #[test]
+    fn build_produces_filaments_for_every_cell() {
+        let model = small_geometry().build().unwrap();
+        for row in 0..3 {
+            for col in 0..3 {
+                assert!(
+                    !model.filament_voxels(row, col).is_empty(),
+                    "cell ({row},{col}) has no filament voxels"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn filaments_sit_in_the_oxide_layer() {
+        let model = small_geometry().build().unwrap();
+        for row in 0..model.rows() {
+            for col in 0..model.cols() {
+                for &flat in model.filament_voxels(row, col) {
+                    assert_eq!(model.material(flat), Material::Filament);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn material_histogram_contains_all_layers() {
+        let model = small_geometry().build().unwrap();
+        let histogram = model.material_histogram();
+        for (material, count) in histogram {
+            match material {
+                Material::Substrate
+                | Material::Electrode
+                | Material::SwitchingOxide
+                | Material::Filament
+                | Material::Isolation
+                | Material::Passivation => {
+                    assert!(count > 0, "no voxels of {material:?}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn filament_groups_are_disjoint() {
+        let model = small_geometry().build().unwrap();
+        let mut seen = std::collections::HashSet::new();
+        for row in 0..model.rows() {
+            for col in 0..model.cols() {
+                for &flat in model.filament_voxels(row, col) {
+                    assert!(seen.insert(flat), "voxel {flat} shared between cells");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn larger_spacing_means_larger_domain() {
+        let narrow = CrossbarGeometry {
+            electrode_spacing_nm: 20.0,
+            voxel_nm: 10.0,
+            ..small_geometry()
+        }
+        .build()
+        .unwrap();
+        let wide = CrossbarGeometry {
+            electrode_spacing_nm: 80.0,
+            voxel_nm: 10.0,
+            ..small_geometry()
+        }
+        .build()
+        .unwrap();
+        assert!(wide.grid().nx() > narrow.grid().nx());
+        assert!(wide.grid().ny() > narrow.grid().ny());
+    }
+
+    #[test]
+    fn invalid_configs_are_rejected() {
+        let mut g = small_geometry();
+        g.rows = 0;
+        assert_eq!(g.validate(), Err(GeometryError::EmptyArray));
+
+        let mut g = small_geometry();
+        g.oxide_thickness_nm = -1.0;
+        assert!(matches!(
+            g.validate(),
+            Err(GeometryError::NotPositive { name: "oxide_thickness_nm", .. })
+        ));
+
+        let mut g = small_geometry();
+        g.voxel_nm = 200.0;
+        assert!(matches!(g.validate(), Err(GeometryError::VoxelTooCoarse { .. })));
+
+        let mut g = small_geometry();
+        g.materials.filament = 0.0;
+        assert_eq!(g.validate(), Err(GeometryError::InvalidMaterials));
+    }
+
+    #[test]
+    fn pitch_is_width_plus_spacing() {
+        let g = CrossbarGeometry::default();
+        assert_eq!(g.pitch_nm(), 100.0);
+    }
+
+    #[test]
+    fn error_display_is_informative() {
+        let msg = GeometryError::VoxelTooCoarse {
+            voxel_nm: 100.0,
+            feature_nm: 30.0,
+        }
+        .to_string();
+        assert!(msg.contains("100") && msg.contains("30"));
+    }
+}

@@ -1,0 +1,226 @@
+//! Structured voxel grid used by the finite-volume heat solver.
+//!
+//! The crossbar geometry is discretised on a uniform cartesian grid of cubic
+//! voxels. The grid only knows about indexing and adjacency; materials and
+//! physics live in [`crate::geometry`] and [`crate::heat`].
+
+use serde::{Deserialize, Serialize};
+
+/// Index of a voxel along the three axes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct VoxelIndex {
+    /// Index along x (bit-line direction).
+    pub x: usize,
+    /// Index along y (word-line direction).
+    pub y: usize,
+    /// Index along z (growth direction, 0 = substrate bottom).
+    pub z: usize,
+}
+
+/// A uniform cartesian grid of cubic voxels.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Grid {
+    nx: usize,
+    ny: usize,
+    nz: usize,
+    /// Edge length of a voxel in metres.
+    spacing: f64,
+}
+
+impl Grid {
+    /// Creates a grid of `nx × ny × nz` voxels with the given edge length in
+    /// metres.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any dimension is zero or the spacing is not positive.
+    pub fn new(nx: usize, ny: usize, nz: usize, spacing: f64) -> Self {
+        assert!(nx > 0 && ny > 0 && nz > 0, "grid dimensions must be non-zero");
+        assert!(
+            spacing > 0.0 && spacing.is_finite(),
+            "voxel spacing must be positive"
+        );
+        Grid { nx, ny, nz, spacing }
+    }
+
+    /// Number of voxels along x.
+    pub fn nx(&self) -> usize {
+        self.nx
+    }
+
+    /// Number of voxels along y.
+    pub fn ny(&self) -> usize {
+        self.ny
+    }
+
+    /// Number of voxels along z.
+    pub fn nz(&self) -> usize {
+        self.nz
+    }
+
+    /// Voxel edge length in metres.
+    pub fn spacing(&self) -> f64 {
+        self.spacing
+    }
+
+    /// Total number of voxels.
+    pub fn len(&self) -> usize {
+        self.nx * self.ny * self.nz
+    }
+
+    /// Returns `true` for a degenerate empty grid (never constructed via
+    /// [`Grid::new`], provided for API completeness).
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Volume of one voxel in m³.
+    pub fn voxel_volume(&self) -> f64 {
+        self.spacing * self.spacing * self.spacing
+    }
+
+    /// Area of one voxel face in m².
+    pub fn face_area(&self) -> f64 {
+        self.spacing * self.spacing
+    }
+
+    /// Flattened index of a voxel.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the index is out of bounds.
+    #[inline]
+    pub fn index(&self, v: VoxelIndex) -> usize {
+        assert!(
+            v.x < self.nx && v.y < self.ny && v.z < self.nz,
+            "voxel index out of bounds: {v:?}"
+        );
+        (v.z * self.ny + v.y) * self.nx + v.x
+    }
+
+    /// Voxel index from a flattened index.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `flat` is out of bounds.
+    #[inline]
+    pub fn voxel(&self, flat: usize) -> VoxelIndex {
+        assert!(flat < self.len(), "flat index out of bounds");
+        let x = flat % self.nx;
+        let y = (flat / self.nx) % self.ny;
+        let z = flat / (self.nx * self.ny);
+        VoxelIndex { x, y, z }
+    }
+
+    /// The up-to-six face neighbours of a voxel (flattened indices).
+    pub fn neighbors(&self, flat: usize) -> Vec<usize> {
+        let v = self.voxel(flat);
+        let mut out = Vec::with_capacity(6);
+        if v.x > 0 {
+            out.push(self.index(VoxelIndex { x: v.x - 1, ..v }));
+        }
+        if v.x + 1 < self.nx {
+            out.push(self.index(VoxelIndex { x: v.x + 1, ..v }));
+        }
+        if v.y > 0 {
+            out.push(self.index(VoxelIndex { y: v.y - 1, ..v }));
+        }
+        if v.y + 1 < self.ny {
+            out.push(self.index(VoxelIndex { y: v.y + 1, ..v }));
+        }
+        if v.z > 0 {
+            out.push(self.index(VoxelIndex { z: v.z - 1, ..v }));
+        }
+        if v.z + 1 < self.nz {
+            out.push(self.index(VoxelIndex { z: v.z + 1, ..v }));
+        }
+        out
+    }
+
+    /// Returns `true` when the voxel touches the bottom (z = 0) face of the
+    /// domain, where the Dirichlet heat-sink boundary condition applies.
+    pub fn is_bottom(&self, flat: usize) -> bool {
+        self.voxel(flat).z == 0
+    }
+
+    /// Iterates over all flattened voxel indices.
+    pub fn iter(&self) -> impl Iterator<Item = usize> {
+        0..self.len()
+    }
+
+    /// Physical centre position of a voxel, in metres from the domain origin.
+    pub fn position(&self, flat: usize) -> (f64, f64, f64) {
+        let v = self.voxel(flat);
+        (
+            (v.x as f64 + 0.5) * self.spacing,
+            (v.y as f64 + 0.5) * self.spacing,
+            (v.z as f64 + 0.5) * self.spacing,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn indexing_round_trips() {
+        let g = Grid::new(4, 3, 2, 1e-8);
+        for flat in g.iter() {
+            assert_eq!(g.index(g.voxel(flat)), flat);
+        }
+        assert_eq!(g.len(), 24);
+        assert!(!g.is_empty());
+    }
+
+    #[test]
+    fn neighbor_counts_are_correct() {
+        let g = Grid::new(3, 3, 3, 1e-8);
+        // Corner voxel has 3 neighbours, centre voxel has 6.
+        let corner = g.index(VoxelIndex { x: 0, y: 0, z: 0 });
+        let centre = g.index(VoxelIndex { x: 1, y: 1, z: 1 });
+        assert_eq!(g.neighbors(corner).len(), 3);
+        assert_eq!(g.neighbors(centre).len(), 6);
+    }
+
+    #[test]
+    fn neighbors_are_symmetric() {
+        let g = Grid::new(3, 4, 2, 1e-8);
+        for a in g.iter() {
+            for b in g.neighbors(a) {
+                assert!(g.neighbors(b).contains(&a));
+            }
+        }
+    }
+
+    #[test]
+    fn bottom_detection() {
+        let g = Grid::new(2, 2, 3, 1e-8);
+        assert!(g.is_bottom(g.index(VoxelIndex { x: 1, y: 1, z: 0 })));
+        assert!(!g.is_bottom(g.index(VoxelIndex { x: 1, y: 1, z: 1 })));
+    }
+
+    #[test]
+    fn geometry_helpers() {
+        let g = Grid::new(2, 2, 2, 2e-9);
+        assert!((g.voxel_volume() - 8e-27).abs() < 1e-40);
+        assert!((g.face_area() - 4e-18).abs() < 1e-30);
+        let (x, y, z) = g.position(0);
+        assert!((x - 1e-9).abs() < 1e-18);
+        assert!((y - 1e-9).abs() < 1e-18);
+        assert!((z - 1e-9).abs() < 1e-18);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of bounds")]
+    fn out_of_bounds_index_panics() {
+        let g = Grid::new(2, 2, 2, 1e-9);
+        g.index(VoxelIndex { x: 2, y: 0, z: 0 });
+    }
+
+    #[test]
+    #[should_panic(expected = "non-zero")]
+    fn zero_dimension_panics() {
+        Grid::new(0, 2, 2, 1e-9);
+    }
+}

@@ -1,0 +1,144 @@
+//! Material regions of the crossbar stack and their thermal conductivities.
+//!
+//! The default conductivities are representative bulk/thin-film literature
+//! values for the Pt/HfO₂-based stack the paper's devices use (Fig. 2b);
+//! they can be overridden through [`MaterialSet`] for sensitivity studies
+//! (the `hub_ablation` bench sweeps the filler conductivity).
+
+use serde::{Deserialize, Serialize};
+
+/// Material of a voxel in the simulation domain.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Material {
+    /// Silicon substrate (heat sink side).
+    Substrate,
+    /// SiO₂ isolation / filler between electrodes.
+    Isolation,
+    /// Metal electrode (Pt/Ti word and bit lines).
+    Electrode,
+    /// The switching oxide layer (HfO₂) away from filaments.
+    SwitchingOxide,
+    /// The conductive filament region of a cell.
+    Filament,
+    /// Top passivation.
+    Passivation,
+}
+
+impl Material {
+    /// All material variants (useful for iteration in tests and reports).
+    pub const ALL: [Material; 6] = [
+        Material::Substrate,
+        Material::Isolation,
+        Material::Electrode,
+        Material::SwitchingOxide,
+        Material::Filament,
+        Material::Passivation,
+    ];
+}
+
+/// Thermal conductivities (W/(m·K)) for each material region.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct MaterialSet {
+    /// Silicon substrate conductivity.
+    pub substrate: f64,
+    /// SiO₂ isolation conductivity.
+    pub isolation: f64,
+    /// Electrode (Pt/Ti) conductivity.
+    pub electrode: f64,
+    /// HfO₂ switching-oxide conductivity.
+    pub switching_oxide: f64,
+    /// Conductive-filament conductivity (elevated through the
+    /// Wiedemann–Franz relation because the filament is metallic).
+    pub filament: f64,
+    /// Passivation conductivity.
+    pub passivation: f64,
+}
+
+impl Default for MaterialSet {
+    fn default() -> Self {
+        MaterialSet {
+            substrate: 100.0,
+            isolation: 1.4,
+            electrode: 50.0,
+            switching_oxide: 1.0,
+            filament: 6.0,
+            passivation: 1.4,
+        }
+    }
+}
+
+impl MaterialSet {
+    /// Thermal conductivity of a material, W/(m·K).
+    #[inline]
+    pub fn conductivity(&self, material: Material) -> f64 {
+        match material {
+            Material::Substrate => self.substrate,
+            Material::Isolation => self.isolation,
+            Material::Electrode => self.electrode,
+            Material::SwitchingOxide => self.switching_oxide,
+            Material::Filament => self.filament,
+            Material::Passivation => self.passivation,
+        }
+    }
+
+    /// Validates that all conductivities are positive and finite.
+    pub fn is_valid(&self) -> bool {
+        Material::ALL
+            .iter()
+            .all(|&m| self.conductivity(m) > 0.0 && self.conductivity(m).is_finite())
+    }
+}
+
+/// Harmonic mean of two conductivities — the correct face conductivity for a
+/// finite-volume flux between two voxels of different materials.
+#[inline]
+pub fn harmonic_mean(k1: f64, k2: f64) -> f64 {
+    if k1 + k2 == 0.0 {
+        0.0
+    } else {
+        2.0 * k1 * k2 / (k1 + k2)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_are_valid_and_ordered() {
+        let m = MaterialSet::default();
+        assert!(m.is_valid());
+        // The electrode must conduct far better than the oxide — this is what
+        // channels crosstalk along the shared lines.
+        assert!(m.electrode > 10.0 * m.switching_oxide);
+        assert!(m.substrate > m.isolation);
+        assert!(m.filament > m.switching_oxide);
+    }
+
+    #[test]
+    fn conductivity_lookup_covers_all_materials() {
+        let m = MaterialSet::default();
+        for &mat in &Material::ALL {
+            assert!(m.conductivity(mat) > 0.0);
+        }
+    }
+
+    #[test]
+    fn invalid_set_detected() {
+        let m = MaterialSet {
+            electrode: -1.0,
+            ..MaterialSet::default()
+        };
+        assert!(!m.is_valid());
+    }
+
+    #[test]
+    fn harmonic_mean_properties() {
+        assert!((harmonic_mean(2.0, 2.0) - 2.0).abs() < 1e-12);
+        // Dominated by the lower conductivity.
+        assert!(harmonic_mean(1.0, 100.0) < 2.0);
+        assert_eq!(harmonic_mean(0.0, 5.0), 0.0);
+        // Symmetric.
+        assert_eq!(harmonic_mean(3.0, 7.0), harmonic_mean(7.0, 3.0));
+    }
+}

@@ -1,0 +1,298 @@
+//! Preconditioned conjugate-gradient solver for the discretised heat
+//! equation.
+//!
+//! The finite-volume discretisation of `−∇·(κ∇T) = q` with Dirichlet and
+//! Neumann boundary conditions yields a symmetric positive-definite system,
+//! for which conjugate gradients with a Jacobi (diagonal) preconditioner is a
+//! simple and dependable choice at the problem sizes used here (10⁴–10⁵
+//! unknowns).
+
+use std::error::Error;
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+use crate::sparse::CsrMatrix;
+
+/// Convergence report of a successful solve.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SolveStats {
+    /// Number of CG iterations performed.
+    pub iterations: usize,
+    /// Final relative residual ‖b − A·x‖ / ‖b‖.
+    pub relative_residual: f64,
+}
+
+/// Errors returned by [`conjugate_gradient`].
+#[derive(Debug, Clone, PartialEq)]
+pub enum SolveError {
+    /// Matrix is not square or right-hand side has the wrong length.
+    DimensionMismatch {
+        /// Matrix rows.
+        rows: usize,
+        /// Matrix columns.
+        cols: usize,
+        /// Right-hand side length.
+        rhs: usize,
+    },
+    /// The iteration did not reach the requested tolerance.
+    NotConverged {
+        /// Iterations performed.
+        iterations: usize,
+        /// Relative residual reached.
+        relative_residual: f64,
+    },
+    /// A zero or negative diagonal entry makes the Jacobi preconditioner
+    /// unusable (the assembled operator should be an M-matrix).
+    BadDiagonal {
+        /// Row with the offending diagonal.
+        row: usize,
+        /// The diagonal value.
+        value: f64,
+    },
+}
+
+impl fmt::Display for SolveError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SolveError::DimensionMismatch { rows, cols, rhs } => write!(
+                f,
+                "dimension mismatch: matrix is {rows}×{cols}, rhs has length {rhs}"
+            ),
+            SolveError::NotConverged {
+                iterations,
+                relative_residual,
+            } => write!(
+                f,
+                "conjugate gradient did not converge after {iterations} iterations \
+                 (relative residual {relative_residual:.3e})"
+            ),
+            SolveError::BadDiagonal { row, value } => {
+                write!(f, "non-positive diagonal {value} at row {row}")
+            }
+        }
+    }
+}
+
+impl Error for SolveError {}
+
+/// Solver configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SolverOptions {
+    /// Relative residual tolerance.
+    pub tolerance: f64,
+    /// Maximum number of iterations.
+    pub max_iterations: usize,
+}
+
+impl Default for SolverOptions {
+    fn default() -> Self {
+        SolverOptions {
+            tolerance: 1e-9,
+            max_iterations: 20_000,
+        }
+    }
+}
+
+fn dot(a: &[f64], b: &[f64]) -> f64 {
+    a.iter().zip(b.iter()).map(|(x, y)| x * y).sum()
+}
+
+fn norm(a: &[f64]) -> f64 {
+    dot(a, a).sqrt()
+}
+
+/// Solves `A·x = b` with Jacobi-preconditioned conjugate gradients.
+///
+/// # Errors
+///
+/// Returns [`SolveError::DimensionMismatch`] for shape errors,
+/// [`SolveError::BadDiagonal`] when the preconditioner cannot be formed, and
+/// [`SolveError::NotConverged`] when the residual target is not met within
+/// the iteration budget.
+pub fn conjugate_gradient(
+    matrix: &CsrMatrix,
+    rhs: &[f64],
+    options: SolverOptions,
+) -> Result<(Vec<f64>, SolveStats), SolveError> {
+    let n = matrix.n_rows();
+    if matrix.n_cols() != n || rhs.len() != n {
+        return Err(SolveError::DimensionMismatch {
+            rows: matrix.n_rows(),
+            cols: matrix.n_cols(),
+            rhs: rhs.len(),
+        });
+    }
+
+    let diag = matrix.diagonal();
+    let mut inv_diag = vec![0.0; n];
+    for (i, &d) in diag.iter().enumerate() {
+        if d <= 0.0 || !d.is_finite() {
+            return Err(SolveError::BadDiagonal { row: i, value: d });
+        }
+        inv_diag[i] = 1.0 / d;
+    }
+
+    let b_norm = norm(rhs);
+    if b_norm == 0.0 {
+        return Ok((
+            vec![0.0; n],
+            SolveStats {
+                iterations: 0,
+                relative_residual: 0.0,
+            },
+        ));
+    }
+
+    let mut x = vec![0.0; n];
+    let mut r = rhs.to_vec();
+    let mut z: Vec<f64> = r.iter().zip(&inv_diag).map(|(ri, di)| ri * di).collect();
+    let mut p = z.clone();
+    let mut rz = dot(&r, &z);
+    let mut ap = vec![0.0; n];
+
+    for iteration in 0..options.max_iterations {
+        matrix.mul_vec_into(&p, &mut ap);
+        let pap = dot(&p, &ap);
+        if pap <= 0.0 {
+            // Loss of positive-definiteness (should not happen for a correct
+            // assembly); report as non-convergence with the current residual.
+            return Err(SolveError::NotConverged {
+                iterations: iteration,
+                relative_residual: norm(&r) / b_norm,
+            });
+        }
+        let alpha = rz / pap;
+        for i in 0..n {
+            x[i] += alpha * p[i];
+            r[i] -= alpha * ap[i];
+        }
+        let rel = norm(&r) / b_norm;
+        if rel <= options.tolerance {
+            return Ok((
+                x,
+                SolveStats {
+                    iterations: iteration + 1,
+                    relative_residual: rel,
+                },
+            ));
+        }
+        for i in 0..n {
+            z[i] = r[i] * inv_diag[i];
+        }
+        let rz_new = dot(&r, &z);
+        let beta = rz_new / rz;
+        rz = rz_new;
+        for i in 0..n {
+            p[i] = z[i] + beta * p[i];
+        }
+    }
+
+    Err(SolveError::NotConverged {
+        iterations: options.max_iterations,
+        relative_residual: norm(&r) / b_norm,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sparse::TripletBuilder;
+
+    /// 1-D Poisson matrix with Dirichlet ends: tridiag(-1, 2, -1).
+    fn poisson_1d(n: usize) -> CsrMatrix {
+        let mut b = TripletBuilder::new(n, n);
+        for i in 0..n {
+            b.add(i, i, 2.0);
+            if i > 0 {
+                b.add(i, i - 1, -1.0);
+            }
+            if i + 1 < n {
+                b.add(i, i + 1, -1.0);
+            }
+        }
+        b.build()
+    }
+
+    #[test]
+    fn solves_small_spd_system() {
+        let a = poisson_1d(5);
+        let b = vec![1.0; 5];
+        let (x, stats) = conjugate_gradient(&a, &b, SolverOptions::default()).unwrap();
+        let residual: Vec<f64> = a
+            .mul_vec(&x)
+            .iter()
+            .zip(&b)
+            .map(|(ax, bi)| ax - bi)
+            .collect();
+        let rel = residual.iter().map(|v| v * v).sum::<f64>().sqrt() / (5.0f64).sqrt();
+        assert!(rel < 1e-8);
+        assert!(stats.iterations <= 5, "CG should converge in ≤ n steps");
+    }
+
+    #[test]
+    fn solves_larger_system_accurately() {
+        let n = 400;
+        let a = poisson_1d(n);
+        // Manufactured solution x*_i = sin(i/10); b = A x*.
+        let x_star: Vec<f64> = (0..n).map(|i| (i as f64 / 10.0).sin()).collect();
+        let b = a.mul_vec(&x_star);
+        let (x, _) = conjugate_gradient(&a, &b, SolverOptions::default()).unwrap();
+        let err = x
+            .iter()
+            .zip(&x_star)
+            .map(|(a, b)| (a - b) * (a - b))
+            .sum::<f64>()
+            .sqrt();
+        assert!(err < 1e-5, "error {err}");
+    }
+
+    #[test]
+    fn zero_rhs_returns_zero_solution() {
+        let a = poisson_1d(10);
+        let (x, stats) = conjugate_gradient(&a, &vec![0.0; 10], SolverOptions::default()).unwrap();
+        assert!(x.iter().all(|&v| v == 0.0));
+        assert_eq!(stats.iterations, 0);
+    }
+
+    #[test]
+    fn dimension_mismatch_is_reported() {
+        let a = poisson_1d(4);
+        let err = conjugate_gradient(&a, &[1.0; 3], SolverOptions::default()).unwrap_err();
+        assert!(matches!(err, SolveError::DimensionMismatch { .. }));
+    }
+
+    #[test]
+    fn bad_diagonal_is_reported() {
+        let mut b = TripletBuilder::new(2, 2);
+        b.add(0, 0, 1.0);
+        // Row 1 has no diagonal entry at all.
+        b.add(1, 0, 1.0);
+        let err = conjugate_gradient(&b.build(), &[1.0, 1.0], SolverOptions::default()).unwrap_err();
+        assert!(matches!(err, SolveError::BadDiagonal { row: 1, .. }));
+    }
+
+    #[test]
+    fn iteration_budget_is_respected() {
+        let a = poisson_1d(200);
+        let opts = SolverOptions {
+            tolerance: 1e-14,
+            max_iterations: 3,
+        };
+        let err = conjugate_gradient(&a, &vec![1.0; 200], opts).unwrap_err();
+        match err {
+            SolveError::NotConverged { iterations, .. } => assert_eq!(iterations, 3),
+            other => panic!("unexpected error {other:?}"),
+        }
+    }
+
+    #[test]
+    fn error_messages_are_informative() {
+        let msg = SolveError::NotConverged {
+            iterations: 7,
+            relative_residual: 0.5,
+        }
+        .to_string();
+        assert!(msg.contains("7"));
+    }
+}

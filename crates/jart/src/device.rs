@@ -1,0 +1,405 @@
+//! The stateful memristive device: state integration, readout and the
+//! crosstalk interface.
+
+use serde::{Deserialize, Serialize};
+
+use crate::current::{solve_operating_point, OperatingPoint};
+use crate::kinetics::concentration_rate;
+use crate::params::DeviceParams;
+use crate::thermal::filament_temperature;
+use rram_units::{Kelvin, Ohms, Seconds, Volts};
+
+/// Digital interpretation of the cell state.
+///
+/// The mapping between resistance state and logical bit is a system-level
+/// convention; the crossbar crate defaults to `Lrs == 1`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum DigitalState {
+    /// Low-resistive state.
+    Lrs,
+    /// High-resistive state.
+    Hrs,
+}
+
+impl DigitalState {
+    /// The opposite state.
+    #[inline]
+    pub fn flipped(self) -> Self {
+        match self {
+            DigitalState::Lrs => DigitalState::Hrs,
+            DigitalState::Hrs => DigitalState::Lrs,
+        }
+    }
+}
+
+/// A single memristive cell with its internal state and crosstalk interface.
+///
+/// The device integrates the vacancy-drift ODE with adaptive sub-stepping:
+/// each call to [`JartDevice::step`] advances the state by at most
+/// `max_dn_per_step` per internal sub-step, so stiff phases (thermal runaway
+/// during an actual switching event) remain accurate while idle phases cost a
+/// single evaluation.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct JartDevice {
+    params: DeviceParams,
+    /// Disc vacancy concentration, 10²⁶ m⁻³.
+    n_disc: f64,
+    /// Additional temperature delivered by the crosstalk hub, K.
+    delta_t_crosstalk: f64,
+    /// Filament temperature of the most recent step, K.
+    last_temperature: f64,
+    /// Operating point of the most recent step.
+    last_op: OperatingPoint,
+    /// Total charge-carrying time integrated so far, s (diagnostics).
+    stress_time: f64,
+}
+
+impl JartDevice {
+    /// Creates a device in the HRS with the given parameters.
+    pub fn new(params: DeviceParams) -> Self {
+        let ambient = params.ambient_temperature;
+        let n = params.n_min;
+        JartDevice {
+            params,
+            n_disc: n,
+            delta_t_crosstalk: 0.0,
+            last_temperature: ambient,
+            last_op: OperatingPoint::zero(),
+            stress_time: 0.0,
+        }
+    }
+
+    /// Creates a device with an explicit initial digital state.
+    pub fn with_state(params: DeviceParams, state: DigitalState) -> Self {
+        let mut device = JartDevice::new(params);
+        device.force_state(state);
+        device
+    }
+
+    /// Parameters of the device.
+    pub fn params(&self) -> &DeviceParams {
+        &self.params
+    }
+
+    /// Current disc vacancy concentration (10²⁶ m⁻³).
+    pub fn concentration(&self) -> f64 {
+        self.n_disc
+    }
+
+    /// Normalised state in `[0, 1]` (0 = deep HRS, 1 = deep LRS).
+    pub fn normalized_state(&self) -> f64 {
+        (self.n_disc - self.params.n_min) / (self.params.n_max - self.params.n_min)
+    }
+
+    /// Filament temperature of the most recent step.
+    pub fn temperature(&self) -> Kelvin {
+        Kelvin(self.last_temperature)
+    }
+
+    /// Operating point of the most recent step.
+    pub fn operating_point(&self) -> OperatingPoint {
+        self.last_op
+    }
+
+    /// Total time the device has spent under non-zero bias, in seconds.
+    pub fn stress_time(&self) -> Seconds {
+        Seconds(self.stress_time)
+    }
+
+    /// Crosstalk interface (import): sets the additional temperature the
+    /// crosstalk hub attributes to this cell. Negative values are clamped to
+    /// zero.
+    pub fn set_crosstalk_delta(&mut self, delta_t: Kelvin) {
+        self.delta_t_crosstalk = delta_t.0.max(0.0);
+    }
+
+    /// Crosstalk interface (export): the filament temperature the hub should
+    /// use as this cell's contribution to its neighbours.
+    pub fn exported_temperature(&self) -> Kelvin {
+        Kelvin(self.last_temperature)
+    }
+
+    /// Currently imported crosstalk temperature increase.
+    pub fn crosstalk_delta(&self) -> Kelvin {
+        Kelvin(self.delta_t_crosstalk)
+    }
+
+    /// Digital read-out of the cell.
+    pub fn digital_state(&self) -> DigitalState {
+        if self.n_disc >= self.params.flip_threshold() {
+            DigitalState::Lrs
+        } else {
+            DigitalState::Hrs
+        }
+    }
+
+    /// Returns `true` if the cell currently reads as LRS.
+    pub fn is_lrs(&self) -> bool {
+        self.digital_state() == DigitalState::Lrs
+    }
+
+    /// Returns `true` if the cell currently reads as HRS.
+    pub fn is_hrs(&self) -> bool {
+        self.digital_state() == DigitalState::Hrs
+    }
+
+    /// Non-destructive read: static resistance at the given read voltage.
+    ///
+    /// Read voltages are assumed small enough not to disturb the state, so
+    /// this does not advance the internal state.
+    pub fn read_resistance(&self, v_read: Volts) -> Ohms {
+        Ohms(crate::current::read_resistance(&self.params, v_read.0, self.n_disc))
+    }
+
+    /// Forces the device into a deep version of the given digital state
+    /// (used by the memory controller to initialise memory contents without
+    /// simulating forming/write transients).
+    pub fn force_state(&mut self, state: DigitalState) {
+        self.n_disc = match state {
+            DigitalState::Lrs => self.params.n_max,
+            DigitalState::Hrs => self.params.n_min,
+        };
+        self.last_temperature = self.params.ambient_temperature;
+        self.last_op = OperatingPoint::zero();
+    }
+
+    /// Forces the raw concentration value (clamped into the valid range).
+    pub fn force_concentration(&mut self, n: f64) {
+        self.n_disc = n.clamp(self.params.n_min, self.params.n_max);
+    }
+
+    /// Advances the device by `dt` with a constant applied cell voltage.
+    ///
+    /// Returns the operating point at the *beginning* of the interval. The
+    /// state is integrated with adaptive sub-stepping so that the
+    /// concentration never changes by more than `max_dn_per_step` per
+    /// sub-step.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `dt` is negative or not finite.
+    pub fn step(&mut self, v_cell: Volts, dt: Seconds) -> OperatingPoint {
+        assert!(dt.0.is_finite() && dt.0 >= 0.0, "dt must be non-negative");
+        let mut remaining = dt.0;
+        let mut first_op = None;
+
+        if v_cell.0 != 0.0 {
+            self.stress_time += dt.0;
+        }
+
+        // Rate evaluation at a given concentration: solve the operating
+        // point, derive the filament temperature, then the drift rate.
+        let eval = |n: f64, delta_t: f64| -> (OperatingPoint, f64, f64) {
+            let op = solve_operating_point(&self.params, v_cell.0, n);
+            let temperature = filament_temperature(&self.params, op.power_active, delta_t);
+            let rate = concentration_rate(&self.params, op.v_active, temperature, n);
+            (op, temperature, rate)
+        };
+
+        // Even for dt == 0 we refresh the operating point so callers can
+        // observe the instantaneous temperature under the new bias.
+        loop {
+            let (op, temperature, rate) = eval(self.n_disc, self.delta_t_crosstalk);
+            self.last_temperature = temperature;
+            self.last_op = op;
+            if first_op.is_none() {
+                first_op = Some(op);
+            }
+            if remaining <= 0.0 {
+                break;
+            }
+            if rate == 0.0 {
+                // Nothing will change for the rest of the interval.
+                break;
+            }
+
+            // Adaptive step: cap the state change per sub-step both absolutely
+            // and relative to the distance from the HRS bound, because the
+            // runaway phase grows exponentially with that distance.
+            let allowed_dn = self
+                .params
+                .max_dn_per_step
+                .min(0.02 * (self.n_disc - self.params.n_min) + 1e-3);
+            let max_dt = allowed_dn / rate.abs();
+            let sub_dt = remaining.min(max_dt);
+
+            // Midpoint (RK2) integration of the stiff drift ODE.
+            let n_mid = (self.n_disc + 0.5 * rate * sub_dt)
+                .clamp(self.params.n_min, self.params.n_max);
+            let (_, _, rate_mid) = eval(n_mid, self.delta_t_crosstalk);
+            let effective_rate = if rate_mid == 0.0 { rate } else { rate_mid };
+            self.n_disc = (self.n_disc + effective_rate * sub_dt)
+                .clamp(self.params.n_min, self.params.n_max);
+            remaining -= sub_dt;
+            if remaining <= 0.0 {
+                // Refresh the final operating point for observers.
+                let (op, temperature, _) = eval(self.n_disc, self.delta_t_crosstalk);
+                self.last_op = op;
+                self.last_temperature = temperature;
+                break;
+            }
+        }
+
+        first_op.unwrap_or_else(OperatingPoint::zero)
+    }
+
+    /// Applies a rectangular voltage pulse of the given length and returns
+    /// the digital state after the pulse.
+    pub fn apply_pulse(&mut self, amplitude: Volts, length: Seconds) -> DigitalState {
+        self.step(amplitude, length);
+        self.digital_state()
+    }
+
+    /// Relaxes the device with no applied bias for `dt`. The filament cools
+    /// to ambient plus whatever crosstalk temperature is currently imported;
+    /// the state does not move.
+    pub fn relax(&mut self, dt: Seconds) {
+        self.step(Volts(0.0), dt);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rram_units::SiExt;
+
+    fn device() -> JartDevice {
+        JartDevice::new(DeviceParams::default())
+    }
+
+    #[test]
+    fn new_device_is_hrs_at_ambient() {
+        let d = device();
+        assert!(d.is_hrs());
+        assert_eq!(d.digital_state(), DigitalState::Hrs);
+        assert_eq!(d.temperature().0, DeviceParams::default().ambient_temperature);
+        assert_eq!(d.normalized_state(), 0.0);
+    }
+
+    #[test]
+    fn force_state_round_trip() {
+        let mut d = device();
+        d.force_state(DigitalState::Lrs);
+        assert!(d.is_lrs());
+        assert_eq!(d.normalized_state(), 1.0);
+        d.force_state(DigitalState::Hrs);
+        assert!(d.is_hrs());
+    }
+
+    #[test]
+    fn force_concentration_clamps() {
+        let mut d = device();
+        d.force_concentration(1e9);
+        assert_eq!(d.concentration(), d.params().n_max);
+        d.force_concentration(-5.0);
+        assert_eq!(d.concentration(), d.params().n_min);
+    }
+
+    #[test]
+    fn nominal_set_pulse_switches_the_cell() {
+        let mut d = device();
+        let state = d.apply_pulse(Volts(1.05), 5.0.us());
+        assert_eq!(state, DigitalState::Lrs);
+    }
+
+    #[test]
+    fn half_select_pulse_does_not_switch_a_cold_cell() {
+        let mut d = device();
+        let state = d.apply_pulse(Volts(0.525), 5.0.us());
+        assert_eq!(state, DigitalState::Hrs);
+        // The state barely moved.
+        assert!(d.normalized_state() < 0.05, "state = {}", d.normalized_state());
+    }
+
+    #[test]
+    fn heated_half_select_is_much_faster() {
+        // The core NeuroHammer mechanism at device level: importing a
+        // crosstalk temperature makes the half-select stress effective.
+        let mut cold = device();
+        let mut hot = device();
+        hot.set_crosstalk_delta(Kelvin(60.0));
+        cold.step(Volts(0.525), 100.0.us());
+        hot.step(Volts(0.525), 100.0.us());
+        assert!(
+            hot.normalized_state() > 10.0 * cold.normalized_state().max(1e-12),
+            "hot {} vs cold {}",
+            hot.normalized_state(),
+            cold.normalized_state()
+        );
+    }
+
+    #[test]
+    fn reset_pulse_returns_cell_to_hrs() {
+        let mut d = device();
+        d.force_state(DigitalState::Lrs);
+        d.apply_pulse(Volts(-1.3), 20.0.us());
+        assert!(d.is_hrs(), "state = {}", d.normalized_state());
+    }
+
+    #[test]
+    fn lrs_cell_under_set_bias_heats_to_900k_range() {
+        let mut d = device();
+        d.force_state(DigitalState::Lrs);
+        d.step(Volts(1.05), 1.0.ns());
+        let t = d.temperature().0;
+        assert!(t > 700.0 && t < 1100.0, "T = {t}");
+    }
+
+    #[test]
+    fn crosstalk_delta_is_clamped_non_negative() {
+        let mut d = device();
+        d.set_crosstalk_delta(Kelvin(-40.0));
+        assert_eq!(d.crosstalk_delta().0, 0.0);
+        d.set_crosstalk_delta(Kelvin(25.0));
+        assert_eq!(d.crosstalk_delta().0, 25.0);
+    }
+
+    #[test]
+    fn exported_temperature_tracks_bias() {
+        let mut d = device();
+        d.force_state(DigitalState::Lrs);
+        d.step(Volts(1.05), 0.0.ns());
+        assert!(d.exported_temperature().0 > 500.0);
+        d.step(Volts(0.0), 1.0.ns());
+        assert_eq!(d.exported_temperature().0, d.params().ambient_temperature);
+    }
+
+    #[test]
+    fn relax_does_not_change_state() {
+        let mut d = device();
+        d.force_concentration(5.0);
+        let before = d.concentration();
+        d.relax(1.0.ms());
+        assert_eq!(d.concentration(), before);
+    }
+
+    #[test]
+    fn stress_time_accumulates_only_under_bias() {
+        let mut d = device();
+        d.step(Volts(0.5), 10.0.ns());
+        d.step(Volts(0.0), 10.0.ns());
+        assert!((d.stress_time().0 - 10e-9).abs() < 1e-18);
+    }
+
+    #[test]
+    fn read_resistance_distinguishes_states() {
+        let mut d = device();
+        let r_hrs = d.read_resistance(Volts(0.2));
+        d.force_state(DigitalState::Lrs);
+        let r_lrs = d.read_resistance(Volts(0.2));
+        assert!(r_hrs.0 > 20.0 * r_lrs.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-negative")]
+    fn negative_dt_panics() {
+        let mut d = device();
+        d.step(Volts(0.1), Seconds(-1.0));
+    }
+
+    #[test]
+    fn flipped_state_is_involutive() {
+        assert_eq!(DigitalState::Lrs.flipped().flipped(), DigitalState::Lrs);
+        assert_eq!(DigitalState::Hrs.flipped(), DigitalState::Lrs);
+    }
+}

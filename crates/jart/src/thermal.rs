@@ -1,0 +1,80 @@
+//! Filament temperature model (Eq. 6 of the paper, plus the crosstalk term).
+//!
+//! The dissipated power `P_d` in the active region raises the local filament
+//! temperature according to
+//!
+//! ```text
+//!   T = T₀ + R_th,eff · P_d + ΔT_crosstalk
+//! ```
+//!
+//! where `ΔT_crosstalk` is the additional temperature delivered by the
+//! crosstalk hub (Eq. 5) — zero for an isolated device. The temperature is
+//! clamped to `max_temperature` as a numerical guard against thermal-runaway
+//! blow-up in degenerate parameter sets.
+
+use crate::params::DeviceParams;
+
+/// Computes the filament temperature for a given active-region power and
+/// crosstalk contribution.
+///
+/// The result is clamped to `[ambient, max_temperature]`; a negative
+/// `delta_t_crosstalk` (which would be unphysical) is treated as zero.
+#[inline]
+pub fn filament_temperature(params: &DeviceParams, power_active: f64, delta_t_crosstalk: f64) -> f64 {
+    let dt_xtalk = delta_t_crosstalk.max(0.0);
+    let t = params.ambient_temperature + params.r_th_eff * power_active.max(0.0) + dt_xtalk;
+    t.clamp(params.ambient_temperature, params.max_temperature)
+}
+
+/// Thermal voltage `k_B·T/e` in volts at temperature `t`.
+#[inline]
+pub fn thermal_voltage(t: f64) -> f64 {
+    rram_units::BOLTZMANN_EV * t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::params::DeviceParams;
+
+    #[test]
+    fn zero_power_gives_ambient() {
+        let p = DeviceParams::default();
+        assert_eq!(filament_temperature(&p, 0.0, 0.0), p.ambient_temperature);
+    }
+
+    #[test]
+    fn power_raises_temperature_linearly() {
+        let p = DeviceParams::default();
+        let t1 = filament_temperature(&p, 1e-6, 0.0);
+        let t2 = filament_temperature(&p, 2e-6, 0.0);
+        let d1 = t1 - p.ambient_temperature;
+        let d2 = t2 - p.ambient_temperature;
+        assert!((d2 - 2.0 * d1).abs() < 1e-9);
+    }
+
+    #[test]
+    fn crosstalk_adds_on_top() {
+        let p = DeviceParams::default();
+        let t = filament_temperature(&p, 1e-6, 50.0);
+        assert!((t - (p.ambient_temperature + p.r_th_eff * 1e-6 + 50.0)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn negative_inputs_are_clamped() {
+        let p = DeviceParams::default();
+        assert_eq!(filament_temperature(&p, -1.0, -100.0), p.ambient_temperature);
+    }
+
+    #[test]
+    fn temperature_is_clamped_to_max() {
+        let p = DeviceParams::default();
+        let t = filament_temperature(&p, 1.0, 0.0); // 1 W would be ~16 MK
+        assert_eq!(t, p.max_temperature);
+    }
+
+    #[test]
+    fn thermal_voltage_at_room_temperature() {
+        assert!((thermal_voltage(300.0) - 0.02585).abs() < 1e-4);
+    }
+}

@@ -1,0 +1,132 @@
+//! Property-based tests of the compact-model invariants.
+
+use proptest::prelude::*;
+use rram_jart::current::solve_operating_point;
+use rram_jart::kinetics::concentration_rate;
+use rram_jart::{DeviceParams, DigitalState, JartDevice};
+use rram_units::{Kelvin, Seconds, Volts};
+
+fn state_range() -> impl Strategy<Value = f64> {
+    let p = DeviceParams::default();
+    p.n_min..p.n_max
+}
+
+proptest! {
+    /// The state variable always stays inside its physical bounds, whatever
+    /// pulse sequence is applied.
+    #[test]
+    fn state_stays_bounded(
+        pulses in prop::collection::vec((-1.5f64..1.5, 1e-9f64..1e-6), 1..20)
+    ) {
+        let params = DeviceParams::default();
+        let mut d = JartDevice::new(params.clone());
+        for (v, dt) in pulses {
+            d.step(Volts(v), Seconds(dt));
+            prop_assert!(d.concentration() >= params.n_min - 1e-12);
+            prop_assert!(d.concentration() <= params.n_max + 1e-12);
+            prop_assert!(d.temperature().0 >= params.ambient_temperature);
+            prop_assert!(d.temperature().0 <= params.max_temperature);
+        }
+    }
+
+    /// Positive bias never decreases the state; negative bias never increases it.
+    #[test]
+    fn bias_sign_determines_direction(
+        v in 0.05f64..1.4,
+        dt in 1e-9f64..1e-7,
+        n0 in 0.5f64..19.0,
+    ) {
+        let params = DeviceParams::default();
+        let mut d = JartDevice::new(params.clone());
+        d.force_concentration(n0);
+        let before = d.concentration();
+        d.step(Volts(v), Seconds(dt));
+        prop_assert!(d.concentration() >= before - 1e-12);
+
+        let mut d2 = JartDevice::new(params);
+        d2.force_concentration(n0);
+        d2.step(Volts(-v), Seconds(dt));
+        prop_assert!(d2.concentration() <= before + 1e-12);
+    }
+
+    /// The static I–V curve is monotonically increasing in the applied
+    /// voltage for any state.
+    #[test]
+    fn current_monotone_in_voltage(n in state_range(), v in 0.01f64..1.5) {
+        let p = DeviceParams::default();
+        let i1 = solve_operating_point(&p, v, n).current;
+        let i2 = solve_operating_point(&p, v * 1.05, n).current;
+        prop_assert!(i2 > i1);
+    }
+
+    /// The static current is monotonically increasing in the state
+    /// (more vacancies, more conduction).
+    #[test]
+    fn current_monotone_in_state(n in 0.01f64..19.0, v in 0.05f64..1.5) {
+        let p = DeviceParams::default();
+        let i1 = solve_operating_point(&p, v, n).current;
+        let i2 = solve_operating_point(&p, v, n * 1.02).current;
+        prop_assert!(i2 >= i1);
+    }
+
+    /// The switching rate never decreases when the temperature rises
+    /// (the Arrhenius factor dominates the sinh's mild 1/T weakening
+    /// for the SET regime voltages used by the attack).
+    #[test]
+    fn rate_monotone_in_temperature(
+        v in 0.4f64..1.1,
+        t in 280.0f64..500.0,
+        n in 0.008f64..2.0,
+    ) {
+        let p = DeviceParams::default();
+        let r1 = concentration_rate(&p, v, t, n);
+        let r2 = concentration_rate(&p, v, t + 10.0, n);
+        prop_assert!(r2 >= r1);
+    }
+
+    /// Splitting a pulse into two halves gives the same final state as one
+    /// contiguous pulse (the integrator is consistent).
+    #[test]
+    fn pulse_splitting_is_consistent(
+        v in 0.4f64..1.05,
+        dt in 1e-8f64..1e-6,
+        xtalk in 0.0f64..80.0,
+    ) {
+        let params = DeviceParams::default();
+        let mut whole = JartDevice::new(params.clone());
+        whole.set_crosstalk_delta(Kelvin(xtalk));
+        whole.step(Volts(v), Seconds(dt));
+
+        let mut halves = JartDevice::new(params);
+        halves.set_crosstalk_delta(Kelvin(xtalk));
+        halves.step(Volts(v), Seconds(dt / 2.0));
+        halves.step(Volts(v), Seconds(dt / 2.0));
+
+        let a = whole.concentration();
+        let b = halves.concentration();
+        prop_assert!((a - b).abs() <= 1e-2 * (a.abs().max(b.abs()).max(1e-3)),
+            "whole={a}, halves={b}");
+    }
+
+    /// Crosstalk temperature only ever accelerates SET progress under
+    /// half-select stress, never reverses it.
+    #[test]
+    fn crosstalk_accelerates(dt_xtalk in 1.0f64..120.0, dur in 1e-7f64..1e-5) {
+        let params = DeviceParams::default();
+        let mut cold = JartDevice::new(params.clone());
+        let mut warm = JartDevice::new(params);
+        warm.set_crosstalk_delta(Kelvin(dt_xtalk));
+        cold.step(Volts(0.525), Seconds(dur));
+        warm.step(Volts(0.525), Seconds(dur));
+        prop_assert!(warm.concentration() >= cold.concentration() - 1e-12);
+    }
+
+    /// Forcing a digital state and reading it back is the identity.
+    #[test]
+    fn force_state_read_back(lrs in any::<bool>()) {
+        let mut d = JartDevice::new(DeviceParams::default());
+        let s = if lrs { DigitalState::Lrs } else { DigitalState::Hrs };
+        d.force_state(s);
+        prop_assert_eq!(d.digital_state(), s);
+    }
+}

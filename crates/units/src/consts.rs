@@ -1,0 +1,51 @@
+//! Physical constants used by the compact model and the field solver.
+//!
+//! All values are CODATA 2018 values in SI units.
+
+/// Boltzmann constant `k_B` in J/K.
+pub const BOLTZMANN: f64 = 1.380_649e-23;
+
+/// Boltzmann constant `k_B` in eV/K — convenient for Arrhenius factors whose
+/// activation energies are quoted in eV.
+pub const BOLTZMANN_EV: f64 = 8.617_333_262e-5;
+
+/// Elementary charge `e` in coulomb.
+pub const ELEMENTARY_CHARGE: f64 = 1.602_176_634e-19;
+
+/// Vacuum permittivity `ε₀` in F/m.
+pub const VACUUM_PERMITTIVITY: f64 = 8.854_187_812_8e-12;
+
+/// Richardson constant `A*` for thermionic emission in A/(m²·K²).
+///
+/// The effective Richardson constant of the Pt/HfO₂ interface is material
+/// dependent; the free-electron value is used as the baseline and the compact
+/// model scales it through its fit parameters.
+pub const RICHARDSON: f64 = 1.202_173e6;
+
+/// Lorenz number `L` in W·Ω/K², relating electrical and thermal conductivity
+/// of the metallic filament through the Wiedemann–Franz law (`κ = L·σ·T`).
+pub const LORENZ_NUMBER: f64 = 2.44e-8;
+
+/// Standard ambient temperature used by the paper's experiments, in kelvin.
+pub const AMBIENT_TEMPERATURE: f64 = 300.0;
+
+/// Nominal SET amplitude used throughout the paper, in volts.
+pub const V_SET: f64 = 1.05;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn boltzmann_consistency() {
+        // k_B [J/K] / e [C] should equal k_B [eV/K].
+        let derived = BOLTZMANN / ELEMENTARY_CHARGE;
+        assert!((derived - BOLTZMANN_EV).abs() / BOLTZMANN_EV < 1e-6);
+    }
+
+    #[test]
+    fn thermal_voltage_at_room_temperature() {
+        let vt = BOLTZMANN_EV * AMBIENT_TEMPERATURE;
+        assert!((vt - 0.02585).abs() < 1e-4);
+    }
+}

@@ -1,0 +1,34 @@
+//! Physical quantities, units and constants for the NeuroHammer reproduction.
+//!
+//! Every other crate in the workspace describes device physics (temperatures,
+//! voltages, dissipated powers, geometrical dimensions). Passing those values
+//! around as bare `f64`s makes it very easy to hand a resistance where a
+//! conductance was expected or nanometres where metres were expected. This
+//! crate provides thin, zero-cost newtypes for the quantities that appear in
+//! the paper, together with the handful of physical constants the compact
+//! model and the field solver need.
+//!
+//! # Examples
+//!
+//! ```
+//! use rram_units::{Volts, Amps, Kelvin, KelvinPerWatt};
+//!
+//! let v = Volts(1.05);
+//! let i = Amps(600e-6);
+//! let p = v * i; // Watts
+//! let rth = KelvinPerWatt(1.5e5);
+//! let ambient = Kelvin(300.0);
+//! let filament = ambient + rth * p;
+//! assert!(filament.0 > 300.0);
+//! ```
+
+#![deny(missing_docs)]
+#![deny(unsafe_code)]
+
+pub mod consts;
+pub mod prefix;
+pub mod quantity;
+
+pub use consts::*;
+pub use prefix::*;
+pub use quantity::*;

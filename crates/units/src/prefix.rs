@@ -1,0 +1,90 @@
+//! SI-prefix helpers for readable construction of small quantities.
+//!
+//! The crossbar geometry lives at the nanometre scale and hammer pulses at the
+//! nanosecond scale, so most call sites want to write `50.nm()` or `10.ns()`
+//! instead of `Meters(50e-9)`.
+//!
+//! # Examples
+//!
+//! ```
+//! use rram_units::prefix::SiExt;
+//!
+//! let spacing = 50.0.nm();
+//! let pulse = 10.0.ns();
+//! assert!((spacing.value() - 50e-9).abs() < 1e-18);
+//! assert!((pulse.value() - 10e-9).abs() < 1e-18);
+//! ```
+
+use crate::quantity::{Amps, Meters, Seconds, Volts};
+
+/// Extension trait adding SI-prefixed constructors to `f64`.
+pub trait SiExt {
+    /// Nanometres to [`Meters`].
+    fn nm(self) -> Meters;
+    /// Micrometres to [`Meters`].
+    fn um(self) -> Meters;
+    /// Nanoseconds to [`Seconds`].
+    fn ns(self) -> Seconds;
+    /// Microseconds to [`Seconds`].
+    fn us(self) -> Seconds;
+    /// Milliseconds to [`Seconds`].
+    fn ms(self) -> Seconds;
+    /// Millivolts to [`Volts`].
+    fn mv(self) -> Volts;
+    /// Microamps to [`Amps`].
+    fn ua(self) -> Amps;
+    /// Milliamps to [`Amps`].
+    fn ma(self) -> Amps;
+}
+
+impl SiExt for f64 {
+    #[inline]
+    fn nm(self) -> Meters {
+        Meters(self * 1e-9)
+    }
+    #[inline]
+    fn um(self) -> Meters {
+        Meters(self * 1e-6)
+    }
+    #[inline]
+    fn ns(self) -> Seconds {
+        Seconds(self * 1e-9)
+    }
+    #[inline]
+    fn us(self) -> Seconds {
+        Seconds(self * 1e-6)
+    }
+    #[inline]
+    fn ms(self) -> Seconds {
+        Seconds(self * 1e-3)
+    }
+    #[inline]
+    fn mv(self) -> Volts {
+        Volts(self * 1e-3)
+    }
+    #[inline]
+    fn ua(self) -> Amps {
+        Amps(self * 1e-6)
+    }
+    #[inline]
+    fn ma(self) -> Amps {
+        Amps(self * 1e-3)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn prefixes_scale_correctly() {
+        assert!((10.0.nm().value() - 1e-8).abs() < 1e-20);
+        assert!((2.0.um().value() - 2e-6).abs() < 1e-18);
+        assert!((75.0.ns().value() - 7.5e-8).abs() < 1e-20);
+        assert!((3.0.us().value() - 3e-6).abs() < 1e-18);
+        assert!((1.5.ms().value() - 1.5e-3).abs() < 1e-15);
+        assert!((525.0.mv().value() - 0.525).abs() < 1e-12);
+        assert!((600.0.ua().value() - 6e-4).abs() < 1e-15);
+        assert!((1.2.ma().value() - 1.2e-3).abs() < 1e-15);
+    }
+}

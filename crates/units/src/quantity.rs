@@ -1,0 +1,482 @@
+//! Newtype wrappers for the physical quantities used throughout the workspace.
+//!
+//! All quantities wrap an `f64` in SI base units (volts, amperes, ohms, watts,
+//! kelvin, seconds, metres). The wrappers are `Copy`, ordered, hashable by
+//! bits where meaningful, and support the arithmetic that makes physical
+//! sense (adding two voltages, scaling by a dimensionless factor, and a small
+//! set of cross-unit products such as `Volts * Amps -> Watts`).
+
+use std::fmt;
+use std::iter::Sum;
+use std::ops::{Add, AddAssign, Div, DivAssign, Mul, MulAssign, Neg, Sub, SubAssign};
+
+use serde::{Deserialize, Serialize};
+
+/// Implements the common boilerplate for an `f64` quantity newtype.
+macro_rules! quantity {
+    ($(#[$meta:meta])* $name:ident, $unit:literal) => {
+        $(#[$meta])*
+        #[derive(Debug, Clone, Copy, PartialEq, PartialOrd, Default, Serialize, Deserialize)]
+        pub struct $name(pub f64);
+
+        impl $name {
+            /// Returns the raw value in SI base units.
+            #[inline]
+            pub const fn value(self) -> f64 {
+                self.0
+            }
+
+            /// Returns the absolute value of the quantity.
+            #[inline]
+            pub fn abs(self) -> Self {
+                Self(self.0.abs())
+            }
+
+            /// Returns `true` when the wrapped value is finite.
+            #[inline]
+            pub fn is_finite(self) -> bool {
+                self.0.is_finite()
+            }
+
+            /// Returns the larger of `self` and `other`.
+            #[inline]
+            pub fn max(self, other: Self) -> Self {
+                Self(self.0.max(other.0))
+            }
+
+            /// Returns the smaller of `self` and `other`.
+            #[inline]
+            pub fn min(self, other: Self) -> Self {
+                Self(self.0.min(other.0))
+            }
+
+            /// Clamps the quantity into `[lo, hi]`.
+            #[inline]
+            pub fn clamp(self, lo: Self, hi: Self) -> Self {
+                Self(self.0.clamp(lo.0, hi.0))
+            }
+        }
+
+        impl fmt::Display for $name {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                if let Some(prec) = f.precision() {
+                    write!(f, "{:.*} {}", prec, self.0, $unit)
+                } else {
+                    write!(f, "{} {}", self.0, $unit)
+                }
+            }
+        }
+
+        impl From<f64> for $name {
+            fn from(v: f64) -> Self {
+                Self(v)
+            }
+        }
+
+        impl From<$name> for f64 {
+            fn from(v: $name) -> f64 {
+                v.0
+            }
+        }
+
+        impl Add for $name {
+            type Output = Self;
+            #[inline]
+            fn add(self, rhs: Self) -> Self {
+                Self(self.0 + rhs.0)
+            }
+        }
+
+        impl AddAssign for $name {
+            #[inline]
+            fn add_assign(&mut self, rhs: Self) {
+                self.0 += rhs.0;
+            }
+        }
+
+        impl Sub for $name {
+            type Output = Self;
+            #[inline]
+            fn sub(self, rhs: Self) -> Self {
+                Self(self.0 - rhs.0)
+            }
+        }
+
+        impl SubAssign for $name {
+            #[inline]
+            fn sub_assign(&mut self, rhs: Self) {
+                self.0 -= rhs.0;
+            }
+        }
+
+        impl Neg for $name {
+            type Output = Self;
+            #[inline]
+            fn neg(self) -> Self {
+                Self(-self.0)
+            }
+        }
+
+        impl Mul<f64> for $name {
+            type Output = Self;
+            #[inline]
+            fn mul(self, rhs: f64) -> Self {
+                Self(self.0 * rhs)
+            }
+        }
+
+        impl Mul<$name> for f64 {
+            type Output = $name;
+            #[inline]
+            fn mul(self, rhs: $name) -> $name {
+                $name(self * rhs.0)
+            }
+        }
+
+        impl MulAssign<f64> for $name {
+            #[inline]
+            fn mul_assign(&mut self, rhs: f64) {
+                self.0 *= rhs;
+            }
+        }
+
+        impl Div<f64> for $name {
+            type Output = Self;
+            #[inline]
+            fn div(self, rhs: f64) -> Self {
+                Self(self.0 / rhs)
+            }
+        }
+
+        impl DivAssign<f64> for $name {
+            #[inline]
+            fn div_assign(&mut self, rhs: f64) {
+                self.0 /= rhs;
+            }
+        }
+
+        impl Div for $name {
+            type Output = f64;
+            #[inline]
+            fn div(self, rhs: Self) -> f64 {
+                self.0 / rhs.0
+            }
+        }
+
+        impl Sum for $name {
+            fn sum<I: Iterator<Item = Self>>(iter: I) -> Self {
+                Self(iter.map(|q| q.0).sum())
+            }
+        }
+    };
+}
+
+quantity!(
+    /// Electric potential in volts.
+    Volts,
+    "V"
+);
+quantity!(
+    /// Electric current in amperes.
+    Amps,
+    "A"
+);
+quantity!(
+    /// Electrical resistance in ohms.
+    Ohms,
+    "Ω"
+);
+quantity!(
+    /// Electrical conductance in siemens.
+    Siemens,
+    "S"
+);
+quantity!(
+    /// Power in watts.
+    Watts,
+    "W"
+);
+quantity!(
+    /// Absolute temperature in kelvin.
+    Kelvin,
+    "K"
+);
+quantity!(
+    /// Time in seconds.
+    Seconds,
+    "s"
+);
+quantity!(
+    /// Length in metres.
+    Meters,
+    "m"
+);
+quantity!(
+    /// Thermal resistance in kelvin per watt.
+    KelvinPerWatt,
+    "K/W"
+);
+quantity!(
+    /// Thermal conductivity in watts per metre-kelvin.
+    WattsPerMeterKelvin,
+    "W/(m·K)"
+);
+quantity!(
+    /// Electrical conductivity in siemens per metre.
+    SiemensPerMeter,
+    "S/m"
+);
+quantity!(
+    /// Energy in joules.
+    Joules,
+    "J"
+);
+quantity!(
+    /// Energy in electron-volts (kept separate from [`Joules`] because
+    /// activation energies in the compact model are quoted in eV).
+    ElectronVolts,
+    "eV"
+);
+
+// --- Cross-unit arithmetic -------------------------------------------------
+
+impl Mul<Amps> for Volts {
+    type Output = Watts;
+    #[inline]
+    fn mul(self, rhs: Amps) -> Watts {
+        Watts(self.0 * rhs.0)
+    }
+}
+
+impl Mul<Volts> for Amps {
+    type Output = Watts;
+    #[inline]
+    fn mul(self, rhs: Volts) -> Watts {
+        Watts(self.0 * rhs.0)
+    }
+}
+
+impl Div<Amps> for Volts {
+    type Output = Ohms;
+    #[inline]
+    fn div(self, rhs: Amps) -> Ohms {
+        Ohms(self.0 / rhs.0)
+    }
+}
+
+impl Div<Ohms> for Volts {
+    type Output = Amps;
+    #[inline]
+    fn div(self, rhs: Ohms) -> Amps {
+        Amps(self.0 / rhs.0)
+    }
+}
+
+impl Mul<Ohms> for Amps {
+    type Output = Volts;
+    #[inline]
+    fn mul(self, rhs: Ohms) -> Volts {
+        Volts(self.0 * rhs.0)
+    }
+}
+
+impl Mul<Watts> for KelvinPerWatt {
+    type Output = Kelvin;
+    #[inline]
+    fn mul(self, rhs: Watts) -> Kelvin {
+        Kelvin(self.0 * rhs.0)
+    }
+}
+
+impl Mul<KelvinPerWatt> for Watts {
+    type Output = Kelvin;
+    #[inline]
+    fn mul(self, rhs: KelvinPerWatt) -> Kelvin {
+        Kelvin(self.0 * rhs.0)
+    }
+}
+
+impl Mul<Siemens> for Volts {
+    type Output = Amps;
+    #[inline]
+    fn mul(self, rhs: Siemens) -> Amps {
+        Amps(self.0 * rhs.0)
+    }
+}
+
+impl Mul<Seconds> for Watts {
+    type Output = Joules;
+    #[inline]
+    fn mul(self, rhs: Seconds) -> Joules {
+        Joules(self.0 * rhs.0)
+    }
+}
+
+impl Ohms {
+    /// Converts the resistance to a conductance.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the resistance is zero.
+    #[inline]
+    pub fn to_conductance(self) -> Siemens {
+        assert!(self.0 != 0.0, "cannot invert a zero resistance");
+        Siemens(1.0 / self.0)
+    }
+}
+
+impl Siemens {
+    /// Converts the conductance to a resistance.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the conductance is zero.
+    #[inline]
+    pub fn to_resistance(self) -> Ohms {
+        assert!(self.0 != 0.0, "cannot invert a zero conductance");
+        Ohms(1.0 / self.0)
+    }
+}
+
+impl Kelvin {
+    /// Creates an absolute temperature from degrees Celsius.
+    #[inline]
+    pub fn from_celsius(c: f64) -> Self {
+        Kelvin(c + 273.15)
+    }
+
+    /// Returns the temperature in degrees Celsius.
+    #[inline]
+    pub fn to_celsius(self) -> f64 {
+        self.0 - 273.15
+    }
+}
+
+impl ElectronVolts {
+    /// Converts to joules.
+    #[inline]
+    pub fn to_joules(self) -> Joules {
+        Joules(self.0 * crate::consts::ELEMENTARY_CHARGE)
+    }
+}
+
+impl Joules {
+    /// Converts to electron-volts.
+    #[inline]
+    pub fn to_electron_volts(self) -> ElectronVolts {
+        ElectronVolts(self.0 / crate::consts::ELEMENTARY_CHARGE)
+    }
+}
+
+impl Meters {
+    /// Creates a length from nanometres.
+    #[inline]
+    pub fn from_nanometers(nm: f64) -> Self {
+        Meters(nm * 1e-9)
+    }
+
+    /// Returns the length in nanometres.
+    #[inline]
+    pub fn to_nanometers(self) -> f64 {
+        self.0 * 1e9
+    }
+}
+
+impl Seconds {
+    /// Creates a duration from nanoseconds.
+    #[inline]
+    pub fn from_nanoseconds(ns: f64) -> Self {
+        Seconds(ns * 1e-9)
+    }
+
+    /// Returns the duration in nanoseconds.
+    #[inline]
+    pub fn to_nanoseconds(self) -> f64 {
+        self.0 * 1e9
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ohms_law_round_trip() {
+        let v = Volts(1.05);
+        let r = Ohms(2_000.0);
+        let i = v / r;
+        assert!((i.0 - 0.000525).abs() < 1e-12);
+        let back = i * r;
+        assert!((back.0 - v.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn power_and_self_heating() {
+        let p = Volts(1.0) * Amps(1e-3);
+        assert_eq!(p, Watts(1e-3));
+        let dt = KelvinPerWatt(1e5) * p;
+        assert_eq!(dt, Kelvin(100.0));
+    }
+
+    #[test]
+    fn celsius_conversion() {
+        let t = Kelvin::from_celsius(25.0);
+        assert!((t.0 - 298.15).abs() < 1e-12);
+        assert!((t.to_celsius() - 25.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn nanometer_round_trip() {
+        let d = Meters::from_nanometers(50.0);
+        assert!((d.0 - 50e-9).abs() < 1e-21);
+        assert!((d.to_nanometers() - 50.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn nanosecond_round_trip() {
+        let t = Seconds::from_nanoseconds(10.0);
+        assert!((t.0 - 1e-8).abs() < 1e-20);
+        assert!((t.to_nanoseconds() - 10.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn conductance_resistance_inverse() {
+        let r = Ohms(250.0);
+        let g = r.to_conductance();
+        assert!((g.0 - 0.004).abs() < 1e-15);
+        assert!((g.to_resistance().0 - 250.0).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "zero resistance")]
+    fn zero_resistance_panics() {
+        let _ = Ohms(0.0).to_conductance();
+    }
+
+    #[test]
+    fn electron_volt_round_trip() {
+        let ea = ElectronVolts(1.35);
+        let j = ea.to_joules();
+        assert!((j.to_electron_volts().0 - 1.35).abs() < 1e-12);
+    }
+
+    #[test]
+    fn sum_of_quantities() {
+        let total: Watts = [Watts(1.0), Watts(2.0), Watts(3.5)].into_iter().sum();
+        assert_eq!(total, Watts(6.5));
+    }
+
+    #[test]
+    fn display_includes_unit() {
+        assert_eq!(format!("{:.2}", Volts(1.05)), "1.05 V");
+        assert_eq!(format!("{:.0}", Kelvin(300.0)), "300 K");
+    }
+
+    #[test]
+    fn clamp_min_max() {
+        let t = Kelvin(500.0);
+        assert_eq!(t.clamp(Kelvin(273.0), Kelvin(400.0)), Kelvin(400.0));
+        assert_eq!(Kelvin(100.0).max(Kelvin(273.0)), Kelvin(273.0));
+        assert_eq!(Kelvin(100.0).min(Kelvin(273.0)), Kelvin(100.0));
+    }
+}

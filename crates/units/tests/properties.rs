@@ -1,0 +1,62 @@
+//! Property-based tests for the quantity newtypes.
+
+use proptest::prelude::*;
+use rram_units::{Amps, Kelvin, Meters, Ohms, Seconds, Volts, Watts};
+
+fn finite() -> impl Strategy<Value = f64> {
+    -1e6f64..1e6f64
+}
+
+fn positive() -> impl Strategy<Value = f64> {
+    1e-9f64..1e6f64
+}
+
+proptest! {
+    #[test]
+    fn addition_is_commutative(a in finite(), b in finite()) {
+        prop_assert_eq!(Volts(a) + Volts(b), Volts(b) + Volts(a));
+    }
+
+    #[test]
+    fn subtraction_inverts_addition(a in finite(), b in finite()) {
+        let sum = Kelvin(a) + Kelvin(b);
+        let diff = sum - Kelvin(b);
+        prop_assert!((diff.0 - a).abs() <= 1e-6 * (1.0 + a.abs() + b.abs()));
+    }
+
+    #[test]
+    fn ohms_law_is_consistent(v in positive(), r in positive()) {
+        let i = Volts(v) / Ohms(r);
+        let back = i * Ohms(r);
+        prop_assert!((back.0 - v).abs() <= 1e-9 * v.abs().max(1.0));
+    }
+
+    #[test]
+    fn power_is_symmetric(v in finite(), i in finite()) {
+        prop_assert_eq!(Volts(v) * Amps(i), Amps(i) * Volts(v));
+    }
+
+    #[test]
+    fn scaling_by_one_is_identity(x in finite()) {
+        prop_assert_eq!(Watts(x) * 1.0, Watts(x));
+        prop_assert_eq!(Seconds(x) / 1.0, Seconds(x));
+    }
+
+    #[test]
+    fn celsius_round_trip(c in -273.0f64..1000.0) {
+        let k = Kelvin::from_celsius(c);
+        prop_assert!((k.to_celsius() - c).abs() < 1e-9);
+    }
+
+    #[test]
+    fn nanometer_round_trip(nm in 0.1f64..1e4) {
+        let m = Meters::from_nanometers(nm);
+        prop_assert!((m.to_nanometers() - nm).abs() / nm < 1e-12);
+    }
+
+    #[test]
+    fn clamp_is_within_bounds(x in finite(), lo in -500.0f64..0.0, hi in 0.0f64..500.0) {
+        let clamped = Kelvin(x).clamp(Kelvin(lo), Kelvin(hi));
+        prop_assert!(clamped.0 >= lo && clamped.0 <= hi);
+    }
+}

@@ -1,0 +1,27 @@
+//! Security scenario (Section VI of the paper): corrupting the quantised
+//! weights of a neuromorphic accelerator.
+//!
+//! A small classifier is trained on synthetic data, its weights are
+//! quantised to 4-bit sign-magnitude codes and stored bit-by-bit in a ReRAM
+//! crossbar. The attacker hammers the cells around the most significant bits
+//! of the largest weights and the classification accuracy is re-measured.
+//!
+//! ```bash
+//! cargo run --release --example neuromorphic_corruption
+//! ```
+
+use neurohammer_repro::attack::NeuromorphicScenario;
+
+fn main() {
+    let scenario = NeuromorphicScenario::default();
+    println!(
+        "training a {}-feature / {}-class linear classifier and storing its weights in ReRAM...",
+        neurohammer_repro::attack::scenario::neuromorphic::FEATURES,
+        neurohammer_repro::attack::scenario::neuromorphic::CLASSES
+    );
+    let outcome = scenario.run();
+    println!("baseline accuracy (quantised weights): {:.1} %", outcome.baseline_accuracy * 100.0);
+    println!("accuracy after NeuroHammer           : {:.1} %", outcome.corrupted_accuracy * 100.0);
+    println!("weight bits flipped                   : {}", outcome.flipped_bits);
+    println!("hammer pulses issued                  : {}", outcome.pulses);
+}

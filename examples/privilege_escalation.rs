@@ -1,0 +1,38 @@
+//! Security scenario (Section VI of the paper): privilege escalation by
+//! corrupting a page-table entry stored in ReRAM.
+//!
+//! The attacker owns the memory rows adjacent to a victim page-table entry
+//! and hammers the cells above and below a frame-number bit until it flips,
+//! redirecting the mapping into an attacker-controlled physical frame —
+//! the NeuroHammer analogue of the RowHammer kernel-privilege exploit.
+//!
+//! ```bash
+//! cargo run --release --example privilege_escalation
+//! ```
+
+use neurohammer_repro::attack::{PageTableEntry, PrivilegeEscalationScenario};
+
+fn main() {
+    let scenario = PrivilegeEscalationScenario {
+        victim_pte: PageTableEntry {
+            frame: 0b0101,
+            user: false,
+            present: true,
+        },
+        attacker_frame: 0b0111,
+        ..PrivilegeEscalationScenario::default()
+    };
+
+    println!("victim PTE  : frame {:04b}, user={}, present={}",
+        scenario.victim_pte.frame, scenario.victim_pte.user, scenario.victim_pte.present);
+    println!("attacker frame: {:04b}", scenario.attacker_frame);
+    println!("bits that must flip 0→1: {:?}", scenario.required_bit_flips());
+
+    let outcome = scenario.run();
+    println!("\ncorrupted PTE: frame {:04b}, user={}, present={}",
+        outcome.corrupted.frame, outcome.corrupted.user, outcome.corrupted.present);
+    println!("flipped bits : {:?}", outcome.flipped_bits);
+    println!("hammer pulses: {}", outcome.pulses);
+    println!("collateral corruption elsewhere in the tile: {} cells", outcome.collateral_flips);
+    println!("privilege escalation {}", if outcome.escalated { "SUCCEEDED" } else { "failed" });
+}

@@ -1,0 +1,56 @@
+//! Quickstart: run one NeuroHammer attack on a 5×5 crossbar and print what
+//! happened.
+//!
+//! ```bash
+//! cargo run --release --example quickstart
+//! ```
+
+use neurohammer_repro::attack::pattern::AttackPattern;
+use neurohammer_repro::attack::{estimate_attack, run_attack, AttackConfig};
+use neurohammer_repro::crossbar::{CellAddress, EngineConfig, PulseEngine};
+use neurohammer_repro::jart::DeviceParams;
+use neurohammer_repro::units::{Seconds, Volts};
+
+fn main() {
+    // A 5×5 passive crossbar with a synthetic thermal-coupling profile
+    // (α ≈ 0.15 to the in-line neighbours — close to the value the field
+    // solver extracts for 50 nm electrode spacing).
+    let mut engine = PulseEngine::with_uniform_coupling(
+        5,
+        5,
+        DeviceParams::default(),
+        0.15,
+        EngineConfig::default(),
+    );
+
+    // Hammer the centre cell's neighbour: the victim sits at (2, 1) and the
+    // aggressor — the cell the attacker can legitimately write — at (2, 2).
+    let config = AttackConfig {
+        victim: CellAddress::new(2, 1),
+        pattern: AttackPattern::SingleAggressor,
+        amplitude: Volts(1.05),
+        pulse_length: Seconds(50e-9),
+        gap: Seconds(50e-9),
+        max_pulses: 2_000_000,
+        batching: true,
+        trace: false,
+    };
+
+    let estimate = estimate_attack(&DeviceParams::default(), engine.hub(), &config);
+    println!("analytic estimate: aggressor filament ≈ {:.0} K, victim ≈ {:.0} K, ~{} pulses",
+        estimate.aggressor_temperature.0,
+        estimate.victim_temperature.0,
+        estimate.pulses_to_flip.map(|p| p.to_string()).unwrap_or_else(|| "∞".into()));
+
+    let result = run_attack(&mut engine, &config);
+    if result.flipped {
+        println!(
+            "bit-flip induced after {} hammer pulses ({:.2} µs of attack time), {} collateral flips",
+            result.pulses,
+            result.elapsed.0 * 1e6,
+            result.collateral_flips
+        );
+    } else {
+        println!("no bit-flip within {} pulses", result.pulses);
+    }
+}

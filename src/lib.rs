@@ -1,0 +1,49 @@
+//! NeuroHammer reproduction — umbrella crate.
+//!
+//! This crate re-exports the workspace members so the examples and the
+//! cross-crate integration tests can use one coherent namespace. The actual
+//! functionality lives in:
+//!
+//! * [`units`] (`rram-units`) — physical quantities and constants,
+//! * [`analysis`] (`rram-analysis`) — regression, statistics, reporting,
+//! * [`fem`] (`rram-fem`) — the thermal field solver and α extraction,
+//! * [`jart`] (`rram-jart`) — the VCM compact model,
+//! * [`circuit`] (`rram-circuit`) — the MNA circuit simulator,
+//! * [`crossbar`] (`rram-crossbar`) — the crossbar platform,
+//! * [`attack`] (`neurohammer`) — the attack engine, experiments, scenarios
+//!   and countermeasures.
+//!
+//! # Examples
+//!
+//! ```
+//! use neurohammer_repro::attack::{run_attack, AttackConfig};
+//! use neurohammer_repro::attack::pattern::AttackPattern;
+//! use neurohammer_repro::crossbar::{CellAddress, EngineConfig, PulseEngine};
+//! use neurohammer_repro::jart::DeviceParams;
+//! use neurohammer_repro::units::{Seconds, Volts};
+//!
+//! let mut engine = PulseEngine::with_uniform_coupling(
+//!     5, 5, DeviceParams::default(), 0.15, EngineConfig::default());
+//! let config = AttackConfig {
+//!     victim: CellAddress::new(2, 1),
+//!     pattern: AttackPattern::SingleAggressor,
+//!     amplitude: Volts(1.05),
+//!     pulse_length: Seconds(100e-9),
+//!     gap: Seconds(100e-9),
+//!     max_pulses: 1_000_000,
+//!     batching: true,
+//!     trace: false,
+//! };
+//! assert!(run_attack(&mut engine, &config).flipped);
+//! ```
+
+#![deny(missing_docs)]
+#![deny(unsafe_code)]
+
+pub use neurohammer as attack;
+pub use rram_analysis as analysis;
+pub use rram_circuit as circuit;
+pub use rram_crossbar as crossbar;
+pub use rram_fem as fem;
+pub use rram_jart as jart;
+pub use rram_units as units;

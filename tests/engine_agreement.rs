@@ -1,0 +1,105 @@
+//! The fast ideal-driver pulse engine and the MNA-backed detailed engine
+//! must agree on short hammer bursts when wiring parasitics are negligible
+//! (the validation called out in DESIGN.md).
+
+use neurohammer_repro::crossbar::{
+    CellAddress, CrosstalkHub, DetailedCrossbar, EngineConfig, PulseEngine, WiringParasitics,
+    WriteScheme,
+};
+use neurohammer_repro::jart::{DeviceParams, DigitalState};
+use neurohammer_repro::units::{Ohms, Seconds, Volts};
+
+const PULSES: usize = 15;
+
+fn hub() -> CrosstalkHub {
+    CrosstalkHub::uniform(3, 3, 0.15, 0.075, 0.0375, Seconds(30e-9))
+}
+
+#[test]
+fn fast_and_detailed_engines_agree_on_victim_progress() {
+    // Fast engine.
+    let mut fast = PulseEngine::new(
+        neurohammer_repro::crossbar::CrossbarArray::new(3, 3, DeviceParams::default()),
+        hub(),
+        EngineConfig::default(),
+    );
+    let aggressor = CellAddress::new(1, 1);
+    let victim = CellAddress::new(1, 0);
+    fast.array_mut().cell_mut(aggressor).force_state(DigitalState::Lrs);
+    for _ in 0..PULSES {
+        fast.apply_pulse(aggressor, Volts(1.05), Seconds(50e-9));
+        fast.idle(Seconds(50e-9));
+    }
+    let fast_victim = fast.array().cell(victim).normalized_state();
+    let fast_delta = fast.hub().delta(1, 0).0;
+
+    // Detailed engine with near-ideal wiring.
+    let mut detailed = DetailedCrossbar::new(
+        3,
+        3,
+        DeviceParams::default(),
+        WiringParasitics {
+            segment_resistance: Ohms(0.1),
+            driver_resistance: Ohms(1.0),
+        },
+        hub(),
+        WriteScheme::HalfVoltage,
+    );
+    detailed.force_state(aggressor, DigitalState::Lrs);
+    for _ in 0..PULSES {
+        detailed.apply_pulse(aggressor, Volts(1.05), Seconds(50e-9), Seconds(10e-9));
+        // Matching inter-pulse gap (all lines grounded) so both engines see
+        // the same duty cycle.
+        detailed.apply_pulse(aggressor, Volts(0.0), Seconds(50e-9), Seconds(25e-9));
+    }
+    let detailed_victim = detailed.normalized_state(victim);
+    let detailed_delta = detailed.hub().delta(1, 0).0;
+
+    // The victim's drift is tiny after 15 pulses, so compare on a log scale:
+    // the two engines must agree within a factor of 3 on both the state
+    // drift and the crosstalk temperature.
+    assert!(fast_victim > 0.0 && detailed_victim > 0.0);
+    let state_ratio = fast_victim / detailed_victim;
+    assert!(
+        (0.25..4.0).contains(&state_ratio),
+        "victim drift disagrees: fast {fast_victim:.3e} vs detailed {detailed_victim:.3e}"
+    );
+    let delta_ratio = fast_delta / detailed_delta;
+    assert!(
+        (0.5..2.0).contains(&delta_ratio),
+        "crosstalk ΔT disagrees: fast {fast_delta:.1} K vs detailed {detailed_delta:.1} K"
+    );
+}
+
+#[test]
+fn heavy_line_resistance_makes_the_detailed_engine_slower() {
+    let aggressor = CellAddress::new(1, 1);
+    let run = |parasitics: WiringParasitics| {
+        let mut xbar = DetailedCrossbar::new(
+            3,
+            3,
+            DeviceParams::default(),
+            parasitics,
+            hub(),
+            WriteScheme::HalfVoltage,
+        );
+        xbar.force_state(aggressor, DigitalState::Lrs);
+        for _ in 0..10 {
+            xbar.apply_pulse(aggressor, Volts(1.05), Seconds(50e-9), Seconds(10e-9));
+        }
+        xbar.hub().delta(1, 0).0
+    };
+    let ideal = run(WiringParasitics {
+        segment_resistance: Ohms(0.1),
+        driver_resistance: Ohms(1.0),
+    });
+    let resistive = run(WiringParasitics {
+        segment_resistance: Ohms(200.0),
+        driver_resistance: Ohms(1_000.0),
+    });
+    assert!(
+        resistive < ideal,
+        "line resistance should reduce the aggressor power and hence the coupling \
+         (ideal {ideal:.1} K vs resistive {resistive:.1} K)"
+    );
+}

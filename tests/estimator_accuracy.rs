@@ -1,0 +1,42 @@
+//! The closed-form pulses-to-flip estimator must stay within an order of
+//! magnitude of the simulated pulse count (it ignores the victim's runaway
+//! phase, so it may over-estimate but never wildly).
+
+use neurohammer_repro::attack::pattern::AttackPattern;
+use neurohammer_repro::attack::{estimate_attack, run_attack, AttackConfig};
+use neurohammer_repro::crossbar::{CellAddress, EngineConfig, PulseEngine};
+use neurohammer_repro::jart::DeviceParams;
+use neurohammer_repro::units::{Seconds, Volts};
+
+#[test]
+fn estimate_and_simulation_agree_within_an_order_of_magnitude() {
+    let params = DeviceParams::default();
+    for &pulse_ns in &[50.0_f64, 100.0] {
+        let mut engine = PulseEngine::with_uniform_coupling(
+            5,
+            5,
+            params.clone(),
+            0.15,
+            EngineConfig::default(),
+        );
+        let config = AttackConfig {
+            victim: CellAddress::new(2, 1),
+            pattern: AttackPattern::SingleAggressor,
+            amplitude: Volts(1.05),
+            pulse_length: Seconds(pulse_ns * 1e-9),
+            gap: Seconds(pulse_ns * 1e-9),
+            max_pulses: 3_000_000,
+            batching: true,
+            trace: false,
+        };
+        let estimate = estimate_attack(&params, engine.hub(), &config)
+            .pulses_to_flip
+            .expect("estimator predicts a feasible attack") as f64;
+        let simulated = run_attack(&mut engine, &config).pulses as f64;
+        let ratio = estimate / simulated;
+        assert!(
+            (0.1..=30.0).contains(&ratio),
+            "estimate {estimate} vs simulated {simulated} at {pulse_ns} ns (ratio {ratio:.2})"
+        );
+    }
+}

@@ -24,7 +24,7 @@ pub fn log_bar_chart(series: &[(String, f64)], width: usize) -> Option<String> {
     if series.is_empty() || width == 0 {
         return None;
     }
-    if series.iter().any(|(_, v)| !(*v > 0.0) || !v.is_finite()) {
+    if series.iter().any(|(_, v)| *v <= 0.0 || !v.is_finite()) {
         return None;
     }
     let logs: Vec<f64> = series.iter().map(|(_, v)| v.log10()).collect();

@@ -58,10 +58,7 @@ mod tests {
     fn simple_rows_round_trip() {
         let s = to_csv_string(
             &["x", "y"],
-            &[
-                vec!["1".into(), "2".into()],
-                vec!["3".into(), "4".into()],
-            ],
+            &[vec!["1".into(), "2".into()], vec!["3".into(), "4".into()]],
         );
         assert_eq!(s, "x,y\n1,2\n3,4\n");
     }

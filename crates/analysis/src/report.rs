@@ -1,0 +1,104 @@
+//! Sectioned plain-text reports.
+//!
+//! The figure-regeneration binaries print a title, then one section per
+//! series/variant, each containing free text, tables and ASCII charts. This
+//! module provides the small structured builder behind that output so every
+//! binary renders the same way (and so campaign reports can be rendered
+//! without each binary reinventing the layout).
+
+use std::fmt;
+
+/// A titled report made of headed sections of text blocks.
+///
+/// # Examples
+///
+/// ```
+/// use rram_analysis::report::Report;
+///
+/// let mut report = Report::new("Fig. 3a — pulse length");
+/// report.section("50 ns pulses").push("| pulse | ... |");
+/// let text = report.to_string();
+/// assert!(text.starts_with("# Fig. 3a"));
+/// assert!(text.contains("## 50 ns pulses"));
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct Report {
+    title: String,
+    sections: Vec<(String, Vec<String>)>,
+}
+
+impl Report {
+    /// Creates an empty report with the given title.
+    pub fn new(title: impl Into<String>) -> Self {
+        Report {
+            title: title.into(),
+            sections: Vec::new(),
+        }
+    }
+
+    /// Starts a new section and returns `self` for chaining.
+    pub fn section(&mut self, heading: impl Into<String>) -> &mut Self {
+        self.sections.push((heading.into(), Vec::new()));
+        self
+    }
+
+    /// Appends a text block (a table, a chart, a sentence) to the current
+    /// section; opens an untitled section if none exists yet.
+    pub fn push(&mut self, block: impl Into<String>) -> &mut Self {
+        if self.sections.is_empty() {
+            self.sections.push((String::new(), Vec::new()));
+        }
+        let (_, blocks) = self.sections.last_mut().expect("section exists");
+        blocks.push(block.into());
+        self
+    }
+
+    /// Number of sections.
+    pub fn len(&self) -> usize {
+        self.sections.len()
+    }
+
+    /// Returns `true` when the report has no sections.
+    pub fn is_empty(&self) -> bool {
+        self.sections.is_empty()
+    }
+}
+
+impl fmt::Display for Report {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "# {}", self.title)?;
+        for (heading, blocks) in &self.sections {
+            if !heading.is_empty() {
+                writeln!(f, "\n## {heading}")?;
+            }
+            for block in blocks {
+                writeln!(f, "{}", block.trim_end())?;
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_title_sections_and_blocks() {
+        let mut report = Report::new("T");
+        report.section("A").push("block 1").push("block 2");
+        report.section("B").push("block 3");
+        let text = report.to_string();
+        let expected = "# T\n\n## A\nblock 1\nblock 2\n\n## B\nblock 3\n";
+        assert_eq!(text, expected);
+        assert_eq!(report.len(), 2);
+        assert!(!report.is_empty());
+    }
+
+    #[test]
+    fn push_without_a_section_opens_an_untitled_one() {
+        let mut report = Report::new("T");
+        report.push("free text");
+        assert_eq!(report.to_string(), "# T\nfree text\n");
+    }
+}

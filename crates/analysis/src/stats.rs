@@ -54,7 +54,7 @@ impl Summary {
 
 /// Geometric mean of strictly positive samples; `None` otherwise.
 pub fn geometric_mean(data: &[f64]) -> Option<f64> {
-    if data.is_empty() || data.iter().any(|&v| !(v > 0.0) || !v.is_finite()) {
+    if data.is_empty() || data.iter().any(|&v| v <= 0.0 || !v.is_finite()) {
         return None;
     }
     let log_sum: f64 = data.iter().map(|v| v.ln()).sum();
@@ -90,7 +90,7 @@ pub fn is_monotonic_increasing(series: &[f64]) -> bool {
 
 /// log10 of every element; `None` if any element is not strictly positive.
 pub fn log10_series(series: &[f64]) -> Option<Vec<f64>> {
-    if series.iter().any(|&v| !(v > 0.0)) {
+    if series.iter().any(|&v| !v.is_finite() || v <= 0.0) {
         return None;
     }
     Some(series.iter().map(|v| v.log10()).collect())

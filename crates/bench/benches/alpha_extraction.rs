@@ -31,7 +31,11 @@ fn bench_alpha(c: &mut Criterion) {
             || (),
             |()| {
                 HeatProblem::new(&model, Kelvin(300.0))
-                    .with_source(HeatSource { row: 1, col: 1, power: Watts(40e-6) })
+                    .with_source(HeatSource {
+                        row: 1,
+                        col: 1,
+                        power: Watts(40e-6),
+                    })
                     .solve_cell_matrix()
                     .expect("heat solve")
             },

@@ -8,10 +8,16 @@ use rram_jart::DeviceParams;
 use rram_units::{Kelvin, Seconds, Volts};
 
 fn attack_at(ambient: f64) -> u64 {
-    let device = DeviceParams::builder().ambient_temperature(ambient).build().expect("params");
+    let device = DeviceParams::builder()
+        .ambient_temperature(ambient)
+        .build()
+        .expect("params");
     let array = CrossbarArray::new(5, 5, device);
     let hub = CrosstalkHub::uniform(5, 5, 0.18, 0.09, 0.045, Seconds(30e-9));
-    let engine_config = EngineConfig { ambient: Kelvin(ambient), ..EngineConfig::default() };
+    let engine_config = EngineConfig {
+        ambient: Kelvin(ambient),
+        ..EngineConfig::default()
+    };
     let mut engine = PulseEngine::new(array, hub, engine_config);
     let config = AttackConfig {
         victim: CellAddress::new(2, 1),

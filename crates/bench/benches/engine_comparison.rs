@@ -14,14 +14,25 @@ const BURST: usize = 10;
 
 fn fast_engine_burst() -> f64 {
     let mut engine = PulseEngine::with_uniform_coupling(
-        3, 3, DeviceParams::default(), 0.15, EngineConfig::default());
+        3,
+        3,
+        DeviceParams::default(),
+        0.15,
+        EngineConfig::default(),
+    );
     let aggressor = CellAddress::new(1, 1);
-    engine.array_mut().cell_mut(aggressor).force_state(DigitalState::Lrs);
+    engine
+        .array_mut()
+        .cell_mut(aggressor)
+        .force_state(DigitalState::Lrs);
     for _ in 0..BURST {
         engine.apply_pulse(aggressor, Volts(1.05), Seconds(50e-9));
         engine.idle(Seconds(50e-9));
     }
-    engine.array().cell(CellAddress::new(1, 0)).normalized_state()
+    engine
+        .array()
+        .cell(CellAddress::new(1, 0))
+        .normalized_state()
 }
 
 fn detailed_engine_burst() -> f64 {
@@ -36,7 +47,7 @@ fn detailed_engine_burst() -> f64 {
     let aggressor = CellAddress::new(1, 1);
     xbar.force_state(aggressor, DigitalState::Lrs);
     for _ in 0..BURST {
-        xbar.apply_pulse(aggressor, Volts(1.05), Seconds(50e-9), Seconds(10e-9));
+        xbar.apply_pulse_with_dt(aggressor, Volts(1.05), Seconds(50e-9), Seconds(10e-9));
     }
     xbar.normalized_state(CellAddress::new(1, 0))
 }
@@ -45,7 +56,9 @@ fn bench_engines(c: &mut Criterion) {
     let mut group = c.benchmark_group("engine_comparison");
     group.sample_size(10);
     group.bench_function("fast_pulse_engine_10_pulses", |b| b.iter(fast_engine_burst));
-    group.bench_function("detailed_mna_engine_10_pulses", |b| b.iter(detailed_engine_burst));
+    group.bench_function("detailed_mna_engine_10_pulses", |b| {
+        b.iter(detailed_engine_burst)
+    });
     group.finish();
 }
 

@@ -9,7 +9,12 @@ use rram_units::{Seconds, Volts};
 
 fn attack_with_pattern(pattern: AttackPattern) -> u64 {
     let mut engine = PulseEngine::with_uniform_coupling(
-        5, 5, DeviceParams::default(), 0.18, EngineConfig::default());
+        5,
+        5,
+        DeviceParams::default(),
+        0.18,
+        EngineConfig::default(),
+    );
     let config = AttackConfig {
         victim: CellAddress::new(2, 2),
         pattern,
@@ -26,10 +31,16 @@ fn attack_with_pattern(pattern: AttackPattern) -> u64 {
 fn bench_patterns(c: &mut Criterion) {
     let mut group = c.benchmark_group("fig3d_patterns");
     group.sample_size(10);
-    for &pattern in &[AttackPattern::SingleAggressor, AttackPattern::DoubleSidedRow, AttackPattern::Quad] {
-        group.bench_with_input(BenchmarkId::from_parameter(pattern.label()), &pattern, |b, &p| {
-            b.iter(|| attack_with_pattern(p))
-        });
+    for &pattern in &[
+        AttackPattern::SingleAggressor,
+        AttackPattern::DoubleSidedRow,
+        AttackPattern::Quad,
+    ] {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(pattern.label()),
+            &pattern,
+            |b, &p| b.iter(|| attack_with_pattern(p)),
+        );
     }
     group.finish();
 }

@@ -10,7 +10,12 @@ use rram_units::{Seconds, Volts};
 
 fn attack(pulse_ns: f64) -> u64 {
     let mut engine = PulseEngine::with_uniform_coupling(
-        5, 5, DeviceParams::default(), 0.18, EngineConfig::default());
+        5,
+        5,
+        DeviceParams::default(),
+        0.18,
+        EngineConfig::default(),
+    );
     let config = AttackConfig {
         victim: CellAddress::new(2, 1),
         pattern: AttackPattern::SingleAggressor,
@@ -28,9 +33,11 @@ fn bench_pulse_length(c: &mut Criterion) {
     let mut group = c.benchmark_group("fig3a_pulse_length");
     group.sample_size(10);
     for &ns in &[50.0_f64, 100.0] {
-        group.bench_with_input(BenchmarkId::from_parameter(format!("{ns}ns")), &ns, |b, &ns| {
-            b.iter(|| attack(ns))
-        });
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("{ns}ns")),
+            &ns,
+            |b, &ns| b.iter(|| attack(ns)),
+        );
     }
     group.finish();
 }

@@ -10,7 +10,12 @@ use rram_units::{Seconds, Volts};
 
 fn attack_with_alpha(nearest_alpha: f64) -> u64 {
     let mut engine = PulseEngine::with_uniform_coupling(
-        5, 5, DeviceParams::default(), nearest_alpha, EngineConfig::default());
+        5,
+        5,
+        DeviceParams::default(),
+        nearest_alpha,
+        EngineConfig::default(),
+    );
     let config = AttackConfig {
         victim: CellAddress::new(2, 1),
         pattern: AttackPattern::SingleAggressor,

@@ -1,30 +1,62 @@
-//! Ablation study over the design choices documented in DESIGN.md:
-//! crosstalk hub on/off, thermal time constant, pulse batching, and the
-//! closed-form estimator vs. the simulation.
+//! Ablation study over the design choices of the reproduction:
+//! crosstalk hub on/off, thermal time constant, pulse batching, the
+//! closed-form estimator vs. the simulation — plus a cross-backend agreement
+//! campaign that runs the same short burst through the fast pulse engine and
+//! the MNA-backed detailed engine.
 //!
 //! Run with `cargo run -p neurohammer-bench --release --bin ablation_report`.
 
 use neurohammer::ablation_report;
-use neurohammer_bench::{figure_setup, quick_requested};
-use rram_analysis::Table;
+use neurohammer::campaign::CampaignSpec;
+use neurohammer_bench::{figure_setup, quick_requested, resolve_campaign};
+use rram_analysis::{Report, Table};
+use rram_crossbar::BackendKind;
 
 fn main() {
     let setup = figure_setup(quick_requested());
     let report = ablation_report(&setup).expect("ablation failed");
 
-    println!("# Ablation report (50 ns pulses, 50 nm spacing, 300 K)");
+    let mut rendered = Report::new("Ablation report (50 ns pulses, 50 nm spacing, 300 K)");
+    rendered.section("Design-choice ablations");
     let mut table = Table::with_headers(&["variant", "# pulses to bit-flip"]);
     for row in &report.rows {
         table.push_row(vec![
             row.variant.clone(),
-            row.pulses.map(|p| p.to_string()).unwrap_or_else(|| "no flip within budget".into()),
+            row.pulses
+                .map(|p| p.to_string())
+                .unwrap_or_else(|| "no flip within budget".into()),
         ]);
     }
-    println!("{table}");
-    println!(
+    rendered.push(table.to_string());
+    rendered.push(format!(
         "closed-form estimator: {} pulses (aggressor {:.0} K, victim {:.0} K)",
-        report.estimate.pulses_to_flip.map(|p| p.to_string()).unwrap_or_else(|| "-".into()),
+        report
+            .estimate
+            .pulses_to_flip
+            .map(|p| p.to_string())
+            .unwrap_or_else(|| "-".into()),
         report.estimate.aggressor_temperature.0,
         report.estimate.victim_temperature.0
-    );
+    ));
+
+    // Backend ablation: the same 24-pulse burst through both engines, as a
+    // declarative two-point campaign. The victim's drift must agree within a
+    // small factor (the engines differ only in wiring parasitics).
+    let spec = resolve_campaign(CampaignSpec {
+        name: "backend agreement burst".into(),
+        array_sizes: vec![(3, 3)],
+        backends: vec![BackendKind::Pulse, BackendKind::detailed()],
+        max_pulses: 24,
+        batching: false,
+        ..CampaignSpec::default()
+    });
+    let agreement = spec.run().expect("backend campaign failed");
+    rendered.section("Backend agreement (pulse vs detailed engine)");
+    rendered.push(agreement.to_table().to_string());
+    rendered.push(match agreement.max_backend_drift_ratio() {
+        Some(ratio) => format!("worst victim-drift ratio between backends: {ratio:.2}x"),
+        None => "backends not comparable (no positive drift)".into(),
+    });
+
+    println!("{rendered}");
 }

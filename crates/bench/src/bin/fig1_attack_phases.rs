@@ -1,44 +1,85 @@
 //! Regenerates the Fig. 1 trace: the four phases of a NeuroHammer attack
 //! (hammering, temperature increase, changed switching kinetics, bit-flip).
 //!
+//! The attack is described by a single-point campaign spec; the binary
+//! builds the point's backend, re-runs it with pulse-level tracing enabled
+//! and renders the phase trace.
+//!
 //! Run with `cargo run -p neurohammer-bench --release --bin fig1_attack_phases`.
+//! Pass `--campaign <spec.json>` to trace a different grid point, `--spec`
+//! to print the executed spec as JSON.
 
-use neurohammer::fig1_trace;
-use neurohammer_bench::{figure_setup, quick_requested};
+use neurohammer::run_attack;
+use neurohammer_bench::{figure_campaign, maybe_print_spec, quick_requested, resolve_campaign};
 use rram_analysis::ascii_plot::sparkline;
-use rram_units::Seconds;
 
 fn main() {
-    let setup = figure_setup(quick_requested());
-    let result = fig1_trace(&setup, Seconds(50e-9)).expect("trace experiment failed");
+    let mut spec = figure_campaign(quick_requested());
+    spec.name = "fig1 attack phase trace (50 ns, 50 nm, 300 K)".into();
+    let spec = resolve_campaign(spec);
+    let point = spec.points()[0];
+
+    let mut backend = spec.backend_for(&point).expect("backend build failed");
+    let mut config = spec.attack_config(&point);
+    config.trace = true;
+    config.batching = false;
+    let result = run_attack(backend.as_mut(), &config);
 
     println!("# Fig. 1 — NeuroHammer attack phases (50 ns pulses, 50 nm spacing, 300 K)");
-    println!("bit-flip after {} pulses ({:.3e} s of attack time)\n", result.pulses, result.elapsed.0);
+    println!("backend: {}", point.backend.label());
+    println!(
+        "bit-flip after {} pulses ({:.3e} s of attack time)\n",
+        result.pulses, result.elapsed.0
+    );
 
     let sample = |f: &dyn Fn(&neurohammer::TracePoint) -> f64| -> Vec<f64> {
         // Down-sample the trace to at most 60 points for the sparkline.
         let stride = (result.trace.len() / 60).max(1);
         result.trace.iter().step_by(stride).map(f).collect()
     };
-    println!("aggressor temperature [K]: {}", sparkline(&sample(&|p| p.aggressor_temperature.0)).unwrap_or_default());
-    println!("victim temperature    [K]: {}", sparkline(&sample(&|p| p.victim_temperature.0)).unwrap_or_default());
-    println!("victim crosstalk ΔT   [K]: {}", sparkline(&sample(&|p| p.victim_crosstalk.0)).unwrap_or_default());
-    println!("victim state     [0..1]  : {}", sparkline(&sample(&|p| p.victim_state)).unwrap_or_default());
+    println!(
+        "aggressor temperature [K]: {}",
+        sparkline(&sample(&|p| p.aggressor_temperature.0)).unwrap_or_default()
+    );
+    println!(
+        "victim temperature    [K]: {}",
+        sparkline(&sample(&|p| p.victim_temperature.0)).unwrap_or_default()
+    );
+    println!(
+        "victim crosstalk ΔT   [K]: {}",
+        sparkline(&sample(&|p| p.victim_crosstalk.0)).unwrap_or_default()
+    );
+    println!(
+        "victim state     [0..1]  : {}",
+        sparkline(&sample(&|p| p.victim_state)).unwrap_or_default()
+    );
 
-    println!("\n{:>8} {:>12} {:>10} {:>10} {:>10} {:>8}", "pulse", "time [s]", "T_aggr [K]", "T_vict [K]", "ΔT_xt [K]", "state");
+    println!(
+        "\n{:>8} {:>12} {:>10} {:>10} {:>10} {:>8}",
+        "pulse", "time [s]", "T_aggr [K]", "T_vict [K]", "ΔT_xt [K]", "state"
+    );
     let stride = (result.trace.len() / 12).max(1);
     for point in result.trace.iter().step_by(stride) {
         println!(
             "{:>8} {:>12.3e} {:>10.1} {:>10.1} {:>10.1} {:>8.3}",
-            point.pulses, point.time.0, point.aggressor_temperature.0,
-            point.victim_temperature.0, point.victim_crosstalk.0, point.victim_state
+            point.pulses,
+            point.time.0,
+            point.aggressor_temperature.0,
+            point.victim_temperature.0,
+            point.victim_crosstalk.0,
+            point.victim_state
         );
     }
     if let Some(last) = result.trace.last() {
         println!(
             "{:>8} {:>12.3e} {:>10.1} {:>10.1} {:>10.1} {:>8.3}",
-            last.pulses, last.time.0, last.aggressor_temperature.0,
-            last.victim_temperature.0, last.victim_crosstalk.0, last.victim_state
+            last.pulses,
+            last.time.0,
+            last.aggressor_temperature.0,
+            last.victim_temperature.0,
+            last.victim_crosstalk.0,
+            last.victim_state
         );
     }
+    maybe_print_spec(&spec);
 }

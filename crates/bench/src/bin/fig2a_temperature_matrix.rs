@@ -16,23 +16,42 @@ fn main() {
     let result = fig2a_temperature_matrix(&setup, 50.0).expect("field solve failed");
 
     println!("# Fig. 2a — temperature values of the 5x5 crossbar (50 nm spacing, 300 K ambient)");
-    println!("hammered-cell power P_LRS        : {:.3e} W", result.hammered_power.0);
-    println!("compact-model filament T (Eq. 6) : {:.1} K", result.compact_model_temperature.0);
-    println!("field-solver R_th (Eq. 3)        : {:.3e} K/W", result.extraction.r_th.0);
-    println!("fit intercept T0                 : {:.2} K", result.extraction.t0.0);
-    println!("worst per-cell fit R^2           : {:.6}", result.extraction.min_r_squared);
+    println!(
+        "hammered-cell power P_LRS        : {:.3e} W",
+        result.hammered_power.0
+    );
+    println!(
+        "compact-model filament T (Eq. 6) : {:.1} K",
+        result.compact_model_temperature.0
+    );
+    println!(
+        "field-solver R_th (Eq. 3)        : {:.3e} K/W",
+        result.extraction.r_th.0
+    );
+    println!(
+        "fit intercept T0                 : {:.2} K",
+        result.extraction.t0.0
+    );
+    println!(
+        "worst per-cell fit R^2           : {:.6}",
+        result.extraction.min_r_squared
+    );
 
     println!("\nmean filament temperature per cell [K]:");
     let matrix = &result.extraction.temperature_matrix;
     for row in 0..matrix.rows() {
-        let line: Vec<String> = (0..matrix.cols()).map(|c| format!("{:7.1}", matrix.get(row, c).0)).collect();
+        let line: Vec<String> = (0..matrix.cols())
+            .map(|c| format!("{:7.1}", matrix.get(row, c).0))
+            .collect();
         println!("  {}", line.join(" "));
     }
 
     println!("\ncrosstalk coefficients alpha_ij (Eq. 4, selected cell = centre):");
     let alpha = &result.extraction.alpha;
     for row in 0..alpha.rows() {
-        let line: Vec<String> = (0..alpha.cols()).map(|c| format!("{:7.4}", alpha.get(row, c))).collect();
+        let line: Vec<String> = (0..alpha.cols())
+            .map(|c| format!("{:7.4}", alpha.get(row, c)))
+            .collect();
         println!("  {}", line.join(" "));
     }
 }

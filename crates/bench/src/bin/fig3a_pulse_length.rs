@@ -1,25 +1,42 @@
 //! Regenerates Fig. 3a: number of pulses to trigger a bit-flip vs. pulse
-//! length (10–100 ns), 50 nm electrode spacing, 300 K ambient.
+//! length (10–100 ns), 50 nm electrode spacing, 300 K ambient — expressed as
+//! a declarative campaign grid.
 //!
 //! Run with `cargo run -p neurohammer-bench --release --bin fig3a_pulse_length`.
+//! Pass `--campaign <spec.json>` to run a custom grid, `--csv` for raw rows,
+//! `--spec` to print the executed grid as JSON.
 
-use neurohammer::fig3a_pulse_length;
-use neurohammer_bench::{figure_setup, print_series, quick_requested};
+use neurohammer::campaign::CampaignAxis;
+use neurohammer_bench::{
+    campaign_figure, figure_campaign, maybe_print_spec, quick_requested, resolve_campaign,
+};
 
 fn main() {
     let quick = quick_requested();
-    let setup = figure_setup(quick);
-    let lengths: Vec<f64> = if quick {
+    let mut spec = figure_campaign(quick);
+    spec.name = "fig3a pulse length sweep (50 nm, 300 K)".into();
+    spec.pulse_lengths_ns = if quick {
         vec![10.0, 30.0, 50.0, 100.0]
     } else {
         (1..=10).map(|i| i as f64 * 10.0).collect()
     };
-    let series = fig3a_pulse_length(&setup, &lengths).expect("fig3a failed");
-    println!("# Fig. 3a — impact of the pulse length (50 nm spacing, 300 K)");
-    print_series(&series, "pulse length");
+    let spec = resolve_campaign(spec);
+
+    let report = spec.run().expect("fig3a campaign failed");
     println!(
-        "monotonically decreasing: {} | first/last ratio: {:.1}",
-        series.is_monotonically_decreasing(),
-        series.endpoint_ratio().unwrap_or(f64::NAN)
+        "{}",
+        campaign_figure(
+            "Fig. 3a — impact of the pulse length (50 nm spacing, 300 K)",
+            &report,
+            CampaignAxis::PulseLength,
+        )
     );
+    for series in report.series_over(CampaignAxis::PulseLength) {
+        println!(
+            "monotonically decreasing: {} | first/last ratio: {:.1}",
+            series.is_monotonically_decreasing(),
+            series.endpoint_ratio().unwrap_or(f64::NAN)
+        );
+    }
+    maybe_print_spec(&spec);
 }

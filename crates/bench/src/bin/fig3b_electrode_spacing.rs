@@ -1,27 +1,49 @@
 //! Regenerates Fig. 3b: number of pulses to trigger a bit-flip vs. electrode
-//! spacing (10/50/90 nm) for 50/75/100 ns pulses at 300 K.
+//! spacing (10/50/90 nm) for 50/75/100 ns pulses at 300 K — expressed as a
+//! declarative campaign grid (the campaign runner extracts the thermal
+//! coupling once per spacing and shares it across pulse lengths).
 //!
 //! Run with `cargo run -p neurohammer-bench --release --bin fig3b_electrode_spacing`.
+//! Pass `--campaign <spec.json>` to run a custom grid, `--csv` for raw rows,
+//! `--spec` to print the executed grid as JSON.
 
-use neurohammer::fig3b_electrode_spacing;
-use neurohammer_bench::{figure_setup, print_series, quick_requested};
+use neurohammer::campaign::CampaignAxis;
+use neurohammer::CouplingSpec;
+use neurohammer_bench::{
+    campaign_figure, figure_campaign, maybe_print_spec, quick_requested, resolve_campaign,
+};
 
 fn main() {
     let quick = quick_requested();
-    let mut setup = figure_setup(quick);
+    let mut spec = figure_campaign(quick);
+    spec.name = "fig3b electrode spacing sweep (300 K)".into();
     // The spacing sweep needs the field solver to see the geometry; the voxel
     // size must resolve the smallest spacing (10 nm), so both profiles use
     // 10 nm voxels and the quick profile trims the pulse-length list instead.
-    setup.coupling = neurohammer::CouplingSource::Fem { voxel_nm: 10.0 };
-    let lengths: Vec<f64> = if quick { vec![50.0, 100.0] } else { vec![50.0, 75.0, 100.0] };
-    let series = fig3b_electrode_spacing(&setup, &[10.0, 50.0, 90.0], &lengths)
-        .expect("fig3b failed");
-    println!("# Fig. 3b — impact of the electrode spacing (300 K)");
-    for s in &series {
-        print_series(s, "electrode spacing");
+    spec.coupling = CouplingSpec::Fem { voxel_nm: 10.0 };
+    spec.spacings_nm = vec![10.0, 50.0, 90.0];
+    spec.pulse_lengths_ns = if quick {
+        vec![50.0, 100.0]
+    } else {
+        vec![50.0, 75.0, 100.0]
+    };
+    let spec = resolve_campaign(spec);
+
+    let report = spec.run().expect("fig3b campaign failed");
+    println!(
+        "{}",
+        campaign_figure(
+            "Fig. 3b — impact of the electrode spacing (300 K)",
+            &report,
+            CampaignAxis::Spacing,
+        )
+    );
+    for series in report.series_over(CampaignAxis::Spacing) {
         println!(
-            "monotonically increasing with spacing: {}\n",
-            s.is_monotonically_increasing()
+            "{}: monotonically increasing with spacing: {}",
+            series.name,
+            series.is_monotonically_increasing()
         );
     }
+    maybe_print_spec(&spec);
 }

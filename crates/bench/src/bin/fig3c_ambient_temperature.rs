@@ -1,24 +1,44 @@
 //! Regenerates Fig. 3c: number of pulses to trigger a bit-flip vs. ambient
-//! temperature (273–373 K) for 10/30/50 ns pulses at 50 nm spacing.
+//! temperature (273–373 K) for 10/30/50 ns pulses at 50 nm spacing —
+//! expressed as a declarative campaign grid.
 //!
 //! Run with `cargo run -p neurohammer-bench --release --bin fig3c_ambient_temperature`.
+//! Pass `--campaign <spec.json>` to run a custom grid, `--csv` for raw rows,
+//! `--spec` to print the executed grid as JSON.
 
-use neurohammer::fig3c_ambient_temperature;
-use neurohammer_bench::{figure_setup, print_series, quick_requested};
+use neurohammer::campaign::CampaignAxis;
+use neurohammer_bench::{
+    campaign_figure, figure_campaign, maybe_print_spec, quick_requested, resolve_campaign,
+};
 
 fn main() {
     let quick = quick_requested();
-    let setup = figure_setup(quick);
-    let ambients = [273.0, 298.0, 323.0, 348.0, 373.0];
-    let lengths: Vec<f64> = if quick { vec![50.0] } else { vec![10.0, 30.0, 50.0] };
-    let series = fig3c_ambient_temperature(&setup, &ambients, &lengths).expect("fig3c failed");
-    println!("# Fig. 3c — impact of the ambient temperature (50 nm spacing)");
-    for s in &series {
-        print_series(s, "ambient temperature");
+    let mut spec = figure_campaign(quick);
+    spec.name = "fig3c ambient temperature sweep (50 nm)".into();
+    spec.ambients_k = vec![273.0, 298.0, 323.0, 348.0, 373.0];
+    spec.pulse_lengths_ns = if quick {
+        vec![50.0]
+    } else {
+        vec![10.0, 30.0, 50.0]
+    };
+    let spec = resolve_campaign(spec);
+
+    let report = spec.run().expect("fig3c campaign failed");
+    println!(
+        "{}",
+        campaign_figure(
+            "Fig. 3c — impact of the ambient temperature (50 nm spacing)",
+            &report,
+            CampaignAxis::Ambient,
+        )
+    );
+    for series in report.series_over(CampaignAxis::Ambient) {
         println!(
-            "monotonically decreasing with temperature: {} | 273 K / 373 K ratio: {:.1}\n",
-            s.is_monotonically_decreasing(),
-            s.endpoint_ratio().unwrap_or(f64::NAN)
+            "{}: monotonically decreasing with temperature: {} | 273 K / 373 K ratio: {:.1}",
+            series.name,
+            series.is_monotonically_decreasing(),
+            series.endpoint_ratio().unwrap_or(f64::NAN)
         );
     }
+    maybe_print_spec(&spec);
 }

@@ -1,15 +1,31 @@
 //! Regenerates the Fig. 3d–h attack-pattern comparison: pulses-to-flip for
-//! the single, double-sided, quad and diagonal aggressor patterns.
+//! the single, double-sided, quad and diagonal aggressor patterns —
+//! expressed as a declarative campaign grid over the pattern axis.
 //!
 //! Run with `cargo run -p neurohammer-bench --release --bin fig3d_attack_patterns`.
+//! Pass `--campaign <spec.json>` to run a custom grid, `--csv` for raw rows,
+//! `--spec` to print the executed grid as JSON.
 
-use neurohammer::fig3d_attack_patterns;
-use neurohammer_bench::{figure_setup, print_series, quick_requested};
-use rram_units::Seconds;
+use neurohammer::campaign::CampaignAxis;
+use neurohammer::AttackPattern;
+use neurohammer_bench::{
+    campaign_figure, figure_campaign, maybe_print_spec, quick_requested, resolve_campaign,
+};
 
 fn main() {
-    let setup = figure_setup(quick_requested());
-    let series = fig3d_attack_patterns(&setup, Seconds(50e-9)).expect("fig3d failed");
-    println!("# Fig. 3d–h — impact of different attack patterns (50 ns pulses, 50 nm, 300 K)");
-    print_series(&series, "attack pattern");
+    let mut spec = figure_campaign(quick_requested());
+    spec.name = "fig3d attack pattern comparison (50 ns, 50 nm, 300 K)".into();
+    spec.patterns = AttackPattern::ALL.to_vec();
+    let spec = resolve_campaign(spec);
+
+    let report = spec.run().expect("fig3d campaign failed");
+    println!(
+        "{}",
+        campaign_figure(
+            "Fig. 3d–h — impact of different attack patterns (50 ns pulses, 50 nm, 300 K)",
+            &report,
+            CampaignAxis::Pattern,
+        )
+    );
+    maybe_print_spec(&spec);
 }

@@ -1,17 +1,28 @@
 //! Shared helpers for the figure-regeneration binaries and Criterion
 //! benchmarks of the NeuroHammer reproduction.
 //!
-//! Each binary in `src/bin/` regenerates one table/figure of the paper (see
-//! `DESIGN.md` for the experiment index) and prints it as a plain-text table
-//! plus a log-scale ASCII chart; `EXPERIMENTS.md` records the outputs next to
-//! the paper's values.
+//! Each binary in `src/bin/` regenerates one table/figure of the paper and
+//! prints it as a plain-text table plus a log-scale ASCII chart. The sweep
+//! binaries are driven by declarative [`CampaignSpec`]s: each builds its
+//! default grid, optionally replaced by `--campaign <spec.json>` (so a
+//! figure can be re-run with a different grid without recompiling), runs it
+//! in parallel and renders the resulting [`CampaignReport`].
+//!
+//! Common flags understood by all binaries:
+//!
+//! * `--quick` (or the `NEUROHAMMER_QUICK` environment variable) — synthetic
+//!   coupling coefficients and smaller budgets, for CI-grade runs;
+//! * `--campaign <path>` — load the campaign grid from a JSON spec file;
+//! * `--csv` — additionally print the raw campaign results as CSV;
+//! * `--spec` — print the executed campaign spec as JSON (for archiving).
 
 #![deny(missing_docs)]
 #![deny(unsafe_code)]
 
+use neurohammer::campaign::{CampaignAxis, CampaignReport, CampaignSpec};
 use neurohammer::{ExperimentSetup, SweepSeries};
 use rram_analysis::ascii_plot::log_bar_chart;
-use rram_analysis::Table;
+use rram_analysis::{Report, Table};
 
 /// Returns the experiment setup used by the figure binaries.
 ///
@@ -36,9 +47,94 @@ pub fn figure_setup(quick: bool) -> ExperimentSetup {
     }
 }
 
+/// Base campaign grid shared by the figure binaries: the paper's 5×5 array,
+/// single-aggressor pattern, V_SET amplitude, 50 nm spacing and 300 K — with
+/// FEM-extracted coupling at full fidelity, or synthetic coupling and a
+/// smaller budget in quick mode.
+pub fn figure_campaign(quick: bool) -> CampaignSpec {
+    if quick {
+        CampaignSpec {
+            coupling: neurohammer::CouplingSpec::Uniform { nearest: 0.15 },
+            max_pulses: 1_500_000,
+            batching: true,
+            ..CampaignSpec::default()
+        }
+    } else {
+        CampaignSpec {
+            coupling: neurohammer::CouplingSpec::Fem { voxel_nm: 10.0 },
+            max_pulses: 3_000_000,
+            batching: true,
+            ..CampaignSpec::default()
+        }
+    }
+}
+
 /// Reads the `--quick` flag / `NEUROHAMMER_QUICK` environment variable.
 pub fn quick_requested() -> bool {
     std::env::args().any(|a| a == "--quick") || std::env::var_os("NEUROHAMMER_QUICK").is_some()
+}
+
+/// Reads the `--csv` flag.
+pub fn csv_requested() -> bool {
+    std::env::args().any(|a| a == "--csv")
+}
+
+/// Reads the `--spec` flag.
+pub fn spec_requested() -> bool {
+    std::env::args().any(|a| a == "--spec")
+}
+
+/// Returns the campaign spec from `--campaign <path>` when given, otherwise
+/// the binary's `default_spec`. Parse/IO failures abort with a message (these
+/// binaries are command-line tools).
+///
+/// # Panics
+///
+/// Panics when the spec file cannot be read or parsed, or when `--campaign`
+/// has no path argument.
+pub fn resolve_campaign(default_spec: CampaignSpec) -> CampaignSpec {
+    let args: Vec<String> = std::env::args().collect();
+    let Some(flag_index) = args.iter().position(|a| a == "--campaign") else {
+        return default_spec;
+    };
+    let path = args
+        .get(flag_index + 1)
+        .expect("--campaign requires a path argument");
+    let text = std::fs::read_to_string(path)
+        .unwrap_or_else(|e| panic!("cannot read campaign spec {path:?}: {e}"));
+    CampaignSpec::from_json(&text)
+        .unwrap_or_else(|e| panic!("cannot parse campaign spec {path:?}: {e}"))
+}
+
+/// Renders a campaign report as the standard figure output: one section per
+/// series over `axis` (a table plus a log-scale pulse-count chart), honouring
+/// the `--csv` flag.
+pub fn campaign_figure(title: &str, report: &CampaignReport, axis: CampaignAxis) -> Report {
+    let mut rendered = Report::new(title);
+    for series in report.series_over(axis) {
+        rendered.section(&series.name);
+        rendered.push(series_table(&series, "parameter").to_string());
+        let bars: Vec<(String, f64)> = series
+            .points
+            .iter()
+            .filter_map(|p| p.pulses.map(|n| (p.label.clone(), n as f64)))
+            .collect();
+        if let Some(chart) = log_bar_chart(&bars, 50) {
+            rendered.push(chart);
+        }
+    }
+    if csv_requested() {
+        rendered.section("CSV");
+        rendered.push(report.to_csv_string());
+    }
+    rendered
+}
+
+/// Prints the executed spec as JSON when `--spec` was passed.
+pub fn maybe_print_spec(spec: &CampaignSpec) {
+    if spec_requested() {
+        println!("\n## Campaign spec\n{}", spec.to_json());
+    }
 }
 
 /// Formats a sweep series as a table with one row per point.
@@ -109,6 +205,9 @@ mod tests {
             neurohammer::CouplingSource::Uniform { .. }
         ));
         let full = figure_setup(false);
-        assert!(matches!(full.coupling, neurohammer::CouplingSource::Fem { .. }));
+        assert!(matches!(
+            full.coupling,
+            neurohammer::CouplingSource::Fem { .. }
+        ));
     }
 }

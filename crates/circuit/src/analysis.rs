@@ -279,9 +279,8 @@ fn newton_solve(
             last_update = last_update.max(delta.abs());
             node_voltages[node] += delta;
         }
-        for k in 0..source_currents.len() {
-            source_currents[k] = x[n_unknown + k];
-        }
+        let n_sources = source_currents.len();
+        source_currents.copy_from_slice(&x[n_unknown..n_unknown + n_sources]);
         if last_update < options.tolerance {
             return Ok(Solution {
                 node_voltages,
@@ -323,12 +322,12 @@ pub fn run_transient(
     netlist: &mut Netlist,
     options: TransientOptions,
 ) -> Result<TransientResult, CircuitError> {
-    if !(options.dt > 0.0) || !options.dt.is_finite() {
+    if options.dt <= 0.0 || !options.dt.is_finite() {
         return Err(CircuitError::InvalidTransient {
             reason: "dt must be positive and finite",
         });
     }
-    if !(options.t_stop > 0.0) || !options.t_stop.is_finite() {
+    if options.t_stop <= 0.0 || !options.t_stop.is_finite() {
         return Err(CircuitError::InvalidTransient {
             reason: "t_stop must be positive and finite",
         });
@@ -493,7 +492,11 @@ mod tests {
         )
         .unwrap();
         let wave = result.node_waveform(out);
-        let t_idx = result.times.iter().position(|&t| t >= 1e-6 * 0.999).unwrap();
+        let t_idx = result
+            .times
+            .iter()
+            .position(|&t| t >= 1e-6 * 0.999)
+            .unwrap();
         // After one time constant the voltage should be close to exp(-1).
         let expected = (-1.0f64).exp();
         assert!(
@@ -568,7 +571,10 @@ mod tests {
             _ => unreachable!(),
         };
         // 1 V for 10 ns integrates to 1e-8 V·s.
-        assert!(total.contains("1e-8") || total.contains("9.99"), "total = {total}");
+        assert!(
+            total.contains("1e-8") || total.contains("9.99"),
+            "total = {total}"
+        );
     }
 
     #[test]

@@ -219,7 +219,10 @@ mod tests {
     #[test]
     fn singular_matrix_is_reported() {
         let a = DenseMatrix::zeros(3, 3);
-        assert!(matches!(a.solve(&[1.0, 1.0, 1.0]), Err(LinearError::Singular { .. })));
+        assert!(matches!(
+            a.solve(&[1.0, 1.0, 1.0]),
+            Err(LinearError::Singular { .. })
+        ));
     }
 
     #[test]

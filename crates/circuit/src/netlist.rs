@@ -219,7 +219,10 @@ impl Netlist {
     ///
     /// Panics if `ohms` is not strictly positive.
     pub fn add_resistor(&mut self, a: NodeId, b: NodeId, ohms: f64) -> ElementId {
-        assert!(ohms > 0.0 && ohms.is_finite(), "resistance must be positive");
+        assert!(
+            ohms > 0.0 && ohms.is_finite(),
+            "resistance must be positive"
+        );
         self.push(Element::Resistor { a, b, ohms })
     }
 
@@ -229,7 +232,10 @@ impl Netlist {
     ///
     /// Panics if `farads` is not strictly positive.
     pub fn add_capacitor(&mut self, a: NodeId, b: NodeId, farads: f64) -> ElementId {
-        assert!(farads > 0.0 && farads.is_finite(), "capacitance must be positive");
+        assert!(
+            farads > 0.0 && farads.is_finite(),
+            "capacitance must be positive"
+        );
         self.push(Element::Capacitor { a, b, farads })
     }
 

@@ -11,7 +11,7 @@
 use serde::{Deserialize, Serialize};
 
 use crate::pattern::AttackPattern;
-use rram_crossbar::{CellAddress, PulseEngine};
+use rram_crossbar::{CellAddress, HammerBackend};
 use rram_jart::DigitalState;
 use rram_units::{Kelvin, Seconds, Volts};
 
@@ -83,6 +83,10 @@ pub struct AttackResult {
     pub elapsed: Seconds,
     /// Digital state of the victim at the end.
     pub victim_state: DigitalState,
+    /// Normalised internal state of the victim at the end (0 = HRS,
+    /// 1 = LRS) — the drift measure used by cross-backend agreement checks
+    /// when the budget is too small for a flip.
+    pub victim_drift: f64,
     /// Number of cells other than the victim that changed state
     /// (collateral flips).
     pub collateral_flips: usize,
@@ -90,7 +94,7 @@ pub struct AttackResult {
     pub trace: Vec<TracePoint>,
 }
 
-/// Runs a NeuroHammer campaign on the given engine.
+/// Runs a NeuroHammer campaign on any [`HammerBackend`].
 ///
 /// The engine's array is used as-is apart from two preparations that mirror
 /// the paper's setup: every aggressor is switched to the LRS ("the red cell
@@ -101,9 +105,12 @@ pub struct AttackResult {
 /// # Panics
 ///
 /// Panics if the victim or an aggressor lies outside the engine's array.
-pub fn run_attack(engine: &mut PulseEngine, config: &AttackConfig) -> AttackResult {
-    let rows = engine.array().rows();
-    let cols = engine.array().cols();
+pub fn run_attack<B: HammerBackend + ?Sized>(
+    engine: &mut B,
+    config: &AttackConfig,
+) -> AttackResult {
+    let rows = engine.rows();
+    let cols = engine.cols();
     let aggressors = config.pattern.aggressors(config.victim, rows, cols);
     assert!(
         !aggressors.is_empty(),
@@ -112,18 +119,16 @@ pub fn run_attack(engine: &mut PulseEngine, config: &AttackConfig) -> AttackResu
 
     // Phase 0: prepare the array.
     for &aggressor in &aggressors {
-        engine.array_mut().cell_mut(aggressor).force_state(DigitalState::Lrs);
+        engine.force_state(aggressor, DigitalState::Lrs);
     }
-    engine
-        .array_mut()
-        .cell_mut(config.victim)
-        .force_state(DigitalState::Hrs);
-    let reference = engine.array().read_all();
+    engine.force_state(config.victim, DigitalState::Hrs);
+    let reference = engine.read_all();
 
     let mut pulses: u64 = 0;
     let start_time = engine.elapsed();
     let mut trace = Vec::new();
     let use_batching = config.batching && !config.trace;
+    let victim_is_lrs = |engine: &B| engine.read(config.victim) == DigitalState::Lrs;
 
     // Batching bookkeeping: progress of the victim per simulated window.
     // The first `warmup` pulses are always simulated exactly so the thermal
@@ -131,7 +136,7 @@ pub fn run_attack(engine: &mut PulseEngine, config: &AttackConfig) -> AttackResu
     let window: u64 = 16;
     let batch_factor: u64 = 4;
     let warmup: u64 = 2 * window;
-    let mut window_start_state = engine.array().cell(config.victim).normalized_state();
+    let mut window_start_state = engine.normalized_state(config.victim);
     let mut pulses_in_window: u64 = 0;
 
     while pulses < config.max_pulses {
@@ -141,26 +146,26 @@ pub fn run_attack(engine: &mut PulseEngine, config: &AttackConfig) -> AttackResu
             pulses += 1;
             pulses_in_window += 1;
             if config.trace {
-                let victim_cell = engine.array().cell(config.victim);
-                let aggressor_cell = engine.array().cell(aggressors[0]);
+                let victim = engine.thermal_readout(config.victim);
+                let aggressor = engine.thermal_readout(aggressors[0]);
                 trace.push(TracePoint {
                     pulses,
                     time: Seconds(engine.elapsed().0 - start_time.0),
-                    aggressor_temperature: aggressor_cell.temperature(),
-                    victim_temperature: victim_cell.temperature(),
-                    victim_crosstalk: victim_cell.crosstalk_delta(),
-                    victim_state: victim_cell.normalized_state(),
+                    aggressor_temperature: aggressor.temperature,
+                    victim_temperature: victim.temperature,
+                    victim_crosstalk: victim.crosstalk,
+                    victim_state: victim.normalized_state,
                 });
             }
             if config.gap.0 > 0.0 {
                 engine.idle(config.gap);
             }
-            if engine.array().cell(config.victim).is_lrs() || pulses >= config.max_pulses {
+            if victim_is_lrs(engine) || pulses >= config.max_pulses {
                 break;
             }
         }
 
-        if engine.array().cell(config.victim).is_lrs() {
+        if victim_is_lrs(engine) {
             break;
         }
 
@@ -168,7 +173,7 @@ pub fn run_attack(engine: &mut PulseEngine, config: &AttackConfig) -> AttackResu
         // has been simulated), extrapolate the victim's slow drift over
         // `batch_factor` windows instead of simulating them pulse by pulse.
         if use_batching && pulses >= warmup && pulses_in_window >= window {
-            let state_now = engine.array().cell(config.victim).normalized_state();
+            let state_now = engine.normalized_state(config.victim);
             let delta_per_pulse = (state_now - window_start_state) / pulses_in_window as f64;
             let flip_state = 0.5;
             // Only extrapolate while the victim is still far from the flip
@@ -179,23 +184,18 @@ pub fn run_attack(engine: &mut PulseEngine, config: &AttackConfig) -> AttackResu
             {
                 let skip_pulses =
                     (window * batch_factor).min(config.max_pulses.saturating_sub(pulses));
-                let params = engine.array().cell(config.victim).params().clone();
-                let victim_cell = engine.array_mut().cell_mut(config.victim);
-                let new_norm = victim_cell.normalized_state()
-                    + delta_per_pulse * skip_pulses as f64;
-                victim_cell.force_concentration(
-                    params.n_min + new_norm * (params.n_max - params.n_min),
-                );
+                let new_norm =
+                    engine.normalized_state(config.victim) + delta_per_pulse * skip_pulses as f64;
+                engine.force_normalized_state(config.victim, new_norm);
                 pulses += skip_pulses;
             }
-            window_start_state = engine.array().cell(config.victim).normalized_state();
+            window_start_state = engine.normalized_state(config.victim);
             pulses_in_window = 0;
         }
     }
 
-    let flipped = engine.array().cell(config.victim).is_lrs();
+    let flipped = victim_is_lrs(engine);
     let collateral_flips = engine
-        .array()
         .changed_cells(&reference)
         .into_iter()
         .filter(|&c| c != config.victim)
@@ -205,7 +205,8 @@ pub fn run_attack(engine: &mut PulseEngine, config: &AttackConfig) -> AttackResu
         flipped,
         pulses,
         elapsed: Seconds(engine.elapsed().0 - start_time.0),
-        victim_state: engine.array().cell(config.victim).digital_state(),
+        victim_state: engine.read(config.victim),
+        victim_drift: engine.normalized_state(config.victim),
         collateral_flips,
         trace,
     }
@@ -214,7 +215,7 @@ pub fn run_attack(engine: &mut PulseEngine, config: &AttackConfig) -> AttackResu
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rram_crossbar::EngineConfig;
+    use rram_crossbar::{EngineConfig, PulseEngine};
     use rram_jart::DeviceParams;
 
     fn engine() -> PulseEngine {
@@ -244,7 +245,11 @@ mod tests {
         let result = run_attack(&mut e, &quick_config());
         assert!(result.flipped, "no flip after {} pulses", result.pulses);
         assert_eq!(result.victim_state, DigitalState::Lrs);
-        assert!(result.pulses > 10, "suspiciously fast flip: {}", result.pulses);
+        assert!(
+            result.pulses > 10,
+            "suspiciously fast flip: {}",
+            result.pulses
+        );
         assert!(result.elapsed.0 > 0.0);
     }
 
@@ -263,8 +268,7 @@ mod tests {
         assert!(
             !without_result.flipped,
             "flip without crosstalk after {} pulses (with: {})",
-            without_result.pulses,
-            with_result.pulses
+            without_result.pulses, with_result.pulses
         );
     }
 
@@ -304,10 +308,7 @@ mod tests {
         // Phase 4: the victim state ends near LRS.
         assert!(last.victim_state > 0.5);
         // Time increases monotonically.
-        assert!(result
-            .trace
-            .windows(2)
-            .all(|w| w[1].time.0 >= w[0].time.0));
+        assert!(result.trace.windows(2).all(|w| w[1].time.0 >= w[0].time.0));
     }
 
     #[test]

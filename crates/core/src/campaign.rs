@@ -1,0 +1,1151 @@
+//! Declarative, parallel hammering campaigns.
+//!
+//! A [`CampaignSpec`] describes a *grid* of NeuroHammer attacks — the
+//! cartesian product of array sizes × attack patterns × hammer amplitudes ×
+//! pulse lengths × electrode spacings × ambient temperatures × simulation
+//! backends — as plain data that can be stored next to the figures it
+//! reproduces (see [`CampaignSpec::to_json`]). [`CampaignSpec::run`] expands
+//! the grid into [`CampaignPoint`]s, resolves the thermal-coupling
+//! coefficients once per unique geometry, executes every point in parallel
+//! on worker threads ([`crate::sweep::parallel_map`]) and returns a
+//! [`CampaignReport`] that renders directly into `rram-analysis` tables and
+//! CSV, or into the [`crate::sweep::SweepSeries`] the figure binaries plot.
+//!
+//! Because every point names its [`BackendKind`], cross-engine agreement
+//! checks are one-liners: put both backends in the grid and ask the report
+//! for [`CampaignReport::max_backend_drift_ratio`].
+//!
+//! # Examples
+//!
+//! A four-point pulse-length sweep on the fast engine:
+//!
+//! ```
+//! use neurohammer::campaign::CampaignSpec;
+//!
+//! let spec = CampaignSpec {
+//!     name: "pulse-length demo".into(),
+//!     pulse_lengths_ns: vec![50.0, 100.0],
+//!     amplitudes_v: vec![1.05, 1.15],
+//!     max_pulses: 200_000,
+//!     ..CampaignSpec::default()
+//! };
+//! assert_eq!(spec.num_points(), 4);
+//! let report = spec.run().unwrap();
+//! assert_eq!(report.outcomes.len(), 4);
+//! println!("{}", report.to_table());
+//!
+//! // Round-trip through the JSON form used for figure reproduction.
+//! let restored = CampaignSpec::from_json(&spec.to_json()).unwrap();
+//! assert_eq!(restored, spec);
+//! ```
+
+pub mod json;
+
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+use std::fmt;
+
+use crate::attack::{run_attack, AttackConfig};
+use crate::pattern::AttackPattern;
+use crate::sweep::{parallel_map, SweepPoint, SweepSeries};
+use json::{Json, JsonError};
+use rram_crossbar::{
+    BackendKind, CellAddress, CrosstalkHub, EngineConfig, HammerBackend, WiringParasitics,
+    WriteScheme,
+};
+use rram_fem::alpha::{extract_alpha, AlphaConfig};
+use rram_fem::{AlphaError, AlphaMatrix, CrossbarGeometry};
+use rram_jart::current::solve_operating_point;
+use rram_jart::DeviceParams;
+use rram_units::{Kelvin, Ohms, Seconds, Volts, Watts};
+
+/// Where a campaign's thermal-coupling coefficients come from.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum CouplingSpec {
+    /// Synthetic two-ring profile with the given nearest-neighbour α
+    /// (fast, no field solve).
+    Uniform {
+        /// α of the in-line nearest neighbours.
+        nearest: f64,
+    },
+    /// Run the `rram-fem` finite-volume extraction once per unique
+    /// (array size, spacing) combination, with the given voxel size in nm.
+    Fem {
+        /// Voxel edge length of the thermal solve, nm.
+        voxel_nm: f64,
+    },
+}
+
+/// A declarative grid of hammering attacks.
+///
+/// Every `Vec` field is one axis of the grid; the campaign runs the full
+/// cartesian product. Attacks target the in-line neighbour of the array
+/// centre (the paper's main experiment) with a 50 % duty cycle and default
+/// device parameters.
+///
+/// # Examples
+///
+/// A grid comparing both simulation backends on a short burst:
+///
+/// ```
+/// use neurohammer::campaign::CampaignSpec;
+/// use rram_crossbar::BackendKind;
+///
+/// let spec = CampaignSpec {
+///     name: "backend check".into(),
+///     array_sizes: vec![(3, 3)],
+///     backends: vec![BackendKind::Pulse, BackendKind::detailed()],
+///     max_pulses: 10,
+///     batching: false,
+///     ..CampaignSpec::default()
+/// };
+/// let report = spec.run().unwrap();
+/// assert!(report.max_backend_drift_ratio().unwrap() < 4.0);
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CampaignSpec {
+    /// Campaign name, used as the report title.
+    pub name: String,
+    /// Array sizes as (rows, cols); both must be ≥ 2.
+    pub array_sizes: Vec<(usize, usize)>,
+    /// Aggressor placement patterns.
+    pub patterns: Vec<AttackPattern>,
+    /// Hammer amplitudes, V.
+    pub amplitudes_v: Vec<f64>,
+    /// Hammer pulse lengths, ns (the inter-pulse gap equals the length).
+    pub pulse_lengths_ns: Vec<f64>,
+    /// Electrode spacings, nm (only meaningful with [`CouplingSpec::Fem`];
+    /// the uniform coupling ignores it but keeps the axis for labelling).
+    pub spacings_nm: Vec<f64>,
+    /// Ambient temperatures, K.
+    pub ambients_k: Vec<f64>,
+    /// Simulation backends to run each point on.
+    pub backends: Vec<BackendKind>,
+    /// Thermal-coupling source.
+    pub coupling: CouplingSpec,
+    /// Crosstalk time constant, ns.
+    pub tau_ns: f64,
+    /// Pulse budget per point before giving up.
+    pub max_pulses: u64,
+    /// Whether the attack engine may batch pulses.
+    pub batching: bool,
+    /// Worker threads executing grid points.
+    pub threads: usize,
+}
+
+impl Default for CampaignSpec {
+    fn default() -> Self {
+        CampaignSpec {
+            name: "campaign".into(),
+            array_sizes: vec![(5, 5)],
+            patterns: vec![AttackPattern::SingleAggressor],
+            amplitudes_v: vec![rram_units::V_SET],
+            pulse_lengths_ns: vec![50.0],
+            spacings_nm: vec![50.0],
+            ambients_k: vec![300.0],
+            backends: vec![BackendKind::Pulse],
+            coupling: CouplingSpec::Uniform { nearest: 0.15 },
+            tau_ns: 30.0,
+            max_pulses: 1_000_000,
+            batching: true,
+            threads: std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(4),
+        }
+    }
+}
+
+/// One expanded grid point of a campaign.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct CampaignPoint {
+    /// Array rows.
+    pub rows: usize,
+    /// Array columns.
+    pub cols: usize,
+    /// Aggressor placement pattern.
+    pub pattern: AttackPattern,
+    /// Hammer amplitude.
+    pub amplitude: Volts,
+    /// Hammer pulse length.
+    pub pulse_length: Seconds,
+    /// Electrode spacing, nm.
+    pub spacing_nm: f64,
+    /// Ambient temperature.
+    pub ambient: Kelvin,
+    /// Simulation backend.
+    pub backend: BackendKind,
+}
+
+/// One grid axis of a campaign (used to slice reports into sweep series).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CampaignAxis {
+    /// Array size (parameter value: number of rows).
+    ArraySize,
+    /// Attack pattern (parameter value: index in [`AttackPattern::ALL`]).
+    Pattern,
+    /// Hammer amplitude in volts.
+    Amplitude,
+    /// Pulse length in nanoseconds.
+    PulseLength,
+    /// Electrode spacing in nanometres.
+    Spacing,
+    /// Ambient temperature in kelvin.
+    Ambient,
+    /// Simulation backend (parameter value: 0 = pulse, 1 = detailed).
+    Backend,
+}
+
+impl CampaignAxis {
+    /// All axes, in the column order reports use.
+    pub const ALL: [CampaignAxis; 7] = [
+        CampaignAxis::ArraySize,
+        CampaignAxis::Pattern,
+        CampaignAxis::Amplitude,
+        CampaignAxis::PulseLength,
+        CampaignAxis::Spacing,
+        CampaignAxis::Ambient,
+        CampaignAxis::Backend,
+    ];
+}
+
+impl CampaignPoint {
+    /// Numeric coordinate of this point along `axis`.
+    pub fn axis_value(&self, axis: CampaignAxis) -> f64 {
+        match axis {
+            CampaignAxis::ArraySize => self.rows as f64,
+            CampaignAxis::Pattern => self.pattern.index() as f64,
+            CampaignAxis::Amplitude => self.amplitude.0,
+            CampaignAxis::PulseLength => self.pulse_length.0 * 1e9,
+            CampaignAxis::Spacing => self.spacing_nm,
+            CampaignAxis::Ambient => self.ambient.0,
+            CampaignAxis::Backend => match self.backend {
+                BackendKind::Pulse => 0.0,
+                BackendKind::Detailed(_) => 1.0,
+            },
+        }
+    }
+
+    /// Human-readable label of this point along `axis`.
+    pub fn axis_label(&self, axis: CampaignAxis) -> String {
+        match axis {
+            CampaignAxis::ArraySize => format!("{}x{}", self.rows, self.cols),
+            CampaignAxis::Pattern => self.pattern.label().to_string(),
+            CampaignAxis::Amplitude => format!("{:.2} V", self.amplitude.0),
+            CampaignAxis::PulseLength => format!("{:.0} ns", self.pulse_length.0 * 1e9),
+            CampaignAxis::Spacing => format!("{:.0} nm", self.spacing_nm),
+            CampaignAxis::Ambient => format!("{:.0} K", self.ambient.0),
+            CampaignAxis::Backend => self.backend.label().to_string(),
+        }
+    }
+
+    /// Label of this point over every axis except `excluded` (the grouping
+    /// key used when slicing a report into series).
+    fn key_excluding(&self, excluded: CampaignAxis) -> String {
+        CampaignAxis::ALL
+            .iter()
+            .filter(|&&axis| axis != excluded)
+            .map(|&axis| self.axis_label(axis))
+            .collect::<Vec<_>>()
+            .join(" · ")
+    }
+
+    /// The victim cell this point attacks: the in-line neighbour of the
+    /// array centre (as in the paper's main experiment).
+    pub fn victim(&self) -> CellAddress {
+        CellAddress::new(self.rows / 2, self.cols / 2 - 1)
+    }
+}
+
+/// Result of one executed grid point.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CampaignOutcome {
+    /// The grid point.
+    pub point: CampaignPoint,
+    /// Whether the victim flipped within the budget.
+    pub flipped: bool,
+    /// Hammer pulses issued.
+    pub pulses: u64,
+    /// Final normalised victim state (drift towards LRS; the agreement
+    /// measure when the budget is too small for a flip).
+    pub victim_drift: f64,
+    /// Crosstalk ΔT at the victim's hub node at the end of the attack, K
+    /// (the hub state is the sampling-instant-independent measure both
+    /// engines agree on).
+    pub final_crosstalk: Kelvin,
+    /// Simulated attack time, s.
+    pub sim_time: Seconds,
+    /// Cells other than the victim that changed state.
+    pub collateral_flips: usize,
+}
+
+/// Everything that can go wrong assembling or executing a campaign.
+#[derive(Debug)]
+pub enum CampaignError {
+    /// A grid axis is empty.
+    EmptyAxis(&'static str),
+    /// An array size is too small to place the centre victim.
+    ArrayTooSmall {
+        /// Requested rows.
+        rows: usize,
+        /// Requested columns.
+        cols: usize,
+    },
+    /// A numeric field is out of range.
+    InvalidValue(String),
+    /// The thermal-coupling extraction failed.
+    Alpha(AlphaError),
+    /// The JSON form could not be parsed.
+    Json(String),
+}
+
+impl fmt::Display for CampaignError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CampaignError::EmptyAxis(axis) => write!(f, "campaign axis {axis:?} is empty"),
+            CampaignError::ArrayTooSmall { rows, cols } => write!(
+                f,
+                "array size {rows}x{cols} is too small: campaigns need at least 2x2"
+            ),
+            CampaignError::InvalidValue(message) => f.write_str(message),
+            CampaignError::Alpha(e) => write!(f, "coupling extraction failed: {e}"),
+            CampaignError::Json(message) => write!(f, "invalid campaign JSON: {message}"),
+        }
+    }
+}
+
+impl std::error::Error for CampaignError {}
+
+impl From<AlphaError> for CampaignError {
+    fn from(e: AlphaError) -> Self {
+        CampaignError::Alpha(e)
+    }
+}
+
+impl From<JsonError> for CampaignError {
+    fn from(e: JsonError) -> Self {
+        CampaignError::Json(e.to_string())
+    }
+}
+
+/// Key identifying one resolved coupling matrix: rows, cols and the spacing
+/// bit pattern (exact f64 identity is what we want for de-duplication).
+type CouplingKey = (usize, usize, u64);
+
+impl CampaignSpec {
+    /// Number of grid points the campaign will execute.
+    pub fn num_points(&self) -> usize {
+        self.array_sizes.len()
+            * self.patterns.len()
+            * self.amplitudes_v.len()
+            * self.pulse_lengths_ns.len()
+            * self.spacings_nm.len()
+            * self.ambients_k.len()
+            * self.backends.len()
+    }
+
+    /// Checks the grid is well formed.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first [`CampaignError`] found.
+    pub fn validate(&self) -> Result<(), CampaignError> {
+        let axes: [(&'static str, bool); 7] = [
+            ("array_sizes", self.array_sizes.is_empty()),
+            ("patterns", self.patterns.is_empty()),
+            ("amplitudes_v", self.amplitudes_v.is_empty()),
+            ("pulse_lengths_ns", self.pulse_lengths_ns.is_empty()),
+            ("spacings_nm", self.spacings_nm.is_empty()),
+            ("ambients_k", self.ambients_k.is_empty()),
+            ("backends", self.backends.is_empty()),
+        ];
+        for (name, empty) in axes {
+            if empty {
+                return Err(CampaignError::EmptyAxis(name));
+            }
+        }
+        for &(rows, cols) in &self.array_sizes {
+            if rows < 2 || cols < 2 {
+                return Err(CampaignError::ArrayTooSmall { rows, cols });
+            }
+        }
+        let finite_positive = |values: &[f64]| values.iter().all(|&v| v > 0.0 && v.is_finite());
+        let positive: [(&str, bool); 4] = [
+            ("amplitudes_v", finite_positive(&self.amplitudes_v)),
+            ("pulse_lengths_ns", finite_positive(&self.pulse_lengths_ns)),
+            ("spacings_nm", finite_positive(&self.spacings_nm)),
+            ("ambients_k", finite_positive(&self.ambients_k)),
+        ];
+        for (name, ok) in positive {
+            if !ok {
+                return Err(CampaignError::InvalidValue(format!(
+                    "{name} must be strictly positive and finite"
+                )));
+            }
+        }
+        if self.max_pulses == 0 {
+            return Err(CampaignError::InvalidValue(
+                "max_pulses must be at least 1".into(),
+            ));
+        }
+        if self.tau_ns < 0.0 || !self.tau_ns.is_finite() {
+            return Err(CampaignError::InvalidValue(
+                "tau_ns must be finite and ≥ 0".into(),
+            ));
+        }
+        Ok(())
+    }
+
+    /// Expands the grid into its points (row-major over the axes in
+    /// [`CampaignAxis::ALL`] order).
+    pub fn points(&self) -> Vec<CampaignPoint> {
+        let mut points = Vec::with_capacity(self.num_points());
+        for &(rows, cols) in &self.array_sizes {
+            for &pattern in &self.patterns {
+                for &amplitude in &self.amplitudes_v {
+                    for &length_ns in &self.pulse_lengths_ns {
+                        for &spacing in &self.spacings_nm {
+                            for &ambient in &self.ambients_k {
+                                for &backend in &self.backends {
+                                    points.push(CampaignPoint {
+                                        rows,
+                                        cols,
+                                        pattern,
+                                        amplitude: Volts(amplitude),
+                                        pulse_length: Seconds(length_ns * 1e-9),
+                                        spacing_nm: spacing,
+                                        ambient: Kelvin(ambient),
+                                        backend,
+                                    });
+                                }
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        points
+    }
+
+    /// The attack configuration a given point runs (50 % duty cycle, victim
+    /// at the centre neighbour).
+    pub fn attack_config(&self, point: &CampaignPoint) -> AttackConfig {
+        AttackConfig {
+            victim: point.victim(),
+            pattern: point.pattern,
+            amplitude: point.amplitude,
+            pulse_length: point.pulse_length,
+            gap: point.pulse_length,
+            max_pulses: self.max_pulses,
+            batching: self.batching,
+            trace: false,
+        }
+    }
+
+    /// Resolves the coupling matrices for every unique (array size, spacing)
+    /// combination the grid touches. For [`CouplingSpec::Uniform`] this is a
+    /// cheap synthesis; for [`CouplingSpec::Fem`] one field extraction per
+    /// combination, de-duplicated so a pulse-length × spacing grid does not
+    /// re-solve the thermal field per pulse length.
+    fn resolve_couplings(
+        &self,
+        points: &[CampaignPoint],
+    ) -> Result<HashMap<CouplingKey, AlphaMatrix>, CampaignError> {
+        let tau = Seconds(self.tau_ns * 1e-9);
+        let mut couplings = HashMap::new();
+        for point in points {
+            let key = (point.rows, point.cols, point.spacing_nm.to_bits());
+            if couplings.contains_key(&key) {
+                continue;
+            }
+            let alpha = match self.coupling {
+                CouplingSpec::Uniform { nearest } => {
+                    CrosstalkHub::two_ring(point.rows, point.cols, nearest, tau)
+                        .alpha()
+                        .clone()
+                }
+                CouplingSpec::Fem { voxel_nm } => {
+                    let geometry = CrossbarGeometry {
+                        rows: point.rows,
+                        cols: point.cols,
+                        electrode_spacing_nm: point.spacing_nm,
+                        voxel_nm,
+                        ..CrossbarGeometry::default()
+                    };
+                    let device = DeviceParams::default();
+                    let p = solve_operating_point(&device, self.amplitudes_v[0], device.n_max)
+                        .power_active;
+                    let config = AlphaConfig {
+                        ambient: Kelvin(300.0),
+                        selected: (point.rows / 2, point.cols / 2),
+                        powers: vec![Watts(0.25 * p), Watts(0.5 * p), Watts(0.75 * p), Watts(p)],
+                    };
+                    extract_alpha(&geometry, &config)?.alpha
+                }
+            };
+            couplings.insert(key, alpha);
+        }
+        Ok(couplings)
+    }
+
+    /// Builds the backend a given point runs on, using a pre-resolved
+    /// coupling matrix.
+    fn backend_with_alpha(
+        &self,
+        point: &CampaignPoint,
+        alpha: AlphaMatrix,
+    ) -> Box<dyn HammerBackend> {
+        let hub = CrosstalkHub::new(point.rows, point.cols, alpha, Seconds(self.tau_ns * 1e-9));
+        let config = EngineConfig {
+            scheme: WriteScheme::HalfVoltage,
+            v_write: point.amplitude,
+            max_substep: Seconds(10e-9),
+            ambient: point.ambient,
+        };
+        point
+            .backend
+            .build(point.rows, point.cols, DeviceParams::default(), hub, config)
+    }
+
+    /// Builds a fresh, ready-to-hammer backend for one grid point (exposed
+    /// for trace-style uses such as the Fig. 1 binary, which needs the
+    /// engine rather than the aggregated outcome).
+    ///
+    /// # Errors
+    ///
+    /// Propagates coupling-resolution failures.
+    pub fn backend_for(
+        &self,
+        point: &CampaignPoint,
+    ) -> Result<Box<dyn HammerBackend>, CampaignError> {
+        let couplings = self.resolve_couplings(std::slice::from_ref(point))?;
+        let key = (point.rows, point.cols, point.spacing_nm.to_bits());
+        let alpha = couplings
+            .get(&key)
+            .expect("coupling was just resolved")
+            .clone();
+        Ok(self.backend_with_alpha(point, alpha))
+    }
+
+    /// Validates the grid, resolves couplings and executes every point in
+    /// parallel.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`CampaignError`] if the grid is malformed or a coupling
+    /// extraction fails; individual attacks cannot fail (a missed flip is a
+    /// regular outcome).
+    ///
+    /// # Panics
+    ///
+    /// Panics if a worker thread panics.
+    pub fn run(&self) -> Result<CampaignReport, CampaignError> {
+        self.validate()?;
+        let points = self.points();
+        let couplings = self.resolve_couplings(&points)?;
+
+        let outcomes = parallel_map(&points, self.threads, |point| {
+            let key = (point.rows, point.cols, point.spacing_nm.to_bits());
+            let alpha = couplings
+                .get(&key)
+                .expect("every point's coupling was resolved")
+                .clone();
+            let mut backend = self.backend_with_alpha(point, alpha);
+            let config = self.attack_config(point);
+            let result = run_attack(backend.as_mut(), &config);
+            let victim = config.victim;
+            let final_crosstalk = backend.hub().delta(victim.row, victim.col);
+            CampaignOutcome {
+                point: *point,
+                flipped: result.flipped,
+                pulses: result.pulses,
+                victim_drift: result.victim_drift,
+                final_crosstalk,
+                sim_time: result.elapsed,
+                collateral_flips: result.collateral_flips,
+            }
+        });
+
+        Ok(CampaignReport {
+            name: self.name.clone(),
+            outcomes,
+        })
+    }
+
+    /// Serialises the spec as pretty-printed JSON.
+    pub fn to_json(&self) -> String {
+        let sizes = self
+            .array_sizes
+            .iter()
+            .map(|&(r, c)| Json::Array(vec![Json::Number(r as f64), Json::Number(c as f64)]))
+            .collect();
+        let coupling = match self.coupling {
+            CouplingSpec::Uniform { nearest } => Json::Object(vec![
+                ("kind".into(), Json::String("uniform".into())),
+                ("nearest".into(), Json::Number(nearest)),
+            ]),
+            CouplingSpec::Fem { voxel_nm } => Json::Object(vec![
+                ("kind".into(), Json::String("fem".into())),
+                ("voxel_nm".into(), Json::Number(voxel_nm)),
+            ]),
+        };
+        let numbers =
+            |values: &[f64]| Json::Array(values.iter().map(|&v| Json::Number(v)).collect());
+        Json::Object(vec![
+            ("name".into(), Json::String(self.name.clone())),
+            ("array_sizes".into(), Json::Array(sizes)),
+            (
+                "patterns".into(),
+                Json::Array(
+                    self.patterns
+                        .iter()
+                        .map(|p| Json::String(p.label().into()))
+                        .collect(),
+                ),
+            ),
+            ("amplitudes_v".into(), numbers(&self.amplitudes_v)),
+            ("pulse_lengths_ns".into(), numbers(&self.pulse_lengths_ns)),
+            ("spacings_nm".into(), numbers(&self.spacings_nm)),
+            ("ambients_k".into(), numbers(&self.ambients_k)),
+            (
+                "backends".into(),
+                Json::Array(self.backends.iter().map(backend_to_json).collect()),
+            ),
+            ("coupling".into(), coupling),
+            ("tau_ns".into(), Json::Number(self.tau_ns)),
+            ("max_pulses".into(), Json::Number(self.max_pulses as f64)),
+            ("batching".into(), Json::Bool(self.batching)),
+            ("threads".into(), Json::Number(self.threads as f64)),
+        ])
+        .to_string()
+    }
+
+    /// Parses a spec from its JSON form. Missing keys keep their
+    /// [`CampaignSpec::default`] values; unknown keys are rejected.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CampaignError::Json`] on malformed input and the usual
+    /// validation errors on a malformed grid.
+    pub fn from_json(text: &str) -> Result<Self, CampaignError> {
+        let json = Json::parse(text)?;
+        let Json::Object(entries) = &json else {
+            return Err(CampaignError::Json("expected a top-level object".into()));
+        };
+        let mut spec = CampaignSpec::default();
+
+        let bad = |key: &str, expected: &str| {
+            CampaignError::Json(format!("key {key:?} must be {expected}"))
+        };
+        let number_list = |key: &str, value: &Json| -> Result<Vec<f64>, CampaignError> {
+            value
+                .as_array()
+                .ok_or_else(|| bad(key, "an array of numbers"))?
+                .iter()
+                .map(|v| v.as_f64().ok_or_else(|| bad(key, "an array of numbers")))
+                .collect()
+        };
+
+        for (key, value) in entries {
+            match key.as_str() {
+                "name" => {
+                    spec.name = value
+                        .as_str()
+                        .ok_or_else(|| bad(key, "a string"))?
+                        .to_string();
+                }
+                "array_sizes" => {
+                    let sizes = value
+                        .as_array()
+                        .ok_or_else(|| bad(key, "an array of [rows, cols] pairs"))?;
+                    spec.array_sizes = sizes
+                        .iter()
+                        .map(|pair| {
+                            let pair = pair
+                                .as_array()
+                                .filter(|p| p.len() == 2)
+                                .ok_or_else(|| bad(key, "an array of [rows, cols] pairs"))?;
+                            let rows = pair[0]
+                                .as_u64()
+                                .ok_or_else(|| bad(key, "an array of [rows, cols] pairs"))?;
+                            let cols = pair[1]
+                                .as_u64()
+                                .ok_or_else(|| bad(key, "an array of [rows, cols] pairs"))?;
+                            Ok((rows as usize, cols as usize))
+                        })
+                        .collect::<Result<_, CampaignError>>()?;
+                }
+                "patterns" => {
+                    let patterns = value
+                        .as_array()
+                        .ok_or_else(|| bad(key, "an array of pattern labels"))?;
+                    spec.patterns = patterns
+                        .iter()
+                        .map(|p| {
+                            p.as_str()
+                                .ok_or_else(|| bad(key, "an array of pattern labels"))?
+                                .parse::<AttackPattern>()
+                                .map_err(CampaignError::Json)
+                        })
+                        .collect::<Result<_, CampaignError>>()?;
+                }
+                "amplitudes_v" => spec.amplitudes_v = number_list(key, value)?,
+                "pulse_lengths_ns" => spec.pulse_lengths_ns = number_list(key, value)?,
+                "spacings_nm" => spec.spacings_nm = number_list(key, value)?,
+                "ambients_k" => spec.ambients_k = number_list(key, value)?,
+                "backends" => {
+                    let backends = value
+                        .as_array()
+                        .ok_or_else(|| bad(key, "an array of backend labels/objects"))?;
+                    spec.backends = backends.iter().map(backend_from_json).collect::<Result<
+                        _,
+                        CampaignError,
+                    >>(
+                    )?;
+                }
+                "coupling" => {
+                    let kind = value
+                        .get("kind")
+                        .and_then(Json::as_str)
+                        .ok_or_else(|| bad(key, "an object with a \"kind\""))?;
+                    spec.coupling = match kind {
+                        "uniform" => CouplingSpec::Uniform {
+                            nearest: value
+                                .get("nearest")
+                                .and_then(Json::as_f64)
+                                .ok_or_else(|| bad(key, "uniform coupling with \"nearest\""))?,
+                        },
+                        "fem" => CouplingSpec::Fem {
+                            voxel_nm: value
+                                .get("voxel_nm")
+                                .and_then(Json::as_f64)
+                                .ok_or_else(|| bad(key, "fem coupling with \"voxel_nm\""))?,
+                        },
+                        other => {
+                            return Err(CampaignError::Json(format!(
+                                "unknown coupling kind {other:?}"
+                            )))
+                        }
+                    };
+                }
+                "tau_ns" => {
+                    spec.tau_ns = value.as_f64().ok_or_else(|| bad(key, "a number"))?;
+                }
+                "max_pulses" => {
+                    spec.max_pulses = value.as_u64().ok_or_else(|| bad(key, "an integer"))?;
+                }
+                "batching" => {
+                    spec.batching = value.as_bool().ok_or_else(|| bad(key, "a boolean"))?;
+                }
+                "threads" => {
+                    spec.threads =
+                        value.as_u64().ok_or_else(|| bad(key, "an integer"))?.max(1) as usize;
+                }
+                other => {
+                    return Err(CampaignError::Json(format!(
+                        "unknown campaign key {other:?}"
+                    )));
+                }
+            }
+        }
+        spec.validate()?;
+        Ok(spec)
+    }
+}
+
+/// Serialises a backend choice: `"pulse"`, `"detailed"` (default
+/// parasitics), or an object carrying non-default wiring parasitics so the
+/// archived spec reproduces the same physics.
+fn backend_to_json(backend: &BackendKind) -> Json {
+    match backend {
+        BackendKind::Pulse => Json::String("pulse".into()),
+        BackendKind::Detailed(parasitics) => {
+            if *parasitics == WiringParasitics::default() {
+                Json::String("detailed".into())
+            } else {
+                Json::Object(vec![
+                    ("kind".into(), Json::String("detailed".into())),
+                    (
+                        "segment_ohms".into(),
+                        Json::Number(parasitics.segment_resistance.0),
+                    ),
+                    (
+                        "driver_ohms".into(),
+                        Json::Number(parasitics.driver_resistance.0),
+                    ),
+                ])
+            }
+        }
+    }
+}
+
+/// Parses a backend entry written by [`backend_to_json`].
+fn backend_from_json(value: &Json) -> Result<BackendKind, CampaignError> {
+    if let Some(label) = value.as_str() {
+        return label.parse::<BackendKind>().map_err(CampaignError::Json);
+    }
+    let kind = value.get("kind").and_then(Json::as_str).ok_or_else(|| {
+        CampaignError::Json(r#"backend entries must be a label or an object with a "kind""#.into())
+    })?;
+    if kind != "detailed" {
+        return Err(CampaignError::Json(format!(
+            "only the detailed backend takes parameters, got kind {kind:?}"
+        )));
+    }
+    let defaults = WiringParasitics::default();
+    let field = |name: &str, fallback: f64| -> Result<f64, CampaignError> {
+        match value.get(name) {
+            None => Ok(fallback),
+            Some(v) => v.as_f64().filter(|n| *n >= 0.0).ok_or_else(|| {
+                CampaignError::Json(format!("backend field {name:?} must be a number ≥ 0"))
+            }),
+        }
+    };
+    Ok(BackendKind::Detailed(WiringParasitics {
+        segment_resistance: Ohms(field("segment_ohms", defaults.segment_resistance.0)?),
+        driver_resistance: Ohms(field("driver_ohms", defaults.driver_resistance.0)?),
+    }))
+}
+
+/// Aggregated results of a campaign run.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CampaignReport {
+    /// Campaign name (from the spec).
+    pub name: String,
+    /// One outcome per grid point, in grid order.
+    pub outcomes: Vec<CampaignOutcome>,
+}
+
+impl CampaignReport {
+    /// Renders the report as an `rram-analysis` text table.
+    pub fn to_table(&self) -> rram_analysis::Table {
+        let mut table = rram_analysis::Table::with_headers(&[
+            "backend",
+            "array",
+            "pattern",
+            "amplitude",
+            "pulse len",
+            "spacing",
+            "ambient",
+            "# pulses to bit-flip",
+            "victim drift",
+        ]);
+        for outcome in &self.outcomes {
+            let p = &outcome.point;
+            table.push_row(vec![
+                p.axis_label(CampaignAxis::Backend),
+                p.axis_label(CampaignAxis::ArraySize),
+                p.axis_label(CampaignAxis::Pattern),
+                p.axis_label(CampaignAxis::Amplitude),
+                p.axis_label(CampaignAxis::PulseLength),
+                p.axis_label(CampaignAxis::Spacing),
+                p.axis_label(CampaignAxis::Ambient),
+                if outcome.flipped {
+                    outcome.pulses.to_string()
+                } else {
+                    "no flip within budget".into()
+                },
+                if outcome.victim_drift.abs() < 1e-3 {
+                    format!("{:.3e}", outcome.victim_drift)
+                } else {
+                    format!("{:.3}", outcome.victim_drift)
+                },
+            ]);
+        }
+        table
+    }
+
+    /// Renders the report as CSV (same columns as the table, plus the raw
+    /// numeric extras).
+    pub fn to_csv_string(&self) -> String {
+        let rows: Vec<Vec<String>> = self
+            .outcomes
+            .iter()
+            .map(|outcome| {
+                let p = &outcome.point;
+                vec![
+                    p.backend.label().to_string(),
+                    p.rows.to_string(),
+                    p.cols.to_string(),
+                    p.pattern.label().to_string(),
+                    format!("{}", p.amplitude.0),
+                    format!("{}", p.pulse_length.0 * 1e9),
+                    format!("{}", p.spacing_nm),
+                    format!("{}", p.ambient.0),
+                    outcome.flipped.to_string(),
+                    outcome.pulses.to_string(),
+                    format!("{}", outcome.victim_drift),
+                    format!("{}", outcome.final_crosstalk.0),
+                    format!("{}", outcome.sim_time.0),
+                    outcome.collateral_flips.to_string(),
+                ]
+            })
+            .collect();
+        rram_analysis::csv::to_csv_string(
+            &[
+                "backend",
+                "rows",
+                "cols",
+                "pattern",
+                "amplitude_v",
+                "pulse_length_ns",
+                "spacing_nm",
+                "ambient_k",
+                "flipped",
+                "pulses",
+                "victim_drift",
+                "final_crosstalk_k",
+                "sim_time_s",
+                "collateral_flips",
+            ],
+            &rows,
+        )
+    }
+
+    /// Slices the report into one [`SweepSeries`] per combination of the
+    /// *other* axes, with `axis` as the swept parameter — the shape the
+    /// figure binaries plot. Series and points keep grid order; points are
+    /// sorted by the axis value.
+    pub fn series_over(&self, axis: CampaignAxis) -> Vec<SweepSeries> {
+        let mut order: Vec<String> = Vec::new();
+        let mut groups: HashMap<String, Vec<&CampaignOutcome>> = HashMap::new();
+        for outcome in &self.outcomes {
+            let key = outcome.point.key_excluding(axis);
+            if !groups.contains_key(&key) {
+                order.push(key.clone());
+            }
+            groups.entry(key).or_default().push(outcome);
+        }
+        order
+            .into_iter()
+            .map(|key| {
+                let mut members = groups.remove(&key).expect("group exists");
+                members.sort_by(|a, b| {
+                    a.point
+                        .axis_value(axis)
+                        .partial_cmp(&b.point.axis_value(axis))
+                        .expect("axis values are finite")
+                });
+                SweepSeries {
+                    name: key,
+                    points: members
+                        .into_iter()
+                        .map(|outcome| SweepPoint {
+                            parameter: outcome.point.axis_value(axis),
+                            label: outcome.point.axis_label(axis),
+                            pulses: outcome.flipped.then_some(outcome.pulses),
+                            flipped: outcome.flipped,
+                        })
+                        .collect(),
+                }
+            })
+            .collect()
+    }
+
+    /// Cross-backend agreement in one number: for every group of points that
+    /// differ *only* in their backend, the victim-drift ratio between the
+    /// most- and least-progressed backend; the maximum over all groups is
+    /// returned. `None` when no group contains more than one backend or a
+    /// drift is not positive.
+    pub fn max_backend_drift_ratio(&self) -> Option<f64> {
+        let mut groups: HashMap<String, Vec<f64>> = HashMap::new();
+        for outcome in &self.outcomes {
+            groups
+                .entry(outcome.point.key_excluding(CampaignAxis::Backend))
+                .or_default()
+                .push(outcome.victim_drift);
+        }
+        let mut worst: Option<f64> = None;
+        for drifts in groups.values() {
+            if drifts.len() < 2 {
+                continue;
+            }
+            let min = drifts.iter().cloned().fold(f64::INFINITY, f64::min);
+            let max = drifts.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+            if min <= 0.0 {
+                return None;
+            }
+            let ratio = max / min;
+            worst = Some(worst.map_or(ratio, |w: f64| w.max(ratio)));
+        }
+        worst
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny_spec() -> CampaignSpec {
+        CampaignSpec {
+            name: "tiny".into(),
+            pulse_lengths_ns: vec![50.0, 100.0],
+            amplitudes_v: vec![1.05],
+            max_pulses: 300_000,
+            ..CampaignSpec::default()
+        }
+    }
+
+    #[test]
+    fn grid_expansion_covers_the_cartesian_product() {
+        let spec = CampaignSpec {
+            array_sizes: vec![(5, 5), (3, 3)],
+            patterns: vec![AttackPattern::SingleAggressor, AttackPattern::Quad],
+            pulse_lengths_ns: vec![20.0, 50.0],
+            ..CampaignSpec::default()
+        };
+        assert_eq!(spec.num_points(), 8);
+        let points = spec.points();
+        assert_eq!(points.len(), 8);
+        // Every point is unique.
+        for (i, a) in points.iter().enumerate() {
+            for b in &points[i + 1..] {
+                assert_ne!(a, b);
+            }
+        }
+    }
+
+    #[test]
+    fn campaign_runs_and_renders() {
+        let report = tiny_spec().run().unwrap();
+        assert_eq!(report.outcomes.len(), 2);
+        assert!(report.outcomes.iter().all(|o| o.flipped), "{report:?}");
+        let table = report.to_table().to_string();
+        assert!(table.contains("pulse"));
+        let csv = report.to_csv_string();
+        assert_eq!(csv.lines().count(), 3);
+        // Longer pulses flip with fewer pulses.
+        let series = report.series_over(CampaignAxis::PulseLength);
+        assert_eq!(series.len(), 1);
+        assert!(series[0].is_monotonically_decreasing(), "{series:?}");
+    }
+
+    #[test]
+    fn validation_rejects_malformed_grids() {
+        let mut spec = tiny_spec();
+        spec.patterns.clear();
+        assert!(matches!(
+            spec.validate(),
+            Err(CampaignError::EmptyAxis("patterns"))
+        ));
+
+        let mut spec = tiny_spec();
+        spec.array_sizes = vec![(1, 5)];
+        assert!(matches!(
+            spec.validate(),
+            Err(CampaignError::ArrayTooSmall { .. })
+        ));
+
+        let mut spec = tiny_spec();
+        spec.amplitudes_v = vec![-1.0];
+        assert!(matches!(
+            spec.validate(),
+            Err(CampaignError::InvalidValue(_))
+        ));
+    }
+
+    #[test]
+    fn json_round_trip_preserves_the_spec() {
+        let spec = CampaignSpec {
+            name: "round trip".into(),
+            array_sizes: vec![(3, 4)],
+            patterns: vec![AttackPattern::Quad, AttackPattern::Diagonal],
+            amplitudes_v: vec![1.0, 1.1],
+            coupling: CouplingSpec::Fem { voxel_nm: 25.0 },
+            backends: vec![BackendKind::Pulse],
+            batching: false,
+            ..CampaignSpec::default()
+        };
+        let text = spec.to_json();
+        let restored = CampaignSpec::from_json(&text).unwrap();
+        assert_eq!(restored, spec);
+    }
+
+    #[test]
+    fn detailed_backend_parasitics_survive_the_json_round_trip() {
+        use rram_units::Ohms;
+        let spec = CampaignSpec {
+            backends: vec![
+                BackendKind::Pulse,
+                BackendKind::detailed(),
+                BackendKind::Detailed(rram_crossbar::WiringParasitics {
+                    segment_resistance: Ohms(200.0),
+                    driver_resistance: Ohms(1_000.0),
+                }),
+            ],
+            ..CampaignSpec::default()
+        };
+        let restored = CampaignSpec::from_json(&spec.to_json()).unwrap();
+        assert_eq!(restored, spec);
+        // Default parasitics still serialise as the plain label.
+        assert!(spec.to_json().contains("\"detailed\""));
+        assert!(spec.to_json().contains("\"segment_ohms\""));
+    }
+
+    #[test]
+    fn validation_rejects_non_finite_values() {
+        let mut spec = tiny_spec();
+        spec.amplitudes_v = vec![f64::INFINITY];
+        assert!(matches!(
+            spec.validate(),
+            Err(CampaignError::InvalidValue(_))
+        ));
+        let mut spec = tiny_spec();
+        spec.ambients_k = vec![f64::NAN];
+        assert!(matches!(
+            spec.validate(),
+            Err(CampaignError::InvalidValue(_))
+        ));
+        let mut spec = tiny_spec();
+        spec.tau_ns = f64::INFINITY;
+        assert!(matches!(
+            spec.validate(),
+            Err(CampaignError::InvalidValue(_))
+        ));
+    }
+
+    #[test]
+    fn json_rejects_unknown_keys_and_bad_shapes() {
+        assert!(matches!(
+            CampaignSpec::from_json(r#"{"unknown_key": 1}"#),
+            Err(CampaignError::Json(_))
+        ));
+        assert!(matches!(
+            CampaignSpec::from_json(r#"{"patterns": ["not a pattern"]}"#),
+            Err(CampaignError::Json(_))
+        ));
+        assert!(matches!(
+            CampaignSpec::from_json("[1, 2]"),
+            Err(CampaignError::Json(_))
+        ));
+        // Partial specs inherit defaults.
+        let spec = CampaignSpec::from_json(r#"{"name": "partial"}"#).unwrap();
+        assert_eq!(spec.name, "partial");
+        assert_eq!(spec.array_sizes, CampaignSpec::default().array_sizes);
+    }
+
+    #[test]
+    fn series_grouping_splits_on_the_other_axes() {
+        let spec = CampaignSpec {
+            pulse_lengths_ns: vec![20.0, 50.0],
+            ambients_k: vec![300.0, 350.0],
+            max_pulses: 150_000,
+            ..CampaignSpec::default()
+        };
+        let report = spec.run().unwrap();
+        // Sweeping pulse length → one series per ambient.
+        let series = report.series_over(CampaignAxis::PulseLength);
+        assert_eq!(series.len(), 2);
+        assert!(series.iter().all(|s| s.points.len() == 2));
+    }
+
+    #[test]
+    fn backend_for_builds_a_ready_engine() {
+        let spec = tiny_spec();
+        let point = spec.points()[0];
+        let mut backend = spec.backend_for(&point).unwrap();
+        assert_eq!(backend.rows(), 5);
+        let config = spec.attack_config(&point);
+        let result = run_attack(backend.as_mut(), &config);
+        assert!(result.flipped);
+    }
+}

@@ -19,7 +19,7 @@
 use serde::{Deserialize, Serialize};
 
 use crate::attack::AttackConfig;
-use rram_crossbar::{CellAddress, PulseEngine};
+use rram_crossbar::{CellAddress, HammerBackend};
 use rram_jart::DigitalState;
 use rram_units::{Kelvin, Seconds};
 
@@ -103,7 +103,10 @@ impl ThermalSensorGuard {
     /// Creates a guard that cools the array down whenever any cell's
     /// crosstalk ΔT exceeds `threshold`.
     pub fn new(threshold: Kelvin, cooldown: Seconds) -> Self {
-        ThermalSensorGuard { threshold, cooldown }
+        ThermalSensorGuard {
+            threshold,
+            cooldown,
+        }
     }
 }
 
@@ -171,27 +174,25 @@ pub struct DefenseEvaluation {
     pub throttle_time: Seconds,
 }
 
-/// Replays a hammering campaign with a countermeasure in the loop.
+/// Replays a hammering campaign with a countermeasure in the loop, on any
+/// [`HammerBackend`].
 ///
 /// The attack follows the same round-robin structure as
 /// [`crate::attack::run_attack`] (without pulse batching, so the guard sees
 /// every write), and the guard may refresh victims or throttle the attacker.
-pub fn evaluate_countermeasure(
-    engine: &mut PulseEngine,
+pub fn evaluate_countermeasure<B: HammerBackend + ?Sized>(
+    engine: &mut B,
     config: &AttackConfig,
     guard: &mut dyn Countermeasure,
 ) -> DefenseEvaluation {
-    let rows = engine.array().rows();
-    let cols = engine.array().cols();
+    let rows = engine.rows();
+    let cols = engine.cols();
     let aggressors = config.pattern.aggressors(config.victim, rows, cols);
 
     for &aggressor in &aggressors {
-        engine.array_mut().cell_mut(aggressor).force_state(DigitalState::Lrs);
+        engine.force_state(aggressor, DigitalState::Lrs);
     }
-    engine
-        .array_mut()
-        .cell_mut(config.victim)
-        .force_state(DigitalState::Hrs);
+    engine.force_state(config.victim, DigitalState::Hrs);
 
     let mut pulses = 0u64;
     let mut refreshes = 0u64;
@@ -228,7 +229,7 @@ pub fn evaluate_countermeasure(
                 }
             }
 
-            if engine.array().cell(config.victim).is_lrs() {
+            if engine.read(config.victim) == DigitalState::Lrs {
                 break 'outer;
             }
             if pulses >= config.max_pulses {
@@ -239,17 +240,18 @@ pub fn evaluate_countermeasure(
 
     DefenseEvaluation {
         countermeasure: guard.name().to_string(),
-        attack_succeeded: engine.array().cell(config.victim).is_lrs(),
+        attack_succeeded: engine.read(config.victim) == DigitalState::Lrs,
         pulses,
         refreshes,
         throttle_time: Seconds(throttle_time),
     }
 }
 
-fn refresh_if_hrs(engine: &mut PulseEngine, address: CellAddress) {
-    let cell = engine.array_mut().cell_mut(address);
-    if cell.is_hrs() {
-        cell.force_state(DigitalState::Hrs);
+/// Rewriting an HRS cell erases its partial SET drift; LRS cells are left
+/// alone (the refresh must not undo legitimate data).
+fn refresh_if_hrs<B: HammerBackend + ?Sized>(engine: &mut B, address: CellAddress) {
+    if engine.read(address) == DigitalState::Hrs {
+        engine.force_state(address, DigitalState::Hrs);
     }
 }
 
@@ -257,7 +259,7 @@ fn refresh_if_hrs(engine: &mut PulseEngine, address: CellAddress) {
 mod tests {
     use super::*;
     use crate::pattern::AttackPattern;
-    use rram_crossbar::EngineConfig;
+    use rram_crossbar::{EngineConfig, PulseEngine};
     use rram_jart::DeviceParams;
 
     fn engine() -> PulseEngine {
@@ -306,7 +308,11 @@ mod tests {
         let mut config = attack();
         config.max_pulses = 3_000;
         let result = evaluate_countermeasure(&mut engine(), &config, &mut guard);
-        assert!(!result.attack_succeeded, "flipped after {} pulses", result.pulses);
+        assert!(
+            !result.attack_succeeded,
+            "flipped after {} pulses",
+            result.pulses
+        );
         assert!(result.refreshes > 0);
     }
 

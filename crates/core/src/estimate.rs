@@ -52,8 +52,8 @@ pub fn estimate_attack(
     // 1. Aggressor operating point in LRS at the hammer amplitude.
     let op = solve_operating_point(params, config.amplitude.0, params.n_max);
     let aggressor_rise = params.r_th_eff * op.power_active;
-    let aggressor_temperature = (params.ambient_temperature + aggressor_rise)
-        .min(params.max_temperature);
+    let aggressor_temperature =
+        (params.ambient_temperature + aggressor_rise).min(params.max_temperature);
 
     // 2. Victim temperature *during a hammer pulse*: sum of coupled rises,
     //    de-rated by the fraction of the steady state the first-order lag
@@ -154,8 +154,12 @@ mod tests {
         short.pulse_length = Seconds(10e-9);
         let mut long = config();
         long.pulse_length = Seconds(100e-9);
-        let short_est = estimate_attack(&params, &hub(), &short).pulses_to_flip.unwrap();
-        let long_est = estimate_attack(&params, &hub(), &long).pulses_to_flip.unwrap();
+        let short_est = estimate_attack(&params, &hub(), &short)
+            .pulses_to_flip
+            .unwrap();
+        let long_est = estimate_attack(&params, &hub(), &long)
+            .pulses_to_flip
+            .unwrap();
         assert!(long_est < short_est, "long {long_est} vs short {short_est}");
     }
 
@@ -164,24 +168,40 @@ mod tests {
         let params = DeviceParams::default();
         let weak = CrosstalkHub::uniform(5, 5, 0.05, 0.02, 0.01, Seconds(30e-9));
         let strong = CrosstalkHub::uniform(5, 5, 0.2, 0.1, 0.05, Seconds(30e-9));
-        let weak_est = estimate_attack(&params, &weak, &config()).pulses_to_flip.unwrap();
-        let strong_est = estimate_attack(&params, &strong, &config()).pulses_to_flip.unwrap();
+        let weak_est = estimate_attack(&params, &weak, &config())
+            .pulses_to_flip
+            .unwrap();
+        let strong_est = estimate_attack(&params, &strong, &config())
+            .pulses_to_flip
+            .unwrap();
         assert!(strong_est < weak_est);
     }
 
     #[test]
     fn higher_ambient_speeds_up_the_attack() {
-        let cold = DeviceParams::builder().ambient_temperature(273.0).build().unwrap();
-        let hot = DeviceParams::builder().ambient_temperature(373.0).build().unwrap();
-        let cold_est = estimate_attack(&cold, &hub(), &config()).pulses_to_flip.unwrap();
-        let hot_est = estimate_attack(&hot, &hub(), &config()).pulses_to_flip.unwrap();
+        let cold = DeviceParams::builder()
+            .ambient_temperature(273.0)
+            .build()
+            .unwrap();
+        let hot = DeviceParams::builder()
+            .ambient_temperature(373.0)
+            .build()
+            .unwrap();
+        let cold_est = estimate_attack(&cold, &hub(), &config())
+            .pulses_to_flip
+            .unwrap();
+        let hot_est = estimate_attack(&hot, &hub(), &config())
+            .pulses_to_flip
+            .unwrap();
         assert!(hot_est < cold_est / 10, "hot {hot_est} vs cold {cold_est}");
     }
 
     #[test]
     fn double_sided_attack_is_faster_than_single() {
         let params = DeviceParams::default();
-        let single = estimate_attack(&params, &hub(), &config()).pulses_to_flip.unwrap();
+        let single = estimate_attack(&params, &hub(), &config())
+            .pulses_to_flip
+            .unwrap();
         let mut double_config = config();
         double_config.pattern = AttackPattern::DoubleSidedRow;
         let double = estimate_attack(&params, &hub(), &double_config)

@@ -21,7 +21,10 @@ use crate::attack::{run_attack, AttackConfig, AttackResult};
 use crate::estimate::{estimate_attack, AttackEstimate};
 use crate::pattern::AttackPattern;
 use crate::sweep::{parallel_map, SweepPoint, SweepSeries};
-use rram_crossbar::{CellAddress, CrossbarArray, CrosstalkHub, EngineConfig, PulseEngine, WriteScheme};
+use rram_crossbar::{
+    BackendKind, CellAddress, CrossbarArray, CrosstalkHub, EngineConfig, HammerBackend,
+    PulseEngine, WriteScheme,
+};
 use rram_fem::alpha::{extract_alpha, AlphaConfig};
 use rram_fem::{AlphaError, AlphaExtraction, AlphaMatrix, CrossbarGeometry};
 use rram_jart::current::solve_operating_point;
@@ -69,6 +72,11 @@ pub struct ExperimentSetup {
     pub batching: bool,
     /// Worker threads used for sweep points.
     pub threads: usize,
+    /// Simulation backend the attacks run on. All drivers are generic over
+    /// [`HammerBackend`]; the default fast engine is what the paper-scale
+    /// sweeps need, while [`BackendKind::Detailed`] runs the same experiments
+    /// through the MNA reference engine.
+    pub backend: BackendKind,
 }
 
 impl Default for ExperimentSetup {
@@ -85,6 +93,7 @@ impl Default for ExperimentSetup {
             threads: std::thread::available_parallelism()
                 .map(|n| n.get())
                 .unwrap_or(4),
+            backend: BackendKind::Pulse,
         }
     }
 }
@@ -110,10 +119,7 @@ impl ExperimentSetup {
     /// The power the hammered (LRS) cell dissipates in its active region at
     /// the hammer amplitude — the `P_LRS` the α extraction sweeps around.
     pub fn hammered_power(&self) -> Watts {
-        Watts(
-            solve_operating_point(&self.device, self.amplitude.0, self.device.n_max)
-                .power_active,
-        )
+        Watts(solve_operating_point(&self.device, self.amplitude.0, self.device.n_max).power_active)
     }
 
     /// Crossbar geometry used for the thermal extraction at a given spacing.
@@ -141,13 +147,8 @@ impl ExperimentSetup {
     ) -> Result<AlphaMatrix, AlphaError> {
         match &self.coupling {
             CouplingSource::Provided(matrix) => Ok(matrix.clone()),
-            CouplingSource::Uniform { nearest } => Ok(CrosstalkHub::uniform(
-                self.rows,
-                self.cols,
-                *nearest,
-                0.5 * nearest,
-                0.25 * nearest,
-                self.tau,
+            CouplingSource::Uniform { nearest } => Ok(CrosstalkHub::two_ring(
+                self.rows, self.cols, *nearest, self.tau,
             )
             .alpha()
             .clone()),
@@ -192,7 +193,20 @@ impl ExperimentSetup {
         }
     }
 
-    /// Builds a pulse engine for the given spacing and ambient temperature.
+    /// The engine configuration shared by both backends.
+    fn engine_config(&self, ambient: Kelvin) -> EngineConfig {
+        EngineConfig {
+            scheme: WriteScheme::HalfVoltage,
+            v_write: self.amplitude,
+            max_substep: Seconds(10e-9),
+            ambient,
+        }
+    }
+
+    /// Builds a fast pulse engine for the given spacing and ambient
+    /// temperature (regardless of the configured [`BackendKind`]) — used by
+    /// callers that need concrete `PulseEngine` extras such as the memory
+    /// controller.
     ///
     /// # Errors
     ///
@@ -209,13 +223,29 @@ impl ExperimentSetup {
         };
         let array = CrossbarArray::new(self.rows, self.cols, device);
         let hub = CrosstalkHub::new(self.rows, self.cols, alpha, self.tau);
-        let config = EngineConfig {
-            scheme: WriteScheme::HalfVoltage,
-            v_write: self.amplitude,
-            max_substep: Seconds(10e-9),
-            ambient,
-        };
-        Ok(PulseEngine::new(array, hub, config))
+        Ok(PulseEngine::new(array, hub, self.engine_config(ambient)))
+    }
+
+    /// Builds the configured simulation backend for the given spacing and
+    /// ambient temperature.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`AlphaError`] from the coupling extraction.
+    pub fn build_backend(
+        &self,
+        spacing_nm: f64,
+        ambient: Kelvin,
+    ) -> Result<Box<dyn HammerBackend>, AlphaError> {
+        let alpha = self.alpha_matrix(spacing_nm, ambient)?;
+        let hub = CrosstalkHub::new(self.rows, self.cols, alpha, self.tau);
+        Ok(self.backend.build(
+            self.rows,
+            self.cols,
+            self.device.clone(),
+            hub,
+            self.engine_config(ambient),
+        ))
     }
 
     /// The attack configuration for a given pulse length (the gap equals the
@@ -241,9 +271,9 @@ impl ExperimentSetup {
         pulse_length: Seconds,
         pattern: AttackPattern,
     ) -> Result<AttackResult, AlphaError> {
-        let mut engine = self.build_engine(spacing_nm, ambient)?;
+        let mut engine = self.build_backend(spacing_nm, ambient)?;
         let config = self.attack_config(pulse_length, pattern);
-        Ok(run_attack(&mut engine, &config))
+        Ok(run_attack(engine.as_mut(), &config))
     }
 }
 
@@ -293,11 +323,11 @@ pub fn fig1_trace(
     setup: &ExperimentSetup,
     pulse_length: Seconds,
 ) -> Result<AttackResult, AlphaError> {
-    let mut engine = setup.build_engine(50.0, Kelvin(300.0))?;
+    let mut engine = setup.build_backend(50.0, Kelvin(300.0))?;
     let mut config = setup.attack_config(pulse_length, AttackPattern::SingleAggressor);
     config.trace = true;
     config.batching = false;
-    Ok(run_attack(&mut engine, &config))
+    Ok(run_attack(engine.as_mut(), &config))
 }
 
 /// Reproduces Fig. 3a: pulses-to-flip vs. pulse length at 50 nm spacing and
@@ -515,7 +545,12 @@ pub fn ablation_report(setup: &ExperimentSetup) -> Result<AblationReport, AlphaE
         });
     };
 
-    run_variant("baseline (hub on, tau = 30 ns, batching)", setup.tau, true, true);
+    run_variant(
+        "baseline (hub on, tau = 30 ns, batching)",
+        setup.tau,
+        true,
+        true,
+    );
     run_variant("crosstalk hub disabled", setup.tau, false, true);
     run_variant("static coupling (tau = 0)", Seconds(0.0), true, true);
     run_variant("slow coupling (tau = 300 ns)", Seconds(300e-9), true, true);

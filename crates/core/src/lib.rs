@@ -5,9 +5,13 @@
 //!
 //! The crate provides:
 //!
-//! * [`attack`] — the hammering campaign engine implementing the four attack
-//!   phases of Fig. 1, with bit-flip detection, pulse batching and a
-//!   time-resolved trace;
+//! * [`attack`] — the hammering engine implementing the four attack phases
+//!   of Fig. 1, with bit-flip detection, pulse batching and a time-resolved
+//!   trace — generic over any [`rram_crossbar::HammerBackend`];
+//! * [`campaign`] — declarative, JSON-serialisable campaign grids
+//!   (patterns × amplitudes × pulse lengths × array sizes × spacings ×
+//!   ambients × backends) executed in parallel, with table/CSV/sweep-series
+//!   rendering;
 //! * [`pattern`] — aggressor placement patterns (single, double-sided, quad,
 //!   diagonal; Fig. 3d–h);
 //! * [`estimate`] — a closed-form pulses-to-flip estimator used for
@@ -53,6 +57,7 @@
 #![deny(unsafe_code)]
 
 pub mod attack;
+pub mod campaign;
 pub mod countermeasures;
 pub mod estimate;
 pub mod experiments;
@@ -61,6 +66,10 @@ pub mod scenario;
 pub mod sweep;
 
 pub use attack::{run_attack, AttackConfig, AttackResult, TracePoint};
+pub use campaign::{
+    CampaignAxis, CampaignError, CampaignOutcome, CampaignPoint, CampaignReport, CampaignSpec,
+    CouplingSpec,
+};
 pub use countermeasures::{
     evaluate_countermeasure, Countermeasure, DefenseEvaluation, GuardAction, ScrubbingGuard,
     ThermalSensorGuard, WriteCounterGuard,

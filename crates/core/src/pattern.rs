@@ -49,6 +49,15 @@ impl AttackPattern {
         }
     }
 
+    /// Position of this pattern in [`AttackPattern::ALL`] (used as the
+    /// x-coordinate of pattern sweeps).
+    pub fn index(&self) -> usize {
+        AttackPattern::ALL
+            .iter()
+            .position(|p| p == self)
+            .expect("every pattern is listed in ALL")
+    }
+
     /// The aggressor cells this pattern hammers to attack `victim` in a
     /// `rows × cols` array. Offsets that fall outside the array are dropped,
     /// so patterns degrade gracefully near the edges.
@@ -93,9 +102,31 @@ impl AttackPattern {
     }
 }
 
+/// Parses a pattern from its [`AttackPattern::label`] (used by campaign
+/// specifications in JSON form).
+impl std::str::FromStr for AttackPattern {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        AttackPattern::ALL
+            .into_iter()
+            .find(|p| p.label() == s)
+            .ok_or_else(|| format!("unknown attack pattern {s:?}"))
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn labels_parse_back_to_their_pattern() {
+        for pattern in AttackPattern::ALL {
+            assert_eq!(pattern.label().parse::<AttackPattern>(), Ok(pattern));
+            assert_eq!(AttackPattern::ALL[pattern.index()], pattern);
+        }
+        assert!("no such pattern".parse::<AttackPattern>().is_err());
+    }
 
     #[test]
     fn single_aggressor_is_a_word_line_neighbour() {
@@ -116,7 +147,9 @@ mod tests {
     #[test]
     fn quad_and_diagonal_have_four_aggressors_in_the_interior() {
         assert_eq!(
-            AttackPattern::Quad.aggressors(CellAddress::new(2, 2), 5, 5).len(),
+            AttackPattern::Quad
+                .aggressors(CellAddress::new(2, 2), 5, 5)
+                .len(),
             4
         );
         let diag = AttackPattern::Diagonal.aggressors(CellAddress::new(2, 2), 5, 5);
@@ -133,7 +166,7 @@ mod tests {
                 aggressors.iter().all(|a| a.row < 5 && a.col < 5),
                 "{pattern:?} produced out-of-range aggressors"
             );
-            assert!(!aggressors.is_empty() || pattern == AttackPattern::Diagonal || !aggressors.is_empty());
+            assert!(!aggressors.is_empty() || pattern == AttackPattern::Diagonal);
         }
     }
 

@@ -20,7 +20,7 @@ use serde::{Deserialize, Serialize};
 
 use crate::attack::{run_attack, AttackConfig};
 use crate::pattern::AttackPattern;
-use rram_crossbar::{CellAddress, EngineConfig, PulseEngine};
+use rram_crossbar::{BackendKind, CellAddress, CrosstalkHub, EngineConfig, HammerBackend};
 use rram_jart::{DeviceParams, DigitalState};
 use rram_units::{Seconds, Volts};
 
@@ -168,6 +168,8 @@ pub struct NeuromorphicScenario {
     pub max_pulses: u64,
     /// Nearest-neighbour crosstalk coefficient of the weight array.
     pub coupling: f64,
+    /// Simulation backend the scenario runs on.
+    pub backend: BackendKind,
 }
 
 impl Default for NeuromorphicScenario {
@@ -179,6 +181,7 @@ impl Default for NeuromorphicScenario {
             pulse_length: Seconds(100e-9),
             max_pulses: 500_000,
             coupling: 0.15,
+            backend: BackendKind::Pulse,
         }
     }
 }
@@ -217,11 +220,12 @@ impl NeuromorphicScenario {
         let n_weights = FEATURES * CLASSES;
         let rows = 2 * n_weights + 1;
         let cols = WEIGHT_BITS + 2;
-        let mut engine = PulseEngine::with_uniform_coupling(
+        let hub = CrosstalkHub::two_ring(rows, cols, self.coupling, Seconds(30e-9));
+        let mut engine = self.backend.build(
             rows,
             cols,
             DeviceParams::default(),
-            self.coupling,
+            hub,
             EngineConfig::default(),
         );
 
@@ -230,28 +234,27 @@ impl NeuromorphicScenario {
         for (index, &w) in flat_weights.iter().enumerate() {
             let bits = quantize(w, scale);
             for (b, &bit) in bits.iter().enumerate() {
-                let state = if bit { DigitalState::Lrs } else { DigitalState::Hrs };
-                engine
-                    .array_mut()
-                    .cell_mut(CellAddress::new(weight_row(index), 1 + b))
-                    .force_state(state);
+                let state = if bit {
+                    DigitalState::Lrs
+                } else {
+                    DigitalState::Hrs
+                };
+                engine.force_state(CellAddress::new(weight_row(index), 1 + b), state);
             }
         }
 
         // Baseline accuracy of the quantised model.
-        let read_model = |engine: &PulseEngine| -> LinearClassifier {
+        let read_model = |engine: &dyn HammerBackend| -> LinearClassifier {
             let mut weights = [[0.0; FEATURES]; CLASSES];
-            for class in 0..CLASSES {
-                for feature in 0..FEATURES {
+            for (class, class_weights) in weights.iter_mut().enumerate() {
+                for (feature, weight) in class_weights.iter_mut().enumerate() {
                     let index = class * FEATURES + feature;
                     let mut bits = [false; WEIGHT_BITS];
                     for (b, bit) in bits.iter_mut().enumerate() {
-                        *bit = engine
-                            .array()
-                            .read(CellAddress::new(weight_row(index), 1 + b))
+                        *bit = engine.read(CellAddress::new(weight_row(index), 1 + b))
                             == DigitalState::Lrs;
                     }
-                    weights[class][feature] = dequantize(bits, scale);
+                    *weight = dequantize(bits, scale);
                 }
             }
             LinearClassifier {
@@ -259,8 +262,8 @@ impl NeuromorphicScenario {
                 biases: model.biases,
             }
         };
-        let baseline_accuracy = read_model(&engine).accuracy(&dataset);
-        let reference = engine.array().read_all();
+        let baseline_accuracy = read_model(engine.as_ref()).accuracy(&dataset);
+        let reference = engine.read_all();
 
         // Target the most significant *unset* magnitude bit of the largest
         // weights: flipping it multiplies the weight's magnitude.
@@ -298,13 +301,13 @@ impl NeuromorphicScenario {
                 batching: true,
                 trace: false,
             };
-            let result = run_attack(&mut engine, &config);
+            let result = run_attack(engine.as_mut(), &config);
             pulses += result.pulses;
             targeted += 1;
         }
 
-        let corrupted_accuracy = read_model(&engine).accuracy(&dataset);
-        let flipped_bits = engine.array().count_differences(&reference);
+        let corrupted_accuracy = read_model(engine.as_ref()).accuracy(&dataset);
+        let flipped_bits = engine.changed_cells(&reference).len();
 
         NeuromorphicOutcome {
             baseline_accuracy,

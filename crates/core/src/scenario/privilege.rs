@@ -13,7 +13,7 @@ use serde::{Deserialize, Serialize};
 
 use crate::attack::{run_attack, AttackConfig};
 use crate::pattern::AttackPattern;
-use rram_crossbar::{CellAddress, EngineConfig, PulseEngine};
+use rram_crossbar::{BackendKind, CellAddress, CrosstalkHub, EngineConfig};
 use rram_jart::{DeviceParams, DigitalState};
 use rram_units::{Seconds, Volts};
 
@@ -76,6 +76,8 @@ pub struct PrivilegeEscalationScenario {
     pub max_pulses: u64,
     /// Nearest-neighbour crosstalk coefficient of the memory array.
     pub coupling: f64,
+    /// Simulation backend the scenario runs on.
+    pub backend: BackendKind,
 }
 
 impl Default for PrivilegeEscalationScenario {
@@ -90,6 +92,7 @@ impl Default for PrivilegeEscalationScenario {
             pulse_length: Seconds(100e-9),
             max_pulses: 1_000_000,
             coupling: 0.15,
+            backend: BackendKind::Pulse,
         }
     }
 }
@@ -162,25 +165,23 @@ impl PrivilegeEscalationScenario {
         );
 
         // 8×8 memory tile: row 3 holds the victim PTE, rows 2 and 4 belong to
-        // the attacker.
-        let mut engine = PulseEngine::with_uniform_coupling(
-            8,
-            8,
-            DeviceParams::default(),
-            self.coupling,
-            EngineConfig::default(),
-        );
+        // the attacker. The scenario drives whichever backend is configured.
+        let hub = CrosstalkHub::two_ring(8, 8, self.coupling, Seconds(30e-9));
+        let mut engine =
+            self.backend
+                .build(8, 8, DeviceParams::default(), hub, EngineConfig::default());
 
         // Install the victim PTE.
         let bits = self.victim_pte.to_bits();
         for (i, &bit) in bits.iter().enumerate() {
-            let state = if bit { DigitalState::Lrs } else { DigitalState::Hrs };
-            engine
-                .array_mut()
-                .cell_mut(CellAddress::new(VICTIM_ROW, FIRST_BIT_COL + i))
-                .force_state(state);
+            let state = if bit {
+                DigitalState::Lrs
+            } else {
+                DigitalState::Hrs
+            };
+            engine.force_state(CellAddress::new(VICTIM_ROW, FIRST_BIT_COL + i), state);
         }
-        let reference = engine.array().read_all();
+        let reference = engine.read_all();
 
         // Hammer each required bit with the double-sided column pattern
         // (attacker rows above and below the victim bit).
@@ -197,7 +198,7 @@ impl PrivilegeEscalationScenario {
                 batching: true,
                 trace: false,
             };
-            let result = run_attack(&mut engine, &config);
+            let result = run_attack(engine.as_mut(), &config);
             pulses += result.pulses;
             let _ = ATTACKER_ROWS; // rows are implied by the double-sided pattern
         }
@@ -205,10 +206,8 @@ impl PrivilegeEscalationScenario {
         // Read the PTE back.
         let mut read_bits = [false; PageTableEntry::BITS];
         for (i, bit) in read_bits.iter_mut().enumerate() {
-            *bit = engine
-                .array()
-                .read(CellAddress::new(VICTIM_ROW, FIRST_BIT_COL + i))
-                == DigitalState::Lrs;
+            *bit =
+                engine.read(CellAddress::new(VICTIM_ROW, FIRST_BIT_COL + i)) == DigitalState::Lrs;
         }
         let corrupted = PageTableEntry::from_bits(read_bits);
 
@@ -226,7 +225,6 @@ impl PrivilegeEscalationScenario {
             .map(|i| CellAddress::new(VICTIM_ROW, FIRST_BIT_COL + i))
             .collect();
         let collateral_flips = engine
-            .array()
             .changed_cells(&reference)
             .into_iter()
             .filter(|c| !pte_cells.contains(c))

@@ -1,5 +1,6 @@
 //! Sweep utilities: data types for parameter sweeps and a small parallel map
-//! built on crossbeam's scoped threads.
+//! built on `std::thread::scope` — the execution backbone of both the
+//! figure sweeps and the [`crate::campaign`] runner.
 
 use serde::{Deserialize, Serialize};
 
@@ -85,21 +86,20 @@ where
     let threads = max_threads.max(1).min(items.len());
     let mut results: Vec<Option<R>> = (0..items.len()).map(|_| None).collect();
     let next = std::sync::atomic::AtomicUsize::new(0);
-    let results_mutex = parking_lot::Mutex::new(&mut results);
+    let results_mutex = std::sync::Mutex::new(&mut results);
 
-    crossbeam::scope(|scope| {
+    std::thread::scope(|scope| {
         for _ in 0..threads {
-            scope.spawn(|_| loop {
+            scope.spawn(|| loop {
                 let index = next.fetch_add(1, std::sync::atomic::Ordering::SeqCst);
                 if index >= items.len() {
                     break;
                 }
                 let value = f(&items[index]);
-                results_mutex.lock()[index] = Some(value);
+                results_mutex.lock().expect("sweep results lock poisoned")[index] = Some(value);
             });
         }
-    })
-    .expect("sweep worker thread panicked");
+    });
 
     results
         .into_iter()

@@ -89,20 +89,19 @@ impl CrossbarArray {
 
     /// Iterates over `(address, cell)` pairs in row-major order.
     pub fn iter(&self) -> impl Iterator<Item = (CellAddress, &JartDevice)> {
-        self.cells.iter().enumerate().map(move |(i, cell)| {
-            (
-                CellAddress::new(i / self.cols, i % self.cols),
-                cell,
-            )
-        })
+        self.cells
+            .iter()
+            .enumerate()
+            .map(move |(i, cell)| (CellAddress::new(i / self.cols, i % self.cols), cell))
     }
 
     /// Iterates mutably over `(address, cell)` pairs in row-major order.
     pub fn iter_mut(&mut self) -> impl Iterator<Item = (CellAddress, &mut JartDevice)> {
         let cols = self.cols;
-        self.cells.iter_mut().enumerate().map(move |(i, cell)| {
-            (CellAddress::new(i / cols, i % cols), cell)
-        })
+        self.cells
+            .iter_mut()
+            .enumerate()
+            .map(move |(i, cell)| (CellAddress::new(i / cols, i % cols), cell))
     }
 
     /// Digital read-out of the whole array, row-major.
@@ -123,7 +122,10 @@ impl CrossbarArray {
     /// Exported filament temperatures of all cells, row-major (the hub's
     /// input vector).
     pub fn exported_temperatures(&self) -> Vec<f64> {
-        self.cells.iter().map(|c| c.exported_temperature().0).collect()
+        self.cells
+            .iter()
+            .map(|c| c.exported_temperature().0)
+            .collect()
     }
 
     /// Writes the crosstalk ΔT of every cell from a row-major slice.
@@ -145,7 +147,11 @@ impl CrossbarArray {
     ///
     /// Panics if `reference.len()` does not match the cell count.
     pub fn count_differences(&self, reference: &[DigitalState]) -> usize {
-        assert_eq!(reference.len(), self.cells.len(), "reference length mismatch");
+        assert_eq!(
+            reference.len(),
+            self.cells.len(),
+            "reference length mismatch"
+        );
         self.read_all()
             .iter()
             .zip(reference.iter())
@@ -159,7 +165,11 @@ impl CrossbarArray {
     ///
     /// Panics if `reference.len()` does not match the cell count.
     pub fn changed_cells(&self, reference: &[DigitalState]) -> Vec<CellAddress> {
-        assert_eq!(reference.len(), self.cells.len(), "reference length mismatch");
+        assert_eq!(
+            reference.len(),
+            self.cells.len(),
+            "reference length mismatch"
+        );
         self.read_all()
             .iter()
             .zip(reference.iter())
@@ -197,7 +207,8 @@ mod tests {
     #[test]
     fn cell_access_round_trips() {
         let mut a = array();
-        a.cell_mut(CellAddress::new(1, 2)).force_state(DigitalState::Lrs);
+        a.cell_mut(CellAddress::new(1, 2))
+            .force_state(DigitalState::Lrs);
         assert_eq!(a.read(CellAddress::new(1, 2)), DigitalState::Lrs);
         assert_eq!(a.read(CellAddress::new(1, 1)), DigitalState::Hrs);
     }
@@ -216,11 +227,16 @@ mod tests {
         let mut a = array();
         let reference = a.read_all();
         assert_eq!(a.count_differences(&reference), 0);
-        a.cell_mut(CellAddress::new(0, 1)).force_state(DigitalState::Lrs);
-        a.cell_mut(CellAddress::new(2, 3)).force_state(DigitalState::Lrs);
+        a.cell_mut(CellAddress::new(0, 1))
+            .force_state(DigitalState::Lrs);
+        a.cell_mut(CellAddress::new(2, 3))
+            .force_state(DigitalState::Lrs);
         assert_eq!(a.count_differences(&reference), 2);
         let changed = a.changed_cells(&reference);
-        assert_eq!(changed, vec![CellAddress::new(0, 1), CellAddress::new(2, 3)]);
+        assert_eq!(
+            changed,
+            vec![CellAddress::new(0, 1), CellAddress::new(2, 3)]
+        );
     }
 
     #[test]
@@ -236,7 +252,8 @@ mod tests {
     #[test]
     fn read_resistance_separates_states() {
         let mut a = array();
-        a.cell_mut(CellAddress::new(0, 0)).force_state(DigitalState::Lrs);
+        a.cell_mut(CellAddress::new(0, 0))
+            .force_state(DigitalState::Lrs);
         let r_lrs = a.read_resistance(CellAddress::new(0, 0), Volts(0.2));
         let r_hrs = a.read_resistance(CellAddress::new(0, 1), Volts(0.2));
         assert!(r_hrs.0 > 20.0 * r_lrs.0);

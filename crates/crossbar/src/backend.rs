@@ -1,0 +1,322 @@
+//! The [`HammerBackend`] abstraction: one interface over every crossbar
+//! simulation engine.
+//!
+//! The workspace ships two engines with very different cost/fidelity
+//! trade-offs — the fast ideal-driver [`crate::engine::PulseEngine`] and the
+//! MNA-backed [`crate::detailed::DetailedCrossbar`] — and the attack layer
+//! (`neurohammer`) should not care which one it is driving. `HammerBackend`
+//! captures exactly what a hammering campaign needs from an engine: pulse
+//! application, idling, digital and analogue cell read-out, a thermal
+//! snapshot per cell, crosstalk-hub access and a whole-array reset. Every
+//! attack driver, countermeasure evaluation, scenario and campaign in
+//! `neurohammer` is generic over this trait, so adding a third engine (e.g. a
+//! GPU batch backend) only requires implementing it here.
+//!
+//! [`BackendKind`] is the declarative, serialisable selector used by campaign
+//! specifications to choose an engine at runtime.
+//!
+//! # Examples
+//!
+//! Running the same burst on either engine through the trait:
+//!
+//! ```
+//! use rram_crossbar::{BackendKind, CellAddress, EngineConfig, HammerBackend};
+//! use rram_crossbar::CrosstalkHub;
+//! use rram_jart::{DeviceParams, DigitalState};
+//! use rram_units::{Seconds, Volts};
+//!
+//! for kind in [BackendKind::Pulse, BackendKind::detailed()] {
+//!     let hub = CrosstalkHub::uniform(3, 3, 0.15, 0.075, 0.0375, Seconds(30e-9));
+//!     let mut backend = kind.build(3, 3, DeviceParams::default(), hub,
+//!                                  EngineConfig::default());
+//!     let aggressor = CellAddress::new(1, 1);
+//!     backend.force_state(aggressor, DigitalState::Lrs);
+//!     backend.apply_pulse(aggressor, Volts(1.05), Seconds(50e-9));
+//!     assert!(backend.thermal_readout(aggressor).temperature.0 > 300.0);
+//! }
+//! ```
+
+use serde::{Deserialize, Serialize};
+
+use crate::crosstalk::CrosstalkHub;
+use crate::detailed::{DetailedCrossbar, WiringParasitics};
+use crate::engine::{EngineConfig, PulseEngine};
+use crate::scheme::CellAddress;
+use rram_jart::{DeviceParams, DigitalState};
+use rram_units::{Kelvin, Seconds, Volts};
+
+/// Thermal/electrical snapshot of one cell, as exposed by any backend.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ThermalReadout {
+    /// Filament temperature, K.
+    pub temperature: Kelvin,
+    /// Imported crosstalk temperature increase, K.
+    pub crosstalk: Kelvin,
+    /// Normalised internal state (0 = HRS, 1 = LRS).
+    pub normalized_state: f64,
+}
+
+/// A crossbar simulation engine a hammering campaign can drive.
+///
+/// The trait is object safe: campaign runners hold `Box<dyn HammerBackend>`
+/// chosen at runtime from a [`BackendKind`].
+///
+/// # Examples
+///
+/// Code written against the trait runs on either engine:
+///
+/// ```
+/// use rram_crossbar::{CellAddress, EngineConfig, HammerBackend, PulseEngine};
+/// use rram_jart::{DeviceParams, DigitalState};
+/// use rram_units::{Seconds, Volts};
+///
+/// fn hammer_once<B: HammerBackend + ?Sized>(engine: &mut B) -> f64 {
+///     let aggressor = CellAddress::new(1, 1);
+///     engine.force_state(aggressor, DigitalState::Lrs);
+///     engine.apply_pulse(aggressor, Volts(1.05), Seconds(50e-9));
+///     engine.thermal_readout(CellAddress::new(1, 0)).crosstalk.0
+/// }
+///
+/// let mut engine = PulseEngine::with_uniform_coupling(
+///     3, 3, DeviceParams::default(), 0.15, EngineConfig::default());
+/// assert!(hammer_once(&mut engine) > 0.0);
+/// ```
+pub trait HammerBackend {
+    /// Short human-readable engine name used in reports and tables.
+    fn label(&self) -> &'static str;
+
+    /// Number of array rows.
+    fn rows(&self) -> usize;
+
+    /// Number of array columns.
+    fn cols(&self) -> usize;
+
+    /// Applies one write pulse of `length` to `selected` under the engine's
+    /// write scheme. Positive amplitude drives SET.
+    fn apply_pulse(&mut self, selected: CellAddress, amplitude: Volts, length: Seconds);
+
+    /// Grounds all lines for `duration`: filaments cool, crosstalk decays.
+    fn idle(&mut self, duration: Seconds);
+
+    /// Digital read-out of one cell.
+    fn read(&self, address: CellAddress) -> DigitalState;
+
+    /// Normalised internal state of one cell (0 = HRS, 1 = LRS).
+    fn normalized_state(&self, address: CellAddress) -> f64;
+
+    /// Forces the digital state of one cell (initialisation, fault
+    /// injection).
+    fn force_state(&mut self, address: CellAddress, state: DigitalState);
+
+    /// Forces the normalised internal state of one cell (used by pulse
+    /// batching to extrapolate slow drift).
+    fn force_normalized_state(&mut self, address: CellAddress, normalized: f64);
+
+    /// Thermal snapshot of one cell.
+    fn thermal_readout(&self, address: CellAddress) -> ThermalReadout;
+
+    /// The crosstalk hub.
+    fn hub(&self) -> &CrosstalkHub;
+
+    /// Mutable access to the crosstalk hub (ablations).
+    fn hub_mut(&mut self) -> &mut CrosstalkHub;
+
+    /// Total simulated time, s.
+    fn elapsed(&self) -> Seconds;
+
+    /// Resets the array to all-HRS at ambient temperature, clears the
+    /// crosstalk state and rewinds the simulated clock.
+    fn reset(&mut self);
+
+    /// Digital read-out of the whole array in row-major order.
+    fn read_all(&self) -> Vec<DigitalState> {
+        let mut states = Vec::with_capacity(self.rows() * self.cols());
+        for row in 0..self.rows() {
+            for col in 0..self.cols() {
+                states.push(self.read(CellAddress::new(row, col)));
+            }
+        }
+        states
+    }
+
+    /// Addresses of the cells whose digital state differs from `reference`
+    /// (as returned by [`HammerBackend::read_all`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `reference` does not have `rows × cols` entries.
+    fn changed_cells(&self, reference: &[DigitalState]) -> Vec<CellAddress> {
+        assert_eq!(
+            reference.len(),
+            self.rows() * self.cols(),
+            "reference snapshot has the wrong length"
+        );
+        let cols = self.cols();
+        self.read_all()
+            .into_iter()
+            .zip(reference.iter())
+            .enumerate()
+            .filter(|(_, (now, before))| now != *before)
+            .map(|(i, _)| CellAddress::new(i / cols, i % cols))
+            .collect()
+    }
+}
+
+/// Declarative backend selector used by campaign specifications.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum BackendKind {
+    /// The fast ideal-driver [`PulseEngine`].
+    Pulse,
+    /// The MNA-backed [`DetailedCrossbar`] with the given wiring parasitics.
+    Detailed(WiringParasitics),
+}
+
+impl BackendKind {
+    /// The detailed backend with default wiring parasitics.
+    pub fn detailed() -> Self {
+        BackendKind::Detailed(WiringParasitics::default())
+    }
+
+    /// Short label used in reports ("pulse" / "detailed").
+    pub fn label(&self) -> &'static str {
+        match self {
+            BackendKind::Pulse => "pulse",
+            BackendKind::Detailed(_) => "detailed",
+        }
+    }
+
+    /// Builds a fresh all-HRS backend of this kind.
+    ///
+    /// The device ambient temperature is aligned with `config.ambient` so
+    /// both engines see the same thermal baseline.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the hub dimensions do not match `rows`/`cols`.
+    pub fn build(
+        &self,
+        rows: usize,
+        cols: usize,
+        params: DeviceParams,
+        hub: CrosstalkHub,
+        config: EngineConfig,
+    ) -> Box<dyn HammerBackend> {
+        let params = DeviceParams {
+            ambient_temperature: config.ambient.0,
+            ..params
+        };
+        match self {
+            BackendKind::Pulse => {
+                let array = crate::array::CrossbarArray::new(rows, cols, params);
+                Box::new(PulseEngine::new(array, hub, config))
+            }
+            BackendKind::Detailed(parasitics) => Box::new(
+                DetailedCrossbar::new(rows, cols, params, *parasitics, hub, config.scheme)
+                    .with_time_step(config.max_substep),
+            ),
+        }
+    }
+}
+
+/// Parses a backend label as written in campaign JSON ("pulse" or
+/// "detailed"); the detailed backend gets default parasitics.
+impl std::str::FromStr for BackendKind {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s {
+            "pulse" => Ok(BackendKind::Pulse),
+            "detailed" => Ok(BackendKind::detailed()),
+            other => Err(format!("unknown backend kind {other:?}")),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rram_units::SiExt;
+
+    fn hub() -> CrosstalkHub {
+        CrosstalkHub::uniform(3, 3, 0.15, 0.075, 0.0375, Seconds(30e-9))
+    }
+
+    fn backends() -> Vec<Box<dyn HammerBackend>> {
+        [BackendKind::Pulse, BackendKind::detailed()]
+            .iter()
+            .map(|kind| {
+                kind.build(
+                    3,
+                    3,
+                    DeviceParams::default(),
+                    hub(),
+                    EngineConfig::default(),
+                )
+            })
+            .collect()
+    }
+
+    #[test]
+    fn both_backends_run_the_same_burst() {
+        for mut backend in backends() {
+            let aggressor = CellAddress::new(1, 1);
+            backend.force_state(aggressor, DigitalState::Lrs);
+            for _ in 0..3 {
+                backend.apply_pulse(aggressor, Volts(1.05), 50.0.ns());
+                backend.idle(50.0.ns());
+            }
+            assert!(
+                backend.thermal_readout(CellAddress::new(1, 0)).crosstalk.0 > 0.0,
+                "{}: no crosstalk imported",
+                backend.label()
+            );
+            assert!(backend.elapsed().0 > 0.0);
+        }
+    }
+
+    #[test]
+    fn reset_restores_a_pristine_array() {
+        for mut backend in backends() {
+            let cell = CellAddress::new(0, 1);
+            backend.force_state(cell, DigitalState::Lrs);
+            backend.apply_pulse(cell, Volts(1.05), 50.0.ns());
+            backend.reset();
+            assert_eq!(backend.read(cell), DigitalState::Hrs, "{}", backend.label());
+            assert_eq!(backend.elapsed().0, 0.0);
+            assert!(backend.hub().deltas().iter().all(|&d| d == 0.0));
+        }
+    }
+
+    #[test]
+    fn changed_cells_reports_exactly_the_flipped_cell() {
+        for mut backend in backends() {
+            let reference = backend.read_all();
+            backend.force_state(CellAddress::new(2, 0), DigitalState::Lrs);
+            assert_eq!(
+                backend.changed_cells(&reference),
+                vec![CellAddress::new(2, 0)],
+                "{}",
+                backend.label()
+            );
+        }
+    }
+
+    #[test]
+    fn force_normalized_state_round_trips() {
+        for mut backend in backends() {
+            let cell = CellAddress::new(1, 2);
+            backend.force_normalized_state(cell, 0.9);
+            assert!((backend.normalized_state(cell) - 0.9).abs() < 1e-9);
+            assert_eq!(backend.read(cell), DigitalState::Lrs);
+        }
+    }
+
+    #[test]
+    fn labels_and_parsing_agree() {
+        for kind in [BackendKind::Pulse, BackendKind::detailed()] {
+            let parsed: BackendKind = kind.label().parse().unwrap();
+            assert_eq!(parsed.label(), kind.label());
+        }
+        assert!("gpu".parse::<BackendKind>().is_err());
+    }
+}

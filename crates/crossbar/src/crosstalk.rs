@@ -46,7 +46,10 @@ impl CrosstalkHub {
     /// offsets is treated as zero.
     pub fn new(rows: usize, cols: usize, alpha: AlphaMatrix, tau: Seconds) -> Self {
         assert!(rows > 0 && cols > 0, "array must be non-empty");
-        assert!(tau.0 >= 0.0 && tau.0.is_finite(), "tau must be non-negative");
+        assert!(
+            tau.0 >= 0.0 && tau.0.is_finite(),
+            "tau must be non-negative"
+        );
         CrosstalkHub {
             rows,
             cols,
@@ -86,6 +89,14 @@ impl CrosstalkHub {
         }
         let alpha = AlphaMatrix::from_values(5, 5, (2, 2), values);
         CrosstalkHub::new(rows, cols, alpha, tau)
+    }
+
+    /// The canonical synthetic two-ring profile used by scenarios and
+    /// campaigns: in-line nearest neighbours couple at `nearest`, diagonal
+    /// neighbours at half and the second ring at a quarter of it (close to
+    /// the ratios the field solver extracts for 50 nm spacing).
+    pub fn two_ring(rows: usize, cols: usize, nearest: f64, tau: Seconds) -> Self {
+        CrosstalkHub::uniform(rows, cols, nearest, 0.5 * nearest, 0.25 * nearest, tau)
     }
 
     /// A hub with coupling switched off (ablation baseline).

@@ -11,11 +11,11 @@ use std::cell::RefCell;
 use std::fmt;
 use std::rc::Rc;
 
+use crate::backend::{HammerBackend, ThermalReadout};
 use crate::crosstalk::CrosstalkHub;
 use crate::scheme::{CellAddress, WriteScheme};
 use rram_circuit::{
-    run_transient, Netlist, NewtonOptions, NodeId, NonlinearTwoTerminal, TransientOptions,
-    Waveform,
+    run_transient, Netlist, NewtonOptions, NodeId, NonlinearTwoTerminal, TransientOptions, Waveform,
 };
 use rram_jart::{DeviceParams, DigitalState, JartDevice};
 use rram_units::{Kelvin, Ohms, Seconds, Volts};
@@ -63,9 +63,7 @@ impl NonlinearTwoTerminal for SharedCell {
     }
 
     fn commit(&mut self, voltage: f64, dt: f64) {
-        self.device
-            .borrow_mut()
-            .step(Volts(voltage), Seconds(dt));
+        self.device.borrow_mut().step(Volts(voltage), Seconds(dt));
     }
 }
 
@@ -78,6 +76,11 @@ pub struct DetailedCrossbar {
     hub: CrosstalkHub,
     scheme: WriteScheme,
     ambient: Kelvin,
+    /// Transient time step used when pulses are applied through the
+    /// [`HammerBackend`] interface (which carries no per-call `dt`).
+    dt: Seconds,
+    /// Simulated time elapsed, s.
+    elapsed: f64,
 }
 
 impl fmt::Debug for DetailedCrossbar {
@@ -118,7 +121,21 @@ impl DetailedCrossbar {
             hub,
             scheme,
             ambient,
+            dt: Seconds(10e-9),
+            elapsed: 0.0,
         }
+    }
+
+    /// Sets the transient time step used by pulses applied through the
+    /// [`HammerBackend`] interface (default 10 ns).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `dt` is not positive.
+    pub fn with_time_step(mut self, dt: Seconds) -> Self {
+        assert!(dt.0 > 0.0, "time step must be positive");
+        self.dt = dt;
+        self
     }
 
     /// Number of rows.
@@ -169,9 +186,9 @@ impl DetailedCrossbar {
 
         // Node names: wl_<r>_<c> and bl_<r>_<c> are the word/bit line nodes
         // at crosspoint (r, c).
-        for r in 0..self.rows {
+        for (r, &line_v) in word_line_v.iter().enumerate() {
             let driver = netlist.node(&format!("wl_drv_{r}"));
-            netlist.add_voltage_source(driver, NodeId::GROUND, Waveform::Dc(word_line_v[r]));
+            netlist.add_voltage_source(driver, NodeId::GROUND, Waveform::Dc(line_v));
             let first = netlist.node(&format!("wl_{r}_0"));
             netlist.add_resistor(driver, first, self.parasitics.driver_resistance.0);
             for c in 1..self.cols {
@@ -180,9 +197,9 @@ impl DetailedCrossbar {
                 netlist.add_resistor(prev, here, self.parasitics.segment_resistance.0);
             }
         }
-        for c in 0..self.cols {
+        for (c, &line_v) in bit_line_v.iter().enumerate() {
             let driver = netlist.node(&format!("bl_drv_{c}"));
-            netlist.add_voltage_source(driver, NodeId::GROUND, Waveform::Dc(bit_line_v[c]));
+            netlist.add_voltage_source(driver, NodeId::GROUND, Waveform::Dc(line_v));
             let first = netlist.node(&format!("bl_0_{c}"));
             netlist.add_resistor(driver, first, self.parasitics.driver_resistance.0);
             for r in 1..self.rows {
@@ -205,13 +222,14 @@ impl DetailedCrossbar {
     }
 
     /// Applies one write pulse to `selected` with the configured scheme,
-    /// solving the full network transient with time step `dt`.
+    /// solving the full network transient with the explicit time step `dt`
+    /// (the [`HammerBackend`] interface uses the configured default instead).
     ///
     /// # Panics
     ///
     /// Panics if the transient solver fails to converge (which indicates a
     /// malformed network rather than a recoverable condition).
-    pub fn apply_pulse(
+    pub fn apply_pulse_with_dt(
         &mut self,
         selected: CellAddress,
         amplitude: Volts,
@@ -235,9 +253,7 @@ impl DetailedCrossbar {
             // Import the current crosstalk state into the devices.
             let deltas = self.hub.deltas().to_vec();
             for (idx, device) in self.devices.iter().enumerate() {
-                device
-                    .borrow_mut()
-                    .set_crosstalk_delta(Kelvin(deltas[idx]));
+                device.borrow_mut().set_crosstalk_delta(Kelvin(deltas[idx]));
             }
 
             let mut netlist = self.build_netlist(&wl, &bl);
@@ -259,7 +275,83 @@ impl DetailedCrossbar {
                 .collect();
             self.hub
                 .update(&temperatures, self.ambient, Seconds(slice_len));
+            self.elapsed += slice_len;
         }
+    }
+}
+
+impl HammerBackend for DetailedCrossbar {
+    fn label(&self) -> &'static str {
+        "detailed"
+    }
+
+    fn rows(&self) -> usize {
+        self.rows
+    }
+
+    fn cols(&self) -> usize {
+        self.cols
+    }
+
+    fn apply_pulse(&mut self, selected: CellAddress, amplitude: Volts, length: Seconds) {
+        let dt = Seconds(self.dt.0.min(length.0));
+        self.apply_pulse_with_dt(selected, amplitude, length, dt);
+    }
+
+    fn idle(&mut self, duration: Seconds) {
+        // All schemes produce an all-grounded bias at zero amplitude, and the
+        // dynamics reduce to thermal decay, which tolerates a coarser step.
+        let dt = Seconds((self.dt.0 * 5.0).min(duration.0));
+        self.apply_pulse_with_dt(CellAddress::new(0, 0), Volts(0.0), duration, dt);
+    }
+
+    fn read(&self, address: CellAddress) -> DigitalState {
+        DetailedCrossbar::read(self, address)
+    }
+
+    fn normalized_state(&self, address: CellAddress) -> f64 {
+        DetailedCrossbar::normalized_state(self, address)
+    }
+
+    fn force_state(&mut self, address: CellAddress, state: DigitalState) {
+        DetailedCrossbar::force_state(self, address, state);
+    }
+
+    fn force_normalized_state(&mut self, address: CellAddress, normalized: f64) {
+        self.device(address)
+            .borrow_mut()
+            .force_normalized_state(normalized);
+    }
+
+    fn thermal_readout(&self, address: CellAddress) -> ThermalReadout {
+        let device = self.device(address).borrow();
+        ThermalReadout {
+            temperature: device.temperature(),
+            crosstalk: device.crosstalk_delta(),
+            normalized_state: device.normalized_state(),
+        }
+    }
+
+    fn hub(&self) -> &CrosstalkHub {
+        &self.hub
+    }
+
+    fn hub_mut(&mut self) -> &mut CrosstalkHub {
+        &mut self.hub
+    }
+
+    fn elapsed(&self) -> Seconds {
+        Seconds(self.elapsed)
+    }
+
+    fn reset(&mut self) {
+        for device in &self.devices {
+            let mut device = device.borrow_mut();
+            device.force_state(DigitalState::Hrs);
+            device.set_crosstalk_delta(Kelvin(0.0));
+        }
+        self.hub.reset();
+        self.elapsed = 0.0;
     }
 }
 
@@ -283,7 +375,7 @@ mod tests {
     fn set_pulse_switches_the_selected_cell_only() {
         let mut xbar = detailed(3, 3);
         let target = CellAddress::new(1, 1);
-        xbar.apply_pulse(target, Volts(1.05), 2.0.us(), 20.0.ns());
+        xbar.apply_pulse_with_dt(target, Volts(1.05), 2.0.us(), 20.0.ns());
         assert_eq!(xbar.read(target), DigitalState::Lrs);
         for r in 0..3 {
             for c in 0..3 {
@@ -304,7 +396,7 @@ mod tests {
         let aggressor = CellAddress::new(1, 1);
         xbar.force_state(aggressor, DigitalState::Lrs);
         for _ in 0..5 {
-            xbar.apply_pulse(aggressor, Volts(1.05), 50.0.ns(), 10.0.ns());
+            xbar.apply_pulse_with_dt(aggressor, Volts(1.05), 50.0.ns(), 10.0.ns());
         }
         assert!(xbar.hub().delta(1, 0).0 > 10.0);
     }
@@ -315,7 +407,7 @@ mod tests {
         let aggressor = CellAddress::new(1, 1);
         xbar.force_state(aggressor, DigitalState::Lrs);
         for _ in 0..10 {
-            xbar.apply_pulse(aggressor, Volts(1.05), 100.0.ns(), 20.0.ns());
+            xbar.apply_pulse_with_dt(aggressor, Volts(1.05), 100.0.ns(), 20.0.ns());
         }
         let half_selected = xbar.normalized_state(CellAddress::new(1, 0));
         let unselected = xbar.normalized_state(CellAddress::new(0, 0));
@@ -359,8 +451,8 @@ mod tests {
             ideal.force_state(CellAddress::new(0, c), DigitalState::Lrs);
             resistive.force_state(CellAddress::new(0, c), DigitalState::Lrs);
         }
-        ideal.apply_pulse(far, Volts(1.05), 300.0.ns(), 20.0.ns());
-        resistive.apply_pulse(far, Volts(1.05), 300.0.ns(), 20.0.ns());
+        ideal.apply_pulse_with_dt(far, Volts(1.05), 300.0.ns(), 20.0.ns());
+        resistive.apply_pulse_with_dt(far, Volts(1.05), 300.0.ns(), 20.0.ns());
         assert!(
             ideal.normalized_state(far) >= resistive.normalized_state(far),
             "ideal {} vs resistive {}",

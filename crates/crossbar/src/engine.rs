@@ -17,6 +17,7 @@
 use serde::{Deserialize, Serialize};
 
 use crate::array::CrossbarArray;
+use crate::backend::{HammerBackend, ThermalReadout};
 use crate::crosstalk::CrosstalkHub;
 use crate::scheme::{CellAddress, WriteScheme};
 use rram_jart::{DeviceParams, DigitalState};
@@ -99,14 +100,7 @@ impl PulseEngine {
         config: EngineConfig,
     ) -> Self {
         let array = CrossbarArray::new(rows, cols, params);
-        let hub = CrosstalkHub::uniform(
-            rows,
-            cols,
-            nearest_alpha,
-            nearest_alpha * 0.5,
-            nearest_alpha * 0.25,
-            Seconds(30e-9),
-        );
+        let hub = CrosstalkHub::two_ring(rows, cols, nearest_alpha, Seconds(30e-9));
         PulseEngine::new(array, hub, config)
     }
 
@@ -154,12 +148,9 @@ impl PulseEngine {
             (self.config.max_substep.0 * 10.0).max(1e-12)
         };
         let bias = selected.map(|(address, amplitude)| {
-            self.config.scheme.line_bias(
-                self.array.rows(),
-                self.array.cols(),
-                address,
-                amplitude,
-            )
+            self.config
+                .scheme
+                .line_bias(self.array.rows(), self.array.cols(), address, amplitude)
         });
         while remaining > 0.0 {
             let dt = remaining.min(substep);
@@ -231,6 +222,76 @@ impl PulseEngine {
     }
 }
 
+impl HammerBackend for PulseEngine {
+    fn label(&self) -> &'static str {
+        "pulse"
+    }
+
+    fn rows(&self) -> usize {
+        self.array.rows()
+    }
+
+    fn cols(&self) -> usize {
+        self.array.cols()
+    }
+
+    fn apply_pulse(&mut self, selected: CellAddress, amplitude: Volts, length: Seconds) {
+        PulseEngine::apply_pulse(self, selected, amplitude, length);
+    }
+
+    fn idle(&mut self, duration: Seconds) {
+        PulseEngine::idle(self, duration);
+    }
+
+    fn read(&self, address: CellAddress) -> DigitalState {
+        self.array.read(address)
+    }
+
+    fn normalized_state(&self, address: CellAddress) -> f64 {
+        self.array.cell(address).normalized_state()
+    }
+
+    fn force_state(&mut self, address: CellAddress, state: DigitalState) {
+        self.array.cell_mut(address).force_state(state);
+    }
+
+    fn force_normalized_state(&mut self, address: CellAddress, normalized: f64) {
+        self.array
+            .cell_mut(address)
+            .force_normalized_state(normalized);
+    }
+
+    fn thermal_readout(&self, address: CellAddress) -> ThermalReadout {
+        let cell = self.array.cell(address);
+        ThermalReadout {
+            temperature: cell.temperature(),
+            crosstalk: cell.crosstalk_delta(),
+            normalized_state: cell.normalized_state(),
+        }
+    }
+
+    fn hub(&self) -> &CrosstalkHub {
+        &self.hub
+    }
+
+    fn hub_mut(&mut self) -> &mut CrosstalkHub {
+        &mut self.hub
+    }
+
+    fn elapsed(&self) -> Seconds {
+        Seconds(self.elapsed)
+    }
+
+    fn reset(&mut self) {
+        for (_, cell) in self.array.iter_mut() {
+            cell.force_state(DigitalState::Hrs);
+            cell.set_crosstalk_delta(Kelvin(0.0));
+        }
+        self.hub.reset();
+        self.elapsed = 0.0;
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -270,7 +331,9 @@ mod tests {
         let mut e = engine();
         let aggressor = CellAddress::new(2, 2);
         // Aggressor in LRS maximises the current (paper, Phase 1).
-        e.array_mut().cell_mut(aggressor).force_state(DigitalState::Lrs);
+        e.array_mut()
+            .cell_mut(aggressor)
+            .force_state(DigitalState::Lrs);
         for _ in 0..20 {
             e.apply_pulse(aggressor, Volts(1.05), 50.0.ns());
         }
@@ -290,7 +353,9 @@ mod tests {
     fn idle_cools_the_array() {
         let mut e = engine();
         let aggressor = CellAddress::new(2, 2);
-        e.array_mut().cell_mut(aggressor).force_state(DigitalState::Lrs);
+        e.array_mut()
+            .cell_mut(aggressor)
+            .force_state(DigitalState::Lrs);
         for _ in 0..10 {
             e.apply_pulse(aggressor, Volts(1.05), 50.0.ns());
         }
@@ -312,7 +377,9 @@ mod tests {
     fn snapshot_reports_state_and_temperature() {
         let mut e = engine();
         let aggressor = CellAddress::new(2, 2);
-        e.array_mut().cell_mut(aggressor).force_state(DigitalState::Lrs);
+        e.array_mut()
+            .cell_mut(aggressor)
+            .force_state(DigitalState::Lrs);
         e.apply_pulse(aggressor, Volts(1.05), 20.0.ns());
         let snap = e.snapshot(aggressor, Volts(1.05));
         assert!(snap.temperature.0 > 600.0);
@@ -324,7 +391,9 @@ mod tests {
         let mut e = engine();
         e.hub_mut().set_enabled(false);
         let aggressor = CellAddress::new(2, 2);
-        e.array_mut().cell_mut(aggressor).force_state(DigitalState::Lrs);
+        e.array_mut()
+            .cell_mut(aggressor)
+            .force_state(DigitalState::Lrs);
         for _ in 0..20 {
             e.apply_pulse(aggressor, Volts(1.05), 50.0.ns());
         }

@@ -17,7 +17,10 @@
 //! Two simulation engines drive the array: the fast ideal-driver
 //! [`engine::PulseEngine`] used for long hammer campaigns, and the
 //! MNA-backed [`detailed::DetailedCrossbar`] including wiring parasitics,
-//! which also powers the [`sneak`]-path analysis.
+//! which also powers the [`sneak`]-path analysis. Both implement the
+//! [`backend::HammerBackend`] trait, so the attack layer, the campaign
+//! runner and the cross-engine agreement tests drive them interchangeably;
+//! [`backend::BackendKind`] selects one declaratively at runtime.
 //!
 //! # Examples
 //!
@@ -43,6 +46,7 @@
 #![deny(unsafe_code)]
 
 pub mod array;
+pub mod backend;
 pub mod controller;
 pub mod crosstalk;
 pub mod detailed;
@@ -51,6 +55,7 @@ pub mod scheme;
 pub mod sneak;
 
 pub use array::CrossbarArray;
+pub use backend::{BackendKind, HammerBackend, ThermalReadout};
 pub use controller::{ControllerReport, InitState, MemoryController, Operation, Stimulus};
 pub use crosstalk::CrosstalkHub;
 pub use detailed::{DetailedCrossbar, WiringParasitics};

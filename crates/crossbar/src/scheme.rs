@@ -175,10 +175,19 @@ mod tests {
 
     #[test]
     fn half_select_voltage_matches_scheme() {
-        assert!((WriteScheme::HalfVoltage.half_select_voltage(Volts(1.05)).0 - 0.525).abs() < 1e-12);
-        assert!((WriteScheme::ThirdVoltage.half_select_voltage(Volts(1.05)).0 - 0.35).abs() < 1e-12);
         assert!(
-            (WriteScheme::GroundedUnselected.half_select_voltage(Volts(1.05)).0 - 1.05).abs() < 1e-12
+            (WriteScheme::HalfVoltage.half_select_voltage(Volts(1.05)).0 - 0.525).abs() < 1e-12
+        );
+        assert!(
+            (WriteScheme::ThirdVoltage.half_select_voltage(Volts(1.05)).0 - 0.35).abs() < 1e-12
+        );
+        assert!(
+            (WriteScheme::GroundedUnselected
+                .half_select_voltage(Volts(1.05))
+                .0
+                - 1.05)
+                .abs()
+                < 1e-12
         );
     }
 

@@ -240,7 +240,11 @@ mod tests {
             ReadBias::GroundedUnselected,
         )
         .unwrap();
-        assert!(analysis.selectivity > 0.5, "selectivity {}", analysis.selectivity);
+        assert!(
+            analysis.selectivity > 0.5,
+            "selectivity {}",
+            analysis.selectivity
+        );
     }
 
     #[test]

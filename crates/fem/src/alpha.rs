@@ -109,8 +109,15 @@ impl AlphaMatrix {
         selected: (usize, usize),
         values: Vec<f64>,
     ) -> Self {
-        assert_eq!(values.len(), rows * cols, "value count must match the array");
-        assert!(selected.0 < rows && selected.1 < cols, "selected cell out of range");
+        assert_eq!(
+            values.len(),
+            rows * cols,
+            "value count must match the array"
+        );
+        assert!(
+            selected.0 < rows && selected.1 < cols,
+            "selected cell out of range"
+        );
         AlphaMatrix {
             rows,
             cols,
@@ -369,7 +376,10 @@ mod tests {
             extraction.alpha.alpha_by_offset(0, 1),
             extraction.alpha.get(1, 2)
         );
-        assert_eq!(extraction.alpha.alpha_by_offset(-1, -1), extraction.alpha.get(0, 0));
+        assert_eq!(
+            extraction.alpha.alpha_by_offset(-1, -1),
+            extraction.alpha.get(0, 0)
+        );
         assert_eq!(extraction.alpha.alpha_by_offset(5, 5), 0.0);
     }
 

@@ -105,11 +105,16 @@ impl fmt::Display for GeometryError {
             GeometryError::NotPositive { name, value } => {
                 write!(f, "geometry field {name} must be positive, got {value}")
             }
-            GeometryError::VoxelTooCoarse { voxel_nm, feature_nm } => write!(
+            GeometryError::VoxelTooCoarse {
+                voxel_nm,
+                feature_nm,
+            } => write!(
                 f,
                 "voxel size {voxel_nm} nm cannot resolve the smallest feature of {feature_nm} nm"
             ),
-            GeometryError::InvalidMaterials => write!(f, "material set has non-positive conductivity"),
+            GeometryError::InvalidMaterials => {
+                write!(f, "material set has non-positive conductivity")
+            }
         }
     }
 }
@@ -144,7 +149,7 @@ impl CrossbarGeometry {
             ("voxel_nm", self.voxel_nm),
         ];
         for (name, value) in fields {
-            if !(value > 0.0) || !value.is_finite() {
+            if value <= 0.0 || !value.is_finite() {
                 return Err(GeometryError::NotPositive { name, value });
             }
         }
@@ -205,9 +210,8 @@ impl CrossbarGeometry {
             let start = margin_v + k * pitch_v;
             start..start + width_v
         };
-        let in_any_band = |coord: usize, count: usize| -> bool {
-            (0..count).any(|k| band(k).contains(&coord))
-        };
+        let in_any_band =
+            |coord: usize, count: usize| -> bool { (0..count).any(|k| band(k).contains(&coord)) };
 
         let mut materials = vec![Material::Isolation; grid.len()];
         let mut filaments: Vec<Vec<usize>> = vec![Vec::new(); self.rows * self.cols];
@@ -448,12 +452,18 @@ mod tests {
         g.oxide_thickness_nm = -1.0;
         assert!(matches!(
             g.validate(),
-            Err(GeometryError::NotPositive { name: "oxide_thickness_nm", .. })
+            Err(GeometryError::NotPositive {
+                name: "oxide_thickness_nm",
+                ..
+            })
         ));
 
         let mut g = small_geometry();
         g.voxel_nm = 200.0;
-        assert!(matches!(g.validate(), Err(GeometryError::VoxelTooCoarse { .. })));
+        assert!(matches!(
+            g.validate(),
+            Err(GeometryError::VoxelTooCoarse { .. })
+        ));
 
         let mut g = small_geometry();
         g.materials.filament = 0.0;

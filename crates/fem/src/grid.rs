@@ -35,12 +35,20 @@ impl Grid {
     ///
     /// Panics if any dimension is zero or the spacing is not positive.
     pub fn new(nx: usize, ny: usize, nz: usize, spacing: f64) -> Self {
-        assert!(nx > 0 && ny > 0 && nz > 0, "grid dimensions must be non-zero");
+        assert!(
+            nx > 0 && ny > 0 && nz > 0,
+            "grid dimensions must be non-zero"
+        );
         assert!(
             spacing > 0.0 && spacing.is_finite(),
             "voxel spacing must be positive"
         );
-        Grid { nx, ny, nz, spacing }
+        Grid {
+            nx,
+            ny,
+            nz,
+            spacing,
+        }
     }
 
     /// Number of voxels along x.

@@ -55,7 +55,12 @@ impl TemperatureField {
 
     /// Maximum temperature in the domain, K.
     pub fn max(&self) -> Kelvin {
-        Kelvin(self.values.iter().cloned().fold(f64::NEG_INFINITY, f64::max))
+        Kelvin(
+            self.values
+                .iter()
+                .cloned()
+                .fold(f64::NEG_INFINITY, f64::max),
+        )
     }
 
     /// Minimum temperature in the domain, K.

@@ -250,7 +250,7 @@ mod tests {
     #[test]
     fn zero_rhs_returns_zero_solution() {
         let a = poisson_1d(10);
-        let (x, stats) = conjugate_gradient(&a, &vec![0.0; 10], SolverOptions::default()).unwrap();
+        let (x, stats) = conjugate_gradient(&a, &[0.0; 10], SolverOptions::default()).unwrap();
         assert!(x.iter().all(|&v| v == 0.0));
         assert_eq!(stats.iterations, 0);
     }
@@ -268,7 +268,8 @@ mod tests {
         b.add(0, 0, 1.0);
         // Row 1 has no diagonal entry at all.
         b.add(1, 0, 1.0);
-        let err = conjugate_gradient(&b.build(), &[1.0, 1.0], SolverOptions::default()).unwrap_err();
+        let err =
+            conjugate_gradient(&b.build(), &[1.0, 1.0], SolverOptions::default()).unwrap_err();
         assert!(matches!(err, SolveError::BadDiagonal { row: 1, .. }));
     }
 

@@ -42,8 +42,16 @@ impl TripletBuilder {
     ///
     /// Panics if the coordinates are out of bounds.
     pub fn add(&mut self, row: usize, col: usize, value: f64) {
-        assert!(row < self.n_rows, "row {row} out of bounds ({})", self.n_rows);
-        assert!(col < self.n_cols, "col {col} out of bounds ({})", self.n_cols);
+        assert!(
+            row < self.n_rows,
+            "row {row} out of bounds ({})",
+            self.n_rows
+        );
+        assert!(
+            col < self.n_cols,
+            "col {col} out of bounds ({})",
+            self.n_cols
+        );
         if value != 0.0 {
             self.triplets.push((row, col, value));
         }
@@ -61,8 +69,7 @@ impl TripletBuilder {
 
     /// Assembles the CSR matrix, summing duplicate entries.
     pub fn build(mut self) -> CsrMatrix {
-        self.triplets
-            .sort_unstable_by(|a, b| (a.0, a.1).cmp(&(b.0, b.1)));
+        self.triplets.sort_unstable_by_key(|&(r, c, _)| (r, c));
 
         let mut row_ptr = vec![0usize; self.n_rows + 1];
         let mut col_idx: Vec<usize> = Vec::with_capacity(self.triplets.len());
@@ -149,12 +156,12 @@ impl CsrMatrix {
     pub fn mul_vec_into(&self, x: &[f64], y: &mut [f64]) {
         assert_eq!(x.len(), self.n_cols, "dimension mismatch in mul_vec_into");
         assert_eq!(y.len(), self.n_rows, "dimension mismatch in mul_vec_into");
-        for row in 0..self.n_rows {
+        for (row, out) in y.iter_mut().enumerate() {
             let mut acc = 0.0;
             for k in self.row_ptr[row]..self.row_ptr[row + 1] {
                 acc += self.values[k] * x[self.col_idx[k]];
             }
-            y[row] = acc;
+            *out = acc;
         }
     }
 

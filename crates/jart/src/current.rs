@@ -116,11 +116,7 @@ pub fn solve_operating_point(params: &DeviceParams, v_cell: f64, n: f64) -> Oper
 
     let v_active = v_cell - i * (params.r_series + params.plug_resistance());
     let power_active = (v_active * i).abs();
-    let resistance = if i == 0.0 {
-        f64::INFINITY
-    } else {
-        v_cell / i
-    };
+    let resistance = if i == 0.0 { f64::INFINITY } else { v_cell / i };
     OperatingPoint {
         v_cell,
         current: i,
@@ -160,9 +156,8 @@ mod tests {
                 let op = solve_operating_point(&p, v, n);
                 let g_j = p.junction_conductance(n);
                 let vj = junction_voltage(op.current, g_j, p.junction_v0);
-                let balance = op.current
-                    * (p.r_series + p.plug_resistance() + p.disc_resistance(n))
-                    + vj;
+                let balance =
+                    op.current * (p.r_series + p.plug_resistance() + p.disc_resistance(n)) + vj;
                 assert!(
                     (balance - v).abs() < 1e-9 * v.abs().max(1e-3),
                     "balance {balance} vs {v} at n={n}"

@@ -148,7 +148,11 @@ impl JartDevice {
     /// Read voltages are assumed small enough not to disturb the state, so
     /// this does not advance the internal state.
     pub fn read_resistance(&self, v_read: Volts) -> Ohms {
-        Ohms(crate::current::read_resistance(&self.params, v_read.0, self.n_disc))
+        Ohms(crate::current::read_resistance(
+            &self.params,
+            v_read.0,
+            self.n_disc,
+        ))
     }
 
     /// Forces the device into a deep version of the given digital state
@@ -166,6 +170,14 @@ impl JartDevice {
     /// Forces the raw concentration value (clamped into the valid range).
     pub fn force_concentration(&mut self, n: f64) {
         self.n_disc = n.clamp(self.params.n_min, self.params.n_max);
+    }
+
+    /// Forces the normalised state (0 = HRS, 1 = LRS) — the inverse of
+    /// [`JartDevice::normalized_state`], clamped into the valid range.
+    pub fn force_normalized_state(&mut self, normalized: f64) {
+        self.force_concentration(
+            self.params.n_min + normalized * (self.params.n_max - self.params.n_min),
+        );
     }
 
     /// Advances the device by `dt` with a constant applied cell voltage.
@@ -224,12 +236,12 @@ impl JartDevice {
             let sub_dt = remaining.min(max_dt);
 
             // Midpoint (RK2) integration of the stiff drift ODE.
-            let n_mid = (self.n_disc + 0.5 * rate * sub_dt)
-                .clamp(self.params.n_min, self.params.n_max);
+            let n_mid =
+                (self.n_disc + 0.5 * rate * sub_dt).clamp(self.params.n_min, self.params.n_max);
             let (_, _, rate_mid) = eval(n_mid, self.delta_t_crosstalk);
             let effective_rate = if rate_mid == 0.0 { rate } else { rate_mid };
-            self.n_disc = (self.n_disc + effective_rate * sub_dt)
-                .clamp(self.params.n_min, self.params.n_max);
+            self.n_disc =
+                (self.n_disc + effective_rate * sub_dt).clamp(self.params.n_min, self.params.n_max);
             remaining -= sub_dt;
             if remaining <= 0.0 {
                 // Refresh the final operating point for observers.
@@ -272,7 +284,10 @@ mod tests {
         let d = device();
         assert!(d.is_hrs());
         assert_eq!(d.digital_state(), DigitalState::Hrs);
-        assert_eq!(d.temperature().0, DeviceParams::default().ambient_temperature);
+        assert_eq!(
+            d.temperature().0,
+            DeviceParams::default().ambient_temperature
+        );
         assert_eq!(d.normalized_state(), 0.0);
     }
 
@@ -308,7 +323,11 @@ mod tests {
         let state = d.apply_pulse(Volts(0.525), 5.0.us());
         assert_eq!(state, DigitalState::Hrs);
         // The state barely moved.
-        assert!(d.normalized_state() < 0.05, "state = {}", d.normalized_state());
+        assert!(
+            d.normalized_state() < 0.05,
+            "state = {}",
+            d.normalized_state()
+        );
     }
 
     #[test]

@@ -242,7 +242,10 @@ impl fmt::Display for ParamError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             ParamError::NotPositive { name, value } => {
-                write!(f, "parameter {name} must be positive and finite, got {value}")
+                write!(
+                    f,
+                    "parameter {name} must be positive and finite, got {value}"
+                )
             }
             ParamError::InvertedBounds { lower, upper } => {
                 write!(f, "bounds are inverted: {lower} is not below {upper}")
@@ -417,7 +420,10 @@ mod tests {
     #[test]
     fn builder_rejects_negative_values() {
         let err = DeviceParams::builder().l_disc(-1.0).build().unwrap_err();
-        assert!(matches!(err, ParamError::NotPositive { name: "l_disc", .. }));
+        assert!(matches!(
+            err,
+            ParamError::NotPositive { name: "l_disc", .. }
+        ));
     }
 
     #[test]
@@ -432,7 +438,10 @@ mod tests {
 
     #[test]
     fn builder_rejects_bad_threshold() {
-        let err = DeviceParams::builder().lrs_threshold(1.5).build().unwrap_err();
+        let err = DeviceParams::builder()
+            .lrs_threshold(1.5)
+            .build()
+            .unwrap_err();
         assert!(matches!(err, ParamError::ThresholdOutOfRange { .. }));
     }
 

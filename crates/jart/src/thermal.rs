@@ -20,7 +20,11 @@ use crate::params::DeviceParams;
 /// The result is clamped to `[ambient, max_temperature]`; a negative
 /// `delta_t_crosstalk` (which would be unphysical) is treated as zero.
 #[inline]
-pub fn filament_temperature(params: &DeviceParams, power_active: f64, delta_t_crosstalk: f64) -> f64 {
+pub fn filament_temperature(
+    params: &DeviceParams,
+    power_active: f64,
+    delta_t_crosstalk: f64,
+) -> f64 {
     let dt_xtalk = delta_t_crosstalk.max(0.0);
     let t = params.ambient_temperature + params.r_th_eff * power_active.max(0.0) + dt_xtalk;
     t.clamp(params.ambient_temperature, params.max_temperature)
@@ -63,7 +67,10 @@ mod tests {
     #[test]
     fn negative_inputs_are_clamped() {
         let p = DeviceParams::default();
-        assert_eq!(filament_temperature(&p, -1.0, -100.0), p.ambient_temperature);
+        assert_eq!(
+            filament_temperature(&p, -1.0, -100.0),
+            p.ambient_temperature
+        );
     }
 
     #[test]

@@ -1,0 +1,52 @@
+//! Collection strategies (mirrors `proptest::collection`).
+
+use std::ops::Range;
+
+use crate::strategy::Strategy;
+use crate::test_runner::TestRng;
+
+/// Strategy producing `Vec`s with lengths drawn from a range.
+#[derive(Debug, Clone)]
+pub struct VecStrategy<S> {
+    element: S,
+    size: Range<usize>,
+}
+
+impl<S: Strategy> Strategy for VecStrategy<S> {
+    type Value = Vec<S::Value>;
+
+    fn sample(&self, rng: &mut TestRng) -> Vec<S::Value> {
+        let len = self.size.sample(rng);
+        (0..len).map(|_| self.element.sample(rng)).collect()
+    }
+}
+
+/// Creates a strategy for `Vec`s of `element` values whose length lies in
+/// `size` (mirrors `proptest::collection::vec`).
+pub fn vec<S: Strategy>(element: S, size: Range<usize>) -> VecStrategy<S> {
+    VecStrategy { element, size }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lengths_respect_the_size_range() {
+        let mut rng = TestRng::from_name("vec");
+        let strategy = vec(0.0f64..1.0, 2..5);
+        for case in 0..20 {
+            rng.begin_case(case);
+            let v = strategy.sample(&mut rng);
+            assert!((2..5).contains(&v.len()), "len = {}", v.len());
+            assert!(v.iter().all(|x| (0.0..1.0).contains(x)));
+        }
+    }
+
+    #[test]
+    fn first_case_uses_the_minimum_length() {
+        let mut rng = TestRng::from_name("vec-min");
+        rng.begin_case(0);
+        assert!(vec(0.0f64..1.0, 0..30).sample(&mut rng).is_empty());
+    }
+}

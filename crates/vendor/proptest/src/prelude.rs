@@ -1,0 +1,6 @@
+//! Glob-import surface (mirrors `proptest::prelude`).
+
+pub use crate as prop;
+pub use crate::strategy::{any, Any, Arbitrary, Strategy};
+pub use crate::test_runner::{TestCaseError, TestRng};
+pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, proptest};

@@ -1,0 +1,157 @@
+//! Value-generation strategies: ranges, tuples and `any::<T>()`.
+
+use std::marker::PhantomData;
+use std::ops::Range;
+
+use crate::test_runner::TestRng;
+
+/// A source of sampled values (mirrors `proptest::strategy::Strategy`).
+pub trait Strategy {
+    /// The type of the sampled values.
+    type Value;
+
+    /// Draws one value. Case 0 returns the low endpoint, case 1 a value at
+    /// the high end; later cases sample uniformly.
+    fn sample(&self, rng: &mut TestRng) -> Self::Value;
+}
+
+impl Strategy for Range<f64> {
+    type Value = f64;
+
+    fn sample(&self, rng: &mut TestRng) -> f64 {
+        assert!(self.start < self.end, "empty f64 strategy range");
+        match rng.case() {
+            0 => self.start,
+            1 => self.start + (self.end - self.start) * (1.0 - 1e-9),
+            _ => self.start + rng.unit_f64() * (self.end - self.start),
+        }
+    }
+}
+
+macro_rules! int_range_strategy {
+    ($($t:ty),*) => {
+        $(
+            impl Strategy for Range<$t> {
+                type Value = $t;
+
+                fn sample(&self, rng: &mut TestRng) -> $t {
+                    assert!(self.start < self.end, "empty integer strategy range");
+                    let span = (self.end - self.start) as u64;
+                    match rng.case() {
+                        0 => self.start,
+                        1 => self.end - 1,
+                        _ => self.start + (rng.next_u64() % span) as $t,
+                    }
+                }
+            }
+        )*
+    };
+}
+
+int_range_strategy!(usize, u64, u32, u8);
+
+impl<A: Strategy, B: Strategy> Strategy for (A, B) {
+    type Value = (A::Value, B::Value);
+
+    fn sample(&self, rng: &mut TestRng) -> Self::Value {
+        (self.0.sample(rng), self.1.sample(rng))
+    }
+}
+
+impl<A: Strategy, B: Strategy, C: Strategy> Strategy for (A, B, C) {
+    type Value = (A::Value, B::Value, C::Value);
+
+    fn sample(&self, rng: &mut TestRng) -> Self::Value {
+        (self.0.sample(rng), self.1.sample(rng), self.2.sample(rng))
+    }
+}
+
+impl<S: Strategy + ?Sized> Strategy for &S {
+    type Value = S::Value;
+
+    fn sample(&self, rng: &mut TestRng) -> Self::Value {
+        (**self).sample(rng)
+    }
+}
+
+/// Types with a canonical "sample anything" strategy (mirrors
+/// `proptest::arbitrary::Arbitrary`).
+pub trait Arbitrary: Sized {
+    /// Draws one arbitrary value.
+    fn arbitrary(rng: &mut TestRng) -> Self;
+}
+
+impl Arbitrary for bool {
+    fn arbitrary(rng: &mut TestRng) -> bool {
+        match rng.case() {
+            0 => false,
+            1 => true,
+            _ => rng.next_u64() & 1 == 1,
+        }
+    }
+}
+
+impl Arbitrary for u8 {
+    fn arbitrary(rng: &mut TestRng) -> u8 {
+        (0u8..u8::MAX).sample(rng)
+    }
+}
+
+impl Arbitrary for u32 {
+    fn arbitrary(rng: &mut TestRng) -> u32 {
+        (0u32..u32::MAX).sample(rng)
+    }
+}
+
+/// Strategy returned by [`any`].
+#[derive(Debug, Clone, Copy)]
+pub struct Any<T>(PhantomData<T>);
+
+impl<T: Arbitrary> Strategy for Any<T> {
+    type Value = T;
+
+    fn sample(&self, rng: &mut TestRng) -> T {
+        T::arbitrary(rng)
+    }
+}
+
+/// The canonical strategy for `T` (mirrors `proptest::prelude::any`).
+pub fn any<T: Arbitrary>() -> Any<T> {
+    Any(PhantomData)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn f64_range_endpoints_come_first() {
+        let mut rng = TestRng::from_name("f64");
+        let strategy = -2.0f64..2.0;
+        rng.begin_case(0);
+        assert_eq!(strategy.sample(&mut rng), -2.0);
+        rng.begin_case(1);
+        assert!(strategy.sample(&mut rng) > 1.99);
+        rng.begin_case(5);
+        let x = strategy.sample(&mut rng);
+        assert!((-2.0..2.0).contains(&x));
+    }
+
+    #[test]
+    fn tuple_strategies_sample_componentwise() {
+        let mut rng = TestRng::from_name("tuple");
+        rng.begin_case(7);
+        let (a, b) = (0.0f64..1.0, 10usize..20).sample(&mut rng);
+        assert!((0.0..1.0).contains(&a));
+        assert!((10..20).contains(&b));
+    }
+
+    #[test]
+    fn any_bool_probes_both_values() {
+        let mut rng = TestRng::from_name("bool");
+        rng.begin_case(0);
+        assert!(!any::<bool>().sample(&mut rng));
+        rng.begin_case(1);
+        assert!(any::<bool>().sample(&mut rng));
+    }
+}

@@ -1,0 +1,141 @@
+//! Offline stand-in for `rand`, covering the subset the workspace uses:
+//! [`rngs::StdRng`], [`SeedableRng::seed_from_u64`] and
+//! [`Rng::gen_range`] over `f64` and integer ranges.
+//!
+//! The generator is splitmix64 — statistically fine for synthetic test data
+//! and fully deterministic for a given seed, which is all the scenarios need.
+
+#![deny(missing_docs)]
+#![deny(unsafe_code)]
+
+use std::ops::Range;
+
+/// Seedable random number generators (mirrors `rand::SeedableRng`).
+pub trait SeedableRng: Sized {
+    /// Creates a generator from a 64-bit seed.
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+/// Sampling interface (mirrors the subset of `rand::Rng` the workspace uses).
+pub trait Rng {
+    /// Returns the next raw 64-bit output of the generator.
+    fn next_u64(&mut self) -> u64;
+
+    /// Returns a uniformly distributed value in `range`.
+    fn gen_range<R: SampleRange>(&mut self, range: R) -> R::Output
+    where
+        Self: Sized,
+    {
+        range.sample(self)
+    }
+}
+
+/// Ranges that can be sampled uniformly (mirrors `rand::distributions`
+/// support for `gen_range`).
+pub trait SampleRange {
+    /// The sampled value type.
+    type Output;
+
+    /// Draws one uniform sample from the range.
+    fn sample<G: Rng + ?Sized>(self, rng: &mut G) -> Self::Output;
+}
+
+impl SampleRange for Range<f64> {
+    type Output = f64;
+
+    fn sample<G: Rng + ?Sized>(self, rng: &mut G) -> f64 {
+        assert!(
+            self.start < self.end,
+            "gen_range requires a non-empty range"
+        );
+        let unit = (rng.next_u64() >> 11) as f64 / (1u64 << 53) as f64;
+        self.start + unit * (self.end - self.start)
+    }
+}
+
+impl SampleRange for Range<usize> {
+    type Output = usize;
+
+    fn sample<G: Rng + ?Sized>(self, rng: &mut G) -> usize {
+        assert!(
+            self.start < self.end,
+            "gen_range requires a non-empty range"
+        );
+        let span = (self.end - self.start) as u64;
+        self.start + (rng.next_u64() % span) as usize
+    }
+}
+
+impl SampleRange for Range<u64> {
+    type Output = u64;
+
+    fn sample<G: Rng + ?Sized>(self, rng: &mut G) -> u64 {
+        assert!(
+            self.start < self.end,
+            "gen_range requires a non-empty range"
+        );
+        self.start + rng.next_u64() % (self.end - self.start)
+    }
+}
+
+/// Concrete generators (mirrors `rand::rngs`).
+pub mod rngs {
+    use super::{Rng, SeedableRng};
+
+    /// Deterministic splitmix64 generator standing in for `rand::rngs::StdRng`.
+    #[derive(Debug, Clone, PartialEq, Eq)]
+    pub struct StdRng {
+        state: u64,
+    }
+
+    impl SeedableRng for StdRng {
+        fn seed_from_u64(seed: u64) -> Self {
+            StdRng {
+                state: seed ^ 0x9e37_79b9_7f4a_7c15,
+            }
+        }
+    }
+
+    impl Rng for StdRng {
+        fn next_u64(&mut self) -> u64 {
+            self.state = self.state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+            let mut z = self.state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+            z ^ (z >> 31)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::StdRng;
+    use super::{Rng, SeedableRng};
+
+    #[test]
+    fn same_seed_same_stream() {
+        let mut a = StdRng::seed_from_u64(7);
+        let mut b = StdRng::seed_from_u64(7);
+        for _ in 0..10 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn gen_range_respects_bounds() {
+        let mut rng = StdRng::seed_from_u64(42);
+        for _ in 0..1000 {
+            let x = rng.gen_range(-0.5..0.5);
+            assert!((-0.5..0.5).contains(&x));
+            let n = rng.gen_range(3usize..9);
+            assert!((3..9).contains(&n));
+        }
+    }
+
+    #[test]
+    fn distinct_seeds_differ() {
+        let mut a = StdRng::seed_from_u64(1);
+        let mut b = StdRng::seed_from_u64(2);
+        assert_ne!(a.next_u64(), b.next_u64());
+    }
+}

@@ -1,0 +1,28 @@
+//! Offline stand-in for `serde`.
+//!
+//! Provides the `Serialize`/`Deserialize` trait names (as marker traits with
+//! blanket implementations) and re-exports the no-op derive macros, so code
+//! written against the real serde API compiles in this offline workspace.
+//! Nothing in the workspace serialises through serde's data model; the
+//! campaign layer (`neurohammer::campaign`) carries its own JSON codec.
+
+#![deny(missing_docs)]
+#![deny(unsafe_code)]
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker stand-in for `serde::Serialize`; blanket-implemented for all types.
+pub trait Serialize {}
+
+impl<T: ?Sized> Serialize for T {}
+
+/// Marker stand-in for `serde::Deserialize`; blanket-implemented for all
+/// sized types.
+pub trait Deserialize<'de>: Sized {}
+
+impl<'de, T> Deserialize<'de> for T {}
+
+/// Marker stand-in for `serde::de::DeserializeOwned`.
+pub trait DeserializeOwned: for<'de> Deserialize<'de> {}
+
+impl<T> DeserializeOwned for T {}

@@ -1,0 +1,27 @@
+//! Offline stand-in for `serde_derive`.
+//!
+//! The real `serde_derive` generates `Serialize`/`Deserialize`
+//! implementations against serde's data model. This workspace builds without
+//! network access and nothing in it serialises *through* serde (the campaign
+//! layer has its own JSON codec), so the sibling `serde` stand-in provides
+//! blanket implementations of marker traits and these derives expand to
+//! nothing. They still accept and ignore `#[serde(...)]` helper attributes so
+//! upstream-idiomatic code compiles unchanged.
+
+#![deny(missing_docs)]
+
+use proc_macro::TokenStream;
+
+/// No-op derive for `serde::Serialize` (the marker-trait blanket impl in the
+/// vendored `serde` covers every type).
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// No-op derive for `serde::Deserialize` (the marker-trait blanket impl in
+/// the vendored `serde` covers every type).
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}

@@ -20,8 +20,17 @@ fn main() {
         neurohammer_repro::attack::scenario::neuromorphic::CLASSES
     );
     let outcome = scenario.run();
-    println!("baseline accuracy (quantised weights): {:.1} %", outcome.baseline_accuracy * 100.0);
-    println!("accuracy after NeuroHammer           : {:.1} %", outcome.corrupted_accuracy * 100.0);
-    println!("weight bits flipped                   : {}", outcome.flipped_bits);
+    println!(
+        "baseline accuracy (quantised weights): {:.1} %",
+        outcome.baseline_accuracy * 100.0
+    );
+    println!(
+        "accuracy after NeuroHammer           : {:.1} %",
+        outcome.corrupted_accuracy * 100.0
+    );
+    println!(
+        "weight bits flipped                   : {}",
+        outcome.flipped_bits
+    );
     println!("hammer pulses issued                  : {}", outcome.pulses);
 }

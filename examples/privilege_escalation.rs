@@ -23,16 +23,33 @@ fn main() {
         ..PrivilegeEscalationScenario::default()
     };
 
-    println!("victim PTE  : frame {:04b}, user={}, present={}",
-        scenario.victim_pte.frame, scenario.victim_pte.user, scenario.victim_pte.present);
+    println!(
+        "victim PTE  : frame {:04b}, user={}, present={}",
+        scenario.victim_pte.frame, scenario.victim_pte.user, scenario.victim_pte.present
+    );
     println!("attacker frame: {:04b}", scenario.attacker_frame);
-    println!("bits that must flip 0→1: {:?}", scenario.required_bit_flips());
+    println!(
+        "bits that must flip 0→1: {:?}",
+        scenario.required_bit_flips()
+    );
 
     let outcome = scenario.run();
-    println!("\ncorrupted PTE: frame {:04b}, user={}, present={}",
-        outcome.corrupted.frame, outcome.corrupted.user, outcome.corrupted.present);
+    println!(
+        "\ncorrupted PTE: frame {:04b}, user={}, present={}",
+        outcome.corrupted.frame, outcome.corrupted.user, outcome.corrupted.present
+    );
     println!("flipped bits : {:?}", outcome.flipped_bits);
     println!("hammer pulses: {}", outcome.pulses);
-    println!("collateral corruption elsewhere in the tile: {} cells", outcome.collateral_flips);
-    println!("privilege escalation {}", if outcome.escalated { "SUCCEEDED" } else { "failed" });
+    println!(
+        "collateral corruption elsewhere in the tile: {} cells",
+        outcome.collateral_flips
+    );
+    println!(
+        "privilege escalation {}",
+        if outcome.escalated {
+            "SUCCEEDED"
+        } else {
+            "failed"
+        }
+    );
 }

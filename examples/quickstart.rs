@@ -37,10 +37,15 @@ fn main() {
     };
 
     let estimate = estimate_attack(&DeviceParams::default(), engine.hub(), &config);
-    println!("analytic estimate: aggressor filament ≈ {:.0} K, victim ≈ {:.0} K, ~{} pulses",
+    println!(
+        "analytic estimate: aggressor filament ≈ {:.0} K, victim ≈ {:.0} K, ~{} pulses",
         estimate.aggressor_temperature.0,
         estimate.victim_temperature.0,
-        estimate.pulses_to_flip.map(|p| p.to_string()).unwrap_or_else(|| "∞".into()));
+        estimate
+            .pulses_to_flip
+            .map(|p| p.to_string())
+            .unwrap_or_else(|| "∞".into())
+    );
 
     let result = run_attack(&mut engine, &config);
     if result.flipped {

@@ -6,7 +6,9 @@
 //! cargo run --release --example stimulus_file
 //! ```
 
-use neurohammer_repro::crossbar::{EngineConfig, InitState, MemoryController, PulseEngine, Stimulus};
+use neurohammer_repro::crossbar::{
+    EngineConfig, InitState, MemoryController, PulseEngine, Stimulus,
+};
 use neurohammer_repro::jart::DeviceParams;
 
 fn main() {

@@ -9,9 +9,15 @@
 //! * [`fem`] (`rram-fem`) — the thermal field solver and α extraction,
 //! * [`jart`] (`rram-jart`) — the VCM compact model,
 //! * [`circuit`] (`rram-circuit`) — the MNA circuit simulator,
-//! * [`crossbar`] (`rram-crossbar`) — the crossbar platform,
-//! * [`attack`] (`neurohammer`) — the attack engine, experiments, scenarios
-//!   and countermeasures.
+//! * [`crossbar`] (`rram-crossbar`) — the crossbar platform with its two
+//!   simulation engines behind the [`crossbar::HammerBackend`] trait,
+//! * [`attack`] (`neurohammer`) — the attack engine, campaign runner,
+//!   experiments, scenarios and countermeasures.
+//!
+//! Attacks and experiments are generic over [`crossbar::HammerBackend`], and
+//! whole figure grids run declaratively through [`attack::campaign`]; see
+//! the top-level `README.md` for the crate map and the figure-reproduction
+//! table.
 //!
 //! # Examples
 //!

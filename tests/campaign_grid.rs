@@ -1,0 +1,58 @@
+//! End-to-end campaign checks: an 8-point grid executes in parallel,
+//! renders into an analysis table/CSV, slices into sweep series with the
+//! expected physics trends, and round-trips through JSON.
+
+use neurohammer_repro::attack::campaign::{CampaignAxis, CampaignSpec};
+
+fn grid() -> CampaignSpec {
+    CampaignSpec {
+        name: "8-point grid".into(),
+        pulse_lengths_ns: vec![50.0, 100.0],
+        amplitudes_v: vec![1.05, 1.15],
+        ambients_k: vec![300.0, 350.0],
+        max_pulses: 500_000,
+        threads: 4,
+        ..CampaignSpec::default()
+    }
+}
+
+#[test]
+fn an_eight_point_grid_runs_in_parallel_and_renders() {
+    let spec = grid();
+    assert_eq!(spec.num_points(), 8);
+
+    let report = spec.run().expect("campaign failed");
+    assert_eq!(report.outcomes.len(), 8);
+    assert!(
+        report.outcomes.iter().all(|o| o.flipped),
+        "every point should flip within budget: {report:?}"
+    );
+
+    // Table: header + 8 rows; CSV: header + 8 rows.
+    let table = report.to_table();
+    assert_eq!(table.len(), 8);
+    let rendered = table.to_string();
+    assert!(rendered.contains("# pulses to bit-flip"));
+    assert_eq!(report.to_csv_string().lines().count(), 9);
+
+    // Physics trends across the grid: longer pulses, higher amplitude and
+    // hotter ambient all reduce the pulse count.
+    for series in report.series_over(CampaignAxis::PulseLength) {
+        assert!(series.is_monotonically_decreasing(), "{series:?}");
+    }
+    for series in report.series_over(CampaignAxis::Amplitude) {
+        assert!(series.is_monotonically_decreasing(), "{series:?}");
+    }
+    for series in report.series_over(CampaignAxis::Ambient) {
+        assert!(series.is_monotonically_decreasing(), "{series:?}");
+    }
+    // 8 points sliced over one axis of 2 values -> 4 series of 2 points.
+    assert_eq!(report.series_over(CampaignAxis::Ambient).len(), 4);
+}
+
+#[test]
+fn campaign_specs_round_trip_through_json() {
+    let spec = grid();
+    let restored = CampaignSpec::from_json(&spec.to_json()).expect("valid JSON");
+    assert_eq!(restored, spec);
+}

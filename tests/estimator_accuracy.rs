@@ -12,13 +12,8 @@ use neurohammer_repro::units::{Seconds, Volts};
 fn estimate_and_simulation_agree_within_an_order_of_magnitude() {
     let params = DeviceParams::default();
     for &pulse_ns in &[50.0_f64, 100.0] {
-        let mut engine = PulseEngine::with_uniform_coupling(
-            5,
-            5,
-            params.clone(),
-            0.15,
-            EngineConfig::default(),
-        );
+        let mut engine =
+            PulseEngine::with_uniform_coupling(5, 5, params.clone(), 0.15, EngineConfig::default());
         let config = AttackConfig {
             victim: CellAddress::new(2, 1),
             pattern: AttackPattern::SingleAggressor,

@@ -4,7 +4,9 @@
 
 use neurohammer_repro::attack::pattern::AttackPattern;
 use neurohammer_repro::attack::{run_attack, AttackConfig};
-use neurohammer_repro::crossbar::{CellAddress, CrossbarArray, CrosstalkHub, EngineConfig, PulseEngine};
+use neurohammer_repro::crossbar::{
+    CellAddress, CrossbarArray, CrosstalkHub, EngineConfig, PulseEngine,
+};
 use neurohammer_repro::fem::alpha::{extract_alpha, AlphaConfig};
 use neurohammer_repro::fem::CrossbarGeometry;
 use neurohammer_repro::jart::DeviceParams;
@@ -23,7 +25,10 @@ fn fem_to_attack_flow_produces_a_bit_flip() {
         powers: vec![Watts(15e-6), Watts(30e-6), Watts(45e-6)],
     };
     let extraction = extract_alpha(&geometry, &config).expect("field solve");
-    assert!(extraction.min_r_squared > 0.999, "thermal response must be linear");
+    assert!(
+        extraction.min_r_squared > 0.999,
+        "thermal response must be linear"
+    );
     let alpha = extraction.alpha;
     assert!(alpha.max_neighbor_alpha() > 0.02 && alpha.max_neighbor_alpha() < 0.5);
 
@@ -45,7 +50,11 @@ fn fem_to_attack_flow_produces_a_bit_flip() {
     };
     let result = run_attack(&mut engine, &attack);
     assert!(result.flipped, "no bit-flip after {} pulses", result.pulses);
-    assert!(result.pulses > 50, "flip was suspiciously fast: {}", result.pulses);
+    assert!(
+        result.pulses > 50,
+        "flip was suspiciously fast: {}",
+        result.pulses
+    );
 }
 
 #[test]
@@ -59,7 +68,9 @@ fn disabling_the_extracted_coupling_prevents_the_flip_within_the_same_budget() {
         selected: (2, 2),
         powers: vec![Watts(15e-6), Watts(45e-6)],
     };
-    let alpha = extract_alpha(&geometry, &config).expect("field solve").alpha;
+    let alpha = extract_alpha(&geometry, &config)
+        .expect("field solve")
+        .alpha;
 
     let attack = AttackConfig {
         victim: CellAddress::new(2, 1),

@@ -1,0 +1,113 @@
+//! Exhaustive checks of the aggressor placement of every attack pattern:
+//! the documented aggressor sets in the array interior, graceful clipping at
+//! every edge and corner, and no panics for any victim position.
+
+use neurohammer_repro::attack::pattern::AttackPattern;
+use neurohammer_repro::crossbar::CellAddress;
+
+/// The documented aggressor offsets of every pattern (row, col relative to
+/// the victim), valid in the array interior.
+fn interior_offsets(pattern: AttackPattern) -> Vec<(isize, isize)> {
+    match pattern {
+        AttackPattern::SingleAggressor => vec![(0, 1)],
+        AttackPattern::DoubleSidedRow => vec![(0, -1), (0, 1)],
+        AttackPattern::DoubleSidedColumn => vec![(-1, 0), (1, 0)],
+        AttackPattern::Quad => vec![(0, -1), (0, 1), (-1, 0), (1, 0)],
+        AttackPattern::Diagonal => vec![(-1, -1), (-1, 1), (1, -1), (1, 1)],
+    }
+}
+
+#[test]
+fn interior_victims_get_the_documented_aggressor_sets() {
+    let victim = CellAddress::new(2, 2);
+    for pattern in AttackPattern::ALL {
+        let expected: Vec<CellAddress> = interior_offsets(pattern)
+            .into_iter()
+            .map(|(dr, dc)| {
+                CellAddress::new(
+                    (victim.row as isize + dr) as usize,
+                    (victim.col as isize + dc) as usize,
+                )
+            })
+            .collect();
+        assert_eq!(
+            pattern.aggressors(victim, 5, 5),
+            expected,
+            "{pattern:?} interior placement"
+        );
+    }
+}
+
+#[test]
+fn every_victim_position_yields_in_bounds_aggressors_without_panicking() {
+    for rows in [2usize, 3, 5, 8] {
+        for cols in [2usize, 3, 5, 8] {
+            for row in 0..rows {
+                for col in 0..cols {
+                    let victim = CellAddress::new(row, col);
+                    for pattern in AttackPattern::ALL {
+                        let aggressors = pattern.aggressors(victim, rows, cols);
+                        assert!(
+                            aggressors.iter().all(|a| a.row < rows && a.col < cols),
+                            "{pattern:?} out of bounds for victim {victim:?} in {rows}x{cols}"
+                        );
+                        assert!(
+                            aggressors.iter().all(|&a| a != victim),
+                            "{pattern:?} made the victim its own aggressor at {victim:?}"
+                        );
+                        // Aggressor sets never contain duplicates.
+                        for (i, a) in aggressors.iter().enumerate() {
+                            assert!(
+                                !aggressors[i + 1..].contains(a),
+                                "{pattern:?} duplicated aggressor {a:?}"
+                            );
+                        }
+                    }
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn corner_victims_keep_at_least_one_aggressor_for_line_patterns() {
+    // The diagonal pattern may legitimately clip to nothing only when the
+    // array has no diagonal neighbour at all; line-coupled patterns always
+    // fall back to some aggressor.
+    let corners = [(0, 0), (0, 4), (4, 0), (4, 4)];
+    for &(row, col) in &corners {
+        let victim = CellAddress::new(row, col);
+        for pattern in [
+            AttackPattern::SingleAggressor,
+            AttackPattern::DoubleSidedRow,
+            AttackPattern::DoubleSidedColumn,
+            AttackPattern::Quad,
+        ] {
+            assert!(
+                !pattern.aggressors(victim, 5, 5).is_empty(),
+                "{pattern:?} lost all aggressors at corner {victim:?}"
+            );
+        }
+        // Diagonal corners in a 5×5 still have one in-bounds diagonal cell.
+        assert_eq!(AttackPattern::Diagonal.aggressors(victim, 5, 5).len(), 1);
+    }
+}
+
+#[test]
+fn edge_victims_clip_instead_of_wrapping() {
+    // A victim on the last column: the single-aggressor pattern falls back
+    // to the other side rather than wrapping to column 0.
+    let cells = AttackPattern::SingleAggressor.aggressors(CellAddress::new(2, 4), 5, 5);
+    assert_eq!(cells, vec![CellAddress::new(2, 3)]);
+
+    // A victim on the top row: the double-sided column pattern keeps only
+    // the aggressor below.
+    let cells = AttackPattern::DoubleSidedColumn.aggressors(CellAddress::new(0, 2), 5, 5);
+    assert_eq!(cells, vec![CellAddress::new(1, 2)]);
+}
+
+#[test]
+#[should_panic(expected = "victim outside")]
+fn out_of_range_victims_are_rejected() {
+    AttackPattern::Quad.aggressors(CellAddress::new(5, 0), 5, 5);
+}

@@ -79,9 +79,49 @@ pub fn sparkline(series: &[f64]) -> Option<String> {
     Some(line)
 }
 
+/// Renders a single-line progress bar, e.g. `[#####---------] 5/14 (36%)`.
+///
+/// Intended for live, carriage-return-overwritten campaign progress: the
+/// line has a fixed width for a given `total`, so re-printing it with `\r`
+/// cleanly overwrites the previous state. A `total` of zero renders as a
+/// full bar (`0/0` — nothing to do is done).
+///
+/// # Examples
+///
+/// ```
+/// use rram_analysis::ascii_plot::progress_line;
+/// assert_eq!(progress_line(1, 4, 8), "[##------] 1/4 (25%)");
+/// assert_eq!(progress_line(4, 4, 8), "[########] 4/4 (100%)");
+/// ```
+pub fn progress_line(done: usize, total: usize, width: usize) -> String {
+    let done = done.min(total);
+    let fraction = if total == 0 {
+        1.0
+    } else {
+        done as f64 / total as f64
+    };
+    let filled = (fraction * width as f64).round() as usize;
+    format!(
+        "[{}{}] {done}/{total} ({:.0}%)",
+        "#".repeat(filled),
+        "-".repeat(width.saturating_sub(filled)),
+        fraction * 100.0
+    )
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn progress_line_tracks_completion() {
+        assert_eq!(progress_line(0, 2, 4), "[----] 0/2 (0%)");
+        assert_eq!(progress_line(1, 2, 4), "[##--] 1/2 (50%)");
+        assert_eq!(progress_line(2, 2, 4), "[####] 2/2 (100%)");
+        // Over-counting clamps; an empty campaign is complete.
+        assert_eq!(progress_line(3, 2, 4), "[####] 2/2 (100%)");
+        assert_eq!(progress_line(0, 0, 4), "[####] 0/0 (100%)");
+    }
 
     #[test]
     fn bar_chart_orders_lengths_by_magnitude() {

@@ -1,23 +1,39 @@
 //! Regenerates the Fig. 1 trace: the four phases of a NeuroHammer attack
 //! (hammering, temperature increase, changed switching kinetics, bit-flip).
 //!
-//! The attack is described by a single-point campaign spec; the binary
-//! builds the point's backend, re-runs it with pulse-level tracing enabled
-//! and renders the phase trace.
+//! The attack is described by a single-point campaign spec executed through
+//! the streaming campaign runner (so the binary understands the same
+//! `--campaign`/`--spec`/`--shard`/`--checkpoint`/`--resume`/`--merge`
+//! flags as the other figures); the binary then rebuilds the first reported
+//! point's backend, re-runs it with pulse-level tracing enabled and renders
+//! the phase trace. The trace itself always runs locally — it *is* the
+//! figure — and is skipped only when `--shard` leaves this process without
+//! the point.
 //!
 //! Run with `cargo run -p neurohammer-bench --release --bin fig1_attack_phases`.
 //! Pass `--campaign <spec.json>` to trace a different grid point, `--spec`
 //! to print the executed spec as JSON.
 
 use neurohammer::run_attack;
-use neurohammer_bench::{figure_campaign, maybe_print_spec, quick_requested, resolve_campaign};
+use neurohammer_bench::{
+    figure_campaign, maybe_print_spec, quick_requested, resolve_campaign, run_figure_campaign,
+};
 use rram_analysis::ascii_plot::sparkline;
 
 fn main() {
     let mut spec = figure_campaign(quick_requested());
     spec.name = "fig1 attack phase trace (50 ns, 50 nm, 300 K)".into();
     let spec = resolve_campaign(spec);
-    let point = spec.points()[0];
+    let report = run_figure_campaign(spec.clone());
+
+    println!("# Fig. 1 — NeuroHammer attack phases (50 ns pulses, 50 nm spacing, 300 K)");
+    let Some(outcome) = report.outcomes.first() else {
+        // An empty shard slice: nothing to trace in this process.
+        println!("no grid point assigned to this shard");
+        maybe_print_spec(&spec);
+        return;
+    };
+    let point = outcome.point;
 
     let mut backend = spec.backend_for(&point).expect("backend build failed");
     let mut config = spec.attack_config(&point);
@@ -25,7 +41,6 @@ fn main() {
     config.batching = false;
     let result = run_attack(backend.as_mut(), &config);
 
-    println!("# Fig. 1 — NeuroHammer attack phases (50 ns pulses, 50 nm spacing, 300 K)");
     println!("backend: {}", point.backend.label());
     println!(
         "bit-flip after {} pulses ({:.3e} s of attack time)\n",

@@ -2,20 +2,57 @@
 //! 5×5 crossbar while the centre cell dissipates its LRS write power, plus
 //! the extracted thermal resistance and crosstalk coefficients (Eq. 3–4).
 //!
+//! The headline hammer burst is expressed as a (single-point, FEM-coupled)
+//! campaign spec and executed through the streaming campaign runner, so the
+//! binary understands the same `--campaign`/`--csv`/`--spec`/`--shard`/
+//! `--checkpoint`/`--resume`/`--merge` flags as the other figures; the
+//! per-cell temperature matrix and α extraction are rendered alongside.
+//!
 //! Run with `cargo run -p neurohammer-bench --release --bin fig2a_temperature_matrix`.
 
+use neurohammer::campaign::{CampaignAxis, CouplingSpec};
 use neurohammer::{fig2a_temperature_matrix, CouplingSource, ExperimentSetup};
-use neurohammer_bench::quick_requested;
+use neurohammer_bench::{
+    campaign_figure, figure_campaign, maybe_print_spec, quick_requested, resolve_campaign,
+    run_figure_campaign, shard_requested,
+};
 
 fn main() {
-    let voxel = if quick_requested() { 25.0 } else { 10.0 };
+    let quick = quick_requested();
+    let voxel = if quick { 25.0 } else { 10.0 };
+
+    // The paper's single experiment point — centre cell hammered at V_SET,
+    // 50 nm spacing, 300 K — as a declarative campaign. The burst budget is
+    // small: Fig. 2a is about the thermal field, not the bit-flip.
+    let mut spec = figure_campaign(quick);
+    spec.name = "fig2a temperature matrix (50 nm, 300 K)".into();
+    spec.coupling = CouplingSpec::Fem { voxel_nm: voxel };
+    spec.max_pulses = 20_000;
+    let spec = resolve_campaign(spec);
+    let report = run_figure_campaign(spec.clone());
+
+    println!(
+        "{}",
+        campaign_figure(
+            "Fig. 2a — temperature values of the 5x5 crossbar (50 nm spacing, 300 K ambient)",
+            &report,
+            CampaignAxis::Spacing,
+        )
+    );
+
+    // The per-cell matrix/α rendering re-runs the field solve and is not
+    // sharded; only shard 0 (or an unsharded/merged run) renders it, so a
+    // distributed run does not repeat the extraction in every process.
+    if shard_requested().is_some_and(|shard| shard.index != 0) {
+        maybe_print_spec(&spec);
+        return;
+    }
     let setup = ExperimentSetup {
         coupling: CouplingSource::Fem { voxel_nm: voxel },
         ..ExperimentSetup::default()
     };
     let result = fig2a_temperature_matrix(&setup, 50.0).expect("field solve failed");
 
-    println!("# Fig. 2a — temperature values of the 5x5 crossbar (50 nm spacing, 300 K ambient)");
     println!(
         "hammered-cell power P_LRS        : {:.3e} W",
         result.hammered_power.0
@@ -54,4 +91,5 @@ fn main() {
             .collect();
         println!("  {}", line.join(" "));
     }
+    maybe_print_spec(&spec);
 }

@@ -4,11 +4,14 @@
 //!
 //! Run with `cargo run -p neurohammer-bench --release --bin fig3a_pulse_length`.
 //! Pass `--campaign <spec.json>` to run a custom grid, `--csv` for raw rows,
-//! `--spec` to print the executed grid as JSON.
+//! `--spec` to print the executed grid as JSON, `--shard i/n`,
+//! `--checkpoint <path>`, `--resume` and `--merge <path>...` for
+//! distributed/resumable execution (see the crate docs).
 
 use neurohammer::campaign::CampaignAxis;
 use neurohammer_bench::{
     campaign_figure, figure_campaign, maybe_print_spec, quick_requested, resolve_campaign,
+    run_figure_campaign,
 };
 
 fn main() {
@@ -22,7 +25,7 @@ fn main() {
     };
     let spec = resolve_campaign(spec);
 
-    let report = spec.run().expect("fig3a campaign failed");
+    let report = run_figure_campaign(spec.clone());
     println!(
         "{}",
         campaign_figure(

@@ -5,12 +5,15 @@
 //!
 //! Run with `cargo run -p neurohammer-bench --release --bin fig3b_electrode_spacing`.
 //! Pass `--campaign <spec.json>` to run a custom grid, `--csv` for raw rows,
-//! `--spec` to print the executed grid as JSON.
+//! `--spec` to print the executed grid as JSON, `--shard i/n`,
+//! `--checkpoint <path>`, `--resume` and `--merge <path>...` for
+//! distributed/resumable execution (see the crate docs).
 
 use neurohammer::campaign::CampaignAxis;
 use neurohammer::CouplingSpec;
 use neurohammer_bench::{
     campaign_figure, figure_campaign, maybe_print_spec, quick_requested, resolve_campaign,
+    run_figure_campaign,
 };
 
 fn main() {
@@ -29,7 +32,7 @@ fn main() {
     };
     let spec = resolve_campaign(spec);
 
-    let report = spec.run().expect("fig3b campaign failed");
+    let report = run_figure_campaign(spec.clone());
     println!(
         "{}",
         campaign_figure(

@@ -4,12 +4,15 @@
 //!
 //! Run with `cargo run -p neurohammer-bench --release --bin fig3d_attack_patterns`.
 //! Pass `--campaign <spec.json>` to run a custom grid, `--csv` for raw rows,
-//! `--spec` to print the executed grid as JSON.
+//! `--spec` to print the executed grid as JSON, `--shard i/n`,
+//! `--checkpoint <path>`, `--resume` and `--merge <path>...` for
+//! distributed/resumable execution (see the crate docs).
 
 use neurohammer::campaign::CampaignAxis;
 use neurohammer::AttackPattern;
 use neurohammer_bench::{
     campaign_figure, figure_campaign, maybe_print_spec, quick_requested, resolve_campaign,
+    run_figure_campaign,
 };
 
 fn main() {
@@ -18,7 +21,7 @@ fn main() {
     spec.patterns = AttackPattern::ALL.to_vec();
     let spec = resolve_campaign(spec);
 
-    let report = spec.run().expect("fig3d campaign failed");
+    let report = run_figure_campaign(spec.clone());
     println!(
         "{}",
         campaign_figure(

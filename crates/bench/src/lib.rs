@@ -8,20 +8,40 @@
 //! figure can be re-run with a different grid without recompiling), runs it
 //! in parallel and renders the resulting [`CampaignReport`].
 //!
+//! Campaigns execute through the streaming
+//! [`neurohammer::campaign::CampaignExecutor`] (see
+//! [`run_figure_campaign`]): points are reported on a live progress line as
+//! they finish, optionally checkpointed to disk, and the grid can be split
+//! across processes/machines with `--shard` and recombined with `--merge`.
+//!
 //! Common flags understood by all binaries:
 //!
 //! * `--quick` (or the `NEUROHAMMER_QUICK` environment variable) — synthetic
 //!   coupling coefficients and smaller budgets, for CI-grade runs;
 //! * `--campaign <path>` — load the campaign grid from a JSON spec file;
 //! * `--csv` — additionally print the raw campaign results as CSV;
-//! * `--spec` — print the executed campaign spec as JSON (for archiving).
+//! * `--spec` — print the executed campaign spec as JSON (for archiving);
+//! * `--shard <i/n>` — run only every `n`-th grid point starting at `i`
+//!   (round-robin), for splitting a grid across processes or machines;
+//! * `--checkpoint <path>` — append each finished point to a JSONL file as
+//!   it completes, so an interrupted run keeps its progress;
+//! * `--resume` — replay the outcomes already recorded in the
+//!   `--checkpoint` file instead of re-running them;
+//! * `--merge <path>...` — skip execution entirely: read the given
+//!   checkpoint files, merge them (de-duplicating by point key, restoring
+//!   grid order) and render the combined report.
 
 #![deny(missing_docs)]
 #![deny(unsafe_code)]
 
-use neurohammer::campaign::{CampaignAxis, CampaignReport, CampaignSpec};
+use std::path::PathBuf;
+
+use neurohammer::campaign::{
+    read_checkpoint, CampaignAxis, CampaignEvent, CampaignExecutor, CampaignReport, CampaignSpec,
+    CheckpointWriter, Shard,
+};
 use neurohammer::{ExperimentSetup, SweepSeries};
-use rram_analysis::ascii_plot::log_bar_chart;
+use rram_analysis::ascii_plot::{log_bar_chart, progress_line};
 use rram_analysis::{Report, Table};
 
 /// Returns the experiment setup used by the figure binaries.
@@ -82,6 +102,174 @@ pub fn csv_requested() -> bool {
 /// Reads the `--spec` flag.
 pub fn spec_requested() -> bool {
     std::env::args().any(|a| a == "--spec")
+}
+
+/// Returns the value following `flag`, rejecting a missing value or one
+/// that is itself a `--flag` token (a forgotten argument).
+fn flag_value(flag: &str) -> Option<String> {
+    let args: Vec<String> = std::env::args().collect();
+    let flag_index = args.iter().position(|a| a == flag)?;
+    let value = args
+        .get(flag_index + 1)
+        .filter(|value| !value.starts_with("--"))
+        .unwrap_or_else(|| panic!("{flag} requires a value argument"));
+    Some(value.clone())
+}
+
+/// Reads the `--shard i/n` flag.
+///
+/// # Panics
+///
+/// Panics when the selector is missing, malformed or out of range (these
+/// binaries are command-line tools).
+pub fn shard_requested() -> Option<Shard> {
+    let selector = flag_value("--shard")?;
+    Some(Shard::parse(&selector).unwrap_or_else(|e| panic!("invalid --shard {selector:?}: {e}")))
+}
+
+/// Reads the `--checkpoint <path>` flag.
+///
+/// # Panics
+///
+/// Panics when the flag has no path argument.
+pub fn checkpoint_requested() -> Option<PathBuf> {
+    flag_value("--checkpoint").map(PathBuf::from)
+}
+
+/// Reads the `--resume` flag.
+pub fn resume_requested() -> bool {
+    std::env::args().any(|a| a == "--resume")
+}
+
+/// Reads the `--merge <path>...` flag: every argument following `--merge`
+/// up to the next `--flag` is a checkpoint file to combine. `None` when the
+/// flag is absent.
+///
+/// # Panics
+///
+/// Panics when `--merge` is present with no paths (a forgotten argument
+/// must not silently fall through to a full, possibly hours-long run).
+pub fn merge_requested() -> Option<Vec<PathBuf>> {
+    let args: Vec<String> = std::env::args().collect();
+    let flag_index = args.iter().position(|a| a == "--merge")?;
+    let paths: Vec<PathBuf> = args[flag_index + 1..]
+        .iter()
+        .take_while(|a| !a.starts_with("--"))
+        .map(PathBuf::from)
+        .collect();
+    assert!(
+        !paths.is_empty(),
+        "--merge requires at least one checkpoint path"
+    );
+    Some(paths)
+}
+
+/// Executes a figure campaign through the streaming executor, honouring the
+/// `--shard`, `--checkpoint`, `--resume` and `--merge` flags, and renders a
+/// live progress line on stderr as points finish.
+///
+/// With `--merge <path>...` nothing is executed: the checkpoint files are
+/// read, de-duplicated by point key and re-sorted into grid order, so a
+/// merged report covering the full grid (and its CSV) is byte-identical to
+/// an unsharded run. Outcomes that do not belong to this binary's grid are
+/// rejected, and an incomplete merge (a forgotten shard file) renders with
+/// a loud warning. Without `--resume`, `--checkpoint` starts the file from
+/// scratch; with it, recovered points replay and the file is appended.
+///
+/// # Panics
+///
+/// Panics on an invalid spec, an unreadable or foreign checkpoint, or an
+/// execution failure (these binaries are command-line tools).
+pub fn run_figure_campaign(spec: CampaignSpec) -> CampaignReport {
+    if let Some(merge) = merge_requested() {
+        let reports: Vec<CampaignReport> = merge
+            .iter()
+            .map(|path| CampaignReport {
+                name: spec.name.clone(),
+                outcomes: read_checkpoint(path)
+                    .unwrap_or_else(|e| panic!("cannot read checkpoint {path:?}: {e}")),
+            })
+            .collect();
+        let merged = CampaignReport::merge(reports)
+            .unwrap_or_else(|e| panic!("cannot merge checkpoints: {e}"));
+        let expected: std::collections::HashSet<_> = spec
+            .keyed_points()
+            .into_iter()
+            .map(|(key, _)| key)
+            .collect();
+        let foreign = merged
+            .outcomes
+            .iter()
+            .filter(|outcome| !expected.contains(&outcome.key))
+            .count();
+        assert!(
+            foreign == 0,
+            "{foreign} merged outcome(s) do not belong to this campaign \
+             (wrong checkpoint files, or a different --campaign/--quick profile?)"
+        );
+        if merged.outcomes.len() < expected.len() {
+            eprintln!(
+                "warning: merged checkpoints cover {}/{} grid points — the \
+                 rendered figure is partial (missing shard file?)",
+                merged.outcomes.len(),
+                expected.len()
+            );
+        }
+        return merged;
+    }
+
+    let mut executor =
+        CampaignExecutor::new(spec).unwrap_or_else(|e| panic!("invalid campaign: {e}"));
+    if let Some(shard) = shard_requested() {
+        executor = executor
+            .with_shard(shard)
+            .unwrap_or_else(|e| panic!("invalid shard: {e}"));
+    }
+    let checkpoint = checkpoint_requested();
+    let resume = resume_requested();
+    if resume {
+        let path = checkpoint
+            .as_ref()
+            .expect("--resume requires --checkpoint <path>");
+        if path.exists() {
+            let recovered = read_checkpoint(path)
+                .unwrap_or_else(|e| panic!("cannot read checkpoint {path:?}: {e}"));
+            executor = executor.resume_from(recovered);
+        }
+    }
+    // A fresh (non-resume) run starts its checkpoint from scratch so stale
+    // outcomes from an earlier run cannot shadow the new ones on later
+    // reads; a resumed run appends (the reader de-duplicates by key).
+    let mut writer = checkpoint.as_ref().map(|path| {
+        if resume {
+            CheckpointWriter::append(path)
+        } else {
+            CheckpointWriter::create(path)
+        }
+        .unwrap_or_else(|e| panic!("cannot open checkpoint {path:?}: {e}"))
+    });
+
+    let name = executor.spec().name.clone();
+    let shard = executor.shard();
+    let (mut total, mut done) = (0usize, 0usize);
+    executor
+        .execute(|event| match event {
+            CampaignEvent::Started { total: points } => {
+                total = points;
+                eprintln!("campaign {name:?}: {points} points (shard {shard})");
+            }
+            CampaignEvent::PointFinished(outcome) => {
+                if let Some(writer) = writer.as_mut() {
+                    writer
+                        .record(&outcome)
+                        .unwrap_or_else(|e| panic!("checkpoint write failed: {e}"));
+                }
+                done += 1;
+                eprint!("\r{}", progress_line(done, total, 40));
+            }
+            CampaignEvent::Finished => eprintln!(),
+        })
+        .unwrap_or_else(|e| panic!("campaign failed: {e}"))
 }
 
 /// Returns the campaign spec from `--campaign <path>` when given, otherwise

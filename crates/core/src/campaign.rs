@@ -4,12 +4,23 @@
 //! cartesian product of array sizes × attack patterns × hammer amplitudes ×
 //! pulse lengths × electrode spacings × ambient temperatures × simulation
 //! backends — as plain data that can be stored next to the figures it
-//! reproduces (see [`CampaignSpec::to_json`]). [`CampaignSpec::run`] expands
-//! the grid into [`CampaignPoint`]s, resolves the thermal-coupling
-//! coefficients once per unique geometry, executes every point in parallel
-//! on worker threads ([`crate::sweep::parallel_map`]) and returns a
-//! [`CampaignReport`] that renders directly into `rram-analysis` tables and
-//! CSV, or into the [`crate::sweep::SweepSeries`] the figure binaries plot.
+//! reproduces (see [`CampaignSpec::to_json`]).
+//!
+//! Execution is the job of the streaming [`CampaignExecutor`]: it validates
+//! the grid once, partitions the deterministic point list by an explicit
+//! [`Shard`], resolves the thermal-coupling coefficients once per unique
+//! geometry, executes the shard's points on worker threads and emits a
+//! [`CampaignEvent`] per completed point *while the campaign is still
+//! running* — so long grids render progressively, checkpoint to disk
+//! ([`checkpoint`]) and resume after interruption. [`CampaignSpec::run`] is
+//! a thin compatibility wrapper that executes the full grid with no event
+//! sink and returns the final [`CampaignReport`], which renders directly
+//! into `rram-analysis` tables and CSV, or into the
+//! [`crate::sweep::SweepSeries`] the figure binaries plot.
+//!
+//! Every grid point carries a stable [`PointKey`], so reports produced by
+//! different shards (or recovered from checkpoint files) merge back into the
+//! exact unsharded report with [`CampaignReport::merge`].
 //!
 //! Because every point names its [`BackendKind`], cross-engine agreement
 //! checks are one-liners: put both backends in the grid and ask the report
@@ -39,15 +50,20 @@
 //! assert_eq!(restored, spec);
 //! ```
 
+pub mod checkpoint;
+pub mod executor;
 pub mod json;
+
+pub use checkpoint::{read_checkpoint, CheckpointWriter};
+pub use executor::{CampaignEvent, CampaignExecutor, Shard};
 
 use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
 use std::fmt;
 
-use crate::attack::{run_attack, AttackConfig};
+use crate::attack::AttackConfig;
 use crate::pattern::AttackPattern;
-use crate::sweep::{parallel_map, SweepPoint, SweepSeries};
+use crate::sweep::{SweepPoint, SweepSeries};
 use json::{Json, JsonError};
 use rram_crossbar::{
     BackendKind, CellAddress, CrosstalkHub, EngineConfig, HammerBackend, WiringParasitics,
@@ -176,6 +192,24 @@ pub struct CampaignPoint {
     pub backend: BackendKind,
 }
 
+/// Stable identity of one grid point.
+///
+/// `index` is the point's position in the deterministic
+/// [`CampaignSpec::points`] order; `id` fingerprints the point's physical
+/// coordinates (exact `f64` bit patterns) together with the spec's
+/// execution-relevant fields (coupling source, pulse budget, batching,
+/// crosstalk time constant). Keys order by grid position, so sorting
+/// outcomes by key restores grid order after a merge; the fingerprint
+/// catches accidental merges or resumes across different specs or
+/// execution profiles (see [`CampaignReport::merge`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct PointKey {
+    /// Position of the point in [`CampaignSpec::points`] order.
+    pub index: usize,
+    /// FNV-1a fingerprint of the point's coordinates.
+    pub id: u64,
+}
+
 /// One grid axis of a campaign (used to slice reports into sweep series).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum CampaignAxis {
@@ -254,11 +288,54 @@ impl CampaignPoint {
     pub fn victim(&self) -> CellAddress {
         CellAddress::new(self.rows / 2, self.cols / 2 - 1)
     }
+
+    /// Content fingerprint of this point: an FNV-1a hash over the exact bit
+    /// patterns of every coordinate — stable across processes, machines and
+    /// sessions. [`CampaignSpec::keyed_points`] mixes this with the spec's
+    /// execution fingerprint to form the [`PointKey`] id, so outcomes from
+    /// a different execution profile never silently replay.
+    pub fn id(&self) -> u64 {
+        let (backend_tag, segment_bits, driver_bits) = match self.backend {
+            BackendKind::Pulse => (0u64, 0u64, 0u64),
+            BackendKind::Detailed(p) => (
+                1,
+                p.segment_resistance.0.to_bits(),
+                p.driver_resistance.0.to_bits(),
+            ),
+        };
+        fnv1a_words(&[
+            self.rows as u64,
+            self.cols as u64,
+            self.pattern.index() as u64,
+            self.amplitude.0.to_bits(),
+            self.pulse_length.0.to_bits(),
+            self.spacing_nm.to_bits(),
+            self.ambient.0.to_bits(),
+            backend_tag,
+            segment_bits,
+            driver_bits,
+        ])
+    }
+}
+
+/// FNV-1a over the little-endian bytes of `words` — the stable fingerprint
+/// primitive behind [`PointKey`].
+fn fnv1a_words(words: &[u64]) -> u64 {
+    let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+    for word in words {
+        for byte in word.to_le_bytes() {
+            hash ^= u64::from(byte);
+            hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+    }
+    hash
 }
 
 /// Result of one executed grid point.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct CampaignOutcome {
+    /// Stable identity of the grid point (position + content fingerprint).
+    pub key: PointKey,
     /// The grid point.
     pub point: CampaignPoint,
     /// Whether the victim flipped within the budget.
@@ -294,6 +371,32 @@ pub enum CampaignError {
     InvalidValue(String),
     /// The thermal-coupling extraction failed.
     Alpha(AlphaError),
+    /// A worker needed a coupling matrix that was never resolved — the
+    /// executor's pre-resolution pass and the point it handed a worker
+    /// disagree on the point's geometry.
+    MissingCoupling {
+        /// Array rows of the unresolved geometry.
+        rows: usize,
+        /// Array columns of the unresolved geometry.
+        cols: usize,
+        /// Electrode spacing of the unresolved geometry, nm.
+        spacing_nm: f64,
+    },
+    /// A shard selector is malformed (`index` must be `< of`, `of ≥ 1`).
+    InvalidShard {
+        /// Requested shard index.
+        index: usize,
+        /// Requested shard count.
+        of: usize,
+    },
+    /// Two merged reports claim the same grid position with different point
+    /// fingerprints — they were produced by different campaign specs.
+    MergeMismatch {
+        /// Grid position both reports claim.
+        index: usize,
+    },
+    /// A checkpoint file could not be read or written.
+    Io(String),
     /// The JSON form could not be parsed.
     Json(String),
 }
@@ -308,6 +411,27 @@ impl fmt::Display for CampaignError {
             ),
             CampaignError::InvalidValue(message) => f.write_str(message),
             CampaignError::Alpha(e) => write!(f, "coupling extraction failed: {e}"),
+            CampaignError::MissingCoupling {
+                rows,
+                cols,
+                spacing_nm,
+            } => write!(
+                f,
+                "no coupling matrix was resolved for the {rows}x{cols} array \
+                 at {spacing_nm} nm spacing"
+            ),
+            CampaignError::InvalidShard { index, of } => write!(
+                f,
+                "invalid shard {index}/{of}: the index must be below the \
+                 shard count and the count at least 1"
+            ),
+            CampaignError::MergeMismatch { index } => write!(
+                f,
+                "cannot merge reports: grid position {index} carries two \
+                 different point fingerprints (the reports come from \
+                 different campaign specs)"
+            ),
+            CampaignError::Io(message) => write!(f, "checkpoint I/O failed: {message}"),
             CampaignError::Json(message) => write!(f, "invalid campaign JSON: {message}"),
         }
     }
@@ -426,6 +550,52 @@ impl CampaignSpec {
         points
     }
 
+    /// Fingerprint of the execution-relevant spec fields that are *not*
+    /// part of any point's coordinates: the coupling source, the crosstalk
+    /// time constant, the pulse budget, the batching mode and the amplitude
+    /// the FEM power sweep is anchored to. Mixed into every [`PointKey`] so
+    /// a checkpoint recorded under a different execution profile (e.g. a
+    /// `--quick` run) never silently replays into a full-fidelity one.
+    fn execution_fingerprint(&self) -> u64 {
+        let (coupling_tag, coupling_bits) = match self.coupling {
+            CouplingSpec::Uniform { nearest } => (0u64, nearest.to_bits()),
+            CouplingSpec::Fem { voxel_nm } => (1u64, voxel_nm.to_bits()),
+        };
+        fnv1a_words(&[
+            coupling_tag,
+            coupling_bits,
+            self.tau_ns.to_bits(),
+            self.max_pulses,
+            u64::from(self.batching),
+            self.amplitudes_v
+                .first()
+                .copied()
+                .unwrap_or_default()
+                .to_bits(),
+        ])
+    }
+
+    /// Expands the grid into `(key, point)` pairs in grid order — the form
+    /// the [`CampaignExecutor`] shards and checkpoints operate on. Each
+    /// key's `id` fingerprints both the point's coordinates and the spec's
+    /// execution-relevant fields.
+    pub fn keyed_points(&self) -> Vec<(PointKey, CampaignPoint)> {
+        let execution = self.execution_fingerprint();
+        self.points()
+            .into_iter()
+            .enumerate()
+            .map(|(index, point)| {
+                (
+                    PointKey {
+                        index,
+                        id: fnv1a_words(&[execution, point.id()]),
+                    },
+                    point,
+                )
+            })
+            .collect()
+    }
+
     /// The attack configuration a given point runs (50 % duty cycle, victim
     /// at the centre neighbour).
     pub fn attack_config(&self, point: &CampaignPoint) -> AttackConfig {
@@ -517,17 +687,25 @@ impl CampaignSpec {
         &self,
         point: &CampaignPoint,
     ) -> Result<Box<dyn HammerBackend>, CampaignError> {
-        let couplings = self.resolve_couplings(std::slice::from_ref(point))?;
+        let mut couplings = self.resolve_couplings(std::slice::from_ref(point))?;
         let key = (point.rows, point.cols, point.spacing_nm.to_bits());
         let alpha = couplings
-            .get(&key)
-            .expect("coupling was just resolved")
-            .clone();
+            .remove(&key)
+            .ok_or(CampaignError::MissingCoupling {
+                rows: point.rows,
+                cols: point.cols,
+                spacing_nm: point.spacing_nm,
+            })?;
         Ok(self.backend_with_alpha(point, alpha))
     }
 
     /// Validates the grid, resolves couplings and executes every point in
-    /// parallel.
+    /// parallel, returning the full report at the end.
+    ///
+    /// This is a thin compatibility wrapper over the streaming
+    /// [`CampaignExecutor`] (full grid, no shard, no event sink); use the
+    /// executor directly for progressive rendering, sharding across
+    /// processes or checkpoint/resume.
     ///
     /// # Errors
     ///
@@ -539,36 +717,7 @@ impl CampaignSpec {
     ///
     /// Panics if a worker thread panics.
     pub fn run(&self) -> Result<CampaignReport, CampaignError> {
-        self.validate()?;
-        let points = self.points();
-        let couplings = self.resolve_couplings(&points)?;
-
-        let outcomes = parallel_map(&points, self.threads, |point| {
-            let key = (point.rows, point.cols, point.spacing_nm.to_bits());
-            let alpha = couplings
-                .get(&key)
-                .expect("every point's coupling was resolved")
-                .clone();
-            let mut backend = self.backend_with_alpha(point, alpha);
-            let config = self.attack_config(point);
-            let result = run_attack(backend.as_mut(), &config);
-            let victim = config.victim;
-            let final_crosstalk = backend.hub().delta(victim.row, victim.col);
-            CampaignOutcome {
-                point: *point,
-                flipped: result.flipped,
-                pulses: result.pulses,
-                victim_drift: result.victim_drift,
-                final_crosstalk,
-                sim_time: result.elapsed,
-                collateral_flips: result.collateral_flips,
-            }
-        });
-
-        Ok(CampaignReport {
-            name: self.name.clone(),
-            outcomes,
-        })
+        CampaignExecutor::new(self.clone())?.execute(|_| {})
     }
 
     /// Serialises the spec as pretty-printed JSON.
@@ -816,6 +965,75 @@ pub struct CampaignReport {
 }
 
 impl CampaignReport {
+    /// Merges reports produced by different shards (or recovered from
+    /// checkpoint files) back into one report.
+    ///
+    /// Outcomes are de-duplicated by [`PointKey`] (the first occurrence
+    /// wins) and re-sorted into grid order, so merging the shards of a grid
+    /// — in any order, with any overlap — reproduces the unsharded report
+    /// byte for byte. The merged report takes the first report's name.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CampaignError::MergeMismatch`] when two outcomes claim the
+    /// same grid position with different point fingerprints, i.e. the
+    /// reports come from different campaign specs.
+    ///
+    /// # Examples
+    ///
+    /// Merge two shard reports back into the full grid:
+    ///
+    /// ```
+    /// use neurohammer::campaign::{CampaignExecutor, CampaignReport, CampaignSpec, Shard};
+    ///
+    /// let spec = CampaignSpec {
+    ///     pulse_lengths_ns: vec![50.0, 100.0],
+    ///     max_pulses: 200_000,
+    ///     ..CampaignSpec::default()
+    /// };
+    /// let shard = |index| {
+    ///     CampaignExecutor::new(spec.clone())
+    ///         .unwrap()
+    ///         .with_shard(Shard { index, of: 2 })
+    ///         .unwrap()
+    ///         .execute(|_| {})
+    ///         .unwrap()
+    /// };
+    /// let (a, b) = (shard(0), shard(1));
+    /// let merged = CampaignReport::merge([b, a]).unwrap(); // any order
+    /// assert_eq!(merged.outcomes.len(), spec.num_points());
+    /// assert_eq!(merged, spec.run().unwrap());
+    /// ```
+    pub fn merge<I>(reports: I) -> Result<CampaignReport, CampaignError>
+    where
+        I: IntoIterator<Item = CampaignReport>,
+    {
+        let mut name: Option<String> = None;
+        let mut by_index: std::collections::BTreeMap<usize, CampaignOutcome> =
+            std::collections::BTreeMap::new();
+        for report in reports {
+            name.get_or_insert(report.name);
+            for outcome in report.outcomes {
+                match by_index.entry(outcome.key.index) {
+                    std::collections::btree_map::Entry::Vacant(slot) => {
+                        slot.insert(outcome);
+                    }
+                    std::collections::btree_map::Entry::Occupied(slot) => {
+                        if slot.get().key.id != outcome.key.id {
+                            return Err(CampaignError::MergeMismatch {
+                                index: outcome.key.index,
+                            });
+                        }
+                    }
+                }
+            }
+        }
+        Ok(CampaignReport {
+            name: name.unwrap_or_default(),
+            outcomes: by_index.into_values().collect(),
+        })
+    }
+
     /// Renders the report as an `rram-analysis` text table.
     pub fn to_table(&self) -> rram_analysis::Table {
         let mut table = rram_analysis::Table::with_headers(&[
@@ -974,6 +1192,7 @@ impl CampaignReport {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::attack::run_attack;
 
     fn tiny_spec() -> CampaignSpec {
         CampaignSpec {

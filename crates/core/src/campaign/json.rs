@@ -1,13 +1,26 @@
 //! Minimal JSON tree, parser and writer used to (de)serialise
-//! [`crate::campaign::CampaignSpec`].
+//! [`crate::campaign::CampaignSpec`], plus the [`CampaignOutcome`] /
+//! [`CampaignReport`] codecs behind checkpoint files and mergeable reports.
 //!
 //! The workspace builds offline with a stubbed `serde` (see
 //! `crates/vendor/README.md`), so the campaign layer carries its own small
 //! codec instead of a serde data format. Only the JSON subset campaign specs
 //! need is implemented: objects, arrays, strings (with the standard escape
 //! sequences), finite numbers, booleans and `null`.
+//!
+//! Floating-point values survive the round trip **bit for bit**: numbers are
+//! rendered with Rust's shortest-round-trip formatting, so a
+//! [`CampaignReport`] recovered from JSON produces byte-identical CSV — the
+//! property sharded/resumed campaigns rely on.
 
 use std::fmt;
+
+use super::{
+    backend_from_json, backend_to_json, CampaignError, CampaignOutcome, CampaignPoint,
+    CampaignReport, PointKey,
+};
+use crate::pattern::AttackPattern;
+use rram_units::{Kelvin, Seconds, Volts};
 
 /// A parsed JSON value.
 #[derive(Debug, Clone, PartialEq)]
@@ -113,36 +126,53 @@ impl Json {
         }
     }
 
+    /// Compact single-line rendering (no whitespace) — the form checkpoint
+    /// files store, one outcome per line.
+    pub fn to_compact_string(&self) -> String {
+        let mut out = String::new();
+        self.render_compact_into(&mut out);
+        out
+    }
+
+    fn render_compact_into(&self, out: &mut String) {
+        match self {
+            Json::Null => out.push_str("null"),
+            Json::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+            Json::Number(n) => push_number(out, *n),
+            Json::String(s) => push_string(out, s),
+            Json::Array(values) => {
+                out.push('[');
+                for (i, value) in values.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    value.render_compact_into(out);
+                }
+                out.push(']');
+            }
+            Json::Object(entries) => {
+                out.push('{');
+                for (i, (key, value)) in entries.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    push_string(out, key);
+                    out.push(':');
+                    value.render_compact_into(out);
+                }
+                out.push('}');
+            }
+        }
+    }
+
     fn render_into(&self, out: &mut String, indent: usize) {
         let pad = "  ".repeat(indent);
         let inner_pad = "  ".repeat(indent + 1);
         match self {
             Json::Null => out.push_str("null"),
             Json::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
-            Json::Number(n) => {
-                if n.fract() == 0.0 && n.abs() < 1e15 {
-                    out.push_str(&format!("{}", *n as i64));
-                } else {
-                    out.push_str(&format!("{n}"));
-                }
-            }
-            Json::String(s) => {
-                out.push('"');
-                for c in s.chars() {
-                    match c {
-                        '"' => out.push_str("\\\""),
-                        '\\' => out.push_str("\\\\"),
-                        '\n' => out.push_str("\\n"),
-                        '\r' => out.push_str("\\r"),
-                        '\t' => out.push_str("\\t"),
-                        c if (c as u32) < 0x20 => {
-                            out.push_str(&format!("\\u{:04x}", c as u32));
-                        }
-                        c => out.push(c),
-                    }
-                }
-                out.push('"');
-            }
+            Json::Number(n) => push_number(out, *n),
+            Json::String(s) => push_string(out, s),
             Json::Array(values) => {
                 if values.is_empty() {
                     out.push_str("[]");
@@ -196,6 +226,42 @@ impl Json {
             }
         }
     }
+}
+
+/// Renders a number with shortest-round-trip precision (integers without a
+/// fractional part, everything else via `f64`'s exact `Display`). Negative
+/// zero keeps its sign bit; non-finite values (which JSON cannot express
+/// and [`Json::parse`] rejects) render as `null` so they surface as an
+/// explicit type error on re-parse instead of producing invalid JSON.
+fn push_number(out: &mut String, n: f64) {
+    if !n.is_finite() {
+        out.push_str("null");
+    } else if n == 0.0 && n.is_sign_negative() {
+        out.push_str("-0");
+    } else if n.fract() == 0.0 && n.abs() < 1e15 {
+        out.push_str(&format!("{}", n as i64));
+    } else {
+        out.push_str(&format!("{n}"));
+    }
+}
+
+/// Renders a string with the standard JSON escapes.
+fn push_string(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
 }
 
 /// Pretty-printed rendering (two-space indent, scalar arrays inline).
@@ -398,6 +464,184 @@ impl<'a> Parser<'a> {
     }
 }
 
+// ---------------------------------------------------------------------------
+// Campaign outcome / report codecs
+// ---------------------------------------------------------------------------
+
+fn bad_key(key: &str, expected: &str) -> CampaignError {
+    CampaignError::Json(format!("key {key:?} must be {expected}"))
+}
+
+fn required_f64(value: &Json, key: &str) -> Result<f64, CampaignError> {
+    value
+        .get(key)
+        .and_then(Json::as_f64)
+        .ok_or_else(|| bad_key(key, "a number"))
+}
+
+fn required_u64(value: &Json, key: &str) -> Result<u64, CampaignError> {
+    value
+        .get(key)
+        .and_then(Json::as_u64)
+        .ok_or_else(|| bad_key(key, "a non-negative integer"))
+}
+
+fn required_bool(value: &Json, key: &str) -> Result<bool, CampaignError> {
+    value
+        .get(key)
+        .and_then(Json::as_bool)
+        .ok_or_else(|| bad_key(key, "a boolean"))
+}
+
+fn required_str<'a>(value: &'a Json, key: &str) -> Result<&'a str, CampaignError> {
+    value
+        .get(key)
+        .and_then(Json::as_str)
+        .ok_or_else(|| bad_key(key, "a string"))
+}
+
+/// Serialises a point key. The fingerprint is written as a hex string:
+/// a JSON number (f64) cannot represent all 64 bits exactly.
+fn key_to_json(key: &PointKey) -> Json {
+    Json::Object(vec![
+        ("index".into(), Json::Number(key.index as f64)),
+        ("id".into(), Json::String(format!("{:016x}", key.id))),
+    ])
+}
+
+fn key_from_json(value: &Json) -> Result<PointKey, CampaignError> {
+    Ok(PointKey {
+        index: required_u64(value, "index")? as usize,
+        id: u64::from_str_radix(required_str(value, "id")?, 16)
+            .map_err(|_| bad_key("id", "a 64-bit hex fingerprint"))?,
+    })
+}
+
+/// Serialises a grid point. `pulse_length` is stored in raw seconds (not
+/// the spec's nanoseconds) so the value — and therefore the point's
+/// fingerprint — survives bit for bit.
+fn point_to_json(point: &CampaignPoint) -> Json {
+    Json::Object(vec![
+        ("backend".into(), backend_to_json(&point.backend)),
+        ("rows".into(), Json::Number(point.rows as f64)),
+        ("cols".into(), Json::Number(point.cols as f64)),
+        ("pattern".into(), Json::String(point.pattern.label().into())),
+        ("amplitude_v".into(), Json::Number(point.amplitude.0)),
+        ("pulse_length_s".into(), Json::Number(point.pulse_length.0)),
+        ("spacing_nm".into(), Json::Number(point.spacing_nm)),
+        ("ambient_k".into(), Json::Number(point.ambient.0)),
+    ])
+}
+
+fn point_from_json(value: &Json) -> Result<CampaignPoint, CampaignError> {
+    let backend = backend_from_json(
+        value
+            .get("backend")
+            .ok_or_else(|| bad_key("backend", "present"))?,
+    )?;
+    Ok(CampaignPoint {
+        rows: required_u64(value, "rows")? as usize,
+        cols: required_u64(value, "cols")? as usize,
+        pattern: required_str(value, "pattern")?
+            .parse::<AttackPattern>()
+            .map_err(CampaignError::Json)?,
+        amplitude: Volts(required_f64(value, "amplitude_v")?),
+        pulse_length: Seconds(required_f64(value, "pulse_length_s")?),
+        spacing_nm: required_f64(value, "spacing_nm")?,
+        ambient: Kelvin(required_f64(value, "ambient_k")?),
+        backend,
+    })
+}
+
+fn outcome_to_json(outcome: &CampaignOutcome) -> Json {
+    Json::Object(vec![
+        ("key".into(), key_to_json(&outcome.key)),
+        ("point".into(), point_to_json(&outcome.point)),
+        ("flipped".into(), Json::Bool(outcome.flipped)),
+        ("pulses".into(), Json::Number(outcome.pulses as f64)),
+        ("victim_drift".into(), Json::Number(outcome.victim_drift)),
+        (
+            "final_crosstalk_k".into(),
+            Json::Number(outcome.final_crosstalk.0),
+        ),
+        ("sim_time_s".into(), Json::Number(outcome.sim_time.0)),
+        (
+            "collateral_flips".into(),
+            Json::Number(outcome.collateral_flips as f64),
+        ),
+    ])
+}
+
+fn outcome_from_json(value: &Json) -> Result<CampaignOutcome, CampaignError> {
+    Ok(CampaignOutcome {
+        key: key_from_json(value.get("key").ok_or_else(|| bad_key("key", "present"))?)?,
+        point: point_from_json(
+            value
+                .get("point")
+                .ok_or_else(|| bad_key("point", "present"))?,
+        )?,
+        flipped: required_bool(value, "flipped")?,
+        pulses: required_u64(value, "pulses")?,
+        victim_drift: required_f64(value, "victim_drift")?,
+        final_crosstalk: Kelvin(required_f64(value, "final_crosstalk_k")?),
+        sim_time: Seconds(required_f64(value, "sim_time_s")?),
+        collateral_flips: required_u64(value, "collateral_flips")? as usize,
+    })
+}
+
+impl CampaignOutcome {
+    /// Serialises the outcome as one compact JSON line — the checkpoint
+    /// file format ([`super::checkpoint`]).
+    pub fn to_json_line(&self) -> String {
+        outcome_to_json(self).to_compact_string()
+    }
+
+    /// Parses an outcome written by [`CampaignOutcome::to_json_line`] (or
+    /// embedded in a report's JSON form).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CampaignError::Json`] on malformed input.
+    pub fn from_json(text: &str) -> Result<Self, CampaignError> {
+        outcome_from_json(&Json::parse(text)?)
+    }
+}
+
+impl CampaignReport {
+    /// Serialises the report as pretty-printed JSON. Every float survives
+    /// bit for bit, so a recovered report renders byte-identical CSV.
+    pub fn to_json(&self) -> String {
+        Json::Object(vec![
+            ("name".into(), Json::String(self.name.clone())),
+            (
+                "outcomes".into(),
+                Json::Array(self.outcomes.iter().map(outcome_to_json).collect()),
+            ),
+        ])
+        .to_string()
+    }
+
+    /// Parses a report written by [`CampaignReport::to_json`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CampaignError::Json`] on malformed input.
+    pub fn from_json(text: &str) -> Result<Self, CampaignError> {
+        let json = Json::parse(text)?;
+        let outcomes = json
+            .get("outcomes")
+            .and_then(Json::as_array)
+            .ok_or_else(|| bad_key("outcomes", "an array of outcomes"))?
+            .iter()
+            .map(outcome_from_json)
+            .collect::<Result<_, CampaignError>>()?;
+        Ok(CampaignReport {
+            name: required_str(&json, "name")?.to_string(),
+            outcomes,
+        })
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -461,5 +705,101 @@ mod tests {
         assert_eq!(Json::parse("7").unwrap().as_u64(), Some(7));
         assert_eq!(Json::parse("7.5").unwrap().as_u64(), None);
         assert_eq!(Json::parse("-7").unwrap().as_u64(), None);
+    }
+
+    #[test]
+    fn negative_zero_keeps_its_sign_and_non_finite_renders_null() {
+        let neg_zero = Json::Number(-0.0).to_compact_string();
+        assert_eq!(neg_zero, "-0");
+        let reparsed = Json::parse(&neg_zero).unwrap().as_f64().unwrap();
+        assert_eq!(reparsed.to_bits(), (-0.0f64).to_bits());
+
+        assert_eq!(Json::Number(f64::NAN).to_compact_string(), "null");
+        assert_eq!(Json::Number(f64::INFINITY).to_compact_string(), "null");
+    }
+
+    #[test]
+    fn compact_rendering_round_trips() {
+        let value = Json::Object(vec![
+            ("a".into(), Json::Array(vec![Json::Number(1.5), Json::Null])),
+            ("b \"q\"".into(), Json::Bool(false)),
+        ]);
+        let compact = value.to_compact_string();
+        assert!(!compact.contains('\n'));
+        assert!(!compact.contains(' ') || compact.contains("\"b \\\"q\\\"\""));
+        assert_eq!(Json::parse(&compact).unwrap(), value);
+    }
+
+    fn sample_outcome() -> CampaignOutcome {
+        use rram_crossbar::{BackendKind, WiringParasitics};
+        use rram_units::Ohms;
+        let point = CampaignPoint {
+            rows: 5,
+            cols: 7,
+            pattern: AttackPattern::Quad,
+            // 0.1 + 0.2 == 0.30000000000000004: needs full precision.
+            amplitude: Volts(0.1 + 0.2),
+            pulse_length: Seconds(50.0 * 1e-9),
+            spacing_nm: 50.0,
+            ambient: Kelvin(300.0),
+            backend: BackendKind::Detailed(WiringParasitics {
+                segment_resistance: Ohms(123.456),
+                driver_resistance: Ohms(789.0),
+            }),
+        };
+        CampaignOutcome {
+            key: PointKey {
+                index: 3,
+                id: point.id(),
+            },
+            point,
+            flipped: true,
+            pulses: 123_456,
+            victim_drift: 1.0 / 3.0,
+            final_crosstalk: Kelvin(12.345_678_901_234_567),
+            sim_time: Seconds(6.17e-3),
+            collateral_flips: 2,
+        }
+    }
+
+    #[test]
+    fn outcome_json_round_trip_is_bit_exact() {
+        let outcome = sample_outcome();
+        let line = outcome.to_json_line();
+        assert!(!line.contains('\n'), "{line}");
+        let restored = CampaignOutcome::from_json(&line).unwrap();
+        assert_eq!(restored, outcome);
+        assert_eq!(
+            restored.point.amplitude.0.to_bits(),
+            outcome.point.amplitude.0.to_bits()
+        );
+        assert_eq!(
+            restored.point.pulse_length.0.to_bits(),
+            outcome.point.pulse_length.0.to_bits()
+        );
+        assert_eq!(restored.key.id, outcome.key.id);
+    }
+
+    #[test]
+    fn report_json_round_trips_and_rejects_malformed_input() {
+        let mut second = sample_outcome();
+        second.key.index = 4;
+        second.flipped = false;
+        second.pulses = 0;
+        let report = CampaignReport {
+            name: "round trip".into(),
+            outcomes: vec![sample_outcome(), second],
+        };
+        let restored = CampaignReport::from_json(&report.to_json()).unwrap();
+        assert_eq!(restored, report);
+
+        assert!(matches!(
+            CampaignReport::from_json(r#"{"name": "x"}"#),
+            Err(CampaignError::Json(_))
+        ));
+        assert!(matches!(
+            CampaignOutcome::from_json(r#"{"key": {"index": 0, "id": "zz"}}"#),
+            Err(CampaignError::Json(_))
+        ));
     }
 }

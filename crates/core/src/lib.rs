@@ -10,8 +10,9 @@
 //!   trace — generic over any [`rram_crossbar::HammerBackend`];
 //! * [`campaign`] — declarative, JSON-serialisable campaign grids
 //!   (patterns × amplitudes × pulse lengths × array sizes × spacings ×
-//!   ambients × backends) executed in parallel, with table/CSV/sweep-series
-//!   rendering;
+//!   ambients × backends) executed by a streaming, shardable, resumable
+//!   executor, with table/CSV/sweep-series rendering and mergeable,
+//!   checkpointable reports;
 //! * [`pattern`] — aggressor placement patterns (single, double-sided, quad,
 //!   diagonal; Fig. 3d–h);
 //! * [`estimate`] — a closed-form pulses-to-flip estimator used for
@@ -67,8 +68,8 @@ pub mod sweep;
 
 pub use attack::{run_attack, AttackConfig, AttackResult, TracePoint};
 pub use campaign::{
-    CampaignAxis, CampaignError, CampaignOutcome, CampaignPoint, CampaignReport, CampaignSpec,
-    CouplingSpec,
+    read_checkpoint, CampaignAxis, CampaignError, CampaignEvent, CampaignExecutor, CampaignOutcome,
+    CampaignPoint, CampaignReport, CampaignSpec, CheckpointWriter, CouplingSpec, PointKey, Shard,
 };
 pub use countermeasures::{
     evaluate_countermeasure, Countermeasure, DefenseEvaluation, GuardAction, ScrubbingGuard,

@@ -1,12 +1,15 @@
 //! Runs a declarative campaign grid — pulse lengths × amplitudes × ambient
-//! temperatures — in parallel on the fast engine and renders the aggregated
-//! report as a table, sweep series and CSV.
+//! temperatures — through the streaming executor: points print as their
+//! worker threads finish them, then the aggregated report renders as a
+//! table, sweep series and CSV.
 //!
 //! ```bash
 //! cargo run --release --example campaign_grid
 //! ```
 
-use neurohammer_repro::attack::campaign::{CampaignAxis, CampaignSpec};
+use neurohammer_repro::attack::campaign::{
+    CampaignAxis, CampaignEvent, CampaignExecutor, CampaignSpec,
+};
 
 fn main() {
     let spec = CampaignSpec {
@@ -23,8 +26,23 @@ fn main() {
         spec.threads
     );
 
-    let report = spec.run().expect("campaign failed");
-    println!("{}", report.to_table());
+    // Stream outcomes as they land (grid order is restored in the report).
+    let executor = CampaignExecutor::new(spec.clone()).expect("invalid campaign");
+    let mut done = 0;
+    let report = executor
+        .execute(|event| {
+            if let CampaignEvent::PointFinished(outcome) = event {
+                done += 1;
+                println!(
+                    "  [{done}] point #{}: {} after {} pulses",
+                    outcome.key.index,
+                    if outcome.flipped { "flip" } else { "no flip" },
+                    outcome.pulses
+                );
+            }
+        })
+        .expect("campaign failed");
+    println!("\n{}", report.to_table());
 
     println!("as pulse-length sweep series:");
     for series in report.series_over(CampaignAxis::PulseLength) {

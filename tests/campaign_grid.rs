@@ -28,6 +28,13 @@ fn an_eight_point_grid_runs_in_parallel_and_renders() {
         "every point should flip within budget: {report:?}"
     );
 
+    // Outcomes arrive in grid order with stable, content-derived keys.
+    let keyed = spec.keyed_points();
+    for (outcome, (key, point)) in report.outcomes.iter().zip(&keyed) {
+        assert_eq!(outcome.key, *key);
+        assert_eq!(outcome.point, *point);
+    }
+
     // Table: header + 8 rows; CSV: header + 8 rows.
     let table = report.to_table();
     assert_eq!(table.len(), 8);

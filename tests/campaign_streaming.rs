@@ -1,0 +1,155 @@
+//! Streaming-executor integration checks: events arrive while the campaign
+//! is still executing, a sharded run merged from checkpoints reproduces the
+//! unsharded report byte for byte, and a killed run resumes from its
+//! partial checkpoint file.
+
+use neurohammer_repro::attack::campaign::{
+    read_checkpoint, CampaignEvent, CampaignExecutor, CampaignReport, CampaignSpec,
+    CheckpointWriter, Shard,
+};
+
+fn grid() -> CampaignSpec {
+    CampaignSpec {
+        name: "streaming grid".into(),
+        pulse_lengths_ns: vec![50.0, 100.0],
+        amplitudes_v: vec![1.05, 1.15],
+        max_pulses: 500_000,
+        threads: 2,
+        ..CampaignSpec::default()
+    }
+}
+
+fn scratch(name: &str) -> std::path::PathBuf {
+    let mut path = std::env::temp_dir();
+    path.push(format!(
+        "neurohammer-streaming-{name}-{}",
+        std::process::id()
+    ));
+    path
+}
+
+#[test]
+fn point_finished_events_arrive_before_run_returns() {
+    let executor = CampaignExecutor::new(grid()).unwrap();
+    let mut events: Vec<CampaignEvent> = Vec::new();
+    let mut returned = false;
+    let report = executor
+        .execute(|event| {
+            // The sink runs synchronously inside `execute`: every event —
+            // including each per-point `PointFinished` — is delivered
+            // strictly before `run()`/`execute()` would have returned.
+            assert!(!returned, "event delivered after execute returned");
+            events.push(event);
+        })
+        .unwrap();
+    returned = true;
+
+    // One Started, one PointFinished per grid point, one Finished — in that
+    // order, and the streamed outcomes are exactly the report's outcomes.
+    assert_eq!(events.len(), 6, "{events:?}");
+    assert_eq!(events[0], CampaignEvent::Started { total: 4 });
+    assert_eq!(events[5], CampaignEvent::Finished);
+    let mut streamed: Vec<_> = events
+        .drain(..)
+        .filter_map(|event| match event {
+            CampaignEvent::PointFinished(outcome) => Some(outcome),
+            _ => None,
+        })
+        .collect();
+    streamed.sort_by_key(|outcome| outcome.key);
+    assert_eq!(streamed, report.outcomes);
+    assert!(returned);
+}
+
+#[test]
+fn sharded_checkpoints_merge_into_the_byte_identical_unsharded_report() {
+    let spec = grid();
+    let unsharded = spec.run().unwrap();
+
+    // Run each shard in its own executor, checkpointing as points finish —
+    // the distributed workflow, minus the separate processes.
+    let mut paths = Vec::new();
+    for index in 0..2 {
+        let path = scratch(&format!("shard{index}"));
+        let mut writer = CheckpointWriter::create(&path).unwrap();
+        CampaignExecutor::new(spec.clone())
+            .unwrap()
+            .with_shard(Shard { index, of: 2 })
+            .unwrap()
+            .execute(|event| {
+                if let CampaignEvent::PointFinished(outcome) = &event {
+                    writer.record(outcome).unwrap();
+                }
+            })
+            .unwrap();
+        paths.push(path);
+    }
+
+    // Merge the checkpoint files in reverse order: point keys restore grid
+    // order, so the merged report and its CSV are byte-identical.
+    let reports: Vec<CampaignReport> = paths
+        .iter()
+        .rev()
+        .map(|path| CampaignReport {
+            name: spec.name.clone(),
+            outcomes: read_checkpoint(path).unwrap(),
+        })
+        .collect();
+    for path in &paths {
+        std::fs::remove_file(path).ok();
+    }
+    let merged = CampaignReport::merge(reports).unwrap();
+    assert_eq!(merged.outcomes, unsharded.outcomes);
+    assert_eq!(merged.to_csv_string(), unsharded.to_csv_string());
+    assert_eq!(merged.to_json(), unsharded.to_json());
+}
+
+#[test]
+fn interrupted_runs_resume_from_their_checkpoint() {
+    let spec = grid();
+    let path = scratch("resume");
+
+    // "Interrupted" run: only shard 0/2 completed before the kill.
+    let mut writer = CheckpointWriter::create(&path).unwrap();
+    CampaignExecutor::new(spec.clone())
+        .unwrap()
+        .with_shard(Shard { index: 0, of: 2 })
+        .unwrap()
+        .execute(|event| {
+            if let CampaignEvent::PointFinished(outcome) = &event {
+                writer.record(outcome).unwrap();
+            }
+        })
+        .unwrap();
+    drop(writer);
+
+    // Resume over the full grid: the two recovered points replay from the
+    // checkpoint, only the two missing points execute.
+    let recovered = read_checkpoint(&path).unwrap();
+    std::fs::remove_file(&path).ok();
+    assert_eq!(recovered.len(), 2);
+    let resumed = CampaignExecutor::new(spec.clone())
+        .unwrap()
+        .resume_from(recovered);
+    assert_eq!(resumed.total(), 4);
+    assert_eq!(resumed.pending_points().len(), 2);
+
+    let report = resumed.execute(|_| {}).unwrap();
+    assert_eq!(report.to_csv_string(), spec.run().unwrap().to_csv_string());
+}
+
+#[test]
+fn merging_reports_from_different_specs_is_rejected() {
+    let spec = grid();
+    let mut other = grid();
+    other.ambients_k = vec![350.0];
+
+    let half = CampaignExecutor::new(spec)
+        .unwrap()
+        .with_shard(Shard { index: 0, of: 2 })
+        .unwrap()
+        .execute(|_| {})
+        .unwrap();
+    let foreign = other.run().unwrap();
+    assert!(CampaignReport::merge([half, foreign]).is_err());
+}

@@ -1,0 +1,138 @@
+//! Hammer-pulse throughput per backend on the paper-scale 64×64 array.
+//!
+//! Times how many (pulse + idle-gap) hammer cycles per second each
+//! [`BackendKind`] sustains, prints a comparison and records it in
+//! `BENCH_backends.json` at the workspace root. The struct-of-arrays
+//! batched engine must beat the scalar pulse engine by ≥3× here — this is
+//! the hot-path acceptance gate of the batched-backend refactor, asserted
+//! at the end so a regression fails `cargo bench`.
+//!
+//! The MNA-backed detailed engine is timed on a 16×16 array instead (its
+//! per-sub-step circuit solve makes 64×64 transients take hours — that
+//! fidelity tier exists for small-array validation, not campaigns); its
+//! entry in the JSON names its own array size.
+
+use std::time::Instant;
+
+use criterion::{black_box, BatchSize, Criterion};
+use neurohammer::campaign::json::Json;
+use rram_crossbar::{BackendKind, CellAddress, CrosstalkHub, EngineConfig, HammerBackend};
+use rram_jart::{DeviceParams, DigitalState};
+use rram_units::{Seconds, Volts};
+
+const ROWS: usize = 64;
+const COLS: usize = 64;
+/// Array edge for the detailed (MNA) engine's separate measurement.
+const DETAILED_EDGE: usize = 16;
+/// 50 ns pulse + 50 ns gap, the campaign default duty cycle.
+const PULSE: Seconds = Seconds(50e-9);
+
+fn build(kind: BackendKind, rows: usize, cols: usize) -> Box<dyn HammerBackend> {
+    let hub = CrosstalkHub::two_ring(rows, cols, 0.15, Seconds(30e-9));
+    kind.build(
+        rows,
+        cols,
+        DeviceParams::default(),
+        hub,
+        EngineConfig::default(),
+    )
+}
+
+/// Applies `pulses` hammer cycles to the array-centre aggressor.
+fn hammer(engine: &mut dyn HammerBackend, pulses: usize) {
+    let aggressor = CellAddress::new(engine.rows() / 2, engine.cols() / 2);
+    engine.force_state(aggressor, DigitalState::Lrs);
+    for _ in 0..pulses {
+        engine.apply_pulse(aggressor, Volts(1.05), PULSE);
+        engine.idle(PULSE);
+    }
+    black_box(engine.thermal_readout(aggressor));
+}
+
+/// Sustained hammer throughput of one backend, in pulses per second
+/// (engine construction is excluded).
+fn pulses_per_second(kind: BackendKind, rows: usize, cols: usize, pulses: usize) -> f64 {
+    let mut engine = build(kind, rows, cols);
+    let start = Instant::now();
+    hammer(engine.as_mut(), pulses);
+    pulses as f64 / start.elapsed().as_secs_f64()
+}
+
+fn main() {
+    // Criterion-style per-burst timings (one warm-up + two samples each).
+    let mut criterion = Criterion::default();
+    let mut group = criterion.benchmark_group("backend_throughput_64x64");
+    group.sample_size(2);
+    for (name, kind, pulses) in [
+        ("pulse", BackendKind::Pulse, 1),
+        ("batched", BackendKind::Batched, 8),
+    ] {
+        group.bench_function(format!("{name}_{pulses}_hammer_pulses"), |b| {
+            b.iter_batched(
+                || build(kind, ROWS, COLS),
+                |mut engine| hammer(engine.as_mut(), pulses),
+                BatchSize::LargeInput,
+            )
+        });
+    }
+    group.finish();
+
+    // The recorded comparison: sustained pulses/sec per backend.
+    let pulse_pps = pulses_per_second(BackendKind::Pulse, ROWS, COLS, 3);
+    let batched_pps = pulses_per_second(BackendKind::Batched, ROWS, COLS, 60);
+    let detailed_pps = pulses_per_second(BackendKind::detailed(), DETAILED_EDGE, DETAILED_EDGE, 2);
+    let speedup = batched_pps / pulse_pps;
+
+    println!("\nbackend throughput (50 ns pulse + 50 ns gap):");
+    println!(
+        "  {:>8}: {pulse_pps:10.2} pulses/s on {ROWS}x{COLS}",
+        "pulse"
+    );
+    println!(
+        "  {:>8}: {batched_pps:10.2} pulses/s on {ROWS}x{COLS}",
+        "batched"
+    );
+    println!(
+        "  {:>8}: {detailed_pps:10.2} pulses/s on {DETAILED_EDGE}x{DETAILED_EDGE}",
+        "detailed"
+    );
+    println!("  batched/pulse speedup: {speedup:.1}x");
+
+    let backend_entry = |array: String, pps: f64| {
+        Json::Object(vec![
+            ("array".into(), Json::String(array)),
+            ("pulses_per_second".into(), Json::Number(pps)),
+        ])
+    };
+    let report = Json::Object(vec![
+        ("pulse_ns".into(), Json::Number(PULSE.0 * 1e9)),
+        ("gap_ns".into(), Json::Number(PULSE.0 * 1e9)),
+        (
+            "backends".into(),
+            Json::Object(vec![
+                (
+                    "pulse".into(),
+                    backend_entry(format!("{ROWS}x{COLS}"), pulse_pps),
+                ),
+                (
+                    "batched".into(),
+                    backend_entry(format!("{ROWS}x{COLS}"), batched_pps),
+                ),
+                (
+                    "detailed".into(),
+                    backend_entry(format!("{DETAILED_EDGE}x{DETAILED_EDGE}"), detailed_pps),
+                ),
+            ]),
+        ),
+        ("batched_over_pulse_speedup".into(), Json::Number(speedup)),
+    ]);
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_backends.json");
+    std::fs::write(path, format!("{report}\n")).expect("cannot write BENCH_backends.json");
+    println!("  recorded in {path}");
+
+    assert!(
+        speedup >= 3.0,
+        "batched backend must sustain >=3x the pulse backend's throughput \
+         on a {ROWS}x{COLS} array, measured {speedup:.2}x"
+    );
+}

@@ -2,9 +2,9 @@
 //!
 //! A [`CampaignSpec`] describes a *grid* of NeuroHammer attacks — the
 //! cartesian product of array sizes × attack patterns × hammer amplitudes ×
-//! pulse lengths × electrode spacings × ambient temperatures × simulation
-//! backends — as plain data that can be stored next to the figures it
-//! reproduces (see [`CampaignSpec::to_json`]).
+//! pulse lengths × electrode spacings × ambient temperatures × write
+//! schemes × simulation backends — as plain data that can be stored next to
+//! the figures it reproduces (see [`CampaignSpec::to_json`]).
 //!
 //! Execution is the job of the streaming [`CampaignExecutor`]: it validates
 //! the grid once, partitions the deterministic point list by an explicit
@@ -69,7 +69,7 @@ use rram_crossbar::{
     BackendKind, CellAddress, CrosstalkHub, EngineConfig, HammerBackend, WiringParasitics,
     WriteScheme,
 };
-use rram_fem::alpha::{extract_alpha, AlphaConfig};
+use rram_fem::alpha::{extract_alpha_cached, AlphaConfig};
 use rram_fem::{AlphaError, AlphaMatrix, CrossbarGeometry};
 use rram_jart::current::solve_operating_point;
 use rram_jart::DeviceParams;
@@ -135,6 +135,9 @@ pub struct CampaignSpec {
     pub spacings_nm: Vec<f64>,
     /// Ambient temperatures, K.
     pub ambients_k: Vec<f64>,
+    /// Write/bias schemes to hammer under (the paper's main experiment uses
+    /// V/2; sweeping V/3 quantifies the scheme's disturb margin).
+    pub schemes: Vec<WriteScheme>,
     /// Simulation backends to run each point on.
     pub backends: Vec<BackendKind>,
     /// Thermal-coupling source.
@@ -159,6 +162,7 @@ impl Default for CampaignSpec {
             pulse_lengths_ns: vec![50.0],
             spacings_nm: vec![50.0],
             ambients_k: vec![300.0],
+            schemes: vec![WriteScheme::HalfVoltage],
             backends: vec![BackendKind::Pulse],
             coupling: CouplingSpec::Uniform { nearest: 0.15 },
             tau_ns: 30.0,
@@ -188,6 +192,8 @@ pub struct CampaignPoint {
     pub spacing_nm: f64,
     /// Ambient temperature.
     pub ambient: Kelvin,
+    /// Write/bias scheme hammer pulses are applied under.
+    pub scheme: WriteScheme,
     /// Simulation backend.
     pub backend: BackendKind,
 }
@@ -225,19 +231,24 @@ pub enum CampaignAxis {
     Spacing,
     /// Ambient temperature in kelvin.
     Ambient,
-    /// Simulation backend (parameter value: 0 = pulse, 1 = detailed).
+    /// Write scheme (parameter value: index in
+    /// [`rram_crossbar::WriteScheme::ALL`]).
+    Scheme,
+    /// Simulation backend (parameter value: 0 = pulse, 1 = detailed,
+    /// 2 = batched).
     Backend,
 }
 
 impl CampaignAxis {
     /// All axes, in the column order reports use.
-    pub const ALL: [CampaignAxis; 7] = [
+    pub const ALL: [CampaignAxis; 8] = [
         CampaignAxis::ArraySize,
         CampaignAxis::Pattern,
         CampaignAxis::Amplitude,
         CampaignAxis::PulseLength,
         CampaignAxis::Spacing,
         CampaignAxis::Ambient,
+        CampaignAxis::Scheme,
         CampaignAxis::Backend,
     ];
 }
@@ -252,9 +263,11 @@ impl CampaignPoint {
             CampaignAxis::PulseLength => self.pulse_length.0 * 1e9,
             CampaignAxis::Spacing => self.spacing_nm,
             CampaignAxis::Ambient => self.ambient.0,
+            CampaignAxis::Scheme => self.scheme.index() as f64,
             CampaignAxis::Backend => match self.backend {
                 BackendKind::Pulse => 0.0,
                 BackendKind::Detailed(_) => 1.0,
+                BackendKind::Batched => 2.0,
             },
         }
     }
@@ -268,6 +281,11 @@ impl CampaignPoint {
             CampaignAxis::PulseLength => format!("{:.0} ns", self.pulse_length.0 * 1e9),
             CampaignAxis::Spacing => format!("{:.0} nm", self.spacing_nm),
             CampaignAxis::Ambient => format!("{:.0} K", self.ambient.0),
+            CampaignAxis::Scheme => match self.scheme {
+                WriteScheme::HalfVoltage => "V/2".to_string(),
+                WriteScheme::ThirdVoltage => "V/3".to_string(),
+                WriteScheme::GroundedUnselected => "grounded".to_string(),
+            },
             CampaignAxis::Backend => self.backend.label().to_string(),
         }
     }
@@ -302,6 +320,7 @@ impl CampaignPoint {
                 p.segment_resistance.0.to_bits(),
                 p.driver_resistance.0.to_bits(),
             ),
+            BackendKind::Batched => (2, 0, 0),
         };
         fnv1a_words(&[
             self.rows as u64,
@@ -311,6 +330,7 @@ impl CampaignPoint {
             self.pulse_length.0.to_bits(),
             self.spacing_nm.to_bits(),
             self.ambient.0.to_bits(),
+            self.scheme.index() as u64,
             backend_tag,
             segment_bits,
             driver_bits,
@@ -464,6 +484,7 @@ impl CampaignSpec {
             * self.pulse_lengths_ns.len()
             * self.spacings_nm.len()
             * self.ambients_k.len()
+            * self.schemes.len()
             * self.backends.len()
     }
 
@@ -473,13 +494,14 @@ impl CampaignSpec {
     ///
     /// Returns the first [`CampaignError`] found.
     pub fn validate(&self) -> Result<(), CampaignError> {
-        let axes: [(&'static str, bool); 7] = [
+        let axes: [(&'static str, bool); 8] = [
             ("array_sizes", self.array_sizes.is_empty()),
             ("patterns", self.patterns.is_empty()),
             ("amplitudes_v", self.amplitudes_v.is_empty()),
             ("pulse_lengths_ns", self.pulse_lengths_ns.is_empty()),
             ("spacings_nm", self.spacings_nm.is_empty()),
             ("ambients_k", self.ambients_k.is_empty()),
+            ("schemes", self.schemes.is_empty()),
             ("backends", self.backends.is_empty()),
         ];
         for (name, empty) in axes {
@@ -529,17 +551,20 @@ impl CampaignSpec {
                     for &length_ns in &self.pulse_lengths_ns {
                         for &spacing in &self.spacings_nm {
                             for &ambient in &self.ambients_k {
-                                for &backend in &self.backends {
-                                    points.push(CampaignPoint {
-                                        rows,
-                                        cols,
-                                        pattern,
-                                        amplitude: Volts(amplitude),
-                                        pulse_length: Seconds(length_ns * 1e-9),
-                                        spacing_nm: spacing,
-                                        ambient: Kelvin(ambient),
-                                        backend,
-                                    });
+                                for &scheme in &self.schemes {
+                                    for &backend in &self.backends {
+                                        points.push(CampaignPoint {
+                                            rows,
+                                            cols,
+                                            pattern,
+                                            amplitude: Volts(amplitude),
+                                            pulse_length: Seconds(length_ns * 1e-9),
+                                            spacing_nm: spacing,
+                                            ambient: Kelvin(ambient),
+                                            scheme,
+                                            backend,
+                                        });
+                                    }
                                 }
                             }
                         }
@@ -649,7 +674,7 @@ impl CampaignSpec {
                         selected: (point.rows / 2, point.cols / 2),
                         powers: vec![Watts(0.25 * p), Watts(0.5 * p), Watts(0.75 * p), Watts(p)],
                     };
-                    extract_alpha(&geometry, &config)?.alpha
+                    extract_alpha_cached(&geometry, &config)?.alpha
                 }
             };
             couplings.insert(key, alpha);
@@ -666,7 +691,7 @@ impl CampaignSpec {
     ) -> Box<dyn HammerBackend> {
         let hub = CrosstalkHub::new(point.rows, point.cols, alpha, Seconds(self.tau_ns * 1e-9));
         let config = EngineConfig {
-            scheme: WriteScheme::HalfVoltage,
+            scheme: point.scheme,
             v_write: point.amplitude,
             max_substep: Seconds(10e-9),
             ambient: point.ambient,
@@ -756,6 +781,15 @@ impl CampaignSpec {
             ("spacings_nm".into(), numbers(&self.spacings_nm)),
             ("ambients_k".into(), numbers(&self.ambients_k)),
             (
+                "schemes".into(),
+                Json::Array(
+                    self.schemes
+                        .iter()
+                        .map(|s| Json::String(s.label().into()))
+                        .collect(),
+                ),
+            ),
+            (
                 "backends".into(),
                 Json::Array(self.backends.iter().map(backend_to_json).collect()),
             ),
@@ -841,6 +875,20 @@ impl CampaignSpec {
                 "pulse_lengths_ns" => spec.pulse_lengths_ns = number_list(key, value)?,
                 "spacings_nm" => spec.spacings_nm = number_list(key, value)?,
                 "ambients_k" => spec.ambients_k = number_list(key, value)?,
+                "schemes" => {
+                    let schemes = value
+                        .as_array()
+                        .ok_or_else(|| bad(key, "an array of scheme labels"))?;
+                    spec.schemes = schemes
+                        .iter()
+                        .map(|s| {
+                            s.as_str()
+                                .ok_or_else(|| bad(key, "an array of scheme labels"))?
+                                .parse::<WriteScheme>()
+                                .map_err(CampaignError::Json)
+                        })
+                        .collect::<Result<_, CampaignError>>()?;
+                }
                 "backends" => {
                     let backends = value
                         .as_array()
@@ -907,6 +955,7 @@ impl CampaignSpec {
 fn backend_to_json(backend: &BackendKind) -> Json {
     match backend {
         BackendKind::Pulse => Json::String("pulse".into()),
+        BackendKind::Batched => Json::String("batched".into()),
         BackendKind::Detailed(parasitics) => {
             if *parasitics == WiringParasitics::default() {
                 Json::String("detailed".into())
@@ -1044,6 +1093,7 @@ impl CampaignReport {
             "pulse len",
             "spacing",
             "ambient",
+            "scheme",
             "# pulses to bit-flip",
             "victim drift",
         ]);
@@ -1057,6 +1107,7 @@ impl CampaignReport {
                 p.axis_label(CampaignAxis::PulseLength),
                 p.axis_label(CampaignAxis::Spacing),
                 p.axis_label(CampaignAxis::Ambient),
+                p.axis_label(CampaignAxis::Scheme),
                 if outcome.flipped {
                     outcome.pulses.to_string()
                 } else {
@@ -1089,6 +1140,7 @@ impl CampaignReport {
                     format!("{}", p.pulse_length.0 * 1e9),
                     format!("{}", p.spacing_nm),
                     format!("{}", p.ambient.0),
+                    p.scheme.label().to_string(),
                     outcome.flipped.to_string(),
                     outcome.pulses.to_string(),
                     format!("{}", outcome.victim_drift),
@@ -1108,6 +1160,7 @@ impl CampaignReport {
                 "pulse_length_ns",
                 "spacing_nm",
                 "ambient_k",
+                "scheme",
                 "flipped",
                 "pulses",
                 "victim_drift",
@@ -1340,6 +1393,73 @@ mod tests {
         let spec = CampaignSpec::from_json(r#"{"name": "partial"}"#).unwrap();
         assert_eq!(spec.name, "partial");
         assert_eq!(spec.array_sizes, CampaignSpec::default().array_sizes);
+    }
+
+    #[test]
+    fn scheme_axis_round_trips_and_groups() {
+        let spec = CampaignSpec {
+            name: "scheme sweep".into(),
+            schemes: vec![WriteScheme::HalfVoltage, WriteScheme::ThirdVoltage],
+            max_pulses: 2_000,
+            batching: false,
+            ..CampaignSpec::default()
+        };
+        // JSON round trip preserves the scheme axis.
+        let text = spec.to_json();
+        assert!(
+            text.contains("\"half\"") && text.contains("\"third\""),
+            "{text}"
+        );
+        let restored = CampaignSpec::from_json(&text).unwrap();
+        assert_eq!(restored, spec);
+
+        let report = spec.run().unwrap();
+        assert_eq!(report.outcomes.len(), 2);
+        // Report grouping: sweeping the scheme axis yields one series holding
+        // both schemes, labelled V/2 and V/3.
+        let series = report.series_over(CampaignAxis::Scheme);
+        assert_eq!(series.len(), 1);
+        let labels: Vec<&str> = series[0].points.iter().map(|p| p.label.as_str()).collect();
+        assert_eq!(labels, vec!["V/2", "V/3"]);
+        // V/3 half-select stress is much weaker than V/2, so the victim
+        // drifts less under the third-voltage scheme.
+        let drift = |scheme: WriteScheme| {
+            report
+                .outcomes
+                .iter()
+                .find(|o| o.point.scheme == scheme)
+                .expect("scheme present")
+                .victim_drift
+        };
+        assert!(
+            drift(WriteScheme::HalfVoltage) > drift(WriteScheme::ThirdVoltage),
+            "V/2 {} vs V/3 {}",
+            drift(WriteScheme::HalfVoltage),
+            drift(WriteScheme::ThirdVoltage)
+        );
+        // The CSV gains a scheme column.
+        assert!(report
+            .to_csv_string()
+            .lines()
+            .next()
+            .unwrap()
+            .contains("scheme"));
+    }
+
+    #[test]
+    fn batched_backend_round_trips_and_runs() {
+        let spec = CampaignSpec {
+            name: "batched".into(),
+            backends: vec![BackendKind::Batched],
+            max_pulses: 150_000,
+            ..CampaignSpec::default()
+        };
+        let restored = CampaignSpec::from_json(&spec.to_json()).unwrap();
+        assert_eq!(restored, spec);
+        let report = spec.run().unwrap();
+        assert_eq!(report.outcomes.len(), 1);
+        assert!(report.outcomes[0].flipped, "{report:?}");
+        assert!(report.to_table().to_string().contains("batched"));
     }
 
     #[test]

@@ -20,6 +20,7 @@ use super::{
     CampaignReport, PointKey,
 };
 use crate::pattern::AttackPattern;
+use rram_crossbar::WriteScheme;
 use rram_units::{Kelvin, Seconds, Volts};
 
 /// A parsed JSON value.
@@ -530,6 +531,7 @@ fn point_to_json(point: &CampaignPoint) -> Json {
         ("pulse_length_s".into(), Json::Number(point.pulse_length.0)),
         ("spacing_nm".into(), Json::Number(point.spacing_nm)),
         ("ambient_k".into(), Json::Number(point.ambient.0)),
+        ("scheme".into(), Json::String(point.scheme.label().into())),
     ])
 }
 
@@ -549,6 +551,9 @@ fn point_from_json(value: &Json) -> Result<CampaignPoint, CampaignError> {
         pulse_length: Seconds(required_f64(value, "pulse_length_s")?),
         spacing_nm: required_f64(value, "spacing_nm")?,
         ambient: Kelvin(required_f64(value, "ambient_k")?),
+        scheme: required_str(value, "scheme")?
+            .parse::<WriteScheme>()
+            .map_err(CampaignError::Json)?,
         backend,
     })
 }
@@ -742,6 +747,7 @@ mod tests {
             pulse_length: Seconds(50.0 * 1e-9),
             spacing_nm: 50.0,
             ambient: Kelvin(300.0),
+            scheme: WriteScheme::ThirdVoltage,
             backend: BackendKind::Detailed(WiringParasitics {
                 segment_resistance: Ohms(123.456),
                 driver_resistance: Ohms(789.0),

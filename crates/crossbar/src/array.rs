@@ -1,17 +1,28 @@
 //! The passive memristive crossbar array: a grid of VCM cells.
+//!
+//! Since the struct-of-arrays refactor the array no longer stores one
+//! `JartDevice` per cell; the whole grid's state lives in a single
+//! [`CellBank`] (row-major lane order) shared with the integration kernel,
+//! and [`CrossbarArray::cell`]/[`CrossbarArray::cell_mut`] hand out borrowed
+//! [`CellRef`]/[`CellMut`] views with the familiar per-device method
+//! surface. Engines that want the whole array at once go through
+//! [`CrossbarArray::bank`]/[`CrossbarArray::bank_mut`] and
+//! [`rram_jart::kernel::step_lanes`].
 
 use serde::{Deserialize, Serialize};
 
 use crate::scheme::CellAddress;
-use rram_jart::{DeviceParams, DigitalState, JartDevice};
-use rram_units::{Kelvin, Ohms, Volts};
+use rram_jart::{CellBank, CellMut, CellRef, DeviceParams, DigitalState};
+use rram_units::{Ohms, Volts};
 
-/// A rows × cols array of memristive cells.
+/// A rows × cols array of memristive cells backed by one
+/// struct-of-arrays [`CellBank`] (row-major).
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct CrossbarArray {
     rows: usize,
     cols: usize,
-    cells: Vec<JartDevice>,
+    params: DeviceParams,
+    bank: CellBank,
 }
 
 impl CrossbarArray {
@@ -22,17 +33,20 @@ impl CrossbarArray {
     /// Panics if `rows` or `cols` is zero.
     pub fn new(rows: usize, cols: usize, params: DeviceParams) -> Self {
         assert!(rows > 0 && cols > 0, "array must have at least one cell");
-        let cells = (0..rows * cols)
-            .map(|_| JartDevice::new(params.clone()))
-            .collect();
-        CrossbarArray { rows, cols, cells }
+        let bank = CellBank::new(rows * cols, &params);
+        CrossbarArray {
+            rows,
+            cols,
+            params,
+            bank,
+        }
     }
 
     /// Creates an array and initialises every cell to the given state.
     pub fn filled(rows: usize, cols: usize, params: DeviceParams, state: DigitalState) -> Self {
         let mut array = CrossbarArray::new(rows, cols, params);
-        for cell in &mut array.cells {
-            cell.force_state(state);
+        for lane in 0..array.bank.lanes() {
+            array.bank.force_state(lane, state, &array.params);
         }
         array
     }
@@ -49,13 +63,29 @@ impl CrossbarArray {
 
     /// Total number of cells.
     pub fn len(&self) -> usize {
-        self.cells.len()
+        self.bank.lanes()
     }
 
     /// Returns `true` if the array has no cells (never true for a
     /// constructed array).
     pub fn is_empty(&self) -> bool {
-        self.cells.is_empty()
+        self.bank.lanes() == 0
+    }
+
+    /// The device parameters shared by every cell.
+    pub fn params(&self) -> &DeviceParams {
+        &self.params
+    }
+
+    /// The struct-of-arrays state bank (row-major lane order).
+    pub fn bank(&self) -> &CellBank {
+        &self.bank
+    }
+
+    /// Mutable access to the state bank, for engines that integrate all
+    /// cells in one [`rram_jart::kernel::step_lanes`] call.
+    pub fn bank_mut(&mut self) -> &mut CellBank {
+        &mut self.bank
     }
 
     fn index(&self, address: CellAddress) -> usize {
@@ -68,45 +98,56 @@ impl CrossbarArray {
         address.row * self.cols + address.col
     }
 
-    /// Immutable access to a cell.
+    /// Read-only view of a cell.
     ///
     /// # Panics
     ///
     /// Panics if the address is out of range.
-    pub fn cell(&self, address: CellAddress) -> &JartDevice {
-        &self.cells[self.index(address)]
+    pub fn cell(&self, address: CellAddress) -> CellRef<'_> {
+        let lane = self.index(address);
+        CellRef::new(&self.params, &self.bank, lane)
     }
 
-    /// Mutable access to a cell.
+    /// Mutable view of a cell.
     ///
     /// # Panics
     ///
     /// Panics if the address is out of range.
-    pub fn cell_mut(&mut self, address: CellAddress) -> &mut JartDevice {
-        let idx = self.index(address);
-        &mut self.cells[idx]
+    pub fn cell_mut(&mut self, address: CellAddress) -> CellMut<'_> {
+        let lane = self.index(address);
+        CellMut::new(&self.params, &mut self.bank, lane)
     }
 
     /// Iterates over `(address, cell)` pairs in row-major order.
-    pub fn iter(&self) -> impl Iterator<Item = (CellAddress, &JartDevice)> {
-        self.cells
-            .iter()
-            .enumerate()
-            .map(move |(i, cell)| (CellAddress::new(i / self.cols, i % self.cols), cell))
+    pub fn iter(&self) -> impl Iterator<Item = (CellAddress, CellRef<'_>)> {
+        (0..self.bank.lanes()).map(move |lane| {
+            (
+                CellAddress::new(lane / self.cols, lane % self.cols),
+                CellRef::new(&self.params, &self.bank, lane),
+            )
+        })
     }
 
-    /// Iterates mutably over `(address, cell)` pairs in row-major order.
-    pub fn iter_mut(&mut self) -> impl Iterator<Item = (CellAddress, &mut JartDevice)> {
-        let cols = self.cols;
-        self.cells
-            .iter_mut()
-            .enumerate()
-            .map(move |(i, cell)| (CellAddress::new(i / cols, i % cols), cell))
+    /// Visits every cell mutably in row-major order (the struct-of-arrays
+    /// bank cannot hand out coexisting mutable per-cell views, so mutable
+    /// iteration takes a closure).
+    pub fn for_each_cell_mut(&mut self, mut f: impl FnMut(CellAddress, CellMut<'_>)) {
+        for lane in 0..self.bank.lanes() {
+            let address = CellAddress::new(lane / self.cols, lane % self.cols);
+            f(address, CellMut::new(&self.params, &mut self.bank, lane));
+        }
     }
 
     /// Digital read-out of the whole array, row-major.
     pub fn read_all(&self) -> Vec<DigitalState> {
-        self.cells.iter().map(|c| c.digital_state()).collect()
+        self.bank.digital().to_vec()
+    }
+
+    /// Digital read-out of the whole array into a caller-owned buffer
+    /// (cleared first), so hot loops reuse their allocation.
+    pub fn read_all_into(&self, out: &mut Vec<DigitalState>) {
+        out.clear();
+        out.extend_from_slice(self.bank.digital());
     }
 
     /// Digital state of one cell.
@@ -120,12 +161,22 @@ impl CrossbarArray {
     }
 
     /// Exported filament temperatures of all cells, row-major (the hub's
-    /// input vector).
+    /// input vector) — a direct borrow of the bank's temperature lane, so
+    /// reading it costs nothing.
+    pub fn temperatures(&self) -> &[f64] {
+        self.bank.temperatures()
+    }
+
+    /// Exported filament temperatures of all cells as an owned vector.
     pub fn exported_temperatures(&self) -> Vec<f64> {
-        self.cells
-            .iter()
-            .map(|c| c.exported_temperature().0)
-            .collect()
+        self.bank.temperatures().to_vec()
+    }
+
+    /// Exported filament temperatures into a caller-owned buffer (cleared
+    /// first), so hot loops reuse their allocation.
+    pub fn exported_temperatures_into(&self, out: &mut Vec<f64>) {
+        out.clear();
+        out.extend_from_slice(self.bank.temperatures());
     }
 
     /// Writes the crosstalk ΔT of every cell from a row-major slice.
@@ -134,10 +185,18 @@ impl CrossbarArray {
     ///
     /// Panics if the slice length does not match the cell count.
     pub fn import_crosstalk(&mut self, deltas: &[f64]) {
-        assert_eq!(deltas.len(), self.cells.len(), "delta length mismatch");
-        for (cell, &dt) in self.cells.iter_mut().zip(deltas.iter()) {
-            cell.set_crosstalk_delta(Kelvin(dt));
-        }
+        self.bank.import_crosstalk(deltas);
+    }
+
+    /// Integrates every cell by `dt` under its per-cell voltage (row-major)
+    /// in one kernel call — the batched engine's hot path.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `voltages.len()` does not match the cell count or `dt` is
+    /// negative.
+    pub fn step_lanes(&mut self, voltages: &[f64], dt: rram_units::Seconds) {
+        rram_jart::kernel::step_lanes(&self.params, voltages, &mut self.bank.view_mut(), dt);
     }
 
     /// Number of cells whose digital state differs from `reference`
@@ -149,10 +208,11 @@ impl CrossbarArray {
     pub fn count_differences(&self, reference: &[DigitalState]) -> usize {
         assert_eq!(
             reference.len(),
-            self.cells.len(),
+            self.bank.lanes(),
             "reference length mismatch"
         );
-        self.read_all()
+        self.bank
+            .digital()
             .iter()
             .zip(reference.iter())
             .filter(|(a, b)| a != b)
@@ -167,10 +227,11 @@ impl CrossbarArray {
     pub fn changed_cells(&self, reference: &[DigitalState]) -> Vec<CellAddress> {
         assert_eq!(
             reference.len(),
-            self.cells.len(),
+            self.bank.lanes(),
             "reference length mismatch"
         );
-        self.read_all()
+        self.bank
+            .digital()
             .iter()
             .zip(reference.iter())
             .enumerate()
@@ -223,6 +284,13 @@ mod tests {
     }
 
     #[test]
+    fn for_each_cell_mut_visits_every_cell() {
+        let mut a = array();
+        a.for_each_cell_mut(|_, mut cell| cell.force_state(DigitalState::Lrs));
+        assert!(a.read_all().iter().all(|&s| s == DigitalState::Lrs));
+    }
+
+    #[test]
     fn count_differences_detects_flips() {
         let mut a = array();
         let reference = a.read_all();
@@ -247,6 +315,20 @@ mod tests {
         a.import_crosstalk(&deltas);
         assert_eq!(a.cell(CellAddress::new(1, 1)).crosstalk_delta().0, 42.0);
         assert_eq!(a.cell(CellAddress::new(0, 0)).crosstalk_delta().0, 0.0);
+    }
+
+    #[test]
+    fn into_variants_reuse_buffers() {
+        let mut a = array();
+        a.cell_mut(CellAddress::new(0, 0))
+            .force_state(DigitalState::Lrs);
+        let mut temps = Vec::new();
+        a.exported_temperatures_into(&mut temps);
+        assert_eq!(temps, a.exported_temperatures());
+        let mut states = vec![DigitalState::Lrs; 99]; // stale garbage
+        a.read_all_into(&mut states);
+        assert_eq!(states, a.read_all());
+        assert_eq!(a.temperatures().len(), 12);
     }
 
     #[test]

@@ -1,16 +1,17 @@
 //! The [`HammerBackend`] abstraction: one interface over every crossbar
 //! simulation engine.
 //!
-//! The workspace ships two engines with very different cost/fidelity
-//! trade-offs — the fast ideal-driver [`crate::engine::PulseEngine`] and the
-//! MNA-backed [`crate::detailed::DetailedCrossbar`] — and the attack layer
+//! The workspace ships three engines with different cost/fidelity
+//! trade-offs — the scalar ideal-driver [`crate::engine::PulseEngine`], the
+//! struct-of-arrays [`crate::batched::BatchedEngine`] and the MNA-backed
+//! [`crate::detailed::DetailedCrossbar`] — and the attack layer
 //! (`neurohammer`) should not care which one it is driving. `HammerBackend`
 //! captures exactly what a hammering campaign needs from an engine: pulse
 //! application, idling, digital and analogue cell read-out, a thermal
 //! snapshot per cell, crosstalk-hub access and a whole-array reset. Every
 //! attack driver, countermeasure evaluation, scenario and campaign in
-//! `neurohammer` is generic over this trait, so adding a third engine (e.g. a
-//! GPU batch backend) only requires implementing it here.
+//! `neurohammer` is generic over this trait, so adding a fourth engine
+//! (e.g. a GPU backend) only requires implementing it here.
 //!
 //! [`BackendKind`] is the declarative, serialisable selector used by campaign
 //! specifications to choose an engine at runtime.
@@ -25,7 +26,7 @@
 //! use rram_jart::{DeviceParams, DigitalState};
 //! use rram_units::{Seconds, Volts};
 //!
-//! for kind in [BackendKind::Pulse, BackendKind::detailed()] {
+//! for kind in [BackendKind::Pulse, BackendKind::Batched, BackendKind::detailed()] {
 //!     let hub = CrosstalkHub::uniform(3, 3, 0.15, 0.075, 0.0375, Seconds(30e-9));
 //!     let mut backend = kind.build(3, 3, DeviceParams::default(), hub,
 //!                                  EngineConfig::default());
@@ -163,10 +164,35 @@ pub trait HammerBackend {
 }
 
 /// Declarative backend selector used by campaign specifications.
+///
+/// # Examples
+///
+/// `Batched` is selected from campaign JSON by its `"batched"` label and
+/// runs the struct-of-arrays engine:
+///
+/// ```
+/// use rram_crossbar::{BackendKind, CellAddress, CrosstalkHub, EngineConfig, WriteScheme};
+/// use rram_jart::{DeviceParams, DigitalState};
+/// use rram_units::{Seconds, Volts};
+///
+/// let kind: BackendKind = "batched".parse().unwrap();
+/// assert_eq!(kind, BackendKind::Batched);
+/// let hub = CrosstalkHub::two_ring(5, 5, 0.15, Seconds(30e-9));
+/// let mut engine = kind.build(5, 5, DeviceParams::default(), hub,
+///                             EngineConfig::default());
+/// let aggressor = CellAddress::new(2, 2);
+/// engine.force_state(aggressor, DigitalState::Lrs);
+/// engine.apply_pulse(aggressor, Volts(1.05), Seconds(50e-9));
+/// assert!(engine.thermal_readout(CellAddress::new(2, 1)).crosstalk.0 > 0.0);
+/// ```
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub enum BackendKind {
-    /// The fast ideal-driver [`PulseEngine`].
+    /// The scalar ideal-driver [`PulseEngine`].
     Pulse,
+    /// The struct-of-arrays [`crate::BatchedEngine`]: identical physics to
+    /// [`PulseEngine`], integrated one whole-array kernel call per sub-step
+    /// — the fast choice for large arrays and long campaigns.
+    Batched,
     /// The MNA-backed [`DetailedCrossbar`] with the given wiring parasitics.
     Detailed(WiringParasitics),
 }
@@ -177,10 +203,11 @@ impl BackendKind {
         BackendKind::Detailed(WiringParasitics::default())
     }
 
-    /// Short label used in reports ("pulse" / "detailed").
+    /// Short label used in reports ("pulse" / "batched" / "detailed").
     pub fn label(&self) -> &'static str {
         match self {
             BackendKind::Pulse => "pulse",
+            BackendKind::Batched => "batched",
             BackendKind::Detailed(_) => "detailed",
         }
     }
@@ -210,6 +237,10 @@ impl BackendKind {
                 let array = crate::array::CrossbarArray::new(rows, cols, params);
                 Box::new(PulseEngine::new(array, hub, config))
             }
+            BackendKind::Batched => {
+                let array = crate::array::CrossbarArray::new(rows, cols, params);
+                Box::new(crate::batched::BatchedEngine::new(array, hub, config))
+            }
             BackendKind::Detailed(parasitics) => Box::new(
                 DetailedCrossbar::new(rows, cols, params, *parasitics, hub, config.scheme)
                     .with_time_step(config.max_substep),
@@ -218,14 +249,15 @@ impl BackendKind {
     }
 }
 
-/// Parses a backend label as written in campaign JSON ("pulse" or
-/// "detailed"); the detailed backend gets default parasitics.
+/// Parses a backend label as written in campaign JSON ("pulse", "batched"
+/// or "detailed"); the detailed backend gets default parasitics.
 impl std::str::FromStr for BackendKind {
     type Err = String;
 
     fn from_str(s: &str) -> Result<Self, Self::Err> {
         match s {
             "pulse" => Ok(BackendKind::Pulse),
+            "batched" => Ok(BackendKind::Batched),
             "detailed" => Ok(BackendKind::detailed()),
             other => Err(format!("unknown backend kind {other:?}")),
         }
@@ -242,18 +274,22 @@ mod tests {
     }
 
     fn backends() -> Vec<Box<dyn HammerBackend>> {
-        [BackendKind::Pulse, BackendKind::detailed()]
-            .iter()
-            .map(|kind| {
-                kind.build(
-                    3,
-                    3,
-                    DeviceParams::default(),
-                    hub(),
-                    EngineConfig::default(),
-                )
-            })
-            .collect()
+        [
+            BackendKind::Pulse,
+            BackendKind::Batched,
+            BackendKind::detailed(),
+        ]
+        .iter()
+        .map(|kind| {
+            kind.build(
+                3,
+                3,
+                DeviceParams::default(),
+                hub(),
+                EngineConfig::default(),
+            )
+        })
+        .collect()
     }
 
     #[test]
@@ -313,7 +349,11 @@ mod tests {
 
     #[test]
     fn labels_and_parsing_agree() {
-        for kind in [BackendKind::Pulse, BackendKind::detailed()] {
+        for kind in [
+            BackendKind::Pulse,
+            BackendKind::Batched,
+            BackendKind::detailed(),
+        ] {
             let parsed: BackendKind = kind.label().parse().unwrap();
             assert_eq!(parsed.label(), kind.label());
         }

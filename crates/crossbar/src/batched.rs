@@ -1,0 +1,310 @@
+//! The batched (struct-of-arrays) pulse engine.
+//!
+//! [`BatchedEngine`] drives the same ideal-driver physics as
+//! [`crate::engine::PulseEngine`], but organises each sub-step around the
+//! array instead of the cell:
+//!
+//! 1. the write scheme's line biases are evaluated **once per pulse** into a
+//!    reused per-cell voltage buffer (they are constant while the bias is),
+//! 2. all cells integrate in a single [`rram_jart::kernel::step_lanes`] call
+//!    over the array's [`rram_jart::CellBank`] lanes,
+//! 3. crosstalk import/export moves lane-wise — the hub state is copied into
+//!    the bank's crosstalk lane and the bank's temperature lane is borrowed
+//!    straight back — and the hub advances through its scatter-based
+//!    [`crate::crosstalk::CrosstalkHub::update_batched`].
+//!
+//! No sub-step allocates, and the hub cost drops from `O(cells²)` to
+//! `O(cells · coupling-support)`, which is what makes 10²–10⁵-pulse
+//! campaigns on large arrays tractable. Because the integration kernel is
+//! shared with the scalar engine, per-cell trajectories are bit-identical to
+//! [`crate::engine::PulseEngine`]; only the hub's floating-point
+//! accumulation order differs. `tests/engine_agreement.rs` (workspace root)
+//! pins the Pulse↔Batched agreement across write schemes.
+
+use serde::{Deserialize, Serialize};
+
+use crate::array::CrossbarArray;
+use crate::backend::{HammerBackend, ThermalReadout};
+use crate::crosstalk::CrosstalkHub;
+use crate::engine::EngineConfig;
+use crate::scheme::CellAddress;
+use rram_jart::{DeviceParams, DigitalState};
+use rram_units::{Kelvin, Seconds, Volts};
+
+/// The batched ideal-driver engine: array + hub + scheme, integrated one
+/// whole-array kernel call per sub-step.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct BatchedEngine {
+    array: CrossbarArray,
+    hub: CrosstalkHub,
+    config: EngineConfig,
+    /// Simulated time elapsed, s.
+    elapsed: f64,
+    /// Reused per-cell voltage buffer (row-major), filled once per pulse.
+    voltages: Vec<f64>,
+}
+
+impl BatchedEngine {
+    /// Creates an engine around an existing array and hub.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the hub dimensions do not match the array.
+    pub fn new(array: CrossbarArray, hub: CrosstalkHub, config: EngineConfig) -> Self {
+        assert_eq!(array.rows(), hub.rows(), "row count mismatch");
+        assert_eq!(array.cols(), hub.cols(), "column count mismatch");
+        let cells = array.len();
+        BatchedEngine {
+            array,
+            hub,
+            config,
+            elapsed: 0.0,
+            voltages: vec![0.0; cells],
+        }
+    }
+
+    /// Convenience constructor: fresh HRS array with the given device
+    /// parameters and a synthetic uniform coupling profile.
+    pub fn with_uniform_coupling(
+        rows: usize,
+        cols: usize,
+        params: DeviceParams,
+        nearest_alpha: f64,
+        config: EngineConfig,
+    ) -> Self {
+        let array = CrossbarArray::new(rows, cols, params);
+        let hub = CrosstalkHub::two_ring(rows, cols, nearest_alpha, Seconds(30e-9));
+        BatchedEngine::new(array, hub, config)
+    }
+
+    /// The underlying array.
+    pub fn array(&self) -> &CrossbarArray {
+        &self.array
+    }
+
+    /// Mutable access to the array (initialisation, fault injection).
+    pub fn array_mut(&mut self) -> &mut CrossbarArray {
+        &mut self.array
+    }
+
+    /// Engine configuration.
+    pub fn config(&self) -> &EngineConfig {
+        &self.config
+    }
+
+    /// Advances the whole array by `duration` with the line bias produced by
+    /// selecting `selected` at amplitude `amplitude` (None = all lines
+    /// grounded / idle).
+    fn advance(&mut self, selected: Option<(CellAddress, Volts)>, duration: Seconds) {
+        let mut remaining = duration.0;
+        let substep = self.config.substep(selected.is_some());
+
+        // The line biases are constant for the whole advance: evaluate the
+        // scheme once into the reused voltage buffer.
+        self.voltages.clear();
+        match selected {
+            Some((address, amplitude)) => {
+                let bias = self.config.scheme.line_bias(
+                    self.array.rows(),
+                    self.array.cols(),
+                    address,
+                    amplitude,
+                );
+                for row in 0..self.array.rows() {
+                    for col in 0..self.array.cols() {
+                        self.voltages
+                            .push(bias.cell_voltage(CellAddress::new(row, col)).0);
+                    }
+                }
+            }
+            None => self.voltages.resize(self.array.len(), 0.0),
+        }
+
+        while remaining > 0.0 {
+            let dt = remaining.min(substep);
+            // Lane-wise crosstalk import, one kernel call over all lanes,
+            // lane-borrowed export — no per-sub-step allocation.
+            self.array.import_crosstalk(self.hub.deltas());
+            self.array.step_lanes(&self.voltages, Seconds(dt));
+            self.hub
+                .update_batched(self.array.temperatures(), self.config.ambient, Seconds(dt));
+            remaining -= dt;
+            self.elapsed += dt;
+        }
+    }
+
+    /// Applies one write pulse of the given length to `selected` using the
+    /// configured scheme and amplitude. Positive amplitude drives SET.
+    pub fn apply_pulse(&mut self, selected: CellAddress, amplitude: Volts, length: Seconds) {
+        self.advance(Some((selected, amplitude)), length);
+    }
+
+    /// Lets the array idle (all lines grounded) for `duration`; filaments
+    /// cool and the crosstalk state decays.
+    pub fn idle(&mut self, duration: Seconds) {
+        self.advance(None, duration);
+    }
+}
+
+impl HammerBackend for BatchedEngine {
+    fn label(&self) -> &'static str {
+        "batched"
+    }
+
+    fn rows(&self) -> usize {
+        self.array.rows()
+    }
+
+    fn cols(&self) -> usize {
+        self.array.cols()
+    }
+
+    fn apply_pulse(&mut self, selected: CellAddress, amplitude: Volts, length: Seconds) {
+        BatchedEngine::apply_pulse(self, selected, amplitude, length);
+    }
+
+    fn idle(&mut self, duration: Seconds) {
+        BatchedEngine::idle(self, duration);
+    }
+
+    fn read(&self, address: CellAddress) -> DigitalState {
+        self.array.read(address)
+    }
+
+    fn normalized_state(&self, address: CellAddress) -> f64 {
+        self.array.cell(address).normalized_state()
+    }
+
+    fn force_state(&mut self, address: CellAddress, state: DigitalState) {
+        self.array.cell_mut(address).force_state(state);
+    }
+
+    fn force_normalized_state(&mut self, address: CellAddress, normalized: f64) {
+        self.array
+            .cell_mut(address)
+            .force_normalized_state(normalized);
+    }
+
+    fn thermal_readout(&self, address: CellAddress) -> ThermalReadout {
+        let cell = self.array.cell(address);
+        ThermalReadout {
+            temperature: cell.temperature(),
+            crosstalk: cell.crosstalk_delta(),
+            normalized_state: cell.normalized_state(),
+        }
+    }
+
+    fn hub(&self) -> &CrosstalkHub {
+        &self.hub
+    }
+
+    fn hub_mut(&mut self) -> &mut CrosstalkHub {
+        &mut self.hub
+    }
+
+    fn elapsed(&self) -> Seconds {
+        Seconds(self.elapsed)
+    }
+
+    fn reset(&mut self) {
+        self.array.for_each_cell_mut(|_, mut cell| {
+            cell.force_state(DigitalState::Hrs);
+            cell.set_crosstalk_delta(Kelvin(0.0));
+        });
+        self.hub.reset();
+        self.elapsed = 0.0;
+    }
+
+    fn read_all(&self) -> Vec<DigitalState> {
+        self.array.read_all()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::PulseEngine;
+    use rram_units::SiExt;
+
+    fn engines() -> (PulseEngine, BatchedEngine) {
+        let pulse = PulseEngine::with_uniform_coupling(
+            5,
+            5,
+            DeviceParams::default(),
+            0.12,
+            EngineConfig::default(),
+        );
+        let batched = BatchedEngine::with_uniform_coupling(
+            5,
+            5,
+            DeviceParams::default(),
+            0.12,
+            EngineConfig::default(),
+        );
+        (pulse, batched)
+    }
+
+    #[test]
+    fn batched_burst_matches_the_scalar_engine_per_cell() {
+        let (mut pulse, mut batched) = engines();
+        let aggressor = CellAddress::new(2, 2);
+        for engine in [&mut pulse as &mut dyn HammerBackend, &mut batched] {
+            engine.force_state(aggressor, DigitalState::Lrs);
+            for _ in 0..10 {
+                engine.apply_pulse(aggressor, Volts(1.05), 50.0.ns());
+                engine.idle(50.0.ns());
+            }
+        }
+        assert_eq!(pulse.elapsed().0, HammerBackend::elapsed(&batched).0);
+        // Cell trajectories go through the identical kernel; only the hub's
+        // accumulation order differs, so states agree to float precision.
+        for (address, cell) in pulse.array().iter() {
+            let b = batched.array().cell(address);
+            let (a_n, b_n) = (cell.normalized_state(), b.normalized_state());
+            assert!(
+                (a_n - b_n).abs() < 1e-9 * a_n.abs().max(1e-9),
+                "{address:?}: {a_n} vs {b_n}"
+            );
+        }
+    }
+
+    #[test]
+    fn hammering_heats_the_neighbours() {
+        let (_, mut e) = engines();
+        let aggressor = CellAddress::new(2, 2);
+        e.array_mut()
+            .cell_mut(aggressor)
+            .force_state(DigitalState::Lrs);
+        for _ in 0..20 {
+            e.apply_pulse(aggressor, Volts(1.05), 50.0.ns());
+        }
+        let victim = CellAddress::new(2, 1);
+        assert!(
+            e.hub().delta(victim.row, victim.col).0 > 20.0,
+            "victim ΔT = {}",
+            e.hub().delta(victim.row, victim.col).0
+        );
+        let far = CellAddress::new(0, 0);
+        assert!(e.hub().delta(far.row, far.col).0 < e.hub().delta(victim.row, victim.col).0);
+    }
+
+    #[test]
+    fn reset_restores_a_pristine_array() {
+        let (_, mut e) = engines();
+        let cell = CellAddress::new(1, 2);
+        e.force_state(cell, DigitalState::Lrs);
+        BatchedEngine::apply_pulse(&mut e, cell, Volts(1.05), 50.0.ns());
+        HammerBackend::reset(&mut e);
+        assert_eq!(e.read(cell), DigitalState::Hrs);
+        assert_eq!(HammerBackend::elapsed(&e).0, 0.0);
+        assert!(e.hub().deltas().iter().all(|&d| d == 0.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "row count mismatch")]
+    fn mismatched_hub_panics() {
+        let array = CrossbarArray::new(3, 3, DeviceParams::default());
+        let hub = CrosstalkHub::uniform(4, 3, 0.1, 0.05, 0.02, Seconds(0.0));
+        let _ = BatchedEngine::new(array, hub, EngineConfig::default());
+    }
+}

@@ -91,9 +91,9 @@ impl InitState {
     pub fn apply(&self, engine: &mut PulseEngine) {
         assert_eq!(engine.array().rows(), self.rows, "row count mismatch");
         assert_eq!(engine.array().cols(), self.cols, "column count mismatch");
-        for (address, cell) in engine.array_mut().iter_mut() {
+        engine.array_mut().for_each_cell_mut(|address, mut cell| {
             cell.force_state(self.get(address.row, address.col));
-        }
+        });
     }
 }
 

@@ -25,7 +25,7 @@ use rram_fem::AlphaMatrix;
 use rram_units::{Kelvin, Seconds};
 
 /// The thermal crosstalk hub of one crossbar array.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct CrosstalkHub {
     rows: usize,
     cols: usize,
@@ -36,6 +36,25 @@ pub struct CrosstalkHub {
     enabled: bool,
     /// Current ΔT state per cell, K.
     state: Vec<f64>,
+    /// Nonzero coupling offsets `(Δrow, Δcol, α)` excluding the self offset,
+    /// precomputed from the α matrix for the scatter-based batched update.
+    support: Vec<(isize, isize, f64)>,
+    /// Scratch buffer holding the previous state during an update, reused
+    /// across sub-steps so updates never allocate.
+    scratch: Vec<f64>,
+}
+
+/// Two hubs are equal when their coupling physics and state agree; the
+/// derived `support` table and the `scratch` buffer are excluded.
+impl PartialEq for CrosstalkHub {
+    fn eq(&self, other: &Self) -> bool {
+        self.rows == other.rows
+            && self.cols == other.cols
+            && self.alpha == other.alpha
+            && self.tau == other.tau
+            && self.enabled == other.enabled
+            && self.state == other.state
+    }
 }
 
 impl CrosstalkHub {
@@ -50,6 +69,18 @@ impl CrosstalkHub {
             tau.0 >= 0.0 && tau.0.is_finite(),
             "tau must be non-negative"
         );
+        let (selected_row, selected_col) = alpha.selected();
+        let support = alpha
+            .iter()
+            .filter(|&(r, c, a)| (r, c) != (selected_row, selected_col) && a != 0.0)
+            .map(|(r, c, a)| {
+                (
+                    r as isize - selected_row as isize,
+                    c as isize - selected_col as isize,
+                    a,
+                )
+            })
+            .collect();
         CrosstalkHub {
             rows,
             cols,
@@ -57,6 +88,8 @@ impl CrosstalkHub {
             tau: tau.0,
             enabled: true,
             state: vec![0.0; rows * cols],
+            support,
+            scratch: vec![0.0; rows * cols],
         }
     }
 
@@ -213,21 +246,85 @@ impl CrosstalkHub {
         if !self.enabled {
             return;
         }
-        // Exact first-order-lag update for a piecewise-constant target.
-        let blend = if self.tau == 0.0 {
-            1.0
-        } else {
-            1.0 - (-dt.0 / self.tau).exp()
-        };
+        let blend = self.blend(dt);
         // Targets are computed from a snapshot of the state so the update is
-        // independent of cell iteration order.
-        let previous_state = self.state.clone();
+        // independent of cell iteration order; the snapshot lives in the
+        // reused scratch buffer, so no sub-step allocates.
+        std::mem::swap(&mut self.state, &mut self.scratch);
         for row in 0..self.rows {
             for col in 0..self.cols {
                 let idx = row * self.cols + col;
-                let target = self.target(row, col, temperatures, ambient.0, &previous_state);
-                self.state[idx] += (target - self.state[idx]) * blend;
+                let target = self.target(row, col, temperatures, ambient.0, &self.scratch);
+                self.state[idx] = self.scratch[idx] + (target - self.scratch[idx]) * blend;
             }
+        }
+    }
+
+    /// Exact first-order-lag blend factor for a piecewise-constant target.
+    fn blend(&self, dt: Seconds) -> f64 {
+        if self.tau == 0.0 {
+            1.0
+        } else {
+            1.0 - (-dt.0 / self.tau).exp()
+        }
+    }
+
+    /// Advances the hub by `dt` like [`CrosstalkHub::update`], but computes
+    /// the targets by *scattering* each source cell's self-heating rise over
+    /// the α matrix's nonzero support instead of gathering over every source
+    /// per destination.
+    ///
+    /// For the compact synthetic/extracted α profiles a hammer campaign uses
+    /// (a handful of coupled rings), this turns the per-sub-step cost from
+    /// `O((rows·cols)²)` into `O(rows·cols · support)` — the hot-path win of
+    /// the batched engine on large arrays. When the support is as dense as
+    /// the array itself the method falls back to the gather loop. The two
+    /// paths compute the same sums (only the floating-point accumulation
+    /// order differs).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `temperatures.len() != rows·cols` or `dt` is negative.
+    pub fn update_batched(&mut self, temperatures: &[f64], ambient: Kelvin, dt: Seconds) {
+        assert_eq!(
+            temperatures.len(),
+            self.rows * self.cols,
+            "temperature vector length mismatch"
+        );
+        assert!(dt.0 >= 0.0, "dt must be non-negative");
+        if !self.enabled {
+            return;
+        }
+        if self.support.len() >= self.rows * self.cols {
+            // Dense coupling (e.g. a full FEM extraction): scattering would
+            // cost more than gathering.
+            self.update(temperatures, ambient, dt);
+            return;
+        }
+        let blend = self.blend(dt);
+        std::mem::swap(&mut self.state, &mut self.scratch);
+        // `state` now doubles as the target accumulator.
+        self.state.iter_mut().for_each(|v| *v = 0.0);
+        for src_row in 0..self.rows {
+            for src_col in 0..self.cols {
+                let src_idx = src_row * self.cols + src_col;
+                let rise = temperatures[src_idx] - ambient.0 - self.scratch[src_idx];
+                if rise <= 0.0 {
+                    continue;
+                }
+                for &(d_row, d_col, alpha) in &self.support {
+                    let row = src_row as isize + d_row;
+                    let col = src_col as isize + d_col;
+                    if row < 0 || col < 0 || row >= self.rows as isize || col >= self.cols as isize
+                    {
+                        continue;
+                    }
+                    self.state[row as usize * self.cols + col as usize] += alpha * rise;
+                }
+            }
+        }
+        for idx in 0..self.rows * self.cols {
+            self.state[idx] = self.scratch[idx] + (self.state[idx] - self.scratch[idx]) * blend;
         }
     }
 }
@@ -322,6 +419,35 @@ mod tests {
         hub.update(&temps, Kelvin(300.0), Seconds(1e-9));
         // Victim receives 0.1·600 from each side.
         assert!((hub.delta(2, 2).0 - 120.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn batched_update_matches_gather_update() {
+        let mut gather = CrosstalkHub::uniform(6, 7, 0.1, 0.05, 0.02, Seconds(40e-9));
+        let mut scatter = gather.clone();
+        // An uneven temperature field, including sub-ambient cells.
+        let temps: Vec<f64> = (0..42).map(|i| 280.0 + (i as f64 * 37.0) % 650.0).collect();
+        for _ in 0..5 {
+            gather.update(&temps, Kelvin(300.0), Seconds(20e-9));
+            scatter.update_batched(&temps, Kelvin(300.0), Seconds(20e-9));
+        }
+        for (a, b) in gather.deltas().iter().zip(scatter.deltas()) {
+            assert!((a - b).abs() < 1e-9 * a.abs().max(1.0), "{a} vs {b}");
+        }
+    }
+
+    #[test]
+    fn dense_support_falls_back_to_gather() {
+        // A full-array α matrix (every offset nonzero) on a smaller simulated
+        // array: the scatter support is denser than the array, so the batched
+        // path must fall back to the exact gather loop.
+        let alpha = AlphaMatrix::from_values(3, 3, (1, 1), vec![0.1; 9]);
+        let mut hub = CrosstalkHub::new(2, 2, alpha.clone(), Seconds(0.0));
+        let mut reference = CrosstalkHub::new(2, 2, alpha, Seconds(0.0));
+        let temps = [900.0, 300.0, 300.0, 300.0];
+        hub.update_batched(&temps, Kelvin(300.0), Seconds(1e-9));
+        reference.update(&temps, Kelvin(300.0), Seconds(1e-9));
+        assert_eq!(hub.deltas(), reference.deltas());
     }
 
     #[test]

@@ -47,6 +47,25 @@ impl Default for EngineConfig {
     }
 }
 
+impl EngineConfig {
+    /// Integration sub-step length in seconds for an active pulse (`true`)
+    /// or an idle, all-lines-grounded stretch (`false`).
+    ///
+    /// Idle periods have no electrical drive; the only dynamics is the
+    /// exponential decay of the crosstalk state, which tolerates 10× coarser
+    /// steps than an active pulse. Both ideal-driver engines
+    /// ([`PulseEngine`] and [`crate::BatchedEngine`]) take their sub-steps
+    /// from this one policy, which keeps their `dt` sequences — and
+    /// therefore their per-cell trajectories — identical.
+    pub fn substep(&self, active: bool) -> f64 {
+        if active {
+            self.max_substep.0.max(1e-12)
+        } else {
+            (self.max_substep.0 * 10.0).max(1e-12)
+        }
+    }
+}
+
 /// Snapshot of one cell's thermal/electrical situation, used for tracing the
 /// attack phases of Fig. 1.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
@@ -139,14 +158,7 @@ impl PulseEngine {
     /// grounded / idle).
     fn advance(&mut self, selected: Option<(CellAddress, Volts)>, duration: Seconds) {
         let mut remaining = duration.0;
-        // Idle periods have no electrical drive; the only dynamics is the
-        // exponential decay of the crosstalk state, which tolerates much
-        // coarser steps than an active pulse.
-        let substep = if selected.is_some() {
-            self.config.max_substep.0.max(1e-12)
-        } else {
-            (self.config.max_substep.0 * 10.0).max(1e-12)
-        };
+        let substep = self.config.substep(selected.is_some());
         let bias = selected.map(|(address, amplitude)| {
             self.config
                 .scheme
@@ -155,19 +167,19 @@ impl PulseEngine {
         while remaining > 0.0 {
             let dt = remaining.min(substep);
             // Import the hub state, then step every cell under its bias.
-            let deltas: Vec<f64> = self.hub.deltas().to_vec();
-            self.array.import_crosstalk(&deltas);
-            for (address, cell) in self.array.iter_mut() {
+            // Both transfers borrow the struct-of-arrays lanes directly, so
+            // no sub-step allocates.
+            self.array.import_crosstalk(self.hub.deltas());
+            self.array.for_each_cell_mut(|address, mut cell| {
                 let v = match &bias {
                     Some(b) => b.cell_voltage(address),
                     None => Volts(0.0),
                 };
                 cell.step(v, Seconds(dt));
-            }
+            });
             // Redistribute the exported temperatures.
-            let temperatures = self.array.exported_temperatures();
             self.hub
-                .update(&temperatures, self.config.ambient, Seconds(dt));
+                .update(self.array.temperatures(), self.config.ambient, Seconds(dt));
             remaining -= dt;
             self.elapsed += dt;
         }
@@ -283,10 +295,10 @@ impl HammerBackend for PulseEngine {
     }
 
     fn reset(&mut self) {
-        for (_, cell) in self.array.iter_mut() {
+        self.array.for_each_cell_mut(|_, mut cell| {
             cell.force_state(DigitalState::Hrs);
             cell.set_crosstalk_delta(Kelvin(0.0));
-        }
+        });
         self.hub.reset();
         self.elapsed = 0.0;
     }

@@ -14,11 +14,13 @@
 //!   filament temperatures between cells using the α coefficients extracted
 //!   by `rram-fem` (Eq. 5).
 //!
-//! Two simulation engines drive the array: the fast ideal-driver
-//! [`engine::PulseEngine`] used for long hammer campaigns, and the
-//! MNA-backed [`detailed::DetailedCrossbar`] including wiring parasitics,
-//! which also powers the [`sneak`]-path analysis. Both implement the
-//! [`backend::HammerBackend`] trait, so the attack layer, the campaign
+//! Three simulation engines drive the array: the scalar ideal-driver
+//! [`engine::PulseEngine`], the struct-of-arrays
+//! [`batched::BatchedEngine`] that integrates every cell in one kernel call
+//! per sub-step (the fast path for long hammer campaigns on large arrays),
+//! and the MNA-backed [`detailed::DetailedCrossbar`] including wiring
+//! parasitics, which also powers the [`sneak`]-path analysis. All implement
+//! the [`backend::HammerBackend`] trait, so the attack layer, the campaign
 //! runner and the cross-engine agreement tests drive them interchangeably;
 //! [`backend::BackendKind`] selects one declaratively at runtime.
 //!
@@ -47,6 +49,7 @@
 
 pub mod array;
 pub mod backend;
+pub mod batched;
 pub mod controller;
 pub mod crosstalk;
 pub mod detailed;
@@ -56,6 +59,7 @@ pub mod sneak;
 
 pub use array::CrossbarArray;
 pub use backend::{BackendKind, HammerBackend, ThermalReadout};
+pub use batched::BatchedEngine;
 pub use controller::{ControllerReport, InitState, MemoryController, Operation, Stimulus};
 pub use crosstalk::CrosstalkHub;
 pub use detailed::{DetailedCrossbar, WiringParasitics};

@@ -80,6 +80,32 @@ impl LineBias {
 }
 
 impl WriteScheme {
+    /// All schemes, in the order campaign reports use.
+    pub const ALL: [WriteScheme; 3] = [
+        WriteScheme::HalfVoltage,
+        WriteScheme::ThirdVoltage,
+        WriteScheme::GroundedUnselected,
+    ];
+
+    /// Short label used in campaign JSON and report tables
+    /// ("half" / "third" / "grounded").
+    pub fn label(&self) -> &'static str {
+        match self {
+            WriteScheme::HalfVoltage => "half",
+            WriteScheme::ThirdVoltage => "third",
+            WriteScheme::GroundedUnselected => "grounded",
+        }
+    }
+
+    /// Position of this scheme in [`WriteScheme::ALL`] (the numeric axis
+    /// coordinate campaign reports use).
+    pub fn index(&self) -> usize {
+        WriteScheme::ALL
+            .iter()
+            .position(|s| s == self)
+            .expect("every scheme is listed in ALL")
+    }
+
     /// Computes the line biases for writing `selected` with amplitude
     /// `v_write` in an array of `rows × cols`.
     ///
@@ -138,9 +164,33 @@ impl WriteScheme {
     }
 }
 
+/// Parses a scheme label as written in campaign JSON ("half", "third" or
+/// "grounded").
+impl std::str::FromStr for WriteScheme {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        WriteScheme::ALL
+            .iter()
+            .find(|scheme| scheme.label() == s)
+            .copied()
+            .ok_or_else(|| format!("unknown write scheme {s:?}"))
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn labels_parse_round_trip() {
+        for (i, scheme) in WriteScheme::ALL.iter().enumerate() {
+            assert_eq!(scheme.index(), i);
+            let parsed: WriteScheme = scheme.label().parse().unwrap();
+            assert_eq!(parsed, *scheme);
+        }
+        assert!("quarter".parse::<WriteScheme>().is_err());
+    }
 
     #[test]
     fn half_voltage_scheme_biases() {

@@ -194,11 +194,11 @@ mod tests {
 
     fn checkerboard(rows: usize, cols: usize) -> CrossbarArray {
         let mut array = CrossbarArray::new(rows, cols, DeviceParams::default());
-        for (address, cell) in array.iter_mut() {
+        array.for_each_cell_mut(|address, mut cell| {
             if (address.row + address.col) % 2 == 0 {
                 cell.force_state(DigitalState::Lrs);
             }
-        }
+        });
         array
     }
 

@@ -15,8 +15,10 @@
 //! regression is kept anyway because it mirrors the paper's methodology and
 //! doubles as a numerical linearity check.
 
+use std::collections::HashMap;
 use std::error::Error;
 use std::fmt;
+use std::sync::{Mutex, OnceLock};
 
 use serde::{Deserialize, Serialize};
 
@@ -305,6 +307,83 @@ pub fn extract_alpha(
     })
 }
 
+/// Exact-identity memo key: every number of the geometry and the extraction
+/// configuration, as raw bit patterns (two extractions share a cache entry
+/// only when their inputs are bit-for-bit identical, so memoisation can
+/// never change a result).
+type ExtractionKey = Vec<u64>;
+
+fn extraction_key(geometry: &CrossbarGeometry, config: &AlphaConfig) -> ExtractionKey {
+    let mut key = vec![
+        geometry.rows as u64,
+        geometry.cols as u64,
+        geometry.electrode_width_nm.to_bits(),
+        geometry.electrode_spacing_nm.to_bits(),
+        geometry.electrode_thickness_nm.to_bits(),
+        geometry.oxide_thickness_nm.to_bits(),
+        geometry.substrate_thickness_nm.to_bits(),
+        geometry.buffer_thickness_nm.to_bits(),
+        geometry.passivation_thickness_nm.to_bits(),
+        geometry.margin_nm.to_bits(),
+        geometry.filament_diameter_nm.to_bits(),
+        geometry.voxel_nm.to_bits(),
+        geometry.materials.substrate.to_bits(),
+        geometry.materials.isolation.to_bits(),
+        geometry.materials.electrode.to_bits(),
+        geometry.materials.switching_oxide.to_bits(),
+        geometry.materials.filament.to_bits(),
+        geometry.materials.passivation.to_bits(),
+        config.ambient.0.to_bits(),
+        config.selected.0 as u64,
+        config.selected.1 as u64,
+    ];
+    key.extend(config.powers.iter().map(|p| p.0.to_bits()));
+    key
+}
+
+fn extraction_cache() -> &'static Mutex<HashMap<ExtractionKey, AlphaExtraction>> {
+    static CACHE: OnceLock<Mutex<HashMap<ExtractionKey, AlphaExtraction>>> = OnceLock::new();
+    CACHE.get_or_init(|| Mutex::new(HashMap::new()))
+}
+
+/// Number of distinct field problems memoised by
+/// [`extract_alpha_cached`] in this process (diagnostics and tests).
+pub fn cached_extraction_count() -> usize {
+    extraction_cache().lock().expect("cache poisoned").len()
+}
+
+/// [`extract_alpha`] with a process-wide memo keyed by the exact
+/// (geometry, configuration) inputs.
+///
+/// The steady-state heat solve is deterministic, so each distinct field
+/// problem is solved once per process; campaign grids that revisit the same
+/// (array size, spacing, voxel) combination — e.g. a pulse-length sweep on
+/// FEM coupling, or several figure campaigns in one test binary — get the
+/// coefficients back at the cost of a `HashMap` lookup and a clone. Errors
+/// are not cached.
+///
+/// # Errors
+///
+/// Returns an [`AlphaError`] describing the failing stage.
+pub fn extract_alpha_cached(
+    geometry: &CrossbarGeometry,
+    config: &AlphaConfig,
+) -> Result<AlphaExtraction, AlphaError> {
+    let key = extraction_key(geometry, config);
+    if let Some(hit) = extraction_cache().lock().expect("cache poisoned").get(&key) {
+        return Ok(hit.clone());
+    }
+    // The solve runs outside the lock so concurrent campaign workers are
+    // not serialised on the cache; a racing duplicate solve is harmless
+    // (both compute the same value).
+    let extraction = extract_alpha(geometry, config)?;
+    extraction_cache()
+        .lock()
+        .expect("cache poisoned")
+        .insert(key, extraction.clone());
+    Ok(extraction)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -411,6 +490,24 @@ mod tests {
     #[should_panic(expected = "match the array")]
     fn from_values_rejects_wrong_length() {
         AlphaMatrix::from_values(2, 2, (0, 0), vec![1.0]);
+    }
+
+    #[test]
+    fn cached_extraction_matches_and_memoises() {
+        let geometry = fast_geometry(40.0);
+        let config = quick_config();
+        let fresh = extract_alpha(&geometry, &config).unwrap();
+        let first = extract_alpha_cached(&geometry, &config).unwrap();
+        assert_eq!(first, fresh);
+        let count_after_first = cached_extraction_count();
+        // A bit-identical request must not add a cache entry.
+        let second = extract_alpha_cached(&geometry, &config).unwrap();
+        assert_eq!(second, fresh);
+        assert_eq!(cached_extraction_count(), count_after_first);
+        // A different geometry is a different field problem.
+        let third = extract_alpha_cached(&fast_geometry(75.0), &config).unwrap();
+        assert_ne!(third.alpha, fresh.alpha);
+        assert_eq!(cached_extraction_count(), count_after_first + 1);
     }
 
     #[test]

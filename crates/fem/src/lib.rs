@@ -54,7 +54,9 @@ pub mod materials;
 pub mod solver;
 pub mod sparse;
 
-pub use alpha::{extract_alpha, AlphaConfig, AlphaError, AlphaExtraction, AlphaMatrix};
+pub use alpha::{
+    extract_alpha, extract_alpha_cached, AlphaConfig, AlphaError, AlphaExtraction, AlphaMatrix,
+};
 pub use geometry::{CrossbarGeometry, CrossbarModel, GeometryError};
 pub use heat::{CellTemperatureMatrix, HeatProblem, HeatSource, TemperatureField};
 pub use materials::{Material, MaterialSet};

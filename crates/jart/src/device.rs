@@ -1,13 +1,20 @@
 //! The stateful memristive device: state integration, readout and the
 //! crosstalk interface.
+//!
+//! Since the struct-of-arrays refactor the per-cell state lives in a
+//! [`CellBank`] (see [`crate::kernel`]); [`JartDevice`] is the scalar
+//! convenience wrapper — a device *is* a 1-lane bank plus its parameters —
+//! and [`CellRef`]/[`CellMut`] are the borrowed per-lane views a bank owner
+//! (such as the crossbar array) hands out. All three expose the same method
+//! surface, and all integration funnels through the one kernel routine, so
+//! scalar and batched stepping are bit-identical.
 
 use serde::{Deserialize, Serialize};
 
-use crate::current::{solve_operating_point, OperatingPoint};
-use crate::kinetics::concentration_rate;
+use crate::current::OperatingPoint;
+use crate::kernel::{step_lane, CellBank};
 use crate::params::DeviceParams;
-use crate::thermal::filament_temperature;
-use rram_units::{Kelvin, Ohms, Seconds, Volts};
+use rram_units::{Coulombs, Kelvin, Ohms, Seconds, Volts};
 
 /// Digital interpretation of the cell state.
 ///
@@ -32,105 +39,75 @@ impl DigitalState {
     }
 }
 
-/// A single memristive cell with its internal state and crosstalk interface.
-///
-/// The device integrates the vacancy-drift ODE with adaptive sub-stepping:
-/// each call to [`JartDevice::step`] advances the state by at most
-/// `max_dn_per_step` per internal sub-step, so stiff phases (thermal runaway
-/// during an actual switching event) remain accurate while idle phases cost a
-/// single evaluation.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
-pub struct JartDevice {
-    params: DeviceParams,
-    /// Disc vacancy concentration, 10²⁶ m⁻³.
-    n_disc: f64,
-    /// Additional temperature delivered by the crosstalk hub, K.
-    delta_t_crosstalk: f64,
-    /// Filament temperature of the most recent step, K.
-    last_temperature: f64,
-    /// Operating point of the most recent step.
-    last_op: OperatingPoint,
-    /// Total charge-carrying time integrated so far, s (diagnostics).
-    stress_time: f64,
+/// Read-only view of one lane of a [`CellBank`] — what a bank owner hands
+/// out for inspection (thermal snapshots, digital read-out, resistance).
+#[derive(Debug, Clone, Copy)]
+pub struct CellRef<'a> {
+    params: &'a DeviceParams,
+    bank: &'a CellBank,
+    lane: usize,
 }
 
-impl JartDevice {
-    /// Creates a device in the HRS with the given parameters.
-    pub fn new(params: DeviceParams) -> Self {
-        let ambient = params.ambient_temperature;
-        let n = params.n_min;
-        JartDevice {
-            params,
-            n_disc: n,
-            delta_t_crosstalk: 0.0,
-            last_temperature: ambient,
-            last_op: OperatingPoint::zero(),
-            stress_time: 0.0,
-        }
+impl<'a> CellRef<'a> {
+    /// Creates a view of `lane` of `bank`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lane` is out of range.
+    pub fn new(params: &'a DeviceParams, bank: &'a CellBank, lane: usize) -> Self {
+        assert!(lane < bank.lanes(), "lane out of range");
+        CellRef { params, bank, lane }
     }
 
-    /// Creates a device with an explicit initial digital state.
-    pub fn with_state(params: DeviceParams, state: DigitalState) -> Self {
-        let mut device = JartDevice::new(params);
-        device.force_state(state);
-        device
-    }
-
-    /// Parameters of the device.
+    /// Parameters shared by every lane of the bank.
     pub fn params(&self) -> &DeviceParams {
-        &self.params
+        self.params
     }
 
     /// Current disc vacancy concentration (10²⁶ m⁻³).
     pub fn concentration(&self) -> f64 {
-        self.n_disc
+        self.bank.concentrations()[self.lane]
     }
 
     /// Normalised state in `[0, 1]` (0 = deep HRS, 1 = deep LRS).
     pub fn normalized_state(&self) -> f64 {
-        (self.n_disc - self.params.n_min) / (self.params.n_max - self.params.n_min)
+        (self.concentration() - self.params.n_min) / (self.params.n_max - self.params.n_min)
     }
 
     /// Filament temperature of the most recent step.
     pub fn temperature(&self) -> Kelvin {
-        Kelvin(self.last_temperature)
+        Kelvin(self.bank.temperatures()[self.lane])
     }
 
     /// Operating point of the most recent step.
     pub fn operating_point(&self) -> OperatingPoint {
-        self.last_op
+        self.bank.operating_point(self.lane)
     }
 
-    /// Total time the device has spent under non-zero bias, in seconds.
+    /// Total time the cell has spent under non-zero bias, in seconds.
     pub fn stress_time(&self) -> Seconds {
-        Seconds(self.stress_time)
+        Seconds(self.bank.stress_times()[self.lane])
     }
 
-    /// Crosstalk interface (import): sets the additional temperature the
-    /// crosstalk hub attributes to this cell. Negative values are clamped to
-    /// zero.
-    pub fn set_crosstalk_delta(&mut self, delta_t: Kelvin) {
-        self.delta_t_crosstalk = delta_t.0.max(0.0);
+    /// Total conduction charge `∫|I|·dt` through the cell, in coulombs.
+    pub fn conduction_charge(&self) -> Coulombs {
+        Coulombs(self.bank.charges()[self.lane])
     }
 
     /// Crosstalk interface (export): the filament temperature the hub should
     /// use as this cell's contribution to its neighbours.
     pub fn exported_temperature(&self) -> Kelvin {
-        Kelvin(self.last_temperature)
+        self.temperature()
     }
 
     /// Currently imported crosstalk temperature increase.
     pub fn crosstalk_delta(&self) -> Kelvin {
-        Kelvin(self.delta_t_crosstalk)
+        Kelvin(self.bank.crosstalk()[self.lane])
     }
 
     /// Digital read-out of the cell.
     pub fn digital_state(&self) -> DigitalState {
-        if self.n_disc >= self.params.flip_threshold() {
-            DigitalState::Lrs
-        } else {
-            DigitalState::Hrs
-        }
+        self.bank.digital()[self.lane]
     }
 
     /// Returns `true` if the cell currently reads as LRS.
@@ -149,35 +126,236 @@ impl JartDevice {
     /// this does not advance the internal state.
     pub fn read_resistance(&self, v_read: Volts) -> Ohms {
         Ohms(crate::current::read_resistance(
-            &self.params,
+            self.params,
             v_read.0,
-            self.n_disc,
+            self.concentration(),
         ))
+    }
+}
+
+/// Mutable view of one lane of a [`CellBank`] — what a bank owner hands out
+/// for initialisation, fault injection and scalar stepping.
+#[derive(Debug)]
+pub struct CellMut<'a> {
+    params: &'a DeviceParams,
+    bank: &'a mut CellBank,
+    lane: usize,
+}
+
+impl<'a> CellMut<'a> {
+    /// Creates a mutable view of `lane` of `bank`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lane` is out of range.
+    pub fn new(params: &'a DeviceParams, bank: &'a mut CellBank, lane: usize) -> Self {
+        assert!(lane < bank.lanes(), "lane out of range");
+        CellMut { params, bank, lane }
+    }
+
+    /// Reborrows as a read-only view.
+    pub fn as_ref(&self) -> CellRef<'_> {
+        CellRef {
+            params: self.params,
+            bank: self.bank,
+            lane: self.lane,
+        }
+    }
+
+    /// Digital read-out of the cell.
+    pub fn digital_state(&self) -> DigitalState {
+        self.as_ref().digital_state()
+    }
+
+    /// Normalised state in `[0, 1]` (0 = deep HRS, 1 = deep LRS).
+    pub fn normalized_state(&self) -> f64 {
+        self.as_ref().normalized_state()
+    }
+
+    /// Crosstalk interface (import): sets the additional temperature the
+    /// crosstalk hub attributes to this cell. Negative values are clamped to
+    /// zero.
+    pub fn set_crosstalk_delta(&mut self, delta_t: Kelvin) {
+        self.bank.set_crosstalk(self.lane, delta_t.0);
+    }
+
+    /// Forces the cell into a deep version of the given digital state
+    /// (used by the memory controller to initialise memory contents without
+    /// simulating forming/write transients).
+    pub fn force_state(&mut self, state: DigitalState) {
+        self.bank.force_state(self.lane, state, self.params);
+    }
+
+    /// Forces the raw concentration value (clamped into the valid range).
+    pub fn force_concentration(&mut self, n: f64) {
+        self.bank.force_concentration(self.lane, n, self.params);
+    }
+
+    /// Forces the normalised state (0 = HRS, 1 = LRS) — the inverse of
+    /// [`CellRef::normalized_state`], clamped into the valid range.
+    pub fn force_normalized_state(&mut self, normalized: f64) {
+        self.force_concentration(
+            self.params.n_min + normalized * (self.params.n_max - self.params.n_min),
+        );
+    }
+
+    /// Advances the cell by `dt` with a constant applied cell voltage; see
+    /// [`JartDevice::step`] for the integration contract.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `dt` is negative or not finite.
+    pub fn step(&mut self, v_cell: Volts, dt: Seconds) -> OperatingPoint {
+        step_lane(
+            self.params,
+            &mut self.bank.view_mut(),
+            self.lane,
+            v_cell.0,
+            dt,
+        )
+    }
+}
+
+/// A single memristive cell with its internal state and crosstalk interface.
+///
+/// The device integrates the vacancy-drift ODE with adaptive sub-stepping:
+/// each call to [`JartDevice::step`] advances the state by at most
+/// `max_dn_per_step` per internal sub-step, so stiff phases (thermal runaway
+/// during an actual switching event) remain accurate while idle phases cost a
+/// single evaluation.
+///
+/// Internally the device is a thin scalar view over a 1-lane
+/// [`CellBank`], so stepping a device and stepping the same lane through
+/// [`crate::kernel::step_lanes`] are bit-identical.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct JartDevice {
+    params: DeviceParams,
+    bank: CellBank,
+}
+
+impl JartDevice {
+    /// Creates a device in the HRS with the given parameters.
+    pub fn new(params: DeviceParams) -> Self {
+        let bank = CellBank::new(1, &params);
+        JartDevice { params, bank }
+    }
+
+    /// Creates a device with an explicit initial digital state.
+    pub fn with_state(params: DeviceParams, state: DigitalState) -> Self {
+        let mut device = JartDevice::new(params);
+        device.force_state(state);
+        device
+    }
+
+    fn cell(&self) -> CellRef<'_> {
+        CellRef {
+            params: &self.params,
+            bank: &self.bank,
+            lane: 0,
+        }
+    }
+
+    fn cell_mut(&mut self) -> CellMut<'_> {
+        CellMut {
+            params: &self.params,
+            bank: &mut self.bank,
+            lane: 0,
+        }
+    }
+
+    /// Parameters of the device.
+    pub fn params(&self) -> &DeviceParams {
+        &self.params
+    }
+
+    /// Current disc vacancy concentration (10²⁶ m⁻³).
+    pub fn concentration(&self) -> f64 {
+        self.cell().concentration()
+    }
+
+    /// Normalised state in `[0, 1]` (0 = deep HRS, 1 = deep LRS).
+    pub fn normalized_state(&self) -> f64 {
+        self.cell().normalized_state()
+    }
+
+    /// Filament temperature of the most recent step.
+    pub fn temperature(&self) -> Kelvin {
+        self.cell().temperature()
+    }
+
+    /// Operating point of the most recent step.
+    pub fn operating_point(&self) -> OperatingPoint {
+        self.cell().operating_point()
+    }
+
+    /// Total time the device has spent under non-zero bias, in seconds.
+    pub fn stress_time(&self) -> Seconds {
+        self.cell().stress_time()
+    }
+
+    /// Total conduction charge `∫|I|·dt` through the device, in coulombs
+    /// (a wear/energy diagnostic).
+    pub fn conduction_charge(&self) -> Coulombs {
+        self.cell().conduction_charge()
+    }
+
+    /// Crosstalk interface (import): sets the additional temperature the
+    /// crosstalk hub attributes to this cell. Negative values are clamped to
+    /// zero.
+    pub fn set_crosstalk_delta(&mut self, delta_t: Kelvin) {
+        self.cell_mut().set_crosstalk_delta(delta_t);
+    }
+
+    /// Crosstalk interface (export): the filament temperature the hub should
+    /// use as this cell's contribution to its neighbours.
+    pub fn exported_temperature(&self) -> Kelvin {
+        self.cell().exported_temperature()
+    }
+
+    /// Currently imported crosstalk temperature increase.
+    pub fn crosstalk_delta(&self) -> Kelvin {
+        self.cell().crosstalk_delta()
+    }
+
+    /// Digital read-out of the cell.
+    pub fn digital_state(&self) -> DigitalState {
+        self.cell().digital_state()
+    }
+
+    /// Returns `true` if the cell currently reads as LRS.
+    pub fn is_lrs(&self) -> bool {
+        self.cell().is_lrs()
+    }
+
+    /// Returns `true` if the cell currently reads as HRS.
+    pub fn is_hrs(&self) -> bool {
+        self.cell().is_hrs()
+    }
+
+    /// Non-destructive read: static resistance at the given read voltage.
+    ///
+    /// Read voltages are assumed small enough not to disturb the state, so
+    /// this does not advance the internal state.
+    pub fn read_resistance(&self, v_read: Volts) -> Ohms {
+        self.cell().read_resistance(v_read)
     }
 
     /// Forces the device into a deep version of the given digital state
     /// (used by the memory controller to initialise memory contents without
     /// simulating forming/write transients).
     pub fn force_state(&mut self, state: DigitalState) {
-        self.n_disc = match state {
-            DigitalState::Lrs => self.params.n_max,
-            DigitalState::Hrs => self.params.n_min,
-        };
-        self.last_temperature = self.params.ambient_temperature;
-        self.last_op = OperatingPoint::zero();
+        self.cell_mut().force_state(state);
     }
 
     /// Forces the raw concentration value (clamped into the valid range).
     pub fn force_concentration(&mut self, n: f64) {
-        self.n_disc = n.clamp(self.params.n_min, self.params.n_max);
+        self.cell_mut().force_concentration(n);
     }
 
     /// Forces the normalised state (0 = HRS, 1 = LRS) — the inverse of
     /// [`JartDevice::normalized_state`], clamped into the valid range.
     pub fn force_normalized_state(&mut self, normalized: f64) {
-        self.force_concentration(
-            self.params.n_min + normalized * (self.params.n_max - self.params.n_min),
-        );
+        self.cell_mut().force_normalized_state(normalized);
     }
 
     /// Advances the device by `dt` with a constant applied cell voltage.
@@ -191,68 +369,7 @@ impl JartDevice {
     ///
     /// Panics if `dt` is negative or not finite.
     pub fn step(&mut self, v_cell: Volts, dt: Seconds) -> OperatingPoint {
-        assert!(dt.0.is_finite() && dt.0 >= 0.0, "dt must be non-negative");
-        let mut remaining = dt.0;
-        let mut first_op = None;
-
-        if v_cell.0 != 0.0 {
-            self.stress_time += dt.0;
-        }
-
-        // Rate evaluation at a given concentration: solve the operating
-        // point, derive the filament temperature, then the drift rate.
-        let eval = |n: f64, delta_t: f64| -> (OperatingPoint, f64, f64) {
-            let op = solve_operating_point(&self.params, v_cell.0, n);
-            let temperature = filament_temperature(&self.params, op.power_active, delta_t);
-            let rate = concentration_rate(&self.params, op.v_active, temperature, n);
-            (op, temperature, rate)
-        };
-
-        // Even for dt == 0 we refresh the operating point so callers can
-        // observe the instantaneous temperature under the new bias.
-        loop {
-            let (op, temperature, rate) = eval(self.n_disc, self.delta_t_crosstalk);
-            self.last_temperature = temperature;
-            self.last_op = op;
-            if first_op.is_none() {
-                first_op = Some(op);
-            }
-            if remaining <= 0.0 {
-                break;
-            }
-            if rate == 0.0 {
-                // Nothing will change for the rest of the interval.
-                break;
-            }
-
-            // Adaptive step: cap the state change per sub-step both absolutely
-            // and relative to the distance from the HRS bound, because the
-            // runaway phase grows exponentially with that distance.
-            let allowed_dn = self
-                .params
-                .max_dn_per_step
-                .min(0.02 * (self.n_disc - self.params.n_min) + 1e-3);
-            let max_dt = allowed_dn / rate.abs();
-            let sub_dt = remaining.min(max_dt);
-
-            // Midpoint (RK2) integration of the stiff drift ODE.
-            let n_mid =
-                (self.n_disc + 0.5 * rate * sub_dt).clamp(self.params.n_min, self.params.n_max);
-            let (_, _, rate_mid) = eval(n_mid, self.delta_t_crosstalk);
-            let effective_rate = if rate_mid == 0.0 { rate } else { rate_mid };
-            self.n_disc =
-                (self.n_disc + effective_rate * sub_dt).clamp(self.params.n_min, self.params.n_max);
-            remaining -= sub_dt;
-            if remaining <= 0.0 {
-                // Refresh the final operating point for observers.
-                let (op, temperature, _) = eval(self.n_disc, self.delta_t_crosstalk);
-                self.last_op = op;
-                self.last_temperature = temperature;
-                break;
-            }
-        }
-
-        first_op.unwrap_or_else(OperatingPoint::zero)
+        self.cell_mut().step(v_cell, dt)
     }
 
     /// Applies a rectangular voltage pulse of the given length and returns
@@ -398,6 +515,19 @@ mod tests {
         d.step(Volts(0.5), 10.0.ns());
         d.step(Volts(0.0), 10.0.ns());
         assert!((d.stress_time().0 - 10e-9).abs() < 1e-18);
+    }
+
+    #[test]
+    fn conduction_charge_accumulates_under_bias() {
+        let mut d = device();
+        d.force_state(DigitalState::Lrs);
+        d.step(Volts(1.05), 10.0.ns());
+        let q = d.conduction_charge().0;
+        // LRS current is hundreds of µA, so 10 ns conducts a few pC.
+        assert!(q > 1e-13 && q < 1e-10, "q = {q}");
+        // No bias, no additional charge.
+        d.step(Volts(0.0), 10.0.ns());
+        assert_eq!(d.conduction_charge().0, q);
     }
 
     #[test]

@@ -1,0 +1,465 @@
+//! Struct-of-arrays cell storage and the shared vacancy-drift step kernel.
+//!
+//! Long hammer campaigns integrate the same stiff ODE for every cell of the
+//! array, 10²–10⁵ pulses per grid point. Storing each cell as its own struct
+//! (`Vec<JartDevice>`) scatters the state across memory and forces the
+//! engines to allocate per-sub-step scratch vectors just to shuttle
+//! temperatures in and out. [`CellBank`] keeps the per-cell state in parallel
+//! lanes instead — one contiguous `Vec<f64>` per physical quantity — so an
+//! engine can hand the whole array to [`step_lanes`] in a single call and
+//! read the exported filament temperatures back as a plain slice, with no
+//! per-sub-step allocation at all.
+//!
+//! The integration itself lives in one stateless per-lane routine shared by
+//! every consumer: [`crate::JartDevice`] is a thin single-cell view over a
+//! 1-lane bank, so a bank stepped by [`step_lanes`] is *bit-identical* to the
+//! same cells stepped one [`crate::JartDevice::step`] at a time (a property
+//! test in `tests/` pins this down).
+//!
+//! # Examples
+//!
+//! Stepping a 3-lane bank under different per-lane voltages:
+//!
+//! ```
+//! use rram_jart::kernel::{step_lanes, CellBank};
+//! use rram_jart::DeviceParams;
+//! use rram_units::Seconds;
+//!
+//! let params = DeviceParams::default();
+//! let mut bank = CellBank::new(3, &params);
+//! // Full SET on lane 0, half-select stress on lane 1, idle lane 2.
+//! let voltages = [1.05, 0.525, 0.0];
+//! step_lanes(&params, &voltages, &mut bank.view_mut(), Seconds(5e-6));
+//! assert!(bank.concentrations()[0] > bank.concentrations()[1]);
+//! assert_eq!(bank.concentrations()[2], params.n_min);
+//! ```
+
+use serde::{Deserialize, Serialize};
+
+use crate::current::{solve_operating_point, OperatingPoint};
+use crate::device::DigitalState;
+use crate::kinetics::concentration_rate;
+use crate::params::DeviceParams;
+use crate::thermal::filament_temperature;
+use rram_units::Seconds;
+
+/// Struct-of-arrays storage for the mutable state of `lanes` memristive
+/// cells sharing one [`DeviceParams`] set.
+///
+/// Each physical quantity lives in its own contiguous lane, in the order the
+/// owner chooses (the crossbar array uses row-major cell order). The bank
+/// does not own the device parameters — they are shared across lanes and are
+/// passed to [`step_lanes`] explicitly.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CellBank {
+    /// Disc vacancy concentration per lane, 10²⁶ m⁻³.
+    n_disc: Vec<f64>,
+    /// Imported crosstalk temperature increase per lane, K.
+    crosstalk: Vec<f64>,
+    /// Filament temperature of the most recent step per lane, K.
+    temperature: Vec<f64>,
+    /// Total time under non-zero bias per lane, s (diagnostics).
+    stress_time: Vec<f64>,
+    /// Total conduction charge `∫|I|·dt` per lane, C (diagnostics).
+    charge: Vec<f64>,
+    /// Cached digital read-out per lane, kept in sync by every mutation.
+    digital: Vec<DigitalState>,
+    /// Operating point of the most recent step per lane.
+    last_op: Vec<OperatingPoint>,
+}
+
+impl CellBank {
+    /// Creates a bank of `lanes` cells, each in the HRS at ambient
+    /// temperature.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lanes` is zero.
+    pub fn new(lanes: usize, params: &DeviceParams) -> Self {
+        assert!(lanes > 0, "a cell bank needs at least one lane");
+        CellBank {
+            n_disc: vec![params.n_min; lanes],
+            crosstalk: vec![0.0; lanes],
+            temperature: vec![params.ambient_temperature; lanes],
+            stress_time: vec![0.0; lanes],
+            charge: vec![0.0; lanes],
+            digital: vec![DigitalState::Hrs; lanes],
+            last_op: vec![OperatingPoint::zero(); lanes],
+        }
+    }
+
+    /// Number of lanes (cells).
+    pub fn lanes(&self) -> usize {
+        self.n_disc.len()
+    }
+
+    /// Disc vacancy concentrations, one per lane (10²⁶ m⁻³).
+    pub fn concentrations(&self) -> &[f64] {
+        &self.n_disc
+    }
+
+    /// Imported crosstalk temperature increases, one per lane (K).
+    pub fn crosstalk(&self) -> &[f64] {
+        &self.crosstalk
+    }
+
+    /// Filament temperatures of the most recent step, one per lane (K) —
+    /// this is the export vector the crosstalk hub consumes, with no copy.
+    pub fn temperatures(&self) -> &[f64] {
+        &self.temperature
+    }
+
+    /// Accumulated time under non-zero bias, one per lane (s).
+    pub fn stress_times(&self) -> &[f64] {
+        &self.stress_time
+    }
+
+    /// Accumulated conduction charge `∫|I|·dt`, one per lane (C).
+    pub fn charges(&self) -> &[f64] {
+        &self.charge
+    }
+
+    /// Cached digital read-out, one per lane.
+    pub fn digital(&self) -> &[DigitalState] {
+        &self.digital
+    }
+
+    /// Operating point of the most recent step of one lane.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lane` is out of range.
+    pub fn operating_point(&self, lane: usize) -> OperatingPoint {
+        self.last_op[lane]
+    }
+
+    /// A mutable lane view for [`step_lanes`].
+    pub fn view_mut(&mut self) -> CellBankView<'_> {
+        CellBankView {
+            n_disc: &mut self.n_disc,
+            crosstalk: &self.crosstalk,
+            temperature: &mut self.temperature,
+            stress_time: &mut self.stress_time,
+            charge: &mut self.charge,
+            digital: &mut self.digital,
+            last_op: &mut self.last_op,
+        }
+    }
+
+    /// Sets the imported crosstalk ΔT of one lane (negative values clamp to
+    /// zero, as unphysical).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lane` is out of range.
+    pub fn set_crosstalk(&mut self, lane: usize, delta_t: f64) {
+        self.crosstalk[lane] = delta_t.max(0.0);
+    }
+
+    /// Writes the crosstalk ΔT of every lane from a slice (negative values
+    /// clamp to zero).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the slice length does not match the lane count.
+    pub fn import_crosstalk(&mut self, deltas: &[f64]) {
+        assert_eq!(deltas.len(), self.lanes(), "delta length mismatch");
+        for (slot, &delta) in self.crosstalk.iter_mut().zip(deltas.iter()) {
+            *slot = delta.max(0.0);
+        }
+    }
+
+    /// Forces one lane into a deep version of the given digital state and
+    /// resets its thermal/electrical observables (mirrors
+    /// [`crate::JartDevice::force_state`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lane` is out of range.
+    pub fn force_state(&mut self, lane: usize, state: DigitalState, params: &DeviceParams) {
+        self.n_disc[lane] = match state {
+            DigitalState::Lrs => params.n_max,
+            DigitalState::Hrs => params.n_min,
+        };
+        self.temperature[lane] = params.ambient_temperature;
+        self.last_op[lane] = OperatingPoint::zero();
+        self.digital[lane] = state;
+    }
+
+    /// Forces the raw concentration of one lane (clamped into the valid
+    /// range).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lane` is out of range.
+    pub fn force_concentration(&mut self, lane: usize, n: f64, params: &DeviceParams) {
+        self.n_disc[lane] = n.clamp(params.n_min, params.n_max);
+        self.digital[lane] = digital_of(params, self.n_disc[lane]);
+    }
+}
+
+/// Mutable lane view handed to [`step_lanes`]; obtained from
+/// [`CellBank::view_mut`].
+#[derive(Debug)]
+pub struct CellBankView<'a> {
+    n_disc: &'a mut [f64],
+    crosstalk: &'a [f64],
+    temperature: &'a mut [f64],
+    stress_time: &'a mut [f64],
+    charge: &'a mut [f64],
+    digital: &'a mut [DigitalState],
+    last_op: &'a mut [OperatingPoint],
+}
+
+impl CellBankView<'_> {
+    /// Number of lanes in the view.
+    pub fn lanes(&self) -> usize {
+        self.n_disc.len()
+    }
+}
+
+/// Digital interpretation of a concentration value.
+#[inline]
+fn digital_of(params: &DeviceParams, n: f64) -> DigitalState {
+    if n >= params.flip_threshold() {
+        DigitalState::Lrs
+    } else {
+        DigitalState::Hrs
+    }
+}
+
+/// Advances every lane of the bank by `dt` under its per-lane cell voltage.
+///
+/// This is the one integration routine of the workspace: the scalar
+/// [`crate::JartDevice::step`] calls [`step_lane`] on its private 1-lane
+/// bank, and the batched crossbar engine calls `step_lanes` on the whole
+/// array, so the two paths are bit-identical by construction. Lanes are
+/// independent within a call (thermal coupling happens *between* engine
+/// sub-steps, through the crosstalk lane), which keeps the per-lane loop
+/// free of cross-lane dependencies.
+///
+/// # Panics
+///
+/// Panics if `voltages.len()` does not match the lane count, or if `dt` is
+/// negative or not finite.
+pub fn step_lanes(
+    params: &DeviceParams,
+    voltages: &[f64],
+    lanes: &mut CellBankView<'_>,
+    dt: Seconds,
+) {
+    assert_eq!(
+        voltages.len(),
+        lanes.lanes(),
+        "voltage vector length mismatch"
+    );
+    for (lane, &v_cell) in voltages.iter().enumerate() {
+        step_lane(params, lanes, lane, v_cell, dt);
+    }
+}
+
+/// Advances a single lane by `dt` under a constant cell voltage, returning
+/// the operating point at the *beginning* of the interval.
+///
+/// The state is integrated with adaptive sub-stepping so the concentration
+/// never changes by more than `max_dn_per_step` per sub-step (midpoint/RK2
+/// on the stiff drift ODE); see [`crate::JartDevice::step`] for the
+/// user-facing contract.
+///
+/// # Panics
+///
+/// Panics if `lane` is out of range or `dt` is negative or not finite.
+pub fn step_lane(
+    params: &DeviceParams,
+    lanes: &mut CellBankView<'_>,
+    lane: usize,
+    v_cell: f64,
+    dt: Seconds,
+) -> OperatingPoint {
+    assert!(dt.0.is_finite() && dt.0 >= 0.0, "dt must be non-negative");
+    let mut remaining = dt.0;
+    let mut first_op = None;
+    let delta_t = lanes.crosstalk[lane];
+
+    if v_cell != 0.0 {
+        lanes.stress_time[lane] += dt.0;
+    }
+
+    // Rate evaluation at a given concentration: solve the operating point,
+    // derive the filament temperature, then the drift rate.
+    let eval = |n: f64| -> (OperatingPoint, f64, f64) {
+        let op = solve_operating_point(params, v_cell, n);
+        let temperature = filament_temperature(params, op.power_active, delta_t);
+        let rate = concentration_rate(params, op.v_active, temperature, n);
+        (op, temperature, rate)
+    };
+
+    // Even for dt == 0 the operating point is refreshed so callers can
+    // observe the instantaneous temperature under the new bias.
+    loop {
+        let (op, temperature, rate) = eval(lanes.n_disc[lane]);
+        lanes.temperature[lane] = temperature;
+        lanes.last_op[lane] = op;
+        if first_op.is_none() {
+            first_op = Some(op);
+        }
+        if remaining <= 0.0 {
+            break;
+        }
+        if rate == 0.0 {
+            // Nothing will change for the rest of the interval; the full
+            // remaining conduction still counts towards the charge lane.
+            lanes.charge[lane] += op.current.abs() * remaining;
+            break;
+        }
+
+        // Adaptive step: cap the state change per sub-step both absolutely
+        // and relative to the distance from the HRS bound, because the
+        // runaway phase grows exponentially with that distance.
+        let n = lanes.n_disc[lane];
+        let allowed_dn = params.max_dn_per_step.min(0.02 * (n - params.n_min) + 1e-3);
+        let max_dt = allowed_dn / rate.abs();
+        let sub_dt = remaining.min(max_dt);
+        lanes.charge[lane] += op.current.abs() * sub_dt;
+
+        // Midpoint (RK2) integration of the stiff drift ODE.
+        let n_mid = (n + 0.5 * rate * sub_dt).clamp(params.n_min, params.n_max);
+        let (_, _, rate_mid) = eval(n_mid);
+        let effective_rate = if rate_mid == 0.0 { rate } else { rate_mid };
+        lanes.n_disc[lane] = (n + effective_rate * sub_dt).clamp(params.n_min, params.n_max);
+        remaining -= sub_dt;
+        if remaining <= 0.0 {
+            // Refresh the final operating point for observers.
+            let (op, temperature, _) = eval(lanes.n_disc[lane]);
+            lanes.last_op[lane] = op;
+            lanes.temperature[lane] = temperature;
+            break;
+        }
+    }
+
+    lanes.digital[lane] = digital_of(params, lanes.n_disc[lane]);
+    first_op.unwrap_or_else(OperatingPoint::zero)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rram_units::SiExt;
+
+    fn params() -> DeviceParams {
+        DeviceParams::default()
+    }
+
+    #[test]
+    fn new_bank_is_all_hrs_at_ambient() {
+        let p = params();
+        let bank = CellBank::new(4, &p);
+        assert_eq!(bank.lanes(), 4);
+        assert!(bank.concentrations().iter().all(|&n| n == p.n_min));
+        assert!(bank
+            .temperatures()
+            .iter()
+            .all(|&t| t == p.ambient_temperature));
+        assert!(bank.digital().iter().all(|&s| s == DigitalState::Hrs));
+        assert!(bank.charges().iter().all(|&q| q == 0.0));
+    }
+
+    #[test]
+    fn lanes_integrate_independently() {
+        let p = params();
+        let mut bank = CellBank::new(3, &p);
+        let voltages = [1.05, 0.525, 0.0];
+        step_lanes(&p, &voltages, &mut bank.view_mut(), Seconds(5e-6));
+        // Full SET switches, half-select barely moves, idle stays put.
+        assert_eq!(bank.digital()[0], DigitalState::Lrs);
+        assert_eq!(bank.digital()[1], DigitalState::Hrs);
+        assert_eq!(bank.concentrations()[2], p.n_min);
+        assert!(bank.concentrations()[0] > bank.concentrations()[1]);
+        // Only the biased lanes accumulated stress time and charge.
+        assert!(bank.stress_times()[0] > 0.0 && bank.stress_times()[1] > 0.0);
+        assert_eq!(bank.stress_times()[2], 0.0);
+        assert!(bank.charges()[0] > bank.charges()[1]);
+        assert_eq!(bank.charges()[2], 0.0);
+    }
+
+    #[test]
+    fn crosstalk_lane_accelerates_kinetics() {
+        let p = params();
+        let mut bank = CellBank::new(2, &p);
+        bank.set_crosstalk(1, 60.0);
+        let voltages = [0.525, 0.525];
+        step_lanes(&p, &voltages, &mut bank.view_mut(), Seconds(100e-6));
+        let rise = |lane: usize| bank.concentrations()[lane] - p.n_min;
+        assert!(
+            rise(1) > 10.0 * rise(0).max(1e-12),
+            "hot {} vs cold {}",
+            rise(1),
+            rise(0)
+        );
+    }
+
+    #[test]
+    fn import_crosstalk_clamps_negatives() {
+        let p = params();
+        let mut bank = CellBank::new(2, &p);
+        bank.import_crosstalk(&[-5.0, 25.0]);
+        assert_eq!(bank.crosstalk(), &[0.0, 25.0]);
+        bank.set_crosstalk(0, -1.0);
+        assert_eq!(bank.crosstalk()[0], 0.0);
+    }
+
+    #[test]
+    fn force_state_resets_observables() {
+        let p = params();
+        let mut bank = CellBank::new(1, &p);
+        step_lanes(&p, &[1.05], &mut bank.view_mut(), Seconds(1e-6));
+        bank.force_state(0, DigitalState::Lrs, &p);
+        assert_eq!(bank.concentrations()[0], p.n_max);
+        assert_eq!(bank.temperatures()[0], p.ambient_temperature);
+        assert_eq!(bank.operating_point(0), OperatingPoint::zero());
+        assert_eq!(bank.digital()[0], DigitalState::Lrs);
+    }
+
+    #[test]
+    fn force_concentration_updates_the_digital_lane() {
+        let p = params();
+        let mut bank = CellBank::new(1, &p);
+        bank.force_concentration(0, p.n_max * 2.0, &p);
+        assert_eq!(bank.concentrations()[0], p.n_max);
+        assert_eq!(bank.digital()[0], DigitalState::Lrs);
+        bank.force_concentration(0, -1.0, &p);
+        assert_eq!(bank.digital()[0], DigitalState::Hrs);
+    }
+
+    #[test]
+    fn zero_dt_refreshes_the_operating_point() {
+        let p = params();
+        let mut bank = CellBank::new(1, &p);
+        bank.force_state(0, DigitalState::Lrs, &p);
+        step_lanes(&p, &[1.05], &mut bank.view_mut(), 0.0.ns());
+        assert!(bank.temperatures()[0] > 500.0);
+        assert!(bank.operating_point(0).current > 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn wrong_voltage_length_panics() {
+        let p = params();
+        let mut bank = CellBank::new(2, &p);
+        step_lanes(&p, &[0.5], &mut bank.view_mut(), Seconds(1e-9));
+    }
+
+    #[test]
+    #[should_panic(expected = "non-negative")]
+    fn negative_dt_panics() {
+        let p = params();
+        let mut bank = CellBank::new(1, &p);
+        step_lanes(&p, &[0.5], &mut bank.view_mut(), Seconds(-1.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one lane")]
+    fn empty_bank_panics() {
+        let _ = CellBank::new(0, &params());
+    }
+}

@@ -52,10 +52,12 @@
 pub mod calibration;
 pub mod current;
 pub mod device;
+pub mod kernel;
 pub mod kinetics;
 pub mod params;
 pub mod thermal;
 
 pub use current::OperatingPoint;
-pub use device::{DigitalState, JartDevice};
+pub use device::{CellMut, CellRef, DigitalState, JartDevice};
+pub use kernel::{step_lanes, CellBank, CellBankView};
 pub use params::{DeviceParams, DeviceParamsBuilder, ParamError};

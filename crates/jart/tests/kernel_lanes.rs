@@ -1,0 +1,66 @@
+//! Property test pinning the struct-of-arrays contract: stepping an N-lane
+//! [`CellBank`] through the batched kernel is *bit-identical* to stepping N
+//! independent [`JartDevice`]s, for any mix of states, crosstalk imports,
+//! voltages and step lengths. This is what lets the batched crossbar engine
+//! share one integration routine with the scalar engine.
+
+use proptest::prelude::*;
+use rram_jart::kernel::{step_lanes, CellBank};
+use rram_jart::{DeviceParams, JartDevice};
+use rram_units::{Kelvin, Seconds, Volts};
+
+proptest! {
+    #[test]
+    fn step_lanes_is_bit_identical_to_independent_devices(
+        // One (initial normalised state, crosstalk ΔT, cell voltage) per lane.
+        lanes in prop::collection::vec(
+            (0.0f64..1.0, 0.0f64..80.0, -1.5f64..1.5),
+            1..10,
+        ),
+        // A shared sequence of step lengths, spanning idle to switching.
+        steps in prop::collection::vec(1e-10f64..5e-7, 1..5),
+    ) {
+        let params = DeviceParams::default();
+        let mut bank = CellBank::new(lanes.len(), &params);
+        let mut devices: Vec<JartDevice> = Vec::with_capacity(lanes.len());
+        let mut voltages: Vec<f64> = Vec::with_capacity(lanes.len());
+        for (lane, &(state, delta, voltage)) in lanes.iter().enumerate() {
+            let n = params.n_min + state * (params.n_max - params.n_min);
+            bank.force_concentration(lane, n, &params);
+            bank.set_crosstalk(lane, delta);
+            let mut device = JartDevice::new(params.clone());
+            device.force_concentration(n);
+            device.set_crosstalk_delta(Kelvin(delta));
+            devices.push(device);
+            voltages.push(voltage);
+        }
+
+        for &dt in &steps {
+            step_lanes(&params, &voltages, &mut bank.view_mut(), Seconds(dt));
+            for (lane, device) in devices.iter_mut().enumerate() {
+                device.step(Volts(voltages[lane]), Seconds(dt));
+            }
+            for (lane, device) in devices.iter().enumerate() {
+                prop_assert_eq!(
+                    bank.concentrations()[lane].to_bits(),
+                    device.concentration().to_bits(),
+                    "lane {} concentration: {} vs {}",
+                    lane, bank.concentrations()[lane], device.concentration()
+                );
+                prop_assert_eq!(
+                    bank.temperatures()[lane].to_bits(),
+                    device.temperature().0.to_bits()
+                );
+                prop_assert_eq!(
+                    bank.stress_times()[lane].to_bits(),
+                    device.stress_time().0.to_bits()
+                );
+                prop_assert_eq!(
+                    bank.charges()[lane].to_bits(),
+                    device.conduction_charge().0.to_bits()
+                );
+                prop_assert_eq!(bank.digital()[lane], device.digital_state());
+            }
+        }
+    }
+}

@@ -232,6 +232,11 @@ quantity!(
     "J"
 );
 quantity!(
+    /// Electric charge in coulombs.
+    Coulombs,
+    "C"
+);
+quantity!(
     /// Energy in electron-volts (kept separate from [`Joules`] because
     /// activation energies in the compact model are quoted in eV).
     ElectronVolts,
@@ -309,6 +314,14 @@ impl Mul<Seconds> for Watts {
     #[inline]
     fn mul(self, rhs: Seconds) -> Joules {
         Joules(self.0 * rhs.0)
+    }
+}
+
+impl Mul<Seconds> for Amps {
+    type Output = Coulombs;
+    #[inline]
+    fn mul(self, rhs: Seconds) -> Coulombs {
+        Coulombs(self.0 * rhs.0)
     }
 }
 

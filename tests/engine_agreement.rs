@@ -6,7 +6,7 @@
 //! drift ratio. Any future backend joins the check by being added to the
 //! `backends` axis.
 
-use neurohammer_repro::attack::campaign::CampaignSpec;
+use neurohammer_repro::attack::campaign::{CampaignAxis, CampaignSpec};
 use neurohammer_repro::attack::run_attack;
 use neurohammer_repro::crossbar::{
     BackendKind, CellAddress, CrosstalkHub, DetailedCrossbar, WiringParasitics, WriteScheme,
@@ -63,6 +63,69 @@ fn fast_and_detailed_engines_agree_on_victim_progress() {
         delta_ratio < 1.25,
         "crosstalk ΔT disagrees: {deltas:?} (ratio {delta_ratio:.2})"
     );
+}
+
+#[test]
+fn pulse_and_batched_engines_agree_across_schemes() {
+    // The batched engine shares the scalar engine's integration kernel, so
+    // the two must agree far more tightly than the MNA comparison above —
+    // only the crosstalk hub's floating-point accumulation order differs.
+    // Checked across write schemes, since the batched engine evaluates the
+    // scheme's line biases on its own (whole-array) path.
+    let spec = CampaignSpec {
+        name: "pulse vs batched".into(),
+        schemes: vec![WriteScheme::HalfVoltage, WriteScheme::ThirdVoltage],
+        backends: vec![BackendKind::Pulse, BackendKind::Batched],
+        max_pulses: 400,
+        batching: false,
+        ..CampaignSpec::default()
+    };
+    let report = spec.run().expect("agreement campaign failed");
+    assert_eq!(report.outcomes.len(), 4);
+    assert!(report.outcomes.iter().all(|o| o.victim_drift > 0.0));
+
+    let ratio = report
+        .max_backend_drift_ratio()
+        .expect("both backends per grid point");
+    assert!(
+        ratio < 1.0001,
+        "pulse/batched victim drift disagrees by {ratio:.6}x: {report:?}"
+    );
+
+    // Per-scheme crosstalk agreement: the hub ΔT at the victim must match
+    // to float accumulation precision within each scheme group.
+    for series in report.series_over(CampaignAxis::Backend) {
+        assert_eq!(series.points.len(), 2, "{series:?}");
+    }
+    for scheme in [WriteScheme::HalfVoltage, WriteScheme::ThirdVoltage] {
+        let deltas: Vec<f64> = report
+            .outcomes
+            .iter()
+            .filter(|o| o.point.scheme == scheme)
+            .map(|o| o.final_crosstalk.0)
+            .collect();
+        assert_eq!(deltas.len(), 2);
+        assert!(
+            (deltas[0] - deltas[1]).abs() <= 1e-9 * deltas[0].abs().max(1e-9),
+            "{scheme:?}: crosstalk ΔT disagrees: {deltas:?}"
+        );
+    }
+
+    // V/3 hammering disturbs the victim less than V/2 on either engine.
+    let drift = |scheme, backend| {
+        report
+            .outcomes
+            .iter()
+            .find(|o| o.point.scheme == scheme && o.point.backend == backend)
+            .expect("grid point present")
+            .victim_drift
+    };
+    for backend in [BackendKind::Pulse, BackendKind::Batched] {
+        assert!(
+            drift(WriteScheme::HalfVoltage, backend) > drift(WriteScheme::ThirdVoltage, backend),
+            "{backend:?}: V/3 should disturb less than V/2"
+        );
+    }
 }
 
 #[test]

@@ -52,6 +52,77 @@ impl Summary {
     }
 }
 
+/// Wilson score interval for a binomial proportion.
+///
+/// Returns `(low, high)` bounds of the confidence interval for the success
+/// probability after observing `successes` out of `trials`, at the normal
+/// quantile `z` (1.96 for 95 %). Unlike the naive Wald interval it behaves
+/// sensibly at 0 and `trials` successes and for small `trials` — exactly
+/// the regime of Monte Carlo flip-probability estimates with a handful of
+/// trials per grid point.
+///
+/// Returns `None` when `trials == 0`, `successes > trials` or `z` is not
+/// finite and positive.
+///
+/// # Examples
+///
+/// ```
+/// use rram_analysis::stats::wilson_interval;
+///
+/// // 8 flips out of 10 trials, 95 % confidence.
+/// let (low, high) = wilson_interval(8, 10, 1.96).unwrap();
+/// assert!(low > 0.4 && low < 0.5);
+/// assert!(high > 0.9 && high < 1.0);
+/// // Zero successes still produce a non-degenerate upper bound.
+/// let (low, high) = wilson_interval(0, 10, 1.96).unwrap();
+/// assert_eq!(low, 0.0);
+/// assert!(high > 0.0 && high < 0.4);
+/// ```
+pub fn wilson_interval(successes: u64, trials: u64, z: f64) -> Option<(f64, f64)> {
+    if trials == 0 || successes > trials || !(z > 0.0 && z.is_finite()) {
+        return None;
+    }
+    let n = trials as f64;
+    let p = successes as f64 / n;
+    let z2 = z * z;
+    let denominator = 1.0 + z2 / n;
+    let centre = (p + z2 / (2.0 * n)) / denominator;
+    let half = z / denominator * (p * (1.0 - p) / n + z2 / (4.0 * n * n)).sqrt();
+    Some(((centre - half).max(0.0), (centre + half).min(1.0)))
+}
+
+/// The `p`-th quantile of a sample, `p ∈ [0, 1]`, with linear interpolation
+/// between order statistics (the R-7 / NumPy default: rank `h = (n−1)·p`).
+///
+/// Returns `None` for an empty sample, a non-finite sample value or `p`
+/// outside `[0, 1]`. The input need not be sorted.
+///
+/// # Examples
+///
+/// ```
+/// use rram_analysis::stats::percentile;
+///
+/// let pulses = [10.0, 20.0, 30.0, 40.0];
+/// assert_eq!(percentile(&pulses, 0.0), Some(10.0));
+/// assert_eq!(percentile(&pulses, 0.5), Some(25.0));
+/// assert_eq!(percentile(&pulses, 1.0), Some(40.0));
+/// ```
+pub fn percentile(data: &[f64], p: f64) -> Option<f64> {
+    if data.is_empty() || data.iter().any(|v| !v.is_finite()) || !(0.0..=1.0).contains(&p) {
+        return None;
+    }
+    let mut sorted = data.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).expect("finite values are comparable"));
+    let h = (sorted.len() as f64 - 1.0) * p;
+    let low = h.floor() as usize;
+    let high = h.ceil() as usize;
+    if low == high {
+        return Some(sorted[low]);
+    }
+    let fraction = h - low as f64;
+    Some(sorted[low] + fraction * (sorted[high] - sorted[low]))
+}
+
 /// Geometric mean of strictly positive samples; `None` otherwise.
 pub fn geometric_mean(data: &[f64]) -> Option<f64> {
     if data.is_empty() || data.iter().any(|&v| v <= 0.0 || !v.is_finite()) {
@@ -136,6 +207,65 @@ mod tests {
         let s = Summary::of(&[42.0]).unwrap();
         assert_eq!(s.std_dev, 0.0);
         assert_eq!(s.median, 42.0);
+    }
+
+    #[test]
+    fn wilson_interval_matches_hand_computed_values() {
+        // 8/10 at z = 1.96: the worked textbook example. By the formula,
+        // centre = (0.8 + 1.96²/20) / (1 + 1.96²/10) = 0.71674…,
+        // half = 1.96/(1 + 1.96²/10)·√(0.8·0.2/10 + 1.96²/400) = 0.22658…,
+        // giving the well-known (0.4902, 0.9433) interval.
+        let (low, high) = wilson_interval(8, 10, 1.96).unwrap();
+        assert!((low - 0.490_2).abs() < 5e-4, "low = {low}");
+        assert!((high - 0.943_3).abs() < 5e-4, "high = {high}");
+
+        // 1/2 at z = 1: centre = (0.5 + 0.25)/1.5 = 0.5,
+        // half = (1/1.5)·√(0.125 + 0.0625) = 0.288675…
+        let (low, high) = wilson_interval(1, 2, 1.0).unwrap();
+        assert!((low - (0.5 - 0.288_675_134_594_812_9)).abs() < 1e-12);
+        assert!((high - (0.5 + 0.288_675_134_594_812_9)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn wilson_interval_is_clamped_and_ordered() {
+        let (low, high) = wilson_interval(0, 5, 1.96).unwrap();
+        assert_eq!(low, 0.0);
+        assert!(high > 0.0 && high < 0.6);
+        let (low, high) = wilson_interval(5, 5, 1.96).unwrap();
+        assert!(low > 0.4 && low < 1.0);
+        assert_eq!(high, 1.0);
+        assert!(low <= high);
+    }
+
+    #[test]
+    fn wilson_interval_rejects_degenerate_inputs() {
+        assert!(wilson_interval(0, 0, 1.96).is_none());
+        assert!(wilson_interval(3, 2, 1.96).is_none());
+        assert!(wilson_interval(1, 2, 0.0).is_none());
+        assert!(wilson_interval(1, 2, f64::NAN).is_none());
+    }
+
+    #[test]
+    fn percentile_interpolates_linearly() {
+        let data = [40.0, 10.0, 30.0, 20.0]; // unsorted on purpose
+        assert_eq!(percentile(&data, 0.0), Some(10.0));
+        assert_eq!(percentile(&data, 1.0), Some(40.0));
+        assert_eq!(percentile(&data, 0.5), Some(25.0));
+        // h = 3·0.25 = 0.75 → 10 + 0.75·(20−10) = 17.5
+        assert_eq!(percentile(&data, 0.25), Some(17.5));
+        // Five elements: p50 is the exact middle order statistic.
+        assert_eq!(percentile(&[5.0, 1.0, 4.0, 2.0, 3.0], 0.5), Some(3.0));
+        // Single element: every quantile is that element.
+        assert_eq!(percentile(&[7.0], 0.05), Some(7.0));
+        assert_eq!(percentile(&[7.0], 0.95), Some(7.0));
+    }
+
+    #[test]
+    fn percentile_rejects_bad_inputs() {
+        assert!(percentile(&[], 0.5).is_none());
+        assert!(percentile(&[1.0, f64::NAN], 0.5).is_none());
+        assert!(percentile(&[1.0], -0.1).is_none());
+        assert!(percentile(&[1.0], 1.1).is_none());
     }
 
     #[test]

@@ -1,0 +1,155 @@
+//! Maps the attack-success probability surface under device-to-device
+//! variability: spread σ × hammer amplitude, Monte Carlo over seeded
+//! per-cell parameter samples on the batched backend.
+//!
+//! The paper's disturb margins (Figs. 3a–d) are single-device numbers;
+//! with realistic filament-radius and disc-length spreads the hammer count
+//! to flip becomes a *distribution*, and attack success a probability.
+//! For every spread σ this binary runs one seeded Monte Carlo campaign
+//! (`trials` sampled device arrays per amplitude) and reports, per
+//! (σ, amplitude) cell: the flip probability with its 95 % Wilson interval
+//! and the p5/p50/p95 hammer counts over the flipped trials.
+//!
+//! Run with `cargo run -p neurohammer-bench --release --bin fig_variability`.
+//! Flags: `--quick` (small grid, synthetic coupling), `--csv` (raw
+//! per-trial rows and statistics as CSV), `--json` (machine-readable
+//! statistics + full reports, for determinism diffing), `--spec` (print
+//! the executed campaign specs).
+
+use neurohammer::campaign::{CampaignEvent, CampaignExecutor, CampaignReport, CampaignSpec};
+use neurohammer_bench::{csv_requested, figure_campaign, quick_requested, spec_requested};
+use rram_analysis::ascii_plot::progress_line;
+use rram_analysis::Table;
+use rram_crossbar::BackendKind;
+use rram_jart::DeviceParams;
+use rram_variability::{ParamField, ParamSpread};
+
+/// The master seed of the figure: fixed so the published surface is
+/// reproducible bit for bit.
+const SEED: u64 = 42;
+
+/// Builds the Monte Carlo campaign of one spread σ (a *relative* sigma
+/// applied to the filament radius and the disc length — the two dominant
+/// spreads in VCM variability studies).
+fn sigma_campaign(sigma: f64, quick: bool) -> CampaignSpec {
+    let nominal = DeviceParams::default();
+    let mut spec = figure_campaign(quick);
+    spec.name = format!("variability sigma={sigma}");
+    spec.backends = vec![BackendKind::Batched];
+    spec.amplitudes_v = if quick {
+        vec![1.05]
+    } else {
+        vec![0.95, 1.05, 1.15]
+    };
+    spec.max_pulses = if quick { 200_000 } else { 3_000_000 };
+    spec.seed = SEED;
+    if sigma == 0.0 {
+        // The σ = 0 baseline is deterministic: every trial would sample
+        // the identical nominal device, so one trial carries the whole row.
+        spec.trials = 1;
+        spec.spreads = Vec::new();
+    } else {
+        spec.trials = if quick { 4 } else { 24 };
+        spec.spreads = vec![
+            ParamSpread::relative_normal(ParamField::FilamentRadius, sigma, &nominal),
+            ParamSpread::relative_normal(ParamField::LDisc, sigma, &nominal),
+        ];
+    }
+    spec
+}
+
+/// Runs one σ's campaign with a stderr progress line.
+fn run_with_progress(spec: CampaignSpec) -> CampaignReport {
+    let executor = CampaignExecutor::new(spec).unwrap_or_else(|e| panic!("invalid campaign: {e}"));
+    let name = executor.spec().name.clone();
+    let (mut total, mut done) = (0usize, 0usize);
+    executor
+        .execute(|event| match event {
+            CampaignEvent::Started { total: points } => {
+                total = points;
+                eprintln!("campaign {name:?}: {points} points");
+            }
+            CampaignEvent::PointFinished(_) => {
+                done += 1;
+                eprint!("\r{}", progress_line(done, total, 40));
+            }
+            CampaignEvent::Finished => eprintln!(),
+        })
+        .unwrap_or_else(|e| panic!("campaign failed: {e}"))
+}
+
+fn main() {
+    let quick = quick_requested();
+    let json = std::env::args().any(|a| a == "--json");
+    let sigmas: Vec<f64> = if quick {
+        vec![0.02, 0.08]
+    } else {
+        vec![0.0, 0.02, 0.05, 0.10, 0.20]
+    };
+
+    let runs: Vec<(f64, CampaignSpec, CampaignReport)> = sigmas
+        .iter()
+        .map(|&sigma| {
+            let spec = sigma_campaign(sigma, quick);
+            let report = run_with_progress(spec.clone());
+            (sigma, spec, report)
+        })
+        .collect();
+
+    if json {
+        // Machine-readable form: one entry per σ with the collapsed
+        // statistics and the full per-trial report — every float bit-exact,
+        // so two runs of the same seed diff empty.
+        let entries: Vec<String> = runs
+            .iter()
+            .map(|(sigma, _, report)| {
+                format!(
+                    "{{\"sigma\": {sigma}, \"stats\": {}, \"report\": {}}}",
+                    report.variability_json(),
+                    report.to_json()
+                )
+            })
+            .collect();
+        println!("[{}]", entries.join(",\n"));
+        return;
+    }
+
+    println!("# Variability — attack-success probability vs spread σ\n");
+    for (sigma, spec, report) in &runs {
+        println!(
+            "## σ = {:.0}% (relative, filament radius + disc length)",
+            sigma * 100.0
+        );
+        println!("{}", report.variability_table());
+        if csv_requested() {
+            println!("### statistics CSV\n{}", report.variability_csv());
+            println!("### per-trial CSV\n{}", report.to_csv_string());
+        }
+        if spec_requested() {
+            println!("### campaign spec\n{}", spec.to_json());
+        }
+    }
+
+    // The probability surface: one row per σ, one column per amplitude.
+    let amplitudes = &runs[0].1.amplitudes_v;
+    let mut headers: Vec<String> = vec!["σ \\ amplitude".into()];
+    headers.extend(amplitudes.iter().map(|a| format!("{a:.2} V")));
+    let header_refs: Vec<&str> = headers.iter().map(String::as_str).collect();
+    let mut surface = Table::with_headers(&header_refs);
+    for (sigma, _, report) in &runs {
+        let mut row = vec![format!("{:.0}%", sigma * 100.0)];
+        for group in report.variability_groups() {
+            row.push(format!(
+                "P={:.2} [{:.2},{:.2}] p50={}",
+                group.flip_probability,
+                group.wilson_low,
+                group.wilson_high,
+                group
+                    .pulses_p50
+                    .map_or_else(|| "—".into(), |p| format!("{p:.0}")),
+            ));
+        }
+        surface.push_row(row);
+    }
+    println!("## Probability surface (P(flip) [95% Wilson] and median pulses)\n{surface}");
+}

@@ -29,7 +29,11 @@
 //!   `--checkpoint` file instead of re-running them;
 //! * `--merge <path>...` — skip execution entirely: read the given
 //!   checkpoint files, merge them (de-duplicating by point key, restoring
-//!   grid order) and render the combined report.
+//!   grid order) and render the combined report;
+//! * `--alpha-cache <dir>` — persist FEM α-matrix extractions to a
+//!   versioned on-disk cache in `<dir>`, so repeated campaign *processes*
+//!   skip the field solve (defaults to the `--checkpoint` directory when
+//!   checkpointing).
 
 #![deny(missing_docs)]
 #![deny(unsafe_code)]
@@ -136,6 +140,26 @@ pub fn checkpoint_requested() -> Option<PathBuf> {
     flag_value("--checkpoint").map(PathBuf::from)
 }
 
+/// Reads the `--alpha-cache <dir>` flag: the directory of the on-disk
+/// α-matrix cache. When absent but `--checkpoint` is given, the cache
+/// lives next to the checkpoint file, so a resumed FEM campaign skips its
+/// field solves along with its finished points.
+///
+/// # Panics
+///
+/// Panics when the flag has no directory argument.
+pub fn alpha_cache_requested() -> Option<PathBuf> {
+    flag_value("--alpha-cache").map(PathBuf::from).or_else(|| {
+        checkpoint_requested().map(|checkpoint| {
+            checkpoint
+                .parent()
+                .filter(|dir| !dir.as_os_str().is_empty())
+                .map(PathBuf::from)
+                .unwrap_or_else(|| PathBuf::from("."))
+        })
+    })
+}
+
 /// Reads the `--resume` flag.
 pub fn resume_requested() -> bool {
     std::env::args().any(|a| a == "--resume")
@@ -224,6 +248,9 @@ pub fn run_figure_campaign(spec: CampaignSpec) -> CampaignReport {
         executor = executor
             .with_shard(shard)
             .unwrap_or_else(|e| panic!("invalid shard: {e}"));
+    }
+    if let Some(dir) = alpha_cache_requested() {
+        executor = executor.with_alpha_cache(dir);
     }
     let checkpoint = checkpoint_requested();
     let resume = resume_requested();

@@ -53,9 +53,11 @@
 pub mod checkpoint;
 pub mod executor;
 pub mod json;
+pub mod stats;
 
 pub use checkpoint::{read_checkpoint, CheckpointWriter};
 pub use executor::{CampaignEvent, CampaignExecutor, Shard};
+pub use stats::VariabilityGroup;
 
 use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
@@ -74,6 +76,7 @@ use rram_fem::{AlphaError, AlphaMatrix, CrossbarGeometry};
 use rram_jart::current::solve_operating_point;
 use rram_jart::DeviceParams;
 use rram_units::{Kelvin, Ohms, Seconds, Volts, Watts};
+use rram_variability::{try_sample_table, Distribution, ParamField, ParamSpread};
 
 /// Where a campaign's thermal-coupling coefficients come from.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
@@ -128,8 +131,12 @@ pub struct CampaignSpec {
     pub patterns: Vec<AttackPattern>,
     /// Hammer amplitudes, V.
     pub amplitudes_v: Vec<f64>,
-    /// Hammer pulse lengths, ns (the inter-pulse gap equals the length).
+    /// Hammer pulse lengths, ns.
     pub pulse_lengths_ns: Vec<f64>,
+    /// Hammer duty cycles in `(0, 1]`: the inter-pulse gap equals
+    /// `length · (1 − d) / d`, so `0.5` is the paper's symmetric
+    /// pulse/gap train and `1.0` is back-to-back hammering with no gap.
+    pub duty_cycles: Vec<f64>,
     /// Electrode spacings, nm (only meaningful with [`CouplingSpec::Fem`];
     /// the uniform coupling ignores it but keeps the axis for labelling).
     pub spacings_nm: Vec<f64>,
@@ -142,6 +149,19 @@ pub struct CampaignSpec {
     pub backends: Vec<BackendKind>,
     /// Thermal-coupling source.
     pub coupling: CouplingSpec,
+    /// Device-parameter spreads (device-to-device variability). When
+    /// non-empty, every grid point samples a fresh per-cell parameter
+    /// table, deterministically from [`CampaignSpec::seed`] and the
+    /// point's key — see [`rram_variability`].
+    pub spreads: Vec<ParamSpread>,
+    /// Monte Carlo trials per grid point (an extra grid axis: each trial
+    /// re-samples the spreads under a different derived seed). `1` for
+    /// deterministic single-device campaigns.
+    pub trials: u32,
+    /// Master seed of the Monte Carlo sampling. The same seed and spec
+    /// produce bit-identical reports across shard counts, thread schedules
+    /// and checkpoint resume.
+    pub seed: u64,
     /// Crosstalk time constant, ns.
     pub tau_ns: f64,
     /// Pulse budget per point before giving up.
@@ -160,11 +180,15 @@ impl Default for CampaignSpec {
             patterns: vec![AttackPattern::SingleAggressor],
             amplitudes_v: vec![rram_units::V_SET],
             pulse_lengths_ns: vec![50.0],
+            duty_cycles: vec![0.5],
             spacings_nm: vec![50.0],
             ambients_k: vec![300.0],
             schemes: vec![WriteScheme::HalfVoltage],
             backends: vec![BackendKind::Pulse],
             coupling: CouplingSpec::Uniform { nearest: 0.15 },
+            spreads: Vec::new(),
+            trials: 1,
+            seed: 0,
             tau_ns: 30.0,
             max_pulses: 1_000_000,
             batching: true,
@@ -188,6 +212,8 @@ pub struct CampaignPoint {
     pub amplitude: Volts,
     /// Hammer pulse length.
     pub pulse_length: Seconds,
+    /// Hammer duty cycle in `(0, 1]` (gap = length · (1 − d) / d).
+    pub duty_cycle: f64,
     /// Electrode spacing, nm.
     pub spacing_nm: f64,
     /// Ambient temperature.
@@ -196,6 +222,10 @@ pub struct CampaignPoint {
     pub scheme: WriteScheme,
     /// Simulation backend.
     pub backend: BackendKind,
+    /// Monte Carlo trial index (`0` in single-trial campaigns). Part of
+    /// the point's content fingerprint, so reports and checkpoints from
+    /// different trials can never be merged into one record.
+    pub trial: u32,
 }
 
 /// Stable identity of one grid point.
@@ -227,6 +257,8 @@ pub enum CampaignAxis {
     Amplitude,
     /// Pulse length in nanoseconds.
     PulseLength,
+    /// Hammer duty cycle (fraction of the period under bias).
+    DutyCycle,
     /// Electrode spacing in nanometres.
     Spacing,
     /// Ambient temperature in kelvin.
@@ -237,19 +269,23 @@ pub enum CampaignAxis {
     /// Simulation backend (parameter value: 0 = pulse, 1 = detailed,
     /// 2 = batched).
     Backend,
+    /// Monte Carlo trial index.
+    Trial,
 }
 
 impl CampaignAxis {
     /// All axes, in the column order reports use.
-    pub const ALL: [CampaignAxis; 8] = [
+    pub const ALL: [CampaignAxis; 10] = [
         CampaignAxis::ArraySize,
         CampaignAxis::Pattern,
         CampaignAxis::Amplitude,
         CampaignAxis::PulseLength,
+        CampaignAxis::DutyCycle,
         CampaignAxis::Spacing,
         CampaignAxis::Ambient,
         CampaignAxis::Scheme,
         CampaignAxis::Backend,
+        CampaignAxis::Trial,
     ];
 }
 
@@ -261,6 +297,7 @@ impl CampaignPoint {
             CampaignAxis::Pattern => self.pattern.index() as f64,
             CampaignAxis::Amplitude => self.amplitude.0,
             CampaignAxis::PulseLength => self.pulse_length.0 * 1e9,
+            CampaignAxis::DutyCycle => self.duty_cycle,
             CampaignAxis::Spacing => self.spacing_nm,
             CampaignAxis::Ambient => self.ambient.0,
             CampaignAxis::Scheme => self.scheme.index() as f64,
@@ -269,6 +306,7 @@ impl CampaignPoint {
                 BackendKind::Detailed(_) => 1.0,
                 BackendKind::Batched => 2.0,
             },
+            CampaignAxis::Trial => self.trial as f64,
         }
     }
 
@@ -279,6 +317,7 @@ impl CampaignPoint {
             CampaignAxis::Pattern => self.pattern.label().to_string(),
             CampaignAxis::Amplitude => format!("{:.2} V", self.amplitude.0),
             CampaignAxis::PulseLength => format!("{:.0} ns", self.pulse_length.0 * 1e9),
+            CampaignAxis::DutyCycle => format!("d={:.0}%", self.duty_cycle * 100.0),
             CampaignAxis::Spacing => format!("{:.0} nm", self.spacing_nm),
             CampaignAxis::Ambient => format!("{:.0} K", self.ambient.0),
             CampaignAxis::Scheme => match self.scheme {
@@ -287,6 +326,7 @@ impl CampaignPoint {
                 WriteScheme::GroundedUnselected => "grounded".to_string(),
             },
             CampaignAxis::Backend => self.backend.label().to_string(),
+            CampaignAxis::Trial => format!("trial {}", self.trial),
         }
     }
 
@@ -305,6 +345,25 @@ impl CampaignPoint {
     /// array centre (as in the paper's main experiment).
     pub fn victim(&self) -> CellAddress {
         CellAddress::new(self.rows / 2, self.cols / 2 - 1)
+    }
+
+    /// Fingerprint of the point's *device-relevant* coordinates: everything
+    /// in [`CampaignPoint::id`] except the simulation backend. This seeds
+    /// the Monte Carlo parameter sampling, so every backend of a
+    /// cross-engine comparison simulates the identical sampled devices.
+    pub fn device_id(&self) -> u64 {
+        fnv1a_words(&[
+            self.rows as u64,
+            self.cols as u64,
+            self.pattern.index() as u64,
+            self.amplitude.0.to_bits(),
+            self.pulse_length.0.to_bits(),
+            self.duty_cycle.to_bits(),
+            self.spacing_nm.to_bits(),
+            self.ambient.0.to_bits(),
+            self.scheme.index() as u64,
+            u64::from(self.trial),
+        ])
     }
 
     /// Content fingerprint of this point: an FNV-1a hash over the exact bit
@@ -328,12 +387,14 @@ impl CampaignPoint {
             self.pattern.index() as u64,
             self.amplitude.0.to_bits(),
             self.pulse_length.0.to_bits(),
+            self.duty_cycle.to_bits(),
             self.spacing_nm.to_bits(),
             self.ambient.0.to_bits(),
             self.scheme.index() as u64,
             backend_tag,
             segment_bits,
             driver_bits,
+            u64::from(self.trial),
         ])
     }
 }
@@ -476,16 +537,19 @@ impl From<JsonError> for CampaignError {
 type CouplingKey = (usize, usize, u64);
 
 impl CampaignSpec {
-    /// Number of grid points the campaign will execute.
+    /// Number of grid points the campaign will execute (Monte Carlo trials
+    /// count as grid points).
     pub fn num_points(&self) -> usize {
         self.array_sizes.len()
             * self.patterns.len()
             * self.amplitudes_v.len()
             * self.pulse_lengths_ns.len()
+            * self.duty_cycles.len()
             * self.spacings_nm.len()
             * self.ambients_k.len()
             * self.schemes.len()
             * self.backends.len()
+            * self.trials as usize
     }
 
     /// Checks the grid is well formed.
@@ -494,11 +558,12 @@ impl CampaignSpec {
     ///
     /// Returns the first [`CampaignError`] found.
     pub fn validate(&self) -> Result<(), CampaignError> {
-        let axes: [(&'static str, bool); 8] = [
+        let axes: [(&'static str, bool); 9] = [
             ("array_sizes", self.array_sizes.is_empty()),
             ("patterns", self.patterns.is_empty()),
             ("amplitudes_v", self.amplitudes_v.is_empty()),
             ("pulse_lengths_ns", self.pulse_lengths_ns.is_empty()),
+            ("duty_cycles", self.duty_cycles.is_empty()),
             ("spacings_nm", self.spacings_nm.is_empty()),
             ("ambients_k", self.ambients_k.is_empty()),
             ("schemes", self.schemes.is_empty()),
@@ -528,10 +593,29 @@ impl CampaignSpec {
                 )));
             }
         }
+        if self
+            .duty_cycles
+            .iter()
+            .any(|&d| !(d > 0.0 && d <= 1.0 && d.is_finite()))
+        {
+            return Err(CampaignError::InvalidValue(
+                "duty_cycles must lie in (0, 1]".into(),
+            ));
+        }
         if self.max_pulses == 0 {
             return Err(CampaignError::InvalidValue(
                 "max_pulses must be at least 1".into(),
             ));
+        }
+        if self.trials == 0 {
+            return Err(CampaignError::InvalidValue(
+                "trials must be at least 1".into(),
+            ));
+        }
+        for spread in &self.spreads {
+            spread
+                .validate()
+                .map_err(|e| CampaignError::InvalidValue(format!("invalid spread: {e}")))?;
         }
         if self.tau_ns < 0.0 || !self.tau_ns.is_finite() {
             return Err(CampaignError::InvalidValue(
@@ -549,21 +633,27 @@ impl CampaignSpec {
             for &pattern in &self.patterns {
                 for &amplitude in &self.amplitudes_v {
                     for &length_ns in &self.pulse_lengths_ns {
-                        for &spacing in &self.spacings_nm {
-                            for &ambient in &self.ambients_k {
-                                for &scheme in &self.schemes {
-                                    for &backend in &self.backends {
-                                        points.push(CampaignPoint {
-                                            rows,
-                                            cols,
-                                            pattern,
-                                            amplitude: Volts(amplitude),
-                                            pulse_length: Seconds(length_ns * 1e-9),
-                                            spacing_nm: spacing,
-                                            ambient: Kelvin(ambient),
-                                            scheme,
-                                            backend,
-                                        });
+                        for &duty in &self.duty_cycles {
+                            for &spacing in &self.spacings_nm {
+                                for &ambient in &self.ambients_k {
+                                    for &scheme in &self.schemes {
+                                        for &backend in &self.backends {
+                                            for trial in 0..self.trials {
+                                                points.push(CampaignPoint {
+                                                    rows,
+                                                    cols,
+                                                    pattern,
+                                                    amplitude: Volts(amplitude),
+                                                    pulse_length: Seconds(length_ns * 1e-9),
+                                                    duty_cycle: duty,
+                                                    spacing_nm: spacing,
+                                                    ambient: Kelvin(ambient),
+                                                    scheme,
+                                                    backend,
+                                                    trial,
+                                                });
+                                            }
+                                        }
                                     }
                                 }
                             }
@@ -586,7 +676,7 @@ impl CampaignSpec {
             CouplingSpec::Uniform { nearest } => (0u64, nearest.to_bits()),
             CouplingSpec::Fem { voxel_nm } => (1u64, voxel_nm.to_bits()),
         };
-        fnv1a_words(&[
+        let mut words = vec![
             coupling_tag,
             coupling_bits,
             self.tau_ns.to_bits(),
@@ -597,7 +687,14 @@ impl CampaignSpec {
                 .copied()
                 .unwrap_or_default()
                 .to_bits(),
-        ])
+            self.seed,
+            u64::from(self.trials),
+            self.spreads.len() as u64,
+        ];
+        for spread in &self.spreads {
+            words.extend(spread.fingerprint_words());
+        }
+        fnv1a_words(&words)
     }
 
     /// Expands the grid into `(key, point)` pairs in grid order — the form
@@ -621,15 +718,17 @@ impl CampaignSpec {
             .collect()
     }
 
-    /// The attack configuration a given point runs (50 % duty cycle, victim
-    /// at the centre neighbour).
+    /// The attack configuration a given point runs (victim at the centre
+    /// neighbour; the inter-pulse gap follows the point's duty cycle:
+    /// `gap = length · (1 − d) / d`, so `d = 0.5` is the paper's symmetric
+    /// train and `d = 1` hammers back to back).
     pub fn attack_config(&self, point: &CampaignPoint) -> AttackConfig {
         AttackConfig {
             victim: point.victim(),
             pattern: point.pattern,
             amplitude: point.amplitude,
             pulse_length: point.pulse_length,
-            gap: point.pulse_length,
+            gap: Seconds(point.pulse_length.0 * (1.0 - point.duty_cycle) / point.duty_cycle),
             max_pulses: self.max_pulses,
             batching: self.batching,
             trace: false,
@@ -640,10 +739,14 @@ impl CampaignSpec {
     /// combination the grid touches. For [`CouplingSpec::Uniform`] this is a
     /// cheap synthesis; for [`CouplingSpec::Fem`] one field extraction per
     /// combination, de-duplicated so a pulse-length × spacing grid does not
-    /// re-solve the thermal field per pulse length.
+    /// re-solve the thermal field per pulse length. With `cache_dir` given,
+    /// extractions additionally go through the on-disk α cache
+    /// ([`rram_fem::alpha::extract_alpha_disk_cached`]) so repeated campaign
+    /// *processes* skip the field solve too.
     fn resolve_couplings(
         &self,
         points: &[CampaignPoint],
+        cache_dir: Option<&std::path::Path>,
     ) -> Result<HashMap<CouplingKey, AlphaMatrix>, CampaignError> {
         let tau = Seconds(self.tau_ns * 1e-9);
         let mut couplings = HashMap::new();
@@ -674,7 +777,13 @@ impl CampaignSpec {
                         selected: (point.rows / 2, point.cols / 2),
                         powers: vec![Watts(0.25 * p), Watts(0.5 * p), Watts(0.75 * p), Watts(p)],
                     };
-                    extract_alpha_cached(&geometry, &config)?.alpha
+                    match cache_dir {
+                        Some(dir) => {
+                            rram_fem::alpha::extract_alpha_disk_cached(&geometry, &config, dir)?
+                                .alpha
+                        }
+                        None => extract_alpha_cached(&geometry, &config)?.alpha,
+                    }
                 }
             };
             couplings.insert(key, alpha);
@@ -682,13 +791,61 @@ impl CampaignSpec {
         Ok(couplings)
     }
 
+    /// The Monte Carlo sampling seed of one grid point: the spec's master
+    /// seed mixed with the point's *device* fingerprint (physical
+    /// coordinates and trial index). Deliberately excluded: the simulation
+    /// backend — a Pulse/Batched/Detailed comparison runs the identical
+    /// sampled device array — and the execution profile (pulse budget,
+    /// batching, coupling source), so raising `max_pulses` to re-examine a
+    /// stubborn trial re-simulates the *same* device population instead of
+    /// silently resampling it. Depends only on the master seed and the
+    /// point — never on shard layout or execution order — which keeps
+    /// seeded campaigns bit-identical across `--shard` splits and
+    /// checkpoint resume; staleness protection against changed execution
+    /// profiles lives in the [`PointKey`] fingerprint, not here.
+    pub fn point_seed(&self, point: &CampaignPoint) -> u64 {
+        fnv1a_words(&[self.seed, point.device_id()])
+    }
+
+    /// Samples the per-cell parameter table of one grid point, or `None`
+    /// when the spec carries no spreads.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CampaignError::InvalidValue`] when a sampled set violates
+    /// the device-parameter constraints (reachable with explicit truncation
+    /// bounds, or wide spreads on relationally constrained fields such as
+    /// `lrs_threshold`), so a bad spec fails the campaign cleanly instead
+    /// of panicking a worker thread.
+    pub fn sampled_table(
+        &self,
+        point: &CampaignPoint,
+    ) -> Result<Option<Vec<DeviceParams>>, CampaignError> {
+        if self.spreads.is_empty() {
+            return Ok(None);
+        }
+        try_sample_table(
+            &DeviceParams::default(),
+            &self.spreads,
+            self.point_seed(point),
+            point.rows * point.cols,
+        )
+        .map(Some)
+        .map_err(|e| {
+            CampaignError::InvalidValue(format!(
+                "spreads sample invalid device parameters ({e}); tighten the truncation bounds"
+            ))
+        })
+    }
+
     /// Builds the backend a given point runs on, using a pre-resolved
-    /// coupling matrix.
+    /// coupling matrix (and the point's sampled per-cell parameters when
+    /// the spec carries spreads).
     fn backend_with_alpha(
         &self,
         point: &CampaignPoint,
         alpha: AlphaMatrix,
-    ) -> Box<dyn HammerBackend> {
+    ) -> Result<Box<dyn HammerBackend>, CampaignError> {
         let hub = CrosstalkHub::new(point.rows, point.cols, alpha, Seconds(self.tau_ns * 1e-9));
         let config = EngineConfig {
             scheme: point.scheme,
@@ -696,9 +853,14 @@ impl CampaignSpec {
             max_substep: Seconds(10e-9),
             ambient: point.ambient,
         };
-        point
-            .backend
-            .build(point.rows, point.cols, DeviceParams::default(), hub, config)
+        Ok(point.backend.build_heterogeneous(
+            point.rows,
+            point.cols,
+            DeviceParams::default(),
+            self.sampled_table(point)?,
+            hub,
+            config,
+        ))
     }
 
     /// Builds a fresh, ready-to-hammer backend for one grid point (exposed
@@ -707,12 +869,12 @@ impl CampaignSpec {
     ///
     /// # Errors
     ///
-    /// Propagates coupling-resolution failures.
+    /// Propagates coupling-resolution and spread-sampling failures.
     pub fn backend_for(
         &self,
         point: &CampaignPoint,
     ) -> Result<Box<dyn HammerBackend>, CampaignError> {
-        let mut couplings = self.resolve_couplings(std::slice::from_ref(point))?;
+        let mut couplings = self.resolve_couplings(std::slice::from_ref(point), None)?;
         let key = (point.rows, point.cols, point.spacing_nm.to_bits());
         let alpha = couplings
             .remove(&key)
@@ -721,7 +883,7 @@ impl CampaignSpec {
                 cols: point.cols,
                 spacing_nm: point.spacing_nm,
             })?;
-        Ok(self.backend_with_alpha(point, alpha))
+        self.backend_with_alpha(point, alpha)
     }
 
     /// Validates the grid, resolves couplings and executes every point in
@@ -778,6 +940,7 @@ impl CampaignSpec {
             ),
             ("amplitudes_v".into(), numbers(&self.amplitudes_v)),
             ("pulse_lengths_ns".into(), numbers(&self.pulse_lengths_ns)),
+            ("duty_cycles".into(), numbers(&self.duty_cycles)),
             ("spacings_nm".into(), numbers(&self.spacings_nm)),
             ("ambients_k".into(), numbers(&self.ambients_k)),
             (
@@ -794,6 +957,12 @@ impl CampaignSpec {
                 Json::Array(self.backends.iter().map(backend_to_json).collect()),
             ),
             ("coupling".into(), coupling),
+            (
+                "spreads".into(),
+                Json::Array(self.spreads.iter().map(spread_to_json).collect()),
+            ),
+            ("trials".into(), Json::Number(f64::from(self.trials))),
+            ("seed".into(), seed_to_json(self.seed)),
             ("tau_ns".into(), Json::Number(self.tau_ns)),
             ("max_pulses".into(), Json::Number(self.max_pulses as f64)),
             ("batching".into(), Json::Bool(self.batching)),
@@ -873,6 +1042,7 @@ impl CampaignSpec {
                 }
                 "amplitudes_v" => spec.amplitudes_v = number_list(key, value)?,
                 "pulse_lengths_ns" => spec.pulse_lengths_ns = number_list(key, value)?,
+                "duty_cycles" => spec.duty_cycles = number_list(key, value)?,
                 "spacings_nm" => spec.spacings_nm = number_list(key, value)?,
                 "ambients_k" => spec.ambients_k = number_list(key, value)?,
                 "schemes" => {
@@ -924,6 +1094,21 @@ impl CampaignSpec {
                         }
                     };
                 }
+                "spreads" => {
+                    let spreads = value
+                        .as_array()
+                        .ok_or_else(|| bad(key, "an array of spread objects"))?;
+                    spec.spreads = spreads
+                        .iter()
+                        .map(spread_from_json)
+                        .collect::<Result<_, CampaignError>>()?;
+                }
+                "trials" => {
+                    let trials = value.as_u64().ok_or_else(|| bad(key, "an integer"))?;
+                    spec.trials = u32::try_from(trials)
+                        .map_err(|_| bad(key, "an integer fitting in 32 bits"))?;
+                }
+                "seed" => spec.seed = seed_from_json(value)?,
                 "tau_ns" => {
                     spec.tau_ns = value.as_f64().ok_or_else(|| bad(key, "a number"))?;
                 }
@@ -947,6 +1132,131 @@ impl CampaignSpec {
         spec.validate()?;
         Ok(spec)
     }
+}
+
+/// Serialises a Monte Carlo seed. Seeds up to 2⁵³ round-trip exactly as
+/// JSON numbers (the friendly, hand-written form); larger seeds are written
+/// as 16-digit hex strings, since an `f64` JSON number cannot hold them.
+fn seed_to_json(seed: u64) -> Json {
+    if seed <= (1u64 << 53) {
+        Json::Number(seed as f64)
+    } else {
+        Json::String(format!("{seed:016x}"))
+    }
+}
+
+/// Parses a seed written by [`seed_to_json`] (number or hex string).
+/// Decimal seeds above 2⁵³ are *rejected* rather than silently rounded
+/// through `f64` — a spec must never run under a different seed than it
+/// states; such seeds must use the hex-string form.
+fn seed_from_json(value: &Json) -> Result<u64, CampaignError> {
+    if let Some(seed) = value.as_u64() {
+        if seed > (1u64 << 53) {
+            return Err(CampaignError::Json(
+                "key \"seed\": decimal seeds above 2^53 lose precision in JSON — \
+                 write the seed as a 16-digit hex string instead"
+                    .into(),
+            ));
+        }
+        return Ok(seed);
+    }
+    value
+        .as_str()
+        .and_then(|hex| u64::from_str_radix(hex, 16).ok())
+        .ok_or_else(|| {
+            CampaignError::Json(
+                "key \"seed\" must be a non-negative integer or a 64-bit hex string".into(),
+            )
+        })
+}
+
+/// Serialises one device-parameter spread: the field label, the
+/// distribution kind and its parameters, plus any truncation bounds.
+/// Omitted `mean`/`median` mean "centred on the nominal value".
+fn spread_to_json(spread: &ParamSpread) -> Json {
+    let mut entries = vec![(
+        "field".into(),
+        Json::String(spread.field.label().to_string()),
+    )];
+    match spread.distribution {
+        Distribution::Normal { mean, sigma } => {
+            entries.push(("kind".into(), Json::String("normal".into())));
+            if let Some(mean) = mean {
+                entries.push(("mean".into(), Json::Number(mean)));
+            }
+            entries.push(("sigma".into(), Json::Number(sigma)));
+        }
+        Distribution::LogNormal { median, sigma } => {
+            entries.push(("kind".into(), Json::String("lognormal".into())));
+            if let Some(median) = median {
+                entries.push(("median".into(), Json::Number(median)));
+            }
+            entries.push(("sigma".into(), Json::Number(sigma)));
+        }
+        Distribution::Uniform { low, high } => {
+            entries.push(("kind".into(), Json::String("uniform".into())));
+            entries.push(("low".into(), Json::Number(low)));
+            entries.push(("high".into(), Json::Number(high)));
+        }
+    }
+    if let Some(low) = spread.truncate_low {
+        entries.push(("truncate_low".into(), Json::Number(low)));
+    }
+    if let Some(high) = spread.truncate_high {
+        entries.push(("truncate_high".into(), Json::Number(high)));
+    }
+    Json::Object(entries)
+}
+
+/// Parses a spread entry written by [`spread_to_json`].
+fn spread_from_json(value: &Json) -> Result<ParamSpread, CampaignError> {
+    let bad = |message: &str| CampaignError::Json(format!("invalid spread: {message}"));
+    let field = value
+        .get("field")
+        .and_then(Json::as_str)
+        .ok_or_else(|| bad("missing \"field\" label"))?
+        .parse::<ParamField>()
+        .map_err(CampaignError::Json)?;
+    let kind = value
+        .get("kind")
+        .and_then(Json::as_str)
+        .ok_or_else(|| bad("missing \"kind\""))?;
+    let number = |key: &str| -> Result<f64, CampaignError> {
+        value
+            .get(key)
+            .and_then(Json::as_f64)
+            .ok_or_else(|| bad(&format!("{key:?} must be a number")))
+    };
+    let optional = |key: &str| -> Result<Option<f64>, CampaignError> {
+        match value.get(key) {
+            None => Ok(None),
+            Some(v) => v
+                .as_f64()
+                .map(Some)
+                .ok_or_else(|| bad(&format!("{key:?} must be a number"))),
+        }
+    };
+    let distribution = match kind {
+        "normal" => Distribution::Normal {
+            mean: optional("mean")?,
+            sigma: number("sigma")?,
+        },
+        "lognormal" => Distribution::LogNormal {
+            median: optional("median")?,
+            sigma: number("sigma")?,
+        },
+        "uniform" => Distribution::Uniform {
+            low: number("low")?,
+            high: number("high")?,
+        },
+        other => return Err(bad(&format!("unknown distribution kind {other:?}"))),
+    };
+    Ok(ParamSpread {
+        field,
+        distribution,
+        truncate_low: optional("truncate_low")?,
+        truncate_high: optional("truncate_high")?,
+    })
 }
 
 /// Serialises a backend choice: `"pulse"`, `"detailed"` (default
@@ -1091,9 +1401,11 @@ impl CampaignReport {
             "pattern",
             "amplitude",
             "pulse len",
+            "duty",
             "spacing",
             "ambient",
             "scheme",
+            "trial",
             "# pulses to bit-flip",
             "victim drift",
         ]);
@@ -1105,9 +1417,11 @@ impl CampaignReport {
                 p.axis_label(CampaignAxis::Pattern),
                 p.axis_label(CampaignAxis::Amplitude),
                 p.axis_label(CampaignAxis::PulseLength),
+                p.axis_label(CampaignAxis::DutyCycle),
                 p.axis_label(CampaignAxis::Spacing),
                 p.axis_label(CampaignAxis::Ambient),
                 p.axis_label(CampaignAxis::Scheme),
+                p.trial.to_string(),
                 if outcome.flipped {
                     outcome.pulses.to_string()
                 } else {
@@ -1138,9 +1452,11 @@ impl CampaignReport {
                     p.pattern.label().to_string(),
                     format!("{}", p.amplitude.0),
                     format!("{}", p.pulse_length.0 * 1e9),
+                    format!("{}", p.duty_cycle),
                     format!("{}", p.spacing_nm),
                     format!("{}", p.ambient.0),
                     p.scheme.label().to_string(),
+                    p.trial.to_string(),
                     outcome.flipped.to_string(),
                     outcome.pulses.to_string(),
                     format!("{}", outcome.victim_drift),
@@ -1158,9 +1474,11 @@ impl CampaignReport {
                 "pattern",
                 "amplitude_v",
                 "pulse_length_ns",
+                "duty_cycle",
                 "spacing_nm",
                 "ambient_k",
                 "scheme",
+                "trial",
                 "flipped",
                 "pulses",
                 "victim_drift",
@@ -1475,6 +1793,269 @@ mod tests {
         let series = report.series_over(CampaignAxis::PulseLength);
         assert_eq!(series.len(), 2);
         assert!(series.iter().all(|s| s.points.len() == 2));
+    }
+
+    #[test]
+    fn duty_cycle_axis_sets_the_gap_and_round_trips() {
+        let spec = CampaignSpec {
+            name: "duty sweep".into(),
+            duty_cycles: vec![0.5, 1.0],
+            max_pulses: 2_000,
+            batching: false,
+            ..CampaignSpec::default()
+        };
+        assert_eq!(spec.num_points(), 2);
+        let points = spec.points();
+        // d = 0.5: gap equals the pulse length; d = 1: back-to-back.
+        let gap = |i: usize| spec.attack_config(&points[i]).gap.0;
+        assert!((gap(0) - points[0].pulse_length.0).abs() < 1e-18);
+        assert_eq!(gap(1), 0.0);
+
+        // JSON round trip preserves the axis.
+        let restored = CampaignSpec::from_json(&spec.to_json()).unwrap();
+        assert_eq!(restored, spec);
+
+        // Validation rejects out-of-range duty cycles.
+        let mut bad = spec.clone();
+        bad.duty_cycles = vec![0.0];
+        assert!(matches!(
+            bad.validate(),
+            Err(CampaignError::InvalidValue(_))
+        ));
+        let mut bad = spec.clone();
+        bad.duty_cycles = vec![1.5];
+        assert!(matches!(
+            bad.validate(),
+            Err(CampaignError::InvalidValue(_))
+        ));
+
+        // Physics: back-to-back hammering skips the cooling gaps, so the
+        // victim drifts at least as far in the same pulse budget.
+        let report = spec.run().unwrap();
+        let drift = |duty: f64| {
+            report
+                .outcomes
+                .iter()
+                .find(|o| o.point.duty_cycle == duty)
+                .expect("duty present")
+                .victim_drift
+        };
+        assert!(
+            drift(1.0) > drift(0.5),
+            "d=1 {} vs d=0.5 {}",
+            drift(1.0),
+            drift(0.5)
+        );
+        // The duty-cycle column reaches the CSV and the series labels.
+        assert!(report
+            .to_csv_string()
+            .lines()
+            .next()
+            .unwrap()
+            .contains("duty_cycle"));
+        let series = report.series_over(CampaignAxis::DutyCycle);
+        assert_eq!(series.len(), 1);
+        let labels: Vec<&str> = series[0].points.iter().map(|p| p.label.as_str()).collect();
+        assert_eq!(labels, vec!["d=50%", "d=100%"]);
+    }
+
+    #[test]
+    fn spreads_trials_and_seed_round_trip_through_json() {
+        let nominal = DeviceParams::default();
+        let spec = CampaignSpec {
+            name: "mc round trip".into(),
+            spreads: vec![
+                ParamSpread::relative_normal(ParamField::FilamentRadius, 0.05, &nominal),
+                ParamSpread {
+                    field: ParamField::LDisc,
+                    distribution: Distribution::LogNormal {
+                        median: None,
+                        sigma: 0.2,
+                    },
+                    truncate_low: Some(0.1e-9),
+                    truncate_high: None,
+                },
+                ParamSpread {
+                    field: ParamField::EaSet,
+                    distribution: Distribution::Uniform {
+                        low: 1.2,
+                        high: 1.3,
+                    },
+                    truncate_low: None,
+                    truncate_high: None,
+                },
+            ],
+            trials: 4,
+            seed: 0xdead_beef,
+            ..CampaignSpec::default()
+        };
+        let text = spec.to_json();
+        assert!(text.contains("filament_radius"), "{text}");
+        let restored = CampaignSpec::from_json(&text).unwrap();
+        assert_eq!(restored, spec);
+
+        // A seed beyond 2^53 survives via the hex-string form.
+        let big_seed = CampaignSpec {
+            seed: u64::MAX - 5,
+            ..CampaignSpec::default()
+        };
+        let restored = CampaignSpec::from_json(&big_seed.to_json()).unwrap();
+        assert_eq!(restored.seed, u64::MAX - 5);
+
+        // Malformed spreads are rejected at the JSON layer.
+        assert!(matches!(
+            CampaignSpec::from_json(
+                r#"{"spreads": [{"field": "no_such_field", "kind": "normal", "sigma": 1.0}]}"#
+            ),
+            Err(CampaignError::Json(_))
+        ));
+        assert!(matches!(
+            CampaignSpec::from_json(r#"{"spreads": [{"field": "l_disc", "kind": "cauchy"}]}"#),
+            Err(CampaignError::Json(_))
+        ));
+        // Invalid spread *values* are caught by validation.
+        assert!(matches!(
+            CampaignSpec::from_json(
+                r#"{"spreads": [{"field": "l_disc", "kind": "normal", "sigma": -1.0}]}"#
+            ),
+            Err(CampaignError::InvalidValue(_))
+        ));
+    }
+
+    #[test]
+    fn trials_fan_out_the_grid_and_sample_distinct_devices() {
+        let spec = CampaignSpec {
+            name: "mc grid".into(),
+            spreads: vec![ParamSpread::relative_normal(
+                ParamField::FilamentRadius,
+                0.08,
+                &DeviceParams::default(),
+            )],
+            trials: 3,
+            seed: 5,
+            max_pulses: 40_000,
+            ..CampaignSpec::default()
+        };
+        assert_eq!(spec.num_points(), 3);
+        let points = spec.points();
+        assert_eq!(
+            points.iter().map(|p| p.trial).collect::<Vec<_>>(),
+            vec![0, 1, 2]
+        );
+        // Different trials own different point fingerprints (the merge /
+        // resume guard) and different sampled device tables.
+        assert_ne!(points[0].id(), points[1].id());
+        let t0 = spec.sampled_table(&points[0]).unwrap().unwrap();
+        let t1 = spec.sampled_table(&points[1]).unwrap().unwrap();
+        assert_eq!(t0.len(), 25);
+        assert_ne!(t0[0].filament_radius, t1[0].filament_radius);
+
+        // The spread produces genuinely different outcomes across trials.
+        let report = spec.run().unwrap();
+        let drifts: Vec<f64> = report.outcomes.iter().map(|o| o.victim_drift).collect();
+        assert_eq!(drifts.len(), 3);
+        assert!(
+            drifts.windows(2).any(|w| w[0] != w[1]),
+            "all trials identical: {drifts:?}"
+        );
+    }
+
+    #[test]
+    fn execution_profile_changes_keep_the_sampled_devices() {
+        // Raising the pulse budget (or toggling batching) must re-examine
+        // the *same* device population, not silently resample it — the
+        // sampling seed depends on the physical point only.
+        let spec = CampaignSpec {
+            spreads: vec![ParamSpread::relative_normal(
+                ParamField::FilamentRadius,
+                0.05,
+                &DeviceParams::default(),
+            )],
+            trials: 2,
+            seed: 3,
+            ..CampaignSpec::default()
+        };
+        let bigger_budget = CampaignSpec {
+            max_pulses: spec.max_pulses * 10,
+            batching: !spec.batching,
+            ..spec.clone()
+        };
+        for (a, b) in spec.points().iter().zip(bigger_budget.points().iter()) {
+            assert_eq!(spec.point_seed(a), bigger_budget.point_seed(b));
+            let (ta, tb) = (
+                spec.sampled_table(a).unwrap().unwrap(),
+                bigger_budget.sampled_table(b).unwrap().unwrap(),
+            );
+            for (pa, pb) in ta.iter().zip(tb.iter()) {
+                assert_eq!(pa.filament_radius.to_bits(), pb.filament_radius.to_bits());
+            }
+        }
+    }
+
+    #[test]
+    fn nonphysical_spread_samples_fail_the_campaign_cleanly() {
+        // A wide lrs_threshold spread passes spec validation (the bounds
+        // are per-field) but can sample values ≥ 1, which violate the
+        // relational device constraints — the campaign must return an
+        // error, not panic a worker thread.
+        let spec = CampaignSpec {
+            name: "bad spread".into(),
+            spreads: vec![ParamSpread {
+                field: ParamField::LrsThreshold,
+                distribution: Distribution::Uniform {
+                    low: 0.5,
+                    high: 5.0,
+                },
+                truncate_low: None,
+                truncate_high: None,
+            }],
+            trials: 4,
+            max_pulses: 100,
+            ..CampaignSpec::default()
+        };
+        assert!(spec.validate().is_ok(), "per-field validation passes");
+        match spec.run() {
+            Err(CampaignError::InvalidValue(message)) => {
+                assert!(message.contains("truncation"), "{message}");
+            }
+            other => panic!("expected InvalidValue, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn lossy_decimal_seeds_are_rejected() {
+        // 2^53 + 2 is representable in f64, but the hex form is required
+        // above 2^53 so no seed can silently round through JSON.
+        let doc = format!("{{\"seed\": {}}}", (1u64 << 53) + 2);
+        assert!(matches!(
+            CampaignSpec::from_json(&doc),
+            Err(CampaignError::Json(_))
+        ));
+        // 2^53 itself is exact and accepted; so is the hex form above it.
+        let doc = format!("{{\"seed\": {}}}", 1u64 << 53);
+        assert_eq!(CampaignSpec::from_json(&doc).unwrap().seed, 1u64 << 53);
+    }
+
+    #[test]
+    fn seeded_campaigns_are_bit_reproducible() {
+        let spec = CampaignSpec {
+            name: "mc determinism".into(),
+            spreads: vec![ParamSpread::relative_normal(
+                ParamField::FilamentRadius,
+                0.06,
+                &DeviceParams::default(),
+            )],
+            trials: 2,
+            seed: 1234,
+            max_pulses: 40_000,
+            ..CampaignSpec::default()
+        };
+        let a = spec.run().unwrap();
+        let b = spec.run().unwrap();
+        assert_eq!(a.to_json(), b.to_json());
+        // A different seed samples different devices.
+        let other = CampaignSpec { seed: 4321, ..spec }.run().unwrap();
+        assert_ne!(a.to_json(), other.to_json());
     }
 
     #[test]

@@ -172,6 +172,7 @@ pub struct CampaignExecutor {
     spec: CampaignSpec,
     shard: Shard,
     resumed: Vec<CampaignOutcome>,
+    alpha_cache: Option<std::path::PathBuf>,
 }
 
 impl CampaignExecutor {
@@ -186,7 +187,17 @@ impl CampaignExecutor {
             spec,
             shard: Shard::default(),
             resumed: Vec::new(),
+            alpha_cache: None,
         })
+    }
+
+    /// Routes FEM coupling extractions through the on-disk α cache in
+    /// `dir` (see [`rram_fem::alpha::extract_alpha_disk_cached`]): repeated
+    /// campaign *processes* over the same geometry skip the field solve.
+    /// The figure binaries point this next to their checkpoint file.
+    pub fn with_alpha_cache(mut self, dir: impl Into<std::path::PathBuf>) -> Self {
+        self.alpha_cache = Some(dir.into());
+        self
     }
 
     /// Restricts the executor to one shard of the grid.
@@ -290,7 +301,9 @@ impl CampaignExecutor {
     {
         let (replayed, pending) = self.split_resumed();
         let pending_points: Vec<CampaignPoint> = pending.iter().map(|(_, point)| *point).collect();
-        let couplings = self.spec.resolve_couplings(&pending_points)?;
+        let couplings = self
+            .spec
+            .resolve_couplings(&pending_points, self.alpha_cache.as_deref())?;
 
         on_event(CampaignEvent::Started {
             total: replayed.len() + pending.len(),
@@ -368,7 +381,7 @@ impl CampaignExecutor {
                 spacing_nm: point.spacing_nm,
             })?
             .clone();
-        let mut backend = self.spec.backend_with_alpha(point, alpha);
+        let mut backend = self.spec.backend_with_alpha(point, alpha)?;
         let config = self.spec.attack_config(point);
         let result = run_attack(backend.as_mut(), &config);
         let victim = config.victim;

@@ -529,9 +529,11 @@ fn point_to_json(point: &CampaignPoint) -> Json {
         ("pattern".into(), Json::String(point.pattern.label().into())),
         ("amplitude_v".into(), Json::Number(point.amplitude.0)),
         ("pulse_length_s".into(), Json::Number(point.pulse_length.0)),
+        ("duty_cycle".into(), Json::Number(point.duty_cycle)),
         ("spacing_nm".into(), Json::Number(point.spacing_nm)),
         ("ambient_k".into(), Json::Number(point.ambient.0)),
         ("scheme".into(), Json::String(point.scheme.label().into())),
+        ("trial".into(), Json::Number(f64::from(point.trial))),
     ])
 }
 
@@ -549,12 +551,30 @@ fn point_from_json(value: &Json) -> Result<CampaignPoint, CampaignError> {
             .map_err(CampaignError::Json)?,
         amplitude: Volts(required_f64(value, "amplitude_v")?),
         pulse_length: Seconds(required_f64(value, "pulse_length_s")?),
+        // duty_cycle and trial default when absent so checkpoints written
+        // before these axes existed still *parse*; their keys then simply
+        // fail the fingerprint match and re-run as stale records, instead
+        // of aborting the whole --resume with a JSON error.
+        duty_cycle: match value.get("duty_cycle") {
+            None => 0.5,
+            Some(v) => v
+                .as_f64()
+                .ok_or_else(|| bad_key("duty_cycle", "a number"))?,
+        },
         spacing_nm: required_f64(value, "spacing_nm")?,
         ambient: Kelvin(required_f64(value, "ambient_k")?),
         scheme: required_str(value, "scheme")?
             .parse::<WriteScheme>()
             .map_err(CampaignError::Json)?,
         backend,
+        trial: match value.get("trial") {
+            None => 0,
+            Some(v) => u32::try_from(
+                v.as_u64()
+                    .ok_or_else(|| bad_key("trial", "a non-negative integer"))?,
+            )
+            .map_err(|_| bad_key("trial", "an integer fitting in 32 bits"))?,
+        },
     })
 }
 
@@ -745,6 +765,7 @@ mod tests {
             // 0.1 + 0.2 == 0.30000000000000004: needs full precision.
             amplitude: Volts(0.1 + 0.2),
             pulse_length: Seconds(50.0 * 1e-9),
+            duty_cycle: 1.0 / 3.0,
             spacing_nm: 50.0,
             ambient: Kelvin(300.0),
             scheme: WriteScheme::ThirdVoltage,
@@ -752,6 +773,7 @@ mod tests {
                 segment_resistance: Ohms(123.456),
                 driver_resistance: Ohms(789.0),
             }),
+            trial: 3,
         };
         CampaignOutcome {
             key: PointKey {
@@ -784,6 +806,22 @@ mod tests {
             outcome.point.pulse_length.0.to_bits()
         );
         assert_eq!(restored.key.id, outcome.key.id);
+    }
+
+    #[test]
+    fn records_without_duty_or_trial_parse_with_defaults() {
+        // A checkpoint record from before the duty-cycle/trial axes: it
+        // must parse (defaults d=0.5, trial 0) so resume can treat it as
+        // stale-by-fingerprint instead of erroring out.
+        let line = r#"{"key":{"index":0,"id":"00000000000000aa"},
+            "point":{"backend":"pulse","rows":5,"cols":5,"pattern":"single",
+                     "amplitude_v":1.05,"pulse_length_s":5e-8,"spacing_nm":50,
+                     "ambient_k":300,"scheme":"half"},
+            "flipped":true,"pulses":10,"victim_drift":0.5,
+            "final_crosstalk_k":1.0,"sim_time_s":1e-6,"collateral_flips":0}"#;
+        let outcome = CampaignOutcome::from_json(line).unwrap();
+        assert_eq!(outcome.point.duty_cycle, 0.5);
+        assert_eq!(outcome.point.trial, 0);
     }
 
     #[test]

@@ -9,10 +9,11 @@
 //!   of Fig. 1, with bit-flip detection, pulse batching and a time-resolved
 //!   trace — generic over any [`rram_crossbar::HammerBackend`];
 //! * [`campaign`] — declarative, JSON-serialisable campaign grids
-//!   (patterns × amplitudes × pulse lengths × array sizes × spacings ×
-//!   ambients × backends) executed by a streaming, shardable, resumable
-//!   executor, with table/CSV/sweep-series rendering and mergeable,
-//!   checkpointable reports;
+//!   (patterns × amplitudes × pulse lengths × duty cycles × array sizes ×
+//!   spacings × ambients × schemes × backends × Monte Carlo trials)
+//!   executed by a streaming, shardable, resumable executor, with
+//!   table/CSV/sweep-series rendering, mergeable checkpointable reports
+//!   and trial-collapsing variability statistics ([`campaign::stats`]);
 //! * [`pattern`] — aggressor placement patterns (single, double-sided, quad,
 //!   diagonal; Fig. 3d–h);
 //! * [`estimate`] — a closed-form pulses-to-flip estimator used for
@@ -70,6 +71,7 @@ pub use attack::{run_attack, AttackConfig, AttackResult, TracePoint};
 pub use campaign::{
     read_checkpoint, CampaignAxis, CampaignError, CampaignEvent, CampaignExecutor, CampaignOutcome,
     CampaignPoint, CampaignReport, CampaignSpec, CheckpointWriter, CouplingSpec, PointKey, Shard,
+    VariabilityGroup,
 };
 pub use countermeasures::{
     evaluate_countermeasure, Countermeasure, DefenseEvaluation, GuardAction, ScrubbingGuard,

@@ -17,11 +17,18 @@ use rram_units::{Ohms, Volts};
 
 /// A rows × cols array of memristive cells backed by one
 /// struct-of-arrays [`CellBank`] (row-major).
+///
+/// By default every cell shares the nominal `params`; arrays with
+/// device-to-device variability install a per-cell parameter table with
+/// [`CrossbarArray::set_params_table`], after which every view, scalar step
+/// and batched kernel call resolves each cell's own parameters.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct CrossbarArray {
     rows: usize,
     cols: usize,
     params: DeviceParams,
+    /// Per-cell parameters (row-major), when the array is heterogeneous.
+    params_table: Option<Vec<DeviceParams>>,
     bank: CellBank,
 }
 
@@ -38,6 +45,7 @@ impl CrossbarArray {
             rows,
             cols,
             params,
+            params_table: None,
             bank,
         }
     }
@@ -72,9 +80,56 @@ impl CrossbarArray {
         self.bank.lanes() == 0
     }
 
-    /// The device parameters shared by every cell.
+    /// The nominal device parameters — shared by every cell unless a
+    /// per-cell table was installed (see [`CrossbarArray::set_params_table`]).
     pub fn params(&self) -> &DeviceParams {
         &self.params
+    }
+
+    /// The per-cell parameter table (row-major), when the array is
+    /// heterogeneous.
+    pub fn params_table(&self) -> Option<&[DeviceParams]> {
+        self.params_table.as_deref()
+    }
+
+    /// The parameters governing one cell: its table entry when a table is
+    /// installed, the shared nominal set otherwise.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the address is out of range.
+    pub fn cell_params(&self, address: CellAddress) -> &DeviceParams {
+        let lane = self.index(address);
+        self.lane_params(lane)
+    }
+
+    /// Installs a per-cell parameter table (row-major) and re-initialises
+    /// every cell to the HRS at ambient under its new parameters — the
+    /// Monte Carlo entry point: sample a table, install it, then run the
+    /// attack preparation as usual.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the table length does not match the cell count.
+    pub fn set_params_table(&mut self, table: Vec<DeviceParams>) {
+        assert_eq!(
+            table.len(),
+            self.bank.lanes(),
+            "params table length mismatch"
+        );
+        for (lane, params) in table.iter().enumerate() {
+            self.bank.force_state(lane, DigitalState::Hrs, params);
+        }
+        self.params_table = Some(table);
+    }
+
+    /// Resolves the parameters of one lane.
+    #[inline]
+    fn lane_params(&self, lane: usize) -> &DeviceParams {
+        match &self.params_table {
+            Some(table) => &table[lane],
+            None => &self.params,
+        }
     }
 
     /// The struct-of-arrays state bank (row-major lane order).
@@ -105,7 +160,7 @@ impl CrossbarArray {
     /// Panics if the address is out of range.
     pub fn cell(&self, address: CellAddress) -> CellRef<'_> {
         let lane = self.index(address);
-        CellRef::new(&self.params, &self.bank, lane)
+        CellRef::new(self.lane_params(lane), &self.bank, lane)
     }
 
     /// Mutable view of a cell.
@@ -115,7 +170,11 @@ impl CrossbarArray {
     /// Panics if the address is out of range.
     pub fn cell_mut(&mut self, address: CellAddress) -> CellMut<'_> {
         let lane = self.index(address);
-        CellMut::new(&self.params, &mut self.bank, lane)
+        let params = match &self.params_table {
+            Some(table) => &table[lane],
+            None => &self.params,
+        };
+        CellMut::new(params, &mut self.bank, lane)
     }
 
     /// Iterates over `(address, cell)` pairs in row-major order.
@@ -123,7 +182,7 @@ impl CrossbarArray {
         (0..self.bank.lanes()).map(move |lane| {
             (
                 CellAddress::new(lane / self.cols, lane % self.cols),
-                CellRef::new(&self.params, &self.bank, lane),
+                CellRef::new(self.lane_params(lane), &self.bank, lane),
             )
         })
     }
@@ -132,9 +191,17 @@ impl CrossbarArray {
     /// bank cannot hand out coexisting mutable per-cell views, so mutable
     /// iteration takes a closure).
     pub fn for_each_cell_mut(&mut self, mut f: impl FnMut(CellAddress, CellMut<'_>)) {
-        for lane in 0..self.bank.lanes() {
-            let address = CellAddress::new(lane / self.cols, lane % self.cols);
-            f(address, CellMut::new(&self.params, &mut self.bank, lane));
+        let cols = self.cols;
+        let shared = &self.params;
+        let table = self.params_table.as_deref();
+        let bank = &mut self.bank;
+        for lane in 0..bank.lanes() {
+            let address = CellAddress::new(lane / cols, lane % cols);
+            let params = match table {
+                Some(table) => &table[lane],
+                None => shared,
+            };
+            f(address, CellMut::new(params, bank, lane));
         }
     }
 
@@ -196,7 +263,14 @@ impl CrossbarArray {
     /// Panics if `voltages.len()` does not match the cell count or `dt` is
     /// negative.
     pub fn step_lanes(&mut self, voltages: &[f64], dt: rram_units::Seconds) {
-        rram_jart::kernel::step_lanes(&self.params, voltages, &mut self.bank.view_mut(), dt);
+        match &self.params_table {
+            Some(table) => {
+                rram_jart::kernel::step_lanes(&table[..], voltages, &mut self.bank.view_mut(), dt)
+            }
+            None => {
+                rram_jart::kernel::step_lanes(&self.params, voltages, &mut self.bank.view_mut(), dt)
+            }
+        }
     }
 
     /// Number of cells whose digital state differs from `reference`
@@ -339,6 +413,58 @@ mod tests {
         let r_lrs = a.read_resistance(CellAddress::new(0, 0), Volts(0.2));
         let r_hrs = a.read_resistance(CellAddress::new(0, 1), Volts(0.2));
         assert!(r_hrs.0 > 20.0 * r_lrs.0);
+    }
+
+    #[test]
+    fn params_table_governs_views_and_stepping() {
+        let nominal = DeviceParams::default();
+        let mut a = CrossbarArray::new(2, 2, nominal.clone());
+        // Give one cell a much wider filament: more current, faster SET.
+        let mut table = vec![nominal.clone(); 4];
+        table[3].filament_radius = 2.0 * nominal.filament_radius;
+        a.set_params_table(table);
+
+        assert_eq!(
+            a.cell_params(CellAddress::new(1, 1)).filament_radius,
+            2.0 * nominal.filament_radius
+        );
+        assert_eq!(
+            a.cell_params(CellAddress::new(0, 0)).filament_radius,
+            nominal.filament_radius
+        );
+        assert_eq!(a.params_table().unwrap().len(), 4);
+        // Installing the table re-initialised the array to all-HRS.
+        assert!(a.read_all().iter().all(|&s| s == DigitalState::Hrs));
+
+        // Batched stepping resolves the per-cell parameters: the wide-
+        // filament cell progresses faster under the same bias.
+        a.step_lanes(&[1.05; 4], rram_units::Seconds(2e-9));
+        let narrow = a.cell(CellAddress::new(0, 0)).concentration();
+        let wide = a.cell(CellAddress::new(1, 1)).concentration();
+        assert!(wide > narrow, "wide {wide} vs narrow {narrow}");
+
+        // The scalar path resolves the same parameters: stepping the wide
+        // cell through its CellMut view matches a standalone device with
+        // the same parameter set, bit for bit.
+        let mut reference =
+            rram_jart::JartDevice::new(a.cell_params(CellAddress::new(1, 1)).clone());
+        let mut fresh = CrossbarArray::new(2, 2, nominal.clone());
+        fresh.set_params_table(a.params_table().unwrap().to_vec());
+        fresh
+            .cell_mut(CellAddress::new(1, 1))
+            .step(Volts(1.05), rram_units::Seconds(2e-9));
+        reference.step(Volts(1.05), rram_units::Seconds(2e-9));
+        assert_eq!(
+            fresh.cell(CellAddress::new(1, 1)).concentration().to_bits(),
+            reference.concentration().to_bits()
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "params table length mismatch")]
+    fn wrong_table_length_panics() {
+        let mut a = array();
+        a.set_params_table(vec![DeviceParams::default(); 3]);
     }
 
     #[test]

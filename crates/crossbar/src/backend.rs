@@ -228,23 +228,65 @@ impl BackendKind {
         hub: CrosstalkHub,
         config: EngineConfig,
     ) -> Box<dyn HammerBackend> {
+        self.build_heterogeneous(rows, cols, params, None, hub, config)
+    }
+
+    /// Builds a fresh all-HRS backend with an optional per-cell parameter
+    /// table (row-major) — the Monte Carlo variability entry point. With
+    /// `table == None` this is exactly [`BackendKind::build`].
+    ///
+    /// The ambient temperature of the nominal parameters *and of every
+    /// table entry* is aligned with `config.ambient`: the campaign's
+    /// ambient axis always wins over a sampled ambient, so thermal
+    /// baselines stay comparable across the grid.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the hub dimensions do not match `rows`/`cols`, or the
+    /// table length does not match the cell count.
+    pub fn build_heterogeneous(
+        &self,
+        rows: usize,
+        cols: usize,
+        params: DeviceParams,
+        table: Option<Vec<DeviceParams>>,
+        hub: CrosstalkHub,
+        config: EngineConfig,
+    ) -> Box<dyn HammerBackend> {
         let params = DeviceParams {
             ambient_temperature: config.ambient.0,
             ..params
         };
+        let table = table.map(|mut table| {
+            for entry in &mut table {
+                entry.ambient_temperature = config.ambient.0;
+            }
+            table
+        });
         match self {
             BackendKind::Pulse => {
-                let array = crate::array::CrossbarArray::new(rows, cols, params);
+                let mut array = crate::array::CrossbarArray::new(rows, cols, params);
+                if let Some(table) = table {
+                    array.set_params_table(table);
+                }
                 Box::new(PulseEngine::new(array, hub, config))
             }
             BackendKind::Batched => {
-                let array = crate::array::CrossbarArray::new(rows, cols, params);
+                let mut array = crate::array::CrossbarArray::new(rows, cols, params);
+                if let Some(table) = table {
+                    array.set_params_table(table);
+                }
                 Box::new(crate::batched::BatchedEngine::new(array, hub, config))
             }
-            BackendKind::Detailed(parasitics) => Box::new(
-                DetailedCrossbar::new(rows, cols, params, *parasitics, hub, config.scheme)
-                    .with_time_step(config.max_substep),
-            ),
+            BackendKind::Detailed(parasitics) => {
+                let mut xbar =
+                    DetailedCrossbar::new(rows, cols, params, *parasitics, hub, config.scheme)
+                        .with_time_step(config.max_substep);
+                if let Some(table) = table {
+                    xbar.set_params_table(&table);
+                }
+                Box::new(xbar)
+            }
         }
     }
 }

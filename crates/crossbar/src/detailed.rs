@@ -138,6 +138,25 @@ impl DetailedCrossbar {
         self
     }
 
+    /// Installs a per-cell parameter table (row-major): every device is
+    /// recreated in the HRS at ambient under its table entry — the detailed
+    /// engine's side of the Monte Carlo variability support, matching
+    /// [`crate::CrossbarArray::set_params_table`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if the table length does not match the cell count.
+    pub fn set_params_table(&mut self, table: &[DeviceParams]) {
+        assert_eq!(
+            table.len(),
+            self.rows * self.cols,
+            "params table length mismatch"
+        );
+        for (device, params) in self.devices.iter().zip(table) {
+            *device.borrow_mut() = JartDevice::new(params.clone());
+        }
+    }
+
     /// Number of rows.
     pub fn rows(&self) -> usize {
         self.rows

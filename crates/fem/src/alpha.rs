@@ -352,6 +352,180 @@ pub fn cached_extraction_count() -> usize {
     extraction_cache().lock().expect("cache poisoned").len()
 }
 
+/// The version stamp of the on-disk α cache format; bumped whenever the
+/// extraction physics or the file layout changes, so stale files from an
+/// older build fall back to a fresh solve instead of replaying silently.
+const DISK_CACHE_VERSION: u32 = 1;
+
+/// The cache file of one field problem inside `dir`: the FNV-1a hash of
+/// the exact-identity extraction key names the file, so distinct problems
+/// never collide on a name and a changed input is simply a different file.
+/// (The FNV-1a loop is deliberately duplicated from `neurohammer::campaign`
+/// rather than shared — file names only need to be self-consistent within
+/// this crate, and a cross-crate hash dependency is not worth it.)
+fn disk_cache_path(dir: &std::path::Path, key: &[u64]) -> std::path::PathBuf {
+    let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+    for word in key {
+        for byte in word.to_le_bytes() {
+            hash ^= u64::from(byte);
+            hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+    }
+    dir.join(format!("alpha-{hash:016x}.cache"))
+}
+
+/// Serialises an extraction (plus its full key) as the versioned text
+/// format of the on-disk cache: every `f64` as its exact hex bit pattern,
+/// so a loaded extraction is bit-identical to the solved one.
+fn render_disk_entry(key: &[u64], extraction: &AlphaExtraction) -> String {
+    let words = |values: &mut dyn Iterator<Item = u64>| {
+        values
+            .map(|w| format!("{w:016x}"))
+            .collect::<Vec<_>>()
+            .join(" ")
+    };
+    let alpha = &extraction.alpha;
+    let temps = &extraction.temperature_matrix;
+    let mut out = format!("rram-alpha-cache v{DISK_CACHE_VERSION}\n");
+    out.push_str(&format!("key {}\n", words(&mut key.iter().copied())));
+    out.push_str(&format!(
+        "fit {}\n",
+        words(
+            &mut [
+                extraction.r_th.0.to_bits(),
+                extraction.t0.0.to_bits(),
+                extraction.min_r_squared.to_bits(),
+            ]
+            .into_iter()
+        )
+    ));
+    out.push_str(&format!(
+        "alpha {} {} {} {} {}\n",
+        alpha.rows(),
+        alpha.cols(),
+        alpha.selected().0,
+        alpha.selected().1,
+        words(&mut alpha.iter().map(|(_, _, a)| a.to_bits()))
+    ));
+    out.push_str(&format!(
+        "temps {} {} {}\n",
+        temps.rows(),
+        temps.cols(),
+        words(&mut temps.values().iter().map(|t| t.to_bits()))
+    ));
+    out
+}
+
+/// Parses a cache file written by [`render_disk_entry`]. Any mismatch —
+/// wrong version, different key, truncated or corrupt content — returns
+/// `None` and the caller re-solves.
+fn parse_disk_entry(text: &str, expected_key: &[u64]) -> Option<AlphaExtraction> {
+    let mut lines = text.lines();
+    if lines.next()? != format!("rram-alpha-cache v{DISK_CACHE_VERSION}") {
+        return None;
+    }
+    let words = |line: &str, tag: &str| -> Option<Vec<u64>> {
+        let rest = line.strip_prefix(tag)?.strip_prefix(' ')?;
+        rest.split_whitespace()
+            .map(|w| u64::from_str_radix(w, 16).ok())
+            .collect()
+    };
+    let key = words(lines.next()?, "key")?;
+    if key != expected_key {
+        return None; // stale: same name, different inputs
+    }
+    let fit = words(lines.next()?, "fit")?;
+    let [r_th, t0, min_r_squared] = <[u64; 3]>::try_from(fit).ok()?;
+
+    let alpha_line = lines.next()?.strip_prefix("alpha ")?;
+    let mut alpha_fields = alpha_line.split_whitespace();
+    let rows: usize = alpha_fields.next()?.parse().ok()?;
+    let cols: usize = alpha_fields.next()?.parse().ok()?;
+    let sel_row: usize = alpha_fields.next()?.parse().ok()?;
+    let sel_col: usize = alpha_fields.next()?.parse().ok()?;
+    let alpha_values: Vec<f64> = alpha_fields
+        .map(|w| u64::from_str_radix(w, 16).ok().map(f64::from_bits))
+        .collect::<Option<_>>()?;
+    if alpha_values.len() != rows * cols || sel_row >= rows || sel_col >= cols {
+        return None;
+    }
+
+    let temps_line = lines.next()?.strip_prefix("temps ")?;
+    let mut temp_fields = temps_line.split_whitespace();
+    let t_rows: usize = temp_fields.next()?.parse().ok()?;
+    let t_cols: usize = temp_fields.next()?.parse().ok()?;
+    let temp_values: Vec<f64> = temp_fields
+        .map(|w| u64::from_str_radix(w, 16).ok().map(f64::from_bits))
+        .collect::<Option<_>>()?;
+    if temp_values.len() != t_rows * t_cols {
+        return None;
+    }
+
+    Some(AlphaExtraction {
+        r_th: KelvinPerWatt(f64::from_bits(r_th)),
+        t0: Kelvin(f64::from_bits(t0)),
+        alpha: AlphaMatrix::from_values(rows, cols, (sel_row, sel_col), alpha_values),
+        min_r_squared: f64::from_bits(min_r_squared),
+        temperature_matrix: CellTemperatureMatrix::from_values(t_rows, t_cols, temp_values),
+    })
+}
+
+/// [`extract_alpha_cached`] with an additional *on-disk* memo in `dir`, so
+/// repeated campaign **processes** over the same geometry skip the field
+/// solve too (the figure binaries point this next to their checkpoint
+/// directory).
+///
+/// The cache file is versioned and keyed by the exact geometry+config bit
+/// fingerprint; a corrupt, truncated or stale entry (different inputs or
+/// format version) silently falls back to a fresh solve and is rewritten.
+/// Cache writes are atomic (write-temp-then-rename) and best-effort: an
+/// unwritable directory degrades to the in-process memo, it never fails
+/// the extraction.
+///
+/// # Errors
+///
+/// Returns an [`AlphaError`] describing the failing *solve* stage — disk
+/// cache problems are not errors.
+pub fn extract_alpha_disk_cached(
+    geometry: &CrossbarGeometry,
+    config: &AlphaConfig,
+    dir: &std::path::Path,
+) -> Result<AlphaExtraction, AlphaError> {
+    let key = extraction_key(geometry, config);
+    if let Some(hit) = extraction_cache().lock().expect("cache poisoned").get(&key) {
+        return Ok(hit.clone());
+    }
+
+    let path = disk_cache_path(dir, &key);
+    if let Ok(text) = std::fs::read_to_string(&path) {
+        if let Some(extraction) = parse_disk_entry(&text, &key) {
+            extraction_cache()
+                .lock()
+                .expect("cache poisoned")
+                .insert(key, extraction.clone());
+            return Ok(extraction);
+        }
+    }
+
+    let extraction = extract_alpha(geometry, config)?;
+    extraction_cache()
+        .lock()
+        .expect("cache poisoned")
+        .insert(key.clone(), extraction.clone());
+
+    // Best-effort atomic write: a half-written file must never be read as
+    // a valid entry by a concurrent process, and a failed write must not
+    // leave its temp file behind.
+    let _ = std::fs::create_dir_all(dir);
+    let tmp = path.with_extension(format!("tmp.{}", std::process::id()));
+    let rendered = render_disk_entry(&key, &extraction);
+    let written = std::fs::write(&tmp, rendered).is_ok();
+    if !written || std::fs::rename(&tmp, &path).is_err() {
+        let _ = std::fs::remove_file(&tmp);
+    }
+    Ok(extraction)
+}
+
 /// [`extract_alpha`] with a process-wide memo keyed by the exact
 /// (geometry, configuration) inputs.
 ///
@@ -508,6 +682,59 @@ mod tests {
         let third = extract_alpha_cached(&fast_geometry(75.0), &config).unwrap();
         assert_ne!(third.alpha, fresh.alpha);
         assert_eq!(cached_extraction_count(), count_after_first + 1);
+    }
+
+    #[test]
+    fn disk_cache_round_trips_bit_identically() {
+        let dir = std::env::temp_dir().join(format!("rram-alpha-cache-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let geometry = fast_geometry(35.0);
+        let config = quick_config();
+
+        let fresh = extract_alpha(&geometry, &config).unwrap();
+        let first = extract_alpha_disk_cached(&geometry, &config, &dir).unwrap();
+        assert_eq!(first, fresh);
+        let path = disk_cache_path(&dir, &extraction_key(&geometry, &config));
+        assert!(path.exists(), "cache file was not written");
+
+        // A fresh parse of the file (bypassing the in-process memo) must be
+        // bit-identical to the solved extraction.
+        let text = std::fs::read_to_string(&path).unwrap();
+        let loaded = parse_disk_entry(&text, &extraction_key(&geometry, &config)).unwrap();
+        assert_eq!(loaded, fresh);
+        for ((_, _, a), (_, _, b)) in loaded.alpha.iter().zip(fresh.alpha.iter()) {
+            assert_eq!(a.to_bits(), b.to_bits());
+        }
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn corrupt_and_stale_disk_entries_fall_back_to_a_fresh_solve() {
+        let dir =
+            std::env::temp_dir().join(format!("rram-alpha-cache-corrupt-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        let geometry = fast_geometry(45.0);
+        let config = quick_config();
+        let key = extraction_key(&geometry, &config);
+        let path = disk_cache_path(&dir, &key);
+
+        // Corrupt: truncated garbage at the expected path.
+        std::fs::write(&path, "rram-alpha-cache v1\nkey 00ff\nfit").unwrap();
+        let extraction = extract_alpha_disk_cached(&geometry, &config, &dir).unwrap();
+        assert_eq!(extraction, extract_alpha(&geometry, &config).unwrap());
+        // The corrupt file was replaced by a valid entry.
+        let text = std::fs::read_to_string(&path).unwrap();
+        assert!(parse_disk_entry(&text, &key).is_some());
+
+        // Stale: a valid entry whose key does not match is ignored.
+        let other_key: Vec<u64> = key.iter().map(|w| w ^ 1).collect();
+        assert!(parse_disk_entry(&text, &other_key).is_none());
+
+        // Wrong version: rejected outright.
+        let old = text.replacen("v1", "v0", 1);
+        assert!(parse_disk_entry(&old, &key).is_none());
+        std::fs::remove_dir_all(&dir).ok();
     }
 
     #[test]

@@ -132,6 +132,22 @@ impl CellTemperatureMatrix {
             .enumerate()
             .map(move |(i, &v)| (i / self.cols, i % self.cols, Kelvin(v)))
     }
+
+    /// The raw cell temperatures, row-major (K).
+    pub fn values(&self) -> &[f64] {
+        &self.values
+    }
+
+    /// Rebuilds a matrix from raw row-major values — the loading side of
+    /// the on-disk α cache.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `values.len() != rows * cols`.
+    pub fn from_values(rows: usize, cols: usize, values: Vec<f64>) -> Self {
+        assert_eq!(values.len(), rows * cols, "value count must match");
+        CellTemperatureMatrix { rows, cols, values }
+    }
 }
 
 /// The steady-state heat problem for a crossbar model.

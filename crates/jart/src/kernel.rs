@@ -228,6 +228,62 @@ fn digital_of(params: &DeviceParams, n: f64) -> DigitalState {
     }
 }
 
+/// The parameter source of a [`step_lanes`] call: one shared set for a
+/// homogeneous bank, or a per-lane table for arrays with device-to-device
+/// variability (one `DeviceParams` per lane, same order as the lanes).
+///
+/// Both `&DeviceParams` and `&[DeviceParams]` convert into this, so
+/// homogeneous callers keep their old `step_lanes(&params, …)` shape and
+/// heterogeneous callers pass the table:
+///
+/// ```
+/// use rram_jart::kernel::{step_lanes, CellBank};
+/// use rram_jart::DeviceParams;
+/// use rram_units::Seconds;
+///
+/// let nominal = DeviceParams::default();
+/// let wide = DeviceParams { filament_radius: 18e-9, ..nominal.clone() };
+/// let table = vec![nominal.clone(), wide];
+/// let mut bank = CellBank::new(2, &nominal);
+/// step_lanes(&table[..], &[1.05, 1.05], &mut bank.view_mut(), Seconds(1e-9));
+/// // The wider filament conducts more, so its state moves faster.
+/// assert!(bank.concentrations()[1] > bank.concentrations()[0]);
+/// ```
+#[derive(Debug, Clone, Copy)]
+pub enum LaneParams<'a> {
+    /// Every lane shares one parameter set.
+    Shared(&'a DeviceParams),
+    /// Lane `i` uses `table[i]` (heterogeneous cells).
+    PerLane(&'a [DeviceParams]),
+}
+
+impl LaneParams<'_> {
+    /// The parameter set of one lane.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lane` is out of a per-lane table's range.
+    #[inline]
+    pub fn of(&self, lane: usize) -> &DeviceParams {
+        match self {
+            LaneParams::Shared(params) => params,
+            LaneParams::PerLane(table) => &table[lane],
+        }
+    }
+}
+
+impl<'a> From<&'a DeviceParams> for LaneParams<'a> {
+    fn from(params: &'a DeviceParams) -> Self {
+        LaneParams::Shared(params)
+    }
+}
+
+impl<'a> From<&'a [DeviceParams]> for LaneParams<'a> {
+    fn from(table: &'a [DeviceParams]) -> Self {
+        LaneParams::PerLane(table)
+    }
+}
+
 /// Advances every lane of the bank by `dt` under its per-lane cell voltage.
 ///
 /// This is the one integration routine of the workspace: the scalar
@@ -238,23 +294,32 @@ fn digital_of(params: &DeviceParams, n: f64) -> DigitalState {
 /// sub-steps, through the crosstalk lane), which keeps the per-lane loop
 /// free of cross-lane dependencies.
 ///
+/// `params` is either one shared `&DeviceParams` or a per-lane
+/// `&[DeviceParams]` table (see [`LaneParams`]); a lane stepped with its
+/// table entry is bit-identical to a 1-lane bank stepped with that entry,
+/// so heterogeneous arrays keep the scalar↔batched identity.
+///
 /// # Panics
 ///
-/// Panics if `voltages.len()` does not match the lane count, or if `dt` is
-/// negative or not finite.
-pub fn step_lanes(
-    params: &DeviceParams,
+/// Panics if `voltages.len()` (or a per-lane table's length) does not match
+/// the lane count, or if `dt` is negative or not finite.
+pub fn step_lanes<'a>(
+    params: impl Into<LaneParams<'a>>,
     voltages: &[f64],
     lanes: &mut CellBankView<'_>,
     dt: Seconds,
 ) {
+    let params = params.into();
     assert_eq!(
         voltages.len(),
         lanes.lanes(),
         "voltage vector length mismatch"
     );
+    if let LaneParams::PerLane(table) = params {
+        assert_eq!(table.len(), lanes.lanes(), "params table length mismatch");
+    }
     for (lane, &v_cell) in voltages.iter().enumerate() {
-        step_lane(params, lanes, lane, v_cell, dt);
+        step_lane(params.of(lane), lanes, lane, v_cell, dt);
     }
 }
 

@@ -59,5 +59,5 @@ pub mod thermal;
 
 pub use current::OperatingPoint;
 pub use device::{CellMut, CellRef, DigitalState, JartDevice};
-pub use kernel::{step_lanes, CellBank, CellBankView};
+pub use kernel::{step_lanes, CellBank, CellBankView, LaneParams};
 pub use params::{DeviceParams, DeviceParamsBuilder, ParamError};

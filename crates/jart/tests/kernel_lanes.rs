@@ -9,6 +9,17 @@ use rram_jart::kernel::{step_lanes, CellBank};
 use rram_jart::{DeviceParams, JartDevice};
 use rram_units::{Kelvin, Seconds, Volts};
 
+/// A per-lane parameter set scaled from the nominal one: the kind of
+/// heterogeneity a Monte Carlo variability campaign installs.
+fn spread_params(radius_scale: f64, disc_scale: f64) -> DeviceParams {
+    let nominal = DeviceParams::default();
+    DeviceParams {
+        filament_radius: radius_scale * nominal.filament_radius,
+        l_disc: disc_scale * nominal.l_disc,
+        ..nominal
+    }
+}
+
 proptest! {
     #[test]
     fn step_lanes_is_bit_identical_to_independent_devices(
@@ -54,6 +65,64 @@ proptest! {
                 prop_assert_eq!(
                     bank.stress_times()[lane].to_bits(),
                     device.stress_time().0.to_bits()
+                );
+                prop_assert_eq!(
+                    bank.charges()[lane].to_bits(),
+                    device.conduction_charge().0.to_bits()
+                );
+                prop_assert_eq!(bank.digital()[lane], device.digital_state());
+            }
+        }
+    }
+
+    /// The same identity under device-to-device spreads: stepping a bank
+    /// with a per-lane parameter table is bit-identical to stepping each
+    /// lane as an independent `JartDevice` built from its table entry.
+    #[test]
+    fn per_lane_params_keep_the_bank_bit_identical_to_devices(
+        // One (radius scale, disc-length scale, initial state, ΔT, voltage)
+        // per lane: each lane is a different device.
+        lanes in prop::collection::vec(
+            (0.7f64..1.3, 0.7f64..1.3, 0.0f64..1.0, 0.0f64..80.0, -1.5f64..1.5),
+            1..8,
+        ),
+        steps in prop::collection::vec(1e-10f64..5e-7, 1..4),
+    ) {
+        let nominal = DeviceParams::default();
+        let table: Vec<DeviceParams> = lanes
+            .iter()
+            .map(|&(radius, disc, ..)| spread_params(radius, disc))
+            .collect();
+        let mut bank = CellBank::new(lanes.len(), &nominal);
+        let mut devices: Vec<JartDevice> = Vec::with_capacity(lanes.len());
+        let mut voltages: Vec<f64> = Vec::with_capacity(lanes.len());
+        for (lane, &(_, _, state, delta, voltage)) in lanes.iter().enumerate() {
+            let params = &table[lane];
+            let n = params.n_min + state * (params.n_max - params.n_min);
+            bank.force_concentration(lane, n, params);
+            bank.set_crosstalk(lane, delta);
+            let mut device = JartDevice::new(params.clone());
+            device.force_concentration(n);
+            device.set_crosstalk_delta(Kelvin(delta));
+            devices.push(device);
+            voltages.push(voltage);
+        }
+
+        for &dt in &steps {
+            step_lanes(&table[..], &voltages, &mut bank.view_mut(), Seconds(dt));
+            for (lane, device) in devices.iter_mut().enumerate() {
+                device.step(Volts(voltages[lane]), Seconds(dt));
+            }
+            for (lane, device) in devices.iter().enumerate() {
+                prop_assert_eq!(
+                    bank.concentrations()[lane].to_bits(),
+                    device.concentration().to_bits(),
+                    "lane {} concentration under spreads: {} vs {}",
+                    lane, bank.concentrations()[lane], device.concentration()
+                );
+                prop_assert_eq!(
+                    bank.temperatures()[lane].to_bits(),
+                    device.temperature().0.to_bits()
                 );
                 prop_assert_eq!(
                     bank.charges()[lane].to_bits(),

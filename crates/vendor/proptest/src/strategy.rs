@@ -66,6 +66,33 @@ impl<A: Strategy, B: Strategy, C: Strategy> Strategy for (A, B, C) {
     }
 }
 
+impl<A: Strategy, B: Strategy, C: Strategy, D: Strategy> Strategy for (A, B, C, D) {
+    type Value = (A::Value, B::Value, C::Value, D::Value);
+
+    fn sample(&self, rng: &mut TestRng) -> Self::Value {
+        (
+            self.0.sample(rng),
+            self.1.sample(rng),
+            self.2.sample(rng),
+            self.3.sample(rng),
+        )
+    }
+}
+
+impl<A: Strategy, B: Strategy, C: Strategy, D: Strategy, E: Strategy> Strategy for (A, B, C, D, E) {
+    type Value = (A::Value, B::Value, C::Value, D::Value, E::Value);
+
+    fn sample(&self, rng: &mut TestRng) -> Self::Value {
+        (
+            self.0.sample(rng),
+            self.1.sample(rng),
+            self.2.sample(rng),
+            self.3.sample(rng),
+            self.4.sample(rng),
+        )
+    }
+}
+
 impl<S: Strategy + ?Sized> Strategy for &S {
     type Value = S::Value;
 
@@ -100,6 +127,18 @@ impl Arbitrary for u8 {
 impl Arbitrary for u32 {
     fn arbitrary(rng: &mut TestRng) -> u32 {
         (0u32..u32::MAX).sample(rng)
+    }
+}
+
+impl Arbitrary for u64 {
+    fn arbitrary(rng: &mut TestRng) -> u64 {
+        // The full range, including both endpoints (a `Range` cannot
+        // express `u64::MAX` inclusively).
+        match rng.case() {
+            0 => 0,
+            1 => u64::MAX,
+            _ => rng.next_u64(),
+        }
     }
 }
 

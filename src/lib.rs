@@ -11,6 +11,8 @@
 //! * [`circuit`] (`rram-circuit`) — the MNA circuit simulator,
 //! * [`crossbar`] (`rram-crossbar`) — the crossbar platform with its two
 //!   simulation engines behind the [`crossbar::HammerBackend`] trait,
+//! * [`variability`] (`rram-variability`) — seeded Monte Carlo
+//!   device-parameter spreads for variability campaigns,
 //! * [`attack`] (`neurohammer`) — the attack engine, campaign runner,
 //!   experiments, scenarios and countermeasures.
 //!
@@ -53,3 +55,4 @@ pub use rram_crossbar as crossbar;
 pub use rram_fem as fem;
 pub use rram_jart as jart;
 pub use rram_units as units;
+pub use rram_variability as variability;

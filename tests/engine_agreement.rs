@@ -129,6 +129,59 @@ fn pulse_and_batched_engines_agree_across_schemes() {
 }
 
 #[test]
+fn pulse_and_batched_engines_agree_under_device_spreads() {
+    // The scalar↔batched identity must survive heterogeneous cells: with a
+    // per-cell parameter table sampled from filament-radius and disc-length
+    // spreads, both ideal-driver engines resolve the same per-cell
+    // parameters through the shared kernel, so the drift ratio stays at
+    // float-accumulation precision. The sampling seed deliberately excludes
+    // the backend, so both engines simulate the identical devices.
+    use rram_variability::{ParamField, ParamSpread};
+    let nominal = DeviceParams::default();
+    let spec = CampaignSpec {
+        name: "pulse vs batched under spreads".into(),
+        backends: vec![BackendKind::Pulse, BackendKind::Batched],
+        spreads: vec![
+            ParamSpread::relative_normal(ParamField::FilamentRadius, 0.08, &nominal),
+            ParamSpread::relative_normal(ParamField::LDisc, 0.08, &nominal),
+        ],
+        trials: 2,
+        seed: 77,
+        max_pulses: 400,
+        batching: false,
+        ..CampaignSpec::default()
+    };
+    let report = spec.run().expect("agreement campaign failed");
+    assert_eq!(report.outcomes.len(), 4);
+    assert!(report.outcomes.iter().all(|o| o.victim_drift > 0.0));
+
+    let ratio = report
+        .max_backend_drift_ratio()
+        .expect("both backends per trial");
+    assert!(
+        ratio < 1.0001,
+        "pulse/batched victim drift disagrees under spreads by {ratio:.6}x: {report:?}"
+    );
+
+    // Sanity: the spread really produced heterogeneous trials — the two
+    // trials of either backend disagree far more than the two backends of
+    // either trial.
+    let drift = |backend, trial| {
+        report
+            .outcomes
+            .iter()
+            .find(|o| o.point.backend == backend && o.point.trial == trial)
+            .expect("grid point present")
+            .victim_drift
+    };
+    let across_trials = (drift(BackendKind::Pulse, 0) / drift(BackendKind::Pulse, 1) - 1.0).abs();
+    assert!(
+        across_trials > 100.0 * (ratio - 1.0),
+        "trials barely differ ({across_trials}) vs backend drift ({ratio})"
+    );
+}
+
+#[test]
 fn heavy_line_resistance_makes_the_detailed_engine_slower() {
     let aggressor = CellAddress::new(1, 1);
     let hub = || CrosstalkHub::uniform(3, 3, 0.15, 0.075, 0.0375, Seconds(30e-9));

@@ -1,0 +1,154 @@
+//! Monte Carlo variability campaigns end to end: seeded determinism across
+//! shard counts and checkpoint resume, trial-fingerprint merge safety, and
+//! scalar↔batched agreement on arrays with per-cell spreads.
+
+use neurohammer_repro::attack::campaign::{
+    read_checkpoint, CampaignEvent, CampaignExecutor, CampaignReport, CampaignSpec, Shard,
+};
+use neurohammer_repro::crossbar::BackendKind;
+use neurohammer_repro::jart::DeviceParams;
+use rram_variability::{ParamField, ParamSpread};
+
+fn monte_carlo_spec() -> CampaignSpec {
+    let nominal = DeviceParams::default();
+    CampaignSpec {
+        name: "mc streaming".into(),
+        backends: vec![BackendKind::Batched],
+        spreads: vec![
+            ParamSpread::relative_normal(ParamField::FilamentRadius, 0.06, &nominal),
+            ParamSpread::relative_normal(ParamField::LDisc, 0.06, &nominal),
+        ],
+        trials: 3,
+        seed: 0xfeed,
+        amplitudes_v: vec![1.05, 1.15],
+        max_pulses: 60_000,
+        threads: 2,
+        ..CampaignSpec::default()
+    }
+}
+
+fn scratch(name: &str) -> std::path::PathBuf {
+    let mut path = std::env::temp_dir();
+    path.push(format!(
+        "neurohammer-variability-{name}-{}",
+        std::process::id()
+    ));
+    path
+}
+
+#[test]
+fn sharded_monte_carlo_reports_are_bit_identical_to_unsharded() {
+    let spec = monte_carlo_spec();
+    let unsharded = spec.run().unwrap();
+    assert_eq!(unsharded.outcomes.len(), 6);
+
+    // Any shard count reassembles the identical report: the per-cell
+    // samples are keyed by (seed, point, cell), not by execution order.
+    for of in [2, 3] {
+        let shards: Vec<CampaignReport> = (0..of)
+            .map(|index| {
+                CampaignExecutor::new(spec.clone())
+                    .unwrap()
+                    .with_shard(Shard { index, of })
+                    .unwrap()
+                    .execute(|_| {})
+                    .unwrap()
+            })
+            .collect();
+        let merged = CampaignReport::merge(shards.into_iter().rev()).unwrap();
+        assert_eq!(merged.to_json(), unsharded.to_json(), "shard count {of}");
+        assert_eq!(merged.to_csv_string(), unsharded.to_csv_string());
+    }
+}
+
+#[test]
+fn resumed_monte_carlo_runs_stay_byte_identical() {
+    let spec = monte_carlo_spec();
+    let path = scratch("resume");
+
+    // "Interrupted" run: shard 0/2 only, checkpointed.
+    let mut writer = neurohammer_repro::attack::campaign::CheckpointWriter::create(&path).unwrap();
+    CampaignExecutor::new(spec.clone())
+        .unwrap()
+        .with_shard(Shard { index: 0, of: 2 })
+        .unwrap()
+        .execute(|event| {
+            if let CampaignEvent::PointFinished(outcome) = &event {
+                writer.record(outcome).unwrap();
+            }
+        })
+        .unwrap();
+    drop(writer);
+
+    let recovered = read_checkpoint(&path).unwrap();
+    std::fs::remove_file(&path).ok();
+    assert_eq!(recovered.len(), 3);
+    let resumed = CampaignExecutor::new(spec.clone())
+        .unwrap()
+        .resume_from(recovered);
+    assert_eq!(resumed.pending_points().len(), 3);
+    let report = resumed.execute(|_| {}).unwrap();
+    assert_eq!(report.to_json(), spec.run().unwrap().to_json());
+}
+
+#[test]
+fn mixed_trial_records_are_rejected_on_merge_and_ignored_on_resume() {
+    let spec = monte_carlo_spec();
+    let mut fewer_trials = spec.clone();
+    fewer_trials.trials = 2;
+
+    // Merging reports from specs with different trial axes fails loudly:
+    // the trial index is part of every point's content fingerprint, so the
+    // grids disagree at overlapping positions.
+    let a = CampaignExecutor::new(spec.clone())
+        .unwrap()
+        .with_shard(Shard { index: 0, of: 2 })
+        .unwrap()
+        .execute(|_| {})
+        .unwrap();
+    let b = fewer_trials.run().unwrap();
+    assert!(
+        CampaignReport::merge([a, b.clone()]).is_err(),
+        "mixed-trial merge must be rejected"
+    );
+
+    // Resuming a 3-trial grid from a 2-trial checkpoint replays nothing:
+    // every recorded key is stale, so the full grid re-runs (no silent
+    // cross-trial replay).
+    let resumed = CampaignExecutor::new(spec.clone())
+        .unwrap()
+        .resume_from(b.outcomes);
+    assert_eq!(resumed.pending_points().len(), spec.num_points());
+
+    // A different master seed also invalidates every checkpoint record.
+    let reseeded = CampaignSpec {
+        seed: spec.seed ^ 0xff,
+        ..spec.clone()
+    };
+    let outcomes = spec.run().unwrap().outcomes;
+    let resumed = CampaignExecutor::new(reseeded)
+        .unwrap()
+        .resume_from(outcomes);
+    assert_eq!(resumed.pending_points().len(), spec.num_points());
+}
+
+#[test]
+fn trials_of_one_point_differ_but_replay_identically() {
+    let spec = monte_carlo_spec();
+    let first = spec.run().unwrap();
+    // Distinct trials sample distinct devices (overwhelmingly likely to
+    // need different pulse counts)…
+    let per_trial: Vec<u64> = first
+        .outcomes
+        .iter()
+        .filter(|o| o.point.amplitude.0 == 1.05)
+        .map(|o| o.pulses)
+        .collect();
+    assert_eq!(per_trial.len(), 3);
+    assert!(
+        per_trial.windows(2).any(|w| w[0] != w[1]),
+        "all trials identical: {per_trial:?}"
+    );
+    // …while the same seed replays the identical distribution.
+    assert_eq!(first.to_json(), spec.run().unwrap().to_json());
+}

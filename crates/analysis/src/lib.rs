@@ -11,6 +11,8 @@
 //! * [`stats`] — summary statistics and log-space helpers for sweep series.
 //! * [`table`] — a plain-text table builder used by the figure-regeneration
 //!   binaries to print the same rows the paper plots.
+//! * [`pareto`] — non-dominated-set extraction for defence/overhead
+//!   trade-off analysis (countermeasure campaigns).
 //! * [`report`] — a sectioned report builder combining text, tables and
 //!   charts (the output format of the figure binaries and campaign runs).
 //! * [`ascii_plot`] — quick semi-log ASCII charts for terminal inspection.
@@ -36,11 +38,13 @@
 
 pub mod ascii_plot;
 pub mod csv;
+pub mod pareto;
 pub mod regression;
 pub mod report;
 pub mod stats;
 pub mod table;
 
+pub use pareto::{dominates, pareto_front_indices};
 pub use regression::{linear_fit, FitError, LinearFit};
 pub use report::Report;
 pub use stats::Summary;

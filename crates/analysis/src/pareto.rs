@@ -1,0 +1,128 @@
+//! Pareto-front extraction for defence/overhead trade-off analysis.
+//!
+//! A guard sweep produces one `(protection, overhead)` point per guard
+//! operating point: protection is to be **maximised** (the probability the
+//! attack is blocked), overhead **minimised** (the relative cost the guard
+//! imposes on legitimate traffic). The Pareto front is the set of
+//! non-dominated points — every sensible tuning choice lies on it, and
+//! everything off it is strictly wasteful.
+
+/// Returns `true` when `by` dominates `a`: at least as much protection for
+/// at most the overhead, strictly better in at least one coordinate.
+///
+/// Ties never dominate (two identical points both stay on the front), and
+/// any comparison involving a NaN coordinate is treated as incomparable
+/// (neither point dominates).
+pub fn dominates(by: (f64, f64), a: (f64, f64)) -> bool {
+    by.0 >= a.0 && by.1 <= a.1 && (by.0 > a.0 || by.1 < a.1)
+}
+
+/// Indices of the non-dominated `(protection, overhead)` points, in input
+/// order.
+///
+/// A point is kept iff no other input point [`dominates`] it: no returned
+/// point is dominated by any input, and every dominated input is excluded.
+/// Exact duplicates of a non-dominated point are all kept (they are
+/// genuinely equivalent tunings), and the returned indices are ascending,
+/// so the extraction is deterministic for a deterministic input order.
+///
+/// The scan is O(n²) — guard grids are tens of points, not millions.
+///
+/// # Examples
+///
+/// ```
+/// use rram_analysis::pareto::pareto_front_indices;
+///
+/// // (protection, overhead): maximise the first, minimise the second.
+/// let points = [
+///     (0.0, 0.00), // undefended baseline: zero overhead, on the front
+///     (0.9, 0.05), // strong and cheap: on the front
+///     (0.5, 0.10), // dominated by (0.9, 0.05)
+///     (1.0, 0.30), // perfect protection at a price: on the front
+/// ];
+/// assert_eq!(pareto_front_indices(&points), vec![0, 1, 3]);
+/// ```
+pub fn pareto_front_indices(points: &[(f64, f64)]) -> Vec<usize> {
+    (0..points.len())
+        .filter(|&i| !points.iter().any(|&other| dominates(other, points[i])))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn hand_computed_front() {
+        // Protection up / overhead up staircase with two dominated points.
+        let points = [
+            (0.10, 0.02), // a: on the front
+            (0.10, 0.05), // b: dominated by a (same protection, more cost)
+            (0.60, 0.05), // c: on the front
+            (0.40, 0.20), // d: dominated by c
+            (0.95, 0.20), // e: on the front
+            (1.00, 0.90), // f: on the front (most protection of all)
+            (0.95, 0.95), // g: dominated by e
+        ];
+        assert_eq!(pareto_front_indices(&points), vec![0, 2, 4, 5]);
+    }
+
+    #[test]
+    fn duplicates_and_single_points_survive() {
+        assert_eq!(pareto_front_indices(&[]), Vec::<usize>::new());
+        assert_eq!(pareto_front_indices(&[(0.5, 0.5)]), vec![0]);
+        // Exact ties do not dominate each other.
+        assert_eq!(pareto_front_indices(&[(0.5, 0.5), (0.5, 0.5)]), vec![0, 1]);
+    }
+
+    #[test]
+    fn domination_is_strict_somewhere() {
+        assert!(dominates((1.0, 0.0), (0.5, 0.5)));
+        assert!(dominates((0.5, 0.4), (0.5, 0.5)));
+        assert!(dominates((0.6, 0.5), (0.5, 0.5)));
+        assert!(!dominates((0.5, 0.5), (0.5, 0.5)));
+        assert!(!dominates((0.4, 0.4), (0.5, 0.3)));
+        // NaN coordinates never dominate and are never dominated.
+        assert!(!dominates((f64::NAN, 0.0), (0.5, 0.5)));
+        assert!(!dominates((1.0, 0.0), (f64::NAN, 0.5)));
+    }
+
+    proptest! {
+        #[test]
+        fn front_is_exactly_the_non_dominated_set(
+            raw in proptest::collection::vec((0u64..1000, 0u64..1000), 0..40)
+        ) {
+            let points: Vec<(f64, f64)> = raw
+                .iter()
+                .map(|&(p, o)| (p as f64 / 1000.0, o as f64 / 1000.0))
+                .collect();
+            let front = pareto_front_indices(&points);
+            // No returned point is dominated by any input point.
+            for &i in &front {
+                for &other in &points {
+                    prop_assert!(
+                        !dominates(other, points[i]),
+                        "front point {:?} is dominated by {:?}",
+                        points[i],
+                        other
+                    );
+                }
+            }
+            // Every dominated input is excluded; every non-dominated input
+            // is present (the front is *exactly* the non-dominated set).
+            for (i, &point) in points.iter().enumerate() {
+                let dominated = points.iter().any(|&other| dominates(other, point));
+                prop_assert_eq!(
+                    front.contains(&i),
+                    !dominated,
+                    "index {} (point {:?}) classified wrongly",
+                    i,
+                    point
+                );
+            }
+            // Indices ascend (deterministic order).
+            prop_assert!(front.windows(2).all(|w| w[0] < w[1]));
+        }
+    }
+}

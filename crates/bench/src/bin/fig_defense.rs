@@ -1,0 +1,160 @@
+//! Maps the defence/overhead Pareto surface of the modelled NeuroHammer
+//! countermeasures: guard kind × threshold × hammer amplitude (× spread σ ×
+//! Monte Carlo trials), aggregated into protection probabilities with 95 %
+//! Wilson intervals and the non-dominated (protection, overhead) front.
+//!
+//! The paper's countermeasures are future work; this figure answers the
+//! question that section poses — *what does stopping NeuroHammer cost?* —
+//! by sweeping each defence family's operating point against the attack
+//! grid and a benign write workload (false-trigger/overhead accounting).
+//! With spreads in the campaign, the σ axis makes the tuning
+//! variability-aware: the Wilson intervals show how confidently each
+//! guard's protection probability is known across sampled device
+//! populations.
+//!
+//! Run with `cargo run -p neurohammer-bench --release --bin fig_defense`.
+//! Flags: the standard campaign set (`--quick`, `--campaign <spec.json>`,
+//! `--csv`, `--spec`, `--shard i/n`, `--checkpoint <path>`, `--resume`,
+//! `--merge <path>...`) plus `--json` for the machine-readable, bit-exact
+//! form (defence statistics + Pareto front + full report) that CI diffs
+//! for determinism.
+
+use neurohammer::campaign::CampaignSpec;
+use neurohammer_bench::{
+    csv_requested, figure_campaign, maybe_print_spec, quick_requested, resolve_campaign,
+    run_figure_campaign,
+};
+use rram_crossbar::BackendKind;
+use rram_defense::GuardSpec;
+use rram_jart::DeviceParams;
+use rram_units::{Kelvin, Seconds};
+use rram_variability::{ParamField, ParamSpread};
+
+/// The master seed of the figure: fixed so the published surface is
+/// reproducible bit for bit.
+const SEED: u64 = 42;
+
+/// The default defence campaign: every guard family over a threshold sweep,
+/// against the paper's 5×5 single-aggressor attack at several amplitudes,
+/// under a σ axis of device spreads (filament radius + disc length, the two
+/// dominant VCM spreads).
+fn defense_campaign(quick: bool) -> CampaignSpec {
+    let nominal = DeviceParams::default();
+    let mut spec = figure_campaign(quick);
+    spec.name = "defense pareto".into();
+    spec.backends = vec![BackendKind::Batched];
+    spec.seed = SEED;
+    // Guarded points simulate pulse by pulse; batching only affects the
+    // unguarded baseline, which stays exact too so the comparison is fair.
+    spec.batching = false;
+    spec.pulse_lengths_ns = vec![100.0];
+    // The base spreads carry a *relative* σ of 1.0, so the σ axis values
+    // are directly the relative spread magnitudes (0 = nominal device).
+    spec.spreads = vec![
+        ParamSpread::relative_normal(ParamField::FilamentRadius, 1.0, &nominal),
+        ParamSpread::relative_normal(ParamField::LDisc, 1.0, &nominal),
+    ];
+    if quick {
+        spec.amplitudes_v = vec![1.05];
+        spec.guards = vec![
+            GuardSpec::None,
+            GuardSpec::WriteCounter {
+                threshold: 32,
+                window: Seconds(1.0),
+            },
+            GuardSpec::WriteCounter {
+                threshold: 256,
+                window: Seconds(1.0),
+            },
+            GuardSpec::ThermalSensor {
+                threshold: Kelvin(15.0),
+                cooldown: Seconds(1e-6),
+            },
+            GuardSpec::Scrubbing {
+                period: Seconds(2e-6),
+            },
+        ];
+        spec.spread_scales = vec![0.0, 0.1];
+        spec.trials = 2;
+        spec.max_pulses = 20_000;
+        spec.benign_writes = 64;
+    } else {
+        spec.amplitudes_v = vec![0.95, 1.05, 1.15];
+        spec.guards = vec![
+            GuardSpec::None,
+            GuardSpec::WriteCounter {
+                threshold: 32,
+                window: Seconds(1.0),
+            },
+            GuardSpec::WriteCounter {
+                threshold: 128,
+                window: Seconds(1.0),
+            },
+            GuardSpec::WriteCounter {
+                threshold: 512,
+                window: Seconds(1.0),
+            },
+            GuardSpec::ThermalSensor {
+                threshold: Kelvin(10.0),
+                cooldown: Seconds(1e-6),
+            },
+            GuardSpec::ThermalSensor {
+                threshold: Kelvin(20.0),
+                cooldown: Seconds(1e-6),
+            },
+            GuardSpec::ThermalSensor {
+                threshold: Kelvin(40.0),
+                cooldown: Seconds(1e-6),
+            },
+            GuardSpec::Scrubbing {
+                period: Seconds(1e-6),
+            },
+            GuardSpec::Scrubbing {
+                period: Seconds(5e-6),
+            },
+            GuardSpec::Scrubbing {
+                period: Seconds(20e-6),
+            },
+        ];
+        spec.spread_scales = vec![0.0, 0.05, 0.1, 0.2];
+        spec.trials = 12;
+        spec.max_pulses = 300_000;
+        spec.benign_writes = 256;
+    }
+    spec
+}
+
+fn main() {
+    let quick = quick_requested();
+    let json = std::env::args().any(|a| a == "--json");
+    let spec = resolve_campaign(defense_campaign(quick));
+    let report = run_figure_campaign(spec.clone());
+
+    if json {
+        // Machine-readable form: the spec, the collapsed defence statistics
+        // (groups + Pareto front) and the full per-point report — every
+        // float bit-exact, so two runs of the same seed diff empty.
+        println!(
+            "{{\"spec\": {},\n\"defense\": {},\n\"report\": {}}}",
+            spec.to_json(),
+            report.defense_json(),
+            report.to_json()
+        );
+        return;
+    }
+
+    println!("# Defence campaigns — guard sweeps vs NeuroHammer\n");
+    println!(
+        "## Per-point protection statistics (trials collapsed)\n{}",
+        report.defense_table()
+    );
+    println!(
+        "## Defence/overhead Pareto front (front members marked *)\n{}",
+        report.pareto_table()
+    );
+    if csv_requested() {
+        println!("## Pareto CSV\n{}", report.pareto_csv());
+        println!("## Per-point CSV\n{}", report.to_csv_string());
+    }
+    maybe_print_spec(&spec);
+}

@@ -3,8 +3,18 @@
 //! A [`CampaignSpec`] describes a *grid* of NeuroHammer attacks — the
 //! cartesian product of array sizes × attack patterns × hammer amplitudes ×
 //! pulse lengths × electrode spacings × ambient temperatures × write
-//! schemes × simulation backends — as plain data that can be stored next to
-//! the figures it reproduces (see [`CampaignSpec::to_json`]).
+//! schemes × guard specifications × spread scales × simulation backends —
+//! as plain data that can be stored next to the figures it reproduces (see
+//! [`CampaignSpec::to_json`]).
+//!
+//! Two of those axes make *defence* a first-class campaign dimension:
+//! [`CampaignSpec::guards`] sweeps countermeasure operating points
+//! ([`rram_defense::GuardSpec`]) against every attack of the grid, and
+//! [`CampaignSpec::spread_scales`] sweeps the magnitude of the Monte Carlo
+//! device spreads (the σ axis) inside one campaign, so guard thresholds can
+//! be tuned against the *distribution* of flip probabilities. Defence
+//! aggregation and the protection/overhead Pareto front live in
+//! [`defense`].
 //!
 //! Execution is the job of the streaming [`CampaignExecutor`]: it validates
 //! the grid once, partitions the deterministic point list by an explicit
@@ -51,11 +61,13 @@
 //! ```
 
 pub mod checkpoint;
+pub mod defense;
 pub mod executor;
 pub mod json;
 pub mod stats;
 
 pub use checkpoint::{read_checkpoint, CheckpointWriter};
+pub use defense::{DefenseGroup, DefenseParetoPoint};
 pub use executor::{CampaignEvent, CampaignExecutor, Shard};
 pub use stats::VariabilityGroup;
 
@@ -71,6 +83,7 @@ use rram_crossbar::{
     BackendKind, CellAddress, CrosstalkHub, EngineConfig, HammerBackend, WiringParasitics,
     WriteScheme,
 };
+use rram_defense::{BenignWorkload, DefenseOutcome, GuardSpec};
 use rram_fem::alpha::{extract_alpha_cached, AlphaConfig};
 use rram_fem::{AlphaError, AlphaMatrix, CrossbarGeometry};
 use rram_jart::current::solve_operating_point;
@@ -145,6 +158,18 @@ pub struct CampaignSpec {
     /// Write/bias schemes to hammer under (the paper's main experiment uses
     /// V/2; sweeping V/3 quantifies the scheme's disturb margin).
     pub schemes: Vec<WriteScheme>,
+    /// Guard specifications to defend each attack with
+    /// ([`GuardSpec::None`] is the undefended baseline). Guarded points run
+    /// pulse by pulse (the guard observes every write) and additionally
+    /// replay a benign workload for false-positive accounting — see
+    /// [`crate::countermeasures::run_guarded_attack`].
+    pub guards: Vec<GuardSpec>,
+    /// Scale factors applied to every spread's width — the σ grid axis.
+    /// `vec![1.0]` runs the spreads as declared; `vec![0.0, 0.5, 1.0]`
+    /// sweeps three magnitudes of the same spread shape in one campaign
+    /// (`0.0` is the deterministic nominal device). See
+    /// [`rram_variability::ParamSpread::scaled`].
+    pub spread_scales: Vec<f64>,
     /// Simulation backends to run each point on.
     pub backends: Vec<BackendKind>,
     /// Thermal-coupling source.
@@ -162,6 +187,9 @@ pub struct CampaignSpec {
     /// produce bit-identical reports across shard counts, thread schedules
     /// and checkpoint resume.
     pub seed: u64,
+    /// Writes of the benign workload replayed against every guarded point
+    /// for false-positive/overhead accounting (unused on unguarded points).
+    pub benign_writes: u64,
     /// Crosstalk time constant, ns.
     pub tau_ns: f64,
     /// Pulse budget per point before giving up.
@@ -184,11 +212,14 @@ impl Default for CampaignSpec {
             spacings_nm: vec![50.0],
             ambients_k: vec![300.0],
             schemes: vec![WriteScheme::HalfVoltage],
+            guards: vec![GuardSpec::None],
+            spread_scales: vec![1.0],
             backends: vec![BackendKind::Pulse],
             coupling: CouplingSpec::Uniform { nearest: 0.15 },
             spreads: Vec::new(),
             trials: 1,
             seed: 0,
+            benign_writes: 256,
             tau_ns: 30.0,
             max_pulses: 1_000_000,
             batching: true,
@@ -220,6 +251,11 @@ pub struct CampaignPoint {
     pub ambient: Kelvin,
     /// Write/bias scheme hammer pulses are applied under.
     pub scheme: WriteScheme,
+    /// Guard defending this point ([`GuardSpec::None`] = undefended).
+    pub guard: GuardSpec,
+    /// Scale factor applied to the spec's spreads at this point (the σ
+    /// axis; `0.0` = deterministic nominal device).
+    pub spread_scale: f64,
     /// Simulation backend.
     pub backend: BackendKind,
     /// Monte Carlo trial index (`0` in single-trial campaigns). Part of
@@ -266,6 +302,11 @@ pub enum CampaignAxis {
     /// Write scheme (parameter value: index in
     /// [`rram_crossbar::WriteScheme::ALL`]).
     Scheme,
+    /// Guard specification (parameter value: the guard's threshold
+    /// coordinate, see [`GuardSpec::axis_value`]).
+    Guard,
+    /// Spread scale — the σ axis (parameter value: the scale factor).
+    Spread,
     /// Simulation backend (parameter value: 0 = pulse, 1 = detailed,
     /// 2 = batched).
     Backend,
@@ -275,7 +316,7 @@ pub enum CampaignAxis {
 
 impl CampaignAxis {
     /// All axes, in the column order reports use.
-    pub const ALL: [CampaignAxis; 10] = [
+    pub const ALL: [CampaignAxis; 12] = [
         CampaignAxis::ArraySize,
         CampaignAxis::Pattern,
         CampaignAxis::Amplitude,
@@ -284,6 +325,8 @@ impl CampaignAxis {
         CampaignAxis::Spacing,
         CampaignAxis::Ambient,
         CampaignAxis::Scheme,
+        CampaignAxis::Guard,
+        CampaignAxis::Spread,
         CampaignAxis::Backend,
         CampaignAxis::Trial,
     ];
@@ -301,6 +344,8 @@ impl CampaignPoint {
             CampaignAxis::Spacing => self.spacing_nm,
             CampaignAxis::Ambient => self.ambient.0,
             CampaignAxis::Scheme => self.scheme.index() as f64,
+            CampaignAxis::Guard => self.guard.axis_value(),
+            CampaignAxis::Spread => self.spread_scale,
             CampaignAxis::Backend => match self.backend {
                 BackendKind::Pulse => 0.0,
                 BackendKind::Detailed(_) => 1.0,
@@ -325,20 +370,30 @@ impl CampaignPoint {
                 WriteScheme::ThirdVoltage => "V/3".to_string(),
                 WriteScheme::GroundedUnselected => "grounded".to_string(),
             },
+            CampaignAxis::Guard => self.guard.label(),
+            CampaignAxis::Spread => format!("σ×{}", self.spread_scale),
             CampaignAxis::Backend => self.backend.label().to_string(),
             CampaignAxis::Trial => format!("trial {}", self.trial),
         }
     }
 
     /// Label of this point over every axis except `excluded` (the grouping
-    /// key used when slicing a report into series).
+    /// key used when slicing a report into series). Sweeping the guard axis
+    /// keeps each guard *kind* its own series: threshold coordinates
+    /// ([`GuardSpec::axis_value`]) are pulses, kelvin or microseconds
+    /// depending on the kind, so only same-kind points order meaningfully.
     fn key_excluding(&self, excluded: CampaignAxis) -> String {
-        CampaignAxis::ALL
+        let mut key = CampaignAxis::ALL
             .iter()
             .filter(|&&axis| axis != excluded)
             .map(|&axis| self.axis_label(axis))
             .collect::<Vec<_>>()
-            .join(" · ")
+            .join(" · ");
+        if excluded == CampaignAxis::Guard {
+            key.push_str(" · ");
+            key.push_str(self.guard.kind_label());
+        }
+        key
     }
 
     /// The victim cell this point attacks: the in-line neighbour of the
@@ -348,9 +403,11 @@ impl CampaignPoint {
     }
 
     /// Fingerprint of the point's *device-relevant* coordinates: everything
-    /// in [`CampaignPoint::id`] except the simulation backend. This seeds
-    /// the Monte Carlo parameter sampling, so every backend of a
-    /// cross-engine comparison simulates the identical sampled devices.
+    /// in [`CampaignPoint::id`] except the simulation backend and the
+    /// guard. This seeds the Monte Carlo parameter sampling, so every
+    /// backend of a cross-engine comparison — and every guard of a defence
+    /// sweep — simulates the identical sampled devices (guard comparisons
+    /// are paired, not confounded by resampling).
     pub fn device_id(&self) -> u64 {
         fnv1a_words(&[
             self.rows as u64,
@@ -362,6 +419,7 @@ impl CampaignPoint {
             self.spacing_nm.to_bits(),
             self.ambient.0.to_bits(),
             self.scheme.index() as u64,
+            self.spread_scale.to_bits(),
             u64::from(self.trial),
         ])
     }
@@ -381,6 +439,7 @@ impl CampaignPoint {
             ),
             BackendKind::Batched => (2, 0, 0),
         };
+        let [guard_tag, guard_a, guard_b] = self.guard.fingerprint_words();
         fnv1a_words(&[
             self.rows as u64,
             self.cols as u64,
@@ -391,6 +450,10 @@ impl CampaignPoint {
             self.spacing_nm.to_bits(),
             self.ambient.0.to_bits(),
             self.scheme.index() as u64,
+            guard_tag,
+            guard_a,
+            guard_b,
+            self.spread_scale.to_bits(),
             backend_tag,
             segment_bits,
             driver_bits,
@@ -401,7 +464,7 @@ impl CampaignPoint {
 
 /// FNV-1a over the little-endian bytes of `words` — the stable fingerprint
 /// primitive behind [`PointKey`].
-fn fnv1a_words(words: &[u64]) -> u64 {
+pub(crate) fn fnv1a_words(words: &[u64]) -> u64 {
     let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
     for word in words {
         for byte in word.to_le_bytes() {
@@ -434,6 +497,10 @@ pub struct CampaignOutcome {
     pub sim_time: Seconds,
     /// Cells other than the victim that changed state.
     pub collateral_flips: usize,
+    /// Defence-side results of a guarded point ([`None`] on unguarded
+    /// points, which run the plain attack): blocked?, pulses to detection,
+    /// false triggers on the benign workload, energy/latency overhead.
+    pub defense: Option<DefenseOutcome>,
 }
 
 /// Everything that can go wrong assembling or executing a campaign.
@@ -548,6 +615,8 @@ impl CampaignSpec {
             * self.spacings_nm.len()
             * self.ambients_k.len()
             * self.schemes.len()
+            * self.guards.len()
+            * self.spread_scales.len()
             * self.backends.len()
             * self.trials as usize
     }
@@ -558,7 +627,7 @@ impl CampaignSpec {
     ///
     /// Returns the first [`CampaignError`] found.
     pub fn validate(&self) -> Result<(), CampaignError> {
-        let axes: [(&'static str, bool); 9] = [
+        let axes: [(&'static str, bool); 11] = [
             ("array_sizes", self.array_sizes.is_empty()),
             ("patterns", self.patterns.is_empty()),
             ("amplitudes_v", self.amplitudes_v.is_empty()),
@@ -567,6 +636,8 @@ impl CampaignSpec {
             ("spacings_nm", self.spacings_nm.is_empty()),
             ("ambients_k", self.ambients_k.is_empty()),
             ("schemes", self.schemes.is_empty()),
+            ("guards", self.guards.is_empty()),
+            ("spread_scales", self.spread_scales.is_empty()),
             ("backends", self.backends.is_empty()),
         ];
         for (name, empty) in axes {
@@ -602,9 +673,28 @@ impl CampaignSpec {
                 "duty_cycles must lie in (0, 1]".into(),
             ));
         }
+        for guard in &self.guards {
+            guard
+                .validate()
+                .map_err(|e| CampaignError::InvalidValue(format!("invalid guard: {e}")))?;
+        }
+        if self
+            .spread_scales
+            .iter()
+            .any(|&s| !(s >= 0.0 && s.is_finite()))
+        {
+            return Err(CampaignError::InvalidValue(
+                "spread_scales must be finite and ≥ 0".into(),
+            ));
+        }
         if self.max_pulses == 0 {
             return Err(CampaignError::InvalidValue(
                 "max_pulses must be at least 1".into(),
+            ));
+        }
+        if self.benign_writes == 0 {
+            return Err(CampaignError::InvalidValue(
+                "benign_writes must be at least 1".into(),
             ));
         }
         if self.trials == 0 {
@@ -637,21 +727,27 @@ impl CampaignSpec {
                             for &spacing in &self.spacings_nm {
                                 for &ambient in &self.ambients_k {
                                     for &scheme in &self.schemes {
-                                        for &backend in &self.backends {
-                                            for trial in 0..self.trials {
-                                                points.push(CampaignPoint {
-                                                    rows,
-                                                    cols,
-                                                    pattern,
-                                                    amplitude: Volts(amplitude),
-                                                    pulse_length: Seconds(length_ns * 1e-9),
-                                                    duty_cycle: duty,
-                                                    spacing_nm: spacing,
-                                                    ambient: Kelvin(ambient),
-                                                    scheme,
-                                                    backend,
-                                                    trial,
-                                                });
+                                        for &guard in &self.guards {
+                                            for &spread_scale in &self.spread_scales {
+                                                for &backend in &self.backends {
+                                                    for trial in 0..self.trials {
+                                                        points.push(CampaignPoint {
+                                                            rows,
+                                                            cols,
+                                                            pattern,
+                                                            amplitude: Volts(amplitude),
+                                                            pulse_length: Seconds(length_ns * 1e-9),
+                                                            duty_cycle: duty,
+                                                            spacing_nm: spacing,
+                                                            ambient: Kelvin(ambient),
+                                                            scheme,
+                                                            guard,
+                                                            spread_scale,
+                                                            backend,
+                                                            trial,
+                                                        });
+                                                    }
+                                                }
                                             }
                                         }
                                     }
@@ -689,6 +785,7 @@ impl CampaignSpec {
                 .to_bits(),
             self.seed,
             u64::from(self.trials),
+            self.benign_writes,
             self.spreads.len() as u64,
         ];
         for spread in &self.spreads {
@@ -732,6 +829,22 @@ impl CampaignSpec {
             max_pulses: self.max_pulses,
             batching: self.batching,
             trace: false,
+        }
+    }
+
+    /// The benign write workload replayed against a guarded point for
+    /// false-positive accounting: [`CampaignSpec::benign_writes`] writes at
+    /// the point's amplitude, pulse length and duty cycle, cell-selected
+    /// deterministically from the point's sampling seed (so the stream —
+    /// like the sampled devices — is identical across backends and guards,
+    /// and across shards and resumes).
+    pub fn benign_workload(&self, point: &CampaignPoint) -> BenignWorkload {
+        BenignWorkload {
+            writes: self.benign_writes,
+            amplitude: point.amplitude,
+            pulse_length: point.pulse_length,
+            gap: self.attack_config(point).gap,
+            seed: self.point_seed(point),
         }
     }
 
@@ -808,7 +921,18 @@ impl CampaignSpec {
     }
 
     /// Samples the per-cell parameter table of one grid point, or `None`
-    /// when the spec carries no spreads.
+    /// when the spec carries no spreads — or the point's σ-axis value is
+    /// exactly `0.0` *and* every spread is centred on the nominal value
+    /// (omitted `mean`/`median`), in which case scaled sampling would
+    /// reproduce the nominal device anyway and the cheap homogeneous path
+    /// is exact. Off-centre spreads (explicit `mean`/`median`, uniform
+    /// intervals) collapse onto their *own* centre as σ → 0, so they keep
+    /// sampling — the σ axis stays continuous at 0.
+    ///
+    /// The spec's spreads are scaled by the point's
+    /// [`CampaignPoint::spread_scale`] before sampling
+    /// ([`rram_variability::ParamSpread::scaled`]); scale `1.0` reproduces
+    /// the unscaled sampling bit for bit.
     ///
     /// # Errors
     ///
@@ -821,12 +945,26 @@ impl CampaignSpec {
         &self,
         point: &CampaignPoint,
     ) -> Result<Option<Vec<DeviceParams>>, CampaignError> {
-        if self.spreads.is_empty() {
+        let centred_on_nominal = |spread: &ParamSpread| {
+            matches!(
+                spread.distribution,
+                Distribution::Normal { mean: None, .. }
+                    | Distribution::LogNormal { median: None, .. }
+            )
+        };
+        if self.spreads.is_empty()
+            || (point.spread_scale == 0.0 && self.spreads.iter().all(centred_on_nominal))
+        {
             return Ok(None);
         }
+        let spreads: Vec<ParamSpread> = self
+            .spreads
+            .iter()
+            .map(|spread| spread.scaled(point.spread_scale))
+            .collect();
         try_sample_table(
             &DeviceParams::default(),
-            &self.spreads,
+            &spreads,
             self.point_seed(point),
             point.rows * point.cols,
         )
@@ -953,6 +1091,11 @@ impl CampaignSpec {
                 ),
             ),
             (
+                "guards".into(),
+                Json::Array(self.guards.iter().map(guard_to_json).collect()),
+            ),
+            ("spread_scales".into(), numbers(&self.spread_scales)),
+            (
                 "backends".into(),
                 Json::Array(self.backends.iter().map(backend_to_json).collect()),
             ),
@@ -963,6 +1106,10 @@ impl CampaignSpec {
             ),
             ("trials".into(), Json::Number(f64::from(self.trials))),
             ("seed".into(), seed_to_json(self.seed)),
+            (
+                "benign_writes".into(),
+                Json::Number(self.benign_writes as f64),
+            ),
             ("tau_ns".into(), Json::Number(self.tau_ns)),
             ("max_pulses".into(), Json::Number(self.max_pulses as f64)),
             ("batching".into(), Json::Bool(self.batching)),
@@ -1045,6 +1192,7 @@ impl CampaignSpec {
                 "duty_cycles" => spec.duty_cycles = number_list(key, value)?,
                 "spacings_nm" => spec.spacings_nm = number_list(key, value)?,
                 "ambients_k" => spec.ambients_k = number_list(key, value)?,
+                "spread_scales" => spec.spread_scales = number_list(key, value)?,
                 "schemes" => {
                     let schemes = value
                         .as_array()
@@ -1057,6 +1205,15 @@ impl CampaignSpec {
                                 .parse::<WriteScheme>()
                                 .map_err(CampaignError::Json)
                         })
+                        .collect::<Result<_, CampaignError>>()?;
+                }
+                "guards" => {
+                    let guards = value
+                        .as_array()
+                        .ok_or_else(|| bad(key, "an array of guard labels/objects"))?;
+                    spec.guards = guards
+                        .iter()
+                        .map(guard_from_json)
                         .collect::<Result<_, CampaignError>>()?;
                 }
                 "backends" => {
@@ -1109,6 +1266,9 @@ impl CampaignSpec {
                         .map_err(|_| bad(key, "an integer fitting in 32 bits"))?;
                 }
                 "seed" => spec.seed = seed_from_json(value)?,
+                "benign_writes" => {
+                    spec.benign_writes = value.as_u64().ok_or_else(|| bad(key, "an integer"))?;
+                }
                 "tau_ns" => {
                     spec.tau_ns = value.as_f64().ok_or_else(|| bad(key, "a number"))?;
                 }
@@ -1259,6 +1419,76 @@ fn spread_from_json(value: &Json) -> Result<ParamSpread, CampaignError> {
     })
 }
 
+/// Serialises one guard specification. The undefended baseline is the
+/// plain string `"none"`; real guards are objects carrying the kind tag and
+/// their exact operating point:
+/// `{"kind": "counter", "threshold": 64, "window_s": 1.0}`,
+/// `{"kind": "thermal", "threshold_k": 20.0, "cooldown_s": 1e-6}`,
+/// `{"kind": "scrub", "period_s": 5e-6}`.
+pub(crate) fn guard_to_json(guard: &GuardSpec) -> Json {
+    match guard {
+        GuardSpec::None => Json::String("none".into()),
+        GuardSpec::WriteCounter { threshold, window } => Json::Object(vec![
+            ("kind".into(), Json::String("counter".into())),
+            ("threshold".into(), Json::Number(*threshold as f64)),
+            ("window_s".into(), Json::Number(window.0)),
+        ]),
+        GuardSpec::ThermalSensor {
+            threshold,
+            cooldown,
+        } => Json::Object(vec![
+            ("kind".into(), Json::String("thermal".into())),
+            ("threshold_k".into(), Json::Number(threshold.0)),
+            ("cooldown_s".into(), Json::Number(cooldown.0)),
+        ]),
+        GuardSpec::Scrubbing { period } => Json::Object(vec![
+            ("kind".into(), Json::String("scrub".into())),
+            ("period_s".into(), Json::Number(period.0)),
+        ]),
+    }
+}
+
+/// Parses a guard entry written by [`guard_to_json`].
+pub(crate) fn guard_from_json(value: &Json) -> Result<GuardSpec, CampaignError> {
+    let bad = |message: &str| CampaignError::Json(format!("invalid guard: {message}"));
+    if let Some(label) = value.as_str() {
+        return match label {
+            "none" => Ok(GuardSpec::None),
+            other => Err(bad(&format!(
+                "unknown guard label {other:?} (only \"none\" is a bare label; \
+                 real guards are objects with a \"kind\")"
+            ))),
+        };
+    }
+    let kind = value
+        .get("kind")
+        .and_then(Json::as_str)
+        .ok_or_else(|| bad("guard entries must be \"none\" or an object with a \"kind\""))?;
+    let number = |key: &str| -> Result<f64, CampaignError> {
+        value
+            .get(key)
+            .and_then(Json::as_f64)
+            .ok_or_else(|| bad(&format!("{key:?} must be a number")))
+    };
+    match kind {
+        "counter" => Ok(GuardSpec::WriteCounter {
+            threshold: value
+                .get("threshold")
+                .and_then(Json::as_u64)
+                .ok_or_else(|| bad("\"threshold\" must be a non-negative integer"))?,
+            window: Seconds(number("window_s")?),
+        }),
+        "thermal" => Ok(GuardSpec::ThermalSensor {
+            threshold: Kelvin(number("threshold_k")?),
+            cooldown: Seconds(number("cooldown_s")?),
+        }),
+        "scrub" => Ok(GuardSpec::Scrubbing {
+            period: Seconds(number("period_s")?),
+        }),
+        other => Err(bad(&format!("unknown guard kind {other:?}"))),
+    }
+}
+
 /// Serialises a backend choice: `"pulse"`, `"detailed"` (default
 /// parasitics), or an object carrying non-default wiring parasitics so the
 /// archived spec reproduces the same physics.
@@ -1405,6 +1635,8 @@ impl CampaignReport {
             "spacing",
             "ambient",
             "scheme",
+            "guard",
+            "σ scale",
             "trial",
             "# pulses to bit-flip",
             "victim drift",
@@ -1421,6 +1653,8 @@ impl CampaignReport {
                 p.axis_label(CampaignAxis::Spacing),
                 p.axis_label(CampaignAxis::Ambient),
                 p.axis_label(CampaignAxis::Scheme),
+                p.guard.label(),
+                format!("{}", p.spread_scale),
                 p.trial.to_string(),
                 if outcome.flipped {
                     outcome.pulses.to_string()
@@ -1440,6 +1674,8 @@ impl CampaignReport {
     /// Renders the report as CSV (same columns as the table, plus the raw
     /// numeric extras).
     pub fn to_csv_string(&self) -> String {
+        // Defence columns are empty on unguarded points.
+        let optional = |value: Option<String>| value.unwrap_or_default();
         let rows: Vec<Vec<String>> = self
             .outcomes
             .iter()
@@ -1456,6 +1692,9 @@ impl CampaignReport {
                     format!("{}", p.spacing_nm),
                     format!("{}", p.ambient.0),
                     p.scheme.label().to_string(),
+                    p.guard.kind_label().to_string(),
+                    format!("{}", p.guard.axis_value()),
+                    format!("{}", p.spread_scale),
                     p.trial.to_string(),
                     outcome.flipped.to_string(),
                     outcome.pulses.to_string(),
@@ -1463,6 +1702,19 @@ impl CampaignReport {
                     format!("{}", outcome.final_crosstalk.0),
                     format!("{}", outcome.sim_time.0),
                     outcome.collateral_flips.to_string(),
+                    optional(outcome.defense.map(|d| d.blocked.to_string())),
+                    optional(
+                        outcome
+                            .defense
+                            .and_then(|d| d.pulses_to_detection)
+                            .map(|p| p.to_string()),
+                    ),
+                    optional(outcome.defense.map(|d| d.refreshes.to_string())),
+                    optional(outcome.defense.map(|d| format!("{}", d.throttle_time.0))),
+                    optional(outcome.defense.map(|d| d.false_triggers.to_string())),
+                    optional(outcome.defense.map(|d| format!("{}", d.energy_overhead.0))),
+                    optional(outcome.defense.map(|d| format!("{}", d.latency_overhead.0))),
+                    optional(outcome.defense.map(|d| format!("{}", d.overhead_fraction))),
                 ]
             })
             .collect();
@@ -1478,6 +1730,9 @@ impl CampaignReport {
                 "spacing_nm",
                 "ambient_k",
                 "scheme",
+                "guard_kind",
+                "guard_threshold",
+                "spread_scale",
                 "trial",
                 "flipped",
                 "pulses",
@@ -1485,6 +1740,14 @@ impl CampaignReport {
                 "final_crosstalk_k",
                 "sim_time_s",
                 "collateral_flips",
+                "blocked",
+                "pulses_to_detection",
+                "refreshes",
+                "throttle_time_s",
+                "false_triggers",
+                "energy_overhead_j",
+                "latency_overhead_s",
+                "overhead_fraction",
             ],
             &rows,
         )
@@ -2056,6 +2319,221 @@ mod tests {
         // A different seed samples different devices.
         let other = CampaignSpec { seed: 4321, ..spec }.run().unwrap();
         assert_ne!(a.to_json(), other.to_json());
+    }
+
+    #[test]
+    fn guard_axis_fans_out_round_trips_and_fingerprints() {
+        let spec = CampaignSpec {
+            name: "guard sweep".into(),
+            guards: vec![
+                GuardSpec::None,
+                GuardSpec::WriteCounter {
+                    threshold: 64,
+                    window: Seconds(1.0),
+                },
+                GuardSpec::ThermalSensor {
+                    threshold: rram_units::Kelvin(20.0),
+                    cooldown: Seconds(1e-6),
+                },
+                GuardSpec::Scrubbing {
+                    period: Seconds(5e-6),
+                },
+            ],
+            max_pulses: 2_000,
+            batching: false,
+            ..CampaignSpec::default()
+        };
+        assert_eq!(spec.num_points(), 4);
+        // JSON round trip preserves every guard's exact operating point.
+        let text = spec.to_json();
+        assert!(
+            text.contains("\"none\"") && text.contains("\"counter\""),
+            "{text}"
+        );
+        let restored = CampaignSpec::from_json(&text).unwrap();
+        assert_eq!(restored, spec);
+
+        // Guards are part of the point fingerprint (checkpoint staleness)
+        // but NOT of the sampling seed (guard comparisons are paired).
+        let points = spec.points();
+        for (i, a) in points.iter().enumerate() {
+            for b in &points[i + 1..] {
+                assert_ne!(a.id(), b.id());
+                assert_eq!(a.device_id(), b.device_id());
+                assert_eq!(spec.point_seed(a), spec.point_seed(b));
+            }
+        }
+
+        // Slicing a report over the guard axis keeps each guard kind its
+        // own series: threshold coordinates are only comparable within one
+        // family (pulses vs kelvin vs microseconds).
+        let report = spec.run().unwrap();
+        let series = report.series_over(CampaignAxis::Guard);
+        assert_eq!(series.len(), 4, "{series:?}");
+        for kind in ["none", "counter", "thermal", "scrub"] {
+            assert!(
+                series.iter().any(|s| s.name.ends_with(kind)),
+                "missing {kind} series: {series:?}"
+            );
+        }
+
+        // Malformed guard JSON is rejected.
+        assert!(matches!(
+            CampaignSpec::from_json(r#"{"guards": ["blast shield"]}"#),
+            Err(CampaignError::Json(_))
+        ));
+        assert!(matches!(
+            CampaignSpec::from_json(r#"{"guards": [{"kind": "counter", "threshold": 8}]}"#),
+            Err(CampaignError::Json(_))
+        ));
+        // Degenerate operating points are caught by validation.
+        assert!(matches!(
+            CampaignSpec::from_json(
+                r#"{"guards": [{"kind": "counter", "threshold": 0, "window_s": 1.0}]}"#
+            ),
+            Err(CampaignError::InvalidValue(_))
+        ));
+    }
+
+    #[test]
+    fn guarded_points_run_and_report_defense_outcomes() {
+        let spec = CampaignSpec {
+            name: "guarded run".into(),
+            guards: vec![
+                GuardSpec::None,
+                GuardSpec::WriteCounter {
+                    threshold: 50,
+                    window: Seconds(1.0),
+                },
+            ],
+            pulse_lengths_ns: vec![100.0],
+            max_pulses: 20_000,
+            benign_writes: 32,
+            batching: false,
+            ..CampaignSpec::default()
+        };
+        let report = spec.run().unwrap();
+        assert_eq!(report.outcomes.len(), 2);
+        let unguarded = &report.outcomes[0];
+        let guarded = &report.outcomes[1];
+        assert!(unguarded.point.guard.is_none());
+        assert_eq!(unguarded.defense, None);
+        assert!(unguarded.flipped);
+        let defense = guarded.defense.expect("guarded point carries defense");
+        assert!(defense.blocked);
+        assert!(!guarded.flipped);
+        assert_eq!(defense.pulses_to_detection, Some(50));
+        assert_eq!(defense.benign_writes, 32);
+        // The guard columns reach the CSV.
+        let header = report.to_csv_string().lines().next().unwrap().to_string();
+        for column in ["guard_kind", "guard_threshold", "blocked", "false_triggers"] {
+            assert!(header.contains(column), "{header}");
+        }
+        // The report round-trips through JSON with the defense payload.
+        let restored = CampaignReport::from_json(&report.to_json()).unwrap();
+        assert_eq!(&restored, &report);
+        assert_eq!(restored.to_csv_string(), report.to_csv_string());
+    }
+
+    #[test]
+    fn spread_scale_axis_sweeps_sigma_inside_one_campaign() {
+        let nominal = DeviceParams::default();
+        let spec = CampaignSpec {
+            name: "sigma axis".into(),
+            spreads: vec![ParamSpread::relative_normal(
+                ParamField::FilamentRadius,
+                1.0,
+                &nominal,
+            )],
+            spread_scales: vec![0.0, 0.05, 0.1],
+            trials: 2,
+            seed: 11,
+            max_pulses: 1_000,
+            ..CampaignSpec::default()
+        };
+        assert_eq!(spec.num_points(), 6);
+        let restored = CampaignSpec::from_json(&spec.to_json()).unwrap();
+        assert_eq!(restored, spec);
+
+        let points = spec.points();
+        // σ = 0 points of nominal-centred spreads are the deterministic
+        // nominal device (no table).
+        assert!(spec.sampled_table(&points[0]).unwrap().is_none());
+        // An *off-centre* spread keeps sampling at σ = 0 (it collapses
+        // onto its own centre, not the nominal value): the σ axis is
+        // continuous at 0.
+        let off_centre = CampaignSpec {
+            spreads: vec![ParamSpread {
+                field: ParamField::FilamentRadius,
+                distribution: Distribution::Normal {
+                    mean: Some(2.0 * nominal.filament_radius),
+                    sigma: 0.1 * nominal.filament_radius,
+                },
+                truncate_low: None,
+                truncate_high: None,
+            }],
+            ..spec.clone()
+        };
+        let table = off_centre
+            .sampled_table(&off_centre.points()[0])
+            .unwrap()
+            .expect("off-centre spreads sample at sigma = 0");
+        for params in &table {
+            assert_eq!(params.filament_radius, 2.0 * nominal.filament_radius);
+        }
+        // σ = 0.05 and σ = 0.1 sample different widths of the same shape.
+        let p05 = points.iter().find(|p| p.spread_scale == 0.05).unwrap();
+        let p10 = points.iter().find(|p| p.spread_scale == 0.1).unwrap();
+        let (t05, t10) = (
+            spec.sampled_table(p05).unwrap().unwrap(),
+            spec.sampled_table(p10).unwrap().unwrap(),
+        );
+        assert_ne!(t05[0].filament_radius, t10[0].filament_radius);
+        let deviation = |table: &[DeviceParams]| {
+            table
+                .iter()
+                .map(|p| (p.filament_radius - nominal.filament_radius).abs())
+                .sum::<f64>()
+        };
+        assert!(
+            deviation(&t10) > deviation(&t05),
+            "wider σ must spread further: {} vs {}",
+            deviation(&t10),
+            deviation(&t05)
+        );
+        // A scale of exactly 1.0 reproduces the unscaled sampling bit for
+        // bit (existing single-σ campaigns are unchanged).
+        let unscaled = CampaignSpec {
+            spread_scales: vec![1.0],
+            ..spec.clone()
+        };
+        let p1 = unscaled.points()[0];
+        let table = unscaled.sampled_table(&p1).unwrap().unwrap();
+        let direct = rram_variability::try_sample_table(
+            &nominal,
+            &unscaled.spreads,
+            unscaled.point_seed(&p1),
+            25,
+        )
+        .unwrap();
+        for (a, b) in table.iter().zip(direct.iter()) {
+            assert_eq!(a.filament_radius.to_bits(), b.filament_radius.to_bits());
+        }
+        // Different σ values own different fingerprints AND different
+        // sampling seeds (a σ axis samples distinct device populations).
+        assert_ne!(p05.id(), p10.id());
+        assert_ne!(spec.point_seed(p05), spec.point_seed(p10));
+
+        // Validation rejects degenerate scales.
+        let mut bad = spec.clone();
+        bad.spread_scales = vec![-0.5];
+        assert!(matches!(
+            bad.validate(),
+            Err(CampaignError::InvalidValue(_))
+        ));
+        let mut bad = spec;
+        bad.spread_scales.clear();
+        assert!(matches!(bad.validate(), Err(CampaignError::EmptyAxis(_))));
     }
 
     #[test]

@@ -45,6 +45,7 @@ use super::{
     CampaignError, CampaignOutcome, CampaignPoint, CampaignReport, CampaignSpec, PointKey,
 };
 use crate::attack::run_attack;
+use crate::countermeasures::run_guarded_attack;
 use rram_fem::AlphaMatrix;
 
 /// One slice of a campaign grid: shard `index` of `of` equal partitions.
@@ -122,6 +123,11 @@ impl std::fmt::Display for Shard {
 /// in order: one `Started`, then one `PointFinished` per grid point of the
 /// executor's shard (resumed points first, in grid order; fresh points as
 /// their workers complete), then one `Finished`.
+// One event exists per grid point, each the product of seconds of
+// simulation — the variant-size asymmetry (outcomes now carry an optional
+// defence payload) is irrelevant next to keeping every existing event sink
+// un-boxed.
+#[allow(clippy::large_enum_variant)]
 #[derive(Debug, Clone, PartialEq)]
 pub enum CampaignEvent {
     /// Execution began; `total` points will be reported by this executor
@@ -383,18 +389,42 @@ impl CampaignExecutor {
             .clone();
         let mut backend = self.spec.backend_with_alpha(point, alpha)?;
         let config = self.spec.attack_config(point);
-        let result = run_attack(backend.as_mut(), &config);
-        let victim = config.victim;
-        let final_crosstalk = backend.hub().delta(victim.row, victim.col);
+        if point.guard.is_none() {
+            // Unguarded points run the plain attack driver (honouring pulse
+            // batching) — bit-identical to pre-defence campaigns.
+            let result = run_attack(backend.as_mut(), &config);
+            let victim = config.victim;
+            let final_crosstalk = backend.hub().delta(victim.row, victim.col);
+            return Ok(CampaignOutcome {
+                key,
+                point: *point,
+                flipped: result.flipped,
+                pulses: result.pulses,
+                victim_drift: result.victim_drift,
+                final_crosstalk,
+                sim_time: result.elapsed,
+                collateral_flips: result.collateral_flips,
+                defense: None,
+            });
+        }
+        // Guarded points run pulse by pulse with the guard in the loop, then
+        // replay the benign workload for false-positive accounting.
+        let guarded = run_guarded_attack(
+            backend.as_mut(),
+            &config,
+            &point.guard,
+            &self.spec.benign_workload(point),
+        );
         Ok(CampaignOutcome {
             key,
             point: *point,
-            flipped: result.flipped,
-            pulses: result.pulses,
-            victim_drift: result.victim_drift,
-            final_crosstalk,
-            sim_time: result.elapsed,
-            collateral_flips: result.collateral_flips,
+            flipped: guarded.attack.flipped,
+            pulses: guarded.attack.pulses,
+            victim_drift: guarded.attack.victim_drift,
+            final_crosstalk: guarded.final_crosstalk,
+            sim_time: guarded.attack.elapsed,
+            collateral_flips: guarded.attack.collateral_flips,
+            defense: Some(guarded.defense),
         })
     }
 }

@@ -16,12 +16,13 @@
 use std::fmt;
 
 use super::{
-    backend_from_json, backend_to_json, CampaignError, CampaignOutcome, CampaignPoint,
-    CampaignReport, PointKey,
+    backend_from_json, backend_to_json, guard_from_json, guard_to_json, CampaignError,
+    CampaignOutcome, CampaignPoint, CampaignReport, PointKey,
 };
 use crate::pattern::AttackPattern;
 use rram_crossbar::WriteScheme;
-use rram_units::{Kelvin, Seconds, Volts};
+use rram_defense::{DefenseOutcome, GuardSpec};
+use rram_units::{Joules, Kelvin, Seconds, Volts};
 
 /// A parsed JSON value.
 #[derive(Debug, Clone, PartialEq)]
@@ -533,6 +534,8 @@ fn point_to_json(point: &CampaignPoint) -> Json {
         ("spacing_nm".into(), Json::Number(point.spacing_nm)),
         ("ambient_k".into(), Json::Number(point.ambient.0)),
         ("scheme".into(), Json::String(point.scheme.label().into())),
+        ("guard".into(), guard_to_json(&point.guard)),
+        ("spread_scale".into(), Json::Number(point.spread_scale)),
         ("trial".into(), Json::Number(f64::from(point.trial))),
     ])
 }
@@ -566,6 +569,18 @@ fn point_from_json(value: &Json) -> Result<CampaignPoint, CampaignError> {
         scheme: required_str(value, "scheme")?
             .parse::<WriteScheme>()
             .map_err(CampaignError::Json)?,
+        // guard and spread_scale default when absent, like duty_cycle: old
+        // checkpoints still parse and then re-run as stale-by-fingerprint.
+        guard: match value.get("guard") {
+            None => GuardSpec::None,
+            Some(v) => guard_from_json(v)?,
+        },
+        spread_scale: match value.get("spread_scale") {
+            None => 1.0,
+            Some(v) => v
+                .as_f64()
+                .ok_or_else(|| bad_key("spread_scale", "a number"))?,
+        },
         backend,
         trial: match value.get("trial") {
             None => 0,
@@ -578,8 +593,69 @@ fn point_from_json(value: &Json) -> Result<CampaignPoint, CampaignError> {
     })
 }
 
-fn outcome_to_json(outcome: &CampaignOutcome) -> Json {
+/// Serialises the defence side of a guarded outcome.
+fn defense_to_json(defense: &DefenseOutcome) -> Json {
     Json::Object(vec![
+        ("blocked".into(), Json::Bool(defense.blocked)),
+        ("detections".into(), Json::Number(defense.detections as f64)),
+        (
+            "pulses_to_detection".into(),
+            defense
+                .pulses_to_detection
+                .map_or(Json::Null, |p| Json::Number(p as f64)),
+        ),
+        ("refreshes".into(), Json::Number(defense.refreshes as f64)),
+        (
+            "throttle_time_s".into(),
+            Json::Number(defense.throttle_time.0),
+        ),
+        (
+            "benign_writes".into(),
+            Json::Number(defense.benign_writes as f64),
+        ),
+        (
+            "false_triggers".into(),
+            Json::Number(defense.false_triggers as f64),
+        ),
+        (
+            "energy_overhead_j".into(),
+            Json::Number(defense.energy_overhead.0),
+        ),
+        (
+            "latency_overhead_s".into(),
+            Json::Number(defense.latency_overhead.0),
+        ),
+        (
+            "overhead_fraction".into(),
+            Json::Number(defense.overhead_fraction),
+        ),
+    ])
+}
+
+fn defense_from_json(value: &Json) -> Result<DefenseOutcome, CampaignError> {
+    Ok(DefenseOutcome {
+        blocked: required_bool(value, "blocked")?,
+        detections: required_u64(value, "detections")?,
+        pulses_to_detection: match value.get("pulses_to_detection") {
+            None | Some(Json::Null) => None,
+            Some(v) => {
+                Some(v.as_u64().ok_or_else(|| {
+                    bad_key("pulses_to_detection", "a non-negative integer or null")
+                })?)
+            }
+        },
+        refreshes: required_u64(value, "refreshes")?,
+        throttle_time: Seconds(required_f64(value, "throttle_time_s")?),
+        benign_writes: required_u64(value, "benign_writes")?,
+        false_triggers: required_u64(value, "false_triggers")?,
+        energy_overhead: Joules(required_f64(value, "energy_overhead_j")?),
+        latency_overhead: Seconds(required_f64(value, "latency_overhead_s")?),
+        overhead_fraction: required_f64(value, "overhead_fraction")?,
+    })
+}
+
+fn outcome_to_json(outcome: &CampaignOutcome) -> Json {
+    let mut entries = vec![
         ("key".into(), key_to_json(&outcome.key)),
         ("point".into(), point_to_json(&outcome.point)),
         ("flipped".into(), Json::Bool(outcome.flipped)),
@@ -594,7 +670,11 @@ fn outcome_to_json(outcome: &CampaignOutcome) -> Json {
             "collateral_flips".into(),
             Json::Number(outcome.collateral_flips as f64),
         ),
-    ])
+    ];
+    if let Some(defense) = &outcome.defense {
+        entries.push(("defense".into(), defense_to_json(defense)));
+    }
+    Json::Object(entries)
 }
 
 fn outcome_from_json(value: &Json) -> Result<CampaignOutcome, CampaignError> {
@@ -611,6 +691,10 @@ fn outcome_from_json(value: &Json) -> Result<CampaignOutcome, CampaignError> {
         final_crosstalk: Kelvin(required_f64(value, "final_crosstalk_k")?),
         sim_time: Seconds(required_f64(value, "sim_time_s")?),
         collateral_flips: required_u64(value, "collateral_flips")? as usize,
+        defense: match value.get("defense") {
+            None | Some(Json::Null) => None,
+            Some(v) => Some(defense_from_json(v)?),
+        },
     })
 }
 
@@ -769,6 +853,11 @@ mod tests {
             spacing_nm: 50.0,
             ambient: Kelvin(300.0),
             scheme: WriteScheme::ThirdVoltage,
+            guard: GuardSpec::WriteCounter {
+                threshold: 64,
+                window: Seconds(1.0 / 3.0),
+            },
+            spread_scale: 0.1 + 0.2,
             backend: BackendKind::Detailed(WiringParasitics {
                 segment_resistance: Ohms(123.456),
                 driver_resistance: Ohms(789.0),
@@ -787,6 +876,18 @@ mod tests {
             final_crosstalk: Kelvin(12.345_678_901_234_567),
             sim_time: Seconds(6.17e-3),
             collateral_flips: 2,
+            defense: Some(DefenseOutcome {
+                blocked: false,
+                detections: 7,
+                pulses_to_detection: Some(64),
+                refreshes: 5,
+                throttle_time: Seconds(2.0 / 3.0 * 1e-6),
+                benign_writes: 256,
+                false_triggers: 2,
+                energy_overhead: Joules(1.0 / 7.0 * 1e-12),
+                latency_overhead: Seconds(1.0 / 9.0 * 1e-6),
+                overhead_fraction: 1.0 / 11.0,
+            }),
         }
     }
 
@@ -822,6 +923,35 @@ mod tests {
         let outcome = CampaignOutcome::from_json(line).unwrap();
         assert_eq!(outcome.point.duty_cycle, 0.5);
         assert_eq!(outcome.point.trial, 0);
+        // Pre-defence records default to the undefended baseline.
+        assert_eq!(outcome.point.guard, GuardSpec::None);
+        assert_eq!(outcome.point.spread_scale, 1.0);
+        assert_eq!(outcome.defense, None);
+    }
+
+    #[test]
+    fn unguarded_outcomes_omit_the_defense_key() {
+        let mut outcome = sample_outcome();
+        outcome.point.guard = GuardSpec::None;
+        outcome.defense = None;
+        let line = outcome.to_json_line();
+        assert!(!line.contains("defense"), "{line}");
+        assert_eq!(CampaignOutcome::from_json(&line).unwrap(), outcome);
+    }
+
+    #[test]
+    fn guarded_outcome_defense_round_trips_bit_exact() {
+        let outcome = sample_outcome();
+        let restored = CampaignOutcome::from_json(&outcome.to_json_line()).unwrap();
+        let (a, b) = (restored.defense.unwrap(), outcome.defense.unwrap());
+        assert_eq!(a, b);
+        assert_eq!(a.throttle_time.0.to_bits(), b.throttle_time.0.to_bits());
+        assert_eq!(a.overhead_fraction.to_bits(), b.overhead_fraction.to_bits());
+        assert_eq!(
+            restored.point.spread_scale.to_bits(),
+            outcome.point.spread_scale.to_bits()
+        );
+        assert_eq!(restored.point.guard, outcome.point.guard);
     }
 
     #[test]

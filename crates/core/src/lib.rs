@@ -21,8 +21,11 @@
 //! * [`experiments`] — one driver per figure of the paper's evaluation
 //!   (Fig. 2a, Fig. 3a–d) plus the design-choice ablations;
 //! * [`sweep`] — sweep data types and a parallel map helper;
-//! * [`countermeasures`] — write-counter, thermal-sensor and scrubbing
-//!   defences with an evaluation harness (the paper's future work);
+//! * [`countermeasures`] — the guarded-attack harness over the
+//!   `rram-defense` subsystem: write-counter, thermal-sensor and scrubbing
+//!   defences swept as a campaign axis ([`campaign::CampaignSpec::guards`]),
+//!   with benign-workload false-positive accounting and defence/overhead
+//!   Pareto analysis ([`campaign::defense`]);
 //! * [`scenario`] — end-to-end security scenarios: page-table privilege
 //!   escalation and neuromorphic weight corruption (Section VI).
 //!
@@ -70,12 +73,12 @@ pub mod sweep;
 pub use attack::{run_attack, AttackConfig, AttackResult, TracePoint};
 pub use campaign::{
     read_checkpoint, CampaignAxis, CampaignError, CampaignEvent, CampaignExecutor, CampaignOutcome,
-    CampaignPoint, CampaignReport, CampaignSpec, CheckpointWriter, CouplingSpec, PointKey, Shard,
-    VariabilityGroup,
+    CampaignPoint, CampaignReport, CampaignSpec, CheckpointWriter, CouplingSpec, DefenseGroup,
+    DefenseParetoPoint, PointKey, Shard, VariabilityGroup,
 };
 pub use countermeasures::{
-    evaluate_countermeasure, Countermeasure, DefenseEvaluation, GuardAction, ScrubbingGuard,
-    ThermalSensorGuard, WriteCounterGuard,
+    run_guarded_attack, BenignWorkload, Countermeasure, DefenseOutcome, GuardAction, GuardSpec,
+    GuardedAttackOutcome, ScrubbingGuard, ThermalSensorGuard, WriteCounterGuard,
 };
 pub use estimate::{estimate_attack, AttackEstimate};
 pub use experiments::{

@@ -129,6 +129,20 @@ pub trait HammerBackend {
     /// crosstalk state and rewinds the simulated clock.
     fn reset(&mut self);
 
+    /// The hottest imported crosstalk ΔT anywhere in the array, K — what an
+    /// on-die thermal-sensor network reports to a countermeasure. The
+    /// default implementation scans the hub's lane-wise delta vector, so it
+    /// works unchanged on the scalar, batched (`CellBank`-backed) and
+    /// detailed engines without touching the shared `step_lanes` kernel.
+    fn peak_crosstalk(&self) -> Kelvin {
+        Kelvin(
+            self.hub()
+                .deltas()
+                .iter()
+                .fold(0.0_f64, |peak, &delta| peak.max(delta)),
+        )
+    }
+
     /// Digital read-out of the whole array in row-major order.
     fn read_all(&self) -> Vec<DigitalState> {
         let mut states = Vec::with_capacity(self.rows() * self.cols());
@@ -376,6 +390,25 @@ mod tests {
                 "{}",
                 backend.label()
             );
+        }
+    }
+
+    #[test]
+    fn peak_crosstalk_tracks_the_hottest_lane_on_every_backend() {
+        for mut backend in backends() {
+            assert_eq!(backend.peak_crosstalk().0, 0.0, "{}", backend.label());
+            let aggressor = CellAddress::new(1, 1);
+            backend.force_state(aggressor, DigitalState::Lrs);
+            backend.apply_pulse(aggressor, Volts(1.05), 50.0.ns());
+            let peak = backend.peak_crosstalk().0;
+            assert!(peak > 0.0, "{}", backend.label());
+            let max_delta = backend
+                .hub()
+                .deltas()
+                .iter()
+                .cloned()
+                .fold(f64::NEG_INFINITY, f64::max);
+            assert_eq!(peak, max_delta, "{}", backend.label());
         }
     }
 

@@ -1,0 +1,87 @@
+//! Per-campaign-point defence results: what the guard achieved against the
+//! attack and what it cost on legitimate traffic.
+
+use serde::{Deserialize, Serialize};
+
+use rram_units::{Joules, Seconds};
+
+/// Outcome of one guarded campaign point.
+///
+/// The attack-side fields describe the guard's behaviour while the hammering
+/// campaign ran; the benign-side fields describe its cost on a legitimate
+/// write workload replayed against the same guard configuration (see
+/// [`crate::workload`]). The protection/overhead coordinates of the Pareto
+/// analysis derive from `blocked` and [`DefenseOutcome::overhead_fraction`].
+///
+/// Every field is exact plain data (no floats derived at render time), so
+/// outcomes JSON round-trip bit for bit through campaign checkpoints.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct DefenseOutcome {
+    /// Whether the guard stopped the attack (the victim did not flip within
+    /// the pulse budget).
+    pub blocked: bool,
+    /// Guard interventions (refreshes + throttles) during the attack.
+    pub detections: u64,
+    /// Hammer pulses issued before the guard first intervened; `None` when
+    /// the guard never fired.
+    pub pulses_to_detection: Option<u64>,
+    /// Neighbour-refresh events the guard triggered during the attack.
+    pub refreshes: u64,
+    /// Total throttling idle time inserted during the attack, s.
+    pub throttle_time: Seconds,
+    /// Writes of the benign workload used for false-positive accounting.
+    pub benign_writes: u64,
+    /// Guard interventions on the benign workload (false triggers: every
+    /// refresh or throttle that legitimate traffic paid for).
+    pub false_triggers: u64,
+    /// Defence energy spent on the benign workload (sensing/counter
+    /// bookkeeping per write plus refresh rewrites), J.
+    pub energy_overhead: Joules,
+    /// Latency the benign workload lost to the guard (inserted idle plus
+    /// serialized refresh rewrites), s.
+    pub latency_overhead: Seconds,
+    /// [`DefenseOutcome::latency_overhead`] relative to the nominal
+    /// (guard-free) duration of the benign workload — the dimensionless
+    /// overhead coordinate of the Pareto front.
+    pub overhead_fraction: f64,
+}
+
+impl DefenseOutcome {
+    /// Protection indicator of this single outcome: 1 when the attack was
+    /// blocked, 0 when it succeeded. Averaged over Monte Carlo trials this
+    /// becomes the protection probability.
+    pub fn protection(&self) -> f64 {
+        if self.blocked {
+            1.0
+        } else {
+            0.0
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn protection_tracks_blocked() {
+        let outcome = DefenseOutcome {
+            blocked: true,
+            detections: 3,
+            pulses_to_detection: Some(50),
+            refreshes: 2,
+            throttle_time: Seconds(1e-6),
+            benign_writes: 256,
+            false_triggers: 1,
+            energy_overhead: Joules(2e-12),
+            latency_overhead: Seconds(2e-7),
+            overhead_fraction: 0.01,
+        };
+        assert_eq!(outcome.protection(), 1.0);
+        let broken = DefenseOutcome {
+            blocked: false,
+            ..outcome
+        };
+        assert_eq!(broken.protection(), 0.0);
+    }
+}

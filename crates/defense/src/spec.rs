@@ -1,0 +1,318 @@
+//! Declarative guard specifications: the campaign-sweepable form of a
+//! countermeasure.
+//!
+//! A [`GuardSpec`] is to a runtime guard what a
+//! `neurohammer::campaign::CampaignSpec` axis value is to an executed attack:
+//! plain data (kind × threshold × window/period/cooldown) that JSON
+//! round-trips bit for bit, fingerprints stably into campaign point keys and
+//! builds a fresh [`Countermeasure`] instance per executed point.
+
+use serde::{Deserialize, Serialize};
+
+use crate::guard::{Countermeasure, ScrubbingGuard, ThermalSensorGuard, WriteCounterGuard};
+use rram_units::{Joules, Kelvin, Seconds};
+
+/// Energy of rewriting one cell during a refresh/scrub, J (a ~pJ-scale
+/// RESET-grade write, the dominant defence energy cost).
+pub const REFRESH_ENERGY_PER_CELL: Joules = Joules(10e-12);
+
+/// Latency of rewriting one cell during a refresh/scrub, s (one write
+/// pulse; refreshed cells rewrite serially through the shared drivers).
+pub const REFRESH_LATENCY_PER_CELL: Seconds = Seconds(100e-9);
+
+/// Energy of one thermal-sensor sample, J (sampled once per write).
+pub const SENSE_ENERGY_PER_SAMPLE: Joules = Joules(0.1e-12);
+
+/// Energy of one write-counter update, J (an SRAM counter increment).
+pub const COUNTER_ENERGY_PER_WRITE: Joules = Joules(0.01e-12);
+
+/// One point of a guard grid: which defence runs and at which operating
+/// point.
+///
+/// `GuardSpec` is `Copy` and carries exact `f64` parameters, so it embeds in
+/// campaign points, fingerprints deterministically
+/// ([`GuardSpec::fingerprint_words`]) and survives the campaign JSON round
+/// trip bit for bit. [`GuardSpec::None`] is the undefended baseline — a
+/// legitimate grid point that anchors the overhead-zero corner of the
+/// defence/overhead Pareto front.
+///
+/// # Examples
+///
+/// Building the runtime guard of a spec and sweeping a threshold axis:
+///
+/// ```
+/// use rram_defense::GuardSpec;
+/// use rram_units::Seconds;
+///
+/// let sweep: Vec<GuardSpec> = [32, 128, 512]
+///     .iter()
+///     .map(|&threshold| GuardSpec::WriteCounter {
+///         threshold,
+///         window: Seconds(1.0),
+///     })
+///     .collect();
+/// for spec in &sweep {
+///     spec.validate().unwrap();
+///     let guard = spec.build().expect("counter specs build a guard");
+///     assert_eq!(guard.name(), "write counters (TRR-like)");
+/// }
+/// assert!(GuardSpec::None.build().is_none());
+/// ```
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+pub enum GuardSpec {
+    /// No countermeasure: the undefended baseline.
+    #[default]
+    None,
+    /// pTRR/TRR-like write counters ([`WriteCounterGuard`]).
+    WriteCounter {
+        /// Writes allowed per cell per window before a neighbour refresh.
+        threshold: u64,
+        /// Counting window, s.
+        window: Seconds,
+    },
+    /// On-die thermal sensors with write throttling ([`ThermalSensorGuard`]).
+    ThermalSensor {
+        /// Crosstalk ΔT threshold, K.
+        threshold: Kelvin,
+        /// Idle time inserted per violation, s.
+        cooldown: Seconds,
+    },
+    /// Periodic scrubbing ([`ScrubbingGuard`]).
+    Scrubbing {
+        /// Scrub period, s.
+        period: Seconds,
+    },
+}
+
+impl GuardSpec {
+    /// Short kind label ("none" / "counter" / "thermal" / "scrub") — the
+    /// JSON tag and the CSV `guard_kind` column.
+    pub fn kind_label(&self) -> &'static str {
+        match self {
+            GuardSpec::None => "none",
+            GuardSpec::WriteCounter { .. } => "counter",
+            GuardSpec::ThermalSensor { .. } => "thermal",
+            GuardSpec::Scrubbing { .. } => "scrub",
+        }
+    }
+
+    /// Full human-readable label including the operating point (used in
+    /// tables and series keys, so two thresholds never collide).
+    pub fn label(&self) -> String {
+        match self {
+            GuardSpec::None => "none".into(),
+            GuardSpec::WriteCounter { threshold, window } => {
+                format!("counter t={threshold} w={}s", window.0)
+            }
+            GuardSpec::ThermalSensor {
+                threshold,
+                cooldown,
+            } => format!("thermal T={}K c={}s", threshold.0, cooldown.0),
+            GuardSpec::Scrubbing { period } => format!("scrub p={}s", period.0),
+        }
+    }
+
+    /// Numeric coordinate of this guard along a threshold sweep: the write
+    /// threshold, the temperature threshold in K, or the scrub period in µs
+    /// (0 for the undefended baseline). Used to order points when a report
+    /// is sliced into series over the guard axis.
+    pub fn axis_value(&self) -> f64 {
+        match self {
+            GuardSpec::None => 0.0,
+            GuardSpec::WriteCounter { threshold, .. } => *threshold as f64,
+            GuardSpec::ThermalSensor { threshold, .. } => threshold.0,
+            GuardSpec::Scrubbing { period } => period.0 * 1e6,
+        }
+    }
+
+    /// Checks the operating point is physical (positive finite thresholds
+    /// and times).
+    ///
+    /// # Errors
+    ///
+    /// Returns a human-readable description of the first violation.
+    pub fn validate(&self) -> Result<(), String> {
+        let positive = |name: &str, v: f64| {
+            if v > 0.0 && v.is_finite() {
+                Ok(())
+            } else {
+                Err(format!(
+                    "guard {name} must be strictly positive and finite, got {v}"
+                ))
+            }
+        };
+        match self {
+            GuardSpec::None => Ok(()),
+            GuardSpec::WriteCounter { threshold, window } => {
+                if *threshold == 0 {
+                    return Err("guard threshold must be at least 1 write".into());
+                }
+                positive("window", window.0)
+            }
+            GuardSpec::ThermalSensor {
+                threshold,
+                cooldown,
+            } => {
+                positive("threshold", threshold.0)?;
+                positive("cooldown", cooldown.0)
+            }
+            GuardSpec::Scrubbing { period } => positive("period", period.0),
+        }
+    }
+
+    /// Stable fingerprint words (kind tag + exact parameter bits), mixed
+    /// into campaign point keys so a checkpoint recorded under a different
+    /// guard grid never silently replays.
+    pub fn fingerprint_words(&self) -> [u64; 3] {
+        match self {
+            GuardSpec::None => [0, 0, 0],
+            GuardSpec::WriteCounter { threshold, window } => [1, *threshold, window.0.to_bits()],
+            GuardSpec::ThermalSensor {
+                threshold,
+                cooldown,
+            } => [2, threshold.0.to_bits(), cooldown.0.to_bits()],
+            GuardSpec::Scrubbing { period } => [3, period.0.to_bits(), 0],
+        }
+    }
+
+    /// Builds a fresh runtime guard, or `None` for the undefended baseline.
+    pub fn build(&self) -> Option<Box<dyn Countermeasure>> {
+        match self {
+            GuardSpec::None => None,
+            GuardSpec::WriteCounter { threshold, window } => {
+                Some(Box::new(WriteCounterGuard::new(*threshold, *window)))
+            }
+            GuardSpec::ThermalSensor {
+                threshold,
+                cooldown,
+            } => Some(Box::new(ThermalSensorGuard::new(*threshold, *cooldown))),
+            GuardSpec::Scrubbing { period } => Some(Box::new(ScrubbingGuard::new(*period))),
+        }
+    }
+
+    /// Whether this is the undefended baseline.
+    pub fn is_none(&self) -> bool {
+        matches!(self, GuardSpec::None)
+    }
+
+    /// Per-write sensing/bookkeeping energy of this guard kind, J — the
+    /// always-on cost every legitimate write pays (refresh energy is
+    /// accounted separately, per rewritten cell).
+    pub fn sense_energy_per_write(&self) -> Joules {
+        match self {
+            GuardSpec::None | GuardSpec::Scrubbing { .. } => Joules(0.0),
+            GuardSpec::WriteCounter { .. } => COUNTER_ENERGY_PER_WRITE,
+            GuardSpec::ThermalSensor { .. } => SENSE_ENERGY_PER_SAMPLE,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn all_kinds() -> Vec<GuardSpec> {
+        vec![
+            GuardSpec::None,
+            GuardSpec::WriteCounter {
+                threshold: 64,
+                window: Seconds(1.0),
+            },
+            GuardSpec::ThermalSensor {
+                threshold: Kelvin(20.0),
+                cooldown: Seconds(1e-6),
+            },
+            GuardSpec::Scrubbing {
+                period: Seconds(5e-6),
+            },
+        ]
+    }
+
+    #[test]
+    fn labels_are_unique_per_operating_point() {
+        let mut labels: Vec<String> = all_kinds().iter().map(GuardSpec::label).collect();
+        labels.push(
+            GuardSpec::WriteCounter {
+                threshold: 128,
+                window: Seconds(1.0),
+            }
+            .label(),
+        );
+        let mut deduped = labels.clone();
+        deduped.sort();
+        deduped.dedup();
+        assert_eq!(deduped.len(), labels.len(), "{labels:?}");
+    }
+
+    #[test]
+    fn fingerprints_distinguish_kinds_and_parameters() {
+        let mut prints: Vec<[u64; 3]> = all_kinds()
+            .iter()
+            .map(GuardSpec::fingerprint_words)
+            .collect();
+        prints.push(
+            GuardSpec::Scrubbing {
+                period: Seconds(10e-6),
+            }
+            .fingerprint_words(),
+        );
+        for (i, a) in prints.iter().enumerate() {
+            for b in &prints[i + 1..] {
+                assert_ne!(a, b);
+            }
+        }
+    }
+
+    #[test]
+    fn validation_rejects_degenerate_operating_points() {
+        assert!(GuardSpec::None.validate().is_ok());
+        assert!(GuardSpec::WriteCounter {
+            threshold: 0,
+            window: Seconds(1.0)
+        }
+        .validate()
+        .is_err());
+        assert!(GuardSpec::ThermalSensor {
+            threshold: Kelvin(-1.0),
+            cooldown: Seconds(1e-6)
+        }
+        .validate()
+        .is_err());
+        assert!(GuardSpec::Scrubbing {
+            period: Seconds(f64::INFINITY)
+        }
+        .validate()
+        .is_err());
+    }
+
+    #[test]
+    fn build_matches_the_kind() {
+        for spec in all_kinds() {
+            match spec {
+                GuardSpec::None => assert!(spec.build().is_none()),
+                _ => {
+                    let guard = spec.build().unwrap();
+                    assert!(!guard.name().is_empty());
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn sense_energy_is_kind_dependent() {
+        assert_eq!(GuardSpec::None.sense_energy_per_write().0, 0.0);
+        assert!(
+            GuardSpec::ThermalSensor {
+                threshold: Kelvin(20.0),
+                cooldown: Seconds(1e-6)
+            }
+            .sense_energy_per_write()
+            .0 > GuardSpec::WriteCounter {
+                threshold: 64,
+                window: Seconds(1.0)
+            }
+            .sense_energy_per_write()
+            .0
+        );
+    }
+}

@@ -350,6 +350,55 @@ impl ParamSpread {
         )
     }
 
+    /// This spread with its width scaled by `factor` — the campaign layer's
+    /// σ grid axis (`spread_scales`): one base spread swept over several
+    /// magnitudes inside a single campaign. Normal and log-normal sigmas
+    /// scale directly; a uniform interval contracts around its centre.
+    /// Truncation bounds are kept, and `factor = 1.0` reproduces the base
+    /// spread bit for bit.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use rram_jart::DeviceParams;
+    /// use rram_variability::{Distribution, ParamField, ParamSpread};
+    ///
+    /// let base = ParamSpread::relative_normal(
+    ///     ParamField::FilamentRadius, 1.0, &DeviceParams::default());
+    /// let five_percent = base.scaled(0.05);
+    /// let Distribution::Normal { sigma, .. } = five_percent.distribution else {
+    ///     unreachable!()
+    /// };
+    /// let Distribution::Normal { sigma: base_sigma, .. } = base.distribution else {
+    ///     unreachable!()
+    /// };
+    /// assert_eq!(sigma, 0.05 * base_sigma);
+    /// ```
+    pub fn scaled(&self, factor: f64) -> ParamSpread {
+        let distribution = match self.distribution {
+            Distribution::Normal { mean, sigma } => Distribution::Normal {
+                mean,
+                sigma: sigma * factor,
+            },
+            Distribution::LogNormal { median, sigma } => Distribution::LogNormal {
+                median,
+                sigma: sigma * factor,
+            },
+            Distribution::Uniform { low, high } => {
+                let centre = 0.5 * (low + high);
+                let half = 0.5 * (high - low) * factor;
+                Distribution::Uniform {
+                    low: centre - half,
+                    high: centre + half,
+                }
+            }
+        };
+        ParamSpread {
+            distribution,
+            ..*self
+        }
+    }
+
     /// Fingerprint words of this spread (exact `f64` bit patterns), used by
     /// the campaign layer to mix spreads into execution fingerprints.
     pub fn fingerprint_words(&self) -> Vec<u64> {
@@ -584,6 +633,46 @@ mod tests {
             assert_eq!(parsed, field);
         }
         assert!("bogus_field".parse::<ParamField>().is_err());
+    }
+
+    #[test]
+    fn scaled_spreads_shrink_every_distribution_kind() {
+        let normal = ParamSpread::relative_normal(ParamField::FilamentRadius, 0.1, &nominal());
+        let Distribution::Normal { sigma, .. } = normal.scaled(0.5).distribution else {
+            panic!("kind changed")
+        };
+        let Distribution::Normal { sigma: base, .. } = normal.distribution else {
+            panic!("not normal")
+        };
+        assert_eq!(sigma, 0.5 * base);
+        // Identity scaling is bit-exact (the σ-axis value 1.0 must not
+        // perturb existing campaigns).
+        assert_eq!(normal.scaled(1.0), normal);
+
+        let lognormal = ParamSpread::relative_lognormal(ParamField::LDisc, 0.2);
+        let Distribution::LogNormal { sigma, .. } = lognormal.scaled(0.25).distribution else {
+            panic!("kind changed")
+        };
+        assert_eq!(sigma, 0.05);
+
+        let uniform = ParamSpread {
+            field: ParamField::EaSet,
+            distribution: Distribution::Uniform {
+                low: 1.0,
+                high: 2.0,
+            },
+            truncate_low: None,
+            truncate_high: None,
+        };
+        let Distribution::Uniform { low, high } = uniform.scaled(0.5).distribution else {
+            panic!("kind changed")
+        };
+        assert_eq!((low, high), (1.25, 1.75));
+        // Scale 0 collapses onto the centre.
+        let Distribution::Uniform { low, high } = uniform.scaled(0.0).distribution else {
+            panic!("kind changed")
+        };
+        assert_eq!((low, high), (1.5, 1.5));
     }
 
     #[test]

@@ -1,74 +1,47 @@
 //! Evaluates the three modelled countermeasures (write counters, thermal
-//! sensors, scrubbing) against the same hammering campaign — the "future
-//! work" of the paper made concrete.
+//! sensors, scrubbing) against the same hammering attack — as a
+//! backend-generic *defence campaign*: one declarative spec with a `guards`
+//! axis, executed by the streaming campaign runner, aggregated into
+//! protection probabilities and the defence/overhead Pareto front.
 //!
 //! ```bash
 //! cargo run --release --example countermeasure_evaluation
 //! ```
 
-use neurohammer_repro::analysis::Table;
-use neurohammer_repro::attack::pattern::AttackPattern;
-use neurohammer_repro::attack::{
-    evaluate_countermeasure, AttackConfig, Countermeasure, GuardAction, ScrubbingGuard,
-    ThermalSensorGuard, WriteCounterGuard,
-};
-use neurohammer_repro::crossbar::{CellAddress, EngineConfig, PulseEngine};
-use neurohammer_repro::jart::DeviceParams;
-use neurohammer_repro::units::{Kelvin, Seconds, Volts};
-
-#[derive(Debug)]
-struct NoDefense;
-impl Countermeasure for NoDefense {
-    fn on_write(&mut self, _: CellAddress, _: Seconds, _: &[f64]) -> GuardAction {
-        GuardAction::Allow
-    }
-    fn name(&self) -> &'static str {
-        "no defence"
-    }
-}
+use neurohammer_repro::attack::campaign::CampaignSpec;
+use neurohammer_repro::attack::GuardSpec;
+use neurohammer_repro::units::{Kelvin, Seconds};
 
 fn main() {
-    let config = AttackConfig {
-        victim: CellAddress::new(2, 1),
-        pattern: AttackPattern::SingleAggressor,
-        amplitude: Volts(1.05),
-        pulse_length: Seconds(100e-9),
-        gap: Seconds(100e-9),
+    let spec = CampaignSpec {
+        name: "countermeasure evaluation".into(),
+        guards: vec![
+            GuardSpec::None,
+            GuardSpec::WriteCounter {
+                threshold: 64,
+                window: Seconds(1.0),
+            },
+            GuardSpec::ThermalSensor {
+                threshold: Kelvin(25.0),
+                cooldown: Seconds(1e-6),
+            },
+            GuardSpec::Scrubbing {
+                period: Seconds(5e-6),
+            },
+        ],
+        pulse_lengths_ns: vec![100.0],
         max_pulses: 20_000,
+        benign_writes: 256,
         batching: false,
-        trace: false,
+        ..CampaignSpec::default()
     };
 
-    let mut guards: Vec<Box<dyn Countermeasure>> = vec![
-        Box::new(NoDefense),
-        Box::new(WriteCounterGuard::new(64, Seconds(1.0))),
-        Box::new(ThermalSensorGuard::new(Kelvin(25.0), Seconds(1e-6))),
-        Box::new(ScrubbingGuard::new(Seconds(5e-6))),
-    ];
-
-    let mut table = Table::with_headers(&[
-        "countermeasure",
-        "attack succeeded",
-        "pulses",
-        "refreshes",
-        "throttle time [µs]",
-    ]);
-    for guard in guards.iter_mut() {
-        let mut engine = PulseEngine::with_uniform_coupling(
-            5,
-            5,
-            DeviceParams::default(),
-            0.15,
-            EngineConfig::default(),
-        );
-        let result = evaluate_countermeasure(&mut engine, &config, guard.as_mut());
-        table.push_row(vec![
-            result.countermeasure.clone(),
-            result.attack_succeeded.to_string(),
-            result.pulses.to_string(),
-            result.refreshes.to_string(),
-            format!("{:.2}", result.throttle_time.0 * 1e6),
-        ]);
-    }
-    println!("{table}");
+    let report = spec.run().expect("defence campaign runs");
+    println!("# Countermeasure evaluation (defence campaign)\n");
+    println!("## Per-point results\n{}", report.to_table());
+    println!("## Defence statistics\n{}", report.defense_table());
+    println!(
+        "## Defence/overhead Pareto front (front members marked *)\n{}",
+        report.pareto_table()
+    );
 }

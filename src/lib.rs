@@ -13,6 +13,8 @@
 //!   simulation engines behind the [`crossbar::HammerBackend`] trait,
 //! * [`variability`] (`rram-variability`) — seeded Monte Carlo
 //!   device-parameter spreads for variability campaigns,
+//! * [`defense`] (`rram-defense`) — declarative guard specifications,
+//!   runtime countermeasures and benign-workload overhead accounting,
 //! * [`attack`] (`neurohammer`) — the attack engine, campaign runner,
 //!   experiments, scenarios and countermeasures.
 //!
@@ -52,6 +54,7 @@ pub use neurohammer as attack;
 pub use rram_analysis as analysis;
 pub use rram_circuit as circuit;
 pub use rram_crossbar as crossbar;
+pub use rram_defense as defense;
 pub use rram_fem as fem;
 pub use rram_jart as jart;
 pub use rram_units as units;

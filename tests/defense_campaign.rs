@@ -1,0 +1,229 @@
+//! End-to-end tests of the defence-campaign subsystem: guarded points
+//! through the streaming executor on every backend, guards-axis point
+//! fingerprints in checkpoint/merge/resume, and Pareto extraction over a
+//! real guard sweep.
+
+use neurohammer_repro::attack::campaign::{
+    read_checkpoint, CampaignExecutor, CampaignReport, CampaignSpec, CheckpointWriter, Shard,
+};
+use neurohammer_repro::attack::GuardSpec;
+use neurohammer_repro::crossbar::BackendKind;
+use neurohammer_repro::units::Seconds;
+
+fn scratch_path(name: &str) -> std::path::PathBuf {
+    let mut path = std::env::temp_dir();
+    path.push(format!("neurohammer-defense-{name}-{}", std::process::id()));
+    path
+}
+
+/// A small guarded campaign: undefended baseline, a blocking write counter
+/// and a periodic scrub (both time/count-based, so their decisions are
+/// identical on every backend).
+fn guarded_spec() -> CampaignSpec {
+    CampaignSpec {
+        name: "defense e2e".into(),
+        guards: vec![
+            GuardSpec::None,
+            GuardSpec::WriteCounter {
+                threshold: 50,
+                window: Seconds(1.0),
+            },
+            GuardSpec::Scrubbing {
+                period: Seconds(2e-6),
+            },
+        ],
+        pulse_lengths_ns: vec![100.0],
+        max_pulses: 20_000,
+        benign_writes: 32,
+        batching: false,
+        ..CampaignSpec::default()
+    }
+}
+
+#[test]
+fn sharded_guarded_campaign_merges_byte_identical_to_unsharded() {
+    let spec = guarded_spec();
+    let full = spec.run().unwrap();
+
+    // Execute each shard, checkpointing every point as it finishes.
+    let paths = [scratch_path("shard0"), scratch_path("shard1")];
+    for (index, path) in paths.iter().enumerate() {
+        let mut writer = CheckpointWriter::create(path).unwrap();
+        CampaignExecutor::new(spec.clone())
+            .unwrap()
+            .with_shard(Shard { index, of: 2 })
+            .unwrap()
+            .execute(|event| {
+                if let neurohammer_repro::attack::CampaignEvent::PointFinished(outcome) = &event {
+                    writer.record(outcome).unwrap();
+                }
+            })
+            .unwrap();
+    }
+
+    // Recover both shards from their checkpoint files and merge: the
+    // defence payloads (energy/latency floats included) must reassemble
+    // byte for byte.
+    let reports: Vec<CampaignReport> = paths
+        .iter()
+        .map(|path| CampaignReport {
+            name: spec.name.clone(),
+            outcomes: read_checkpoint(path).unwrap(),
+        })
+        .collect();
+    for path in &paths {
+        std::fs::remove_file(path).ok();
+    }
+    let merged = CampaignReport::merge(reports).unwrap();
+    assert_eq!(merged, full);
+    assert_eq!(merged.to_json(), full.to_json());
+    assert_eq!(merged.to_csv_string(), full.to_csv_string());
+    assert_eq!(merged.defense_json(), full.defense_json());
+    assert_eq!(merged.pareto_csv(), full.pareto_csv());
+}
+
+#[test]
+fn a_changed_guard_axis_invalidates_checkpoint_resume() {
+    let spec = guarded_spec();
+    let outcomes = spec.run().unwrap().outcomes;
+
+    // The identical spec replays everything.
+    let executor = CampaignExecutor::new(spec.clone())
+        .unwrap()
+        .resume_from(outcomes.clone());
+    assert_eq!(executor.pending_points().len(), 0);
+
+    // Same grid shape, one guard threshold nudged: every point of that
+    // guard's column re-runs (the guard is part of the point fingerprint),
+    // while the other guards' outcomes still replay.
+    let mut retuned = spec.clone();
+    retuned.guards[1] = GuardSpec::WriteCounter {
+        threshold: 51,
+        window: Seconds(1.0),
+    };
+    let executor = CampaignExecutor::new(retuned)
+        .unwrap()
+        .resume_from(outcomes.clone());
+    let pending = executor.pending_points();
+    assert_eq!(pending.len(), 1);
+    assert_eq!(
+        pending[0].1.guard,
+        GuardSpec::WriteCounter {
+            threshold: 51,
+            window: Seconds(1.0),
+        }
+    );
+
+    // A changed benign workload re-runs everything: it is part of the
+    // execution fingerprint.
+    let mut longer_benign = spec;
+    longer_benign.benign_writes *= 2;
+    let executor = CampaignExecutor::new(longer_benign)
+        .unwrap()
+        .resume_from(outcomes);
+    assert_eq!(executor.pending_points().len(), 3);
+}
+
+#[test]
+fn guarded_points_agree_across_every_backend() {
+    // The same guard grid on the scalar, batched and detailed engines:
+    // count/time-based guards observe identical write streams, so which
+    // attacks are blocked — and therefore the Pareto front — must agree.
+    struct BackendVerdict {
+        backend: String,
+        blocked: Vec<(String, bool)>,
+        front: Vec<String>,
+    }
+    let verdicts: Vec<BackendVerdict> = [
+        BackendKind::Pulse,
+        BackendKind::Batched,
+        BackendKind::detailed(),
+    ]
+    .iter()
+    .map(|&backend| {
+        let spec = CampaignSpec {
+            backends: vec![backend],
+            ..guarded_spec()
+        };
+        let report = spec.run().unwrap();
+        BackendVerdict {
+            backend: backend.label().to_string(),
+            blocked: report
+                .outcomes
+                .iter()
+                .map(|o| {
+                    (
+                        o.point.guard.label(),
+                        o.defense.map_or(!o.flipped, |d| d.blocked),
+                    )
+                })
+                .collect(),
+            front: report
+                .defense_pareto()
+                .into_iter()
+                .filter(|p| p.on_front)
+                .map(|p| p.label)
+                .collect(),
+        }
+    })
+    .collect();
+    for window in verdicts.windows(2) {
+        assert_eq!(
+            window[0].blocked, window[1].blocked,
+            "blocked sets differ between {} and {}",
+            window[0].backend, window[1].backend
+        );
+        assert_eq!(
+            window[0].front, window[1].front,
+            "Pareto fronts differ between {} and {}",
+            window[0].backend, window[1].backend
+        );
+    }
+    // The counter must actually block on every backend (not vacuously
+    // agree on an all-failed grid).
+    assert!(verdicts[0]
+        .blocked
+        .iter()
+        .any(|(label, blocked)| label.contains("counter") && *blocked));
+    assert!(!verdicts[0].front.is_empty());
+}
+
+#[test]
+fn sigma_axis_defense_campaign_is_seed_reproducible() {
+    // A variability-aware guard sweep: σ as a grid axis, Monte Carlo
+    // trials, Wilson intervals — bit-reproducible under the same seed.
+    let spec = CampaignSpec {
+        name: "sigma defense".into(),
+        guards: vec![
+            GuardSpec::None,
+            GuardSpec::WriteCounter {
+                threshold: 256,
+                window: Seconds(1.0),
+            },
+        ],
+        spreads: vec![
+            neurohammer_repro::variability::ParamSpread::relative_normal(
+                neurohammer_repro::variability::ParamField::FilamentRadius,
+                1.0,
+                &neurohammer_repro::jart::DeviceParams::default(),
+            ),
+        ],
+        spread_scales: vec![0.0, 0.1],
+        trials: 2,
+        seed: 7,
+        pulse_lengths_ns: vec![100.0],
+        max_pulses: 10_000,
+        benign_writes: 32,
+        batching: false,
+        ..CampaignSpec::default()
+    };
+    assert_eq!(spec.num_points(), 8);
+    let a = spec.run().unwrap();
+    let b = spec.run().unwrap();
+    assert_eq!(a.to_json(), b.to_json());
+    assert_eq!(a.defense_json(), b.defense_json());
+    // Groups collapse only the trial axis: one group per guard × σ.
+    assert_eq!(a.defense_groups().len(), 4);
+    // The Pareto aggregation collapses everything but the guard.
+    assert_eq!(a.defense_pareto().len(), 2);
+}

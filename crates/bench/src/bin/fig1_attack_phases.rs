@@ -11,12 +11,14 @@
 //! the point.
 //!
 //! Run with `cargo run -p neurohammer-bench --release --bin fig1_attack_phases`.
-//! Pass `--campaign <spec.json>` to trace a different grid point, `--spec`
-//! to print the executed spec as JSON.
+//! Pass `--campaign <spec.json>` to trace a different grid point, `--json`
+//! for the bit-exact report JSON instead of the trace, `--spec` to print
+//! the executed spec as JSON.
 
 use neurohammer::run_attack;
 use neurohammer_bench::{
-    figure_campaign, maybe_print_spec, quick_requested, resolve_campaign, run_figure_campaign,
+    figure_campaign, maybe_print_report_json, maybe_print_spec, quick_requested, resolve_campaign,
+    run_figure_campaign,
 };
 use rram_analysis::ascii_plot::sparkline;
 
@@ -25,6 +27,9 @@ fn main() {
     spec.name = "fig1 attack phase trace (50 ns, 50 nm, 300 K)".into();
     let spec = resolve_campaign(spec);
     let report = run_figure_campaign(spec.clone());
+    if maybe_print_report_json(&report) {
+        return;
+    }
 
     println!("# Fig. 1 — NeuroHammer attack phases (50 ns pulses, 50 nm spacing, 300 K)");
     let Some(outcome) = report.outcomes.first() else {

@@ -4,17 +4,18 @@
 //!
 //! The headline hammer burst is expressed as a (single-point, FEM-coupled)
 //! campaign spec and executed through the streaming campaign runner, so the
-//! binary understands the same `--campaign`/`--csv`/`--spec`/`--shard`/
-//! `--checkpoint`/`--resume`/`--merge` flags as the other figures; the
-//! per-cell temperature matrix and α extraction are rendered alongside.
+//! binary understands the same `--campaign`/`--csv`/`--json`/`--spec`/
+//! `--shard`/`--checkpoint`/`--resume`/`--merge` flags as the other
+//! figures; the per-cell temperature matrix and α extraction are rendered
+//! alongside.
 //!
 //! Run with `cargo run -p neurohammer-bench --release --bin fig2a_temperature_matrix`.
 
 use neurohammer::campaign::{CampaignAxis, CouplingSpec};
 use neurohammer::{fig2a_temperature_matrix, CouplingSource, ExperimentSetup};
 use neurohammer_bench::{
-    campaign_figure, figure_campaign, maybe_print_spec, quick_requested, resolve_campaign,
-    run_figure_campaign, shard_requested,
+    campaign_figure, figure_campaign, maybe_print_report_json, maybe_print_spec, quick_requested,
+    resolve_campaign, run_figure_campaign, shard_requested,
 };
 
 fn main() {
@@ -30,6 +31,9 @@ fn main() {
     spec.max_pulses = 20_000;
     let spec = resolve_campaign(spec);
     let report = run_figure_campaign(spec.clone());
+    if maybe_print_report_json(&report) {
+        return;
+    }
 
     println!(
         "{}",

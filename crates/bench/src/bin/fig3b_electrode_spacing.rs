@@ -5,6 +5,7 @@
 //!
 //! Run with `cargo run -p neurohammer-bench --release --bin fig3b_electrode_spacing`.
 //! Pass `--campaign <spec.json>` to run a custom grid, `--csv` for raw rows,
+//! `--json` for the bit-exact report JSON instead of the figure,
 //! `--spec` to print the executed grid as JSON, `--shard i/n`,
 //! `--checkpoint <path>`, `--resume` and `--merge <path>...` for
 //! distributed/resumable execution (see the crate docs).
@@ -12,8 +13,8 @@
 use neurohammer::campaign::CampaignAxis;
 use neurohammer::CouplingSpec;
 use neurohammer_bench::{
-    campaign_figure, figure_campaign, maybe_print_spec, quick_requested, resolve_campaign,
-    run_figure_campaign,
+    campaign_figure, figure_campaign, maybe_print_report_json, maybe_print_spec, quick_requested,
+    resolve_campaign, run_figure_campaign,
 };
 
 fn main() {
@@ -33,6 +34,9 @@ fn main() {
     let spec = resolve_campaign(spec);
 
     let report = run_figure_campaign(spec.clone());
+    if maybe_print_report_json(&report) {
+        return;
+    }
     println!(
         "{}",
         campaign_figure(

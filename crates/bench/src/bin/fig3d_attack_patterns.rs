@@ -4,6 +4,7 @@
 //!
 //! Run with `cargo run -p neurohammer-bench --release --bin fig3d_attack_patterns`.
 //! Pass `--campaign <spec.json>` to run a custom grid, `--csv` for raw rows,
+//! `--json` for the bit-exact report JSON instead of the figure,
 //! `--spec` to print the executed grid as JSON, `--shard i/n`,
 //! `--checkpoint <path>`, `--resume` and `--merge <path>...` for
 //! distributed/resumable execution (see the crate docs).
@@ -11,8 +12,8 @@
 use neurohammer::campaign::CampaignAxis;
 use neurohammer::AttackPattern;
 use neurohammer_bench::{
-    campaign_figure, figure_campaign, maybe_print_spec, quick_requested, resolve_campaign,
-    run_figure_campaign,
+    campaign_figure, figure_campaign, maybe_print_report_json, maybe_print_spec, quick_requested,
+    resolve_campaign, run_figure_campaign,
 };
 
 fn main() {
@@ -22,6 +23,9 @@ fn main() {
     let spec = resolve_campaign(spec);
 
     let report = run_figure_campaign(spec.clone());
+    if maybe_print_report_json(&report) {
+        return;
+    }
     println!(
         "{}",
         campaign_figure(

@@ -108,6 +108,25 @@ pub fn spec_requested() -> bool {
     std::env::args().any(|a| a == "--spec")
 }
 
+/// Reads the `--json` flag: the figure binaries print the full campaign
+/// report as JSON instead of the rendered figure. Every float is bit-exact
+/// in that form, so the CI reproducibility smoke jobs diff two such runs
+/// and demand an empty diff.
+pub fn json_requested() -> bool {
+    std::env::args().any(|a| a == "--json")
+}
+
+/// Prints the bit-exact campaign-report JSON and returns `true` when
+/// `--json` was passed; the figure binaries early-return on it instead of
+/// rendering their figure.
+pub fn maybe_print_report_json(report: &CampaignReport) -> bool {
+    if json_requested() {
+        println!("{}", report.to_json());
+        return true;
+    }
+    false
+}
+
 /// Returns the value following `flag`, rejecting a missing value or one
 /// that is itself a `--flag` token (a forgotten argument).
 fn flag_value(flag: &str) -> Option<String> {

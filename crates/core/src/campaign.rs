@@ -198,6 +198,11 @@ pub struct CampaignSpec {
     pub batching: bool,
     /// Worker threads executing grid points.
     pub threads: usize,
+    /// Worker threads *inside* each batched-backend sub-step (the
+    /// [`rram_crossbar::BatchedEngine`] `threads` knob). Results are
+    /// bit-identical for any value, so this is deliberately excluded from
+    /// point fingerprints; it only pays off on large arrays (≳256×256).
+    pub backend_threads: usize,
 }
 
 impl Default for CampaignSpec {
@@ -226,6 +231,7 @@ impl Default for CampaignSpec {
             threads: std::thread::available_parallelism()
                 .map(|n| n.get())
                 .unwrap_or(4),
+            backend_threads: 1,
         }
     }
 }
@@ -350,6 +356,7 @@ impl CampaignPoint {
                 BackendKind::Pulse => 0.0,
                 BackendKind::Detailed(_) => 1.0,
                 BackendKind::Batched => 2.0,
+                BackendKind::Surrogate => 3.0,
             },
             CampaignAxis::Trial => self.trial as f64,
         }
@@ -438,6 +445,7 @@ impl CampaignPoint {
                 p.driver_resistance.0.to_bits(),
             ),
             BackendKind::Batched => (2, 0, 0),
+            BackendKind::Surrogate => (3, 0, 0),
         };
         let [guard_tag, guard_a, guard_b] = self.guard.fingerprint_words();
         fnv1a_words(&[
@@ -710,6 +718,32 @@ impl CampaignSpec {
         if self.tau_ns < 0.0 || !self.tau_ns.is_finite() {
             return Err(CampaignError::InvalidValue(
                 "tau_ns must be finite and ≥ 0".into(),
+            ));
+        }
+        // The surrogate backend fits one reduced-order model per array and
+        // cannot represent per-cell sampled parameters; any grid that would
+        // sample a table (non-empty spreads with a sampling σ point, see
+        // [`CampaignSpec::sampled_table`]) must use an exact backend.
+        let samples_tables = !self.spreads.is_empty()
+            && (self.spread_scales.iter().any(|&s| s != 0.0)
+                || self.spreads.iter().any(|spread| {
+                    !matches!(
+                        spread.distribution,
+                        Distribution::Normal { mean: None, .. }
+                            | Distribution::LogNormal { median: None, .. }
+                    )
+                }));
+        if samples_tables
+            && self
+                .backends
+                .iter()
+                .any(|b| matches!(b, BackendKind::Surrogate))
+        {
+            return Err(CampaignError::InvalidValue(
+                "the surrogate backend requires homogeneous device parameters: \
+                 drop the spreads (or keep spread_scales at 0) or use the \
+                 batched backend for variability campaigns"
+                    .into(),
             ));
         }
         Ok(())
@@ -990,6 +1024,7 @@ impl CampaignSpec {
             v_write: point.amplitude,
             max_substep: Seconds(10e-9),
             ambient: point.ambient,
+            threads: self.backend_threads,
         };
         Ok(point.backend.build_heterogeneous(
             point.rows,
@@ -1114,6 +1149,10 @@ impl CampaignSpec {
             ("max_pulses".into(), Json::Number(self.max_pulses as f64)),
             ("batching".into(), Json::Bool(self.batching)),
             ("threads".into(), Json::Number(self.threads as f64)),
+            (
+                "backend_threads".into(),
+                Json::Number(self.backend_threads as f64),
+            ),
         ])
         .to_string()
     }
@@ -1280,6 +1319,10 @@ impl CampaignSpec {
                 }
                 "threads" => {
                     spec.threads =
+                        value.as_u64().ok_or_else(|| bad(key, "an integer"))?.max(1) as usize;
+                }
+                "backend_threads" => {
+                    spec.backend_threads =
                         value.as_u64().ok_or_else(|| bad(key, "an integer"))?.max(1) as usize;
                 }
                 other => {
@@ -1496,6 +1539,7 @@ fn backend_to_json(backend: &BackendKind) -> Json {
     match backend {
         BackendKind::Pulse => Json::String("pulse".into()),
         BackendKind::Batched => Json::String("batched".into()),
+        BackendKind::Surrogate => Json::String("surrogate".into()),
         BackendKind::Detailed(parasitics) => {
             if *parasitics == WiringParasitics::default() {
                 Json::String("detailed".into())
@@ -1932,6 +1976,82 @@ mod tests {
         // Default parasitics still serialise as the plain label.
         assert!(spec.to_json().contains("\"detailed\""));
         assert!(spec.to_json().contains("\"segment_ohms\""));
+    }
+
+    #[test]
+    fn surrogate_backend_round_trips_and_runs() {
+        let spec = CampaignSpec {
+            name: "surrogate".into(),
+            backends: vec![BackendKind::Batched, BackendKind::Surrogate],
+            backend_threads: 3,
+            max_pulses: 300_000,
+            ..CampaignSpec::default()
+        };
+        let restored = CampaignSpec::from_json(&spec.to_json()).unwrap();
+        assert_eq!(restored, spec);
+        assert!(spec.to_json().contains("\"surrogate\""));
+        assert!(spec.to_json().contains("\"backend_threads\""));
+
+        let report = spec.run().unwrap();
+        assert_eq!(report.outcomes.len(), 2);
+        assert!(report.outcomes.iter().all(|o| o.flipped), "{report:?}");
+        // The backend axis distinguishes the two engines.
+        let labels: Vec<String> = report
+            .outcomes
+            .iter()
+            .map(|o| o.point.axis_label(CampaignAxis::Backend))
+            .collect();
+        assert!(labels.contains(&"batched".to_string()));
+        assert!(labels.contains(&"surrogate".to_string()));
+        assert_ne!(
+            report.outcomes[0].point.axis_value(CampaignAxis::Backend),
+            report.outcomes[1].point.axis_value(CampaignAxis::Backend),
+        );
+    }
+
+    #[test]
+    fn surrogate_points_fingerprint_distinctly() {
+        // The backend tag enters the point id: a surrogate outcome can
+        // never be merged into (or replay as) a batched or pulse one.
+        let mut point = tiny_spec().points()[0];
+        let mut ids = Vec::new();
+        for backend in [
+            BackendKind::Pulse,
+            BackendKind::Batched,
+            BackendKind::detailed(),
+            BackendKind::Surrogate,
+        ] {
+            point.backend = backend;
+            ids.push(point.id());
+        }
+        ids.sort_unstable();
+        ids.dedup();
+        assert_eq!(ids.len(), 4, "backend tags must separate point ids");
+    }
+
+    #[test]
+    fn validation_rejects_surrogate_variability_campaigns() {
+        use rram_variability::{ParamField, ParamSpread};
+        let nominal = DeviceParams::default();
+        let mut spec = tiny_spec();
+        spec.backends = vec![BackendKind::Surrogate];
+        spec.spreads = vec![ParamSpread::relative_normal(
+            ParamField::FilamentRadius,
+            0.05,
+            &nominal,
+        )];
+        assert!(matches!(
+            spec.validate(),
+            Err(CampaignError::InvalidValue(_))
+        ));
+        // σ pinned to 0 with nominal-centred spreads never samples a
+        // table, so the cheap homogeneous path is exact and allowed.
+        spec.spread_scales = vec![0.0];
+        assert!(spec.validate().is_ok());
+        // ... but a batched backend may keep the sampling grid.
+        spec.spread_scales = vec![1.0];
+        spec.backends = vec![BackendKind::Batched];
+        assert!(spec.validate().is_ok());
     }
 
     #[test]

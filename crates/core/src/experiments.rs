@@ -200,6 +200,7 @@ impl ExperimentSetup {
             v_write: self.amplitude,
             max_substep: Seconds(10e-9),
             ambient,
+            threads: 1,
         }
     }
 

@@ -273,6 +273,89 @@ impl CrossbarArray {
         }
     }
 
+    /// Like [`CrossbarArray::step_lanes`], with the lane range split across
+    /// `threads` scoped worker threads. Bit-identical to the
+    /// single-threaded call for any thread count (lanes are independent
+    /// within a sub-step); `threads <= 1` does not spawn at all.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `voltages.len()` does not match the cell count or `dt` is
+    /// negative.
+    pub fn step_lanes_threaded(
+        &mut self,
+        voltages: &[f64],
+        dt: rram_units::Seconds,
+        threads: usize,
+    ) {
+        match &self.params_table {
+            Some(table) => rram_jart::kernel::step_lanes_threaded(
+                &table[..],
+                voltages,
+                self.bank.view_mut(),
+                dt,
+                threads,
+            ),
+            None => rram_jart::kernel::step_lanes_threaded(
+                &self.params,
+                voltages,
+                self.bank.view_mut(),
+                dt,
+                threads,
+            ),
+        }
+    }
+
+    /// Integrates every cell by `dt` under its per-cell voltage with the
+    /// drift rate and temperature served by a caller-supplied reduced-order
+    /// `model(lane, v_cell, ΔT, n)` closure instead of the full
+    /// operating-point solve — the surrogate backend's hot path (see
+    /// [`rram_jart::kernel::step_lanes_surrogate`] for the exact contract
+    /// and documented limitations).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `voltages.len()` does not match the cell count or `dt` is
+    /// negative.
+    pub fn step_lanes_surrogate<F>(&mut self, voltages: &[f64], dt: rram_units::Seconds, model: F)
+    where
+        F: FnMut(usize, f64, f64, f64) -> (f64, f64),
+    {
+        match &self.params_table {
+            Some(table) => rram_jart::kernel::step_lanes_surrogate(
+                &table[..],
+                voltages,
+                &mut self.bank.view_mut(),
+                dt,
+                model,
+            ),
+            None => rram_jart::kernel::step_lanes_surrogate(
+                &self.params,
+                voltages,
+                &mut self.bank.view_mut(),
+                dt,
+                model,
+            ),
+        }
+    }
+
+    /// Advances every cell by `dt` with all lines grounded — bit-identical
+    /// to [`CrossbarArray::step_lanes`] with an all-zero voltage vector,
+    /// without needing the voltage buffer at all. The batched engine's gap
+    /// phase runs on this.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `dt` is negative.
+    pub fn relax_lanes(&mut self, dt: rram_units::Seconds) {
+        match &self.params_table {
+            Some(table) => {
+                rram_jart::kernel::relax_lanes(&table[..], &mut self.bank.view_mut(), dt)
+            }
+            None => rram_jart::kernel::relax_lanes(&self.params, &mut self.bank.view_mut(), dt),
+        }
+    }
+
     /// Number of cells whose digital state differs from `reference`
     /// (row-major). Used to count attack-induced bit-flips.
     ///

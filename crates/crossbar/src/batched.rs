@@ -42,6 +42,8 @@ pub struct BatchedEngine {
     elapsed: f64,
     /// Reused per-cell voltage buffer (row-major), filled once per pulse.
     voltages: Vec<f64>,
+    /// Worker threads for the lane integration (1 = single-threaded).
+    threads: usize,
 }
 
 impl BatchedEngine {
@@ -54,13 +56,30 @@ impl BatchedEngine {
         assert_eq!(array.rows(), hub.rows(), "row count mismatch");
         assert_eq!(array.cols(), hub.cols(), "column count mismatch");
         let cells = array.len();
+        let threads = config.threads.max(1);
         BatchedEngine {
             array,
             hub,
             config,
             elapsed: 0.0,
             voltages: vec![0.0; cells],
+            threads,
         }
+    }
+
+    /// Sets the number of worker threads for the lane integration and
+    /// returns the engine (builder style). Per-cell trajectories are
+    /// bit-identical for any thread count; values above 1 only pay off once
+    /// the array is large enough to amortise the scoped-thread dispatch
+    /// (≳256×256).
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        self.threads = threads.max(1);
+        self
+    }
+
+    /// Worker threads used for the lane integration.
+    pub fn threads(&self) -> usize {
+        self.threads
     }
 
     /// Convenience constructor: fresh HRS array with the given device
@@ -99,25 +118,38 @@ impl BatchedEngine {
         let mut remaining = duration.0;
         let substep = self.config.substep(selected.is_some());
 
+        // Gap phase: every cell voltage is zero by construction, so skip
+        // both the voltage-buffer refill and the full kernel dispatch and
+        // run the bit-identical relax update instead (a test below pins
+        // gap-stepping against the explicit all-zero kernel call).
+        let Some((address, amplitude)) = selected else {
+            while remaining > 0.0 {
+                let dt = remaining.min(substep);
+                self.array.import_crosstalk(self.hub.deltas());
+                self.array.relax_lanes(Seconds(dt));
+                self.hub.update_batched(
+                    self.array.temperatures(),
+                    self.config.ambient,
+                    Seconds(dt),
+                );
+                remaining -= dt;
+                self.elapsed += dt;
+            }
+            return;
+        };
+
         // The line biases are constant for the whole advance: evaluate the
         // scheme once into the reused voltage buffer.
         self.voltages.clear();
-        match selected {
-            Some((address, amplitude)) => {
-                let bias = self.config.scheme.line_bias(
-                    self.array.rows(),
-                    self.array.cols(),
-                    address,
-                    amplitude,
-                );
-                for row in 0..self.array.rows() {
-                    for col in 0..self.array.cols() {
-                        self.voltages
-                            .push(bias.cell_voltage(CellAddress::new(row, col)).0);
-                    }
-                }
+        let bias =
+            self.config
+                .scheme
+                .line_bias(self.array.rows(), self.array.cols(), address, amplitude);
+        for row in 0..self.array.rows() {
+            for col in 0..self.array.cols() {
+                self.voltages
+                    .push(bias.cell_voltage(CellAddress::new(row, col)).0);
             }
-            None => self.voltages.resize(self.array.len(), 0.0),
         }
 
         while remaining > 0.0 {
@@ -125,7 +157,12 @@ impl BatchedEngine {
             // Lane-wise crosstalk import, one kernel call over all lanes,
             // lane-borrowed export — no per-sub-step allocation.
             self.array.import_crosstalk(self.hub.deltas());
-            self.array.step_lanes(&self.voltages, Seconds(dt));
+            if self.threads > 1 {
+                self.array
+                    .step_lanes_threaded(&self.voltages, Seconds(dt), self.threads);
+            } else {
+                self.array.step_lanes(&self.voltages, Seconds(dt));
+            }
             self.hub
                 .update_batched(self.array.temperatures(), self.config.ambient, Seconds(dt));
             remaining -= dt;
@@ -298,6 +335,83 @@ mod tests {
         assert_eq!(e.read(cell), DigitalState::Hrs);
         assert_eq!(HammerBackend::elapsed(&e).0, 0.0);
         assert!(e.hub().deltas().iter().all(|&d| d == 0.0));
+    }
+
+    #[test]
+    fn gap_stepping_is_bit_identical_to_the_all_zero_kernel_call() {
+        // The gap-phase fast path (no voltage-buffer refill, relax update
+        // instead of the full kernel) must be bit-identical to explicitly
+        // stepping the whole array with an all-zero voltage vector.
+        let (_, mut fast) = engines();
+        let aggressor = CellAddress::new(2, 2);
+        fast.force_state(aggressor, DigitalState::Lrs);
+        let mut reference = fast.clone();
+
+        for _ in 0..5 {
+            fast.apply_pulse(aggressor, Volts(1.05), 50.0.ns());
+            reference.apply_pulse(aggressor, Volts(1.05), 50.0.ns());
+            // Fast path under test:
+            fast.idle(130.0.ns());
+            // Reference: the same sub-step schedule with an explicit
+            // all-zero kernel call.
+            let mut remaining = 130.0e-9_f64;
+            let substep = reference.config.substep(false);
+            let zeros = vec![0.0; reference.array.len()];
+            while remaining > 0.0 {
+                let dt = remaining.min(substep);
+                reference.array.import_crosstalk(reference.hub.deltas());
+                reference.array.step_lanes(&zeros, Seconds(dt));
+                reference.hub.update_batched(
+                    reference.array.temperatures(),
+                    reference.config.ambient,
+                    Seconds(dt),
+                );
+                remaining -= dt;
+                reference.elapsed += dt;
+            }
+        }
+
+        assert_eq!(fast.elapsed, reference.elapsed);
+        assert_eq!(fast.hub.deltas(), reference.hub.deltas());
+        let (a, b) = (fast.array.bank(), reference.array.bank());
+        for lane in 0..a.lanes() {
+            assert_eq!(
+                a.concentrations()[lane].to_bits(),
+                b.concentrations()[lane].to_bits()
+            );
+            assert_eq!(
+                a.temperatures()[lane].to_bits(),
+                b.temperatures()[lane].to_bits()
+            );
+            assert_eq!(a.charges()[lane].to_bits(), b.charges()[lane].to_bits());
+            assert_eq!(
+                a.stress_times()[lane].to_bits(),
+                b.stress_times()[lane].to_bits()
+            );
+            assert_eq!(a.digital()[lane], b.digital()[lane]);
+        }
+    }
+
+    #[test]
+    fn threaded_engine_is_bit_identical_to_single_threaded() {
+        let (_, mut single) = engines();
+        let mut threaded = single.clone().with_threads(4);
+        assert_eq!(threaded.threads(), 4);
+        let aggressor = CellAddress::new(2, 2);
+        for engine in [&mut single, &mut threaded] {
+            engine.force_state(aggressor, DigitalState::Lrs);
+            for _ in 0..8 {
+                BatchedEngine::apply_pulse(engine, aggressor, Volts(1.05), 50.0.ns());
+                BatchedEngine::idle(engine, 50.0.ns());
+            }
+        }
+        assert_eq!(single.hub.deltas(), threaded.hub.deltas());
+        for lane in 0..single.array.bank().lanes() {
+            assert_eq!(
+                single.array.bank().concentrations()[lane].to_bits(),
+                threaded.array.bank().concentrations()[lane].to_bits()
+            );
+        }
     }
 
     #[test]

@@ -34,6 +34,10 @@ pub struct EngineConfig {
     pub max_substep: Seconds,
     /// Ambient temperature, K.
     pub ambient: Kelvin,
+    /// Worker threads for the batched engine's lane integration (1 =
+    /// single-threaded). Results are bit-identical for any value; other
+    /// engines ignore it.
+    pub threads: usize,
 }
 
 impl Default for EngineConfig {
@@ -43,6 +47,7 @@ impl Default for EngineConfig {
             v_write: Volts(rram_units::V_SET),
             max_substep: Seconds(10e-9),
             ambient: Kelvin(300.0),
+            threads: 1,
         }
     }
 }

@@ -1,0 +1,619 @@
+//! The table-driven reduced-order surrogate engine.
+//!
+//! Million-point campaign grids do not need bit-exact physics: they need the
+//! drift *trajectory* of every cell to be right to a few tens of percent so
+//! that flip counts, disturb margins and Pareto sweeps come out on the same
+//! contours. [`SurrogateEngine`] trades the per-sub-step Newton solve of the
+//! operating point — the dominant cost of the batched engine's actively
+//! biased lanes — for table lookups fitted **once** from the same kernel
+//! physics the batched engine integrates:
+//!
+//! * a 3-D grid over (cell voltage × crosstalk ΔT × concentration) stores
+//!   the *kinetic factor* `ln(|rate| / prefactor)` — the Arrhenius × sinh
+//!   part of the drift rate that needs the operating-point solve — and is
+//!   interpolated trilinearly in log space;
+//! * the analytic prefactor (vacancy supply × concentration window, see
+//!   [`rram_jart::kinetics::rate_prefactor`]) is multiplied back exactly,
+//!   so the rate still vanishes exactly at the state bounds;
+//! * a 2-D grid over (cell voltage × concentration) stores the
+//!   active-region power, from which the exported filament temperature is
+//!   reconstructed through the exact [`filament_temperature`] law — the
+//!   thermal-crosstalk feedback loop stays closed.
+//!
+//! Zero-voltage lanes take the *exact* relax update (bit-identical to the
+//! batched engine's gap phase), and queries outside the fitted domain fall
+//! back to the exact physics per lane, so the surrogate degrades to slow
+//! rather than wrong. Accuracy against the batched engine is pinned by
+//! `tests/engine_agreement.rs`: flip sets agree on the fig3a-style grid and
+//! victim drift stays within the documented band (see the README backend
+//! table). Bit-exactness is *not* claimed anywhere: campaign fingerprints
+//! tag the backend, so surrogate shards can never be merged into (or
+//! mistaken for) batched/pulse results.
+
+use crate::array::CrossbarArray;
+use crate::backend::{HammerBackend, ThermalReadout};
+use crate::crosstalk::CrosstalkHub;
+use crate::engine::EngineConfig;
+use crate::scheme::CellAddress;
+use rram_jart::current::solve_operating_point;
+use rram_jart::kinetics::{concentration_rate, rate_prefactor, Direction};
+use rram_jart::thermal::filament_temperature;
+use rram_jart::{DeviceParams, DigitalState};
+use rram_units::{Kelvin, Seconds, Volts};
+
+/// `ln` sentinel for a kinetic factor that underflowed to zero: `exp` of
+/// this is the smallest positive subnormal, which the prefactor then takes
+/// to an exact zero.
+const MIN_LOG: f64 = -745.0;
+
+/// A uniform interpolation axis with at least two nodes.
+#[derive(Debug, Clone, PartialEq)]
+struct Axis {
+    lo: f64,
+    hi: f64,
+    nodes: usize,
+}
+
+impl Axis {
+    fn new(lo: f64, hi: f64, nodes: usize) -> Self {
+        assert!(nodes >= 2, "an axis needs at least two nodes");
+        assert!(hi > lo, "axis bounds must be increasing");
+        Axis { lo, hi, nodes }
+    }
+
+    /// Node coordinate of index `i`.
+    fn value(&self, i: usize) -> f64 {
+        self.lo + (self.hi - self.lo) * i as f64 / (self.nodes - 1) as f64
+    }
+
+    /// Cell index and in-cell fraction for a (clamped) query.
+    #[inline]
+    fn locate(&self, x: f64) -> (usize, f64) {
+        let span = (self.nodes - 1) as f64;
+        let t = ((x - self.lo) / (self.hi - self.lo) * span).clamp(0.0, span);
+        let i = (t as usize).min(self.nodes - 2);
+        (i, t - i as f64)
+    }
+}
+
+/// The fitted reduced-order model: kinetic-factor and power tables plus the
+/// device parameters they were fitted from.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SurrogateModel {
+    params: DeviceParams,
+    v_axis: Axis,
+    dt_axis: Axis,
+    /// Concentration axis, uniform in `ln n` (queries locate with `n.ln()`).
+    n_axis: Axis,
+    /// `ln(|rate| / prefactor)`, indexed `[v][ΔT][n]` (row-major).
+    log_kinetic: Vec<f64>,
+    /// Active-region power, indexed `[v][n]` (row-major).
+    power: Vec<f64>,
+}
+
+impl SurrogateModel {
+    /// Fits a model for `params` covering cell voltages in
+    /// `[-v_max, v_max]` and crosstalk ΔT in `[0, dt_max]` (the
+    /// concentration axis always spans the full `[n_min, n_max]` state
+    /// range). Node counts are chosen so that the voltage grid is ~0.05 V
+    /// and the ΔT grid ~12 K — fine enough that the log-space trilinear
+    /// interpolation holds the drift rate to a few tens of percent.
+    ///
+    /// Fitting evaluates the exact kernel physics
+    /// ([`solve_operating_point`] → [`filament_temperature`] →
+    /// [`concentration_rate`]) at every node: the surrogate is a compressed
+    /// replay of the batched engine's own rate law, not an independent
+    /// model.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v_max` or `dt_max` is not positive and finite.
+    pub fn fit(params: &DeviceParams, v_max: f64, dt_max: f64) -> Self {
+        assert!(v_max.is_finite() && v_max > 0.0, "v_max must be positive");
+        assert!(
+            dt_max.is_finite() && dt_max > 0.0,
+            "dt_max must be positive"
+        );
+        // ~0.02 V voltage cells (odd count so v = 0 is a node): the log
+        // kinetic factor is steep in v — a switching-relevant bias range
+        // spans orders of magnitude of rate — and half-selected victims sit
+        // at scheme fractions of the write amplitude, i.e. generically
+        // mid-cell, so the v axis is dense.
+        let v_nodes = (2.0 * v_max / 0.02).ceil() as usize | 1;
+        let v_nodes = v_nodes.max(51);
+        let dt_nodes = ((dt_max / 10.0).ceil() as usize + 1).max(11);
+        // The concentration axis lives in *log* space: the active-region
+        // voltage divider (and with it the whole kinetic factor) varies
+        // with the filament's resistance, i.e. roughly with ln n, fastest
+        // near the HRS bound — exactly where disturb campaigns integrate
+        // the victim. A uniform linear grid would lump that whole decade
+        // into its first cell no matter how many nodes it spends.
+        let n_nodes = 97;
+        let v_axis = Axis::new(-v_max, v_max, v_nodes);
+        let dt_axis = Axis::new(0.0, dt_max, dt_nodes);
+        let n_axis = Axis::new(params.n_min.ln(), params.n_max.ln(), n_nodes);
+
+        let mut log_kinetic = vec![MIN_LOG; v_nodes * dt_nodes * n_nodes];
+        let mut power = vec![0.0; v_nodes * n_nodes];
+        // Degenerate nodes are nudged off the exact zero so the stored
+        // factor stays finite; the nudge is far below the grid resolution.
+        let v_eps = 1e-3 * (v_axis.hi - v_axis.lo) / (v_nodes - 1) as f64;
+
+        for iv in 0..v_nodes {
+            let v_node = v_axis.value(iv);
+            let v = if v_node == 0.0 { v_eps } else { v_node };
+            for i_n in 0..n_nodes {
+                let n_node = n_axis.value(i_n).exp();
+                // Pull window-zeroed nodes slightly inside the state range:
+                // the analytic prefactor restores the exact zero at the
+                // bound, while the stored kinetic factor stays smooth.
+                let n = n_node.clamp(params.n_min * (1.0 + 1e-6), params.n_max * (1.0 - 1e-6));
+                let op = solve_operating_point(params, v, n);
+                power[iv * n_nodes + i_n] = op.power_active;
+                let direction = Direction::from_voltage(op.v_active);
+                let prefactor = rate_prefactor(params, n, direction);
+                for idt in 0..dt_nodes {
+                    let delta_t = dt_axis.value(idt);
+                    let temperature = filament_temperature(params, op.power_active, delta_t);
+                    let magnitude = concentration_rate(params, op.v_active, temperature, n).abs();
+                    let log = if magnitude > 0.0 && prefactor > 0.0 {
+                        (magnitude / prefactor).ln()
+                    } else {
+                        MIN_LOG
+                    };
+                    log_kinetic[(iv * dt_nodes + idt) * n_nodes + i_n] = log;
+                }
+            }
+        }
+
+        SurrogateModel {
+            params: params.clone(),
+            v_axis,
+            dt_axis,
+            n_axis,
+            log_kinetic,
+            power,
+        }
+    }
+
+    /// The device parameters the model was fitted from.
+    pub fn params(&self) -> &DeviceParams {
+        &self.params
+    }
+
+    /// Whether a `(v_cell, ΔT)` query lies inside the fitted grids.
+    #[inline]
+    pub fn in_domain(&self, v_cell: f64, delta_t: f64) -> bool {
+        v_cell >= self.v_axis.lo && v_cell <= self.v_axis.hi && delta_t <= self.dt_axis.hi
+    }
+
+    /// Trilinear interpolation of the kinetic factor.
+    #[inline]
+    fn kinetic_at(&self, v_cell: f64, delta_t: f64, n: f64) -> f64 {
+        let (iv, fv) = self.v_axis.locate(v_cell);
+        let (idt, fdt) = self.dt_axis.locate(delta_t.max(0.0));
+        let (i_n, fn_) = self.n_axis.locate(n.ln());
+        let nn = self.n_axis.nodes;
+        let ndt = self.dt_axis.nodes;
+        let at = |a: usize, b: usize, c: usize| self.log_kinetic[(a * ndt + b) * nn + c];
+        let mut corners = [0.0_f64; 2];
+        for (slot, dv) in corners.iter_mut().zip(0..2) {
+            let c00 = at(iv + dv, idt, i_n);
+            let c01 = at(iv + dv, idt, i_n + 1);
+            let c10 = at(iv + dv, idt + 1, i_n);
+            let c11 = at(iv + dv, idt + 1, i_n + 1);
+            let lo = c00 + (c01 - c00) * fn_;
+            let hi = c10 + (c11 - c10) * fn_;
+            *slot = lo + (hi - lo) * fdt;
+        }
+        corners[0] + (corners[1] - corners[0]) * fv
+    }
+
+    /// Bilinear interpolation of the active-region power.
+    #[inline]
+    fn power_at(&self, v_cell: f64, n: f64) -> f64 {
+        let (iv, fv) = self.v_axis.locate(v_cell);
+        let (i_n, fn_) = self.n_axis.locate(n.ln());
+        let nn = self.n_axis.nodes;
+        let at = |a: usize, c: usize| self.power[a * nn + c];
+        let lo = at(iv, i_n) + (at(iv, i_n + 1) - at(iv, i_n)) * fn_;
+        let hi = at(iv + 1, i_n) + (at(iv + 1, i_n + 1) - at(iv + 1, i_n)) * fn_;
+        lo + (hi - lo) * fv
+    }
+
+    /// Reduced-order drift rate (10²⁶ m⁻³/s) and filament temperature (K)
+    /// for a cell at concentration `n` under `v_cell` and imported
+    /// crosstalk `delta_t`.
+    ///
+    /// Zero voltage returns the exact relax pair; queries outside the
+    /// fitted domain fall back to the exact physics (slow but never wrong).
+    pub fn rate_and_temperature(&self, v_cell: f64, delta_t: f64, n: f64) -> (f64, f64) {
+        if v_cell == 0.0 {
+            return (0.0, filament_temperature(&self.params, 0.0, delta_t));
+        }
+        if !self.in_domain(v_cell, delta_t) {
+            return self.exact(v_cell, delta_t, n);
+        }
+        let power = self.power_at(v_cell, n).max(0.0);
+        let temperature = filament_temperature(&self.params, power, delta_t);
+        let direction = Direction::from_voltage(v_cell);
+        let prefactor = rate_prefactor(&self.params, n, direction);
+        let magnitude = prefactor * self.kinetic_at(v_cell, delta_t, n).exp();
+        let rate = match direction {
+            Direction::Reset => -magnitude,
+            _ => magnitude,
+        };
+        (rate, temperature)
+    }
+
+    /// The exact (operating-point-solved) rate/temperature pair — the
+    /// out-of-domain fallback and the fitting reference.
+    fn exact(&self, v_cell: f64, delta_t: f64, n: f64) -> (f64, f64) {
+        let op = solve_operating_point(&self.params, v_cell, n);
+        let temperature = filament_temperature(&self.params, op.power_active, delta_t);
+        let rate = concentration_rate(&self.params, op.v_active, temperature, n);
+        (rate, temperature)
+    }
+}
+
+/// The reduced-order surrogate engine: the batched engine's array/hub
+/// organisation with the drift rate served from a [`SurrogateModel`].
+#[derive(Debug, Clone)]
+pub struct SurrogateEngine {
+    array: CrossbarArray,
+    hub: CrosstalkHub,
+    config: EngineConfig,
+    model: SurrogateModel,
+    /// Simulated time elapsed, s.
+    elapsed: f64,
+    /// Reused per-cell voltage buffer (row-major), filled once per pulse.
+    voltages: Vec<f64>,
+}
+
+impl SurrogateEngine {
+    /// Creates an engine around an existing (homogeneous) array and hub,
+    /// fitting the model to the array's device parameters. The voltage
+    /// domain covers 1.25× the configured write amplitude (minimum 1.5 V)
+    /// so every scheme-derived line bias interpolates instead of falling
+    /// back.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the hub dimensions do not match the array, or if the array
+    /// carries a per-cell parameter table (the single fitted model cannot
+    /// represent heterogeneous cells — run `batched` for Monte Carlo
+    /// variability campaigns).
+    pub fn new(array: CrossbarArray, hub: CrosstalkHub, config: EngineConfig) -> Self {
+        assert_eq!(array.rows(), hub.rows(), "row count mismatch");
+        assert_eq!(array.cols(), hub.cols(), "column count mismatch");
+        assert!(
+            array.params_table().is_none(),
+            "the surrogate backend requires homogeneous device parameters"
+        );
+        let v_max = (1.25 * config.v_write.0.abs()).max(1.5);
+        let model = SurrogateModel::fit(array.params(), v_max, 250.0);
+        let cells = array.len();
+        SurrogateEngine {
+            array,
+            hub,
+            config,
+            model,
+            elapsed: 0.0,
+            voltages: vec![0.0; cells],
+        }
+    }
+
+    /// Convenience constructor mirroring
+    /// [`crate::BatchedEngine::with_uniform_coupling`].
+    pub fn with_uniform_coupling(
+        rows: usize,
+        cols: usize,
+        params: DeviceParams,
+        nearest_alpha: f64,
+        config: EngineConfig,
+    ) -> Self {
+        let array = CrossbarArray::new(rows, cols, params);
+        let hub = CrosstalkHub::two_ring(rows, cols, nearest_alpha, Seconds(30e-9));
+        SurrogateEngine::new(array, hub, config)
+    }
+
+    /// The underlying array.
+    pub fn array(&self) -> &CrossbarArray {
+        &self.array
+    }
+
+    /// The fitted reduced-order model.
+    pub fn model(&self) -> &SurrogateModel {
+        &self.model
+    }
+
+    /// Engine configuration.
+    pub fn config(&self) -> &EngineConfig {
+        &self.config
+    }
+
+    fn advance(&mut self, selected: Option<(CellAddress, Volts)>, duration: Seconds) {
+        let mut remaining = duration.0;
+        let substep = self.config.substep(selected.is_some());
+
+        // Gap phase: identical to the batched engine's relax fast path —
+        // the surrogate only replaces the *biased* rate evaluation.
+        let Some((address, amplitude)) = selected else {
+            while remaining > 0.0 {
+                let dt = remaining.min(substep);
+                self.array.import_crosstalk(self.hub.deltas());
+                self.array.relax_lanes(Seconds(dt));
+                self.hub.update_batched(
+                    self.array.temperatures(),
+                    self.config.ambient,
+                    Seconds(dt),
+                );
+                remaining -= dt;
+                self.elapsed += dt;
+            }
+            return;
+        };
+
+        self.voltages.clear();
+        let bias =
+            self.config
+                .scheme
+                .line_bias(self.array.rows(), self.array.cols(), address, amplitude);
+        for row in 0..self.array.rows() {
+            for col in 0..self.array.cols() {
+                self.voltages
+                    .push(bias.cell_voltage(CellAddress::new(row, col)).0);
+            }
+        }
+
+        let model = &self.model;
+        while remaining > 0.0 {
+            let dt = remaining.min(substep);
+            self.array.import_crosstalk(self.hub.deltas());
+            self.array
+                .step_lanes_surrogate(&self.voltages, Seconds(dt), |_, v, delta, n| {
+                    model.rate_and_temperature(v, delta, n)
+                });
+            self.hub
+                .update_batched(self.array.temperatures(), self.config.ambient, Seconds(dt));
+            remaining -= dt;
+            self.elapsed += dt;
+        }
+    }
+}
+
+impl HammerBackend for SurrogateEngine {
+    fn label(&self) -> &'static str {
+        "surrogate"
+    }
+
+    fn rows(&self) -> usize {
+        self.array.rows()
+    }
+
+    fn cols(&self) -> usize {
+        self.array.cols()
+    }
+
+    fn apply_pulse(&mut self, selected: CellAddress, amplitude: Volts, length: Seconds) {
+        self.advance(Some((selected, amplitude)), length);
+    }
+
+    fn idle(&mut self, duration: Seconds) {
+        self.advance(None, duration);
+    }
+
+    fn read(&self, address: CellAddress) -> DigitalState {
+        self.array.read(address)
+    }
+
+    fn normalized_state(&self, address: CellAddress) -> f64 {
+        self.array.cell(address).normalized_state()
+    }
+
+    fn force_state(&mut self, address: CellAddress, state: DigitalState) {
+        self.array.cell_mut(address).force_state(state);
+    }
+
+    fn force_normalized_state(&mut self, address: CellAddress, normalized: f64) {
+        self.array
+            .cell_mut(address)
+            .force_normalized_state(normalized);
+    }
+
+    fn thermal_readout(&self, address: CellAddress) -> ThermalReadout {
+        let cell = self.array.cell(address);
+        ThermalReadout {
+            temperature: cell.temperature(),
+            crosstalk: cell.crosstalk_delta(),
+            normalized_state: cell.normalized_state(),
+        }
+    }
+
+    fn hub(&self) -> &CrosstalkHub {
+        &self.hub
+    }
+
+    fn hub_mut(&mut self) -> &mut CrosstalkHub {
+        &mut self.hub
+    }
+
+    fn elapsed(&self) -> Seconds {
+        Seconds(self.elapsed)
+    }
+
+    fn reset(&mut self) {
+        self.array.for_each_cell_mut(|_, mut cell| {
+            cell.force_state(DigitalState::Hrs);
+            cell.set_crosstalk_delta(Kelvin(0.0));
+        });
+        self.hub.reset();
+        self.elapsed = 0.0;
+    }
+
+    fn read_all(&self) -> Vec<DigitalState> {
+        self.array.read_all()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::batched::BatchedEngine;
+    use rram_units::SiExt;
+
+    fn model() -> SurrogateModel {
+        SurrogateModel::fit(&DeviceParams::default(), 1.5, 250.0)
+    }
+
+    #[test]
+    fn grid_nodes_reproduce_the_exact_rate() {
+        // At grid nodes the interpolation is exact, so the reconstructed
+        // rate must match the physics to rounding (away from the nudged
+        // degenerate nodes).
+        let m = model();
+        let p = DeviceParams::default();
+        for &(v, delta) in &[(1.05, 0.0), (0.525, 48.0), (-0.35, 96.0)] {
+            // Snap to the nearest actual node coordinates.
+            let (iv, _) = m.v_axis.locate(v);
+            let (idt, _) = m.dt_axis.locate(delta);
+            let v = m.v_axis.value(iv);
+            let delta = m.dt_axis.value(idt);
+            let n = m.n_axis.value(48).exp();
+            if v == 0.0 {
+                continue;
+            }
+            let (rate, temperature) = m.rate_and_temperature(v, delta, n);
+            let op = solve_operating_point(&p, v, n);
+            let t_exact = filament_temperature(&p, op.power_active, delta);
+            let exact = concentration_rate(&p, op.v_active, t_exact, n);
+            assert!(
+                (temperature / t_exact - 1.0).abs() < 1e-9,
+                "T {temperature} vs {t_exact} at v={v}"
+            );
+            assert!(
+                (rate / exact - 1.0).abs() < 1e-9,
+                "rate {rate} vs {exact} at v={v} ΔT={delta}"
+            );
+        }
+    }
+
+    #[test]
+    fn off_node_rates_stay_within_tens_of_percent() {
+        let m = model();
+        let p = DeviceParams::default();
+        // Deliberately mid-cell coordinates across the attack-relevant
+        // range.
+        for &(v, delta, x) in &[
+            (1.027, 6.0, 0.3),
+            (0.531, 55.0, 0.1),
+            (0.513, 110.0, 0.05),
+            (-0.349, 33.0, 0.8),
+        ] {
+            let n = p.n_min + x * (p.n_max - p.n_min);
+            let (rate, _) = m.rate_and_temperature(v, delta, n);
+            let op = solve_operating_point(&p, v, n);
+            let t = filament_temperature(&p, op.power_active, delta);
+            let exact = concentration_rate(&p, op.v_active, t, n);
+            let ratio = rate / exact;
+            assert!(
+                (0.5..2.0).contains(&ratio),
+                "rate ratio {ratio} at v={v} ΔT={delta} n={n}"
+            );
+        }
+    }
+
+    #[test]
+    fn zero_voltage_and_out_of_domain_are_exact() {
+        let m = model();
+        let p = DeviceParams::default();
+        let (rate, t) = m.rate_and_temperature(0.0, 37.0, 1.0);
+        assert_eq!(rate, 0.0);
+        assert_eq!(t, filament_temperature(&p, 0.0, 37.0));
+        // Beyond the fitted voltage domain the fallback is the exact rate.
+        let (rate, t) = m.rate_and_temperature(2.5, 10.0, 1.0);
+        let op = solve_operating_point(&p, 2.5, 1.0);
+        let t_exact = filament_temperature(&p, op.power_active, 10.0);
+        assert_eq!(t.to_bits(), t_exact.to_bits());
+        assert_eq!(
+            rate.to_bits(),
+            concentration_rate(&p, op.v_active, t_exact, 1.0).to_bits()
+        );
+        // ... and likewise beyond the ΔT domain.
+        assert!(!m.in_domain(1.0, 300.0));
+        assert!(m.in_domain(1.0, 250.0));
+    }
+
+    #[test]
+    fn surrogate_burst_tracks_the_batched_engine() {
+        // A hammer burst on a 5×5 array: aggressor switches identically,
+        // the victim's (tiny) drift lands within a factor of two.
+        let config = EngineConfig::default();
+        let mut surrogate = SurrogateEngine::with_uniform_coupling(
+            5,
+            5,
+            DeviceParams::default(),
+            0.12,
+            config.clone(),
+        );
+        let mut batched =
+            BatchedEngine::with_uniform_coupling(5, 5, DeviceParams::default(), 0.12, config);
+        let aggressor = CellAddress::new(2, 2);
+        let victim = CellAddress::new(2, 1);
+        for engine in [&mut surrogate as &mut dyn HammerBackend, &mut batched] {
+            engine.force_state(aggressor, DigitalState::Lrs);
+            for _ in 0..30 {
+                engine.apply_pulse(aggressor, Volts(1.05), 50.0.ns());
+                engine.idle(50.0.ns());
+            }
+        }
+        assert_eq!(
+            HammerBackend::elapsed(&surrogate).0,
+            HammerBackend::elapsed(&batched).0
+        );
+        let (s, b) = (
+            surrogate.normalized_state(victim),
+            batched.normalized_state(victim),
+        );
+        assert!(b > 0.0);
+        let ratio = s / b;
+        assert!(
+            (0.5..2.0).contains(&ratio),
+            "victim drift ratio {ratio}: surrogate {s} vs batched {b}"
+        );
+        // Crosstalk reaching the victim agrees too (the power table feeds
+        // the same hub).
+        let (sx, bx) = (
+            surrogate.thermal_readout(victim).crosstalk.0,
+            batched.thermal_readout(victim).crosstalk.0,
+        );
+        assert!((sx / bx - 1.0).abs() < 0.1, "victim ΔT {sx} vs {bx}");
+    }
+
+    #[test]
+    fn reset_restores_a_pristine_array() {
+        let mut e = SurrogateEngine::with_uniform_coupling(
+            3,
+            3,
+            DeviceParams::default(),
+            0.15,
+            EngineConfig::default(),
+        );
+        let cell = CellAddress::new(1, 1);
+        e.force_state(cell, DigitalState::Lrs);
+        e.apply_pulse(cell, Volts(1.05), 50.0.ns());
+        e.reset();
+        assert_eq!(e.read(cell), DigitalState::Hrs);
+        assert_eq!(HammerBackend::elapsed(&e).0, 0.0);
+        assert!(e.hub().deltas().iter().all(|&d| d == 0.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "homogeneous device parameters")]
+    fn per_cell_tables_are_rejected() {
+        let mut array = CrossbarArray::new(3, 3, DeviceParams::default());
+        array.set_params_table(vec![DeviceParams::default(); 9]);
+        let hub = CrosstalkHub::two_ring(3, 3, 0.15, Seconds(30e-9));
+        let _ = SurrogateEngine::new(array, hub, EngineConfig::default());
+    }
+}

@@ -211,10 +211,51 @@ pub struct CellBankView<'a> {
     last_op: &'a mut [OperatingPoint],
 }
 
-impl CellBankView<'_> {
+impl<'a> CellBankView<'a> {
     /// Number of lanes in the view.
     pub fn lanes(&self) -> usize {
         self.n_disc.len()
+    }
+
+    /// Splits the view into two disjoint sub-views at `mid` (the first
+    /// covering lanes `0..mid`, the second `mid..`).
+    ///
+    /// The halves borrow disjoint slices of every lane, so they can be
+    /// stepped concurrently — this is what [`step_lanes_threaded`] uses to
+    /// hand one array sub-step to several scoped threads without any
+    /// unsafe code.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `mid` is greater than the lane count.
+    pub fn split_at(self, mid: usize) -> (CellBankView<'a>, CellBankView<'a>) {
+        let (n_lo, n_hi) = self.n_disc.split_at_mut(mid);
+        let (x_lo, x_hi) = self.crosstalk.split_at(mid);
+        let (t_lo, t_hi) = self.temperature.split_at_mut(mid);
+        let (s_lo, s_hi) = self.stress_time.split_at_mut(mid);
+        let (c_lo, c_hi) = self.charge.split_at_mut(mid);
+        let (d_lo, d_hi) = self.digital.split_at_mut(mid);
+        let (o_lo, o_hi) = self.last_op.split_at_mut(mid);
+        (
+            CellBankView {
+                n_disc: n_lo,
+                crosstalk: x_lo,
+                temperature: t_lo,
+                stress_time: s_lo,
+                charge: c_lo,
+                digital: d_lo,
+                last_op: o_lo,
+            },
+            CellBankView {
+                n_disc: n_hi,
+                crosstalk: x_hi,
+                temperature: t_hi,
+                stress_time: s_hi,
+                charge: c_hi,
+                digital: d_hi,
+                last_op: o_hi,
+            },
+        )
     }
 }
 
@@ -257,17 +298,32 @@ pub enum LaneParams<'a> {
     PerLane(&'a [DeviceParams]),
 }
 
-impl LaneParams<'_> {
+impl<'a> LaneParams<'a> {
     /// The parameter set of one lane.
     ///
     /// # Panics
     ///
     /// Panics if `lane` is out of a per-lane table's range.
     #[inline]
-    pub fn of(&self, lane: usize) -> &DeviceParams {
+    pub fn of(&self, lane: usize) -> &'a DeviceParams {
         match self {
             LaneParams::Shared(params) => params,
             LaneParams::PerLane(table) => &table[lane],
+        }
+    }
+
+    /// The parameter source restricted to `len` lanes starting at `base` —
+    /// the companion of [`CellBankView::split_at`] for handing a sub-range
+    /// of the lanes to another thread.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range is out of a per-lane table's bounds.
+    #[inline]
+    pub fn narrow(&self, base: usize, len: usize) -> LaneParams<'a> {
+        match *self {
+            LaneParams::Shared(params) => LaneParams::Shared(params),
+            LaneParams::PerLane(table) => LaneParams::PerLane(&table[base..base + len]),
         }
     }
 }
@@ -284,6 +340,14 @@ impl<'a> From<&'a [DeviceParams]> for LaneParams<'a> {
     }
 }
 
+/// Number of lanes integrated per fixed-width chunk of [`step_lanes`].
+///
+/// Eight f64 lanes span one or two SIMD registers on every target the
+/// workspace builds for (AVX-512, AVX2, NEON), and a fixed trip count is
+/// what lets the autovectorizer unroll the all-idle relax update without a
+/// runtime remainder check inside the chunk.
+pub const LANE_CHUNK: usize = 8;
+
 /// Advances every lane of the bank by `dt` under its per-lane cell voltage.
 ///
 /// This is the one integration routine of the workspace: the scalar
@@ -293,6 +357,14 @@ impl<'a> From<&'a [DeviceParams]> for LaneParams<'a> {
 /// independent within a call (thermal coupling happens *between* engine
 /// sub-steps, through the crosstalk lane), which keeps the per-lane loop
 /// free of cross-lane dependencies.
+///
+/// The lane loop walks fixed-width [`LANE_CHUNK`] slices with a scalar
+/// remainder loop. A chunk whose voltages are all exactly zero — the common
+/// case on a large array, where only the selected row and column are biased
+/// — takes a branch-free relax update that the autovectorizer can unroll;
+/// any other chunk falls back to the per-lane [`step_lane`] reference. Both
+/// paths are bit-identical to calling [`step_lane`] on every lane (the
+/// proptests in `tests/kernel_lanes.rs` pin this down, remainders and all).
 ///
 /// `params` is either one shared `&DeviceParams` or a per-lane
 /// `&[DeviceParams]` table (see [`LaneParams`]); a lane stepped with its
@@ -318,8 +390,228 @@ pub fn step_lanes<'a>(
     if let LaneParams::PerLane(table) = params {
         assert_eq!(table.len(), lanes.lanes(), "params table length mismatch");
     }
-    for (lane, &v_cell) in voltages.iter().enumerate() {
+    assert!(dt.0.is_finite() && dt.0 >= 0.0, "dt must be non-negative");
+
+    let total = lanes.lanes();
+    let mut base = 0;
+    while base + LANE_CHUNK <= total {
+        let chunk: &[f64; LANE_CHUNK] = voltages[base..base + LANE_CHUNK]
+            .try_into()
+            .expect("chunk slice has LANE_CHUNK lanes");
+        if chunk.iter().all(|&v| v == 0.0) {
+            // All-idle chunk: the fixed-width relax update.
+            for offset in 0..LANE_CHUNK {
+                let lane = base + offset;
+                relax_lane(params.of(lane), lanes, lane, dt);
+            }
+        } else {
+            for (offset, &v_cell) in chunk.iter().enumerate() {
+                let lane = base + offset;
+                step_lane(params.of(lane), lanes, lane, v_cell, dt);
+            }
+        }
+        base += LANE_CHUNK;
+    }
+    // Scalar remainder loop for the tail lanes.
+    for (lane, &v_cell) in voltages.iter().enumerate().skip(base) {
         step_lane(params.of(lane), lanes, lane, v_cell, dt);
+    }
+}
+
+/// Advances every lane of the bank by `dt` with *all lines grounded* — the
+/// gap interval between hammer pulses.
+///
+/// This is the specialisation of [`step_lanes`] to an all-zero voltage
+/// vector, and it is bit-identical to it: with no bias the operating point
+/// is [`OperatingPoint::zero`], the drift rate vanishes, and the only state
+/// change is the filament temperature tracking the imported crosstalk ΔT.
+/// Engines use it to skip both the per-pulse voltage-buffer refill and the
+/// full kernel dispatch during gap phases (a unit test on the batched
+/// engine pins the before/after bit-identity).
+///
+/// # Panics
+///
+/// Panics if a per-lane table's length does not match the lane count, or if
+/// `dt` is negative or not finite.
+pub fn relax_lanes<'a>(
+    params: impl Into<LaneParams<'a>>,
+    lanes: &mut CellBankView<'_>,
+    dt: Seconds,
+) {
+    let params = params.into();
+    if let LaneParams::PerLane(table) = params {
+        assert_eq!(table.len(), lanes.lanes(), "params table length mismatch");
+    }
+    assert!(dt.0.is_finite() && dt.0 >= 0.0, "dt must be non-negative");
+    for lane in 0..lanes.lanes() {
+        relax_lane(params.of(lane), lanes, lane, dt);
+    }
+}
+
+/// The zero-voltage lane update, bit-identical to
+/// `step_lane(params, lanes, lane, 0.0, dt)`: refresh the temperature from
+/// the imported crosstalk, zero the operating point, leave the state and
+/// diagnostics lanes untouched.
+#[inline]
+fn relax_lane(params: &DeviceParams, lanes: &mut CellBankView<'_>, lane: usize, dt: Seconds) {
+    lanes.temperature[lane] = filament_temperature(params, 0.0, lanes.crosstalk[lane]);
+    lanes.last_op[lane] = OperatingPoint::zero();
+    if dt.0 > 0.0 {
+        // Mirrors the reference loop: charge accrues |I|·dt with I = 0.
+        lanes.charge[lane] += 0.0;
+    }
+    lanes.digital[lane] = digital_of(params, lanes.n_disc[lane]);
+}
+
+/// Advances every lane by `dt` like [`step_lanes`], with the lane range
+/// split across `threads` scoped worker threads.
+///
+/// Lanes are independent within a sub-step (the crosstalk lane is read-only
+/// here), so the split is embarrassingly parallel: the view is cut into
+/// [`LANE_CHUNK`]-aligned blocks via [`CellBankView::split_at`] and workers
+/// pull blocks from a shared queue, which keeps the load balanced even
+/// though the few actively switching lanes (the selected row and column)
+/// cost orders of magnitude more than the idle majority. Every lane is
+/// stepped exactly once by the same per-lane routine, so the result is
+/// **bit-identical** for any thread count — a proptest pins threads 1–8
+/// against the single-threaded path.
+///
+/// `threads <= 1` (or a bank too small to split) falls through to the
+/// single-threaded [`step_lanes`] without spawning.
+///
+/// # Panics
+///
+/// Panics if `voltages.len()` (or a per-lane table's length) does not match
+/// the lane count, or if `dt` is negative or not finite.
+pub fn step_lanes_threaded<'a>(
+    params: impl Into<LaneParams<'a>>,
+    voltages: &[f64],
+    lanes: CellBankView<'_>,
+    dt: Seconds,
+    threads: usize,
+) {
+    let params = params.into();
+    assert_eq!(
+        voltages.len(),
+        lanes.lanes(),
+        "voltage vector length mismatch"
+    );
+    if let LaneParams::PerLane(table) = params {
+        assert_eq!(table.len(), lanes.lanes(), "params table length mismatch");
+    }
+    assert!(dt.0.is_finite() && dt.0 >= 0.0, "dt must be non-negative");
+
+    let total = lanes.lanes();
+    let workers = threads.max(1).min(total);
+    let mut lanes = lanes;
+    if workers <= 1 {
+        step_lanes(params, voltages, &mut lanes, dt);
+        return;
+    }
+
+    // Chunk-aligned blocks, four per worker, pulled from a shared queue so
+    // a worker that lands on the expensive switching lanes does not
+    // serialise the idle majority.
+    let target_blocks = workers * 4;
+    let raw = total.div_ceil(target_blocks).max(1);
+    let per_block = raw.div_ceil(LANE_CHUNK) * LANE_CHUNK;
+    let mut blocks: Vec<(usize, CellBankView<'_>)> = Vec::new();
+    let mut base = 0;
+    let mut rest = lanes;
+    while rest.lanes() > per_block {
+        let (head, tail) = rest.split_at(per_block);
+        blocks.push((base, head));
+        base += per_block;
+        rest = tail;
+    }
+    blocks.push((base, rest));
+
+    let queue = std::sync::Mutex::new(blocks.into_iter());
+    std::thread::scope(|scope| {
+        for _ in 0..workers {
+            scope.spawn(|| loop {
+                let block = queue.lock().expect("block queue poisoned").next();
+                let Some((start, mut view)) = block else {
+                    break;
+                };
+                let len = view.lanes();
+                step_lanes(
+                    params.narrow(start, len),
+                    &voltages[start..start + len],
+                    &mut view,
+                    dt,
+                );
+            });
+        }
+    });
+}
+
+/// Advances every lane by `dt` under a caller-supplied reduced-order model
+/// instead of the full operating-point solve — the integration loop of the
+/// surrogate backend.
+///
+/// `model(lane, v_cell, delta_t, n)` returns the drift rate (10²⁶ m⁻³/s)
+/// and filament temperature (K) for a lane at concentration `n` under cell
+/// voltage `v_cell` and imported crosstalk ΔT `delta_t`. The kernel owns
+/// everything else: zero-voltage lanes take the exact relax update, biased
+/// lanes integrate forward-Euler with the same per-sub-step concentration
+/// cap as the reference kernel, and the digital lane is kept in sync. The
+/// charge lane is **not** advanced (the surrogate has no current model) and
+/// the stored operating point is zeroed; both are documented limitations of
+/// the reduced-order backend, not of this routine.
+///
+/// # Panics
+///
+/// Panics if `voltages.len()` (or a per-lane table's length) does not match
+/// the lane count, or if `dt` is negative or not finite.
+pub fn step_lanes_surrogate<'a, F>(
+    params: impl Into<LaneParams<'a>>,
+    voltages: &[f64],
+    lanes: &mut CellBankView<'_>,
+    dt: Seconds,
+    mut model: F,
+) where
+    F: FnMut(usize, f64, f64, f64) -> (f64, f64),
+{
+    let params = params.into();
+    assert_eq!(
+        voltages.len(),
+        lanes.lanes(),
+        "voltage vector length mismatch"
+    );
+    if let LaneParams::PerLane(table) = params {
+        assert_eq!(table.len(), lanes.lanes(), "params table length mismatch");
+    }
+    assert!(dt.0.is_finite() && dt.0 >= 0.0, "dt must be non-negative");
+
+    for (lane, &v_cell) in voltages.iter().enumerate() {
+        let lane_params = params.of(lane);
+        if v_cell == 0.0 {
+            relax_lane(lane_params, lanes, lane, dt);
+            continue;
+        }
+        lanes.stress_time[lane] += dt.0;
+        let delta_t = lanes.crosstalk[lane];
+        let mut remaining = dt.0;
+        loop {
+            let n = lanes.n_disc[lane];
+            let (rate, temperature) = model(lane, v_cell, delta_t, n);
+            lanes.temperature[lane] = temperature;
+            if remaining <= 0.0 || rate == 0.0 {
+                break;
+            }
+            // Same stability cap as the reference kernel: never move the
+            // concentration by more than `max_dn_per_step` (tightened near
+            // the HRS bound) in one Euler sub-step.
+            let allowed_dn = lane_params
+                .max_dn_per_step
+                .min(0.02 * (n - lane_params.n_min) + 1e-3);
+            let sub_dt = remaining.min(allowed_dn / rate.abs());
+            lanes.n_disc[lane] = (n + rate * sub_dt).clamp(lane_params.n_min, lane_params.n_max);
+            remaining -= sub_dt;
+        }
+        lanes.last_op[lane] = OperatingPoint::zero();
+        lanes.digital[lane] = digital_of(lane_params, lanes.n_disc[lane]);
     }
 }
 

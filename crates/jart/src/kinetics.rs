@@ -125,6 +125,29 @@ pub fn concentration_rate(params: &DeviceParams, v_active: f64, temperature: f64
     }
 }
 
+/// The analytic (state-only) part of [`concentration_rate`]: the supply
+/// prefactor `K₀ = 2·c_vo·a·ν₀/l_disc` times the window `W(n)`, so that
+///
+/// ```text
+///   |rate| = rate_prefactor(n, direction) · exp(−E_A/kT) · sinh(field_arg)
+/// ```
+///
+/// The reduced-order surrogate backend tabulates only the exponential part
+/// (which needs the operating-point solve for `T` and `E_disc`) and
+/// multiplies this prefactor back analytically, so the concentration window
+/// and vacancy supply stay exact rather than interpolated. Returns zero for
+/// [`Direction::None`].
+#[inline]
+pub fn rate_prefactor(params: &DeviceParams, n: f64, direction: Direction) -> f64 {
+    let c_vo = match direction {
+        Direction::Set => 0.5 * (n + params.n_plug),
+        Direction::Reset => n,
+        Direction::None => return 0.0,
+    };
+    let k0 = 2.0 * c_vo * params.hop_distance * params.attempt_frequency / params.l_disc;
+    k0 * window(params, n, direction)
+}
+
 /// Characteristic time (seconds) to traverse a concentration change `dn`
 /// at a frozen rate — a convenience used by the analytic estimator and the
 /// calibration module. Returns `f64::INFINITY` for a zero rate.
@@ -204,6 +227,23 @@ mod tests {
     fn traversal_time_handles_zero_rate() {
         assert!(traversal_time(0.0, 1.0).is_infinite());
         assert!((traversal_time(2.0, 1.0) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn prefactor_decomposes_the_rate() {
+        // |rate| / prefactor is the pure Arrhenius×sinh factor, which for a
+        // fixed (v_active, T) does not depend on n — the decomposition the
+        // surrogate backend's tables rely on.
+        let params = p();
+        let part = |n: f64| {
+            concentration_rate(&params, 0.8, 400.0, n).abs()
+                / rate_prefactor(&params, n, Direction::Set)
+        };
+        let (a, b) = (part(0.5), part(5.0));
+        assert!((a / b - 1.0).abs() < 1e-12, "{a} vs {b}");
+        assert_eq!(rate_prefactor(&params, 1.0, Direction::None), 0.0);
+        // At the SET bound the window zeroes the prefactor.
+        assert_eq!(rate_prefactor(&params, params.n_max, Direction::Set), 0.0);
     }
 
     #[test]

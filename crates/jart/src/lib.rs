@@ -59,5 +59,8 @@ pub mod thermal;
 
 pub use current::OperatingPoint;
 pub use device::{CellMut, CellRef, DigitalState, JartDevice};
-pub use kernel::{step_lanes, CellBank, CellBankView, LaneParams};
+pub use kernel::{
+    relax_lanes, step_lanes, step_lanes_surrogate, step_lanes_threaded, CellBank, CellBankView,
+    LaneParams, LANE_CHUNK,
+};
 pub use params::{DeviceParams, DeviceParamsBuilder, ParamError};

@@ -5,7 +5,7 @@
 //! share one integration routine with the scalar engine.
 
 use proptest::prelude::*;
-use rram_jart::kernel::{step_lanes, CellBank};
+use rram_jart::kernel::{step_lane, step_lanes, step_lanes_threaded, CellBank, LANE_CHUNK};
 use rram_jart::{DeviceParams, JartDevice};
 use rram_units::{Kelvin, Seconds, Volts};
 
@@ -18,6 +18,53 @@ fn spread_params(radius_scale: f64, disc_scale: f64) -> DeviceParams {
         l_disc: disc_scale * nominal.l_disc,
         ..nominal
     }
+}
+
+/// Per-lane proptest input: (initial state, crosstalk ΔT, cell voltage,
+/// force-exact-zero flag). The flag grounds the lane *exactly* often enough
+/// to exercise the chunked kernel's all-zero fast path, both as whole zero
+/// chunks and as zero lanes mixed into active chunks.
+type LaneInput = (f64, f64, f64, bool);
+
+/// A fully populated bank from proptest lane inputs, plus the resolved
+/// voltage vector.
+fn bank_of(lanes: &[LaneInput], table: Option<&[DeviceParams]>) -> (CellBank, Vec<f64>) {
+    let nominal = DeviceParams::default();
+    let mut bank = CellBank::new(lanes.len(), &nominal);
+    let mut voltages = Vec::with_capacity(lanes.len());
+    for (lane, &(state, delta, voltage, grounded)) in lanes.iter().enumerate() {
+        let params = table.map_or(&nominal, |t| &t[lane]);
+        let n = params.n_min + state * (params.n_max - params.n_min);
+        bank.force_concentration(lane, n, params);
+        bank.set_crosstalk(lane, delta);
+        voltages.push(if grounded { 0.0 } else { voltage });
+    }
+    (bank, voltages)
+}
+
+/// Bitwise equality over every state lane of two banks.
+fn assert_banks_identical(a: &CellBank, b: &CellBank) -> Result<(), TestCaseError> {
+    for lane in 0..a.lanes() {
+        prop_assert_eq!(
+            a.concentrations()[lane].to_bits(),
+            b.concentrations()[lane].to_bits(),
+            "lane {} concentration: {} vs {}",
+            lane,
+            a.concentrations()[lane],
+            b.concentrations()[lane]
+        );
+        prop_assert_eq!(
+            a.temperatures()[lane].to_bits(),
+            b.temperatures()[lane].to_bits()
+        );
+        prop_assert_eq!(
+            a.stress_times()[lane].to_bits(),
+            b.stress_times()[lane].to_bits()
+        );
+        prop_assert_eq!(a.charges()[lane].to_bits(), b.charges()[lane].to_bits());
+        prop_assert_eq!(a.digital()[lane], b.digital()[lane]);
+    }
+    Ok(())
 }
 
 proptest! {
@@ -131,5 +178,102 @@ proptest! {
                 prop_assert_eq!(bank.digital()[lane], device.digital_state());
             }
         }
+    }
+
+    /// The chunked `step_lanes` (fixed-width `LANE_CHUNK` blocks with an
+    /// all-zero fast path, plus a scalar remainder loop) is bit-identical
+    /// to stepping every lane through the per-lane `step_lane` reference —
+    /// for lane counts spanning several chunks and every remainder length,
+    /// with exact-zero voltages mixed into active chunks, and with zero and
+    /// nonzero crosstalk.
+    #[test]
+    fn chunked_step_lanes_matches_the_per_lane_reference(
+        lanes in prop::collection::vec(
+            (0.0f64..1.0, 0.0f64..80.0, -1.5f64..1.5, any::<bool>()),
+            1..(5 * LANE_CHUNK),
+        ),
+        steps in prop::collection::vec(1e-10f64..5e-7, 1..4),
+    ) {
+        let params = DeviceParams::default();
+        let (mut chunked, voltages) = bank_of(&lanes, None);
+        let mut reference = chunked.clone();
+
+        for &dt in &steps {
+            step_lanes(&params, &voltages, &mut chunked.view_mut(), Seconds(dt));
+            for (lane, &v_cell) in voltages.iter().enumerate() {
+                step_lane(&params, &mut reference.view_mut(), lane, v_cell, Seconds(dt));
+            }
+            assert_banks_identical(&chunked, &reference)?;
+        }
+    }
+
+    /// The same chunk-vs-reference identity under a per-lane parameter
+    /// table: chunk boundaries must narrow the table consistently with the
+    /// per-lane lookup.
+    #[test]
+    fn chunked_step_lanes_matches_the_reference_under_spreads(
+        lanes in prop::collection::vec(
+            (0.0f64..1.0, 0.0f64..80.0, -1.5f64..1.5, any::<bool>()),
+            1..(3 * LANE_CHUNK),
+        ),
+        scales in prop::collection::vec(
+            (0.7f64..1.3, 0.7f64..1.3),
+            (3 * LANE_CHUNK)..(3 * LANE_CHUNK + 1),
+        ),
+        dt in 1e-10f64..5e-7,
+    ) {
+        let table: Vec<DeviceParams> = scales[..lanes.len()]
+            .iter()
+            .map(|&(radius, disc)| spread_params(radius, disc))
+            .collect();
+        let (mut chunked, voltages) = bank_of(&lanes, Some(&table));
+        let mut reference = chunked.clone();
+
+        step_lanes(&table[..], &voltages, &mut chunked.view_mut(), Seconds(dt));
+        for (lane, &v_cell) in voltages.iter().enumerate() {
+            step_lane(&table[lane], &mut reference.view_mut(), lane, v_cell, Seconds(dt));
+        }
+        assert_banks_identical(&chunked, &reference)?;
+    }
+
+    /// Splitting one sub-step's lane range across scoped worker threads is
+    /// bit-identical to the single-threaded kernel for any thread count
+    /// 1–8 and any lane count (lanes are independent within a sub-step, so
+    /// only the partitioning could go wrong — this pins it), under shared
+    /// and per-lane parameters alike.
+    #[test]
+    fn threaded_step_lanes_is_bit_identical_for_any_thread_count(
+        lanes in prop::collection::vec(
+            (0.0f64..1.0, 0.0f64..80.0, -1.5f64..1.5, any::<bool>()),
+            1..(5 * LANE_CHUNK),
+        ),
+        scales in prop::collection::vec(
+            (0.7f64..1.3, 0.7f64..1.3),
+            (5 * LANE_CHUNK)..(5 * LANE_CHUNK + 1),
+        ),
+        threads in 1usize..9,
+        per_lane in any::<bool>(),
+        dt in 1e-10f64..5e-7,
+    ) {
+        let nominal = DeviceParams::default();
+        let table: Vec<DeviceParams> = scales[..lanes.len()]
+            .iter()
+            .map(|&(radius, disc)| spread_params(radius, disc))
+            .collect();
+        let params_table = per_lane.then_some(&table[..]);
+        let (mut threaded, voltages) = bank_of(&lanes, params_table);
+        let mut reference = threaded.clone();
+
+        match params_table {
+            Some(table) => {
+                step_lanes_threaded(table, &voltages, threaded.view_mut(), Seconds(dt), threads);
+                step_lanes(table, &voltages, &mut reference.view_mut(), Seconds(dt));
+            }
+            None => {
+                step_lanes_threaded(&nominal, &voltages, threaded.view_mut(), Seconds(dt), threads);
+                step_lanes(&nominal, &voltages, &mut reference.view_mut(), Seconds(dt));
+            }
+        }
+        assert_banks_identical(&threaded, &reference)?;
     }
 }

@@ -38,14 +38,13 @@
 #![deny(missing_docs)]
 #![deny(unsafe_code)]
 
+pub mod worker;
+
 use std::path::PathBuf;
 
-use neurohammer::campaign::{
-    read_checkpoint, CampaignAxis, CampaignEvent, CampaignExecutor, CampaignReport, CampaignSpec,
-    CheckpointWriter, Shard,
-};
+use neurohammer::campaign::{read_checkpoint, CampaignAxis, CampaignReport, CampaignSpec, Shard};
 use neurohammer::{ExperimentSetup, SweepSeries};
-use rram_analysis::ascii_plot::{log_bar_chart, progress_line};
+use rram_analysis::ascii_plot::log_bar_chart;
 use rram_analysis::{Report, Table};
 
 /// Returns the experiment setup used by the figure binaries.
@@ -225,97 +224,36 @@ pub fn merge_requested() -> Option<Vec<PathBuf>> {
 /// execution failure (these binaries are command-line tools).
 pub fn run_figure_campaign(spec: CampaignSpec) -> CampaignReport {
     if let Some(merge) = merge_requested() {
-        let reports: Vec<CampaignReport> = merge
-            .iter()
-            .map(|path| CampaignReport {
-                name: spec.name.clone(),
-                outcomes: read_checkpoint(path)
-                    .unwrap_or_else(|e| panic!("cannot read checkpoint {path:?}: {e}")),
-            })
-            .collect();
-        let merged = CampaignReport::merge(reports)
+        return worker::merge_checkpoints(&spec, &merge)
             .unwrap_or_else(|e| panic!("cannot merge checkpoints: {e}"));
-        let expected: std::collections::HashSet<_> = spec
-            .keyed_points()
-            .into_iter()
-            .map(|(key, _)| key)
-            .collect();
-        let foreign = merged
-            .outcomes
-            .iter()
-            .filter(|outcome| !expected.contains(&outcome.key))
-            .count();
-        assert!(
-            foreign == 0,
-            "{foreign} merged outcome(s) do not belong to this campaign \
-             (wrong checkpoint files, or a different --campaign/--quick profile?)"
-        );
-        if merged.outcomes.len() < expected.len() {
-            eprintln!(
-                "warning: merged checkpoints cover {}/{} grid points — the \
-                 rendered figure is partial (missing shard file?)",
-                merged.outcomes.len(),
-                expected.len()
-            );
-        }
-        return merged;
     }
 
-    let mut executor =
-        CampaignExecutor::new(spec).unwrap_or_else(|e| panic!("invalid campaign: {e}"));
-    if let Some(shard) = shard_requested() {
-        executor = executor
-            .with_shard(shard)
-            .unwrap_or_else(|e| panic!("invalid shard: {e}"));
-    }
-    if let Some(dir) = alpha_cache_requested() {
-        executor = executor.with_alpha_cache(dir);
-    }
     let checkpoint = checkpoint_requested();
     let resume = resume_requested();
+    let mut recovered = Vec::new();
     if resume {
         let path = checkpoint
             .as_ref()
             .expect("--resume requires --checkpoint <path>");
         if path.exists() {
-            let recovered = read_checkpoint(path)
+            recovered = read_checkpoint(path)
                 .unwrap_or_else(|e| panic!("cannot read checkpoint {path:?}: {e}"));
-            executor = executor.resume_from(recovered);
         }
     }
     // A fresh (non-resume) run starts its checkpoint from scratch so stale
     // outcomes from an earlier run cannot shadow the new ones on later
     // reads; a resumed run appends (the reader de-duplicates by key).
-    let mut writer = checkpoint.as_ref().map(|path| {
-        if resume {
-            CheckpointWriter::append(path)
-        } else {
-            CheckpointWriter::create(path)
-        }
-        .unwrap_or_else(|e| panic!("cannot open checkpoint {path:?}: {e}"))
-    });
-
-    let name = executor.spec().name.clone();
-    let shard = executor.shard();
-    let (mut total, mut done) = (0usize, 0usize);
-    executor
-        .execute(|event| match event {
-            CampaignEvent::Started { total: points } => {
-                total = points;
-                eprintln!("campaign {name:?}: {points} points (shard {shard})");
-            }
-            CampaignEvent::PointFinished(outcome) => {
-                if let Some(writer) = writer.as_mut() {
-                    writer
-                        .record(&outcome)
-                        .unwrap_or_else(|e| panic!("checkpoint write failed: {e}"));
-                }
-                done += 1;
-                eprint!("\r{}", progress_line(done, total, 40));
-            }
-            CampaignEvent::Finished => eprintln!(),
-        })
-        .unwrap_or_else(|e| panic!("campaign failed: {e}"))
+    let options = worker::RunOptions {
+        shard: shard_requested().unwrap_or_default(),
+        resume: recovered,
+        checkpoint: checkpoint.map(|path| worker::CheckpointSink {
+            path,
+            append: resume,
+        }),
+        alpha_cache: alpha_cache_requested(),
+        progress: true,
+    };
+    worker::execute_shard(spec, options, |_| {}).unwrap_or_else(|e| panic!("campaign failed: {e}"))
 }
 
 /// Returns the campaign spec from `--campaign <path>` when given, otherwise

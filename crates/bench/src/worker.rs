@@ -1,0 +1,174 @@
+//! The reusable campaign runner behind the figure binaries and the
+//! `neurohammer-worker` fleet binary.
+//!
+//! [`run_figure_campaign`](crate::run_figure_campaign) used to own the
+//! whole execution loop — shard selection, checkpoint writing, the live
+//! progress line. That loop is exactly what a fleet worker needs too, so
+//! it lives here as [`execute_shard`]: a flag-free, `Result`-returning
+//! core the CLI wrapper and the campaign service share. Callers pass a
+//! [`RunOptions`] (instead of command-line flags) and an event sink that
+//! observes every [`CampaignEvent`] after the runner's own bookkeeping
+//! (checkpointing, progress) has seen it — the worker binary uses the
+//! sink to stream `PointFinished` results back to the server.
+
+use std::collections::HashSet;
+use std::path::PathBuf;
+
+use neurohammer::campaign::{
+    read_checkpoint, CampaignError, CampaignEvent, CampaignExecutor, CampaignOutcome,
+    CampaignReport, CampaignSpec, CheckpointWriter, Shard,
+};
+use rram_analysis::ascii_plot::progress_line;
+
+/// Where [`execute_shard`] checkpoints finished points.
+#[derive(Debug, Clone)]
+pub struct CheckpointSink {
+    /// JSONL file receiving one [`CampaignOutcome`] per line.
+    pub path: PathBuf,
+    /// Append to an existing file (resume semantics — the reader
+    /// de-duplicates by key) instead of starting it from scratch.
+    pub append: bool,
+}
+
+/// Execution options for [`execute_shard`] — the programmatic form of the
+/// figure binaries' `--shard`/`--checkpoint`/`--resume`/`--alpha-cache`
+/// flags.
+#[derive(Debug, Clone, Default)]
+pub struct RunOptions {
+    /// The grid slice to execute (default: the whole grid).
+    pub shard: Shard,
+    /// Already-finished outcomes to replay instead of re-running — a read
+    /// checkpoint, or the resume set a campaign-service lease carries.
+    pub resume: Vec<CampaignOutcome>,
+    /// Checkpoint each finished point to this JSONL sink.
+    pub checkpoint: Option<CheckpointSink>,
+    /// Directory of the persistent α-matrix cache.
+    pub alpha_cache: Option<PathBuf>,
+    /// Render the live progress line on stderr.
+    pub progress: bool,
+}
+
+/// Executes one shard of a campaign through the streaming executor.
+///
+/// Validates the spec (by constructing the [`CampaignExecutor`]), applies
+/// the options, and forwards every event to `on_event` — after recording
+/// `PointFinished` outcomes to the checkpoint sink and updating the
+/// progress line, so the sink observes the same stream the runner acted
+/// on. Resumed points replay through the sink like freshly computed ones.
+///
+/// # Errors
+///
+/// Returns the executor's validation/IO errors, or the first checkpoint
+/// write failure (after the run completes, so no computed point is lost
+/// silently).
+pub fn execute_shard<F>(
+    spec: CampaignSpec,
+    options: RunOptions,
+    mut on_event: F,
+) -> Result<CampaignReport, CampaignError>
+where
+    F: FnMut(&CampaignEvent),
+{
+    let mut executor = CampaignExecutor::new(spec)?.with_shard(options.shard)?;
+    if let Some(dir) = options.alpha_cache {
+        executor = executor.with_alpha_cache(dir);
+    }
+    if !options.resume.is_empty() {
+        executor = executor.resume_from(options.resume);
+    }
+    let mut writer = match &options.checkpoint {
+        Some(sink) => Some(if sink.append {
+            CheckpointWriter::append(&sink.path)
+        } else {
+            CheckpointWriter::create(&sink.path)
+        }?),
+        None => None,
+    };
+
+    let name = executor.spec().name.clone();
+    let shard = executor.shard();
+    let (mut total, mut done) = (0usize, 0usize);
+    let mut sink_error = None;
+    let report = executor.execute(|event| {
+        match &event {
+            CampaignEvent::Started { total: points } => {
+                total = *points;
+                if options.progress {
+                    eprintln!("campaign {name:?}: {points} points (shard {shard})");
+                }
+            }
+            CampaignEvent::PointFinished(outcome) => {
+                if let Some(writer) = writer.as_mut() {
+                    if sink_error.is_none() {
+                        if let Err(e) = writer.record(outcome) {
+                            sink_error = Some(e);
+                        }
+                    }
+                }
+                done += 1;
+                if options.progress {
+                    eprint!("\r{}", progress_line(done, total, 40));
+                }
+            }
+            CampaignEvent::Finished => {
+                if options.progress {
+                    eprintln!();
+                }
+            }
+        }
+        on_event(&event);
+    })?;
+    match sink_error {
+        Some(error) => Err(error),
+        None => Ok(report),
+    }
+}
+
+/// Reads the given checkpoint files and merges them into one report for
+/// `spec`'s grid: outcomes are de-duplicated by point key and re-sorted
+/// into grid order, so a merge covering the full grid is byte-identical
+/// to an unsharded run. An incomplete merge (a forgotten shard file)
+/// warns loudly on stderr but still returns the partial report.
+///
+/// # Errors
+///
+/// Returns an error for an unreadable checkpoint, conflicting outcomes
+/// for the same point, or outcomes that do not belong to `spec`'s grid.
+pub fn merge_checkpoints(
+    spec: &CampaignSpec,
+    paths: &[PathBuf],
+) -> Result<CampaignReport, CampaignError> {
+    let mut reports = Vec::with_capacity(paths.len());
+    for path in paths {
+        reports.push(CampaignReport {
+            name: spec.name.clone(),
+            outcomes: read_checkpoint(path)?,
+        });
+    }
+    let merged = CampaignReport::merge(reports)?;
+    let expected: HashSet<_> = spec
+        .keyed_points()
+        .into_iter()
+        .map(|(key, _)| key)
+        .collect();
+    let foreign = merged
+        .outcomes
+        .iter()
+        .filter(|outcome| !expected.contains(&outcome.key))
+        .count();
+    if foreign > 0 {
+        return Err(CampaignError::InvalidValue(format!(
+            "{foreign} merged outcome(s) do not belong to this campaign \
+             (wrong checkpoint files, or a different --campaign/--quick profile?)"
+        )));
+    }
+    if merged.outcomes.len() < expected.len() {
+        eprintln!(
+            "warning: merged checkpoints cover {}/{} grid points — the \
+             rendered figure is partial (missing shard file?)",
+            merged.outcomes.len(),
+            expected.len()
+        );
+    }
+    Ok(merged)
+}

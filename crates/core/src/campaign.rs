@@ -1082,6 +1082,13 @@ impl CampaignSpec {
 
     /// Serialises the spec as pretty-printed JSON.
     pub fn to_json(&self) -> String {
+        self.to_json_value().to_string()
+    }
+
+    /// The spec as a JSON value — the object [`CampaignSpec::to_json`]
+    /// renders. The campaign service embeds this in lease grants so a
+    /// worker executes exactly the spec the server validated.
+    pub fn to_json_value(&self) -> Json {
         let sizes = self
             .array_sizes
             .iter()
@@ -1154,7 +1161,6 @@ impl CampaignSpec {
                 Json::Number(self.backend_threads as f64),
             ),
         ])
-        .to_string()
     }
 
     /// Parses a spec from its JSON form. Missing keys keep their
@@ -1165,8 +1171,19 @@ impl CampaignSpec {
     /// Returns [`CampaignError::Json`] on malformed input and the usual
     /// validation errors on a malformed grid.
     pub fn from_json(text: &str) -> Result<Self, CampaignError> {
-        let json = Json::parse(text)?;
-        let Json::Object(entries) = &json else {
+        Self::from_json_value(&Json::parse(text)?)
+    }
+
+    /// Parses a spec from an already-parsed JSON value (the object form
+    /// produced by [`CampaignSpec::to_json_value`]); same semantics as
+    /// [`CampaignSpec::from_json`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CampaignError::Json`] on a malformed value and the usual
+    /// validation errors on a malformed grid.
+    pub fn from_json_value(json: &Json) -> Result<Self, CampaignError> {
+        let Json::Object(entries) = json else {
             return Err(CampaignError::Json("expected a top-level object".into()));
         };
         let mut spec = CampaignSpec::default();

@@ -17,7 +17,7 @@ use std::fmt;
 
 use super::{
     backend_from_json, backend_to_json, guard_from_json, guard_to_json, CampaignError,
-    CampaignOutcome, CampaignPoint, CampaignReport, PointKey,
+    CampaignEvent, CampaignOutcome, CampaignPoint, CampaignReport, PointKey,
 };
 use crate::pattern::AttackPattern;
 use rram_crossbar::WriteScheme;
@@ -714,6 +714,96 @@ impl CampaignOutcome {
     pub fn from_json(text: &str) -> Result<Self, CampaignError> {
         outcome_from_json(&Json::parse(text)?)
     }
+
+    /// The outcome as a JSON value — the object embedded in checkpoint
+    /// lines and report JSON. The campaign service ships these inside
+    /// lease grants (resume sets) and result submissions.
+    pub fn to_json_value(&self) -> Json {
+        outcome_to_json(self)
+    }
+
+    /// Parses an outcome from an already-parsed JSON value.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CampaignError::Json`] on a malformed value.
+    pub fn from_json_value(value: &Json) -> Result<Self, CampaignError> {
+        outcome_from_json(value)
+    }
+}
+
+fn event_to_json(event: &CampaignEvent) -> Json {
+    match event {
+        CampaignEvent::Started { total } => Json::Object(vec![
+            ("event".into(), Json::String("started".into())),
+            ("total".into(), Json::Number(*total as f64)),
+        ]),
+        CampaignEvent::PointFinished(outcome) => Json::Object(vec![
+            ("event".into(), Json::String("point_finished".into())),
+            ("outcome".into(), outcome_to_json(outcome)),
+        ]),
+        CampaignEvent::Finished => {
+            Json::Object(vec![("event".into(), Json::String("finished".into()))])
+        }
+    }
+}
+
+fn event_from_json(value: &Json) -> Result<CampaignEvent, CampaignError> {
+    let tag = value
+        .get("event")
+        .and_then(Json::as_str)
+        .ok_or_else(|| bad_key("event", "a string tag"))?;
+    match tag {
+        "started" => Ok(CampaignEvent::Started {
+            total: required_u64(value, "total")? as usize,
+        }),
+        "point_finished" => Ok(CampaignEvent::PointFinished(outcome_from_json(
+            value
+                .get("outcome")
+                .ok_or_else(|| bad_key("outcome", "present"))?,
+        )?)),
+        "finished" => Ok(CampaignEvent::Finished),
+        other => Err(CampaignError::Json(format!(
+            "unknown campaign event {other:?}"
+        ))),
+    }
+}
+
+impl CampaignEvent {
+    /// Serialises the event as one compact JSON line — the campaign
+    /// service's wire format for streaming worker results.
+    ///
+    /// Every float inside a `PointFinished` outcome survives bit for bit
+    /// (same shortest-round-trip rendering as checkpoints), so a report
+    /// reassembled from streamed events is byte-identical to one computed
+    /// locally.
+    pub fn to_json_line(&self) -> String {
+        event_to_json(self).to_compact_string()
+    }
+
+    /// Parses an event written by [`CampaignEvent::to_json_line`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CampaignError::Json`] on malformed input or an unknown
+    /// event tag.
+    pub fn from_json(text: &str) -> Result<Self, CampaignError> {
+        event_from_json(&Json::parse(text)?)
+    }
+
+    /// The event as a JSON value, for embedding in a larger message.
+    pub fn to_json_value(&self) -> Json {
+        event_to_json(self)
+    }
+
+    /// Parses an event from an already-parsed JSON value.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CampaignError::Json`] on a malformed value.
+    pub fn from_json_value(value: &Json) -> Result<Self, CampaignError> {
+        event_from_json(value)
+    }
 }
 
 impl CampaignReport {
@@ -937,6 +1027,50 @@ mod tests {
         let line = outcome.to_json_line();
         assert!(!line.contains("defense"), "{line}");
         assert_eq!(CampaignOutcome::from_json(&line).unwrap(), outcome);
+    }
+
+    #[test]
+    fn event_json_round_trip_is_bit_exact() {
+        let events = vec![
+            CampaignEvent::Started { total: 42 },
+            CampaignEvent::PointFinished(sample_outcome()),
+            CampaignEvent::Finished,
+        ];
+        for event in events {
+            let line = event.to_json_line();
+            assert!(!line.contains('\n'), "{line}");
+            let restored = CampaignEvent::from_json(&line).unwrap();
+            assert_eq!(restored, event);
+            // A second trip through the codec must be byte-stable.
+            assert_eq!(restored.to_json_line(), line);
+        }
+    }
+
+    #[test]
+    fn event_point_finished_preserves_float_bits() {
+        let outcome = sample_outcome();
+        let event = CampaignEvent::PointFinished(outcome.clone());
+        let CampaignEvent::PointFinished(restored) =
+            CampaignEvent::from_json(&event.to_json_line()).unwrap()
+        else {
+            panic!("wrong variant");
+        };
+        assert_eq!(
+            restored.point.amplitude.0.to_bits(),
+            outcome.point.amplitude.0.to_bits()
+        );
+        assert_eq!(
+            restored.victim_drift.to_bits(),
+            outcome.victim_drift.to_bits()
+        );
+        assert_eq!(restored.key.id, outcome.key.id);
+    }
+
+    #[test]
+    fn event_rejects_unknown_tag() {
+        let error = CampaignEvent::from_json(r#"{"event": "exploded"}"#).unwrap_err();
+        assert!(error.to_string().contains("unknown campaign event"));
+        assert!(CampaignEvent::from_json(r#"{"total": 3}"#).is_err());
     }
 
     #[test]

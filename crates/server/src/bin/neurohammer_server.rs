@@ -1,0 +1,26 @@
+//! The campaign-service daemon.
+//!
+//! ```text
+//! neurohammer-server [--addr 127.0.0.1:7171] [--lease-ms 30000]
+//! ```
+//!
+//! Listens forever, accepting `CampaignSpec` jobs over HTTP and leasing
+//! their shards to `neurohammer-worker` fleet members; see the crate
+//! documentation of `rram_server` for the protocol.
+
+use std::time::Duration;
+
+use rram_server::cli::{flag_u64, flag_value};
+use rram_server::Server;
+
+fn main() {
+    let addr = flag_value("--addr").unwrap_or_else(|| "127.0.0.1:7171".into());
+    let lease_ms = flag_u64("--lease-ms").unwrap_or(30_000);
+    let server = Server::bind(&addr, Duration::from_millis(lease_ms))
+        .unwrap_or_else(|e| panic!("cannot bind {addr}: {e}"));
+    eprintln!(
+        "neurohammer-server listening on {} (lease {lease_ms} ms)",
+        server.local_addr()
+    );
+    server.run();
+}

@@ -1,0 +1,50 @@
+//! A fleet worker for the campaign service.
+//!
+//! ```text
+//! neurohammer-worker [--server 127.0.0.1:7171] [--name w0] [--poll-ms 500]
+//!                    [--drain] [--alpha-cache <dir>] [--kill-after <n>]
+//! ```
+//!
+//! Leases shards from a `neurohammer-server`, executes them through the
+//! shared figure-binary runner, and streams results back. `--drain`
+//! exits once the server reports no outstanding jobs (for batch fleets);
+//! without it the worker polls forever. `--kill-after <n>` is fault
+//! injection for the CI smoke job: the worker falls silent — no results,
+//! no heartbeats — after streaming its n-th point, exactly like a
+//! `SIGKILL` mid-grid, and exits with status 2.
+
+use std::time::Duration;
+
+use rram_server::cli::{flag_present, flag_u64, flag_value};
+use rram_server::{run_worker, WorkerConfig};
+
+fn main() {
+    let config = WorkerConfig {
+        server: flag_value("--server").unwrap_or_else(|| "127.0.0.1:7171".into()),
+        name: flag_value("--name").unwrap_or_else(|| format!("worker-{}", std::process::id())),
+        poll: Duration::from_millis(flag_u64("--poll-ms").unwrap_or(500)),
+        drain: flag_present("--drain"),
+        kill_after: flag_u64("--kill-after"),
+        alpha_cache: flag_value("--alpha-cache").map(Into::into),
+        progress: true,
+    };
+    let summary = run_worker(&config).unwrap_or_else(|e| panic!("worker {:?}: {e}", config.name));
+    for run in &summary.shards {
+        eprintln!(
+            "worker {:?}: job {} shard {}: {} executed, {} replayed, completed={}",
+            config.name,
+            run.job,
+            run.shard,
+            run.executed.len(),
+            run.replayed,
+            run.completed
+        );
+    }
+    if summary.killed {
+        eprintln!(
+            "worker {:?}: killed by --kill-after fault injection",
+            config.name
+        );
+        std::process::exit(2);
+    }
+}

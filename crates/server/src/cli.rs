@@ -1,0 +1,38 @@
+//! Tiny flag helpers shared by the `neurohammer-server` and
+//! `neurohammer-worker` binaries (same conventions as the figure
+//! binaries: `--flag value`, with a forgotten value rejected loudly).
+
+/// Returns the value following `flag`, rejecting a missing value or one
+/// that is itself a `--flag` token (a forgotten argument).
+///
+/// # Panics
+///
+/// Panics when the flag is present without a value (these binaries are
+/// command-line tools).
+pub fn flag_value(flag: &str) -> Option<String> {
+    let args: Vec<String> = std::env::args().collect();
+    let flag_index = args.iter().position(|a| a == flag)?;
+    let value = args
+        .get(flag_index + 1)
+        .filter(|value| !value.starts_with("--"))
+        .unwrap_or_else(|| panic!("{flag} requires a value argument"));
+    Some(value.clone())
+}
+
+/// Reads `flag`'s value as a `u64`.
+///
+/// # Panics
+///
+/// Panics when the value is missing or not an integer.
+pub fn flag_u64(flag: &str) -> Option<u64> {
+    flag_value(flag).map(|value| {
+        value
+            .parse()
+            .unwrap_or_else(|_| panic!("{flag} requires an integer, got {value:?}"))
+    })
+}
+
+/// Whether a bare `--flag` is present.
+pub fn flag_present(flag: &str) -> bool {
+    std::env::args().any(|a| a == flag)
+}

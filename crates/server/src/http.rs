@@ -1,0 +1,232 @@
+//! A minimal HTTP/1.1 reader, writer and client on `std::net`.
+//!
+//! Just enough of the protocol for the campaign service: request line +
+//! headers + `Content-Length`-delimited body on the way in, a fixed
+//! `Connection: close` response on the way out — one request per
+//! connection, no keep-alive, no chunked encoding, no TLS. Both the
+//! server and the worker/test client speak through this module, so a
+//! plain `curl` works against the daemon too.
+
+use std::io::{Read, Write};
+use std::net::{TcpStream, ToSocketAddrs};
+
+use crate::ServiceError;
+
+/// Hard cap on request/response bodies (64 MiB) — far above any campaign
+/// report, and enough to reject a stream that is clearly not ours.
+const MAX_BODY: usize = 64 << 20;
+
+/// Hard cap on the request head (64 KiB of request line + headers).
+const MAX_HEAD: usize = 64 << 10;
+
+/// One parsed HTTP request.
+#[derive(Debug, Clone)]
+pub struct Request {
+    /// Request method (`GET`, `POST`, `DELETE`, ...), upper-cased by the
+    /// client.
+    pub method: String,
+    /// Request target path, query string stripped (`/jobs/1/report`).
+    pub path: String,
+    /// Decoded UTF-8 body (empty when the request carried none).
+    pub body: String,
+}
+
+fn protocol(what: impl Into<String>) -> ServiceError {
+    ServiceError::Protocol(what.into())
+}
+
+fn find_head_end(buffer: &[u8]) -> Option<usize> {
+    buffer
+        .windows(4)
+        .position(|w| w == b"\r\n\r\n")
+        .map(|pos| pos + 4)
+}
+
+fn content_length(head: &str) -> Result<usize, ServiceError> {
+    for line in head.lines().skip(1) {
+        let Some((name, value)) = line.split_once(':') else {
+            continue;
+        };
+        if name.trim().eq_ignore_ascii_case("content-length") {
+            let length: usize = value
+                .trim()
+                .parse()
+                .map_err(|_| protocol(format!("bad Content-Length {:?}", value.trim())))?;
+            if length > MAX_BODY {
+                return Err(protocol(format!("body of {length} bytes exceeds the cap")));
+            }
+            return Ok(length);
+        }
+    }
+    Ok(0)
+}
+
+fn read_message(stream: &mut TcpStream) -> Result<(String, String), ServiceError> {
+    let mut buffer = Vec::new();
+    let mut chunk = [0u8; 4096];
+    let head_end = loop {
+        if let Some(end) = find_head_end(&buffer) {
+            break end;
+        }
+        if buffer.len() > MAX_HEAD {
+            return Err(protocol("request head exceeds the cap"));
+        }
+        let n = stream.read(&mut chunk)?;
+        if n == 0 {
+            return Err(protocol("connection closed mid-message"));
+        }
+        buffer.extend_from_slice(&chunk[..n]);
+    };
+    let head = String::from_utf8(buffer[..head_end].to_vec())
+        .map_err(|_| protocol("head is not UTF-8"))?;
+    let length = content_length(&head)?;
+    let mut body = buffer[head_end..].to_vec();
+    while body.len() < length {
+        let n = stream.read(&mut chunk)?;
+        if n == 0 {
+            return Err(protocol("connection closed mid-body"));
+        }
+        body.extend_from_slice(&chunk[..n]);
+    }
+    body.truncate(length);
+    let body = String::from_utf8(body).map_err(|_| protocol("body is not UTF-8"))?;
+    Ok((head, body))
+}
+
+/// Reads one request from a connection.
+///
+/// # Errors
+///
+/// Returns [`ServiceError::Io`] on socket failures and
+/// [`ServiceError::Protocol`] on malformed HTTP.
+pub fn read_request(stream: &mut TcpStream) -> Result<Request, ServiceError> {
+    let (head, body) = read_message(stream)?;
+    let request_line = head.lines().next().unwrap_or_default();
+    let mut parts = request_line.split_whitespace();
+    let (Some(method), Some(target)) = (parts.next(), parts.next()) else {
+        return Err(protocol(format!("bad request line {request_line:?}")));
+    };
+    let path = target.split('?').next().unwrap_or(target);
+    Ok(Request {
+        method: method.to_ascii_uppercase(),
+        path: path.to_string(),
+        body,
+    })
+}
+
+/// The reason phrase for the handful of status codes the service uses.
+pub fn status_reason(status: u16) -> &'static str {
+    match status {
+        200 => "OK",
+        201 => "Created",
+        400 => "Bad Request",
+        404 => "Not Found",
+        405 => "Method Not Allowed",
+        409 => "Conflict",
+        _ => "Internal Server Error",
+    }
+}
+
+/// Writes one `Connection: close` response and flushes the stream.
+///
+/// # Errors
+///
+/// Returns the socket error, if any.
+pub fn write_response(
+    stream: &mut TcpStream,
+    status: u16,
+    content_type: &str,
+    body: &str,
+) -> std::io::Result<()> {
+    write!(
+        stream,
+        "HTTP/1.1 {status} {reason}\r\nContent-Type: {content_type}\r\n\
+         Content-Length: {length}\r\nConnection: close\r\n\r\n{body}",
+        reason = status_reason(status),
+        length = body.len(),
+    )?;
+    stream.flush()
+}
+
+/// Sends one request to `addr` and returns `(status, body)`.
+///
+/// This is the whole client side of the protocol: the worker binary and
+/// the integration tests drive the daemon through it.
+///
+/// # Errors
+///
+/// Returns [`ServiceError::Io`] when the connection fails and
+/// [`ServiceError::Protocol`] on a malformed response.
+pub fn call<A: ToSocketAddrs>(
+    addr: A,
+    method: &str,
+    path: &str,
+    body: Option<&str>,
+) -> Result<(u16, String), ServiceError> {
+    let mut stream = TcpStream::connect(addr)?;
+    let body = body.unwrap_or("");
+    write!(
+        stream,
+        "{method} {path} HTTP/1.1\r\nHost: neurohammer\r\nContent-Type: application/json\r\n\
+         Content-Length: {length}\r\nConnection: close\r\n\r\n{body}",
+        length = body.len(),
+    )?;
+    stream.flush()?;
+    let (head, body) = read_message(&mut stream)?;
+    let status_line = head.lines().next().unwrap_or_default();
+    let status: u16 = status_line
+        .split_whitespace()
+        .nth(1)
+        .and_then(|code| code.parse().ok())
+        .ok_or_else(|| protocol(format!("bad status line {status_line:?}")))?;
+    Ok((status, body))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::net::TcpListener;
+
+    #[test]
+    fn request_round_trips_over_loopback() {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let served = std::thread::spawn(move || {
+            let (mut stream, _) = listener.accept().unwrap();
+            let request = read_request(&mut stream).unwrap();
+            write_response(&mut stream, 200, "application/json", &request.body).unwrap();
+            request
+        });
+        let (status, body) = call(addr, "post", "/jobs?verbose=1", Some("{\"spec\": 1}")).unwrap();
+        let request = served.join().unwrap();
+        assert_eq!(status, 200);
+        assert_eq!(body, "{\"spec\": 1}");
+        assert_eq!(request.method, "POST");
+        assert_eq!(request.path, "/jobs");
+    }
+
+    #[test]
+    fn empty_bodies_and_missing_content_length_are_fine() {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let served = std::thread::spawn(move || {
+            let (mut stream, _) = listener.accept().unwrap();
+            let request = read_request(&mut stream).unwrap();
+            write_response(&mut stream, 404, "text/plain", "nope").unwrap();
+            request
+        });
+        let (status, body) = call(addr, "GET", "/jobs/7", None).unwrap();
+        assert_eq!((status, body.as_str()), (404, "nope"));
+        assert_eq!(served.join().unwrap().body, "");
+    }
+
+    #[test]
+    fn oversized_content_length_is_rejected() {
+        assert!(content_length("POST / HTTP/1.1\r\nContent-Length: 99999999999\r\n").is_err());
+        assert!(content_length("POST / HTTP/1.1\r\nContent-Length: ten\r\n").is_err());
+        assert_eq!(
+            content_length("POST / HTTP/1.1\r\ncontent-LENGTH: 12\r\n").unwrap(),
+            12
+        );
+    }
+}

@@ -1,0 +1,764 @@
+//! The job-queue state machine: jobs, shard leases, outcome folding.
+//!
+//! [`JobQueue`] is deliberately pure — no sockets, no threads, and no
+//! clock of its own. Every lease-sensitive method takes an explicit
+//! `now: Instant`, so lease expiry and reassignment are unit-testable
+//! without sleeping, and the HTTP layer is a thin shell around a
+//! `Mutex<JobQueue>`.
+//!
+//! Idempotency is structural rather than bolted on: outcomes fold into a
+//! per-job `BTreeMap` keyed by grid index with the same semantics as
+//! [`CampaignReport::merge`] — first submission wins, a duplicate is a
+//! no-op, and a *conflicting* duplicate (same index, different content
+//! fingerprint) is rejected as foreign. A worker whose lease expired and
+//! was revived can therefore re-submit its whole shard without corrupting
+//! the report the next lease-holder is completing.
+
+use std::collections::{BTreeMap, HashMap};
+use std::time::{Duration, Instant};
+
+use neurohammer::campaign::{
+    CampaignError, CampaignEvent, CampaignExecutor, CampaignOutcome, CampaignReport, CampaignSpec,
+    Shard,
+};
+
+/// Why the queue refused an API call.
+#[derive(Debug)]
+pub enum QueueError {
+    /// No job with that id exists (never created, or deleted).
+    UnknownJob(u64),
+    /// The request referenced a shard outside the job's partition.
+    UnknownShard {
+        /// The job the request addressed.
+        job: u64,
+        /// The out-of-range selector.
+        shard: Shard,
+    },
+    /// A submitted outcome does not belong to the job's grid.
+    ForeignOutcome(String),
+    /// The submitted spec or shard count failed validation.
+    Invalid(CampaignError),
+}
+
+impl std::fmt::Display for QueueError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            QueueError::UnknownJob(id) => write!(f, "no job {id}"),
+            QueueError::UnknownShard { job, shard } => {
+                write!(f, "job {job} has no shard {shard}")
+            }
+            QueueError::ForeignOutcome(what) => write!(f, "foreign outcome: {what}"),
+            QueueError::Invalid(e) => write!(f, "invalid job: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for QueueError {}
+
+/// Lifecycle of a job.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum JobState {
+    /// Accepted; no worker has leased a shard yet.
+    Queued,
+    /// At least one shard is leased or recorded, not all are done.
+    Running,
+    /// Every shard is done; the merged report covers the full grid.
+    Complete,
+}
+
+impl JobState {
+    /// The lower-case label used on the wire (`"queued"`, `"running"`,
+    /// `"complete"`).
+    pub fn label(&self) -> &'static str {
+        match self {
+            JobState::Queued => "queued",
+            JobState::Running => "running",
+            JobState::Complete => "complete",
+        }
+    }
+}
+
+/// Lifecycle of one shard of a job, as reported by [`JobStatus`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ShardState {
+    /// Waiting for a worker (never leased, or a lease expired).
+    Pending,
+    /// Leased to the named worker until its lease expires.
+    Leased(String),
+    /// Fully recorded.
+    Done,
+}
+
+/// One shard's slot in the queue's bookkeeping.
+#[derive(Debug, Clone)]
+enum ShardSlot {
+    Pending,
+    Leased { worker: String, deadline: Instant },
+    Done,
+}
+
+/// A point-in-time snapshot of a job, as served by `GET /jobs/{id}`.
+#[derive(Debug, Clone)]
+pub struct JobStatus {
+    /// The job's queue-assigned id.
+    pub id: u64,
+    /// The campaign name from the submitted spec.
+    pub name: String,
+    /// Derived lifecycle state.
+    pub state: JobState,
+    /// Outcomes recorded so far.
+    pub points_done: usize,
+    /// Grid points in total.
+    pub points_total: usize,
+    /// Per-shard states, indexed by shard index.
+    pub shards: Vec<ShardState>,
+}
+
+/// A granted lease: everything a worker needs to execute one shard.
+///
+/// The spec is the server's validated copy (not the submitter's raw
+/// bytes), and `resume` carries the outcomes already recorded for this
+/// shard — a reassigned shard replays them through the executor's resume
+/// path, so only its unfinished points are recomputed.
+#[derive(Debug, Clone)]
+pub struct LeaseGrant {
+    /// The job this lease belongs to.
+    pub job: u64,
+    /// The campaign to execute.
+    pub spec: CampaignSpec,
+    /// The grid slice this lease covers.
+    pub shard: Shard,
+    /// How long the lease lasts without a heartbeat or result.
+    pub lease: Duration,
+    /// Already-recorded outcomes of this shard, to replay instead of
+    /// recompute.
+    pub resume: Vec<CampaignOutcome>,
+}
+
+/// What [`JobQueue::lease`] hands a worker asking for work.
+#[derive(Debug, Clone)]
+pub enum LeaseOffer {
+    /// A shard to execute (boxed — a grant carries the whole spec and
+    /// resume set, and the idle arm is a single counter).
+    Grant(Box<LeaseGrant>),
+    /// Nothing leasable right now.
+    Idle {
+        /// Jobs not yet complete (their shards are leased elsewhere).
+        /// A draining worker exits when this reaches zero.
+        outstanding: usize,
+    },
+}
+
+/// The queue's answer to one submitted [`CampaignEvent`].
+#[derive(Debug, Clone, Copy)]
+pub struct EventAck {
+    /// Whether a `PointFinished` outcome was newly folded in — `false`
+    /// for duplicates, replayed resume points and non-point events.
+    pub accepted: bool,
+    /// Whether the submitting worker still holds the shard's lease
+    /// (renewed by this very call when it does).
+    pub held: bool,
+    /// Whether the shard is now fully recorded.
+    pub shard_done: bool,
+    /// Whether the whole job is now complete.
+    pub job_done: bool,
+}
+
+struct Job {
+    spec: CampaignSpec,
+    /// Grid index → content fingerprint, for foreign-outcome rejection.
+    expected: HashMap<usize, u64>,
+    total: usize,
+    shards: Vec<ShardSlot>,
+    /// Folded outcomes, keyed by grid index — [`CampaignReport::merge`]
+    /// semantics (first wins), kept in grid order by the `BTreeMap`.
+    outcomes: BTreeMap<usize, CampaignOutcome>,
+}
+
+impl Job {
+    fn complete(&self) -> bool {
+        self.shards.iter().all(|s| matches!(s, ShardSlot::Done))
+    }
+
+    fn state(&self) -> JobState {
+        if self.complete() {
+            JobState::Complete
+        } else if self.outcomes.is_empty()
+            && self.shards.iter().all(|s| matches!(s, ShardSlot::Pending))
+        {
+            JobState::Queued
+        } else {
+            JobState::Running
+        }
+    }
+
+    fn shard_recorded(&self, shard: Shard) -> bool {
+        self.expected
+            .keys()
+            .filter(|&&index| shard.owns(index))
+            .all(|index| self.outcomes.contains_key(index))
+    }
+
+    fn status(&self, id: u64) -> JobStatus {
+        JobStatus {
+            id,
+            name: self.spec.name.clone(),
+            state: self.state(),
+            points_done: self.outcomes.len(),
+            points_total: self.total,
+            shards: self
+                .shards
+                .iter()
+                .map(|slot| match slot {
+                    ShardSlot::Pending => ShardState::Pending,
+                    ShardSlot::Leased { worker, .. } => ShardState::Leased(worker.clone()),
+                    ShardSlot::Done => ShardState::Done,
+                })
+                .collect(),
+        }
+    }
+}
+
+/// The campaign service's job queue: validated jobs, shard leases with
+/// expiry, and idempotent outcome folding.
+///
+/// # Examples
+///
+/// Submit a four-point grid split two ways and lease its first shard:
+///
+/// ```
+/// use std::time::{Duration, Instant};
+/// use neurohammer::campaign::CampaignSpec;
+/// use rram_server::{JobQueue, LeaseOffer};
+///
+/// let mut queue = JobQueue::new(Duration::from_secs(30));
+/// let spec = CampaignSpec {
+///     pulse_lengths_ns: vec![50.0, 100.0],
+///     amplitudes_v: vec![1.05, 1.15],
+///     ..CampaignSpec::default()
+/// };
+/// let job = queue.submit(spec, 2).unwrap();
+/// assert_eq!((job.points_total, job.shards.len()), (4, 2));
+///
+/// let LeaseOffer::Grant(grant) = queue.lease("w0", Instant::now()) else {
+///     panic!("fresh job must grant");
+/// };
+/// assert_eq!(grant.job, job.id);
+/// assert_eq!(grant.shard.to_string(), "0/2");
+/// assert!(grant.resume.is_empty());
+/// ```
+pub struct JobQueue {
+    lease: Duration,
+    next_id: u64,
+    jobs: BTreeMap<u64, Job>,
+}
+
+impl JobQueue {
+    /// An empty queue whose leases last `lease` without renewal.
+    pub fn new(lease: Duration) -> JobQueue {
+        JobQueue {
+            lease,
+            next_id: 1,
+            jobs: BTreeMap::new(),
+        }
+    }
+
+    /// The configured lease duration.
+    pub fn lease_duration(&self) -> Duration {
+        self.lease
+    }
+
+    /// Validates and enqueues a campaign split into `shards` slices.
+    ///
+    /// Validation constructs a [`CampaignExecutor`] once, server-side, so
+    /// a worker never leases a spec that cannot execute.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`QueueError::Invalid`] for a spec that fails validation
+    /// or a shard count of zero or above the grid's point count.
+    pub fn submit(&mut self, spec: CampaignSpec, shards: usize) -> Result<JobStatus, QueueError> {
+        CampaignExecutor::new(spec.clone()).map_err(QueueError::Invalid)?;
+        let expected: HashMap<usize, u64> = spec
+            .keyed_points()
+            .into_iter()
+            .map(|(key, _)| (key.index, key.id))
+            .collect();
+        let total = expected.len();
+        if shards == 0 || shards > total {
+            return Err(QueueError::Invalid(CampaignError::InvalidValue(format!(
+                "shards must be between 1 and the grid's {total} points, got {shards}"
+            ))));
+        }
+        let id = self.next_id;
+        self.next_id += 1;
+        self.jobs.insert(
+            id,
+            Job {
+                spec,
+                expected,
+                total,
+                shards: vec![ShardSlot::Pending; shards],
+                outcomes: BTreeMap::new(),
+            },
+        );
+        Ok(self.jobs[&id].status(id))
+    }
+
+    /// Returns expired leases to the pending pool. Called implicitly by
+    /// every time-taking method; exposed for periodic sweeps.
+    pub fn expire(&mut self, now: Instant) {
+        for job in self.jobs.values_mut() {
+            for slot in &mut job.shards {
+                if matches!(slot, ShardSlot::Leased { deadline, .. } if *deadline <= now) {
+                    *slot = ShardSlot::Pending;
+                }
+            }
+        }
+    }
+
+    /// Offers `worker` a pending shard (lowest job id, lowest shard index
+    /// first), or reports how many jobs are still outstanding.
+    pub fn lease(&mut self, worker: &str, now: Instant) -> LeaseOffer {
+        self.expire(now);
+        for (&id, job) in self.jobs.iter_mut() {
+            let Some(index) = job
+                .shards
+                .iter()
+                .position(|s| matches!(s, ShardSlot::Pending))
+            else {
+                continue;
+            };
+            let shard = Shard {
+                index,
+                of: job.shards.len(),
+            };
+            job.shards[index] = ShardSlot::Leased {
+                worker: worker.to_string(),
+                deadline: now + self.lease,
+            };
+            let resume = job
+                .outcomes
+                .values()
+                .filter(|outcome| shard.owns(outcome.key.index))
+                .cloned()
+                .collect();
+            return LeaseOffer::Grant(Box::new(LeaseGrant {
+                job: id,
+                spec: job.spec.clone(),
+                shard,
+                lease: self.lease,
+                resume,
+            }));
+        }
+        LeaseOffer::Idle {
+            outstanding: self.outstanding(),
+        }
+    }
+
+    /// Renews `worker`'s lease on a shard. Returns whether the lease is
+    /// (still) held — `false` tells the worker to abandon the shard, and
+    /// a vanished job reads as not-held rather than an error so deleting
+    /// a job quiesces its fleet.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`QueueError::UnknownShard`] for an out-of-range selector.
+    pub fn heartbeat(
+        &mut self,
+        worker: &str,
+        job: u64,
+        shard: Shard,
+        now: Instant,
+    ) -> Result<bool, QueueError> {
+        self.expire(now);
+        let Some(state) = self.jobs.get_mut(&job) else {
+            return Ok(false);
+        };
+        if shard.of != state.shards.len() || shard.validate().is_err() {
+            return Err(QueueError::UnknownShard { job, shard });
+        }
+        Ok(renew(
+            &mut state.shards[shard.index],
+            worker,
+            now,
+            self.lease,
+        ))
+    }
+
+    /// Folds one worker event into a job.
+    ///
+    /// `PointFinished` outcomes are checked against the job's grid (index
+    /// and content fingerprint) and de-duplicated by grid index — a
+    /// duplicate submission, e.g. from an expired-then-revived worker, is
+    /// acknowledged but changes nothing. `Finished` marks the shard done
+    /// only when every point it owns is recorded; a premature `Finished`
+    /// from the lease holder returns the shard to the pending pool
+    /// instead. Any event from the current lease holder renews its lease.
+    /// A vanished job acknowledges with all-false flags so its fleet
+    /// winds down.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`QueueError::UnknownShard`] for an out-of-range selector
+    /// and [`QueueError::ForeignOutcome`] for an outcome outside the
+    /// job's grid, with a conflicting fingerprint, or outside the named
+    /// shard.
+    pub fn record(
+        &mut self,
+        worker: &str,
+        job: u64,
+        shard: Shard,
+        event: &CampaignEvent,
+        now: Instant,
+    ) -> Result<EventAck, QueueError> {
+        self.expire(now);
+        let Some(state) = self.jobs.get_mut(&job) else {
+            return Ok(EventAck {
+                accepted: false,
+                held: false,
+                shard_done: false,
+                job_done: false,
+            });
+        };
+        if shard.of != state.shards.len() || shard.validate().is_err() {
+            return Err(QueueError::UnknownShard { job, shard });
+        }
+        let mut accepted = false;
+        match event {
+            CampaignEvent::Started { .. } => {}
+            CampaignEvent::PointFinished(outcome) => {
+                let key = outcome.key;
+                let Some(&id) = state.expected.get(&key.index) else {
+                    return Err(QueueError::ForeignOutcome(format!(
+                        "point index {} is outside job {job}'s {}-point grid",
+                        key.index, state.total
+                    )));
+                };
+                if id != key.id {
+                    return Err(QueueError::ForeignOutcome(format!(
+                        "point {} has fingerprint {:016x}, job {job} expects {id:016x} \
+                         (different spec?)",
+                        key.index, key.id
+                    )));
+                }
+                if !shard.owns(key.index) {
+                    return Err(QueueError::ForeignOutcome(format!(
+                        "point index {} is not owned by shard {shard}",
+                        key.index
+                    )));
+                }
+                if let std::collections::btree_map::Entry::Vacant(slot) =
+                    state.outcomes.entry(key.index)
+                {
+                    slot.insert(outcome.clone());
+                    accepted = true;
+                }
+            }
+            CampaignEvent::Finished => {
+                if state.shard_recorded(shard) {
+                    state.shards[shard.index] = ShardSlot::Done;
+                } else if matches!(&state.shards[shard.index],
+                                   ShardSlot::Leased { worker: w, .. } if w == worker)
+                {
+                    state.shards[shard.index] = ShardSlot::Pending;
+                }
+            }
+        }
+        let held = renew(&mut state.shards[shard.index], worker, now, self.lease);
+        Ok(EventAck {
+            accepted,
+            held,
+            shard_done: matches!(state.shards[shard.index], ShardSlot::Done),
+            job_done: state.complete(),
+        })
+    }
+
+    /// The merged report recorded so far — partial while the job runs,
+    /// byte-identical to an unsharded [`CampaignSpec::run`] once
+    /// complete (outcomes are kept in grid order).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`QueueError::UnknownJob`] for an unknown id.
+    pub fn report(&self, job: u64) -> Result<CampaignReport, QueueError> {
+        let state = self.jobs.get(&job).ok_or(QueueError::UnknownJob(job))?;
+        Ok(CampaignReport {
+            name: state.spec.name.clone(),
+            outcomes: state.outcomes.values().cloned().collect(),
+        })
+    }
+
+    /// A snapshot of one job.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`QueueError::UnknownJob`] for an unknown id.
+    pub fn status(&self, job: u64) -> Result<JobStatus, QueueError> {
+        self.jobs
+            .get(&job)
+            .map(|state| state.status(job))
+            .ok_or(QueueError::UnknownJob(job))
+    }
+
+    /// Snapshots of every job, in id order.
+    pub fn list(&self) -> Vec<JobStatus> {
+        self.jobs.iter().map(|(&id, job)| job.status(id)).collect()
+    }
+
+    /// Removes a job; in-flight workers discover the deletion through
+    /// not-held heartbeat/result acknowledgements.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`QueueError::UnknownJob`] for an unknown id.
+    pub fn delete(&mut self, job: u64) -> Result<(), QueueError> {
+        self.jobs
+            .remove(&job)
+            .map(|_| ())
+            .ok_or(QueueError::UnknownJob(job))
+    }
+
+    /// Jobs not yet complete.
+    pub fn outstanding(&self) -> usize {
+        self.jobs.values().filter(|job| !job.complete()).count()
+    }
+}
+
+/// Renews `slot`'s lease when `worker` holds it; reports whether it does.
+fn renew(slot: &mut ShardSlot, worker: &str, now: Instant, lease: Duration) -> bool {
+    match slot {
+        ShardSlot::Leased {
+            worker: w,
+            deadline,
+        } if w == worker => {
+            *deadline = now + lease;
+            true
+        }
+        _ => false,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A four-point grid that executes in well under a second.
+    fn small_spec() -> CampaignSpec {
+        CampaignSpec {
+            name: "queue test".into(),
+            pulse_lengths_ns: vec![50.0, 100.0],
+            amplitudes_v: vec![1.05, 1.15],
+            max_pulses: 200_000,
+            ..CampaignSpec::default()
+        }
+    }
+
+    fn grant(offer: LeaseOffer) -> LeaseGrant {
+        match offer {
+            LeaseOffer::Grant(grant) => *grant,
+            LeaseOffer::Idle { outstanding } => {
+                panic!("expected a grant, got idle ({outstanding} outstanding)")
+            }
+        }
+    }
+
+    #[test]
+    fn submit_validates_spec_and_shard_count() {
+        let mut queue = JobQueue::new(Duration::from_secs(30));
+        let empty = CampaignSpec {
+            amplitudes_v: vec![],
+            ..CampaignSpec::default()
+        };
+        assert!(matches!(
+            queue.submit(empty, 1),
+            Err(QueueError::Invalid(_))
+        ));
+        assert!(matches!(
+            queue.submit(small_spec(), 0),
+            Err(QueueError::Invalid(_))
+        ));
+        assert!(matches!(
+            queue.submit(small_spec(), 5),
+            Err(QueueError::Invalid(_))
+        ));
+        let job = queue.submit(small_spec(), 4).unwrap();
+        assert_eq!(job.state, JobState::Queued);
+        assert_eq!(job.points_total, 4);
+    }
+
+    #[test]
+    fn expired_lease_is_reassigned_with_recorded_outcomes() {
+        let full = small_spec().run().unwrap();
+        let mut queue = JobQueue::new(Duration::from_secs(5));
+        let job = queue.submit(small_spec(), 2).unwrap().id;
+        let t0 = Instant::now();
+
+        let lost = grant(queue.lease("w1", t0));
+        assert_eq!(lost.shard.to_string(), "0/2");
+        // w1 submits its first point, then falls silent.
+        let first = full
+            .outcomes
+            .iter()
+            .find(|o| lost.shard.owns(o.key.index))
+            .unwrap();
+        let ack = queue
+            .record(
+                "w1",
+                job,
+                lost.shard,
+                &CampaignEvent::PointFinished(first.clone()),
+                t0,
+            )
+            .unwrap();
+        assert!(ack.accepted && ack.held && !ack.shard_done);
+
+        // Within the lease the shard stays w1's...
+        let within = t0 + Duration::from_secs(4);
+        let other = grant(queue.lease("w2", within));
+        assert_eq!(other.shard.to_string(), "1/2");
+        // ...after expiry it is offered again, with w1's point to replay.
+        let after = within + Duration::from_secs(6);
+        let retaken = grant(queue.lease("w2", after));
+        assert_eq!(retaken.shard.to_string(), "0/2");
+        assert_eq!(retaken.resume, vec![first.clone()]);
+        assert!(!queue.heartbeat("w1", job, lost.shard, after).unwrap());
+    }
+
+    #[test]
+    fn double_submit_after_revival_is_idempotent() {
+        let full = small_spec().run().unwrap();
+        let mut queue = JobQueue::new(Duration::from_secs(5));
+        let job = queue.submit(small_spec(), 2).unwrap().id;
+        let t0 = Instant::now();
+
+        let shard0 = grant(queue.lease("w1", t0)).shard;
+        let owned: Vec<_> = full
+            .outcomes
+            .iter()
+            .filter(|o| shard0.owns(o.key.index))
+            .cloned()
+            .collect();
+        // w1 records one point, then its lease expires.
+        queue
+            .record(
+                "w1",
+                job,
+                shard0,
+                &CampaignEvent::PointFinished(owned[0].clone()),
+                t0,
+            )
+            .unwrap();
+        let late = t0 + Duration::from_secs(6);
+
+        // w2 takes over shard 0 and completes it.
+        let retaken = grant(queue.lease("w2", late));
+        assert_eq!(retaken.shard, shard0);
+        for outcome in &owned[1..] {
+            queue
+                .record(
+                    "w2",
+                    job,
+                    shard0,
+                    &CampaignEvent::PointFinished(outcome.clone()),
+                    late,
+                )
+                .unwrap();
+        }
+        let ack = queue
+            .record("w2", job, shard0, &CampaignEvent::Finished, late)
+            .unwrap();
+        assert!(ack.shard_done);
+        let snapshot = queue.report(job).unwrap().to_json();
+
+        // The revived w1 re-submits its entire old shard: every event is
+        // acknowledged, none is accepted, the report does not change.
+        for outcome in &owned {
+            let ack = queue
+                .record(
+                    "w1",
+                    job,
+                    shard0,
+                    &CampaignEvent::PointFinished(outcome.clone()),
+                    late,
+                )
+                .unwrap();
+            assert!(!ack.accepted && !ack.held);
+        }
+        let ack = queue
+            .record("w1", job, shard0, &CampaignEvent::Finished, late)
+            .unwrap();
+        assert!(ack.shard_done && !ack.held);
+        assert_eq!(queue.report(job).unwrap().to_json(), snapshot);
+
+        // w2 finishes shard 1; the full report matches the unsharded run.
+        let shard1 = grant(queue.lease("w2", late)).shard;
+        for outcome in full.outcomes.iter().filter(|o| shard1.owns(o.key.index)) {
+            queue
+                .record(
+                    "w2",
+                    job,
+                    shard1,
+                    &CampaignEvent::PointFinished(outcome.clone()),
+                    late,
+                )
+                .unwrap();
+        }
+        let ack = queue
+            .record("w2", job, shard1, &CampaignEvent::Finished, late)
+            .unwrap();
+        assert!(ack.job_done);
+        assert_eq!(queue.status(job).unwrap().state, JobState::Complete);
+        assert_eq!(queue.report(job).unwrap().to_json(), full.to_json());
+    }
+
+    #[test]
+    fn foreign_and_premature_submissions_are_rejected() {
+        let full = small_spec().run().unwrap();
+        let mut queue = JobQueue::new(Duration::from_secs(5));
+        // A different spec: same grid shape, different physics.
+        let other_spec = CampaignSpec {
+            ambients_k: vec![350.0],
+            ..small_spec()
+        };
+        let job = queue.submit(other_spec, 2).unwrap().id;
+        let t0 = Instant::now();
+        let lease = grant(queue.lease("w1", t0));
+
+        // Same index, different content fingerprint: rejected.
+        let alien = CampaignEvent::PointFinished(full.outcomes[0].clone());
+        assert!(matches!(
+            queue.record("w1", job, lease.shard, &alien, t0),
+            Err(QueueError::ForeignOutcome(_))
+        ));
+        // Finishing without recording anything returns the shard.
+        let ack = queue
+            .record("w1", job, lease.shard, &CampaignEvent::Finished, t0)
+            .unwrap();
+        assert!(!ack.shard_done && !ack.held);
+        let regrant = grant(queue.lease("w2", t0));
+        assert_eq!(regrant.shard, lease.shard);
+        // Out-of-range shard selectors are protocol errors.
+        let bogus = Shard { index: 5, of: 9 };
+        assert!(matches!(
+            queue.record("w1", job, bogus, &CampaignEvent::Finished, t0),
+            Err(QueueError::UnknownShard { .. })
+        ));
+    }
+
+    #[test]
+    fn deleted_jobs_quiesce_their_workers() {
+        let mut queue = JobQueue::new(Duration::from_secs(5));
+        let job = queue.submit(small_spec(), 1).unwrap().id;
+        let t0 = Instant::now();
+        let lease = grant(queue.lease("w1", t0));
+        queue.delete(job).unwrap();
+        assert!(matches!(queue.delete(job), Err(QueueError::UnknownJob(_))));
+        assert!(!queue.heartbeat("w1", job, lease.shard, t0).unwrap());
+        let ack = queue
+            .record("w1", job, lease.shard, &CampaignEvent::Finished, t0)
+            .unwrap();
+        assert!(!ack.accepted && !ack.held && !ack.job_done);
+        assert_eq!(queue.outstanding(), 0);
+    }
+}

@@ -1,0 +1,87 @@
+//! The campaign service of the NeuroHammer reproduction: a long-running
+//! daemon that serves [`CampaignSpec`](neurohammer::campaign::CampaignSpec)
+//! grids to a fleet of workers.
+//!
+//! The one-shot figure binaries shard a grid *statically* (`--shard i/n` +
+//! `--merge`); the service does it *dynamically*. [`Server`] listens on a
+//! plain [`std::net::TcpListener`] speaking a hand-rolled subset of
+//! HTTP/1.1 (no TLS, no keep-alive, `Content-Length` bodies only — the
+//! workspace builds without registry dependencies), validates each
+//! submitted spec once by constructing a
+//! [`CampaignExecutor`](neurohammer::campaign::CampaignExecutor), and
+//! leases [`Shard`](neurohammer::campaign::Shard) slices to whichever
+//! workers connect. Leases expire unless renewed by heartbeats or result
+//! submissions, so a dead or straggling worker's shard is reassigned —
+//! together with the outcomes it already streamed back, which the next
+//! worker replays through the executor's resume path instead of
+//! recomputing. Outcome folding de-duplicates by
+//! [`PointKey`](neurohammer::campaign::PointKey) with the same
+//! first-wins/conflict-is-an-error semantics as
+//! [`CampaignReport::merge`](neurohammer::campaign::CampaignReport), so a
+//! revived worker double-submitting its old shard is harmless by
+//! construction, and the merged report is byte-identical to an unsharded
+//! run.
+//!
+//! The pieces:
+//!
+//! * [`jobs`] — the pure job-queue state machine (no I/O, no clock of its
+//!   own: every lease-sensitive method takes an explicit `now`);
+//! * [`http`] — the minimal HTTP/1.1 reader/writer and client;
+//! * [`server`] — the TCP accept loop and the resource-oriented routes;
+//! * [`worker`] — the fleet worker loop (`neurohammer-worker` is a thin
+//!   CLI wrapper around [`worker::run_worker`]);
+//! * [`cli`] — flag parsing shared by the two binaries.
+
+#![deny(missing_docs)]
+#![deny(unsafe_code)]
+
+pub mod cli;
+pub mod http;
+pub mod jobs;
+pub mod server;
+pub mod worker;
+
+pub use jobs::{
+    EventAck, JobQueue, JobState, JobStatus, LeaseGrant, LeaseOffer, QueueError, ShardState,
+};
+pub use server::{Server, ServerHandle};
+pub use worker::{run_worker, ShardRun, WorkerConfig, WorkerSummary};
+
+use neurohammer::campaign::CampaignError;
+
+/// Everything that can go wrong talking to (or serving) the campaign
+/// service.
+#[derive(Debug)]
+pub enum ServiceError {
+    /// A socket operation failed.
+    Io(std::io::Error),
+    /// The peer violated the wire protocol (malformed HTTP or JSON, an
+    /// unexpected status code, a missing field).
+    Protocol(String),
+    /// Campaign validation or execution failed.
+    Campaign(CampaignError),
+}
+
+impl std::fmt::Display for ServiceError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ServiceError::Io(e) => write!(f, "socket error: {e}"),
+            ServiceError::Protocol(what) => write!(f, "protocol error: {what}"),
+            ServiceError::Campaign(e) => write!(f, "campaign error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ServiceError {}
+
+impl From<std::io::Error> for ServiceError {
+    fn from(error: std::io::Error) -> Self {
+        ServiceError::Io(error)
+    }
+}
+
+impl From<CampaignError> for ServiceError {
+    fn from(error: CampaignError) -> Self {
+        ServiceError::Campaign(error)
+    }
+}

@@ -1,0 +1,390 @@
+//! The `neurohammer-server` daemon: a TCP accept loop over the pure
+//! [`JobQueue`], exposing resource-oriented routes.
+//!
+//! | Route | Meaning |
+//! |---|---|
+//! | `POST /jobs` | submit `{"spec": {...}, "shards": n}`; validates once |
+//! | `GET /jobs` | list job snapshots |
+//! | `GET /jobs/{id}` | one job snapshot |
+//! | `GET /jobs/{id}/report` | merged report JSON (partial while running) |
+//! | `GET /jobs/{id}/report.csv` | the same report as CSV |
+//! | `DELETE /jobs/{id}` | drop a job; its workers quiesce |
+//! | `POST /lease` | worker asks for a shard |
+//! | `POST /heartbeat` | worker renews its lease |
+//! | `POST /results` | worker streams one [`CampaignEvent`] |
+//! | `GET /healthz` | liveness probe |
+//!
+//! `GET /jobs/{id}/report` responds with
+//! [`CampaignReport::to_json`](neurohammer::campaign::CampaignReport::to_json)
+//! plus a trailing newline — the exact bytes a figure binary prints under
+//! `--json` — so `curl | diff` against an unsharded run is empty when the
+//! job is complete.
+
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+use neurohammer::campaign::json::Json;
+use neurohammer::campaign::{CampaignEvent, CampaignSpec, Shard};
+
+use crate::http::{read_request, write_response, Request};
+use crate::jobs::{JobQueue, JobStatus, LeaseOffer, QueueError, ShardState};
+use crate::ServiceError;
+
+/// A bound, not-yet-serving campaign service.
+///
+/// # Examples
+///
+/// Bind to an ephemeral loopback port, serve in the background, probe it:
+///
+/// ```
+/// use std::time::Duration;
+/// use rram_server::{http, Server};
+///
+/// let server = Server::bind("127.0.0.1:0", Duration::from_secs(30)).unwrap();
+/// let addr = server.local_addr();
+/// let handle = server.spawn();
+/// let (status, body) = http::call(addr, "GET", "/healthz", None).unwrap();
+/// assert_eq!(status, 200);
+/// assert!(body.contains("\"ok\":true"));
+/// handle.shutdown();
+/// ```
+pub struct Server {
+    listener: TcpListener,
+    state: Arc<Mutex<JobQueue>>,
+}
+
+/// A background campaign service, stoppable from the spawning thread.
+pub struct ServerHandle {
+    addr: SocketAddr,
+    stop: Arc<AtomicBool>,
+    thread: Option<JoinHandle<()>>,
+}
+
+impl Server {
+    /// Binds the service to `addr` (e.g. `"127.0.0.1:0"` for an ephemeral
+    /// port) with the given worker-lease duration.
+    ///
+    /// # Errors
+    ///
+    /// Returns the socket error when the address cannot be bound.
+    pub fn bind(addr: &str, lease: Duration) -> std::io::Result<Server> {
+        Ok(Server {
+            listener: TcpListener::bind(addr)?,
+            state: Arc::new(Mutex::new(JobQueue::new(lease))),
+        })
+    }
+
+    /// The bound address — the port to hand to workers and `curl`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the socket's address cannot be read (the listener is
+    /// already bound, so this does not happen in practice).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.listener.local_addr().expect("bound listener")
+    }
+
+    /// Serves until `stop` is set (checked between connections — poke the
+    /// port after setting it, as [`ServerHandle::shutdown`] does).
+    pub fn serve(self, stop: &AtomicBool) {
+        for connection in self.listener.incoming() {
+            if stop.load(Ordering::SeqCst) {
+                break;
+            }
+            let Ok(stream) = connection else { continue };
+            let state = Arc::clone(&self.state);
+            std::thread::spawn(move || handle_connection(stream, &state));
+        }
+    }
+
+    /// Serves forever — the daemon binary's main loop.
+    pub fn run(self) {
+        self.serve(&AtomicBool::new(false));
+    }
+
+    /// Moves the accept loop onto a background thread.
+    pub fn spawn(self) -> ServerHandle {
+        let stop = Arc::new(AtomicBool::new(false));
+        let addr = self.local_addr();
+        let thread = std::thread::spawn({
+            let stop = Arc::clone(&stop);
+            move || self.serve(&stop)
+        });
+        ServerHandle {
+            addr,
+            stop,
+            thread: Some(thread),
+        }
+    }
+}
+
+impl ServerHandle {
+    /// The served address.
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Stops the accept loop and joins its thread.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the accept-loop thread panicked.
+    pub fn shutdown(mut self) {
+        self.stop.store(true, Ordering::SeqCst);
+        // The loop only re-checks the flag on the next connection.
+        let _ = TcpStream::connect(self.addr);
+        if let Some(thread) = self.thread.take() {
+            thread.join().expect("accept loop panicked");
+        }
+    }
+}
+
+/// One routed response: status, content type, body.
+struct Routed(u16, &'static str, String);
+
+fn json_body(status: u16, value: Json) -> Routed {
+    Routed(status, "application/json", value.to_compact_string())
+}
+
+fn error_body(status: u16, message: String) -> Routed {
+    json_body(
+        status,
+        Json::Object(vec![("error".into(), Json::String(message))]),
+    )
+}
+
+impl From<QueueError> for Routed {
+    fn from(error: QueueError) -> Routed {
+        let status = match &error {
+            QueueError::UnknownJob(_) => 404,
+            QueueError::UnknownShard { .. } => 400,
+            QueueError::ForeignOutcome(_) => 409,
+            QueueError::Invalid(_) => 400,
+        };
+        error_body(status, error.to_string())
+    }
+}
+
+fn status_to_json(status: &JobStatus) -> Json {
+    Json::Object(vec![
+        ("id".into(), Json::Number(status.id as f64)),
+        ("name".into(), Json::String(status.name.clone())),
+        (
+            "state".into(),
+            Json::String(status.state.label().to_string()),
+        ),
+        (
+            "points_done".into(),
+            Json::Number(status.points_done as f64),
+        ),
+        (
+            "points_total".into(),
+            Json::Number(status.points_total as f64),
+        ),
+        (
+            "shards".into(),
+            Json::Array(
+                status
+                    .shards
+                    .iter()
+                    .enumerate()
+                    .map(|(index, state)| {
+                        let shard = Shard {
+                            index,
+                            of: status.shards.len(),
+                        };
+                        let mut entries = vec![("shard".into(), Json::String(shard.to_string()))];
+                        let label = match state {
+                            ShardState::Pending => "pending",
+                            ShardState::Leased(worker) => {
+                                entries.push(("worker".into(), Json::String(worker.clone())));
+                                "leased"
+                            }
+                            ShardState::Done => "done",
+                        };
+                        entries.push(("state".into(), Json::String(label.into())));
+                        Json::Object(entries)
+                    })
+                    .collect(),
+            ),
+        ),
+    ])
+}
+
+fn required_u64(value: &Json, key: &str) -> Result<u64, Routed> {
+    value
+        .get(key)
+        .and_then(Json::as_u64)
+        .ok_or_else(|| error_body(400, format!("key {key:?} must be an integer")))
+}
+
+fn required_str<'a>(value: &'a Json, key: &str) -> Result<&'a str, Routed> {
+    value
+        .get(key)
+        .and_then(Json::as_str)
+        .ok_or_else(|| error_body(400, format!("key {key:?} must be a string")))
+}
+
+fn parse_body(body: &str) -> Result<Json, Routed> {
+    Json::parse(body).map_err(|e| error_body(400, format!("malformed JSON body: {e}")))
+}
+
+/// Parses the `{"worker", "job", "shard"}` triple shared by the worker
+/// endpoints.
+fn worker_triple(body: &Json) -> Result<(String, u64, Shard), Routed> {
+    let worker = required_str(body, "worker")?.to_string();
+    let job = required_u64(body, "job")?;
+    let shard = Shard::parse(required_str(body, "shard")?)
+        .map_err(|e| error_body(400, format!("key \"shard\": {e}")))?;
+    Ok((worker, job, shard))
+}
+
+fn route(request: &Request, state: &Mutex<JobQueue>) -> Routed {
+    let segments: Vec<&str> = request.path.split('/').filter(|s| !s.is_empty()).collect();
+    let queue = &mut *state.lock().expect("job queue poisoned");
+    let now = Instant::now();
+    let outcome = match (request.method.as_str(), segments.as_slice()) {
+        ("GET", ["healthz"]) => Ok(json_body(
+            200,
+            Json::Object(vec![
+                ("ok".into(), Json::Bool(true)),
+                ("jobs".into(), Json::Number(queue.list().len() as f64)),
+            ]),
+        )),
+        ("POST", ["jobs"]) => parse_body(&request.body).and_then(|body| {
+            let spec = body
+                .get("spec")
+                .ok_or_else(|| error_body(400, "key \"spec\" is required".into()))
+                .and_then(|spec| {
+                    CampaignSpec::from_json_value(spec)
+                        .map_err(|e| error_body(400, format!("invalid spec: {e}")))
+                })?;
+            let shards = match body.get("shards") {
+                None => 1,
+                Some(_) => required_u64(&body, "shards")? as usize,
+            };
+            let status = queue.submit(spec, shards).map_err(Routed::from)?;
+            Ok(json_body(201, status_to_json(&status)))
+        }),
+        ("GET", ["jobs"]) => Ok(json_body(
+            200,
+            Json::Object(vec![(
+                "jobs".into(),
+                Json::Array(queue.list().iter().map(status_to_json).collect()),
+            )]),
+        )),
+        ("GET", ["jobs", id]) => parse_id(id).and_then(|id| {
+            let status = queue.status(id).map_err(Routed::from)?;
+            Ok(json_body(200, status_to_json(&status)))
+        }),
+        ("DELETE", ["jobs", id]) => parse_id(id).and_then(|id| {
+            queue.delete(id).map_err(Routed::from)?;
+            Ok(json_body(
+                200,
+                Json::Object(vec![("deleted".into(), Json::Number(id as f64))]),
+            ))
+        }),
+        ("GET", ["jobs", id, "report"]) => parse_id(id).and_then(|id| {
+            let report = queue.report(id).map_err(Routed::from)?;
+            // The figure binaries' exact `--json` bytes (plus newline).
+            Ok(Routed(
+                200,
+                "application/json",
+                format!("{}\n", report.to_json()),
+            ))
+        }),
+        ("GET", ["jobs", id, "report.csv"]) => parse_id(id).and_then(|id| {
+            let report = queue.report(id).map_err(Routed::from)?;
+            Ok(Routed(200, "text/csv", report.to_csv_string()))
+        }),
+        ("POST", ["lease"]) => parse_body(&request.body).and_then(|body| {
+            let worker = required_str(&body, "worker")?;
+            Ok(json_body(200, offer_to_json(queue.lease(worker, now))))
+        }),
+        ("POST", ["heartbeat"]) => parse_body(&request.body).and_then(|body| {
+            let (worker, job, shard) = worker_triple(&body)?;
+            let held = queue
+                .heartbeat(&worker, job, shard, now)
+                .map_err(Routed::from)?;
+            Ok(json_body(
+                200,
+                Json::Object(vec![("held".into(), Json::Bool(held))]),
+            ))
+        }),
+        ("POST", ["results"]) => parse_body(&request.body).and_then(|body| {
+            let (worker, job, shard) = worker_triple(&body)?;
+            let event = body
+                .get("event")
+                .ok_or_else(|| error_body(400, "key \"event\" is required".into()))
+                .and_then(|event| {
+                    CampaignEvent::from_json_value(event)
+                        .map_err(|e| error_body(400, format!("invalid event: {e}")))
+                })?;
+            let ack = queue
+                .record(&worker, job, shard, &event, now)
+                .map_err(Routed::from)?;
+            Ok(json_body(
+                200,
+                Json::Object(vec![
+                    ("accepted".into(), Json::Bool(ack.accepted)),
+                    ("held".into(), Json::Bool(ack.held)),
+                    ("shard_done".into(), Json::Bool(ack.shard_done)),
+                    ("job_done".into(), Json::Bool(ack.job_done)),
+                ]),
+            ))
+        }),
+        (_, ["jobs", ..] | ["lease"] | ["heartbeat"] | ["results"] | ["healthz"]) => Err(
+            error_body(405, format!("{} not allowed here", request.method)),
+        ),
+        _ => Err(error_body(404, format!("no route {:?}", request.path))),
+    };
+    outcome.unwrap_or_else(|routed| routed)
+}
+
+fn parse_id(text: &str) -> Result<u64, Routed> {
+    text.parse()
+        .map_err(|_| error_body(404, format!("job ids are integers, got {text:?}")))
+}
+
+fn offer_to_json(offer: LeaseOffer) -> Json {
+    match offer {
+        LeaseOffer::Idle { outstanding } => Json::Object(vec![
+            ("idle".into(), Json::Bool(true)),
+            ("outstanding".into(), Json::Number(outstanding as f64)),
+        ]),
+        LeaseOffer::Grant(grant) => Json::Object(vec![
+            ("job".into(), Json::Number(grant.job as f64)),
+            ("shard".into(), Json::String(grant.shard.to_string())),
+            (
+                "lease_ms".into(),
+                Json::Number(grant.lease.as_millis() as f64),
+            ),
+            ("spec".into(), grant.spec.to_json_value()),
+            (
+                "resume".into(),
+                Json::Array(
+                    grant
+                        .resume
+                        .iter()
+                        .map(|outcome| outcome.to_json_value())
+                        .collect(),
+                ),
+            ),
+        ]),
+    }
+}
+
+fn handle_connection(mut stream: TcpStream, state: &Mutex<JobQueue>) {
+    // A stalled or hostile peer must not pin this thread forever.
+    let _ = stream.set_read_timeout(Some(Duration::from_secs(10)));
+    let routed = match read_request(&mut stream) {
+        Ok(request) => route(&request, state),
+        Err(ServiceError::Protocol(what)) => error_body(400, what),
+        Err(_) => return,
+    };
+    let Routed(status, content_type, body) = routed;
+    let _ = write_response(&mut stream, status, content_type, &body);
+}

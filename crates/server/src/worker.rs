@@ -1,0 +1,335 @@
+//! The fleet worker: lease a shard, execute it through the shared
+//! [`neurohammer_bench::worker`] runner, stream events back, repeat.
+//!
+//! One iteration of [`run_worker`]'s loop:
+//!
+//! 1. `POST /lease` — receive a [`LeaseGrant`]: the
+//!    validated spec, a shard selector, the lease duration and the resume
+//!    set (outcomes the server already holds for that shard).
+//! 2. Execute the shard with
+//!    [`execute_shard`],
+//!    seeding the executor's resume path with the grant's resume set so
+//!    only unfinished points are computed.
+//! 3. Stream each *fresh* `PointFinished` back over `POST /results`
+//!    (replayed resume points are skipped — the server has them), then
+//!    `Finished`. Every submission renews the lease; a heartbeat thread
+//!    renews it at a third of the lease period while points compute.
+//! 4. When the server answers `idle` with zero outstanding jobs, a
+//!    draining worker exits; otherwise it polls for more work.
+//!
+//! For fault-injection (tests and the CI smoke job), `kill_after: Some(n)`
+//! makes the worker fall silent after streaming its `n`-th point — no
+//! further results, no heartbeats, no `Finished` — which is
+//! indistinguishable, to the server, from `SIGKILL` mid-grid.
+
+use std::collections::HashSet;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+use neurohammer::campaign::json::Json;
+use neurohammer::campaign::{CampaignEvent, CampaignOutcome, CampaignSpec, PointKey, Shard};
+use neurohammer_bench::worker::{execute_shard, RunOptions};
+
+use crate::{http, LeaseGrant, ServiceError};
+
+/// Configuration of one fleet worker.
+#[derive(Debug, Clone)]
+pub struct WorkerConfig {
+    /// The server's `host:port`.
+    pub server: String,
+    /// This worker's name, as shown in job statuses and lease logs.
+    pub name: String,
+    /// How long to wait between lease requests when idle.
+    pub poll: Duration,
+    /// Exit once the server reports zero outstanding jobs (otherwise the
+    /// worker polls forever, like a daemonised fleet member).
+    pub drain: bool,
+    /// Fault injection: fall silent after streaming this many points.
+    pub kill_after: Option<u64>,
+    /// Directory of the persistent α-matrix cache, if any.
+    pub alpha_cache: Option<std::path::PathBuf>,
+    /// Render live progress lines on stderr.
+    pub progress: bool,
+}
+
+impl WorkerConfig {
+    /// A worker named `name` against `server`, with a 500 ms idle poll,
+    /// no drain, no fault injection.
+    pub fn new(server: impl Into<String>, name: impl Into<String>) -> WorkerConfig {
+        WorkerConfig {
+            server: server.into(),
+            name: name.into(),
+            poll: Duration::from_millis(500),
+            drain: false,
+            kill_after: None,
+            alpha_cache: None,
+            progress: false,
+        }
+    }
+}
+
+/// What one leased shard execution did.
+#[derive(Debug, Clone)]
+pub struct ShardRun {
+    /// The job the lease belonged to.
+    pub job: u64,
+    /// The executed shard.
+    pub shard: Shard,
+    /// Keys of the points this worker computed *and streamed* itself.
+    pub executed: Vec<PointKey>,
+    /// Points replayed from the grant's resume set (not re-streamed).
+    pub replayed: usize,
+    /// Whether the server acknowledged the shard as done.
+    pub completed: bool,
+}
+
+/// What a whole [`run_worker`] session did.
+#[derive(Debug, Clone, Default)]
+pub struct WorkerSummary {
+    /// One entry per leased shard, in execution order.
+    pub shards: Vec<ShardRun>,
+    /// Whether the session ended by `kill_after` fault injection.
+    pub killed: bool,
+}
+
+struct Ack {
+    accepted: bool,
+    held: bool,
+    shard_done: bool,
+}
+
+fn protocol(what: impl Into<String>) -> ServiceError {
+    ServiceError::Protocol(what.into())
+}
+
+/// Posts one JSON body and parses the JSON answer, demanding HTTP 200.
+fn post_json(server: &str, path: &str, body: &Json) -> Result<Json, ServiceError> {
+    let (status, answer) = http::call(server, "POST", path, Some(&body.to_compact_string()))?;
+    if status != 200 {
+        return Err(protocol(format!("{path} answered {status}: {answer}")));
+    }
+    Json::parse(&answer).map_err(|e| protocol(format!("{path} answered malformed JSON: {e}")))
+}
+
+fn submission(config: &WorkerConfig, grant: &LeaseGrant, event: &CampaignEvent) -> Json {
+    Json::Object(vec![
+        ("worker".into(), Json::String(config.name.clone())),
+        ("job".into(), Json::Number(grant.job as f64)),
+        ("shard".into(), Json::String(grant.shard.to_string())),
+        ("event".into(), event.to_json_value()),
+    ])
+}
+
+fn post_event(
+    config: &WorkerConfig,
+    grant: &LeaseGrant,
+    event: &CampaignEvent,
+) -> Result<Ack, ServiceError> {
+    let answer = post_json(
+        &config.server,
+        "/results",
+        &submission(config, grant, event),
+    )?;
+    let flag = |key: &str| answer.get(key).and_then(Json::as_bool).unwrap_or(false);
+    Ok(Ack {
+        accepted: flag("accepted"),
+        held: flag("held"),
+        shard_done: flag("shard_done"),
+    })
+}
+
+fn parse_grant(offer: &Json) -> Result<LeaseGrant, ServiceError> {
+    let field = |key: &str| {
+        offer
+            .get(key)
+            .ok_or_else(|| protocol(format!("lease grant lacks {key:?}")))
+    };
+    let shard = Shard::parse(
+        field("shard")?
+            .as_str()
+            .ok_or_else(|| protocol("lease shard must be a string"))?,
+    )
+    .map_err(ServiceError::Campaign)?;
+    let resume = field("resume")?
+        .as_array()
+        .ok_or_else(|| protocol("lease resume must be an array"))?
+        .iter()
+        .map(CampaignOutcome::from_json_value)
+        .collect::<Result<Vec<_>, _>>()
+        .map_err(ServiceError::Campaign)?;
+    Ok(LeaseGrant {
+        job: field("job")?
+            .as_u64()
+            .ok_or_else(|| protocol("lease job must be an integer"))?,
+        spec: CampaignSpec::from_json_value(field("spec")?).map_err(ServiceError::Campaign)?,
+        shard,
+        lease: Duration::from_millis(
+            field("lease_ms")?
+                .as_u64()
+                .ok_or_else(|| protocol("lease_ms must be an integer"))?,
+        ),
+        resume,
+    })
+}
+
+/// Runs the worker loop until the queue drains (with
+/// [`WorkerConfig::drain`]), the fault injection fires, or the server
+/// becomes unreachable.
+///
+/// # Errors
+///
+/// Returns [`ServiceError`] when the server cannot be reached, violates
+/// the protocol, or a leased campaign fails to execute.
+pub fn run_worker(config: &WorkerConfig) -> Result<WorkerSummary, ServiceError> {
+    let mut summary = WorkerSummary::default();
+    let mut streamed: u64 = 0;
+    loop {
+        let offer = post_json(
+            &config.server,
+            "/lease",
+            &Json::Object(vec![("worker".into(), Json::String(config.name.clone()))]),
+        )?;
+        if offer.get("idle").is_some() {
+            let outstanding = offer.get("outstanding").and_then(Json::as_u64).unwrap_or(0);
+            if config.drain && outstanding == 0 {
+                return Ok(summary);
+            }
+            std::thread::sleep(config.poll);
+            continue;
+        }
+        let grant = parse_grant(&offer)?;
+        if config.progress {
+            eprintln!(
+                "worker {:?}: leased job {} shard {} ({} resumed)",
+                config.name,
+                grant.job,
+                grant.shard,
+                grant.resume.len()
+            );
+        }
+        let run = run_shard(config, &grant, &mut streamed)?;
+        let killed = run.killed;
+        summary.shards.push(run.run);
+        if killed {
+            summary.killed = true;
+            return Ok(summary);
+        }
+    }
+}
+
+struct ShardResult {
+    run: ShardRun,
+    killed: bool,
+}
+
+fn run_shard(
+    config: &WorkerConfig,
+    grant: &LeaseGrant,
+    streamed: &mut u64,
+) -> Result<ShardResult, ServiceError> {
+    let resume_keys: HashSet<PointKey> = grant.resume.iter().map(|o| o.key).collect();
+
+    // Heartbeat at a third of the lease period while points compute; the
+    // thread stops when the shard finishes, the lease is lost, or the
+    // fault injection silences this worker (a dead worker heartbeats no
+    // more than it submits).
+    let stop = Arc::new(AtomicBool::new(false));
+    let held = Arc::new(AtomicBool::new(true));
+    let silenced = Arc::new(AtomicBool::new(false));
+    let heartbeat = {
+        let (stop, held) = (Arc::clone(&stop), Arc::clone(&held));
+        let silenced = Arc::clone(&silenced);
+        let (config, grant) = (config.clone(), grant.clone());
+        let interval = (grant.lease / 3).max(Duration::from_millis(50));
+        std::thread::spawn(move || {
+            let body = Json::Object(vec![
+                ("worker".into(), Json::String(config.name.clone())),
+                ("job".into(), Json::Number(grant.job as f64)),
+                ("shard".into(), Json::String(grant.shard.to_string())),
+            ]);
+            let mut elapsed = Duration::ZERO;
+            let tick = Duration::from_millis(25);
+            while !stop.load(Ordering::SeqCst) && !silenced.load(Ordering::SeqCst) {
+                std::thread::sleep(tick);
+                elapsed += tick;
+                if elapsed < interval {
+                    continue;
+                }
+                elapsed = Duration::ZERO;
+                match post_json(&config.server, "/heartbeat", &body) {
+                    Ok(answer) => {
+                        if answer.get("held").and_then(Json::as_bool) != Some(true) {
+                            held.store(false, Ordering::SeqCst);
+                            break;
+                        }
+                    }
+                    Err(_) => break,
+                }
+            }
+        })
+    };
+
+    let mut run = ShardRun {
+        job: grant.job,
+        shard: grant.shard,
+        executed: Vec::new(),
+        replayed: 0,
+        completed: false,
+    };
+    let mut failure: Option<ServiceError> = None;
+    let options = RunOptions {
+        shard: grant.shard,
+        resume: grant.resume.clone(),
+        checkpoint: None,
+        alpha_cache: config.alpha_cache.clone(),
+        progress: config.progress,
+    };
+    let report = execute_shard(grant.spec.clone(), options, |event| {
+        if silenced.load(Ordering::SeqCst) || failure.is_some() || !held.load(Ordering::SeqCst) {
+            return;
+        }
+        match event {
+            CampaignEvent::Started { .. } => {
+                // Also serves as the first lease renewal.
+                if let Err(e) = post_event(config, grant, event) {
+                    failure = Some(e);
+                }
+            }
+            CampaignEvent::PointFinished(outcome) => {
+                if resume_keys.contains(&outcome.key) {
+                    run.replayed += 1;
+                    return;
+                }
+                match post_event(config, grant, event) {
+                    Ok(ack) => {
+                        run.executed.push(outcome.key);
+                        *streamed += 1;
+                        if !ack.held {
+                            held.store(false, Ordering::SeqCst);
+                        }
+                        if config.kill_after.is_some_and(|n| *streamed >= n) {
+                            silenced.store(true, Ordering::SeqCst);
+                        }
+                        let _ = ack.accepted;
+                    }
+                    Err(e) => failure = Some(e),
+                }
+            }
+            CampaignEvent::Finished => match post_event(config, grant, event) {
+                Ok(ack) => run.completed = ack.shard_done,
+                Err(e) => failure = Some(e),
+            },
+        }
+    });
+    stop.store(true, Ordering::SeqCst);
+    let _ = heartbeat.join();
+    report.map_err(ServiceError::Campaign)?;
+    if let Some(error) = failure {
+        return Err(error);
+    }
+    Ok(ShardResult {
+        run,
+        killed: silenced.load(Ordering::SeqCst),
+    })
+}

@@ -16,7 +16,10 @@
 //! * [`defense`] (`rram-defense`) — declarative guard specifications,
 //!   runtime countermeasures and benign-workload overhead accounting,
 //! * [`attack`] (`neurohammer`) — the attack engine, campaign runner,
-//!   experiments, scenarios and countermeasures.
+//!   experiments, scenarios and countermeasures,
+//! * [`server`] (`rram-server`) — the campaign service: the
+//!   `neurohammer-server` job-queue daemon and the `neurohammer-worker`
+//!   fleet loop leasing grid shards over HTTP.
 //!
 //! Attacks and experiments are generic over [`crossbar::HammerBackend`], and
 //! whole figure grids run declaratively through [`attack::campaign`]; see
@@ -57,5 +60,6 @@ pub use rram_crossbar as crossbar;
 pub use rram_defense as defense;
 pub use rram_fem as fem;
 pub use rram_jart as jart;
+pub use rram_server as server;
 pub use rram_units as units;
 pub use rram_variability as variability;

@@ -1,0 +1,154 @@
+//! Campaign-service lifecycle, end to end: a server and two in-process
+//! workers on a loopback port, one worker killed mid-grid, the reassigned
+//! shard resumed by the survivor — and the merged report byte-identical
+//! (JSON and CSV) to the same spec run unsharded.
+
+use std::collections::HashSet;
+use std::time::{Duration, Instant};
+
+use neurohammer_repro::attack::campaign::{CampaignSpec, PointKey};
+use neurohammer_repro::server::{http, run_worker, Server, WorkerConfig};
+
+fn grid() -> CampaignSpec {
+    CampaignSpec {
+        name: "service lifecycle".into(),
+        pulse_lengths_ns: vec![50.0, 100.0],
+        amplitudes_v: vec![1.05, 1.15],
+        max_pulses: 300_000,
+        threads: 2,
+        ..CampaignSpec::default()
+    }
+}
+
+#[test]
+fn killed_worker_lease_reassignment_is_byte_identical() {
+    let spec = grid();
+    let reference = spec.run().unwrap();
+
+    // Short leases so the killed worker's shard frees up within the test.
+    let server = Server::bind("127.0.0.1:0", Duration::from_millis(300)).unwrap();
+    let addr = server.local_addr().to_string();
+    let handle = server.spawn();
+
+    let body = format!("{{\"shards\": 2, \"spec\": {}}}", spec.to_json());
+    let (status, created) = http::call(&addr, "POST", "/jobs", Some(&body)).unwrap();
+    assert_eq!(status, 201, "{created}");
+    assert!(created.contains("\"state\":\"queued\""), "{created}");
+
+    // Worker 1 leases shard 0 and "dies" (SIGKILL-equivalent: silent, no
+    // heartbeats, no Finished) after streaming exactly one point.
+    let mut crash_config = WorkerConfig::new(addr.clone(), "crash");
+    crash_config.poll = Duration::from_millis(50);
+    crash_config.kill_after = Some(1);
+    let crash = run_worker(&crash_config).unwrap();
+    assert!(crash.killed);
+    assert_eq!(crash.shards.len(), 1);
+    assert!(!crash.shards[0].completed);
+    let crash_keys: HashSet<PointKey> = crash.shards[0].executed.iter().copied().collect();
+    assert_eq!(crash_keys.len(), 1);
+
+    // Worker 2 drains the queue: it takes shard 1, waits out the dead
+    // lease, then re-leases shard 0 with the crash worker's point in the
+    // grant's resume set — replayed, never recomputed or re-streamed.
+    let mut survivor_config = WorkerConfig::new(addr.clone(), "survivor");
+    survivor_config.poll = Duration::from_millis(50);
+    survivor_config.drain = true;
+    let survivor = run_worker(&survivor_config).unwrap();
+    assert!(!survivor.killed);
+    assert!(survivor.shards.iter().all(|run| run.completed));
+
+    // No point executed twice by the surviving worker: its executed keys
+    // are disjoint from the crash worker's, the union covers the grid,
+    // and the one already-streamed point arrived as a replay.
+    let survivor_keys: HashSet<PointKey> = survivor
+        .shards
+        .iter()
+        .flat_map(|run| run.executed.iter().copied())
+        .collect();
+    assert!(crash_keys.is_disjoint(&survivor_keys));
+    let all_keys: HashSet<PointKey> = spec
+        .keyed_points()
+        .into_iter()
+        .map(|(key, _)| key)
+        .collect();
+    let union: HashSet<PointKey> = crash_keys.union(&survivor_keys).copied().collect();
+    assert_eq!(union, all_keys);
+    let replayed: usize = survivor.shards.iter().map(|run| run.replayed).sum();
+    assert_eq!(replayed, crash_keys.len());
+
+    // The merged report is byte-identical to the unsharded run — the
+    // report route serves the figure binaries' exact `--json` bytes.
+    let (status, report_json) = http::call(&addr, "GET", "/jobs/1/report", None).unwrap();
+    assert_eq!(status, 200);
+    assert_eq!(report_json, format!("{}\n", reference.to_json()));
+    let (status, report_csv) = http::call(&addr, "GET", "/jobs/1/report.csv", None).unwrap();
+    assert_eq!(status, 200);
+    assert_eq!(report_csv, reference.to_csv_string());
+
+    let (status, job) = http::call(&addr, "GET", "/jobs/1", None).unwrap();
+    assert_eq!(status, 200);
+    assert!(job.contains("\"state\":\"complete\""), "{job}");
+
+    handle.shutdown();
+}
+
+#[test]
+fn job_crud_lifecycle_over_http() {
+    let server = Server::bind("127.0.0.1:0", Duration::from_secs(30)).unwrap();
+    let addr = server.local_addr().to_string();
+    let handle = server.spawn();
+
+    let (status, body) = http::call(&addr, "GET", "/healthz", None).unwrap();
+    assert_eq!(status, 200, "{body}");
+
+    // Validation happens at submission, before any worker sees the job.
+    let (status, body) = http::call(
+        &addr,
+        "POST",
+        "/jobs",
+        Some("{\"spec\": {\"amplitudes_v\": []}}"),
+    )
+    .unwrap();
+    assert_eq!(status, 400, "{body}");
+    let (status, body) = http::call(&addr, "POST", "/jobs", Some("not json")).unwrap();
+    assert_eq!(status, 400, "{body}");
+
+    let body = format!("{{\"shards\": 4, \"spec\": {}}}", grid().to_json());
+    let (status, created) = http::call(&addr, "POST", "/jobs", Some(&body)).unwrap();
+    assert_eq!(status, 201, "{created}");
+
+    let (status, list) = http::call(&addr, "GET", "/jobs", None).unwrap();
+    assert_eq!(status, 200);
+    assert!(list.contains("\"service lifecycle\""), "{list}");
+
+    // An idle lease against a fully-leased-or-absent queue reports the
+    // outstanding count a draining worker exits on.
+    let (status, partial) = http::call(&addr, "GET", "/jobs/1/report", None).unwrap();
+    assert_eq!(status, 200);
+    assert!(partial.contains("\"outcomes\": []"), "{partial}");
+
+    let (status, body) = http::call(&addr, "DELETE", "/jobs/1", None).unwrap();
+    assert_eq!(status, 200, "{body}");
+    let (status, body) = http::call(&addr, "GET", "/jobs/1", None).unwrap();
+    assert_eq!(status, 404, "{body}");
+    let (status, body) = http::call(&addr, "PUT", "/jobs", None).unwrap();
+    assert_eq!(status, 405, "{body}");
+
+    handle.shutdown();
+}
+
+/// The drain path must not hang when the queue was never populated.
+#[test]
+fn draining_worker_exits_on_empty_queue() {
+    let server = Server::bind("127.0.0.1:0", Duration::from_secs(30)).unwrap();
+    let addr = server.local_addr().to_string();
+    let handle = server.spawn();
+
+    let mut config = WorkerConfig::new(addr, "drainer");
+    config.drain = true;
+    let started = Instant::now();
+    let summary = run_worker(&config).unwrap();
+    assert!(summary.shards.is_empty());
+    assert!(started.elapsed() < Duration::from_secs(10));
+    handle.shutdown();
+}

@@ -3,15 +3,27 @@
 //!
 //! Times how many (pulse + idle-gap) hammer cycles per second each
 //! [`BackendKind`] sustains, prints a comparison and records it in
-//! `BENCH_backends.json` at the workspace root. Two acceptance gates are
-//! asserted at the end so a regression fails `cargo bench`:
+//! `BENCH_backends.json` at the workspace root. Every row records the
+//! *effective* worker-thread count and SIMD tier the engine reports —
+//! [`HammerBackend::worker_threads`] / [`HammerBackend::simd_isa`] — not
+//! whatever was requested. Three acceptance gates are asserted at the end
+//! so a regression fails `cargo bench`:
 //!
 //! - the struct-of-arrays batched engine must beat the scalar pulse engine
-//!   by ≥3× on 64×64 (the batched-backend refactor's gate), and
+//!   by ≥3× on 64×64 (the batched-backend refactor's gate),
 //! - on 256×256 the threaded batched engine must beat the single-threaded
 //!   one by ≥3× — *skipped with a printed notice on machines with fewer
-//!   than four cores*, where the speedup is physically unobtainable (the
-//!   JSON records whatever the machine honestly measured either way).
+//!   than four cores*, where the speedup is physically unobtainable, and
+//! - on AVX2 hardware (with the `simd` feature compiled in) the bit-exact
+//!   SIMD tier must beat the scalar chunk loop by ≥2× on 256×256 —
+//!   *skipped with a printed notice when no vector ISA is detected*, where
+//!   the kernel falls back to the identical scalar loop.
+//!
+//! The `batched_256` row is measured with the SIMD kill switch engaged
+//! (`simd::force_scalar`), so it is the chunked scalar baseline on every
+//! build; `batched_simd_256` and `batched_fast_256` time the bit-exact and
+//! fast-math SIMD tiers against it. The JSON records whatever the machine
+//! honestly measured either way.
 //!
 //! The MNA-backed detailed engine is timed on a 16×16 array instead (its
 //! per-sub-step circuit solve makes 64×64 transients take hours — that
@@ -26,12 +38,13 @@ use std::time::Instant;
 use criterion::{black_box, BatchSize, Criterion};
 use neurohammer::campaign::json::Json;
 use rram_crossbar::{BackendKind, CellAddress, CrosstalkHub, EngineConfig, HammerBackend};
+use rram_jart::simd::{self, SimdLevel};
 use rram_jart::{DeviceParams, DigitalState};
 use rram_units::{Seconds, Volts};
 
 const ROWS: usize = 64;
 const COLS: usize = 64;
-/// Production-sized array edge for the threaded/surrogate comparison.
+/// Production-sized array edge for the threaded/SIMD/surrogate comparison.
 const LARGE_EDGE: usize = 256;
 /// Megabit-scale array edge (the arrays the neurohammer setting targets).
 const HUGE_EDGE: usize = 1024;
@@ -41,21 +54,14 @@ const DETAILED_EDGE: usize = 16;
 const PULSE: Seconds = Seconds(50e-9);
 
 fn build(kind: BackendKind, rows: usize, cols: usize) -> Box<dyn HammerBackend> {
-    build_threaded(kind, rows, cols, 1)
-}
-
-fn build_threaded(
-    kind: BackendKind,
-    rows: usize,
-    cols: usize,
-    threads: usize,
-) -> Box<dyn HammerBackend> {
     let hub = CrosstalkHub::two_ring(rows, cols, 0.15, Seconds(30e-9));
-    let config = EngineConfig {
-        threads,
-        ..EngineConfig::default()
-    };
-    kind.build(rows, cols, DeviceParams::default(), hub, config)
+    kind.build(
+        rows,
+        cols,
+        DeviceParams::default(),
+        hub,
+        EngineConfig::default(),
+    )
 }
 
 /// Applies `pulses` hammer cycles to the array-centre aggressor.
@@ -69,23 +75,71 @@ fn hammer(engine: &mut dyn HammerBackend, pulses: usize) {
     black_box(engine.thermal_readout(aggressor));
 }
 
-/// Sustained hammer throughput of one backend, in pulses per second
-/// (engine construction — including the surrogate's table fit — is
-/// excluded). Also returns the construction time so the surrogate's
-/// one-off fit cost can be reported next to its throughput.
-fn pulses_per_second(
+/// One recorded throughput measurement: the sustained rate plus what the
+/// engine honestly reports about how it ran.
+struct Measurement {
+    /// Sustained hammer throughput, pulses per second (construction and
+    /// table fitting excluded).
+    pps: f64,
+    /// Engine construction time, s — the surrogate's one-off table fit.
+    build_seconds: f64,
+    /// Effective lane-integration worker threads, from the engine.
+    threads: usize,
+    /// SIMD tier the lane kernel dispatched to, from the engine.
+    simd_isa: &'static str,
+}
+
+/// Measures one backend configuration's sustained hammer throughput.
+fn measure(
+    kind: BackendKind,
+    rows: usize,
+    cols: usize,
+    threads: usize,
+    fast_math: bool,
+    pulses: usize,
+) -> Measurement {
+    let hub = CrosstalkHub::two_ring(rows, cols, 0.15, Seconds(30e-9));
+    let config = EngineConfig {
+        threads,
+        fast_math,
+        ..EngineConfig::default()
+    };
+    let build_start = Instant::now();
+    let mut engine = kind.build(rows, cols, DeviceParams::default(), hub, config);
+    let build_seconds = build_start.elapsed().as_secs_f64();
+    let threads = engine.worker_threads();
+    let simd_isa = engine.simd_isa();
+    // Warm up past the cold-array thermal transient, then keep the best of
+    // three samples — the standard noise-robust throughput estimate on a
+    // shared machine.
+    hammer(engine.as_mut(), pulses.div_ceil(2));
+    let mut best = f64::INFINITY;
+    for _ in 0..3 {
+        let start = Instant::now();
+        hammer(engine.as_mut(), pulses);
+        best = best.min(start.elapsed().as_secs_f64());
+    }
+    Measurement {
+        pps: pulses as f64 / best,
+        build_seconds,
+        threads,
+        simd_isa,
+    }
+}
+
+/// [`measure`] with the SIMD kill switch engaged: the chunked *scalar*
+/// baseline, identical on every build and CPU.
+fn measure_forced_scalar(
     kind: BackendKind,
     rows: usize,
     cols: usize,
     threads: usize,
     pulses: usize,
-) -> (f64, f64) {
-    let build_start = Instant::now();
-    let mut engine = build_threaded(kind, rows, cols, threads);
-    let build_seconds = build_start.elapsed().as_secs_f64();
-    let start = Instant::now();
-    hammer(engine.as_mut(), pulses);
-    (pulses as f64 / start.elapsed().as_secs_f64(), build_seconds)
+) -> Measurement {
+    simd::force_scalar(true);
+    let measurement = measure(kind, rows, cols, threads, false, pulses);
+    simd::force_scalar(false);
+    measurement
 }
 
 fn main() {
@@ -112,70 +166,120 @@ fn main() {
     // 8 — the lane blocks stop amortising dispatch beyond that).
     let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
     let threads = cores.min(8);
-    let (pulse_pps, _) = pulses_per_second(BackendKind::Pulse, ROWS, COLS, 1, 3);
-    let (batched_pps, _) = pulses_per_second(BackendKind::Batched, ROWS, COLS, 1, 60);
-    let (detailed_pps, _) =
-        pulses_per_second(BackendKind::detailed(), DETAILED_EDGE, DETAILED_EDGE, 1, 2);
-    let speedup = batched_pps / pulse_pps;
+    let detected = simd::detected();
+    let pulse = measure(BackendKind::Pulse, ROWS, COLS, 1, false, 3);
+    let batched = measure(BackendKind::Batched, ROWS, COLS, 1, false, 60);
+    let detailed = measure(
+        BackendKind::detailed(),
+        DETAILED_EDGE,
+        DETAILED_EDGE,
+        1,
+        false,
+        2,
+    );
+    let speedup = batched.pps / pulse.pps;
 
-    let (large_batched_pps, _) =
-        pulses_per_second(BackendKind::Batched, LARGE_EDGE, LARGE_EDGE, 1, 8);
-    let (large_threaded_pps, _) =
-        pulses_per_second(BackendKind::Batched, LARGE_EDGE, LARGE_EDGE, threads, 8);
-    let (large_surrogate_pps, surrogate_fit_seconds) =
-        pulses_per_second(BackendKind::Surrogate, LARGE_EDGE, LARGE_EDGE, 1, 8);
-    let threaded_speedup = large_threaded_pps / large_batched_pps;
+    // 256×256: the scalar chunk loop, the bit-exact SIMD tier, the opt-in
+    // fast-math tier, the threaded path and the surrogate.
+    let large_scalar = measure_forced_scalar(BackendKind::Batched, LARGE_EDGE, LARGE_EDGE, 1, 8);
+    let large_simd = measure(BackendKind::Batched, LARGE_EDGE, LARGE_EDGE, 1, false, 8);
+    let large_fast = measure(BackendKind::Batched, LARGE_EDGE, LARGE_EDGE, 1, true, 8);
+    let large_threaded = measure(
+        BackendKind::Batched,
+        LARGE_EDGE,
+        LARGE_EDGE,
+        threads,
+        false,
+        8,
+    );
+    let large_surrogate = measure(BackendKind::Surrogate, LARGE_EDGE, LARGE_EDGE, 1, false, 8);
+    let simd_speedup = large_simd.pps / large_scalar.pps;
+    let fast_speedup = large_fast.pps / large_simd.pps;
+    let threaded_speedup = large_threaded.pps / large_simd.pps;
 
-    let (huge_threaded_pps, _) =
-        pulses_per_second(BackendKind::Batched, HUGE_EDGE, HUGE_EDGE, threads, 2);
-    let (huge_surrogate_pps, _) =
-        pulses_per_second(BackendKind::Surrogate, HUGE_EDGE, HUGE_EDGE, 1, 2);
+    let huge_threaded = measure(
+        BackendKind::Batched,
+        HUGE_EDGE,
+        HUGE_EDGE,
+        threads,
+        false,
+        2,
+    );
+    let huge_surrogate = measure(BackendKind::Surrogate, HUGE_EDGE, HUGE_EDGE, 1, false, 2);
 
+    let describe = |m: &Measurement| format!("{} thread(s), {} lane kernel", m.threads, m.simd_isa);
     println!("\nbackend throughput (50 ns pulse + 50 ns gap):");
     println!(
-        "  {:>16}: {pulse_pps:10.2} pulses/s on {ROWS}x{COLS}",
-        "pulse"
+        "  {:>16}: {:10.2} pulses/s on {ROWS}x{COLS}",
+        "pulse", pulse.pps
     );
     println!(
-        "  {:>16}: {batched_pps:10.2} pulses/s on {ROWS}x{COLS}",
-        "batched"
+        "  {:>16}: {:10.2} pulses/s on {ROWS}x{COLS} ({})",
+        "batched",
+        batched.pps,
+        describe(&batched)
     );
     println!(
-        "  {:>16}: {detailed_pps:10.2} pulses/s on {DETAILED_EDGE}x{DETAILED_EDGE}",
-        "detailed"
+        "  {:>16}: {:10.2} pulses/s on {DETAILED_EDGE}x{DETAILED_EDGE}",
+        "detailed", detailed.pps
     );
     println!(
-        "  {:>16}: {large_batched_pps:10.2} pulses/s on {LARGE_EDGE}x{LARGE_EDGE}",
-        "batched"
+        "  {:>16}: {:10.2} pulses/s on {LARGE_EDGE}x{LARGE_EDGE} ({})",
+        "batched scalar",
+        large_scalar.pps,
+        describe(&large_scalar)
     );
     println!(
-        "  {:>16}: {large_threaded_pps:10.2} pulses/s on {LARGE_EDGE}x{LARGE_EDGE}",
-        format!("batched x{threads}")
+        "  {:>16}: {:10.2} pulses/s on {LARGE_EDGE}x{LARGE_EDGE} ({})",
+        "batched simd",
+        large_simd.pps,
+        describe(&large_simd)
     );
     println!(
-        "  {:>16}: {large_surrogate_pps:10.2} pulses/s on {LARGE_EDGE}x{LARGE_EDGE} \
-         (one-off table fit {surrogate_fit_seconds:.2}s)",
-        "surrogate"
+        "  {:>16}: {:10.2} pulses/s on {LARGE_EDGE}x{LARGE_EDGE} ({})",
+        "batched fast",
+        large_fast.pps,
+        describe(&large_fast)
     );
     println!(
-        "  {:>16}: {huge_threaded_pps:10.2} pulses/s on {HUGE_EDGE}x{HUGE_EDGE}",
-        format!("batched x{threads}")
+        "  {:>16}: {:10.2} pulses/s on {LARGE_EDGE}x{LARGE_EDGE} ({})",
+        format!("batched x{}", large_threaded.threads),
+        large_threaded.pps,
+        describe(&large_threaded)
     );
     println!(
-        "  {:>16}: {huge_surrogate_pps:10.2} pulses/s on {HUGE_EDGE}x{HUGE_EDGE}",
-        "surrogate"
+        "  {:>16}: {:10.2} pulses/s on {LARGE_EDGE}x{LARGE_EDGE} \
+         (one-off table fit {:.2}s)",
+        "surrogate", large_surrogate.pps, large_surrogate.build_seconds
+    );
+    println!(
+        "  {:>16}: {:10.2} pulses/s on {HUGE_EDGE}x{HUGE_EDGE} ({})",
+        format!("batched x{}", huge_threaded.threads),
+        huge_threaded.pps,
+        describe(&huge_threaded)
+    );
+    println!(
+        "  {:>16}: {:10.2} pulses/s on {HUGE_EDGE}x{HUGE_EDGE}",
+        "surrogate", huge_surrogate.pps
     );
     println!("  batched/pulse speedup on {ROWS}x{COLS}: {speedup:.1}x");
+    println!(
+        "  simd/scalar speedup on {LARGE_EDGE}x{LARGE_EDGE}: {simd_speedup:.2}x \
+         (detected {})",
+        detected.label()
+    );
+    println!("  fast-math/simd speedup on {LARGE_EDGE}x{LARGE_EDGE}: {fast_speedup:.2}x");
     println!(
         "  threaded/batched speedup on {LARGE_EDGE}x{LARGE_EDGE}: {threaded_speedup:.2}x \
          ({threads} threads on {cores} core(s))"
     );
 
-    let backend_entry = |array: String, threads: usize, pps: f64| {
+    let backend_entry = |array: String, m: &Measurement| {
         Json::Object(vec![
             ("array".into(), Json::String(array)),
-            ("threads".into(), Json::Number(threads as f64)),
-            ("pulses_per_second".into(), Json::Number(pps)),
+            ("threads".into(), Json::Number(m.threads as f64)),
+            ("simd_isa".into(), Json::String(m.simd_isa.into())),
+            ("pulses_per_second".into(), Json::Number(m.pps)),
         ])
     };
     let large = format!("{LARGE_EDGE}x{LARGE_EDGE}");
@@ -185,50 +289,69 @@ fn main() {
         ("gap_ns".into(), Json::Number(PULSE.0 * 1e9)),
         ("machine_cores".into(), Json::Number(cores as f64)),
         (
+            "simd_detected".into(),
+            Json::String(detected.label().into()),
+        ),
+        (
             "backends".into(),
             Json::Object(vec![
                 (
                     "pulse".into(),
-                    backend_entry(format!("{ROWS}x{COLS}"), 1, pulse_pps),
+                    backend_entry(format!("{ROWS}x{COLS}"), &pulse),
                 ),
                 (
                     "batched".into(),
-                    backend_entry(format!("{ROWS}x{COLS}"), 1, batched_pps),
+                    backend_entry(format!("{ROWS}x{COLS}"), &batched),
                 ),
                 (
                     "detailed".into(),
-                    backend_entry(format!("{DETAILED_EDGE}x{DETAILED_EDGE}"), 1, detailed_pps),
+                    backend_entry(format!("{DETAILED_EDGE}x{DETAILED_EDGE}"), &detailed),
                 ),
                 (
                     "batched_256".into(),
-                    backend_entry(large.clone(), 1, large_batched_pps),
+                    backend_entry(large.clone(), &large_scalar),
+                ),
+                (
+                    "batched_simd_256".into(),
+                    backend_entry(large.clone(), &large_simd),
+                ),
+                (
+                    "batched_fast_256".into(),
+                    backend_entry(large.clone(), &large_fast),
                 ),
                 (
                     "batched_threaded_256".into(),
-                    backend_entry(large.clone(), threads, large_threaded_pps),
+                    backend_entry(large.clone(), &large_threaded),
                 ),
                 ("surrogate_256".into(), {
-                    let Json::Object(mut fields) = backend_entry(large, 1, large_surrogate_pps)
-                    else {
+                    let Json::Object(mut fields) = backend_entry(large, &large_surrogate) else {
                         unreachable!()
                     };
                     fields.push((
                         "table_fit_seconds".into(),
-                        Json::Number(surrogate_fit_seconds),
+                        Json::Number(large_surrogate.build_seconds),
                     ));
                     Json::Object(fields)
                 }),
                 (
                     "batched_threaded_1024".into(),
-                    backend_entry(huge.clone(), threads, huge_threaded_pps),
+                    backend_entry(huge.clone(), &huge_threaded),
                 ),
                 (
                     "surrogate_1024".into(),
-                    backend_entry(huge, 1, huge_surrogate_pps),
+                    backend_entry(huge, &huge_surrogate),
                 ),
             ]),
         ),
         ("batched_over_pulse_speedup".into(), Json::Number(speedup)),
+        (
+            "simd_over_scalar_speedup_256".into(),
+            Json::Number(simd_speedup),
+        ),
+        (
+            "fast_math_over_simd_speedup_256".into(),
+            Json::Number(fast_speedup),
+        ),
         (
             "threaded_over_batched_speedup_256".into(),
             Json::Number(threaded_speedup),
@@ -254,6 +377,20 @@ fn main() {
         println!(
             "  threaded >=3x assertion skipped: {cores} core(s) available, \
              need at least 4 for the speedup to be obtainable"
+        );
+    }
+    if detected == SimdLevel::Avx2 {
+        assert!(
+            simd_speedup >= 2.0,
+            "the bit-exact SIMD tier must sustain >=2x the scalar chunk loop \
+             on a {LARGE_EDGE}x{LARGE_EDGE} array on AVX2 hardware, \
+             measured {simd_speedup:.2}x"
+        );
+    } else {
+        println!(
+            "  simd >=2x assertion skipped: lane kernel detected {:?} \
+             (scalar fallback is bit-identical, so there is nothing to gate)",
+            detected.label()
         );
     }
 }

@@ -203,6 +203,14 @@ pub struct CampaignSpec {
     /// bit-identical for any value, so this is deliberately excluded from
     /// point fingerprints; it only pays off on large arrays (≳256×256).
     pub backend_threads: usize,
+    /// Opt-in fast-math tier of the batched backend
+    /// ([`EngineConfig::fast_math`]): deterministic polynomial
+    /// transcendentals instead of libm, tolerance-bounded (not
+    /// bit-identical) against the exact tier. Unlike `backend_threads` this
+    /// *changes results*, so it is part of the execution fingerprint —
+    /// fast-math checkpoints and shards can never merge into (or resume
+    /// from) exact-tier campaigns. Only valid with the batched backend.
+    pub backend_fast_math: bool,
 }
 
 impl Default for CampaignSpec {
@@ -232,6 +240,7 @@ impl Default for CampaignSpec {
                 .map(|n| n.get())
                 .unwrap_or(4),
             backend_threads: 1,
+            backend_fast_math: false,
         }
     }
 }
@@ -746,6 +755,21 @@ impl CampaignSpec {
                     .into(),
             ));
         }
+        // The fast-math tier lives in the batched kernel; silently running
+        // other backends at exact math under a fast-math fingerprint would
+        // make their (exact) results unmergeable with themselves.
+        if self.backend_fast_math
+            && self
+                .backends
+                .iter()
+                .any(|b| !matches!(b, BackendKind::Batched))
+        {
+            return Err(CampaignError::InvalidValue(
+                "backend_fast_math is a batched-backend tier: restrict \
+                 backends to \"batched\" or drop the flag"
+                    .into(),
+            ));
+        }
         Ok(())
     }
 
@@ -820,6 +844,7 @@ impl CampaignSpec {
             self.seed,
             u64::from(self.trials),
             self.benign_writes,
+            u64::from(self.backend_fast_math),
             self.spreads.len() as u64,
         ];
         for spread in &self.spreads {
@@ -1025,6 +1050,7 @@ impl CampaignSpec {
             max_substep: Seconds(10e-9),
             ambient: point.ambient,
             threads: self.backend_threads,
+            fast_math: self.backend_fast_math,
         };
         Ok(point.backend.build_heterogeneous(
             point.rows,
@@ -1159,6 +1185,10 @@ impl CampaignSpec {
             (
                 "backend_threads".into(),
                 Json::Number(self.backend_threads as f64),
+            ),
+            (
+                "backend_fast_math".into(),
+                Json::Bool(self.backend_fast_math),
             ),
         ])
     }
@@ -1341,6 +1371,10 @@ impl CampaignSpec {
                 "backend_threads" => {
                     spec.backend_threads =
                         value.as_u64().ok_or_else(|| bad(key, "an integer"))?.max(1) as usize;
+                }
+                "backend_fast_math" => {
+                    spec.backend_fast_math =
+                        value.as_bool().ok_or_else(|| bad(key, "a boolean"))?;
                 }
                 other => {
                     return Err(CampaignError::Json(format!(
@@ -2044,6 +2078,66 @@ mod tests {
         ids.sort_unstable();
         ids.dedup();
         assert_eq!(ids.len(), 4, "backend tags must separate point ids");
+    }
+
+    #[test]
+    fn fast_math_round_trips_runs_and_fingerprints_distinctly() {
+        let exact = CampaignSpec {
+            name: "fast math".into(),
+            backends: vec![BackendKind::Batched],
+            max_pulses: 300_000,
+            ..CampaignSpec::default()
+        };
+        let fast = CampaignSpec {
+            backend_fast_math: true,
+            ..exact.clone()
+        };
+        // JSON round trip preserves the flag (and writes it explicitly).
+        let restored = CampaignSpec::from_json(&fast.to_json()).unwrap();
+        assert_eq!(restored, fast);
+        assert!(fast.to_json().contains("\"backend_fast_math\""));
+
+        // The tier separates every point key, so a fast-math shard can
+        // never merge into an exact report (merge sees the same grid index
+        // under a different id).
+        for ((exact_key, _), (fast_key, _)) in exact.keyed_points().iter().zip(fast.keyed_points())
+        {
+            assert_ne!(exact_key.id, fast_key.id);
+        }
+        let exact_report = exact.run().unwrap();
+        let fast_report = fast.run().unwrap();
+        assert!(matches!(
+            CampaignReport::merge([exact_report.clone(), fast_report.clone()]),
+            Err(CampaignError::MergeMismatch { .. })
+        ));
+
+        // Same flip decision on the default point; the tier only perturbs
+        // the trajectory inside its tolerance contract.
+        assert_eq!(exact_report.outcomes.len(), 1);
+        assert_eq!(
+            exact_report.outcomes[0].flipped,
+            fast_report.outcomes[0].flipped
+        );
+    }
+
+    #[test]
+    fn validation_rejects_fast_math_on_non_batched_backends() {
+        let mut spec = tiny_spec();
+        spec.backend_fast_math = true;
+        spec.backends = vec![BackendKind::Batched];
+        spec.validate().unwrap();
+        for backends in [
+            vec![BackendKind::Pulse],
+            vec![BackendKind::Batched, BackendKind::Surrogate],
+            vec![BackendKind::detailed()],
+        ] {
+            spec.backends = backends;
+            assert!(
+                matches!(spec.validate(), Err(CampaignError::InvalidValue(_))),
+                "{:?} must reject backend_fast_math",
+                spec.backends
+            );
+        }
     }
 
     #[test]

@@ -201,6 +201,7 @@ impl ExperimentSetup {
             max_substep: Seconds(10e-9),
             ambient,
             threads: 1,
+            fast_math: false,
         }
     }
 

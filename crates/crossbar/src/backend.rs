@@ -143,6 +143,20 @@ pub trait HammerBackend {
         )
     }
 
+    /// Worker threads this engine actually integrates lanes with — the
+    /// clamped, effective count, not whatever a configuration asked for.
+    /// Engines without a threaded path report 1.
+    fn worker_threads(&self) -> usize {
+        1
+    }
+
+    /// The SIMD tier this engine's lane kernel dispatches to right now
+    /// (`"scalar"` / `"avx2"` / `"neon"`, see `rram_jart::simd`). Engines
+    /// that never enter the lane kernel report `"scalar"`.
+    fn simd_isa(&self) -> &'static str {
+        "scalar"
+    }
+
     /// Digital read-out of the whole array in row-major order.
     fn read_all(&self) -> Vec<DigitalState> {
         let mut states = Vec::with_capacity(self.rows() * self.cols());

@@ -37,15 +37,28 @@ pub struct CrosstalkHub {
     /// Current ΔT state per cell, K.
     state: Vec<f64>,
     /// Nonzero coupling offsets `(Δrow, Δcol, α)` excluding the self offset,
-    /// precomputed from the α matrix for the scatter-based batched update.
+    /// precomputed from the α matrix for the batched update. Sorted
+    /// *descending* by offset: the offset-major axpy then accumulates each
+    /// destination's contributions in ascending-source order, i.e. in the
+    /// exact order a source-major scatter (or the gather loop, per
+    /// destination) adds them.
     support: Vec<(isize, isize, f64)>,
     /// Scratch buffer holding the previous state during an update, reused
     /// across sub-steps so updates never allocate.
     scratch: Vec<f64>,
+    /// Reused buffer of clamped per-source self-heating rises for the
+    /// batched update (exactly `0.0` where a source contributes nothing).
+    rise: Vec<f64>,
+    /// Reused per-row `[lo, hi)` nonzero column span of `rise`. Crosstalk
+    /// is local, so most rows are hot only near the biased lines; clipping
+    /// the accumulation to the span skips adds of `α · 0.0` terms, which
+    /// are bit-neutral (the accumulator is never `-0.0` — see
+    /// [`CrosstalkHub::update_batched`]).
+    span: Vec<(u32, u32)>,
 }
 
 /// Two hubs are equal when their coupling physics and state agree; the
-/// derived `support` table and the `scratch` buffer are excluded.
+/// derived `support` table and the `scratch`/`rise` buffers are excluded.
 impl PartialEq for CrosstalkHub {
     fn eq(&self, other: &Self) -> bool {
         self.rows == other.rows
@@ -70,7 +83,7 @@ impl CrosstalkHub {
             "tau must be non-negative"
         );
         let (selected_row, selected_col) = alpha.selected();
-        let support = alpha
+        let mut support: Vec<(isize, isize, f64)> = alpha
             .iter()
             .filter(|&(r, c, a)| (r, c) != (selected_row, selected_col) && a != 0.0)
             .map(|(r, c, a)| {
@@ -81,6 +94,8 @@ impl CrosstalkHub {
                 )
             })
             .collect();
+        // Descending offset order — see the field's invariant note.
+        support.sort_by_key(|&(d_row, d_col, _)| std::cmp::Reverse((d_row, d_col)));
         CrosstalkHub {
             rows,
             cols,
@@ -90,6 +105,8 @@ impl CrosstalkHub {
             state: vec![0.0; rows * cols],
             support,
             scratch: vec![0.0; rows * cols],
+            rise: vec![0.0; rows * cols],
+            span: vec![(0, 0); rows],
         }
     }
 
@@ -270,17 +287,23 @@ impl CrosstalkHub {
     }
 
     /// Advances the hub by `dt` like [`CrosstalkHub::update`], but computes
-    /// the targets by *scattering* each source cell's self-heating rise over
-    /// the α matrix's nonzero support instead of gathering over every source
-    /// per destination.
+    /// the targets by accumulating each coupling *offset*'s contribution as
+    /// one strided axpy (`state[dst..] += α · rise[src..]`, row by row)
+    /// instead of gathering over every source per destination.
     ///
     /// For the compact synthetic/extracted α profiles a hammer campaign uses
     /// (a handful of coupled rings), this turns the per-sub-step cost from
     /// `O((rows·cols)²)` into `O(rows·cols · support)` — the hot-path win of
-    /// the batched engine on large arrays. When the support is as dense as
-    /// the array itself the method falls back to the gather loop. The two
-    /// paths compute the same sums (only the floating-point accumulation
-    /// order differs).
+    /// the batched engine on large arrays — and the offset-major loop walks
+    /// both buffers contiguously with the boundary clipping hoisted out of
+    /// the inner loop. When the support is as dense as the array itself the
+    /// method falls back to the gather loop.
+    ///
+    /// The descending offset order of `support` makes every destination
+    /// accumulate its contributions in ascending-source order, so the sums
+    /// are **bit-identical** to a per-source scatter (a test pins this);
+    /// only the gather loop's per-destination accumulation is merely
+    /// float-equal.
     ///
     /// # Panics
     ///
@@ -302,29 +325,115 @@ impl CrosstalkHub {
             return;
         }
         let blend = self.blend(dt);
+        let level = rram_jart::simd::active();
         std::mem::swap(&mut self.state, &mut self.scratch);
-        // `state` now doubles as the target accumulator.
-        self.state.iter_mut().for_each(|v| *v = 0.0);
-        for src_row in 0..self.rows {
-            for src_col in 0..self.cols {
-                let src_idx = src_row * self.cols + src_col;
-                let rise = temperatures[src_idx] - ambient.0 - self.scratch[src_idx];
-                if rise <= 0.0 {
+        // Clamped self-heating rises, computed once per source. Storing an
+        // exact `0.0` where a source contributes nothing keeps the axpy
+        // bit-neutral there: the accumulator is never `-0.0` (it starts at
+        // `+0.0` and partial sums of finite terms that cancel round to
+        // `+0.0`), so adding `α·0.0` preserves every bit.
+        rram_jart::simd::positive_rise(
+            level,
+            ambient.0,
+            temperatures,
+            &self.scratch,
+            &mut self.rise,
+        );
+        // Per-row nonzero span of the rises. Crosstalk is local, so away
+        // from the biased lines whole rows are exactly `0.0`; clipping the
+        // accumulation below to the span only skips `α · 0.0` terms, which
+        // are bit-neutral on an accumulator that is never `-0.0` (it
+        // starts at `+0.0`, exact cancellations round to `+0.0`, and
+        // `x + ±0.0 == x` for every such `x`).
+        for (row, span) in self.span.iter_mut().enumerate() {
+            let rise_row = &self.rise[row * self.cols..(row + 1) * self.cols];
+            let lo = rise_row.iter().position(|&r| r != 0.0);
+            *span = match lo {
+                None => (0, 0),
+                Some(lo) => {
+                    let hi = rise_row.iter().rposition(|&r| r != 0.0).unwrap_or(lo) + 1;
+                    (lo as u32, hi as u32)
+                }
+            };
+        }
+        // `state` doubles as the target accumulator, processed one
+        // destination row at a time: each row is zeroed, accumulated over
+        // every offset, then blended in place while still cache-hot. This
+        // keeps the per-update memory traffic at a handful of array passes
+        // instead of one full `state` pass per support offset (the offsets
+        // of one destination row read the same few source rows over and
+        // over, so they stay resident). Per destination the contributions
+        // still arrive in descending-offset order — identical to the
+        // offset-major sweep — so the sums carry the same bits.
+        let (rows, cols) = (self.rows as isize, self.cols as isize);
+        for dst_row in 0..rows {
+            let dst_base = (dst_row * cols) as usize;
+            let state_row = &mut self.state[dst_base..dst_base + self.cols];
+            state_row.iter_mut().for_each(|v| *v = 0.0);
+            // The support is sorted descending by `(d_row, d_col)`, so the
+            // offsets sharing one source row form a contiguous run; each
+            // run becomes one fused stencil pass over that source row (the
+            // per-destination term order — `d_row` descending, then
+            // `d_col` descending — is exactly the stored order, so the
+            // fusion carries the same bits as per-offset axpy sweeps).
+            let mut k = 0;
+            while k < self.support.len() {
+                let d_row = self.support[k].0;
+                let mut end = k + 1;
+                while end < self.support.len() && self.support[end].0 == d_row {
+                    end += 1;
+                }
+                let run = &self.support[k..end];
+                k = end;
+                let src_row = dst_row - d_row;
+                if src_row < 0 || src_row >= rows {
                     continue;
                 }
-                for &(d_row, d_col, alpha) in &self.support {
-                    let row = src_row as isize + d_row;
-                    let col = src_col as isize + d_col;
-                    if row < 0 || col < 0 || row >= self.rows as isize || col >= self.cols as isize
-                    {
-                        continue;
+                let (nz_lo, nz_hi) = self.span[src_row as usize];
+                if nz_lo == nz_hi {
+                    // The whole source row is cold; every term is `0.0`.
+                    continue;
+                }
+                // Destination columns that can receive a nonzero term:
+                // `dst = src + d_col` over the span and the run's offsets.
+                let min_c = run.iter().map(|&(_, c, _)| c).min().unwrap_or(0);
+                let max_c = run.iter().map(|&(_, c, _)| c).max().unwrap_or(0);
+                let dst_lo = (nz_lo as isize + min_c).clamp(0, cols) as usize;
+                let dst_hi = (nz_hi as isize + max_c).clamp(dst_lo as isize, cols) as usize;
+                let src_base = (src_row * cols) as usize;
+                let rise = &self.rise[src_base..src_base + self.cols];
+                let mut shifts = [(0isize, 0.0f64); 8];
+                if run.len() <= shifts.len() {
+                    for (slot, &(_, d_col, alpha)) in shifts.iter_mut().zip(run) {
+                        *slot = (d_col, alpha);
                     }
-                    self.state[row as usize * self.cols + col as usize] += alpha * rise;
+                    rram_jart::simd::stencil_accumulate_range(
+                        level,
+                        &shifts[..run.len()],
+                        rise,
+                        state_row,
+                        dst_lo,
+                        dst_hi,
+                    );
+                } else {
+                    // A denser kernel than the stack buffer holds: fall
+                    // back to one clipped axpy pass per offset.
+                    for &(_, d_col, alpha) in run {
+                        let col_lo = (-d_col).max(nz_lo as isize);
+                        let col_hi = (cols - d_col).min(nz_hi as isize);
+                        if col_lo >= col_hi {
+                            continue;
+                        }
+                        let width = (col_hi - col_lo) as usize;
+                        let src = &rise[col_lo as usize..col_lo as usize + width];
+                        let dst_off = (col_lo + d_col) as usize;
+                        let row = &mut state_row[dst_off..dst_off + width];
+                        rram_jart::simd::axpy(level, alpha, src, row);
+                    }
                 }
             }
-        }
-        for idx in 0..self.rows * self.cols {
-            self.state[idx] = self.scratch[idx] + (self.state[idx] - self.scratch[idx]) * blend;
+            let scratch_row = &self.scratch[dst_base..dst_base + self.cols];
+            rram_jart::simd::blend_into(level, blend, scratch_row, state_row);
         }
     }
 }
@@ -433,6 +542,54 @@ mod tests {
         }
         for (a, b) in gather.deltas().iter().zip(scatter.deltas()) {
             assert!((a - b).abs() < 1e-9 * a.abs().max(1.0), "{a} vs {b}");
+        }
+    }
+
+    #[test]
+    fn axpy_update_is_bit_identical_to_a_source_major_scatter() {
+        // The offset-major axpy must reproduce the straightforward
+        // source-major scatter (each source pushed over the support, sources
+        // ascending) bit for bit — this is what keeps batched campaign
+        // results stable across the loop restructure. Exercised on an array
+        // larger than the support and on one narrower than the coupling
+        // reach (every offset clipped).
+        for (rows, cols) in [(6, 7), (2, 2)] {
+            let mut hub = CrosstalkHub::uniform(rows, cols, 0.1, 0.05, 0.02, Seconds(40e-9));
+            let mut expected_state: Vec<f64> = hub.state.clone();
+            let temps: Vec<f64> = (0..rows * cols)
+                .map(|i| 280.0 + (i as f64 * 37.0) % 650.0)
+                .collect();
+            for _ in 0..5 {
+                // Reference: the source-major scatter over the same support.
+                let previous = expected_state.clone();
+                let mut target = vec![0.0; rows * cols];
+                for src_row in 0..rows {
+                    for src_col in 0..cols {
+                        let src_idx = src_row * cols + src_col;
+                        let rise = temps[src_idx] - 300.0 - previous[src_idx];
+                        if rise <= 0.0 {
+                            continue;
+                        }
+                        for &(d_row, d_col, alpha) in &hub.support {
+                            let row = src_row as isize + d_row;
+                            let col = src_col as isize + d_col;
+                            if row < 0 || col < 0 || row >= rows as isize || col >= cols as isize {
+                                continue;
+                            }
+                            target[row as usize * cols + col as usize] += alpha * rise;
+                        }
+                    }
+                }
+                let blend = hub.blend(Seconds(20e-9));
+                for idx in 0..rows * cols {
+                    expected_state[idx] = previous[idx] + (target[idx] - previous[idx]) * blend;
+                }
+
+                hub.update_batched(&temps, Kelvin(300.0), Seconds(20e-9));
+                for (idx, (a, b)) in hub.deltas().iter().zip(&expected_state).enumerate() {
+                    assert_eq!(a.to_bits(), b.to_bits(), "cell {idx}: {a} vs {b}");
+                }
+            }
         }
     }
 

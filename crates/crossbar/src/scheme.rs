@@ -124,17 +124,13 @@ impl WriteScheme {
             "selected cell outside the array"
         );
         let v = v_write.0;
-        let (unselected_wl, unselected_bl) = match self {
-            WriteScheme::HalfVoltage => (v / 2.0, v / 2.0),
-            WriteScheme::ThirdVoltage => (v / 3.0, 2.0 * v / 3.0),
-            WriteScheme::GroundedUnselected => (0.0, 0.0),
-        };
+        let (unselected_wl, unselected_bl) = self.unselected_levels(v_write);
         let word_lines = (0..rows)
             .map(|r| {
                 if r == selected.row {
                     Volts(v)
                 } else {
-                    Volts(unselected_wl)
+                    unselected_wl
                 }
             })
             .collect();
@@ -143,13 +139,27 @@ impl WriteScheme {
                 if c == selected.col {
                     Volts(0.0)
                 } else {
-                    Volts(unselected_bl)
+                    unselected_bl
                 }
             })
             .collect();
         LineBias {
             word_lines,
             bit_lines,
+        }
+    }
+
+    /// The bias levels of unselected (word, bit) lines for a write at
+    /// `v_write` — the two degrees of freedom that distinguish the schemes.
+    /// [`WriteScheme::line_bias`] expands these into full per-line vectors;
+    /// the batched engine uses them directly to build the two distinct
+    /// voltage row patterns a write access produces.
+    pub fn unselected_levels(&self, v_write: Volts) -> (Volts, Volts) {
+        let v = v_write.0;
+        match self {
+            WriteScheme::HalfVoltage => (Volts(v / 2.0), Volts(v / 2.0)),
+            WriteScheme::ThirdVoltage => (Volts(v / 3.0), Volts(2.0 * v / 3.0)),
+            WriteScheme::GroundedUnselected => (Volts(0.0), Volts(0.0)),
         }
     }
 
@@ -239,6 +249,19 @@ mod tests {
                 .abs()
                 < 1e-12
         );
+    }
+
+    #[test]
+    fn unselected_levels_are_the_line_bias_levels_bitwise() {
+        // The batched engine builds its voltage patterns from the raw
+        // levels; they must be the very same floats line_bias installs.
+        for scheme in WriteScheme::ALL {
+            let v = Volts(1.05);
+            let (wl, bl) = scheme.unselected_levels(v);
+            let bias = scheme.line_bias(3, 3, CellAddress::new(0, 0), v);
+            assert_eq!(bias.word_lines[1].0.to_bits(), wl.0.to_bits());
+            assert_eq!(bias.bit_lines[1].0.to_bits(), bl.0.to_bits());
+        }
     }
 
     #[test]

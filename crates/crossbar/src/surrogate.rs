@@ -18,7 +18,10 @@
 //! * a 2-D grid over (cell voltage × concentration) stores the
 //!   active-region power, from which the exported filament temperature is
 //!   reconstructed through the exact [`filament_temperature`] law — the
-//!   thermal-crosstalk feedback loop stays closed.
+//!   thermal-crosstalk feedback loop stays closed;
+//! * a second 2-D grid over the same axes stores the cell current, so the
+//!   conduction-charge lane accrues `|I|·dt` off-table like the batched
+//!   engine instead of reading zero.
 //!
 //! Zero-voltage lanes take the *exact* relax update (bit-identical to the
 //! batched engine's gap phase), and queries outside the fitted domain fall
@@ -89,6 +92,8 @@ pub struct SurrogateModel {
     log_kinetic: Vec<f64>,
     /// Active-region power, indexed `[v][n]` (row-major).
     power: Vec<f64>,
+    /// Signed cell current, indexed `[v][n]` (row-major).
+    current: Vec<f64>,
 }
 
 impl SurrogateModel {
@@ -135,6 +140,7 @@ impl SurrogateModel {
 
         let mut log_kinetic = vec![MIN_LOG; v_nodes * dt_nodes * n_nodes];
         let mut power = vec![0.0; v_nodes * n_nodes];
+        let mut current = vec![0.0; v_nodes * n_nodes];
         // Degenerate nodes are nudged off the exact zero so the stored
         // factor stays finite; the nudge is far below the grid resolution.
         let v_eps = 1e-3 * (v_axis.hi - v_axis.lo) / (v_nodes - 1) as f64;
@@ -150,6 +156,7 @@ impl SurrogateModel {
                 let n = n_node.clamp(params.n_min * (1.0 + 1e-6), params.n_max * (1.0 - 1e-6));
                 let op = solve_operating_point(params, v, n);
                 power[iv * n_nodes + i_n] = op.power_active;
+                current[iv * n_nodes + i_n] = op.current;
                 let direction = Direction::from_voltage(op.v_active);
                 let prefactor = rate_prefactor(params, n, direction);
                 for idt in 0..dt_nodes {
@@ -173,6 +180,7 @@ impl SurrogateModel {
             n_axis,
             log_kinetic,
             power,
+            current,
         }
     }
 
@@ -209,16 +217,28 @@ impl SurrogateModel {
         corners[0] + (corners[1] - corners[0]) * fv
     }
 
-    /// Bilinear interpolation of the active-region power.
+    /// Bilinear interpolation of a `[v][n]`-indexed table.
     #[inline]
-    fn power_at(&self, v_cell: f64, n: f64) -> f64 {
+    fn bilinear_at(&self, table: &[f64], v_cell: f64, n: f64) -> f64 {
         let (iv, fv) = self.v_axis.locate(v_cell);
         let (i_n, fn_) = self.n_axis.locate(n.ln());
         let nn = self.n_axis.nodes;
-        let at = |a: usize, c: usize| self.power[a * nn + c];
+        let at = |a: usize, c: usize| table[a * nn + c];
         let lo = at(iv, i_n) + (at(iv, i_n + 1) - at(iv, i_n)) * fn_;
         let hi = at(iv + 1, i_n) + (at(iv + 1, i_n + 1) - at(iv + 1, i_n)) * fn_;
         lo + (hi - lo) * fv
+    }
+
+    /// Bilinear interpolation of the active-region power.
+    #[inline]
+    fn power_at(&self, v_cell: f64, n: f64) -> f64 {
+        self.bilinear_at(&self.power, v_cell, n)
+    }
+
+    /// Bilinear interpolation of the signed cell current.
+    #[inline]
+    fn current_at(&self, v_cell: f64, n: f64) -> f64 {
+        self.bilinear_at(&self.current, v_cell, n)
     }
 
     /// Reduced-order drift rate (10²⁶ m⁻³/s) and filament temperature (K)
@@ -228,8 +248,22 @@ impl SurrogateModel {
     /// Zero voltage returns the exact relax pair; queries outside the
     /// fitted domain fall back to the exact physics (slow but never wrong).
     pub fn rate_and_temperature(&self, v_cell: f64, delta_t: f64, n: f64) -> (f64, f64) {
+        let (rate, temperature, _) = self.rate_temperature_and_current(v_cell, delta_t, n);
+        (rate, temperature)
+    }
+
+    /// [`SurrogateModel::rate_and_temperature`] plus the (signed) cell
+    /// current — the triple the integration kernel's model closure serves,
+    /// so the conduction-charge lane accrues `|I|·dt` like the batched
+    /// engine does.
+    pub fn rate_temperature_and_current(
+        &self,
+        v_cell: f64,
+        delta_t: f64,
+        n: f64,
+    ) -> (f64, f64, f64) {
         if v_cell == 0.0 {
-            return (0.0, filament_temperature(&self.params, 0.0, delta_t));
+            return (0.0, filament_temperature(&self.params, 0.0, delta_t), 0.0);
         }
         if !self.in_domain(v_cell, delta_t) {
             return self.exact(v_cell, delta_t, n);
@@ -243,16 +277,16 @@ impl SurrogateModel {
             Direction::Reset => -magnitude,
             _ => magnitude,
         };
-        (rate, temperature)
+        (rate, temperature, self.current_at(v_cell, n))
     }
 
-    /// The exact (operating-point-solved) rate/temperature pair — the
-    /// out-of-domain fallback and the fitting reference.
-    fn exact(&self, v_cell: f64, delta_t: f64, n: f64) -> (f64, f64) {
+    /// The exact (operating-point-solved) rate/temperature/current triple —
+    /// the out-of-domain fallback and the fitting reference.
+    fn exact(&self, v_cell: f64, delta_t: f64, n: f64) -> (f64, f64, f64) {
         let op = solve_operating_point(&self.params, v_cell, n);
         let temperature = filament_temperature(&self.params, op.power_active, delta_t);
         let rate = concentration_rate(&self.params, op.v_active, temperature, n);
-        (rate, temperature)
+        (rate, temperature, op.current)
     }
 }
 
@@ -372,7 +406,7 @@ impl SurrogateEngine {
             self.array.import_crosstalk(self.hub.deltas());
             self.array
                 .step_lanes_surrogate(&self.voltages, Seconds(dt), |_, v, delta, n| {
-                    model.rate_and_temperature(v, delta, n)
+                    model.rate_temperature_and_current(v, delta, n)
                 });
             self.hub
                 .update_batched(self.array.temperatures(), self.config.ambient, Seconds(dt));
@@ -588,6 +622,50 @@ mod tests {
             batched.thermal_readout(victim).crosstalk.0,
         );
         assert!((sx / bx - 1.0).abs() < 0.1, "victim ΔT {sx} vs {bx}");
+    }
+
+    #[test]
+    fn conduction_charge_accrues_off_table_close_to_batched() {
+        // The current table feeds the charge lane: aggressor and victim
+        // charges track the batched engine's within a tight band, and
+        // never-biased cells accrue none in either engine.
+        let config = EngineConfig::default();
+        let mut surrogate = SurrogateEngine::with_uniform_coupling(
+            5,
+            5,
+            DeviceParams::default(),
+            0.12,
+            config.clone(),
+        );
+        let mut batched =
+            BatchedEngine::with_uniform_coupling(5, 5, DeviceParams::default(), 0.12, config);
+        let aggressor = CellAddress::new(2, 2);
+        let victim = CellAddress::new(2, 1);
+        for engine in [&mut surrogate as &mut dyn HammerBackend, &mut batched] {
+            engine.force_state(aggressor, DigitalState::Lrs);
+            for _ in 0..10 {
+                engine.apply_pulse(aggressor, Volts(1.05), 50.0.ns());
+                engine.idle(50.0.ns());
+            }
+        }
+        for address in [aggressor, victim] {
+            let lane = address.row * 5 + address.col;
+            let s = surrogate.array().bank().charges()[lane];
+            let b = batched.array().bank().charges()[lane];
+            assert!(b > 0.0, "batched charge must accrue at {address:?}");
+            let ratio = s / b;
+            assert!(
+                (0.85..1.18).contains(&ratio),
+                "charge ratio {ratio} at {address:?}: surrogate {s} vs batched {b}"
+            );
+        }
+        // A fully unselected cell sees exactly 0 V under the half scheme.
+        let far = CellAddress::new(0, 0);
+        assert_eq!(
+            surrogate.array().bank().charges()[far.row * 5 + far.col],
+            0.0
+        );
+        assert_eq!(batched.array().bank().charges()[far.row * 5 + far.col], 0.0);
     }
 
     #[test]

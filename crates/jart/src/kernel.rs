@@ -36,10 +36,11 @@
 
 use serde::{Deserialize, Serialize};
 
-use crate::current::{solve_operating_point, OperatingPoint};
+use crate::current::{solve_operating_point_mode, OperatingPoint};
 use crate::device::DigitalState;
-use crate::kinetics::concentration_rate;
+use crate::kinetics::{concentration_rate_mode, MathMode};
 use crate::params::DeviceParams;
+use crate::simd::{self, SimdLevel};
 use crate::thermal::filament_temperature;
 use rram_units::Seconds;
 
@@ -50,7 +51,7 @@ use rram_units::Seconds;
 /// owner chooses (the crossbar array uses row-major cell order). The bank
 /// does not own the device parameters — they are shared across lanes and are
 /// passed to [`step_lanes`] explicitly.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct CellBank {
     /// Disc vacancy concentration per lane, 10²⁶ m⁻³.
     n_disc: Vec<f64>,
@@ -66,6 +67,32 @@ pub struct CellBank {
     digital: Vec<DigitalState>,
     /// Operating point of the most recent step per lane.
     last_op: Vec<OperatingPoint>,
+    /// One-entry operating-point cache per lane: the `v_cell` bits of the
+    /// key (0, i.e. `+0.0`, means empty — solves only cache non-zero
+    /// voltages). The solve is a pure function of `(params, v_cell, n)`,
+    /// so the cached point stays valid across sub-steps until the lane's
+    /// parameters change (see [`CellBank::invalidate_op_cache`]).
+    op_cache_v_bits: Vec<u64>,
+    /// The `n` bits of the per-lane cache key.
+    op_cache_n_bits: Vec<u64>,
+    /// The cached operating point per lane.
+    op_cache_op: Vec<OperatingPoint>,
+}
+
+/// Equality compares the observable lanes only; the operating-point cache
+/// is a pure accelerator whose occupancy depends on which kernel tier ran,
+/// so two banks that took different tiers to bit-identical state compare
+/// equal (the same convention the crosstalk hub uses for its scratch).
+impl PartialEq for CellBank {
+    fn eq(&self, other: &Self) -> bool {
+        self.n_disc == other.n_disc
+            && self.crosstalk == other.crosstalk
+            && self.temperature == other.temperature
+            && self.stress_time == other.stress_time
+            && self.charge == other.charge
+            && self.digital == other.digital
+            && self.last_op == other.last_op
+    }
 }
 
 impl CellBank {
@@ -85,7 +112,20 @@ impl CellBank {
             charge: vec![0.0; lanes],
             digital: vec![DigitalState::Hrs; lanes],
             last_op: vec![OperatingPoint::zero(); lanes],
+            op_cache_v_bits: vec![0; lanes],
+            op_cache_n_bits: vec![0; lanes],
+            op_cache_op: vec![OperatingPoint::zero(); lanes],
         }
+    }
+
+    /// Empties every lane's operating-point cache.
+    ///
+    /// The cache maps `(v_cell, n)` to a solved operating point under the
+    /// device parameters (and [`MathMode`]) the lane was last stepped
+    /// with; callers that change either — e.g. a crossbar installing a new
+    /// per-lane parameter table — must invalidate before the next step.
+    pub fn invalidate_op_cache(&mut self) {
+        self.op_cache_v_bits.fill(0);
     }
 
     /// Number of lanes (cells).
@@ -143,6 +183,9 @@ impl CellBank {
             charge: &mut self.charge,
             digital: &mut self.digital,
             last_op: &mut self.last_op,
+            op_cache_v_bits: &mut self.op_cache_v_bits,
+            op_cache_n_bits: &mut self.op_cache_n_bits,
+            op_cache_op: &mut self.op_cache_op,
         }
     }
 
@@ -209,6 +252,9 @@ pub struct CellBankView<'a> {
     charge: &'a mut [f64],
     digital: &'a mut [DigitalState],
     last_op: &'a mut [OperatingPoint],
+    op_cache_v_bits: &'a mut [u64],
+    op_cache_n_bits: &'a mut [u64],
+    op_cache_op: &'a mut [OperatingPoint],
 }
 
 impl<'a> CellBankView<'a> {
@@ -236,6 +282,9 @@ impl<'a> CellBankView<'a> {
         let (c_lo, c_hi) = self.charge.split_at_mut(mid);
         let (d_lo, d_hi) = self.digital.split_at_mut(mid);
         let (o_lo, o_hi) = self.last_op.split_at_mut(mid);
+        let (cv_lo, cv_hi) = self.op_cache_v_bits.split_at_mut(mid);
+        let (cn_lo, cn_hi) = self.op_cache_n_bits.split_at_mut(mid);
+        let (co_lo, co_hi) = self.op_cache_op.split_at_mut(mid);
         (
             CellBankView {
                 n_disc: n_lo,
@@ -245,6 +294,9 @@ impl<'a> CellBankView<'a> {
                 charge: c_lo,
                 digital: d_lo,
                 last_op: o_lo,
+                op_cache_v_bits: cv_lo,
+                op_cache_n_bits: cn_lo,
+                op_cache_op: co_lo,
             },
             CellBankView {
                 n_disc: n_hi,
@@ -254,6 +306,9 @@ impl<'a> CellBankView<'a> {
                 charge: c_hi,
                 digital: d_hi,
                 last_op: o_hi,
+                op_cache_v_bits: cv_hi,
+                op_cache_n_bits: cn_hi,
+                op_cache_op: co_hi,
             },
         )
     }
@@ -381,6 +436,55 @@ pub fn step_lanes<'a>(
     lanes: &mut CellBankView<'_>,
     dt: Seconds,
 ) {
+    step_lanes_mode(params, voltages, lanes, dt, MathMode::Exact)
+}
+
+/// [`step_lanes`] with an explicit [`MathMode`], dispatched to the SIMD
+/// level the process detected (see [`simd::active`]).
+pub fn step_lanes_mode<'a>(
+    params: impl Into<LaneParams<'a>>,
+    voltages: &[f64],
+    lanes: &mut CellBankView<'_>,
+    dt: Seconds,
+    mode: MathMode,
+) {
+    step_lanes_with(params, voltages, lanes, dt, mode, simd::active())
+}
+
+/// [`step_lanes`] with the math mode and SIMD level fully explicit — the
+/// entry point the bit-identity proptests drive tier-against-tier.
+///
+/// The requested `level` is sanitised against the hardware (see
+/// [`simd::sanitize`]), so an impossible request degrades to the scalar
+/// tier instead of faulting. The scalar tier is the PR 6 chunked loop,
+/// unchanged. The vector tiers add four bit-preserving accelerations on
+/// top of the intrinsics themselves: all-idle chunks take a vectorised
+/// relax update with lazy operating-point stores, mixed chunks route their
+/// zero-voltage lanes to the relax update (bit-identical to
+/// [`step_lane`] at `v = 0`, which never accrues stress time), biased
+/// lanes reuse a per-lane one-entry operating-point cache (`(v_cell, n)`
+/// pins the solve completely — temperature does not enter it), and with
+/// shared params consecutive biased lanes replay through a one-entry
+/// [`LaneEcho`] cache (the integrator is pure in the lane's
+/// `(v, ΔT, n, charge)` tuple, so a hit copies the recorded outcome
+/// bit-for-bit instead of re-solving).
+///
+/// The cache assumes each lane's `(params, mode)` pair is stable between
+/// calls; callers that change either must
+/// [`CellBank::invalidate_op_cache`] first.
+///
+/// # Panics
+///
+/// Panics if `voltages.len()` (or a per-lane table's length) does not match
+/// the lane count, or if `dt` is negative or not finite.
+pub fn step_lanes_with<'a>(
+    params: impl Into<LaneParams<'a>>,
+    voltages: &[f64],
+    lanes: &mut CellBankView<'_>,
+    dt: Seconds,
+    mode: MathMode,
+    level: SimdLevel,
+) {
     let params = params.into();
     assert_eq!(
         voltages.len(),
@@ -392,29 +496,69 @@ pub fn step_lanes<'a>(
     }
     assert!(dt.0.is_finite() && dt.0 >= 0.0, "dt must be non-negative");
 
+    let level = simd::sanitize(level);
     let total = lanes.lanes();
     let mut base = 0;
+    if level == SimdLevel::Scalar {
+        while base + LANE_CHUNK <= total {
+            let chunk: &[f64; LANE_CHUNK] = voltages[base..base + LANE_CHUNK]
+                .try_into()
+                .expect("chunk slice has LANE_CHUNK lanes");
+            if chunk.iter().all(|&v| v == 0.0) {
+                // All-idle chunk: the fixed-width relax update.
+                for offset in 0..LANE_CHUNK {
+                    let lane = base + offset;
+                    relax_lane(params.of(lane), lanes, lane, dt);
+                }
+            } else {
+                for (offset, &v_cell) in chunk.iter().enumerate() {
+                    let lane = base + offset;
+                    step_lane_inner(params.of(lane), lanes, lane, v_cell, dt, mode, false);
+                }
+            }
+            base += LANE_CHUNK;
+        }
+        // Scalar remainder loop for the tail lanes.
+        for (lane, &v_cell) in voltages.iter().enumerate().skip(base) {
+            step_lane_inner(params.of(lane), lanes, lane, v_cell, dt, mode, false);
+        }
+        return;
+    }
+
+    // The cross-lane replay cache is sound only when every lane shares one
+    // `DeviceParams`; per-lane tables fall back to the plain tuned step.
+    let shared = matches!(params, LaneParams::Shared(_));
+    let mut echo = LaneEcho::cold();
     while base + LANE_CHUNK <= total {
         let chunk: &[f64; LANE_CHUNK] = voltages[base..base + LANE_CHUNK]
             .try_into()
             .expect("chunk slice has LANE_CHUNK lanes");
-        if chunk.iter().all(|&v| v == 0.0) {
-            // All-idle chunk: the fixed-width relax update.
-            for offset in 0..LANE_CHUNK {
-                let lane = base + offset;
-                relax_lane(params.of(lane), lanes, lane, dt);
-            }
+        if simd::chunk_all_zero(level, chunk) {
+            relax_chunk_tuned(level, params, lanes, base, dt);
         } else {
             for (offset, &v_cell) in chunk.iter().enumerate() {
                 let lane = base + offset;
-                step_lane(params.of(lane), lanes, lane, v_cell, dt);
+                if v_cell == 0.0 {
+                    // Bit-identical to step_lane at v = 0: the zero solve,
+                    // no stress-time accrual, a `+0.0` charge term.
+                    relax_lane_tuned(params.of(lane), lanes, lane);
+                } else if shared {
+                    step_lane_echoed(params.of(lane), lanes, lane, v_cell, dt, mode, &mut echo);
+                } else {
+                    step_lane_inner(params.of(lane), lanes, lane, v_cell, dt, mode, true);
+                }
             }
         }
         base += LANE_CHUNK;
     }
-    // Scalar remainder loop for the tail lanes.
     for (lane, &v_cell) in voltages.iter().enumerate().skip(base) {
-        step_lane(params.of(lane), lanes, lane, v_cell, dt);
+        if v_cell == 0.0 {
+            relax_lane_tuned(params.of(lane), lanes, lane);
+        } else if shared {
+            step_lane_echoed(params.of(lane), lanes, lane, v_cell, dt, mode, &mut echo);
+        } else {
+            step_lane_inner(params.of(lane), lanes, lane, v_cell, dt, mode, true);
+        }
     }
 }
 
@@ -438,13 +582,44 @@ pub fn relax_lanes<'a>(
     lanes: &mut CellBankView<'_>,
     dt: Seconds,
 ) {
+    relax_lanes_with(params, lanes, dt, simd::active())
+}
+
+/// [`relax_lanes`] with the SIMD level explicit (sanitised like
+/// [`step_lanes_with`]); the vector tiers update the temperature lane a
+/// [`LANE_CHUNK`] at a time and skip the redundant operating-point and
+/// charge stores, bit-identically to the scalar loop.
+///
+/// # Panics
+///
+/// Panics if a per-lane table's length does not match the lane count, or if
+/// `dt` is negative or not finite.
+pub fn relax_lanes_with<'a>(
+    params: impl Into<LaneParams<'a>>,
+    lanes: &mut CellBankView<'_>,
+    dt: Seconds,
+    level: SimdLevel,
+) {
     let params = params.into();
     if let LaneParams::PerLane(table) = params {
         assert_eq!(table.len(), lanes.lanes(), "params table length mismatch");
     }
     assert!(dt.0.is_finite() && dt.0 >= 0.0, "dt must be non-negative");
-    for lane in 0..lanes.lanes() {
-        relax_lane(params.of(lane), lanes, lane, dt);
+    let level = simd::sanitize(level);
+    if level == SimdLevel::Scalar {
+        for lane in 0..lanes.lanes() {
+            relax_lane(params.of(lane), lanes, lane, dt);
+        }
+        return;
+    }
+    let total = lanes.lanes();
+    let mut base = 0;
+    while base + LANE_CHUNK <= total {
+        relax_chunk_tuned(level, params, lanes, base, dt);
+        base += LANE_CHUNK;
+    }
+    for lane in base..total {
+        relax_lane_tuned(params.of(lane), lanes, lane);
     }
 }
 
@@ -461,6 +636,65 @@ fn relax_lane(params: &DeviceParams, lanes: &mut CellBankView<'_>, lane: usize, 
         lanes.charge[lane] += 0.0;
     }
     lanes.digital[lane] = digital_of(params, lanes.n_disc[lane]);
+}
+
+/// [`relax_lane`] minus the stores the scalar form only performs for
+/// bit-pattern fidelity with the reference loop:
+///
+/// * the operating point is zeroed **lazily** — a stored point with
+///   `v_cell != 0.0` can only have come from a biased solve (every zero-
+///   voltage path stores `OperatingPoint::zero()`, whose `v_cell` is
+///   `+0.0`), so skipping the 40-byte store when `v_cell == 0.0` leaves
+///   bitwise-identical memory;
+/// * the `charge += 0.0` accrual is dropped — the charge lane accumulates
+///   only `|I|·dt ≥ +0.0` terms from a `+0.0` start, so it never holds
+///   `-0.0` and adding `+0.0` is a bitwise no-op.
+#[inline]
+fn relax_lane_tuned(params: &DeviceParams, lanes: &mut CellBankView<'_>, lane: usize) {
+    lanes.temperature[lane] = filament_temperature(params, 0.0, lanes.crosstalk[lane]);
+    finish_relax_tuned(params, lanes, lane);
+}
+
+#[inline]
+fn finish_relax_tuned(params: &DeviceParams, lanes: &mut CellBankView<'_>, lane: usize) {
+    if lanes.last_op[lane].v_cell != 0.0 {
+        lanes.last_op[lane] = OperatingPoint::zero();
+    }
+    lanes.digital[lane] = digital_of(params, lanes.n_disc[lane]);
+}
+
+/// One all-idle [`LANE_CHUNK`]-wide block on a vector tier: the
+/// temperature update runs through the SIMD arm (shared-parameter banks
+/// only — a per-lane table falls back to the scalar tuned update, since
+/// its ambient/clamp constants vary per lane).
+#[inline]
+fn relax_chunk_tuned(
+    level: SimdLevel,
+    params: LaneParams<'_>,
+    lanes: &mut CellBankView<'_>,
+    base: usize,
+    _dt: Seconds,
+) {
+    match params {
+        LaneParams::Shared(p) => {
+            simd::relax_chunk_temperature(
+                level,
+                p.ambient_temperature,
+                p.max_temperature,
+                &lanes.crosstalk[base..base + LANE_CHUNK],
+                &mut lanes.temperature[base..base + LANE_CHUNK],
+            );
+            for offset in 0..LANE_CHUNK {
+                finish_relax_tuned(p, lanes, base + offset);
+            }
+        }
+        LaneParams::PerLane(_) => {
+            for offset in 0..LANE_CHUNK {
+                let lane = base + offset;
+                relax_lane_tuned(params.of(lane), lanes, lane);
+            }
+        }
+    }
 }
 
 /// Advances every lane by `dt` like [`step_lanes`], with the lane range
@@ -490,6 +724,30 @@ pub fn step_lanes_threaded<'a>(
     dt: Seconds,
     threads: usize,
 ) {
+    step_lanes_threaded_mode(params, voltages, lanes, dt, threads, MathMode::Exact)
+}
+
+/// Upper bound on the scatter blocks of one threaded sub-step; sized so
+/// the block table lives on the caller's stack (no per-sub-step heap
+/// allocation) while still feeding four blocks to each of up to 64
+/// workers.
+const MAX_BLOCKS: usize = 256;
+
+/// [`step_lanes_threaded`] with an explicit [`MathMode`]; each worker runs
+/// [`step_lanes_with`] at the process's active SIMD level.
+///
+/// # Panics
+///
+/// Panics if `voltages.len()` (or a per-lane table's length) does not match
+/// the lane count, or if `dt` is negative or not finite.
+pub fn step_lanes_threaded_mode<'a>(
+    params: impl Into<LaneParams<'a>>,
+    voltages: &[f64],
+    lanes: CellBankView<'_>,
+    dt: Seconds,
+    threads: usize,
+    mode: MathMode,
+) {
     let params = params.into();
     assert_eq!(
         voltages.len(),
@@ -502,44 +760,56 @@ pub fn step_lanes_threaded<'a>(
     assert!(dt.0.is_finite() && dt.0 >= 0.0, "dt must be non-negative");
 
     let total = lanes.lanes();
-    let workers = threads.max(1).min(total);
+    let workers = threads.max(1).min(total).min(MAX_BLOCKS / 4);
     let mut lanes = lanes;
     if workers <= 1 {
-        step_lanes(params, voltages, &mut lanes, dt);
+        step_lanes_mode(params, voltages, &mut lanes, dt, mode);
         return;
     }
+    let level = simd::active();
 
     // Chunk-aligned blocks, four per worker, pulled from a shared queue so
     // a worker that lands on the expensive switching lanes does not
-    // serialise the idle majority.
+    // serialise the idle majority. The block table is a stack array —
+    // `per_block ≥ total/target_blocks` bounds the count by
+    // `target_blocks ≤ MAX_BLOCKS` — so the threaded dispatch allocates
+    // nothing per sub-step.
     let target_blocks = workers * 4;
     let raw = total.div_ceil(target_blocks).max(1);
     let per_block = raw.div_ceil(LANE_CHUNK) * LANE_CHUNK;
-    let mut blocks: Vec<(usize, CellBankView<'_>)> = Vec::new();
+    let mut blocks: [Option<(usize, CellBankView<'_>)>; MAX_BLOCKS] = std::array::from_fn(|_| None);
+    let mut count = 0;
     let mut base = 0;
     let mut rest = lanes;
     while rest.lanes() > per_block {
         let (head, tail) = rest.split_at(per_block);
-        blocks.push((base, head));
+        blocks[count] = Some((base, head));
+        count += 1;
         base += per_block;
         rest = tail;
     }
-    blocks.push((base, rest));
+    blocks[count] = Some((base, rest));
+    count += 1;
 
-    let queue = std::sync::Mutex::new(blocks.into_iter());
+    let queue = std::sync::Mutex::new(blocks.iter_mut().take(count));
     std::thread::scope(|scope| {
         for _ in 0..workers {
             scope.spawn(|| loop {
-                let block = queue.lock().expect("block queue poisoned").next();
-                let Some((start, mut view)) = block else {
+                let slot = queue.lock().expect("block queue poisoned").next();
+                let Some(slot) = slot else {
+                    break;
+                };
+                let Some((start, mut view)) = slot.take() else {
                     break;
                 };
                 let len = view.lanes();
-                step_lanes(
+                step_lanes_with(
                     params.narrow(start, len),
                     &voltages[start..start + len],
                     &mut view,
                     dt,
+                    mode,
+                    level,
                 );
             });
         }
@@ -550,15 +820,16 @@ pub fn step_lanes_threaded<'a>(
 /// instead of the full operating-point solve — the integration loop of the
 /// surrogate backend.
 ///
-/// `model(lane, v_cell, delta_t, n)` returns the drift rate (10²⁶ m⁻³/s)
-/// and filament temperature (K) for a lane at concentration `n` under cell
-/// voltage `v_cell` and imported crosstalk ΔT `delta_t`. The kernel owns
-/// everything else: zero-voltage lanes take the exact relax update, biased
-/// lanes integrate forward-Euler with the same per-sub-step concentration
-/// cap as the reference kernel, and the digital lane is kept in sync. The
-/// charge lane is **not** advanced (the surrogate has no current model) and
-/// the stored operating point is zeroed; both are documented limitations of
-/// the reduced-order backend, not of this routine.
+/// `model(lane, v_cell, delta_t, n)` returns the drift rate (10²⁶ m⁻³/s),
+/// filament temperature (K) and cell current (A) for a lane at
+/// concentration `n` under cell voltage `v_cell` and imported crosstalk ΔT
+/// `delta_t`. The kernel owns everything else: zero-voltage lanes take the
+/// exact relax update, biased lanes integrate forward-Euler with the same
+/// per-sub-step concentration cap as the reference kernel, the charge lane
+/// accrues `|I|·dt` exactly like [`step_lane`] does (including charging
+/// the full remainder once the rate vanishes), and the digital lane is
+/// kept in sync. The stored operating point is zeroed — the reduced-order
+/// model interpolates scalars, not full operating points.
 ///
 /// # Panics
 ///
@@ -571,7 +842,7 @@ pub fn step_lanes_surrogate<'a, F>(
     dt: Seconds,
     mut model: F,
 ) where
-    F: FnMut(usize, f64, f64, f64) -> (f64, f64),
+    F: FnMut(usize, f64, f64, f64) -> (f64, f64, f64),
 {
     let params = params.into();
     assert_eq!(
@@ -595,9 +866,15 @@ pub fn step_lanes_surrogate<'a, F>(
         let mut remaining = dt.0;
         loop {
             let n = lanes.n_disc[lane];
-            let (rate, temperature) = model(lane, v_cell, delta_t, n);
+            let (rate, temperature, current) = model(lane, v_cell, delta_t, n);
             lanes.temperature[lane] = temperature;
-            if remaining <= 0.0 || rate == 0.0 {
+            if remaining <= 0.0 {
+                break;
+            }
+            if rate == 0.0 {
+                // Nothing will change for the rest of the interval; the
+                // full remaining conduction still counts towards charge.
+                lanes.charge[lane] += current.abs() * remaining;
                 break;
             }
             // Same stability cap as the reference kernel: never move the
@@ -607,6 +884,7 @@ pub fn step_lanes_surrogate<'a, F>(
                 .max_dn_per_step
                 .min(0.02 * (n - lane_params.n_min) + 1e-3);
             let sub_dt = remaining.min(allowed_dn / rate.abs());
+            lanes.charge[lane] += current.abs() * sub_dt;
             lanes.n_disc[lane] = (n + rate * sub_dt).clamp(lane_params.n_min, lane_params.n_max);
             remaining -= sub_dt;
         }
@@ -633,6 +911,43 @@ pub fn step_lane(
     v_cell: f64,
     dt: Seconds,
 ) -> OperatingPoint {
+    step_lane_mode(params, lanes, lane, v_cell, dt, MathMode::Exact)
+}
+
+/// [`step_lane`] with an explicit [`MathMode`] (`Exact` is bit-identical
+/// to [`step_lane`]).
+///
+/// # Panics
+///
+/// Panics if `lane` is out of range or `dt` is negative or not finite.
+pub fn step_lane_mode(
+    params: &DeviceParams,
+    lanes: &mut CellBankView<'_>,
+    lane: usize,
+    v_cell: f64,
+    dt: Seconds,
+    mode: MathMode,
+) -> OperatingPoint {
+    step_lane_inner(params, lanes, lane, v_cell, dt, mode, false)
+}
+
+/// The shared per-lane integrator. `tuned` enables the per-lane one-entry
+/// operating-point cache — the solve is a pure function of
+/// `(params, v_cell, n)` (the filament temperature feeds the *rate*, not
+/// the I–V solve), so replaying a cached point is bit-identical to
+/// re-solving it. The hit that matters: the refresh solve at the end of
+/// one engine sub-step is exactly the first solve of the next sub-step
+/// (same voltage, same final concentration), which saves one of the three
+/// Newton solves per sub-step on every actively biased lane.
+fn step_lane_inner(
+    params: &DeviceParams,
+    lanes: &mut CellBankView<'_>,
+    lane: usize,
+    v_cell: f64,
+    dt: Seconds,
+    mode: MathMode,
+    tuned: bool,
+) -> OperatingPoint {
     assert!(dt.0.is_finite() && dt.0 >= 0.0, "dt must be non-negative");
     let mut remaining = dt.0;
     let mut first_op = None;
@@ -642,19 +957,38 @@ pub fn step_lane(
         lanes.stress_time[lane] += dt.0;
     }
 
-    // Rate evaluation at a given concentration: solve the operating point,
-    // derive the filament temperature, then the drift rate.
-    let eval = |n: f64| -> (OperatingPoint, f64, f64) {
-        let op = solve_operating_point(params, v_cell, n);
+    let mut cache_v = lanes.op_cache_v_bits[lane];
+    let mut cache_n = lanes.op_cache_n_bits[lane];
+    let mut cache_op = lanes.op_cache_op[lane];
+
+    // Operating point + filament temperature at a given concentration
+    // (solved, or replayed from the cache when tuned).
+    let mut eval_op = |n: f64| -> (OperatingPoint, f64) {
+        let op = if tuned {
+            let vb = v_cell.to_bits();
+            let nb = n.to_bits();
+            if cache_v == vb && cache_n == nb {
+                cache_op
+            } else {
+                let op = solve_operating_point_mode(params, v_cell, n, mode);
+                cache_v = vb;
+                cache_n = nb;
+                cache_op = op;
+                op
+            }
+        } else {
+            solve_operating_point_mode(params, v_cell, n, mode)
+        };
         let temperature = filament_temperature(params, op.power_active, delta_t);
-        let rate = concentration_rate(params, op.v_active, temperature, n);
-        (op, temperature, rate)
+        (op, temperature)
     };
 
     // Even for dt == 0 the operating point is refreshed so callers can
     // observe the instantaneous temperature under the new bias.
     loop {
-        let (op, temperature, rate) = eval(lanes.n_disc[lane]);
+        let n = lanes.n_disc[lane];
+        let (op, temperature) = eval_op(n);
+        let rate = concentration_rate_mode(params, op.v_active, temperature, n, mode);
         lanes.temperature[lane] = temperature;
         lanes.last_op[lane] = op;
         if first_op.is_none() {
@@ -673,7 +1007,6 @@ pub fn step_lane(
         // Adaptive step: cap the state change per sub-step both absolutely
         // and relative to the distance from the HRS bound, because the
         // runaway phase grows exponentially with that distance.
-        let n = lanes.n_disc[lane];
         let allowed_dn = params.max_dn_per_step.min(0.02 * (n - params.n_min) + 1e-3);
         let max_dt = allowed_dn / rate.abs();
         let sub_dt = remaining.min(max_dt);
@@ -681,21 +1014,133 @@ pub fn step_lane(
 
         // Midpoint (RK2) integration of the stiff drift ODE.
         let n_mid = (n + 0.5 * rate * sub_dt).clamp(params.n_min, params.n_max);
-        let (_, _, rate_mid) = eval(n_mid);
+        let (op_mid, t_mid) = eval_op(n_mid);
+        let rate_mid = concentration_rate_mode(params, op_mid.v_active, t_mid, n_mid, mode);
         let effective_rate = if rate_mid == 0.0 { rate } else { rate_mid };
         lanes.n_disc[lane] = (n + effective_rate * sub_dt).clamp(params.n_min, params.n_max);
         remaining -= sub_dt;
         if remaining <= 0.0 {
-            // Refresh the final operating point for observers.
-            let (op, temperature, _) = eval(lanes.n_disc[lane]);
+            // Refresh the final operating point for observers (the drift
+            // rate at the final point is dead and not evaluated).
+            let (op, temperature) = eval_op(lanes.n_disc[lane]);
             lanes.last_op[lane] = op;
             lanes.temperature[lane] = temperature;
             break;
         }
     }
 
+    if tuned {
+        lanes.op_cache_v_bits[lane] = cache_v;
+        lanes.op_cache_n_bits[lane] = cache_n;
+        lanes.op_cache_op[lane] = cache_op;
+    }
     lanes.digital[lane] = digital_of(params, lanes.n_disc[lane]);
     first_op.unwrap_or_else(OperatingPoint::zero)
+}
+
+/// One-entry cross-lane replay cache for the vector tier's biased lanes.
+///
+/// With shared `DeviceParams` and a fixed `(dt, mode)` per call, the whole
+/// effect of [`step_lane_inner`] on a lane is a pure function of the tuple
+/// `(v_cell, crosstalk ΔT, n, charge)` — the only per-lane state the
+/// integrator reads (the operating-point cache is excluded on purpose: its
+/// entries always equal the solve at their key bits, so it changes which
+/// solves run, never their results). Line-bias schemes stamp long runs of
+/// identical voltages onto lanes whose histories are bit-for-bit equal —
+/// on a quiet array an entire selected row hits this cache — so replaying
+/// the recorded outcome collapses hundreds of Newton solves per sub-step
+/// into copies. `charge` sits in the *key* (not replayed as a delta)
+/// because the accrual is a chain of `+=` roundings on the lane's own
+/// running value.
+struct LaneEcho {
+    valid: bool,
+    v_bits: u64,
+    crosstalk_bits: u64,
+    n_bits: u64,
+    charge_bits: u64,
+    n_end: f64,
+    temperature: f64,
+    charge_end: f64,
+    last_op: OperatingPoint,
+    digital: DigitalState,
+    cache_v: u64,
+    cache_n: u64,
+    cache_op: OperatingPoint,
+}
+
+impl LaneEcho {
+    fn cold() -> Self {
+        LaneEcho {
+            valid: false,
+            v_bits: 0,
+            crosstalk_bits: 0,
+            n_bits: 0,
+            charge_bits: 0,
+            n_end: 0.0,
+            temperature: 0.0,
+            charge_end: 0.0,
+            last_op: OperatingPoint::zero(),
+            digital: DigitalState::Hrs,
+            cache_v: 0,
+            cache_n: 0,
+            cache_op: OperatingPoint::zero(),
+        }
+    }
+}
+
+/// [`step_lane_inner`] behind the [`LaneEcho`] replay cache (vector tier,
+/// shared params only). On a key hit every lane output is copied from the
+/// recorded outcome — bit-identical to re-running the integrator because
+/// the integrator is pure in the key; on a miss the lane is stepped
+/// normally and its outcome recorded.
+fn step_lane_echoed(
+    params: &DeviceParams,
+    lanes: &mut CellBankView<'_>,
+    lane: usize,
+    v_cell: f64,
+    dt: Seconds,
+    mode: MathMode,
+    echo: &mut LaneEcho,
+) {
+    let v_bits = v_cell.to_bits();
+    let crosstalk_bits = lanes.crosstalk[lane].to_bits();
+    let n_bits = lanes.n_disc[lane].to_bits();
+    let charge_bits = lanes.charge[lane].to_bits();
+    if echo.valid
+        && echo.v_bits == v_bits
+        && echo.crosstalk_bits == crosstalk_bits
+        && echo.n_bits == n_bits
+        && echo.charge_bits == charge_bits
+    {
+        if v_cell != 0.0 {
+            lanes.stress_time[lane] += dt.0;
+        }
+        lanes.n_disc[lane] = echo.n_end;
+        lanes.temperature[lane] = echo.temperature;
+        lanes.charge[lane] = echo.charge_end;
+        lanes.last_op[lane] = echo.last_op;
+        lanes.digital[lane] = echo.digital;
+        lanes.op_cache_v_bits[lane] = echo.cache_v;
+        lanes.op_cache_n_bits[lane] = echo.cache_n;
+        lanes.op_cache_op[lane] = echo.cache_op;
+        return;
+    }
+    step_lane_inner(params, lanes, lane, v_cell, dt, mode, true);
+    *echo = LaneEcho {
+        valid: true,
+        v_bits,
+        crosstalk_bits,
+        n_bits,
+        charge_bits,
+        n_end: lanes.n_disc[lane],
+        temperature: lanes.temperature[lane],
+        charge_end: lanes.charge[lane],
+        last_op: lanes.last_op[lane],
+        digital: lanes.digital[lane],
+        cache_v: lanes.op_cache_v_bits[lane],
+        cache_n: lanes.op_cache_n_bits[lane],
+        cache_op: lanes.op_cache_op[lane],
+    };
 }
 
 #[cfg(test)]

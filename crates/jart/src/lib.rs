@@ -52,9 +52,16 @@
 pub mod calibration;
 pub mod current;
 pub mod device;
+// The fastmath/simd modules carry the only unsafe in the crate: `std::arch`
+// intrinsics behind the `simd` feature, each call dominated by the runtime
+// CPU detection in `simd::detected`.
+#[allow(unsafe_code)]
+pub mod fastmath;
 pub mod kernel;
 pub mod kinetics;
 pub mod params;
+#[allow(unsafe_code)]
+pub mod simd;
 pub mod thermal;
 
 pub use current::OperatingPoint;
@@ -63,4 +70,5 @@ pub use kernel::{
     relax_lanes, step_lanes, step_lanes_surrogate, step_lanes_threaded, CellBank, CellBankView,
     LaneParams, LANE_CHUNK,
 };
+pub use kinetics::MathMode;
 pub use params::{DeviceParams, DeviceParamsBuilder, ParamError};

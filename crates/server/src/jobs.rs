@@ -588,6 +588,27 @@ mod tests {
     }
 
     #[test]
+    fn fast_math_specs_validate_on_submit_and_forward_through_leases() {
+        let mut queue = JobQueue::new(Duration::from_secs(30));
+        // The flag is a batched-backend tier: the default pulse backend
+        // is rejected at submission, before any shard is leased.
+        let mut invalid = small_spec();
+        invalid.backend_fast_math = true;
+        assert!(matches!(
+            queue.submit(invalid, 1),
+            Err(QueueError::Invalid(_))
+        ));
+        // A batched fast-math spec survives the submit→lease round trip,
+        // so every fleet worker executes the tier the submitter asked for.
+        let json = small_spec().to_json().replace("\"pulse\"", "\"batched\"");
+        let mut fast = CampaignSpec::from_json(&json).unwrap();
+        fast.backend_fast_math = true;
+        queue.submit(fast, 1).unwrap();
+        let granted = grant(queue.lease("w1", Instant::now()));
+        assert!(granted.spec.backend_fast_math);
+    }
+
+    #[test]
     fn expired_lease_is_reassigned_with_recorded_outcomes() {
         let full = small_spec().run().unwrap();
         let mut queue = JobQueue::new(Duration::from_secs(5));

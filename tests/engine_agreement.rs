@@ -252,6 +252,60 @@ fn surrogate_and_batched_engines_agree_on_the_fig3a_grid() {
 }
 
 #[test]
+fn fast_math_tier_agrees_with_exact_batched_on_the_fig3a_grid() {
+    // The opt-in fast-math tier (`backend_fast_math`) swaps the kernel's
+    // transcendental calls for deterministic polynomial approximations, so
+    // like the surrogate it gets a *tolerance* contract against the exact
+    // batched engine — but a much tighter one, because only the last few
+    // ulps of each sub-step differ: the flip set must match point for
+    // point and pulses-to-flip must land within 1 %.
+    let exact_spec = CampaignSpec {
+        name: "fig3a fast math vs exact".into(),
+        pulse_lengths_ns: vec![20.0, 50.0, 100.0],
+        backends: vec![BackendKind::Batched],
+        max_pulses: 300_000,
+        batching: false,
+        ..CampaignSpec::default()
+    };
+    let fast_spec = CampaignSpec {
+        backend_fast_math: true,
+        ..exact_spec.clone()
+    };
+    let exact = exact_spec.run().expect("exact batched run failed");
+    let fast = fast_spec.run().expect("fast-math run failed");
+    assert_eq!(exact.outcomes.len(), 3);
+    assert_eq!(fast.outcomes.len(), 3);
+
+    for (e, f) in exact.outcomes.iter().zip(&fast.outcomes) {
+        let length_ns = e.point.pulse_length.0 * 1e9;
+        assert_eq!(e.flipped, f.flipped, "{length_ns} ns: flip sets disagree");
+        assert!(e.flipped, "{length_ns} ns: no flip within budget");
+        let ratio = f.pulses as f64 / e.pulses as f64;
+        assert!(
+            (1.0 / 1.01..1.01).contains(&ratio),
+            "{length_ns} ns: pulses-to-flip {} vs {} (ratio {ratio:.4})",
+            f.pulses,
+            e.pulses
+        );
+    }
+
+    // The trend survives the approximation.
+    for series in fast.series_over(CampaignAxis::PulseLength) {
+        assert!(
+            series.is_monotonically_decreasing(),
+            "non-monotonic fast-math series: {series:?}"
+        );
+    }
+
+    // And like the surrogate, the tier is fingerprinted: the same grid
+    // point carries a different key, so the two reports never merge.
+    for (e, f) in exact.outcomes.iter().zip(&fast.outcomes) {
+        assert_eq!(e.key.index, f.key.index);
+        assert_ne!(e.key.id, f.key.id, "fast-math key must be distinct");
+    }
+}
+
+#[test]
 fn surrogate_results_never_replay_as_exact_backend_results() {
     // Where bit-exactness is required the surrogate must be rejected
     // structurally: its backend tag enters every point fingerprint, so

@@ -1,0 +1,473 @@
+//! A self-contained HTML report with inline SVG charts.
+//!
+//! The figure binaries (under `--html`) export one single-file report per
+//! campaign: sweep charts as inline SVG, the numeric tables behind them,
+//! the campaign fingerprint and a deterministic telemetry snapshot. The
+//! file embeds everything — no scripts, no external assets, no links — so
+//! it survives as a CI artifact or an email attachment unchanged.
+//!
+//! Rendering is a pure function of the inputs: floats are formatted with
+//! fixed precision and every collection is emitted in caller order, so
+//! two exports of the same campaign report are byte-identical (the
+//! property the `report-smoke` CI job diffs for).
+
+use std::fmt::Write as _;
+
+/// Escapes `&`, `<`, `>` and `"` for HTML text and attribute positions.
+pub fn escape(text: &str) -> String {
+    let mut out = String::with_capacity(text.len());
+    for c in text.chars() {
+        match c {
+            '&' => out.push_str("&amp;"),
+            '<' => out.push_str("&lt;"),
+            '>' => out.push_str("&gt;"),
+            '"' => out.push_str("&quot;"),
+            _ => out.push(c),
+        }
+    }
+    out
+}
+
+/// One plotted series of an [`svg_chart`]: a named polyline.
+#[derive(Debug, Clone)]
+pub struct SvgSeries {
+    /// Legend label.
+    pub name: String,
+    /// `(x, y)` samples in plot order.
+    pub points: Vec<(f64, f64)>,
+}
+
+/// Muted qualitative palette, cycled per series.
+const PALETTE: [&str; 6] = [
+    "#2166ac", "#b2182b", "#1b7837", "#e08214", "#762a83", "#35978f",
+];
+
+/// Plot geometry shared by the SVG helpers.
+const WIDTH: f64 = 640.0;
+const HEIGHT: f64 = 360.0;
+const MARGIN_LEFT: f64 = 70.0;
+const MARGIN_RIGHT: f64 = 20.0;
+const MARGIN_TOP: f64 = 20.0;
+const MARGIN_BOTTOM: f64 = 45.0;
+
+/// Formats a plot coordinate with fixed precision (byte-stable output).
+fn coord(value: f64) -> String {
+    format!("{value:.2}")
+}
+
+/// Maps `value` in `[lo, hi]` onto the horizontal plot range.
+fn map_x(value: f64, lo: f64, hi: f64) -> f64 {
+    let span = (hi - lo).abs().max(1e-12);
+    MARGIN_LEFT + (value - lo) / span * (WIDTH - MARGIN_LEFT - MARGIN_RIGHT)
+}
+
+/// Maps `value` in `[lo, hi]` onto the vertical plot range (y grows up).
+fn map_y(value: f64, lo: f64, hi: f64) -> f64 {
+    let span = (hi - lo).abs().max(1e-12);
+    HEIGHT - MARGIN_BOTTOM - (value - lo) / span * (HEIGHT - MARGIN_TOP - MARGIN_BOTTOM)
+}
+
+/// Human-readable tick label for a (possibly log-scale) axis value.
+fn tick_label(value: f64, log: bool) -> String {
+    let shown = if log { 10f64.powf(value) } else { value };
+    if shown != 0.0 && (shown.abs() >= 1e4 || shown.abs() < 1e-2) {
+        format!("{shown:.1e}")
+    } else {
+        format!("{shown:.3}")
+            .trim_end_matches('0')
+            .trim_end_matches('.')
+            .to_string()
+    }
+}
+
+/// Renders an inline SVG line chart of `series`.
+///
+/// `log_x`/`log_y` plot the base-10 logarithm of the coordinate (points
+/// with non-positive values on a log axis are dropped). Returns an empty
+/// string when nothing is plottable, so callers can append unconditionally.
+pub fn svg_chart(
+    series: &[SvgSeries],
+    x_label: &str,
+    y_label: &str,
+    log_x: bool,
+    log_y: bool,
+) -> String {
+    let transformed: Vec<(String, Vec<(f64, f64)>)> = series
+        .iter()
+        .map(|s| {
+            let points = s
+                .points
+                .iter()
+                .filter(|(x, y)| {
+                    x.is_finite() && y.is_finite() && (!log_x || *x > 0.0) && (!log_y || *y > 0.0)
+                })
+                .map(|&(x, y)| {
+                    (
+                        if log_x { x.log10() } else { x },
+                        if log_y { y.log10() } else { y },
+                    )
+                })
+                .collect::<Vec<_>>();
+            (s.name.clone(), points)
+        })
+        .filter(|(_, points)| !points.is_empty())
+        .collect();
+    if transformed.is_empty() {
+        return String::new();
+    }
+    let all = transformed.iter().flat_map(|(_, p)| p.iter());
+    let (mut x_lo, mut x_hi) = (f64::INFINITY, f64::NEG_INFINITY);
+    let (mut y_lo, mut y_hi) = (f64::INFINITY, f64::NEG_INFINITY);
+    for &(x, y) in all {
+        x_lo = x_lo.min(x);
+        x_hi = x_hi.max(x);
+        y_lo = y_lo.min(y);
+        y_hi = y_hi.max(y);
+    }
+    // Pad a degenerate (single-value) axis so points sit mid-plot.
+    if x_hi - x_lo < 1e-12 {
+        x_lo -= 0.5;
+        x_hi += 0.5;
+    }
+    if y_hi - y_lo < 1e-12 {
+        y_lo -= 0.5;
+        y_hi += 0.5;
+    }
+
+    let mut svg = String::new();
+    let _ = write!(
+        svg,
+        "<svg xmlns=\"http://www.w3.org/2000/svg\" viewBox=\"0 0 {WIDTH} {HEIGHT}\" \
+         width=\"{WIDTH}\" height=\"{HEIGHT}\" role=\"img\">"
+    );
+    let _ = write!(
+        svg,
+        "<rect x=\"{}\" y=\"{MARGIN_TOP}\" width=\"{}\" height=\"{}\" \
+         fill=\"none\" stroke=\"#888\"/>",
+        coord(MARGIN_LEFT),
+        coord(WIDTH - MARGIN_LEFT - MARGIN_RIGHT),
+        coord(HEIGHT - MARGIN_TOP - MARGIN_BOTTOM),
+    );
+    // Four ticks per axis, evenly spaced in plot coordinates.
+    for tick in 0..=3 {
+        let frac = f64::from(tick) / 3.0;
+        let xv = x_lo + frac * (x_hi - x_lo);
+        let yv = y_lo + frac * (y_hi - y_lo);
+        let px = map_x(xv, x_lo, x_hi);
+        let py = map_y(yv, y_lo, y_hi);
+        let _ = write!(
+            svg,
+            "<text x=\"{}\" y=\"{}\" font-size=\"11\" text-anchor=\"middle\" \
+             fill=\"#444\">{}</text>",
+            coord(px),
+            coord(HEIGHT - MARGIN_BOTTOM + 16.0),
+            escape(&tick_label(xv, log_x)),
+        );
+        let _ = write!(
+            svg,
+            "<text x=\"{}\" y=\"{}\" font-size=\"11\" text-anchor=\"end\" \
+             fill=\"#444\">{}</text>",
+            coord(MARGIN_LEFT - 6.0),
+            coord(py + 4.0),
+            escape(&tick_label(yv, log_y)),
+        );
+    }
+    let _ = write!(
+        svg,
+        "<text x=\"{}\" y=\"{}\" font-size=\"12\" text-anchor=\"middle\" \
+         fill=\"#222\">{}</text>",
+        coord((MARGIN_LEFT + WIDTH - MARGIN_RIGHT) / 2.0),
+        coord(HEIGHT - 8.0),
+        escape(x_label),
+    );
+    let _ = write!(
+        svg,
+        "<text x=\"14\" y=\"{}\" font-size=\"12\" text-anchor=\"middle\" \
+         fill=\"#222\" transform=\"rotate(-90 14 {})\">{}</text>",
+        coord((MARGIN_TOP + HEIGHT - MARGIN_BOTTOM) / 2.0),
+        coord((MARGIN_TOP + HEIGHT - MARGIN_BOTTOM) / 2.0),
+        escape(y_label),
+    );
+    for (index, (name, points)) in transformed.iter().enumerate() {
+        let color = PALETTE[index % PALETTE.len()];
+        let path: Vec<String> = points
+            .iter()
+            .map(|&(x, y)| {
+                format!(
+                    "{},{}",
+                    coord(map_x(x, x_lo, x_hi)),
+                    coord(map_y(y, y_lo, y_hi))
+                )
+            })
+            .collect();
+        if path.len() > 1 {
+            let _ = write!(
+                svg,
+                "<polyline points=\"{}\" fill=\"none\" stroke=\"{color}\" stroke-width=\"1.5\"/>",
+                path.join(" "),
+            );
+        }
+        for point in &path {
+            let (px, py) = point.split_once(',').expect("x,y pair");
+            let _ = write!(
+                svg,
+                "<circle cx=\"{px}\" cy=\"{py}\" r=\"3\" fill=\"{color}\"/>"
+            );
+        }
+        let _ = write!(
+            svg,
+            "<text x=\"{}\" y=\"{}\" font-size=\"11\" fill=\"{color}\">{}</text>",
+            coord(MARGIN_LEFT + 8.0),
+            coord(MARGIN_TOP + 14.0 + 14.0 * index as f64),
+            escape(name),
+        );
+    }
+    svg.push_str("</svg>");
+    svg
+}
+
+/// One content block of a report section.
+#[derive(Debug, Clone)]
+enum Block {
+    /// Escaped prose paragraph.
+    Paragraph(String),
+    /// Escaped monospace block (tables, JSON snapshots, raw numbers).
+    Preformatted(String),
+    /// Trusted raw markup — the inline SVG charts built by this module.
+    Raw(String),
+    /// Two-column key/value table, escaped.
+    KeyValues(Vec<(String, String)>),
+}
+
+/// One titled section of an [`HtmlReport`].
+#[derive(Debug, Clone)]
+struct Section {
+    title: String,
+    blocks: Vec<Block>,
+}
+
+/// Builder for a single-file HTML report.
+///
+/// # Examples
+///
+/// ```
+/// use rram_analysis::html::HtmlReport;
+///
+/// let mut report = HtmlReport::new("fig 3a");
+/// report.section("Sweep");
+/// report.paragraph("Pulses to a bit-flip over pulse length.");
+/// report.key_values(&[("points".into(), "14".into())]);
+/// let html = report.render();
+/// assert!(html.starts_with("<!DOCTYPE html>"));
+/// assert!(html.contains("fig 3a"));
+/// // Pure builder: rendering twice gives identical bytes.
+/// assert_eq!(html, report.render());
+/// ```
+#[derive(Debug, Clone)]
+pub struct HtmlReport {
+    title: String,
+    sections: Vec<Section>,
+}
+
+impl HtmlReport {
+    /// An empty report titled `title`.
+    pub fn new(title: impl Into<String>) -> HtmlReport {
+        HtmlReport {
+            title: title.into(),
+            sections: Vec::new(),
+        }
+    }
+
+    /// Starts a new titled section; blocks append to the latest section.
+    pub fn section(&mut self, title: impl Into<String>) {
+        self.sections.push(Section {
+            title: title.into(),
+            blocks: Vec::new(),
+        });
+    }
+
+    fn push(&mut self, block: Block) {
+        if self.sections.is_empty() {
+            self.section("");
+        }
+        self.sections
+            .last_mut()
+            .expect("section exists")
+            .blocks
+            .push(block);
+    }
+
+    /// Appends a prose paragraph (escaped).
+    pub fn paragraph(&mut self, text: impl Into<String>) {
+        self.push(Block::Paragraph(text.into()));
+    }
+
+    /// Appends a monospace block (escaped) — tables, JSON, raw numbers.
+    pub fn preformatted(&mut self, text: impl Into<String>) {
+        self.push(Block::Preformatted(text.into()));
+    }
+
+    /// Appends raw trusted markup, e.g. an [`svg_chart`]. Empty strings
+    /// are ignored (charts with nothing plottable render as empty).
+    pub fn raw(&mut self, markup: impl Into<String>) {
+        let markup = markup.into();
+        if !markup.is_empty() {
+            self.push(Block::Raw(markup));
+        }
+    }
+
+    /// Appends a two-column key/value table (escaped).
+    pub fn key_values(&mut self, entries: &[(String, String)]) {
+        self.push(Block::KeyValues(entries.to_vec()));
+    }
+
+    /// Renders the complete single-file document.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        out.push_str("<!DOCTYPE html>\n<html lang=\"en\">\n<head>\n<meta charset=\"utf-8\">\n");
+        let _ = writeln!(out, "<title>{}</title>", escape(&self.title));
+        out.push_str(
+            "<style>\n\
+             body{font-family:system-ui,sans-serif;margin:2rem auto;max-width:60rem;\
+             padding:0 1rem;color:#1a1a1a}\n\
+             h1{border-bottom:2px solid #ccc;padding-bottom:.3rem}\n\
+             h2{margin-top:2rem;border-bottom:1px solid #ddd;padding-bottom:.2rem}\n\
+             pre{background:#f6f6f6;padding:.8rem;overflow-x:auto;font-size:.85rem}\n\
+             table.kv{border-collapse:collapse;margin:.5rem 0}\n\
+             table.kv td{border:1px solid #ddd;padding:.25rem .6rem;font-size:.9rem}\n\
+             table.kv td:first-child{background:#f6f6f6;font-weight:600}\n\
+             svg{max-width:100%;height:auto}\n\
+             </style>\n</head>\n<body>\n",
+        );
+        let _ = writeln!(out, "<h1>{}</h1>", escape(&self.title));
+        for section in &self.sections {
+            if !section.title.is_empty() {
+                let _ = writeln!(out, "<h2>{}</h2>", escape(&section.title));
+            }
+            for block in &section.blocks {
+                match block {
+                    Block::Paragraph(text) => {
+                        let _ = writeln!(out, "<p>{}</p>", escape(text));
+                    }
+                    Block::Preformatted(text) => {
+                        let _ = writeln!(out, "<pre>{}</pre>", escape(text));
+                    }
+                    Block::Raw(markup) => {
+                        out.push_str(markup);
+                        out.push('\n');
+                    }
+                    Block::KeyValues(entries) => {
+                        out.push_str("<table class=\"kv\">\n");
+                        for (key, value) in entries {
+                            let _ = writeln!(
+                                out,
+                                "<tr><td>{}</td><td>{}</td></tr>",
+                                escape(key),
+                                escape(value),
+                            );
+                        }
+                        out.push_str("</table>\n");
+                    }
+                }
+            }
+        }
+        out.push_str("</body>\n</html>\n");
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn escape_covers_markup_characters() {
+        assert_eq!(escape("a<b>&\"c\""), "a&lt;b&gt;&amp;&quot;c&quot;");
+        assert_eq!(escape("plain"), "plain");
+    }
+
+    #[test]
+    fn chart_plots_log_series() {
+        let svg = svg_chart(
+            &[SvgSeries {
+                name: "5x5".into(),
+                points: vec![(10.0, 1e3), (100.0, 1e5)],
+            }],
+            "pulse length [ns]",
+            "pulses to flip",
+            true,
+            true,
+        );
+        assert!(svg.starts_with("<svg "));
+        assert!(svg.ends_with("</svg>"));
+        assert!(svg.contains("polyline"));
+        assert!(svg.contains("pulse length [ns]"));
+        // Log ticks label the original decades, not the exponents.
+        assert!(svg.contains(">10<") || svg.contains(">1e1<"), "{svg}");
+    }
+
+    #[test]
+    fn chart_drops_unplottable_points_and_series() {
+        // Non-positive values vanish from log axes; an all-bad chart is empty.
+        assert_eq!(
+            svg_chart(
+                &[SvgSeries {
+                    name: "bad".into(),
+                    points: vec![(0.0, -1.0)],
+                }],
+                "x",
+                "y",
+                true,
+                true,
+            ),
+            ""
+        );
+        let one_good = svg_chart(
+            &[SvgSeries {
+                name: "mixed".into(),
+                points: vec![(1.0, 1.0), (2.0, f64::NAN)],
+            }],
+            "x",
+            "y",
+            false,
+            false,
+        );
+        assert!(one_good.contains("circle"));
+    }
+
+    #[test]
+    fn report_renders_deterministically() {
+        let mut report = HtmlReport::new("demo <campaign>");
+        report.section("Numbers & charts");
+        report.paragraph("A \"quoted\" note.");
+        report.preformatted("x | y\n1 | 2");
+        report.key_values(&[("fingerprint".into(), "abc123".into())]);
+        report.raw(svg_chart(
+            &[SvgSeries {
+                name: "s".into(),
+                points: vec![(1.0, 2.0), (3.0, 4.0)],
+            }],
+            "x",
+            "y",
+            false,
+            false,
+        ));
+        report.raw(""); // ignored
+        let first = report.render();
+        let second = report.render();
+        assert_eq!(first, second);
+        assert!(first.contains("demo &lt;campaign&gt;"));
+        assert!(first.contains("Numbers &amp; charts"));
+        assert!(first.contains("&quot;quoted&quot;"));
+        assert!(first.contains("<svg "));
+        assert!(!first.contains("href=")); // self-contained: no links out
+    }
+
+    #[test]
+    fn blocks_before_any_section_get_an_anonymous_one() {
+        let mut report = HtmlReport::new("t");
+        report.paragraph("intro");
+        let html = report.render();
+        assert!(html.contains("<p>intro</p>"));
+    }
+}

@@ -16,6 +16,10 @@
 //! * [`report`] — a sectioned report builder combining text, tables and
 //!   charts (the output format of the figure binaries and campaign runs).
 //! * [`ascii_plot`] — quick semi-log ASCII charts for terminal inspection.
+//! * [`tui`] — a progressive pure-ANSI campaign dashboard redrawn live as
+//!   sweep points finish (the `--tui` mode of the figure binaries).
+//! * [`html`] — a self-contained HTML report with inline SVG charts (the
+//!   `--html` mode of the figure binaries), byte-reproducible per spec.
 //! * [`csv`] — minimal CSV writing (no external dependency) so results can be
 //!   post-processed.
 //!
@@ -38,11 +42,13 @@
 
 pub mod ascii_plot;
 pub mod csv;
+pub mod html;
 pub mod pareto;
 pub mod regression;
 pub mod report;
 pub mod stats;
 pub mod table;
+pub mod tui;
 
 pub use pareto::{dominates, pareto_front_indices};
 pub use regression::{linear_fit, FitError, LinearFit};

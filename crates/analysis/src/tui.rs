@@ -1,0 +1,382 @@
+//! A progressive pure-ANSI campaign dashboard.
+//!
+//! The figure binaries (under `--tui`) and the remote event follower
+//! redraw one [`Dashboard`] as campaign events land: a progress/throughput
+//! header, a sparkline per sweep series, the defence Pareto front so far,
+//! and fleet status lines when following a sharded job remotely.
+//!
+//! The crate is deliberately ignorant of campaign types: callers translate
+//! their events into the neutral [`TuiEvent`]/[`TuiPoint`] form. Rendering
+//! is split in two layers so frames are testable byte for byte:
+//!
+//! * [`Dashboard::frame`] is a **pure** function of the accumulated state,
+//!   the width and the caller-supplied elapsed time — no ANSI, no clock,
+//!   no terminal probing. Golden-frame tests pin its output.
+//! * [`Dashboard::ansi_frame`] wraps a frame in the cursor-home/clear
+//!   control codes that turn repeated prints into an in-place redraw.
+
+use std::collections::BTreeMap;
+
+use crate::ascii_plot::{progress_line, sparkline};
+use crate::pareto::pareto_front_indices;
+
+/// One finished sweep point, translated for display.
+#[derive(Debug, Clone)]
+pub struct TuiPoint {
+    /// Series the point belongs to (one sparkline per distinct value).
+    pub series: String,
+    /// Sweep coordinate — series points are plotted in ascending `x`.
+    pub x: f64,
+    /// Human-readable label of the sweep coordinate (`"10 ns"`).
+    pub label: String,
+    /// Pulses to the first victim flip; `None` when the budget ran out.
+    pub pulses: Option<u64>,
+    /// Whether the victim flipped at this point.
+    pub flipped: bool,
+    /// Defence coordinates, when the point was guarded:
+    /// `(guard label, protection ∈ {0, 1}, overhead fraction)`.
+    pub pareto: Option<(String, f64, f64)>,
+    /// Wall-clock duration of the point, when known.
+    pub wall_ns: Option<u64>,
+}
+
+/// One campaign event, translated for display.
+#[derive(Debug, Clone)]
+pub enum TuiEvent {
+    /// The campaign announced its grid size.
+    Started {
+        /// Points in the (sharded) grid.
+        total: usize,
+    },
+    /// One point finished.
+    Point(TuiPoint),
+    /// The campaign completed.
+    Finished,
+    /// Replace the fleet/shard status lines (remote follower only).
+    Status(Vec<String>),
+}
+
+/// Accumulated per-series display state.
+#[derive(Debug, Clone, Default)]
+struct SeriesState {
+    /// `(x, pulses)` pairs, kept sorted by `x`.
+    points: Vec<(f64, Option<u64>)>,
+    flipped: usize,
+    last_label: String,
+    last_pulses: Option<u64>,
+}
+
+/// Running aggregate of one guard's defence outcomes.
+#[derive(Debug, Clone, Default)]
+struct GuardState {
+    points: usize,
+    protection_sum: f64,
+    overhead_sum: f64,
+}
+
+/// The progressive campaign dashboard. Feed it [`TuiEvent`]s with
+/// [`Dashboard::on_event`] and render with [`Dashboard::frame`] (pure) or
+/// [`Dashboard::ansi_frame`] (in-place terminal redraw).
+///
+/// # Examples
+///
+/// ```
+/// use rram_analysis::tui::{Dashboard, TuiEvent, TuiPoint};
+///
+/// let mut dash = Dashboard::new("fig 3a");
+/// dash.on_event(&TuiEvent::Started { total: 2 });
+/// dash.on_event(&TuiEvent::Point(TuiPoint {
+///     series: "5x5".into(),
+///     x: 10.0,
+///     label: "10 ns".into(),
+///     pulses: Some(31_000),
+///     flipped: true,
+///     pareto: None,
+///     wall_ns: None,
+/// }));
+/// let frame = dash.frame(72, 2.0);
+/// assert!(frame.contains("fig 3a"));
+/// assert!(frame.contains("1/2"));
+/// ```
+#[derive(Debug, Clone)]
+pub struct Dashboard {
+    title: String,
+    total: usize,
+    done: usize,
+    finished: bool,
+    series: BTreeMap<String, SeriesState>,
+    guards: BTreeMap<String, GuardState>,
+    status: Vec<String>,
+    drawn: bool,
+}
+
+impl Dashboard {
+    /// An empty dashboard titled `title`.
+    pub fn new(title: impl Into<String>) -> Dashboard {
+        Dashboard {
+            title: title.into(),
+            total: 0,
+            done: 0,
+            finished: false,
+            series: BTreeMap::new(),
+            guards: BTreeMap::new(),
+            status: Vec::new(),
+            drawn: false,
+        }
+    }
+
+    /// Folds one event into the display state.
+    pub fn on_event(&mut self, event: &TuiEvent) {
+        match event {
+            TuiEvent::Started { total } => self.total = *total,
+            TuiEvent::Point(point) => {
+                self.done += 1;
+                let series = self.series.entry(point.series.clone()).or_default();
+                let at = series.points.partition_point(|&(x, _)| x <= point.x);
+                series.points.insert(at, (point.x, point.pulses));
+                if point.flipped {
+                    series.flipped += 1;
+                }
+                series.last_label = point.label.clone();
+                series.last_pulses = point.pulses;
+                if let Some((guard, protection, overhead)) = &point.pareto {
+                    let state = self.guards.entry(guard.clone()).or_default();
+                    state.points += 1;
+                    state.protection_sum += protection;
+                    state.overhead_sum += overhead;
+                }
+            }
+            TuiEvent::Finished => self.finished = true,
+            TuiEvent::Status(lines) => self.status = lines.clone(),
+        }
+    }
+
+    /// Points folded in so far.
+    pub fn done(&self) -> usize {
+        self.done
+    }
+
+    /// Whether a `Finished` event has landed.
+    pub fn finished(&self) -> bool {
+        self.finished
+    }
+
+    /// Renders the dashboard as plain text — no ANSI codes, no clock.
+    /// `elapsed_secs` drives the throughput figure; passing it in keeps
+    /// the render a pure function (golden-frame tests pin exact bytes).
+    pub fn frame(&self, width: usize, elapsed_secs: f64) -> String {
+        let width = width.max(24);
+        let mut out = String::new();
+        out.push_str(&truncate(&format!("== {} ==", self.title), width));
+        out.push('\n');
+        let rate = if elapsed_secs > 0.0 {
+            self.done as f64 / elapsed_secs
+        } else {
+            0.0
+        };
+        out.push_str(&truncate(
+            &format!(
+                "{} · {rate:.1} pts/s · {elapsed_secs:.1} s",
+                progress_line(self.done, self.total.max(self.done), 20)
+            ),
+            width,
+        ));
+        out.push('\n');
+
+        for (name, series) in &self.series {
+            out.push_str(&truncate(&format!("» {name}"), width));
+            out.push('\n');
+            let flips: Vec<f64> = series
+                .points
+                .iter()
+                .filter_map(|&(_, pulses)| pulses.map(|p| (p.max(1) as f64).log10()))
+                .collect();
+            let misses = series.points.len() - flips.len();
+            let line = sparkline(&flips).unwrap_or_else(|| "(no flips yet)".into());
+            let mut summary = format!(
+                "  {line} · {}/{} flipped",
+                series.flipped,
+                series.points.len()
+            );
+            if misses > 0 {
+                summary.push_str(&format!(" · {misses} over budget"));
+            }
+            out.push_str(&truncate(&summary, width));
+            out.push('\n');
+            let last = match series.last_pulses {
+                Some(pulses) => format!("  last {} → {pulses} pulses", series.last_label),
+                None => format!("  last {} → no flip within budget", series.last_label),
+            };
+            out.push_str(&truncate(&last, width));
+            out.push('\n');
+        }
+
+        if !self.guards.is_empty() {
+            out.push_str(&truncate(
+                "» defence front (P(block) vs overhead; * = on front)",
+                width,
+            ));
+            out.push('\n');
+            let rows: Vec<(&String, f64, f64)> = self
+                .guards
+                .iter()
+                .map(|(name, g)| {
+                    let n = g.points.max(1) as f64;
+                    (name, g.protection_sum / n, g.overhead_sum / n)
+                })
+                .collect();
+            let coordinates: Vec<(f64, f64)> = rows.iter().map(|&(_, p, o)| (p, o)).collect();
+            let front = pareto_front_indices(&coordinates);
+            for (index, (name, protection, overhead)) in rows.iter().enumerate() {
+                let marker = if front.contains(&index) { '*' } else { ' ' };
+                out.push_str(&truncate(
+                    &format!("  {marker} {name} · P={protection:.3} · ovh={overhead:.4}"),
+                    width,
+                ));
+                out.push('\n');
+            }
+        }
+
+        if !self.status.is_empty() {
+            out.push_str(&truncate("» fleet", width));
+            out.push('\n');
+            for line in &self.status {
+                out.push_str(&truncate(&format!("  {line}"), width));
+                out.push('\n');
+            }
+        }
+
+        if self.finished {
+            out.push_str(&truncate("campaign finished", width));
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Renders a frame wrapped in ANSI control codes for an in-place
+    /// redraw: the first call clears the screen, later calls re-home the
+    /// cursor and clear whatever the shorter new frame leaves behind.
+    /// Print the result to the terminal verbatim (no added newline).
+    pub fn ansi_frame(&mut self, width: usize, elapsed_secs: f64) -> String {
+        let body = self.frame(width, elapsed_secs);
+        let prefix = if self.drawn {
+            "\x1b[H"
+        } else {
+            self.drawn = true;
+            "\x1b[2J\x1b[H"
+        };
+        format!("{prefix}{body}\x1b[0J")
+    }
+}
+
+/// Clips a line to `width` characters, marking the cut with `…`.
+fn truncate(line: &str, width: usize) -> String {
+    let count = line.chars().count();
+    if count <= width {
+        return line.to_string();
+    }
+    let mut out: String = line.chars().take(width.saturating_sub(1)).collect();
+    out.push('…');
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn point(series: &str, x: f64, pulses: Option<u64>) -> TuiEvent {
+        TuiEvent::Point(TuiPoint {
+            series: series.into(),
+            x,
+            label: format!("{x:.0} ns"),
+            pulses,
+            flipped: pulses.is_some(),
+            pareto: None,
+            wall_ns: None,
+        })
+    }
+
+    #[test]
+    fn golden_empty_frame() {
+        let dash = Dashboard::new("demo");
+        assert_eq!(
+            dash.frame(60, 0.0),
+            "== demo ==\n[####################] 0/0 (100%) · 0.0 pts/s · 0.0 s\n"
+        );
+    }
+
+    #[test]
+    fn golden_sweep_frame() {
+        let mut dash = Dashboard::new("fig 3a");
+        dash.on_event(&TuiEvent::Started { total: 4 });
+        // Out-of-order arrival: x = 100 lands before x = 10.
+        dash.on_event(&point("5x5", 100.0, Some(100_000)));
+        dash.on_event(&point("5x5", 10.0, Some(1_000)));
+        dash.on_event(&point("5x5", 1000.0, None));
+        assert_eq!(
+            dash.frame(72, 2.0),
+            "== fig 3a ==\n\
+             [###############-----] 3/4 (75%) · 1.5 pts/s · 2.0 s\n\
+             » 5x5\n\
+             \x20 ▁█ · 2/3 flipped · 1 over budget\n\
+             \x20 last 1000 ns → no flip within budget\n"
+        );
+    }
+
+    #[test]
+    fn golden_finished_frame_with_defense_and_status() {
+        let mut dash = Dashboard::new("defense");
+        dash.on_event(&TuiEvent::Started { total: 2 });
+        for (guard, protection, overhead) in
+            [("refresh n=32", 1.0, 0.02), ("throttle 1 µs", 0.0, 0.05)]
+        {
+            dash.on_event(&TuiEvent::Point(TuiPoint {
+                series: "guards".into(),
+                x: overhead,
+                label: guard.into(),
+                pulses: None,
+                flipped: false,
+                pareto: Some((guard.into(), protection, overhead)),
+                wall_ns: Some(1),
+            }));
+        }
+        dash.on_event(&TuiEvent::Status(vec!["shard 0/2: done".into()]));
+        dash.on_event(&TuiEvent::Finished);
+        let frame = dash.frame(72, 4.0);
+        assert!(frame.contains("» defence front"), "{frame}");
+        // The blocking guard dominates; the non-blocking, costlier one
+        // stays off the front.
+        assert!(
+            frame.contains("* refresh n=32 · P=1.000 · ovh=0.0200"),
+            "{frame}"
+        );
+        assert!(
+            frame.contains("  throttle 1 µs · P=0.000 · ovh=0.0500"),
+            "{frame}"
+        );
+        assert!(frame.contains("» fleet\n  shard 0/2: done"), "{frame}");
+        assert!(frame.ends_with("campaign finished\n"), "{frame}");
+    }
+
+    #[test]
+    fn ansi_frames_clear_then_rehome() {
+        let mut dash = Dashboard::new("x");
+        let first = dash.ansi_frame(40, 0.0);
+        assert!(first.starts_with("\x1b[2J\x1b[H"));
+        assert!(first.ends_with("\x1b[0J"));
+        let second = dash.ansi_frame(40, 1.0);
+        assert!(second.starts_with("\x1b[H"));
+        assert!(!second.contains("\x1b[2J"));
+    }
+
+    #[test]
+    fn long_lines_are_clipped() {
+        assert_eq!(truncate("abcdef", 6), "abcdef");
+        assert_eq!(truncate("abcdefg", 6), "abcde…");
+        let mut dash = Dashboard::new("t".repeat(100));
+        dash.on_event(&TuiEvent::Started { total: 1 });
+        for line in dash.frame(30, 0.0).lines() {
+            assert!(line.chars().count() <= 30, "{line:?}");
+        }
+    }
+}

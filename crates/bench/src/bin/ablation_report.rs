@@ -7,7 +7,7 @@
 //! Run with `cargo run -p neurohammer-bench --release --bin ablation_report`.
 
 use neurohammer::ablation_report;
-use neurohammer::campaign::CampaignSpec;
+use neurohammer::campaign::{CampaignAxis, CampaignSpec};
 use neurohammer_bench::{figure_setup, quick_requested, resolve_campaign, run_figure_campaign};
 use rram_analysis::{Report, Table};
 use rram_crossbar::BackendKind;
@@ -50,7 +50,7 @@ fn main() {
         batching: false,
         ..CampaignSpec::default()
     });
-    let agreement = run_figure_campaign(spec);
+    let agreement = run_figure_campaign(spec, CampaignAxis::Backend);
     rendered.section("Backend agreement (pulse vs detailed engine)");
     rendered.push(agreement.to_table().to_string());
     rendered.push(match agreement.max_backend_drift_ratio() {

@@ -15,6 +15,7 @@
 //! for the bit-exact report JSON instead of the trace, `--spec` to print
 //! the executed spec as JSON.
 
+use neurohammer::campaign::CampaignAxis;
 use neurohammer::run_attack;
 use neurohammer_bench::{
     figure_campaign, maybe_print_report_json, maybe_print_spec, quick_requested, resolve_campaign,
@@ -26,7 +27,7 @@ fn main() {
     let mut spec = figure_campaign(quick_requested());
     spec.name = "fig1 attack phase trace (50 ns, 50 nm, 300 K)".into();
     let spec = resolve_campaign(spec);
-    let report = run_figure_campaign(spec.clone());
+    let report = run_figure_campaign(spec.clone(), CampaignAxis::PulseLength);
     if maybe_print_report_json(&report) {
         return;
     }

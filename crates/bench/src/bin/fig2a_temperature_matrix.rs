@@ -30,7 +30,7 @@ fn main() {
     spec.coupling = CouplingSpec::Fem { voxel_nm: voxel };
     spec.max_pulses = 20_000;
     let spec = resolve_campaign(spec);
-    let report = run_figure_campaign(spec.clone());
+    let report = run_figure_campaign(spec.clone(), CampaignAxis::Spacing);
     if maybe_print_report_json(&report) {
         return;
     }

@@ -26,7 +26,7 @@ fn main() {
     };
     let spec = resolve_campaign(spec);
 
-    let report = run_figure_campaign(spec.clone());
+    let report = run_figure_campaign(spec.clone(), CampaignAxis::PulseLength);
     // Machine-readable form, every float bit-exact: two runs of the same
     // spec must diff empty (the CI surrogate smoke relies on it).
     if maybe_print_report_json(&report) {

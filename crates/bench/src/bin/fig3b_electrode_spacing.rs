@@ -33,7 +33,7 @@ fn main() {
     };
     let spec = resolve_campaign(spec);
 
-    let report = run_figure_campaign(spec.clone());
+    let report = run_figure_campaign(spec.clone(), CampaignAxis::Spacing);
     if maybe_print_report_json(&report) {
         return;
     }

@@ -27,7 +27,7 @@ fn main() {
     };
     let spec = resolve_campaign(spec);
 
-    let report = run_figure_campaign(spec.clone());
+    let report = run_figure_campaign(spec.clone(), CampaignAxis::Ambient);
     if maybe_print_report_json(&report) {
         return;
     }

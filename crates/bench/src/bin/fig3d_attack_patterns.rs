@@ -22,7 +22,7 @@ fn main() {
     spec.patterns = AttackPattern::ALL.to_vec();
     let spec = resolve_campaign(spec);
 
-    let report = run_figure_campaign(spec.clone());
+    let report = run_figure_campaign(spec.clone(), CampaignAxis::Pattern);
     if maybe_print_report_json(&report) {
         return;
     }

@@ -19,7 +19,7 @@
 //! form (defence statistics + Pareto front + full report) that CI diffs
 //! for determinism.
 
-use neurohammer::campaign::CampaignSpec;
+use neurohammer::campaign::{CampaignAxis, CampaignSpec};
 use neurohammer_bench::{
     csv_requested, figure_campaign, maybe_print_spec, quick_requested, resolve_campaign,
     run_figure_campaign,
@@ -128,7 +128,7 @@ fn main() {
     let quick = quick_requested();
     let json = std::env::args().any(|a| a == "--json");
     let spec = resolve_campaign(defense_campaign(quick));
-    let report = run_figure_campaign(spec.clone());
+    let report = run_figure_campaign(spec.clone(), CampaignAxis::Guard);
 
     if json {
         // Machine-readable form: the spec, the collapsed defence statistics

@@ -14,11 +14,12 @@
 //! Flags: `--quick` (small grid, synthetic coupling), `--csv` (raw
 //! per-trial rows and statistics as CSV), `--json` (machine-readable
 //! statistics + full reports, for determinism diffing), `--spec` (print
-//! the executed campaign specs).
+//! the executed campaign specs), `--tui` (live amplitude-axis dashboard
+//! per σ campaign; needs a terminal on stderr).
 
-use neurohammer::campaign::{CampaignEvent, CampaignExecutor, CampaignReport, CampaignSpec};
-use neurohammer_bench::{csv_requested, figure_campaign, quick_requested, spec_requested};
-use rram_analysis::ascii_plot::progress_line;
+use neurohammer::campaign::{CampaignAxis, CampaignReport, CampaignSpec};
+use neurohammer_bench::worker::{execute_shard, RunOptions};
+use neurohammer_bench::{csv_requested, figure_campaign, observe, quick_requested, spec_requested};
 use rram_analysis::Table;
 use rram_crossbar::BackendKind;
 use rram_jart::DeviceParams;
@@ -58,24 +59,25 @@ fn sigma_campaign(sigma: f64, quick: bool) -> CampaignSpec {
     spec
 }
 
-/// Runs one σ's campaign with a stderr progress line.
+/// Runs one σ's campaign through the shared runner: TTY-aware progress on
+/// stderr, or — under `--tui` — a per-σ live dashboard over the amplitude
+/// axis.
 fn run_with_progress(spec: CampaignSpec) -> CampaignReport {
-    let executor = CampaignExecutor::new(spec).unwrap_or_else(|e| panic!("invalid campaign: {e}"));
-    let name = executor.spec().name.clone();
-    let (mut total, mut done) = (0usize, 0usize);
-    executor
-        .execute(|event| match event {
-            CampaignEvent::Started { total: points } => {
-                total = points;
-                eprintln!("campaign {name:?}: {points} points");
-            }
-            CampaignEvent::PointFinished(_) => {
-                done += 1;
-                eprint!("\r{}", progress_line(done, total, 40));
-            }
-            CampaignEvent::Finished => eprintln!(),
-        })
-        .unwrap_or_else(|e| panic!("campaign failed: {e}"))
+    let mut tui = observe::TuiDriver::from_flags(&spec.name, CampaignAxis::Amplitude);
+    let options = RunOptions {
+        progress: tui.is_none(),
+        ..Default::default()
+    };
+    let report = execute_shard(spec, options, |event| {
+        if let Some(driver) = tui.as_mut() {
+            driver.observe(event);
+        }
+    })
+    .unwrap_or_else(|e| panic!("campaign failed: {e}"));
+    if let Some(driver) = tui {
+        driver.finish();
+    }
+    report
 }
 
 fn main() {

@@ -33,11 +33,18 @@
 //! * `--alpha-cache <dir>` — persist FEM α-matrix extractions to a
 //!   versioned on-disk cache in `<dir>`, so repeated campaign *processes*
 //!   skip the field solve (defaults to the `--checkpoint` directory when
-//!   checkpointing).
+//!   checkpointing);
+//! * `--tui` — redraw a live ANSI dashboard (per-series sweep sparklines,
+//!   defence Pareto front, throughput) on stderr as points finish; needs
+//!   stderr to be a terminal;
+//! * `--html <path>` — additionally export the finished report as one
+//!   self-contained HTML file (inline SVG charts, campaign fingerprint,
+//!   deterministic telemetry snapshot), byte-reproducible per spec.
 
 #![deny(missing_docs)]
 #![deny(unsafe_code)]
 
+pub mod observe;
 pub mod worker;
 
 use std::path::PathBuf;
@@ -128,7 +135,7 @@ pub fn maybe_print_report_json(report: &CampaignReport) -> bool {
 
 /// Returns the value following `flag`, rejecting a missing value or one
 /// that is itself a `--flag` token (a forgotten argument).
-fn flag_value(flag: &str) -> Option<String> {
+pub(crate) fn flag_value(flag: &str) -> Option<String> {
     let args: Vec<String> = std::env::args().collect();
     let flag_index = args.iter().position(|a| a == flag)?;
     let value = args
@@ -207,8 +214,10 @@ pub fn merge_requested() -> Option<Vec<PathBuf>> {
 }
 
 /// Executes a figure campaign through the streaming executor, honouring the
-/// `--shard`, `--checkpoint`, `--resume` and `--merge` flags, and renders a
-/// live progress line on stderr as points finish.
+/// `--shard`, `--checkpoint`, `--resume`, `--merge`, `--tui` and `--html`
+/// flags, and renders a live progress line on stderr as points finish.
+/// `axis` names the sweep the figure slices its series over — the live
+/// `--tui` dashboard and the `--html` export group by it.
 ///
 /// With `--merge <path>...` nothing is executed: the checkpoint files are
 /// read, de-duplicated by point key and re-sorted into grid order, so a
@@ -222,10 +231,12 @@ pub fn merge_requested() -> Option<Vec<PathBuf>> {
 ///
 /// Panics on an invalid spec, an unreadable or foreign checkpoint, or an
 /// execution failure (these binaries are command-line tools).
-pub fn run_figure_campaign(spec: CampaignSpec) -> CampaignReport {
+pub fn run_figure_campaign(spec: CampaignSpec, axis: CampaignAxis) -> CampaignReport {
     if let Some(merge) = merge_requested() {
-        return worker::merge_checkpoints(&spec, &merge)
+        let report = worker::merge_checkpoints(&spec, &merge)
             .unwrap_or_else(|e| panic!("cannot merge checkpoints: {e}"));
+        observe::maybe_write_html(&spec.name.clone(), &spec, &report, axis);
+        return report;
     }
 
     let checkpoint = checkpoint_requested();
@@ -243,6 +254,7 @@ pub fn run_figure_campaign(spec: CampaignSpec) -> CampaignReport {
     // A fresh (non-resume) run starts its checkpoint from scratch so stale
     // outcomes from an earlier run cannot shadow the new ones on later
     // reads; a resumed run appends (the reader de-duplicates by key).
+    let mut tui = observe::TuiDriver::from_flags(&spec.name, axis);
     let options = worker::RunOptions {
         shard: shard_requested().unwrap_or_default(),
         resume: recovered,
@@ -251,9 +263,21 @@ pub fn run_figure_campaign(spec: CampaignSpec) -> CampaignReport {
             append: resume,
         }),
         alpha_cache: alpha_cache_requested(),
-        progress: true,
+        // The dashboard owns the terminal while --tui is active; the plain
+        // progress line would fight its in-place redraw.
+        progress: tui.is_none(),
     };
-    worker::execute_shard(spec, options, |_| {}).unwrap_or_else(|e| panic!("campaign failed: {e}"))
+    let report = worker::execute_shard(spec.clone(), options, |event| {
+        if let Some(driver) = tui.as_mut() {
+            driver.observe(event);
+        }
+    })
+    .unwrap_or_else(|e| panic!("campaign failed: {e}"));
+    if let Some(driver) = tui {
+        driver.finish();
+    }
+    observe::maybe_write_html(&spec.name, &spec, &report, axis);
+    report
 }
 
 /// Returns the campaign spec from `--campaign <path>` when given, otherwise

@@ -12,6 +12,7 @@
 //! sink to stream `PointFinished` results back to the server.
 
 use std::collections::HashSet;
+use std::io::IsTerminal;
 use std::path::PathBuf;
 
 use neurohammer::campaign::{
@@ -87,7 +88,12 @@ where
 
     let name = executor.spec().name.clone();
     let shard = executor.shard();
+    // Carriage-return redraw is for humans at a terminal; in a pipe or a
+    // CI log it smears every intermediate frame onto one unreadable line,
+    // so a non-TTY stderr gets plain newline-delimited decile updates.
+    let interactive = options.progress && std::io::stderr().is_terminal();
     let (mut total, mut done) = (0usize, 0usize);
+    let mut last_decile = 0usize;
     let mut sink_error = None;
     let report = executor.execute(|event| {
         match &event {
@@ -106,12 +112,18 @@ where
                     }
                 }
                 done += 1;
-                if options.progress {
+                if interactive {
                     eprint!("\r{}", progress_line(done, total, 40));
+                } else if options.progress && total > 0 {
+                    let decile = done * 10 / total;
+                    if decile > last_decile {
+                        last_decile = decile;
+                        eprintln!("{}", progress_line(done, total, 40));
+                    }
                 }
             }
             CampaignEvent::Finished => {
-                if options.progress {
+                if interactive {
                     eprintln!();
                 }
             }

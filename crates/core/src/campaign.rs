@@ -393,12 +393,13 @@ impl CampaignPoint {
         }
     }
 
-    /// Label of this point over every axis except `excluded` (the grouping
-    /// key used when slicing a report into series). Sweeping the guard axis
-    /// keeps each guard *kind* its own series: threshold coordinates
+    /// Label of this point over every axis except `excluded` — the grouping
+    /// key used when slicing a report into series (and the series name the
+    /// live TUI dashboard groups under). Sweeping the guard axis keeps each
+    /// guard *kind* its own series: threshold coordinates
     /// ([`GuardSpec::axis_value`]) are pulses, kelvin or microseconds
     /// depending on the kind, so only same-kind points order meaningfully.
-    fn key_excluding(&self, excluded: CampaignAxis) -> String {
+    pub fn series_key(&self, excluded: CampaignAxis) -> String {
         let mut key = CampaignAxis::ALL
             .iter()
             .filter(|&&axis| axis != excluded)
@@ -493,7 +494,7 @@ pub(crate) fn fnv1a_words(words: &[u64]) -> u64 {
 }
 
 /// Result of one executed grid point.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct CampaignOutcome {
     /// Stable identity of the grid point (position + content fingerprint).
     pub key: PointKey,
@@ -518,6 +519,33 @@ pub struct CampaignOutcome {
     /// points, which run the plain attack): blocked?, pulses to detection,
     /// false triggers on the benign workload, energy/latency overhead.
     pub defense: Option<DefenseOutcome>,
+    /// Wall-clock time the point took to simulate, in nanoseconds
+    /// ([`None`] when replayed from a pre-telemetry checkpoint).
+    ///
+    /// Pure observability metadata: it is **not** part of the point's
+    /// [`PointKey`] fingerprint, it never enters [`CampaignReport`]'s JSON,
+    /// CSV or table renderings, and merge/resume ignore it — two outcomes
+    /// differing only here are the same result. Checkpoint lines and
+    /// streamed [`CampaignEvent`]s carry it (`wall_ns`) so dashboards can
+    /// show per-point cost and throughput.
+    pub wall_ns: Option<u64>,
+}
+
+/// Equality over the *result* fields only: the `wall_ns` observability
+/// metadata is ignored, so a replayed checkpoint outcome compares equal to
+/// the freshly computed point however long either took on the wall clock.
+impl PartialEq for CampaignOutcome {
+    fn eq(&self, other: &Self) -> bool {
+        self.key == other.key
+            && self.point == other.point
+            && self.flipped == other.flipped
+            && self.pulses == other.pulses
+            && self.victim_drift == other.victim_drift
+            && self.final_crosstalk == other.final_crosstalk
+            && self.sim_time == other.sim_time
+            && self.collateral_flips == other.collateral_flips
+            && self.defense == other.defense
+    }
 }
 
 /// Everything that can go wrong assembling or executing a campaign.
@@ -851,6 +879,13 @@ impl CampaignSpec {
             words.extend(spread.fingerprint_words());
         }
         fnv1a_words(&words)
+    }
+
+    /// Public form of the execution fingerprint, for report provenance
+    /// (the `--html` export stamps it next to the campaign name so two
+    /// artifacts are comparable at a glance).
+    pub fn fingerprint(&self) -> u64 {
+        self.execution_fingerprint()
     }
 
     /// Expands the grid into `(key, point)` pairs in grid order — the form
@@ -1856,7 +1891,7 @@ impl CampaignReport {
         let mut order: Vec<String> = Vec::new();
         let mut groups: HashMap<String, Vec<&CampaignOutcome>> = HashMap::new();
         for outcome in &self.outcomes {
-            let key = outcome.point.key_excluding(axis);
+            let key = outcome.point.series_key(axis);
             if !groups.contains_key(&key) {
                 order.push(key.clone());
             }
@@ -1897,7 +1932,7 @@ impl CampaignReport {
         let mut groups: HashMap<String, Vec<f64>> = HashMap::new();
         for outcome in &self.outcomes {
             groups
-                .entry(outcome.point.key_excluding(CampaignAxis::Backend))
+                .entry(outcome.point.series_key(CampaignAxis::Backend))
                 .or_default()
                 .push(outcome.victim_drift);
         }

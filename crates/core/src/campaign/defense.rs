@@ -201,7 +201,7 @@ impl CampaignReport {
                 let tally = Tally::of(&members);
                 let (wilson_low, wilson_high) = tally.wilson();
                 DefenseGroup {
-                    name: members[0].point.key_excluding(CampaignAxis::Trial),
+                    name: members[0].point.series_key(CampaignAxis::Trial),
                     guard: members[0].point.guard,
                     trials: tally.n,
                     blocked: tally.blocked,

@@ -311,17 +311,46 @@ impl CampaignExecutor {
             .spec
             .resolve_couplings(&pending_points, self.alpha_cache.as_deref())?;
 
+        // Process-wide telemetry (served by the campaign daemon's /metrics,
+        // embedded in --html artifacts): registration touches a mutex once,
+        // every per-point update below is a single atomic operation.
+        let telemetry = rram_telemetry::Registry::global();
+        let points_total =
+            telemetry.counter("campaign_points_total", "Grid points finished (simulated)");
+        let replayed_total = telemetry.counter(
+            "campaign_points_replayed_total",
+            "Grid points recovered from checkpoints instead of simulated",
+        );
+        let queue_depth = telemetry.gauge(
+            "campaign_queue_depth",
+            "Grid points owned by this executor but not yet finished",
+        );
+        let points_per_sec = telemetry.gauge(
+            "campaign_points_per_sec",
+            "Simulated points per wall-clock second over the current execution",
+        );
+        let point_seconds = telemetry.histogram(
+            "campaign_point_seconds",
+            "Per-point wall-clock simulation duration",
+            &rram_telemetry::DURATION_SECONDS_BUCKETS,
+        );
+
         on_event(CampaignEvent::Started {
             total: replayed.len() + pending.len(),
         });
+        queue_depth.set((replayed.len() + pending.len()) as f64);
         let mut outcomes = Vec::with_capacity(replayed.len() + pending.len());
         for outcome in replayed {
             on_event(CampaignEvent::PointFinished(outcome.clone()));
             outcomes.push(outcome);
+            replayed_total.inc();
+            queue_depth.add(-1.0);
         }
 
         let mut first_error: Option<CampaignError> = None;
         if !pending.is_empty() {
+            let run_started = std::time::Instant::now();
+            let mut fresh_done = 0u64;
             let threads = self.spec.threads.max(1).min(pending.len());
             let next = AtomicUsize::new(0);
             let (sender, receiver) = mpsc::channel();
@@ -331,13 +360,20 @@ impl CampaignExecutor {
                     let next = &next;
                     let pending = &pending;
                     let couplings = &couplings;
+                    let point_seconds = &point_seconds;
                     scope.spawn(move || loop {
                         let slot = next.fetch_add(1, Ordering::SeqCst);
                         if slot >= pending.len() {
                             break;
                         }
                         let (key, point) = &pending[slot];
-                        let result = self.execute_point(*key, point, couplings);
+                        let started = std::time::Instant::now();
+                        let result = self.execute_point(*key, point, couplings).map(|mut o| {
+                            let elapsed = started.elapsed();
+                            o.wall_ns = Some(u64::try_from(elapsed.as_nanos()).unwrap_or(u64::MAX));
+                            point_seconds.observe(elapsed.as_secs_f64());
+                            o
+                        });
                         if sender.send(result).is_err() {
                             break;
                         }
@@ -349,6 +385,13 @@ impl CampaignExecutor {
                         Ok(outcome) => {
                             on_event(CampaignEvent::PointFinished(outcome.clone()));
                             outcomes.push(outcome);
+                            points_total.inc();
+                            queue_depth.add(-1.0);
+                            fresh_done += 1;
+                            let elapsed = run_started.elapsed().as_secs_f64();
+                            if elapsed > 0.0 {
+                                points_per_sec.set(fresh_done as f64 / elapsed);
+                            }
                         }
                         Err(error) => {
                             if first_error.is_none() {
@@ -405,6 +448,7 @@ impl CampaignExecutor {
                 sim_time: result.elapsed,
                 collateral_flips: result.collateral_flips,
                 defense: None,
+                wall_ns: None,
             });
         }
         // Guarded points run pulse by pulse with the guard in the loop, then
@@ -425,6 +469,7 @@ impl CampaignExecutor {
             sim_time: guarded.attack.elapsed,
             collateral_flips: guarded.attack.collateral_flips,
             defense: Some(guarded.defense),
+            wall_ns: None,
         })
     }
 }

@@ -654,6 +654,9 @@ fn defense_from_json(value: &Json) -> Result<DefenseOutcome, CampaignError> {
     })
 }
 
+/// The canonical (report) form: every *result* field, no observability
+/// metadata. Report JSON stays byte-identical across runs and across the
+/// merge/resume/service paths, however long each point happened to take.
 fn outcome_to_json(outcome: &CampaignOutcome) -> Json {
     let mut entries = vec![
         ("key".into(), key_to_json(&outcome.key)),
@@ -677,6 +680,16 @@ fn outcome_to_json(outcome: &CampaignOutcome) -> Json {
     Json::Object(entries)
 }
 
+/// The wire/checkpoint form: the canonical object plus the `wall_ns`
+/// duration (when measured) for dashboards and throughput accounting.
+fn outcome_to_json_timed(outcome: &CampaignOutcome) -> Json {
+    let mut json = outcome_to_json(outcome);
+    if let (Json::Object(entries), Some(wall_ns)) = (&mut json, outcome.wall_ns) {
+        entries.push(("wall_ns".into(), Json::Number(wall_ns as f64)));
+    }
+    json
+}
+
 fn outcome_from_json(value: &Json) -> Result<CampaignOutcome, CampaignError> {
     Ok(CampaignOutcome {
         key: key_from_json(value.get("key").ok_or_else(|| bad_key("key", "present"))?)?,
@@ -695,14 +708,24 @@ fn outcome_from_json(value: &Json) -> Result<CampaignOutcome, CampaignError> {
             None | Some(Json::Null) => None,
             Some(v) => Some(defense_from_json(v)?),
         },
+        // Absent on every pre-telemetry checkpoint and on report-form
+        // outcomes: default to "not measured" instead of failing the parse.
+        wall_ns: match value.get("wall_ns") {
+            None | Some(Json::Null) => None,
+            Some(v) => Some(
+                v.as_u64()
+                    .ok_or_else(|| bad_key("wall_ns", "a non-negative integer or null"))?,
+            ),
+        },
     })
 }
 
 impl CampaignOutcome {
     /// Serialises the outcome as one compact JSON line — the checkpoint
-    /// file format ([`super::checkpoint`]).
+    /// file format ([`super::checkpoint`]). Carries the `wall_ns` duration
+    /// when measured; parsers treat it as optional metadata.
     pub fn to_json_line(&self) -> String {
-        outcome_to_json(self).to_compact_string()
+        outcome_to_json_timed(self).to_compact_string()
     }
 
     /// Parses an outcome written by [`CampaignOutcome::to_json_line`] (or
@@ -716,10 +739,12 @@ impl CampaignOutcome {
     }
 
     /// The outcome as a JSON value — the object embedded in checkpoint
-    /// lines and report JSON. The campaign service ships these inside
-    /// lease grants (resume sets) and result submissions.
+    /// lines and event streams. The campaign service ships these inside
+    /// lease grants (resume sets) and result submissions; the `wall_ns`
+    /// duration rides along when measured. Report JSON uses the canonical
+    /// form without it (see [`CampaignReport::to_json`]).
     pub fn to_json_value(&self) -> Json {
-        outcome_to_json(self)
+        outcome_to_json_timed(self)
     }
 
     /// Parses an outcome from an already-parsed JSON value.
@@ -740,7 +765,7 @@ fn event_to_json(event: &CampaignEvent) -> Json {
         ]),
         CampaignEvent::PointFinished(outcome) => Json::Object(vec![
             ("event".into(), Json::String("point_finished".into())),
-            ("outcome".into(), outcome_to_json(outcome)),
+            ("outcome".into(), outcome_to_json_timed(outcome)),
         ]),
         CampaignEvent::Finished => {
             Json::Object(vec![("event".into(), Json::String("finished".into()))])
@@ -978,6 +1003,7 @@ mod tests {
                 latency_overhead: Seconds(1.0 / 9.0 * 1e-6),
                 overhead_fraction: 1.0 / 11.0,
             }),
+            wall_ns: Some(123_456_789),
         }
     }
 
@@ -1017,6 +1043,42 @@ mod tests {
         assert_eq!(outcome.point.guard, GuardSpec::None);
         assert_eq!(outcome.point.spread_scale, 1.0);
         assert_eq!(outcome.defense, None);
+    }
+
+    #[test]
+    fn wall_duration_rides_the_wire_but_not_the_report() {
+        let outcome = sample_outcome();
+        // The checkpoint/wire form carries the duration …
+        let line = outcome.to_json_line();
+        assert!(line.contains("wall_ns"), "{line}");
+        let restored = CampaignOutcome::from_json(&line).unwrap();
+        assert_eq!(restored.wall_ns, Some(123_456_789));
+        // … the canonical report form does not, so merged/resumed reports
+        // stay byte-identical however long each point took.
+        let report = CampaignReport {
+            name: "timed".into(),
+            outcomes: vec![outcome.clone()],
+        };
+        assert!(!report.to_json().contains("wall_ns"));
+        // Equality — and with it merge-conflict detection and resume
+        // replay — ignores the duration entirely.
+        let mut stripped = outcome.clone();
+        stripped.wall_ns = None;
+        assert_eq!(stripped, outcome);
+        assert_eq!(stripped.key.id, outcome.key.id);
+    }
+
+    #[test]
+    fn pre_telemetry_checkpoint_lines_parse_without_wall_ns() {
+        // A checkpoint written before durations existed has no `wall_ns`
+        // key; it must parse (duration unknown) so old shard files resume.
+        let mut outcome = sample_outcome();
+        outcome.wall_ns = None;
+        let line = outcome.to_json_line();
+        assert!(!line.contains("wall_ns"), "{line}");
+        let restored = CampaignOutcome::from_json(&line).unwrap();
+        assert_eq!(restored.wall_ns, None);
+        assert_eq!(restored, outcome);
     }
 
     #[test]

@@ -123,7 +123,7 @@ impl CampaignReport {
             .into_iter()
             .map(|key| {
                 let members = groups.remove(&key).expect("group exists");
-                let name = members[0].point.key_excluding(CampaignAxis::Trial);
+                let name = members[0].point.series_key(CampaignAxis::Trial);
                 VariabilityGroup::of(name, &members)
             })
             .collect()

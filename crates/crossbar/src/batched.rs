@@ -31,6 +31,29 @@ use crate::scheme::CellAddress;
 use rram_jart::{DeviceParams, DigitalState, MathMode};
 use rram_units::{Kelvin, Seconds, Volts};
 
+/// Shared handle to the pulse counter (one registry registration per
+/// process; every pulse after that is a single atomic add). Registration
+/// also publishes the active SIMD tier as a labelled gauge, so `/metrics`
+/// reports which kernel the fleet actually dispatched.
+fn pulses_integrated() -> &'static std::sync::Arc<rram_telemetry::Counter> {
+    static HANDLE: std::sync::OnceLock<std::sync::Arc<rram_telemetry::Counter>> =
+        std::sync::OnceLock::new();
+    HANDLE.get_or_init(|| {
+        let registry = rram_telemetry::Registry::global();
+        registry
+            .gauge_with(
+                "kernel_simd_tier",
+                "Active SIMD lane-kernel tier (1 = in use)",
+                &[("tier", rram_jart::simd::active().label())],
+            )
+            .set(1.0);
+        registry.counter(
+            "kernel_pulses_total",
+            "Hammer pulses integrated by the batched engine",
+        )
+    })
+}
+
 /// The batched ideal-driver engine: array + hub + scheme, integrated one
 /// whole-array kernel call per sub-step.
 #[derive(Debug, Clone, Serialize, Deserialize)]
@@ -206,6 +229,7 @@ impl BatchedEngine {
     /// Applies one write pulse of the given length to `selected` using the
     /// configured scheme and amplitude. Positive amplitude drives SET.
     pub fn apply_pulse(&mut self, selected: CellAddress, amplitude: Volts, length: Seconds) {
+        pulses_integrated().inc();
         self.advance(Some((selected, amplitude)), length);
     }
 

@@ -72,7 +72,8 @@ fn exp_horner(r: f64) -> f64 {
 }
 
 /// Fast `eˣ`: ~2·10⁻¹³ relative accuracy, saturating to `+∞` above
-/// [`EXP_OVERFLOW`] and to `+0.0` below [`EXP_UNDERFLOW`]; NaN propagates.
+/// `EXP_OVERFLOW` (709) and to `+0.0` below `EXP_UNDERFLOW` (−708); NaN
+/// propagates.
 #[inline]
 pub fn exp(x: f64) -> f64 {
     if x.is_nan() {

@@ -465,7 +465,7 @@ pub fn step_lanes_mode<'a>(
 /// lanes reuse a per-lane one-entry operating-point cache (`(v_cell, n)`
 /// pins the solve completely — temperature does not enter it), and with
 /// shared params consecutive biased lanes replay through a one-entry
-/// [`LaneEcho`] cache (the integrator is pure in the lane's
+/// `LaneEcho` cache (the integrator is pure in the lane's
 /// `(v, ΔT, n, charge)` tuple, so a hit copies the recorded outcome
 /// bit-for-bit instead of re-solving).
 ///
@@ -560,6 +560,7 @@ pub fn step_lanes_with<'a>(
             step_lane_inner(params.of(lane), lanes, lane, v_cell, dt, mode, true);
         }
     }
+    flush_echo_telemetry(&echo);
 }
 
 /// Advances every lane of the bank by `dt` with *all lines grounded* — the
@@ -1066,6 +1067,11 @@ struct LaneEcho {
     cache_v: u64,
     cache_n: u64,
     cache_op: OperatingPoint,
+    /// Biased-lane steps routed through the cache during one kernel call
+    /// (local tallies, flushed once per call — see [`flush_echo_telemetry`]).
+    lookups: u64,
+    /// How many of those lookups replayed the recorded outcome.
+    hits: u64,
 }
 
 impl LaneEcho {
@@ -1084,8 +1090,46 @@ impl LaneEcho {
             cache_v: 0,
             cache_n: 0,
             cache_op: OperatingPoint::zero(),
+            lookups: 0,
+            hits: 0,
         }
     }
+}
+
+/// Shared handles to the echo-cache telemetry counters (the registry mutex
+/// is touched once, on the first kernel call of the process).
+fn echo_telemetry() -> &'static (
+    std::sync::Arc<rram_telemetry::Counter>,
+    std::sync::Arc<rram_telemetry::Counter>,
+) {
+    static HANDLES: std::sync::OnceLock<(
+        std::sync::Arc<rram_telemetry::Counter>,
+        std::sync::Arc<rram_telemetry::Counter>,
+    )> = std::sync::OnceLock::new();
+    HANDLES.get_or_init(|| {
+        let registry = rram_telemetry::Registry::global();
+        (
+            registry.counter(
+                "kernel_echo_hits_total",
+                "Biased lane steps replayed from the cross-lane echo cache",
+            ),
+            registry.counter(
+                "kernel_echo_lookups_total",
+                "Biased lane steps routed through the cross-lane echo cache",
+            ),
+        )
+    })
+}
+
+/// Adds one kernel call's local echo tallies to the process-wide counters:
+/// two relaxed atomic adds per `step_lanes` call, nothing per lane.
+fn flush_echo_telemetry(echo: &LaneEcho) {
+    if echo.lookups == 0 {
+        return;
+    }
+    let (hits, lookups) = echo_telemetry();
+    hits.add(echo.hits);
+    lookups.add(echo.lookups);
 }
 
 /// [`step_lane_inner`] behind the [`LaneEcho`] replay cache (vector tier,
@@ -1106,12 +1150,14 @@ fn step_lane_echoed(
     let crosstalk_bits = lanes.crosstalk[lane].to_bits();
     let n_bits = lanes.n_disc[lane].to_bits();
     let charge_bits = lanes.charge[lane].to_bits();
+    echo.lookups += 1;
     if echo.valid
         && echo.v_bits == v_bits
         && echo.crosstalk_bits == crosstalk_bits
         && echo.n_bits == n_bits
         && echo.charge_bits == charge_bits
     {
+        echo.hits += 1;
         if v_cell != 0.0 {
             lanes.stress_time[lane] += dt.0;
         }
@@ -1132,6 +1178,8 @@ fn step_lane_echoed(
         crosstalk_bits,
         n_bits,
         charge_bits,
+        lookups: echo.lookups,
+        hits: echo.hits,
         n_end: lanes.n_disc[lane],
         temperature: lanes.temperature[lane],
         charge_end: lanes.charge[lane],

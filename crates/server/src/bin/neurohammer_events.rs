@@ -1,0 +1,79 @@
+//! Follows a campaign job's event stream from a `neurohammer-server`.
+//!
+//! ```text
+//! neurohammer-events --job <id> [--server 127.0.0.1:7171]
+//!                    [--tui] [--axis pulse-length]
+//! ```
+//!
+//! Connects to `GET /jobs/{id}/events`: the server first replays every
+//! [`CampaignEvent`] the job has recorded so far (one JSON object per
+//! line, the checkpoint wire format) and then streams live events as the
+//! fleet folds new points, closing the stream when the job finishes. By
+//! default each line is echoed verbatim to stdout — pipe it to a file and
+//! it *is* a valid checkpoint replay. With `--tui` the same stream drives
+//! the live ANSI dashboard the figure binaries render locally, so a
+//! sharded fleet run can be watched from any machine that can reach the
+//! server; `--axis` picks the sweep axis the dashboard groups series by
+//! (default `pulse-length`).
+
+use neurohammer::campaign::{CampaignAxis, CampaignEvent};
+use neurohammer_bench::observe::TuiDriver;
+use rram_server::cli::{flag_u64, flag_value};
+use rram_server::http::stream_lines;
+
+/// Maps the `--axis` flag to a dashboard grouping axis.
+fn axis_from_flag() -> CampaignAxis {
+    let Some(name) = flag_value("--axis") else {
+        return CampaignAxis::PulseLength;
+    };
+    match name.as_str() {
+        "array-size" => CampaignAxis::ArraySize,
+        "pattern" => CampaignAxis::Pattern,
+        "amplitude" => CampaignAxis::Amplitude,
+        "pulse-length" => CampaignAxis::PulseLength,
+        "duty-cycle" => CampaignAxis::DutyCycle,
+        "spacing" => CampaignAxis::Spacing,
+        "ambient" => CampaignAxis::Ambient,
+        "scheme" => CampaignAxis::Scheme,
+        "guard" => CampaignAxis::Guard,
+        "spread" => CampaignAxis::Spread,
+        "backend" => CampaignAxis::Backend,
+        "trial" => CampaignAxis::Trial,
+        other => panic!(
+            "--axis {other:?} is not a campaign axis (try pulse-length, \
+             amplitude, spacing, ambient, pattern, guard, spread, ...)"
+        ),
+    }
+}
+
+fn main() {
+    let server = flag_value("--server").unwrap_or_else(|| "127.0.0.1:7171".into());
+    let job = flag_u64("--job").unwrap_or_else(|| panic!("--job <id> is required"));
+    let axis = axis_from_flag();
+
+    let mut tui = TuiDriver::from_flags(&format!("job {job}"), axis);
+    let path = format!("/jobs/{job}/events");
+    let status = stream_lines(server.as_str(), &path, |line| {
+        if line.is_empty() {
+            return true;
+        }
+        match tui.as_mut() {
+            Some(driver) => {
+                let event = CampaignEvent::from_json(line)
+                    .unwrap_or_else(|e| panic!("malformed event line {line:?}: {e}"));
+                driver.observe(&event);
+            }
+            None => println!("{line}"),
+        }
+        true
+    })
+    .unwrap_or_else(|e| panic!("event stream from {server} failed: {e}"));
+
+    if status != 200 {
+        eprintln!("server returned status {status} for {path} (unknown job id?)");
+        std::process::exit(1);
+    }
+    if let Some(driver) = tui {
+        driver.finish();
+    }
+}

@@ -3,9 +3,14 @@
 //! Just enough of the protocol for the campaign service: request line +
 //! headers + `Content-Length`-delimited body on the way in, a fixed
 //! `Connection: close` response on the way out — one request per
-//! connection, no keep-alive, no chunked encoding, no TLS. Both the
-//! server and the worker/test client speak through this module, so a
-//! plain `curl` works against the daemon too.
+//! connection, no keep-alive, no TLS. The one exception to the
+//! fixed-length model is the event stream (`GET /jobs/{id}/events`),
+//! which uses `Transfer-Encoding: chunked` so the daemon can keep the
+//! response open and append events as they land; [`write_chunked_head`],
+//! [`write_chunk`], [`finish_chunked`] produce it and [`stream_lines`]
+//! consumes it incrementally. Both the server and the worker/test
+//! client speak through this module, so a plain `curl` works against
+//! the daemon too.
 
 use std::io::{Read, Write};
 use std::net::{TcpStream, ToSocketAddrs};
@@ -148,6 +153,228 @@ pub fn write_response(
     stream.flush()
 }
 
+/// Starts a `Transfer-Encoding: chunked` response. Follow with any
+/// number of [`write_chunk`] calls and close with [`finish_chunked`].
+///
+/// # Errors
+///
+/// Returns the socket error, if any.
+pub fn write_chunked_head(
+    stream: &mut TcpStream,
+    status: u16,
+    content_type: &str,
+) -> std::io::Result<()> {
+    write!(
+        stream,
+        "HTTP/1.1 {status} {reason}\r\nContent-Type: {content_type}\r\n\
+         Transfer-Encoding: chunked\r\nConnection: close\r\n\r\n",
+        reason = status_reason(status),
+    )?;
+    stream.flush()
+}
+
+/// Writes one chunk of a chunked response and flushes it, so a live
+/// consumer sees the data immediately. Empty payloads are skipped — an
+/// empty chunk would terminate the stream.
+///
+/// # Errors
+///
+/// Returns the socket error, if any.
+pub fn write_chunk(stream: &mut TcpStream, data: &str) -> std::io::Result<()> {
+    if data.is_empty() {
+        return Ok(());
+    }
+    write!(stream, "{:x}\r\n{data}\r\n", data.len())?;
+    stream.flush()
+}
+
+/// Terminates a chunked response (the zero-length chunk).
+///
+/// # Errors
+///
+/// Returns the socket error, if any.
+pub fn finish_chunked(stream: &mut TcpStream) -> std::io::Result<()> {
+    stream.write_all(b"0\r\n\r\n")?;
+    stream.flush()
+}
+
+/// Incrementally decodes a chunked response body into complete
+/// `\n`-terminated lines.
+struct ChunkDecoder {
+    /// Raw bytes received but not yet decoded.
+    raw: Vec<u8>,
+    /// Decoded payload bytes not yet split into lines.
+    decoded: Vec<u8>,
+    /// Payload bytes still owed by the chunk being decoded.
+    pending: usize,
+    /// The terminating zero-length chunk has been seen.
+    done: bool,
+}
+
+impl ChunkDecoder {
+    fn new(leftover: &[u8]) -> Self {
+        Self {
+            raw: leftover.to_vec(),
+            decoded: Vec::new(),
+            pending: 0,
+            done: false,
+        }
+    }
+
+    /// Feeds raw socket bytes in and appends any completed lines
+    /// (without the trailing newline) to `lines`.
+    fn feed(&mut self, bytes: &[u8], lines: &mut Vec<String>) -> Result<(), ServiceError> {
+        self.raw.extend_from_slice(bytes);
+        // Decode first, surface lines after: the loop must fall through
+        // to the line splitter below even when this feed also carried the
+        // terminating chunk, or the final payload would be swallowed.
+        loop {
+            if self.done {
+                break;
+            }
+            if self.pending > 0 {
+                // Mid-chunk: move payload over, then consume the CRLF
+                // that closes the chunk.
+                let take = self.pending.min(self.raw.len());
+                self.decoded.extend_from_slice(&self.raw[..take]);
+                self.raw.drain(..take);
+                self.pending -= take;
+                if self.pending > 0 {
+                    break;
+                }
+            }
+            // Between chunks: need a size line ending in CRLF. Stripping
+            // leading CRLFs here also swallows the one that closes the
+            // previous chunk's payload, whenever it arrives.
+            while self.raw.starts_with(b"\r\n") {
+                self.raw.drain(..2);
+            }
+            let Some(eol) = self.raw.windows(2).position(|w| w == b"\r\n") else {
+                break;
+            };
+            let size_line = String::from_utf8(self.raw[..eol].to_vec())
+                .map_err(|_| protocol("chunk size line is not UTF-8"))?;
+            let size = usize::from_str_radix(size_line.trim().split(';').next().unwrap_or(""), 16)
+                .map_err(|_| protocol(format!("bad chunk size {size_line:?}")))?;
+            if size > MAX_BODY {
+                return Err(protocol(format!("chunk of {size} bytes exceeds the cap")));
+            }
+            self.raw.drain(..eol + 2);
+            if size == 0 {
+                self.done = true;
+            } else {
+                self.pending = size;
+            }
+        }
+        // Surface completed lines.
+        while let Some(newline) = self.decoded.iter().position(|&b| b == b'\n') {
+            let line: Vec<u8> = self.decoded.drain(..=newline).collect();
+            let line = String::from_utf8(line).map_err(|_| protocol("line is not UTF-8"))?;
+            lines.push(line.trim_end_matches(['\n', '\r']).to_string());
+        }
+        Ok(())
+    }
+}
+
+/// Issues `GET path` against `addr` and feeds each `\n`-terminated line
+/// of the (chunked or fixed-length) response body to `on_line` as it
+/// arrives. `on_line` returning `false` disconnects early. Returns the
+/// response status; on a non-200 status the body is consumed without
+/// calling `on_line`.
+///
+/// # Errors
+///
+/// Returns [`ServiceError::Io`] when the connection fails and
+/// [`ServiceError::Protocol`] on a malformed response.
+pub fn stream_lines<A: ToSocketAddrs>(
+    addr: A,
+    path: &str,
+    mut on_line: impl FnMut(&str) -> bool,
+) -> Result<u16, ServiceError> {
+    let mut stream = TcpStream::connect(addr)?;
+    write!(
+        stream,
+        "GET {path} HTTP/1.1\r\nHost: neurohammer\r\nConnection: close\r\n\r\n"
+    )?;
+    stream.flush()?;
+
+    // Read up to the end of the response head.
+    let mut buffer = Vec::new();
+    let mut chunk = [0u8; 4096];
+    let head_end = loop {
+        if let Some(end) = find_head_end(&buffer) {
+            break end;
+        }
+        if buffer.len() > MAX_HEAD {
+            return Err(protocol("response head exceeds the cap"));
+        }
+        let n = stream.read(&mut chunk)?;
+        if n == 0 {
+            return Err(protocol("connection closed mid-head"));
+        }
+        buffer.extend_from_slice(&chunk[..n]);
+    };
+    let head = String::from_utf8(buffer[..head_end].to_vec())
+        .map_err(|_| protocol("head is not UTF-8"))?;
+    let status_line = head.lines().next().unwrap_or_default();
+    let status: u16 = status_line
+        .split_whitespace()
+        .nth(1)
+        .and_then(|code| code.parse().ok())
+        .ok_or_else(|| protocol(format!("bad status line {status_line:?}")))?;
+    let chunked = head.lines().skip(1).any(|line| {
+        line.split_once(':').is_some_and(|(name, value)| {
+            name.trim().eq_ignore_ascii_case("transfer-encoding")
+                && value.trim().eq_ignore_ascii_case("chunked")
+        })
+    });
+    let deliver = status == 200;
+
+    if chunked {
+        let mut decoder = ChunkDecoder::new(&buffer[head_end..]);
+        let mut lines = Vec::new();
+        decoder.feed(&[], &mut lines)?;
+        loop {
+            for line in lines.drain(..) {
+                if deliver && !on_line(&line) {
+                    return Ok(status);
+                }
+            }
+            if decoder.done {
+                return Ok(status);
+            }
+            let n = stream.read(&mut chunk)?;
+            if n == 0 {
+                return Err(protocol("connection closed mid-stream"));
+            }
+            decoder.feed(&chunk[..n], &mut lines)?;
+        }
+    }
+
+    // Fixed-length (or until-close) body: gather, then split.
+    let length = content_length(&head)?;
+    let mut body = buffer[head_end..].to_vec();
+    while body.len() < length {
+        let n = stream.read(&mut chunk)?;
+        if n == 0 {
+            break;
+        }
+        body.extend_from_slice(&chunk[..n]);
+    }
+    if length > 0 {
+        body.truncate(length);
+    }
+    let body = String::from_utf8(body).map_err(|_| protocol("body is not UTF-8"))?;
+    if deliver {
+        for line in body.lines() {
+            if !on_line(line) {
+                break;
+            }
+        }
+    }
+    Ok(status)
+}
+
 /// Sends one request to `addr` and returns `(status, body)`.
 ///
 /// This is the whole client side of the protocol: the worker binary and
@@ -218,6 +445,63 @@ mod tests {
         let (status, body) = call(addr, "GET", "/jobs/7", None).unwrap();
         assert_eq!((status, body.as_str()), (404, "nope"));
         assert_eq!(served.join().unwrap().body, "");
+    }
+
+    #[test]
+    fn chunk_decoder_surfaces_lines_arriving_with_the_terminator() {
+        // The whole body — payload chunk AND terminating zero chunk — in
+        // a single feed: every line must still come out. (Regression: the
+        // decoder used to return on `done` before splitting lines, losing
+        // whatever the final read carried.)
+        let mut decoder = ChunkDecoder::new(b"");
+        let mut lines = Vec::new();
+        decoder
+            .feed(
+                b"1b\r\nfirst line\nsecond line\nend\n\r\n0\r\n\r\n",
+                &mut lines,
+            )
+            .unwrap();
+        assert!(decoder.done);
+        assert_eq!(lines, ["first line", "second line", "end"]);
+
+        // Byte-by-byte delivery decodes identically.
+        let mut trickle = ChunkDecoder::new(b"");
+        let mut dripped = Vec::new();
+        for byte in b"1b\r\nfirst line\nsecond line\nend\n\r\n0\r\n\r\n" {
+            trickle.feed(&[*byte], &mut dripped).unwrap();
+        }
+        assert!(trickle.done);
+        assert_eq!(dripped, ["first line", "second line", "end"]);
+    }
+
+    #[test]
+    fn stream_lines_delivers_a_single_write_response() {
+        // Head, chunks and terminator flushed as one TCP write: the
+        // client must still deliver every line (regression for the
+        // all-in-one-read race).
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let served = std::thread::spawn(move || {
+            let (mut stream, _) = listener.accept().unwrap();
+            read_request(&mut stream).unwrap();
+            stream
+                .write_all(
+                    b"HTTP/1.1 200 OK\r\nContent-Type: application/jsonl\r\n\
+                      Transfer-Encoding: chunked\r\nConnection: close\r\n\r\n\
+                      8\r\none\ntwo\n\r\n6\r\nthree\n\r\n0\r\n\r\n",
+                )
+                .unwrap();
+            stream.flush().unwrap();
+        });
+        let mut lines = Vec::new();
+        let status = stream_lines(addr, "/events", |line| {
+            lines.push(line.to_string());
+            true
+        })
+        .unwrap();
+        served.join().unwrap();
+        assert_eq!(status, 200);
+        assert_eq!(lines, ["one", "two", "three"]);
     }
 
     #[test]

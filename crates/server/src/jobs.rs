@@ -173,6 +173,12 @@ struct Job {
     /// Folded outcomes, keyed by grid index — [`CampaignReport::merge`]
     /// semantics (first wins), kept in grid order by the `BTreeMap`.
     outcomes: BTreeMap<usize, CampaignOutcome>,
+    /// The job's recorded event log, replayed (then followed) by
+    /// `GET /jobs/{id}/events`: one `Started` at submission, one
+    /// `PointFinished` per *newly folded* outcome (duplicates and resume
+    /// replays are not re-logged) and one `Finished` when the last shard
+    /// completes — the exact event set an unsharded run emits.
+    events: Vec<CampaignEvent>,
 }
 
 impl Job {
@@ -251,6 +257,52 @@ pub struct JobQueue {
     lease: Duration,
     next_id: u64,
     jobs: BTreeMap<u64, Job>,
+    telemetry: QueueTelemetry,
+}
+
+/// The queue's shared telemetry handles (process-global registry, so the
+/// daemon's `/metrics` endpoint sees every queue instance).
+struct QueueTelemetry {
+    leases_granted: std::sync::Arc<rram_telemetry::Counter>,
+    leases_expired: std::sync::Arc<rram_telemetry::Counter>,
+    outcomes_folded: std::sync::Arc<rram_telemetry::Counter>,
+    jobs_outstanding: std::sync::Arc<rram_telemetry::Gauge>,
+}
+
+impl QueueTelemetry {
+    fn new() -> QueueTelemetry {
+        let registry = rram_telemetry::Registry::global();
+        QueueTelemetry {
+            leases_granted: registry.counter(
+                "queue_leases_granted_total",
+                "Shard leases granted to workers",
+            ),
+            leases_expired: registry.counter(
+                "queue_leases_expired_total",
+                "Shard leases returned to the pool after missed heartbeats",
+            ),
+            outcomes_folded: registry.counter(
+                "queue_outcomes_folded_total",
+                "Point outcomes newly folded into job reports",
+            ),
+            jobs_outstanding: registry.gauge(
+                "queue_jobs_outstanding",
+                "Jobs submitted but not yet complete",
+            ),
+        }
+    }
+
+    /// Publishes `worker`'s liveness: `1` while it holds (or renews) a
+    /// lease, `0` once a lease of its expires.
+    fn worker_up(&self, worker: &str, up: bool) {
+        rram_telemetry::Registry::global()
+            .gauge_with(
+                "queue_worker_up",
+                "Worker liveness (1 = holds a live lease)",
+                &[("worker", worker)],
+            )
+            .set(if up { 1.0 } else { 0.0 });
+    }
 }
 
 impl JobQueue {
@@ -260,6 +312,7 @@ impl JobQueue {
             lease,
             next_id: 1,
             jobs: BTreeMap::new(),
+            telemetry: QueueTelemetry::new(),
         }
     }
 
@@ -300,8 +353,12 @@ impl JobQueue {
                 total,
                 shards: vec![ShardSlot::Pending; shards],
                 outcomes: BTreeMap::new(),
+                events: vec![CampaignEvent::Started { total }],
             },
         );
+        self.telemetry
+            .jobs_outstanding
+            .set(self.outstanding() as f64);
         Ok(self.jobs[&id].status(id))
     }
 
@@ -310,8 +367,12 @@ impl JobQueue {
     pub fn expire(&mut self, now: Instant) {
         for job in self.jobs.values_mut() {
             for slot in &mut job.shards {
-                if matches!(slot, ShardSlot::Leased { deadline, .. } if *deadline <= now) {
-                    *slot = ShardSlot::Pending;
+                if let ShardSlot::Leased { worker, deadline } = slot {
+                    if *deadline <= now {
+                        self.telemetry.leases_expired.inc();
+                        self.telemetry.worker_up(worker, false);
+                        *slot = ShardSlot::Pending;
+                    }
                 }
             }
         }
@@ -343,6 +404,8 @@ impl JobQueue {
                 .filter(|outcome| shard.owns(outcome.key.index))
                 .cloned()
                 .collect();
+            self.telemetry.leases_granted.inc();
+            self.telemetry.worker_up(worker, true);
             return LeaseOffer::Grant(Box::new(LeaseGrant {
                 job: id,
                 spec: job.spec.clone(),
@@ -378,12 +441,11 @@ impl JobQueue {
         if shard.of != state.shards.len() || shard.validate().is_err() {
             return Err(QueueError::UnknownShard { job, shard });
         }
-        Ok(renew(
-            &mut state.shards[shard.index],
-            worker,
-            now,
-            self.lease,
-        ))
+        let held = renew(&mut state.shards[shard.index], worker, now, self.lease);
+        if held {
+            self.telemetry.worker_up(worker, true);
+        }
+        Ok(held)
     }
 
     /// Folds one worker event into a job.
@@ -452,6 +514,8 @@ impl JobQueue {
                     state.outcomes.entry(key.index)
                 {
                     slot.insert(outcome.clone());
+                    state.events.push(event.clone());
+                    self.telemetry.outcomes_folded.inc();
                     accepted = true;
                 }
             }
@@ -466,12 +530,43 @@ impl JobQueue {
             }
         }
         let held = renew(&mut state.shards[shard.index], worker, now, self.lease);
+        if held {
+            self.telemetry.worker_up(worker, true);
+        }
+        let job_done = state.complete();
+        if job_done && state.events.last() != Some(&CampaignEvent::Finished) {
+            // The last shard just completed: close the job's event stream.
+            state.events.push(CampaignEvent::Finished);
+            self.telemetry
+                .jobs_outstanding
+                .set(self.outstanding() as f64);
+        }
+        let state = &self.jobs[&job];
         Ok(EventAck {
             accepted,
             held,
             shard_done: matches!(state.shards[shard.index], ShardSlot::Done),
-            job_done: state.complete(),
+            job_done,
         })
+    }
+
+    /// The job's recorded events from position `from` onwards, plus whether
+    /// the log is closed (ends in [`CampaignEvent::Finished`]). The event
+    /// streaming endpoint polls this with an advancing cursor: the first
+    /// call replays history, subsequent calls return only live additions.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`QueueError::UnknownJob`] for an unknown id.
+    pub fn events_from(
+        &self,
+        job: u64,
+        from: usize,
+    ) -> Result<(Vec<CampaignEvent>, bool), QueueError> {
+        let state = self.jobs.get(&job).ok_or(QueueError::UnknownJob(job))?;
+        let fresh = state.events.get(from..).unwrap_or_default().to_vec();
+        let closed = state.events.last() == Some(&CampaignEvent::Finished);
+        Ok((fresh, closed))
     }
 
     /// The merged report recorded so far — partial while the job runs,
@@ -516,7 +611,11 @@ impl JobQueue {
         self.jobs
             .remove(&job)
             .map(|_| ())
-            .ok_or(QueueError::UnknownJob(job))
+            .ok_or(QueueError::UnknownJob(job))?;
+        self.telemetry
+            .jobs_outstanding
+            .set(self.outstanding() as f64);
+        Ok(())
     }
 
     /// Jobs not yet complete.

@@ -13,6 +13,18 @@
 //! | `POST /heartbeat` | worker renews its lease |
 //! | `POST /results` | worker streams one [`CampaignEvent`] |
 //! | `GET /healthz` | liveness probe |
+//! | `GET /metrics` | Prometheus text exposition of the telemetry registry |
+//! | `GET /jobs/{id}/events` | chunked JSONL event stream: replay, then live |
+//!
+//! `GET /jobs/{id}/events` holds the connection open with
+//! `Transfer-Encoding: chunked`: it first replays every
+//! [`CampaignEvent`] the job has recorded (one
+//! [`to_json_line`](neurohammer::campaign::CampaignEvent::to_json_line)
+//! per line), then appends events live as workers fold outcomes in, and
+//! terminates the stream once the job's `Finished` event lands. A client
+//! connecting mid-run therefore reconstructs exactly the event sequence
+//! an unsharded local run emits. Disconnecting early is fine — the
+//! writer notices the broken pipe and the handler thread exits.
 //!
 //! `GET /jobs/{id}/report` responds with
 //! [`CampaignReport::to_json`](neurohammer::campaign::CampaignReport::to_json)
@@ -29,7 +41,9 @@ use std::time::{Duration, Instant};
 use neurohammer::campaign::json::Json;
 use neurohammer::campaign::{CampaignEvent, CampaignSpec, Shard};
 
-use crate::http::{read_request, write_response, Request};
+use crate::http::{
+    finish_chunked, read_request, write_chunk, write_chunked_head, write_response, Request,
+};
 use crate::jobs::{JobQueue, JobStatus, LeaseOffer, QueueError, ShardState};
 use crate::ServiceError;
 
@@ -247,6 +261,11 @@ fn route(request: &Request, state: &Mutex<JobQueue>) -> Routed {
     let queue = &mut *state.lock().expect("job queue poisoned");
     let now = Instant::now();
     let outcome = match (request.method.as_str(), segments.as_slice()) {
+        ("GET", ["metrics"]) => Ok(Routed(
+            200,
+            "text/plain; version=0.0.4",
+            rram_telemetry::Registry::global().prometheus_text(),
+        )),
         ("GET", ["healthz"]) => Ok(json_body(
             200,
             Json::Object(vec![
@@ -336,9 +355,12 @@ fn route(request: &Request, state: &Mutex<JobQueue>) -> Routed {
                 ]),
             ))
         }),
-        (_, ["jobs", ..] | ["lease"] | ["heartbeat"] | ["results"] | ["healthz"]) => Err(
-            error_body(405, format!("{} not allowed here", request.method)),
-        ),
+        (_, ["jobs", ..] | ["lease"] | ["heartbeat"] | ["results"] | ["healthz"] | ["metrics"]) => {
+            Err(error_body(
+                405,
+                format!("{} not allowed here", request.method),
+            ))
+        }
         _ => Err(error_body(404, format!("no route {:?}", request.path))),
     };
     outcome.unwrap_or_else(|routed| routed)
@@ -377,11 +399,76 @@ fn offer_to_json(offer: LeaseOffer) -> Json {
     }
 }
 
+/// `GET /jobs/{id}/events` → the job id, if the request matches.
+fn event_stream_target(request: &Request) -> Option<u64> {
+    let segments: Vec<&str> = request.path.split('/').filter(|s| !s.is_empty()).collect();
+    match (request.method.as_str(), segments.as_slice()) {
+        ("GET", ["jobs", id, "events"]) => id.parse().ok(),
+        _ => None,
+    }
+}
+
+/// Streams a job's event log as chunked JSONL: recorded history first,
+/// then live events as the queue folds them in, terminating once the
+/// job's `Finished` event lands. The queue lock is held only for the
+/// cursor snapshot, never across a socket write, so a slow or vanished
+/// client cannot wedge the service. Write failures (client disconnect)
+/// simply end the handler.
+fn stream_job_events(stream: &mut TcpStream, state: &Mutex<JobQueue>, job: u64) {
+    // Validate the job id before committing to a chunked response.
+    let known = {
+        let queue = state.lock().expect("job queue poisoned");
+        queue.events_from(job, 0).is_ok()
+    };
+    if !known {
+        let Routed(status, content_type, body) = Routed::from(QueueError::UnknownJob(job));
+        let _ = write_response(stream, status, content_type, &body);
+        return;
+    }
+    if write_chunked_head(stream, 200, "application/jsonl").is_err() {
+        return;
+    }
+    let mut cursor = 0usize;
+    loop {
+        let snapshot = {
+            let queue = state.lock().expect("job queue poisoned");
+            queue.events_from(job, cursor)
+        };
+        let Ok((fresh, closed)) = snapshot else {
+            // Job deleted mid-stream: close out what was sent.
+            let _ = finish_chunked(stream);
+            return;
+        };
+        if !fresh.is_empty() {
+            cursor += fresh.len();
+            let mut batch = String::new();
+            for event in &fresh {
+                batch.push_str(&event.to_json_line());
+                batch.push('\n');
+            }
+            if write_chunk(stream, &batch).is_err() {
+                return;
+            }
+        }
+        if closed {
+            let _ = finish_chunked(stream);
+            return;
+        }
+        std::thread::sleep(Duration::from_millis(25));
+    }
+}
+
 fn handle_connection(mut stream: TcpStream, state: &Mutex<JobQueue>) {
     // A stalled or hostile peer must not pin this thread forever.
     let _ = stream.set_read_timeout(Some(Duration::from_secs(10)));
     let routed = match read_request(&mut stream) {
-        Ok(request) => route(&request, state),
+        Ok(request) => {
+            if let Some(job) = event_stream_target(&request) {
+                stream_job_events(&mut stream, state, job);
+                return;
+            }
+            route(&request, state)
+        }
         Err(ServiceError::Protocol(what)) => error_body(400, what),
         Err(_) => return,
     };

@@ -99,6 +99,23 @@ struct Ack {
     shard_done: bool,
 }
 
+/// Consecutive heartbeat failures tolerated before the thread gives up
+/// and lets the lease expire server-side.
+const HEARTBEAT_RETRIES: u32 = 5;
+
+/// The delay before heartbeat retry number `attempt`: exponential from
+/// 50 ms, capped at the renewal interval, plus a 0–99 ms jitter hashed
+/// from the worker's name and the attempt — deterministic per worker
+/// (no RNG available or needed) yet decorrelated across a fleet.
+fn heartbeat_backoff(worker: &str, attempt: u32, interval: Duration) -> Duration {
+    let base = Duration::from_millis(50 << attempt.min(6));
+    let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+    for byte in worker.bytes().chain(attempt.to_le_bytes()) {
+        hash = (hash ^ u64::from(byte)).wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    base.min(interval) + Duration::from_millis(hash % 100)
+}
+
 fn protocol(what: impl Into<String>) -> ServiceError {
     ServiceError::Protocol(what.into())
 }
@@ -249,22 +266,51 @@ fn run_shard(
                 ("shard".into(), Json::String(grant.shard.to_string())),
             ]);
             let mut elapsed = Duration::ZERO;
+            let mut wait = interval;
+            let mut failures: u32 = 0;
             let tick = Duration::from_millis(25);
             while !stop.load(Ordering::SeqCst) && !silenced.load(Ordering::SeqCst) {
                 std::thread::sleep(tick);
                 elapsed += tick;
-                if elapsed < interval {
+                if elapsed < wait {
                     continue;
                 }
                 elapsed = Duration::ZERO;
                 match post_json(&config.server, "/heartbeat", &body) {
                     Ok(answer) => {
+                        failures = 0;
+                        wait = interval;
                         if answer.get("held").and_then(Json::as_bool) != Some(true) {
                             held.store(false, Ordering::SeqCst);
                             break;
                         }
                     }
-                    Err(_) => break,
+                    Err(error) => {
+                        // A transient failure must not silently orphan the
+                        // lease: warn with the identifiers an operator needs
+                        // and retry on a jittered exponential backoff. The
+                        // jitter decorrelates a fleet whose members all lost
+                        // the same server at the same moment.
+                        failures += 1;
+                        if failures > HEARTBEAT_RETRIES {
+                            eprintln!(
+                                "worker {:?}: giving up on heartbeats for job {} shard {} \
+                                 after {HEARTBEAT_RETRIES} retries; the lease will expire \
+                                 server-side",
+                                config.name, grant.job, grant.shard,
+                            );
+                            break;
+                        }
+                        wait = heartbeat_backoff(&config.name, failures, interval);
+                        eprintln!(
+                            "worker {:?}: heartbeat for job {} shard {} failed ({error}); \
+                             retry {failures}/{HEARTBEAT_RETRIES} in {} ms",
+                            config.name,
+                            grant.job,
+                            grant.shard,
+                            wait.as_millis(),
+                        );
+                    }
                 }
             }
         })

@@ -5,6 +5,9 @@
 //! functionality lives in:
 //!
 //! * [`units`] (`rram-units`) — physical quantities and constants,
+//! * [`telemetry`] (`rram-telemetry`) — lock-cheap counters, gauges,
+//!   histograms and span timers with Prometheus-text and JSON snapshot
+//!   encoders (the `/metrics` endpoint and `--html` artifacts),
 //! * [`analysis`] (`rram-analysis`) — regression, statistics, reporting,
 //! * [`fem`] (`rram-fem`) — the thermal field solver and α extraction,
 //! * [`jart`] (`rram-jart`) — the VCM compact model,
@@ -61,5 +64,6 @@ pub use rram_defense as defense;
 pub use rram_fem as fem;
 pub use rram_jart as jart;
 pub use rram_server as server;
+pub use rram_telemetry as telemetry;
 pub use rram_units as units;
 pub use rram_variability as variability;

@@ -6,7 +6,7 @@
 use std::collections::HashSet;
 use std::time::{Duration, Instant};
 
-use neurohammer_repro::attack::campaign::{CampaignSpec, PointKey};
+use neurohammer_repro::attack::campaign::{CampaignEvent, CampaignSpec, PointKey};
 use neurohammer_repro::server::{http, run_worker, Server, WorkerConfig};
 
 fn grid() -> CampaignSpec {
@@ -133,6 +133,139 @@ fn job_crud_lifecycle_over_http() {
     assert_eq!(status, 404, "{body}");
     let (status, body) = http::call(&addr, "PUT", "/jobs", None).unwrap();
     assert_eq!(status, 405, "{body}");
+
+    handle.shutdown();
+}
+
+/// A client connecting to `/jobs/{id}/events` mid-run sees the recorded
+/// events replayed, then the live tail, and — once the stream closes —
+/// holds the exact event set an unsharded run emits: one `Started`, every
+/// grid point's `PointFinished` exactly once, one `Finished`.
+#[test]
+fn event_stream_replays_then_follows_live() {
+    let spec = grid();
+    let reference = spec.run().unwrap();
+
+    // Short leases so the killed worker's shard frees up within the test.
+    let server = Server::bind("127.0.0.1:0", Duration::from_millis(300)).unwrap();
+    let addr = server.local_addr().to_string();
+    let handle = server.spawn();
+
+    let body = format!("{{\"shards\": 1, \"spec\": {}}}", spec.to_json());
+    let (status, _) = http::call(&addr, "POST", "/jobs", Some(&body)).unwrap();
+    assert_eq!(status, 201);
+
+    // A worker that falls silent after one point leaves a partial event
+    // log behind …
+    let mut crash_config = WorkerConfig::new(addr.clone(), "crash");
+    crash_config.poll = Duration::from_millis(50);
+    crash_config.kill_after = Some(1);
+    let crash = run_worker(&crash_config).unwrap();
+    assert!(crash.killed);
+
+    // … which a follower connecting *now* — mid-run — receives as replay
+    // before the live events the surviving worker appends.
+    let stream_addr = addr.clone();
+    let follower = std::thread::spawn(move || {
+        let mut lines = Vec::new();
+        let status = http::stream_lines(stream_addr.as_str(), "/jobs/1/events", |line| {
+            if !line.is_empty() {
+                lines.push(line.to_string());
+            }
+            true
+        })
+        .unwrap();
+        (status, lines)
+    });
+
+    let mut survivor_config = WorkerConfig::new(addr.clone(), "survivor");
+    survivor_config.poll = Duration::from_millis(50);
+    survivor_config.drain = true;
+    let survivor = run_worker(&survivor_config).unwrap();
+    assert!(survivor.shards.iter().all(|run| run.completed));
+
+    // The stream closes itself once the job finishes.
+    let (status, lines) = follower.join().unwrap();
+    assert_eq!(status, 200);
+    let events: Vec<CampaignEvent> = lines
+        .iter()
+        .map(|line| CampaignEvent::from_json(line).unwrap())
+        .collect();
+    assert_eq!(
+        events.first(),
+        Some(&CampaignEvent::Started {
+            total: reference.outcomes.len()
+        })
+    );
+    assert_eq!(events.last(), Some(&CampaignEvent::Finished));
+
+    // Every grid point streamed exactly once — the replayed point was not
+    // re-emitted when the survivor resumed the dead worker's shard — and
+    // each payload equals the unsharded result (equality ignores the
+    // non-fingerprinted wall-clock duration).
+    let streamed: Vec<_> = events
+        .iter()
+        .filter_map(|event| match event {
+            CampaignEvent::PointFinished(outcome) => Some(outcome),
+            _ => None,
+        })
+        .collect();
+    assert_eq!(streamed.len(), reference.outcomes.len());
+    let streamed_keys: HashSet<PointKey> = streamed.iter().map(|o| o.key).collect();
+    let reference_keys: HashSet<PointKey> = reference.outcomes.iter().map(|o| o.key).collect();
+    assert_eq!(streamed_keys, reference_keys);
+    for outcome in &streamed {
+        let expected = reference
+            .outcomes
+            .iter()
+            .find(|o| o.key == outcome.key)
+            .unwrap();
+        assert_eq!(**outcome, *expected);
+    }
+
+    // The fleet run surfaced on the Prometheus endpoint.
+    let (status, metrics) = http::call(&addr, "GET", "/metrics", None).unwrap();
+    assert_eq!(status, 200);
+    assert!(metrics.contains("queue_leases_granted_total"), "{metrics}");
+    assert!(metrics.contains("queue_outcomes_folded_total"), "{metrics}");
+
+    handle.shutdown();
+}
+
+/// A follower hanging up mid-stream must not wedge the service: the
+/// stream handler notices the broken socket and returns, while the accept
+/// loop and the fleet keep going.
+#[test]
+fn event_stream_disconnect_does_not_wedge_the_service() {
+    let server = Server::bind("127.0.0.1:0", Duration::from_secs(30)).unwrap();
+    let addr = server.local_addr().to_string();
+    let handle = server.spawn();
+
+    let body = format!("{{\"shards\": 1, \"spec\": {}}}", grid().to_json());
+    let (status, _) = http::call(&addr, "POST", "/jobs", Some(&body)).unwrap();
+    assert_eq!(status, 201);
+
+    // Hang up after the first replayed line (the `Started` event).
+    let status = http::stream_lines(addr.as_str(), "/jobs/1/events", |_| false).unwrap();
+    assert_eq!(status, 200);
+
+    // The service still answers …
+    let (status, body) = http::call(&addr, "GET", "/healthz", None).unwrap();
+    assert_eq!(status, 200, "{body}");
+
+    // … and the job still runs to completion.
+    let mut config = WorkerConfig::new(addr.clone(), "drainer");
+    config.poll = Duration::from_millis(50);
+    config.drain = true;
+    run_worker(&config).unwrap();
+    let (status, job) = http::call(&addr, "GET", "/jobs/1", None).unwrap();
+    assert_eq!(status, 200);
+    assert!(job.contains("\"state\":\"complete\""), "{job}");
+
+    // Streaming an unknown job is a plain 404, not a wedged chunked
+    // response.
+    let status = http::stream_lines(addr.as_str(), "/jobs/999/events", |_| true).unwrap();
+    assert_eq!(status, 404);
 
     handle.shutdown();
 }

@@ -54,6 +54,14 @@ pub enum TuiEvent {
     Finished,
     /// Replace the fleet/shard status lines (remote follower only).
     Status(Vec<String>),
+    /// Replace a named time-series trend (one sparkline panel per name;
+    /// the fleet follower feeds these from `GET /metrics/history`).
+    Trend {
+        /// Panel label, e.g. `"points/s"`.
+        name: String,
+        /// Most recent samples, oldest first.
+        values: Vec<f64>,
+    },
 }
 
 /// Accumulated per-series display state.
@@ -106,6 +114,7 @@ pub struct Dashboard {
     finished: bool,
     series: BTreeMap<String, SeriesState>,
     guards: BTreeMap<String, GuardState>,
+    trends: BTreeMap<String, Vec<f64>>,
     status: Vec<String>,
     drawn: bool,
 }
@@ -120,6 +129,7 @@ impl Dashboard {
             finished: false,
             series: BTreeMap::new(),
             guards: BTreeMap::new(),
+            trends: BTreeMap::new(),
             status: Vec::new(),
             drawn: false,
         }
@@ -148,6 +158,9 @@ impl Dashboard {
             }
             TuiEvent::Finished => self.finished = true,
             TuiEvent::Status(lines) => self.status = lines.clone(),
+            TuiEvent::Trend { name, values } => {
+                self.trends.insert(name.clone(), values.clone());
+            }
         }
     }
 
@@ -233,6 +246,25 @@ impl Dashboard {
                     &format!("  {marker} {name} · P={protection:.3} · ovh={overhead:.4}"),
                     width,
                 ));
+                out.push('\n');
+            }
+        }
+
+        if !self.trends.is_empty() {
+            out.push_str(&truncate("» trends", width));
+            out.push('\n');
+            for (name, values) in &self.trends {
+                // One sparkline character per sample: keep the newest
+                // samples that fit the width budget, so a narrow terminal
+                // shows the recent past rather than a clipped ancient one.
+                let budget = width.saturating_sub(name.chars().count() + 16).clamp(8, 60);
+                let tail = &values[values.len().saturating_sub(budget)..];
+                let spark = sparkline(tail).unwrap_or_else(|| "(no samples)".into());
+                let line = match values.last() {
+                    Some(last) => format!("  {name} {spark} · now {last:.1}"),
+                    None => format!("  {name} (no samples)"),
+                };
+                out.push_str(&truncate(&line, width));
                 out.push('\n');
             }
         }
@@ -367,6 +399,62 @@ mod tests {
         let second = dash.ansi_frame(40, 1.0);
         assert!(second.starts_with("\x1b[H"));
         assert!(!second.contains("\x1b[2J"));
+    }
+
+    #[test]
+    fn golden_trend_panel() {
+        let mut dash = Dashboard::new("fleet");
+        dash.on_event(&TuiEvent::Trend {
+            name: "points/s".into(),
+            values: vec![0.0, 1.0, 2.0, 4.0],
+        });
+        // A later Trend event replaces the series, never appends.
+        dash.on_event(&TuiEvent::Trend {
+            name: "points/s".into(),
+            values: vec![0.0, 1.0, 2.0, 4.0, 2.0],
+        });
+        assert_eq!(
+            dash.frame(60, 1.0),
+            "== fleet ==\n\
+             [####################] 0/0 (100%) · 0.0 pts/s · 1.0 s\n\
+             » trends\n\
+             \x20 points/s ▁▃▅█▅ · now 2.0\n"
+        );
+    }
+
+    #[test]
+    fn golden_narrow_frame_degrades_gracefully() {
+        let mut dash = Dashboard::new("a very long campaign title");
+        dash.on_event(&TuiEvent::Started { total: 4 });
+        dash.on_event(&point("32x32 checkerboard", 10.0, Some(1_000)));
+        dash.on_event(&TuiEvent::Trend {
+            name: "points/s".into(),
+            values: (0..40).map(|i| i as f64).collect(),
+        });
+        dash.on_event(&TuiEvent::Status(vec![
+            "shard 0/2: leased to worker-a".into()
+        ]));
+        let frame = dash.frame(28, 2.0);
+        assert_eq!(
+            frame,
+            "== a very long campaign tit…\n\
+             [#####---------------] 1/4 …\n\
+             » 32x32 checkerboard\n\
+             \x20 ▄ · 1/1 flipped\n\
+             \x20 last 10 ns → 1000 pulses\n\
+             » trends\n\
+             \x20 points/s ▁▂▃▄▅▆▇█ · now 3…\n\
+             » fleet\n\
+             \x20 shard 0/2: leased to work…\n"
+        );
+        for line in frame.lines() {
+            assert!(line.chars().count() <= 28, "{line:?}");
+        }
+        // Below the floor the frame clamps to 24 columns rather than
+        // collapsing to nothing.
+        for line in dash.frame(1, 2.0).lines() {
+            assert!(line.chars().count() <= 24, "{line:?}");
+        }
     }
 
     #[test]

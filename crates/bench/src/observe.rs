@@ -77,14 +77,63 @@ pub struct TuiDriver {
     axis: CampaignAxis,
     started: Instant,
     last_draw: Option<Instant>,
+    width_probed: Option<(Instant, usize)>,
+    rate_trend: Vec<f64>,
 }
 
-/// Dashboard width: fixed, since `std` offers no terminal-size probe.
-const TUI_WIDTH: usize = 100;
+/// Width used when every probe fails (`$COLUMNS` unset, no `stty`).
+const TUI_FALLBACK_WIDTH: usize = 100;
 
 /// Minimum delay between redraws, so sub-millisecond points do not spend
 /// the run repainting.
 const TUI_REDRAW: Duration = Duration::from_millis(100);
+
+/// How long a probed terminal width stays fresh. Re-probing every frame
+/// would fork `stty` hundreds of times a second; half a second tracks
+/// window resizes closely enough for a dashboard.
+const TUI_WIDTH_REFRESH: Duration = Duration::from_millis(500);
+
+/// Samples kept in the live points/s trend sparkline.
+const TUI_TREND_SAMPLES: usize = 60;
+
+/// Parses a `$COLUMNS`-style value: a positive decimal column count.
+fn columns_width(value: Option<&str>) -> Option<usize> {
+    value
+        .and_then(|v| v.trim().parse::<usize>().ok())
+        .filter(|&n| n > 0)
+}
+
+/// Asks `stty` for the size of the terminal behind **stderr** (the fd
+/// the dashboard draws on — stdin/stdout may well be redirected).
+fn stty_width() -> Option<usize> {
+    // BSD/macOS stty spells the device flag `-f`; GNU coreutils `-F`.
+    let device_flag = if cfg!(target_os = "macos") {
+        "-f"
+    } else {
+        "-F"
+    };
+    let output = std::process::Command::new("stty")
+        .args([device_flag, "/dev/stderr", "size"])
+        .stderr(std::process::Stdio::null())
+        .output()
+        .ok()?;
+    if !output.status.success() {
+        return None;
+    }
+    // `stty size` prints "rows cols".
+    let text = String::from_utf8(output.stdout).ok()?;
+    columns_width(text.split_whitespace().nth(1))
+}
+
+/// Probes the current terminal width: `$COLUMNS` when exported, else
+/// `stty size` against stderr, else a 100-column fallback. The TUI
+/// re-queries this every frame (cached for half a second), so resizing
+/// the window reflows the dashboard instead of wrapping it.
+pub fn terminal_width() -> usize {
+    columns_width(std::env::var("COLUMNS").ok().as_deref())
+        .or_else(stty_width)
+        .unwrap_or(TUI_FALLBACK_WIDTH)
+}
 
 impl TuiDriver {
     /// A driver titled `title`, slicing series over `axis`.
@@ -94,6 +143,8 @@ impl TuiDriver {
             axis,
             started: Instant::now(),
             last_draw: None,
+            width_probed: None,
+            rate_trend: Vec::new(),
         }
     }
 
@@ -138,7 +189,25 @@ impl TuiDriver {
         }
         self.last_draw = Some(now);
         let elapsed = self.started.elapsed().as_secs_f64();
-        let frame = self.dashboard.ansi_frame(TUI_WIDTH, elapsed);
+        if elapsed > 0.0 {
+            self.rate_trend.push(self.dashboard.done() as f64 / elapsed);
+            if self.rate_trend.len() > TUI_TREND_SAMPLES {
+                self.rate_trend.remove(0);
+            }
+            self.dashboard.on_event(&TuiEvent::Trend {
+                name: "points/s".into(),
+                values: self.rate_trend.clone(),
+            });
+        }
+        let width = match self.width_probed {
+            Some((at, width)) if now - at < TUI_WIDTH_REFRESH => width,
+            _ => {
+                let width = terminal_width();
+                self.width_probed = Some((now, width));
+                width
+            }
+        };
+        let frame = self.dashboard.ansi_frame(width, elapsed);
         let mut stderr = std::io::stderr().lock();
         let _ = stderr.write_all(frame.as_bytes());
         let _ = stderr.flush();
@@ -385,6 +454,20 @@ mod tests {
         // Self-contained: no external references.
         assert!(!first.contains("http://") || first.contains("www.w3.org"));
         assert!(!first.contains("<script"));
+    }
+
+    #[test]
+    fn columns_width_wants_a_positive_integer() {
+        assert_eq!(columns_width(Some("120")), Some(120));
+        assert_eq!(columns_width(Some(" 80 \n")), Some(80));
+        assert_eq!(columns_width(Some("0")), None);
+        assert_eq!(columns_width(Some("wide")), None);
+        assert_eq!(columns_width(None), None);
+    }
+
+    #[test]
+    fn terminal_width_always_falls_back_to_something_usable() {
+        assert!(terminal_width() >= 1);
     }
 
     #[test]

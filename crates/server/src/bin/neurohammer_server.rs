@@ -2,25 +2,60 @@
 //!
 //! ```text
 //! neurohammer-server [--addr 127.0.0.1:7171] [--lease-ms 30000]
+//!                    [--speculate] [--straggler-multiple 4.0]
+//!                    [--straggler-min-samples 3]
+//!                    [--history <file.jsonl>] [--history-interval-ms 1000]
+//!                    [--history-cap 512]
 //! ```
 //!
 //! Listens forever, accepting `CampaignSpec` jobs over HTTP and leasing
 //! their shards to `neurohammer-worker` fleet members; see the crate
 //! documentation of `rram_server` for the protocol.
+//!
+//! Observability knobs:
+//!
+//! * `--history <file>` mirrors the periodic metric snapshots (always
+//!   served from memory at `GET /metrics/history`) to a ring-compacted
+//!   JSONL file, e.g. next to the checkpoints;
+//! * `--history-interval-ms` / `--history-cap` set the sampling cadence
+//!   and the retention window;
+//! * `--straggler-multiple` flags a leased shard once it runs longer
+//!   than this multiple of its expected duration (median observed
+//!   per-point wall time × points in the shard; needs at least
+//!   `--straggler-min-samples` observations);
+//! * `--speculate` additionally re-leases flagged shards to idle
+//!   workers — safe because outcome folding is idempotent first-wins,
+//!   so the merged report stays byte-identical either way.
 
 use std::time::Duration;
 
-use rram_server::cli::{flag_u64, flag_value};
-use rram_server::Server;
+use rram_server::cli::{flag_f64, flag_present, flag_u64, flag_value};
+use rram_server::{Server, ServerOptions, StragglerPolicy};
 
 fn main() {
     let addr = flag_value("--addr").unwrap_or_else(|| "127.0.0.1:7171".into());
     let lease_ms = flag_u64("--lease-ms").unwrap_or(30_000);
-    let server = Server::bind(&addr, Duration::from_millis(lease_ms))
-        .unwrap_or_else(|e| panic!("cannot bind {addr}: {e}"));
+    let defaults = StragglerPolicy::default();
+    let options = ServerOptions {
+        lease: Duration::from_millis(lease_ms),
+        straggler: StragglerPolicy {
+            multiple: flag_f64("--straggler-multiple").unwrap_or(defaults.multiple),
+            min_samples: flag_u64("--straggler-min-samples")
+                .map(|n| n as usize)
+                .unwrap_or(defaults.min_samples),
+            speculate: flag_present("--speculate"),
+        },
+        history_path: flag_value("--history").map(Into::into),
+        history_interval: Duration::from_millis(flag_u64("--history-interval-ms").unwrap_or(1000)),
+        history_cap: flag_u64("--history-cap").unwrap_or(512) as usize,
+    };
+    let speculate = options.straggler.speculate;
+    let server =
+        Server::bind_with(&addr, options).unwrap_or_else(|e| panic!("cannot bind {addr}: {e}"));
     eprintln!(
-        "neurohammer-server listening on {} (lease {lease_ms} ms)",
-        server.local_addr()
+        "neurohammer-server listening on {} (lease {lease_ms} ms{})",
+        server.local_addr(),
+        if speculate { ", speculation on" } else { "" },
     );
     server.run();
 }

@@ -3,6 +3,7 @@
 //! ```text
 //! neurohammer-worker [--server 127.0.0.1:7171] [--name w0] [--poll-ms 500]
 //!                    [--drain] [--alpha-cache <dir>] [--kill-after <n>]
+//!                    [--slow-ms <ms>]
 //! ```
 //!
 //! Leases shards from a `neurohammer-server`, executes them through the
@@ -11,7 +12,11 @@
 //! without it the worker polls forever. `--kill-after <n>` is fault
 //! injection for the CI smoke job: the worker falls silent — no results,
 //! no heartbeats — after streaming its n-th point, exactly like a
-//! `SIGKILL` mid-grid, and exits with status 2.
+//! `SIGKILL` mid-grid, and exits with status 2. `--slow-ms <ms>` is the
+//! straggler fault injection for the speculation smoke job: the worker
+//! dawdles that long after each streamed point (while dutifully
+//! heartbeating), so the server's straggler detector has something real
+//! to flag.
 
 use std::time::Duration;
 
@@ -25,6 +30,7 @@ fn main() {
         poll: Duration::from_millis(flag_u64("--poll-ms").unwrap_or(500)),
         drain: flag_present("--drain"),
         kill_after: flag_u64("--kill-after"),
+        slow_point: flag_u64("--slow-ms").map(Duration::from_millis),
         alpha_cache: flag_value("--alpha-cache").map(Into::into),
         progress: true,
     };

@@ -32,6 +32,19 @@ pub fn flag_u64(flag: &str) -> Option<u64> {
     })
 }
 
+/// Reads `flag`'s value as an `f64`.
+///
+/// # Panics
+///
+/// Panics when the value is missing or not a number.
+pub fn flag_f64(flag: &str) -> Option<f64> {
+    flag_value(flag).map(|value| {
+        value
+            .parse()
+            .unwrap_or_else(|_| panic!("{flag} requires a number, got {value:?}"))
+    })
+}
+
 /// Whether a bare `--flag` is present.
 pub fn flag_present(flag: &str) -> bool {
     std::env::args().any(|a| a == flag)

@@ -1,0 +1,203 @@
+//! The `GET /fleet` overview: one self-contained HTML page summarising
+//! the whole campaign service — every job, per-worker liveness and lease
+//! age, and throughput trends derived from the daemon's metric history.
+//!
+//! Pure rendering: the route handler snapshots the queue and the history
+//! ring under their locks, then calls [`fleet_page`] with plain data, so
+//! the page is a deterministic function of its inputs and never holds a
+//! lock across formatting.
+
+use std::time::Duration;
+
+use rram_analysis::html::{svg_chart, HtmlReport, SvgSeries};
+use rram_telemetry::history::MetricHistory;
+
+use crate::jobs::{JobStatus, ShardState, WorkerInfo};
+
+/// Converts a cumulative counter trajectory (`(t_ms, total)` samples)
+/// into a per-second rate series (`(t_seconds, rate)`), one point per
+/// adjacent sample pair. Counter resets (a decrease) clamp to zero
+/// rather than going negative.
+pub(crate) fn rate_series(points: &[(u64, f64)]) -> Vec<(f64, f64)> {
+    points
+        .windows(2)
+        .filter_map(|pair| {
+            let dt_ms = pair[1].0.saturating_sub(pair[0].0);
+            if dt_ms == 0 {
+                return None;
+            }
+            let rate = (pair[1].1 - pair[0].1).max(0.0) / (dt_ms as f64 / 1000.0);
+            Some((pair[1].0 as f64 / 1000.0, rate))
+        })
+        .collect()
+}
+
+fn ms_label(ms: u64) -> String {
+    if ms >= 10_000 {
+        format!("{:.1} s", ms as f64 / 1000.0)
+    } else {
+        format!("{ms} ms")
+    }
+}
+
+/// Renders the fleet overview page.
+pub(crate) fn fleet_page(
+    jobs: &[JobStatus],
+    workers: &[WorkerInfo],
+    history: &MetricHistory,
+    uptime: Duration,
+) -> String {
+    let mut page = HtmlReport::new("NeuroHammer fleet");
+    page.section("Service");
+    let complete = jobs
+        .iter()
+        .filter(|j| j.state == crate::jobs::JobState::Complete)
+        .count();
+    let stragglers: usize = jobs.iter().map(|j| j.stragglers).sum();
+    page.key_values(&[
+        ("uptime".into(), format!("{:.1} s", uptime.as_secs_f64())),
+        ("jobs".into(), jobs.len().to_string()),
+        ("outstanding".into(), (jobs.len() - complete).to_string()),
+        ("workers seen".into(), workers.len().to_string()),
+        ("straggler shards".into(), stragglers.to_string()),
+        ("history samples".into(), history.len().to_string()),
+    ]);
+
+    page.section("Jobs");
+    if jobs.is_empty() {
+        page.paragraph("No jobs submitted yet.");
+    } else {
+        let mut table =
+            String::from("id  name                  state     points        stragglers  shards\n");
+        for job in jobs {
+            let shards: Vec<String> = job
+                .shards
+                .iter()
+                .enumerate()
+                .map(|(index, state)| match state {
+                    ShardState::Pending => format!("{index}:pending"),
+                    ShardState::Leased(who) => format!("{index}:{who}"),
+                    ShardState::Done => format!("{index}:done"),
+                })
+                .collect();
+            table.push_str(&format!(
+                "{:<4}{:<22}{:<10}{:<14}{:<12}{}\n",
+                job.id,
+                job.name,
+                job.state.label(),
+                format!("{}/{}", job.points_done, job.points_total),
+                job.stragglers,
+                shards.join(" ")
+            ));
+        }
+        page.preformatted(table);
+    }
+
+    page.section("Workers");
+    if workers.is_empty() {
+        page.paragraph("No worker has connected yet.");
+    } else {
+        let mut table = String::from("worker          last seen    leases  oldest lease\n");
+        for worker in workers {
+            table.push_str(&format!(
+                "{:<16}{:<13}{:<8}{}\n",
+                worker.name,
+                ms_label(worker.last_seen_ms),
+                worker.active_leases,
+                worker
+                    .oldest_lease_ms
+                    .map(ms_label)
+                    .unwrap_or_else(|| "-".into()),
+            ));
+        }
+        page.preformatted(table);
+    }
+
+    page.section("Trends");
+    let folded = rate_series(&history.series("queue_outcomes_folded_total"));
+    page.paragraph(
+        "Per-second rates derived from the sampled counters \
+         (what GET /metrics/history serves as JSONL).",
+    );
+    page.raw(svg_chart(
+        &[SvgSeries {
+            name: "points folded /s".into(),
+            points: folded,
+        }],
+        "uptime, s",
+        "points/s",
+        false,
+        false,
+    ));
+    let cumulative: Vec<SvgSeries> = [
+        ("leases granted", "queue_leases_granted_total"),
+        ("leases expired", "queue_leases_expired_total"),
+        ("stragglers flagged", "queue_stragglers_flagged_total"),
+        ("speculative leases", "queue_speculative_leases_total"),
+    ]
+    .iter()
+    .map(|(label, series)| SvgSeries {
+        name: (*label).into(),
+        points: history
+            .series(series)
+            .iter()
+            .map(|&(t, v)| (t as f64 / 1000.0, v))
+            .collect(),
+    })
+    .collect();
+    page.raw(svg_chart(&cumulative, "uptime, s", "total", false, false));
+    if history.is_empty() {
+        page.paragraph("No metric samples yet — the sampler runs on a fixed interval.");
+    }
+    page.render()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::jobs::JobState;
+    use rram_telemetry::history::MetricSample;
+
+    #[test]
+    fn rate_series_differentiates_and_clamps() {
+        let rates = rate_series(&[(0, 0.0), (1000, 4.0), (2000, 4.0), (3000, 1.0)]);
+        assert_eq!(rates, vec![(1.0, 4.0), (2.0, 0.0), (3.0, 0.0)]);
+        assert!(rate_series(&[(5, 1.0)]).is_empty());
+    }
+
+    #[test]
+    fn fleet_page_is_self_contained_and_deterministic() {
+        let jobs = vec![JobStatus {
+            id: 1,
+            name: "fig3a".into(),
+            state: JobState::Running,
+            points_done: 3,
+            points_total: 4,
+            shards: vec![ShardState::Done, ShardState::Leased("w1+w2".into())],
+            stragglers: 1,
+        }];
+        let workers = vec![WorkerInfo {
+            name: "w1".into(),
+            last_seen_ms: 120,
+            active_leases: 1,
+            oldest_lease_ms: Some(45_000),
+        }];
+        let mut history = MetricHistory::new(8);
+        for t in 0..4u64 {
+            history.push(MetricSample {
+                t_ms: t * 1000,
+                values: vec![("queue_outcomes_folded_total".into(), t as f64)],
+            });
+        }
+        let page = fleet_page(&jobs, &workers, &history, Duration::from_secs(9));
+        assert!(page.starts_with("<!DOCTYPE html>"));
+        assert!(page.contains("fig3a"));
+        assert!(page.contains("w1+w2"));
+        assert!(page.contains("45.0 s"));
+        assert!(page.contains("points folded /s"));
+        assert_eq!(
+            page,
+            fleet_page(&jobs, &workers, &history, Duration::from_secs(9))
+        );
+    }
+}

@@ -32,8 +32,44 @@ pub struct Request {
     pub method: String,
     /// Request target path, query string stripped (`/jobs/1/report`).
     pub path: String,
+    /// The raw query string, without the `?` (empty when absent).
+    pub query: String,
+    /// Request headers as `(lower-cased name, trimmed value)` pairs, in
+    /// arrival order.
+    pub headers: Vec<(String, String)>,
     /// Decoded UTF-8 body (empty when the request carried none).
     pub body: String,
+}
+
+impl Request {
+    /// The first header named `name` (case-insensitive), if any.
+    pub fn header(&self, name: &str) -> Option<&str> {
+        self.headers
+            .iter()
+            .find(|(n, _)| n.eq_ignore_ascii_case(name))
+            .map(|(_, v)| v.as_str())
+    }
+
+    /// The value of query parameter `key` (`?family=queue&x=1`), if any.
+    /// Values are taken verbatim — no percent-decoding, which the
+    /// service's metric-family and job-id parameters never need.
+    pub fn query_param(&self, key: &str) -> Option<&str> {
+        self.query.split('&').find_map(|pair| {
+            let (k, v) = pair.split_once('=')?;
+            (k == key).then_some(v)
+        })
+    }
+}
+
+/// Parses `head`'s header lines into `(lower-cased name, value)` pairs.
+fn parse_headers(head: &str) -> Vec<(String, String)> {
+    head.lines()
+        .skip(1)
+        .filter_map(|line| {
+            let (name, value) = line.split_once(':')?;
+            Some((name.trim().to_ascii_lowercase(), value.trim().to_string()))
+        })
+        .collect()
 }
 
 fn protocol(what: impl Into<String>) -> ServiceError {
@@ -111,10 +147,15 @@ pub fn read_request(stream: &mut TcpStream) -> Result<Request, ServiceError> {
     let (Some(method), Some(target)) = (parts.next(), parts.next()) else {
         return Err(protocol(format!("bad request line {request_line:?}")));
     };
-    let path = target.split('?').next().unwrap_or(target);
+    let (path, query) = match target.split_once('?') {
+        Some((path, query)) => (path, query),
+        None => (target, ""),
+    };
     Ok(Request {
         method: method.to_ascii_uppercase(),
         path: path.to_string(),
+        query: query.to_string(),
+        headers: parse_headers(&head),
         body,
     })
 }
@@ -143,13 +184,32 @@ pub fn write_response(
     content_type: &str,
     body: &str,
 ) -> std::io::Result<()> {
-    write!(
-        stream,
+    write_response_with(stream, status, content_type, body, &[])
+}
+
+/// [`write_response`] with extra response headers (e.g. the trace
+/// context a lease grant hands its worker).
+///
+/// # Errors
+///
+/// Returns the socket error, if any.
+pub fn write_response_with(
+    stream: &mut TcpStream,
+    status: u16,
+    content_type: &str,
+    body: &str,
+    extra: &[(String, String)],
+) -> std::io::Result<()> {
+    let mut head = format!(
         "HTTP/1.1 {status} {reason}\r\nContent-Type: {content_type}\r\n\
-         Content-Length: {length}\r\nConnection: close\r\n\r\n{body}",
+         Content-Length: {length}\r\nConnection: close\r\n",
         reason = status_reason(status),
         length = body.len(),
-    )?;
+    );
+    for (name, value) in extra {
+        head.push_str(&format!("{name}: {value}\r\n"));
+    }
+    write!(stream, "{head}\r\n{body}")?;
     stream.flush()
 }
 
@@ -375,6 +435,27 @@ pub fn stream_lines<A: ToSocketAddrs>(
     Ok(status)
 }
 
+/// One parsed HTTP response, as returned by [`call_with`].
+#[derive(Debug, Clone)]
+pub struct Response {
+    /// The response status code.
+    pub status: u16,
+    /// Response headers as `(lower-cased name, trimmed value)` pairs.
+    pub headers: Vec<(String, String)>,
+    /// Decoded UTF-8 body.
+    pub body: String,
+}
+
+impl Response {
+    /// The first header named `name` (case-insensitive), if any.
+    pub fn header(&self, name: &str) -> Option<&str> {
+        self.headers
+            .iter()
+            .find(|(n, _)| n.eq_ignore_ascii_case(name))
+            .map(|(_, v)| v.as_str())
+    }
+}
+
 /// Sends one request to `addr` and returns `(status, body)`.
 ///
 /// This is the whole client side of the protocol: the worker binary and
@@ -390,14 +471,35 @@ pub fn call<A: ToSocketAddrs>(
     path: &str,
     body: Option<&str>,
 ) -> Result<(u16, String), ServiceError> {
+    call_with(addr, method, path, body, &[]).map(|r| (r.status, r.body))
+}
+
+/// [`call`] with extra request headers, returning the full [`Response`]
+/// (status, headers and body) — the worker uses it to propagate its
+/// trace context, and tests to check content types.
+///
+/// # Errors
+///
+/// Returns [`ServiceError::Io`] when the connection fails and
+/// [`ServiceError::Protocol`] on a malformed response.
+pub fn call_with<A: ToSocketAddrs>(
+    addr: A,
+    method: &str,
+    path: &str,
+    body: Option<&str>,
+    extra: &[(&str, &str)],
+) -> Result<Response, ServiceError> {
     let mut stream = TcpStream::connect(addr)?;
     let body = body.unwrap_or("");
-    write!(
-        stream,
+    let mut head = format!(
         "{method} {path} HTTP/1.1\r\nHost: neurohammer\r\nContent-Type: application/json\r\n\
-         Content-Length: {length}\r\nConnection: close\r\n\r\n{body}",
+         Content-Length: {length}\r\nConnection: close\r\n",
         length = body.len(),
-    )?;
+    );
+    for (name, value) in extra {
+        head.push_str(&format!("{name}: {value}\r\n"));
+    }
+    write!(stream, "{head}\r\n{body}")?;
     stream.flush()?;
     let (head, body) = read_message(&mut stream)?;
     let status_line = head.lines().next().unwrap_or_default();
@@ -406,7 +508,11 @@ pub fn call<A: ToSocketAddrs>(
         .nth(1)
         .and_then(|code| code.parse().ok())
         .ok_or_else(|| protocol(format!("bad status line {status_line:?}")))?;
-    Ok((status, body))
+    Ok(Response {
+        status,
+        headers: parse_headers(&head),
+        body,
+    })
 }
 
 #[cfg(test)]

@@ -30,12 +30,23 @@
 //! * [`server`] — the TCP accept loop and the resource-oriented routes;
 //! * [`worker`] — the fleet worker loop (`neurohammer-worker` is a thin
 //!   CLI wrapper around [`worker::run_worker`]);
-//! * [`cli`] — flag parsing shared by the two binaries.
+//! * [`cli`] — flag parsing shared by the binaries;
+//! * `fleet` (private) — the `GET /fleet` HTML overview renderer.
+//!
+//! Observability rides the same routes: every lease grant carries a
+//! trace context (`x-nh-trace`) the worker echoes back, so
+//! `GET /jobs/{id}/trace` serves a submit → lease → compute → fold →
+//! finish span timeline; a background sampler persists registry
+//! snapshots for `GET /metrics/history`; and straggling shards are
+//! flagged from observed per-point wall times (opt-in `--speculate`
+//! re-leases them to idle workers — safe because outcome folding is
+//! idempotent first-wins).
 
 #![deny(missing_docs)]
 #![deny(unsafe_code)]
 
 pub mod cli;
+mod fleet;
 pub mod http;
 pub mod jobs;
 pub mod server;
@@ -43,8 +54,9 @@ pub mod worker;
 
 pub use jobs::{
     EventAck, JobQueue, JobState, JobStatus, LeaseGrant, LeaseOffer, QueueError, ShardState,
+    StragglerPolicy, WorkerInfo,
 };
-pub use server::{Server, ServerHandle};
+pub use server::{Server, ServerHandle, ServerOptions};
 pub use worker::{run_worker, ShardRun, WorkerConfig, WorkerSummary};
 
 use neurohammer::campaign::CampaignError;

@@ -8,12 +8,15 @@
 //! | `GET /jobs/{id}` | one job snapshot |
 //! | `GET /jobs/{id}/report` | merged report JSON (partial while running) |
 //! | `GET /jobs/{id}/report.csv` | the same report as CSV |
+//! | `GET /jobs/{id}/trace` | the job's span timeline as JSONL |
 //! | `DELETE /jobs/{id}` | drop a job; its workers quiesce |
-//! | `POST /lease` | worker asks for a shard |
+//! | `POST /lease` | worker asks for a shard; grants carry `x-nh-trace` |
 //! | `POST /heartbeat` | worker renews its lease |
 //! | `POST /results` | worker streams one [`CampaignEvent`] |
 //! | `GET /healthz` | liveness probe |
 //! | `GET /metrics` | Prometheus text exposition of the telemetry registry |
+//! | `GET /metrics/history` | sampled metric history as JSONL (`?family=` filters) |
+//! | `GET /fleet` | self-contained HTML fleet overview |
 //! | `GET /jobs/{id}/events` | chunked JSONL event stream: replay, then live |
 //!
 //! `GET /jobs/{id}/events` holds the connection open with
@@ -31,8 +34,23 @@
 //! plus a trailing newline — the exact bytes a figure binary prints under
 //! `--json` — so `curl | diff` against an unsharded run is empty when the
 //! job is complete.
+//!
+//! `GET /jobs/{id}/trace` responds with one
+//! [`SpanRecord`](rram_telemetry::trace::SpanRecord) JSON object per line
+//! in allocation order: the root `job` span, the `submit` instant, one
+//! `lease` span per grant (reassignments and speculative copies appear as
+//! additional lease spans), one `compute` span per folded point (its
+//! length reconstructed from the outcome's `wall_ns`), a `fold` instant
+//! per compute, and a closing `finish` instant.
+//!
+//! A background sampler snapshots the telemetry registry every
+//! [`ServerOptions::history_interval`] into a bounded in-memory ring
+//! (served by `GET /metrics/history`) and, when
+//! [`ServerOptions::history_path`] is set, mirrors it to a ring-compacted
+//! JSONL file next to the checkpoints.
 
 use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
@@ -40,12 +58,49 @@ use std::time::{Duration, Instant};
 
 use neurohammer::campaign::json::Json;
 use neurohammer::campaign::{CampaignEvent, CampaignSpec, Shard};
+use rram_telemetry::history::{HistoryWriter, MetricHistory, MetricSample};
+use rram_telemetry::trace::{TraceContext, TRACE_HEADER};
 
 use crate::http::{
-    finish_chunked, read_request, write_chunk, write_chunked_head, write_response, Request,
+    finish_chunked, read_request, write_chunk, write_chunked_head, write_response,
+    write_response_with, Request,
 };
-use crate::jobs::{JobQueue, JobStatus, LeaseOffer, QueueError, ShardState};
+use crate::jobs::{JobQueue, JobStatus, LeaseOffer, QueueError, ShardState, StragglerPolicy};
 use crate::ServiceError;
+
+/// Construction-time knobs for [`Server::bind_with`].
+#[derive(Debug, Clone)]
+pub struct ServerOptions {
+    /// How long a worker lease lasts without renewal.
+    pub lease: Duration,
+    /// Straggler detection and speculative re-leasing policy.
+    pub straggler: StragglerPolicy,
+    /// Where to mirror the metric history (`None`: in-memory only).
+    pub history_path: Option<PathBuf>,
+    /// How often the sampler snapshots the registry.
+    pub history_interval: Duration,
+    /// How many samples the history ring retains.
+    pub history_cap: usize,
+}
+
+impl Default for ServerOptions {
+    fn default() -> ServerOptions {
+        ServerOptions {
+            lease: Duration::from_secs(30),
+            straggler: StragglerPolicy::default(),
+            history_path: None,
+            history_interval: Duration::from_secs(1),
+            history_cap: 512,
+        }
+    }
+}
+
+/// The shared per-daemon state behind the connection handlers.
+struct ServerState {
+    queue: Mutex<JobQueue>,
+    history: Mutex<MetricHistory>,
+    started: Instant,
+}
 
 /// A bound, not-yet-serving campaign service.
 ///
@@ -67,7 +122,8 @@ use crate::ServiceError;
 /// ```
 pub struct Server {
     listener: TcpListener,
-    state: Arc<Mutex<JobQueue>>,
+    state: Arc<ServerState>,
+    options: ServerOptions,
 }
 
 /// A background campaign service, stoppable from the spawning thread.
@@ -79,15 +135,38 @@ pub struct ServerHandle {
 
 impl Server {
     /// Binds the service to `addr` (e.g. `"127.0.0.1:0"` for an ephemeral
-    /// port) with the given worker-lease duration.
+    /// port) with the given worker-lease duration and default
+    /// [`ServerOptions`] otherwise.
     ///
     /// # Errors
     ///
     /// Returns the socket error when the address cannot be bound.
     pub fn bind(addr: &str, lease: Duration) -> std::io::Result<Server> {
+        Server::bind_with(
+            addr,
+            ServerOptions {
+                lease,
+                ..ServerOptions::default()
+            },
+        )
+    }
+
+    /// Binds the service with explicit [`ServerOptions`].
+    ///
+    /// # Errors
+    ///
+    /// Returns the socket error when the address cannot be bound.
+    pub fn bind_with(addr: &str, options: ServerOptions) -> std::io::Result<Server> {
+        let mut queue = JobQueue::new(options.lease);
+        queue.set_straggler_policy(options.straggler);
         Ok(Server {
             listener: TcpListener::bind(addr)?,
-            state: Arc::new(Mutex::new(JobQueue::new(lease))),
+            state: Arc::new(ServerState {
+                queue: Mutex::new(queue),
+                history: Mutex::new(MetricHistory::new(options.history_cap)),
+                started: Instant::now(),
+            }),
+            options,
         })
     }
 
@@ -102,8 +181,16 @@ impl Server {
     }
 
     /// Serves until `stop` is set (checked between connections — poke the
-    /// port after setting it, as [`ServerHandle::shutdown`] does).
+    /// port after setting it, as [`ServerHandle::shutdown`] does). The
+    /// metric sampler runs alongside the accept loop and is joined before
+    /// this returns.
     pub fn serve(self, stop: &AtomicBool) {
+        let sampler_stop = Arc::new(AtomicBool::new(false));
+        let sampler = spawn_sampler(
+            Arc::clone(&self.state),
+            self.options.clone(),
+            Arc::clone(&sampler_stop),
+        );
         for connection in self.listener.incoming() {
             if stop.load(Ordering::SeqCst) {
                 break;
@@ -112,6 +199,8 @@ impl Server {
             let state = Arc::clone(&self.state);
             std::thread::spawn(move || handle_connection(stream, &state));
         }
+        sampler_stop.store(true, Ordering::SeqCst);
+        let _ = sampler.join();
     }
 
     /// Serves forever — the daemon binary's main loop.
@@ -135,6 +224,47 @@ impl Server {
     }
 }
 
+/// Starts the background metric sampler: every `history_interval` it
+/// snapshots the global registry into the state's history ring (and the
+/// JSONL mirror when configured). Timestamps are monotonic milliseconds
+/// since the sampler started, forced strictly increasing.
+fn spawn_sampler(
+    state: Arc<ServerState>,
+    options: ServerOptions,
+    stop: Arc<AtomicBool>,
+) -> JoinHandle<()> {
+    std::thread::spawn(move || {
+        let mut writer = options.history_path.as_ref().map(HistoryWriter::new);
+        let interval = options.history_interval.max(Duration::from_millis(10));
+        let origin = Instant::now();
+        let mut next = origin + interval;
+        let mut last_t = 0u64;
+        while !stop.load(Ordering::SeqCst) {
+            let now = Instant::now();
+            if now >= next {
+                next = now + interval;
+                let t_ms = (now.duration_since(origin).as_millis() as u64).max(last_t + 1);
+                last_t = t_ms;
+                let sample = MetricSample {
+                    t_ms,
+                    values: rram_telemetry::Registry::global().sample(),
+                };
+                let mut history = state.history.lock().expect("history poisoned");
+                history.push(sample.clone());
+                if let Some(writer) = writer.as_mut() {
+                    if let Err(error) = writer.append(&sample, &history) {
+                        eprintln!(
+                            "{{\"warn\":\"history\",\"error\":\"{}\"}}",
+                            error.to_string().replace('"', "'")
+                        );
+                    }
+                }
+            }
+            std::thread::sleep(Duration::from_millis(10));
+        }
+    })
+}
+
 impl ServerHandle {
     /// The served address.
     pub fn addr(&self) -> SocketAddr {
@@ -156,11 +286,27 @@ impl ServerHandle {
     }
 }
 
-/// One routed response: status, content type, body.
-struct Routed(u16, &'static str, String);
+/// One routed response: status, content type, body, extra headers.
+struct Routed {
+    status: u16,
+    content_type: &'static str,
+    body: String,
+    headers: Vec<(String, String)>,
+}
+
+impl Routed {
+    fn new(status: u16, content_type: &'static str, body: String) -> Routed {
+        Routed {
+            status,
+            content_type,
+            body,
+            headers: Vec::new(),
+        }
+    }
+}
 
 fn json_body(status: u16, value: Json) -> Routed {
-    Routed(status, "application/json", value.to_compact_string())
+    Routed::new(status, "application/json", value.to_compact_string())
 }
 
 fn error_body(status: u16, message: String) -> Routed {
@@ -198,6 +344,7 @@ fn status_to_json(status: &JobStatus) -> Json {
             "points_total".into(),
             Json::Number(status.points_total as f64),
         ),
+        ("stragglers".into(), Json::Number(status.stragglers as f64)),
         (
             "shards".into(),
             Json::Array(
@@ -256,12 +403,33 @@ fn worker_triple(body: &Json) -> Result<(String, u64, Shard), Routed> {
     Ok((worker, job, shard))
 }
 
-fn route(request: &Request, state: &Mutex<JobQueue>) -> Routed {
+fn route(request: &Request, state: &ServerState) -> Routed {
     let segments: Vec<&str> = request.path.split('/').filter(|s| !s.is_empty()).collect();
-    let queue = &mut *state.lock().expect("job queue poisoned");
     let now = Instant::now();
+    // The two history/fleet reads snapshot under their own locks before
+    // any queue work, keeping lock scopes disjoint and short.
+    if request.method == "GET" && segments.as_slice() == ["metrics", "history"] {
+        let history = state.history.lock().expect("history poisoned");
+        return Routed::new(
+            200,
+            "application/jsonl",
+            history.jsonl(request.query_param("family")),
+        );
+    }
+    if request.method == "GET" && segments.as_slice() == ["fleet"] {
+        let history = state.history.lock().expect("history poisoned").clone();
+        let queue = state.queue.lock().expect("job queue poisoned");
+        let page = crate::fleet::fleet_page(
+            &queue.list(),
+            &queue.fleet(now),
+            &history,
+            state.started.elapsed(),
+        );
+        return Routed::new(200, "text/html; charset=utf-8", page);
+    }
+    let queue = &mut *state.queue.lock().expect("job queue poisoned");
     let outcome = match (request.method.as_str(), segments.as_slice()) {
-        ("GET", ["metrics"]) => Ok(Routed(
+        ("GET", ["metrics"]) => Ok(Routed::new(
             200,
             "text/plain; version=0.0.4",
             rram_telemetry::Registry::global().prometheus_text(),
@@ -285,7 +453,7 @@ fn route(request: &Request, state: &Mutex<JobQueue>) -> Routed {
                 None => 1,
                 Some(_) => required_u64(&body, "shards")? as usize,
             };
-            let status = queue.submit(spec, shards).map_err(Routed::from)?;
+            let status = queue.submit(spec, shards, now).map_err(Routed::from)?;
             Ok(json_body(201, status_to_json(&status)))
         }),
         ("GET", ["jobs"]) => Ok(json_body(
@@ -309,7 +477,7 @@ fn route(request: &Request, state: &Mutex<JobQueue>) -> Routed {
         ("GET", ["jobs", id, "report"]) => parse_id(id).and_then(|id| {
             let report = queue.report(id).map_err(Routed::from)?;
             // The figure binaries' exact `--json` bytes (plus newline).
-            Ok(Routed(
+            Ok(Routed::new(
                 200,
                 "application/json",
                 format!("{}\n", report.to_json()),
@@ -317,11 +485,24 @@ fn route(request: &Request, state: &Mutex<JobQueue>) -> Routed {
         }),
         ("GET", ["jobs", id, "report.csv"]) => parse_id(id).and_then(|id| {
             let report = queue.report(id).map_err(Routed::from)?;
-            Ok(Routed(200, "text/csv", report.to_csv_string()))
+            Ok(Routed::new(200, "text/csv", report.to_csv_string()))
+        }),
+        ("GET", ["jobs", id, "trace"]) => parse_id(id).and_then(|id| {
+            let trace = queue.trace_jsonl(id).map_err(Routed::from)?;
+            Ok(Routed::new(200, "application/jsonl", trace))
         }),
         ("POST", ["lease"]) => parse_body(&request.body).and_then(|body| {
             let worker = required_str(&body, "worker")?;
-            Ok(json_body(200, offer_to_json(queue.lease(worker, now))))
+            let offer = queue.lease(worker, now);
+            let trace = match &offer {
+                LeaseOffer::Grant(grant) => grant.trace.map(|ctx| ctx.header_value()),
+                LeaseOffer::Idle { .. } => None,
+            };
+            let mut routed = json_body(200, offer_to_json(offer));
+            if let Some(value) = trace {
+                routed.headers.push((TRACE_HEADER.to_string(), value));
+            }
+            Ok(routed)
         }),
         ("POST", ["heartbeat"]) => parse_body(&request.body).and_then(|body| {
             let (worker, job, shard) = worker_triple(&body)?;
@@ -342,8 +523,9 @@ fn route(request: &Request, state: &Mutex<JobQueue>) -> Routed {
                     CampaignEvent::from_json_value(event)
                         .map_err(|e| error_body(400, format!("invalid event: {e}")))
                 })?;
+            let ctx = request.header(TRACE_HEADER).and_then(TraceContext::parse);
             let ack = queue
-                .record(&worker, job, shard, &event, now)
+                .record(&worker, job, shard, &event, ctx, now)
                 .map_err(Routed::from)?;
             Ok(json_body(
                 200,
@@ -355,12 +537,19 @@ fn route(request: &Request, state: &Mutex<JobQueue>) -> Routed {
                 ]),
             ))
         }),
-        (_, ["jobs", ..] | ["lease"] | ["heartbeat"] | ["results"] | ["healthz"] | ["metrics"]) => {
-            Err(error_body(
-                405,
-                format!("{} not allowed here", request.method),
-            ))
-        }
+        (
+            _,
+            ["jobs", ..]
+            | ["lease"]
+            | ["heartbeat"]
+            | ["results"]
+            | ["healthz"]
+            | ["metrics", ..]
+            | ["fleet"],
+        ) => Err(error_body(
+            405,
+            format!("{} not allowed here", request.method),
+        )),
         _ => Err(error_body(404, format!("no route {:?}", request.path))),
     };
     outcome.unwrap_or_else(|routed| routed)
@@ -377,15 +566,21 @@ fn offer_to_json(offer: LeaseOffer) -> Json {
             ("idle".into(), Json::Bool(true)),
             ("outstanding".into(), Json::Number(outstanding as f64)),
         ]),
-        LeaseOffer::Grant(grant) => Json::Object(vec![
-            ("job".into(), Json::Number(grant.job as f64)),
-            ("shard".into(), Json::String(grant.shard.to_string())),
-            (
-                "lease_ms".into(),
-                Json::Number(grant.lease.as_millis() as f64),
-            ),
-            ("spec".into(), grant.spec.to_json_value()),
-            (
+        LeaseOffer::Grant(grant) => {
+            let mut entries = vec![
+                ("job".into(), Json::Number(grant.job as f64)),
+                ("shard".into(), Json::String(grant.shard.to_string())),
+                (
+                    "lease_ms".into(),
+                    Json::Number(grant.lease.as_millis() as f64),
+                ),
+                ("speculative".into(), Json::Bool(grant.speculative)),
+            ];
+            if let Some(ctx) = grant.trace {
+                entries.push(("trace".into(), Json::String(ctx.header_value())));
+            }
+            entries.push(("spec".into(), grant.spec.to_json_value()));
+            entries.push((
                 "resume".into(),
                 Json::Array(
                     grant
@@ -394,8 +589,9 @@ fn offer_to_json(offer: LeaseOffer) -> Json {
                         .map(|outcome| outcome.to_json_value())
                         .collect(),
                 ),
-            ),
-        ]),
+            ));
+            Json::Object(entries)
+        }
     }
 }
 
@@ -421,8 +617,8 @@ fn stream_job_events(stream: &mut TcpStream, state: &Mutex<JobQueue>, job: u64) 
         queue.events_from(job, 0).is_ok()
     };
     if !known {
-        let Routed(status, content_type, body) = Routed::from(QueueError::UnknownJob(job));
-        let _ = write_response(stream, status, content_type, &body);
+        let routed = Routed::from(QueueError::UnknownJob(job));
+        let _ = write_response(stream, routed.status, routed.content_type, &routed.body);
         return;
     }
     if write_chunked_head(stream, 200, "application/jsonl").is_err() {
@@ -458,13 +654,13 @@ fn stream_job_events(stream: &mut TcpStream, state: &Mutex<JobQueue>, job: u64) 
     }
 }
 
-fn handle_connection(mut stream: TcpStream, state: &Mutex<JobQueue>) {
+fn handle_connection(mut stream: TcpStream, state: &ServerState) {
     // A stalled or hostile peer must not pin this thread forever.
     let _ = stream.set_read_timeout(Some(Duration::from_secs(10)));
     let routed = match read_request(&mut stream) {
         Ok(request) => {
             if let Some(job) = event_stream_target(&request) {
-                stream_job_events(&mut stream, state, job);
+                stream_job_events(&mut stream, &state.queue, job);
                 return;
             }
             route(&request, state)
@@ -472,6 +668,11 @@ fn handle_connection(mut stream: TcpStream, state: &Mutex<JobQueue>) {
         Err(ServiceError::Protocol(what)) => error_body(400, what),
         Err(_) => return,
     };
-    let Routed(status, content_type, body) = routed;
-    let _ = write_response(&mut stream, status, content_type, &body);
+    let _ = write_response_with(
+        &mut stream,
+        routed.status,
+        routed.content_type,
+        &routed.body,
+        &routed.headers,
+    );
 }

@@ -11,16 +11,26 @@
 //!    seeding the executor's resume path with the grant's resume set so
 //!    only unfinished points are computed.
 //! 3. Stream each *fresh* `PointFinished` back over `POST /results`
-//!    (replayed resume points are skipped — the server has them), then
-//!    `Finished`. Every submission renews the lease; a heartbeat thread
-//!    renews it at a third of the lease period while points compute.
-//! 4. When the server answers `idle` with zero outstanding jobs, a
+//!    (replayed resume points are skipped — the server has them). Every
+//!    submission renews the lease; a heartbeat thread renews it at a
+//!    third of the lease period while points compute. Each request
+//!    echoes the grant's trace context as the
+//!    [`rram_telemetry::trace::TRACE_HEADER`] header, so
+//!    the server attributes folds to the lease span that computed them.
+//! 4. Once the shard's grid is exhausted the heartbeat thread is stopped
+//!    and **joined first**, and only then is the final `Finished` event
+//!    submitted — no in-flight lease renewal can race the submission
+//!    that completes the shard.
+//! 5. When the server answers `idle` with zero outstanding jobs, a
 //!    draining worker exits; otherwise it polls for more work.
 //!
-//! For fault-injection (tests and the CI smoke job), `kill_after: Some(n)`
-//! makes the worker fall silent after streaming its `n`-th point — no
-//! further results, no heartbeats, no `Finished` — which is
-//! indistinguishable, to the server, from `SIGKILL` mid-grid.
+//! For fault-injection (tests and the CI smoke jobs): `kill_after:
+//! Some(n)` makes the worker fall silent after streaming its `n`-th
+//! point — no further results, no heartbeats, no `Finished` — which is
+//! indistinguishable, to the server, from `SIGKILL` mid-grid; and
+//! `slow_point: Some(d)` sleeps `d` after streaming each point, turning
+//! the worker into a deliberate straggler (the sleep happens *after* the
+//! point computes, so its `wall_ns` observability stays honest).
 
 use std::collections::HashSet;
 use std::sync::atomic::{AtomicBool, Ordering};
@@ -30,6 +40,7 @@ use std::time::Duration;
 use neurohammer::campaign::json::Json;
 use neurohammer::campaign::{CampaignEvent, CampaignOutcome, CampaignSpec, PointKey, Shard};
 use neurohammer_bench::worker::{execute_shard, RunOptions};
+use rram_telemetry::trace::{TraceContext, TRACE_HEADER};
 
 use crate::{http, LeaseGrant, ServiceError};
 
@@ -47,6 +58,9 @@ pub struct WorkerConfig {
     pub drain: bool,
     /// Fault injection: fall silent after streaming this many points.
     pub kill_after: Option<u64>,
+    /// Fault injection: sleep this long after streaming each point,
+    /// making the worker a deliberate straggler.
+    pub slow_point: Option<Duration>,
     /// Directory of the persistent α-matrix cache, if any.
     pub alpha_cache: Option<std::path::PathBuf>,
     /// Render live progress lines on stderr.
@@ -63,6 +77,7 @@ impl WorkerConfig {
             poll: Duration::from_millis(500),
             drain: false,
             kill_after: None,
+            slow_point: None,
             alpha_cache: None,
             progress: false,
         }
@@ -120,13 +135,35 @@ fn protocol(what: impl Into<String>) -> ServiceError {
     ServiceError::Protocol(what.into())
 }
 
-/// Posts one JSON body and parses the JSON answer, demanding HTTP 200.
-fn post_json(server: &str, path: &str, body: &Json) -> Result<Json, ServiceError> {
-    let (status, answer) = http::call(server, "POST", path, Some(&body.to_compact_string()))?;
-    if status != 200 {
-        return Err(protocol(format!("{path} answered {status}: {answer}")));
+/// Posts one JSON body (echoing `trace` as the [`TRACE_HEADER`] request
+/// header when present) and parses the JSON answer, demanding HTTP 200.
+fn post_json(
+    server: &str,
+    path: &str,
+    body: &Json,
+    trace: Option<TraceContext>,
+) -> Result<Json, ServiceError> {
+    let header = trace.map(|ctx| ctx.header_value());
+    let extra: Vec<(&str, &str)> = header
+        .as_deref()
+        .map(|value| (TRACE_HEADER, value))
+        .into_iter()
+        .collect();
+    let response = http::call_with(
+        server,
+        "POST",
+        path,
+        Some(&body.to_compact_string()),
+        &extra,
+    )?;
+    if response.status != 200 {
+        return Err(protocol(format!(
+            "{path} answered {}: {}",
+            response.status, response.body
+        )));
     }
-    Json::parse(&answer).map_err(|e| protocol(format!("{path} answered malformed JSON: {e}")))
+    Json::parse(&response.body)
+        .map_err(|e| protocol(format!("{path} answered malformed JSON: {e}")))
 }
 
 fn submission(config: &WorkerConfig, grant: &LeaseGrant, event: &CampaignEvent) -> Json {
@@ -147,6 +184,7 @@ fn post_event(
         &config.server,
         "/results",
         &submission(config, grant, event),
+        grant.trace,
     )?;
     let flag = |key: &str| answer.get(key).and_then(Json::as_bool).unwrap_or(false);
     Ok(Ack {
@@ -156,7 +194,11 @@ fn post_event(
     })
 }
 
-fn parse_grant(offer: &Json) -> Result<LeaseGrant, ServiceError> {
+/// Parses a lease grant from the `/lease` answer. `header_trace` is the
+/// response's [`TRACE_HEADER`] value, preferred over the JSON `trace`
+/// field when both are present (the header is the canonical carrier; a
+/// missing or garbled context simply leaves submissions unattributed).
+fn parse_grant(offer: &Json, header_trace: Option<&str>) -> Result<LeaseGrant, ServiceError> {
     let field = |key: &str| {
         offer
             .get(key)
@@ -175,6 +217,9 @@ fn parse_grant(offer: &Json) -> Result<LeaseGrant, ServiceError> {
         .map(CampaignOutcome::from_json_value)
         .collect::<Result<Vec<_>, _>>()
         .map_err(ServiceError::Campaign)?;
+    let trace = header_trace
+        .or_else(|| offer.get("trace").and_then(Json::as_str))
+        .and_then(TraceContext::parse);
     Ok(LeaseGrant {
         job: field("job")?
             .as_u64()
@@ -187,6 +232,11 @@ fn parse_grant(offer: &Json) -> Result<LeaseGrant, ServiceError> {
                 .ok_or_else(|| protocol("lease_ms must be an integer"))?,
         ),
         resume,
+        trace,
+        speculative: offer
+            .get("speculative")
+            .and_then(Json::as_bool)
+            .unwrap_or(false),
     })
 }
 
@@ -202,11 +252,22 @@ pub fn run_worker(config: &WorkerConfig) -> Result<WorkerSummary, ServiceError> 
     let mut summary = WorkerSummary::default();
     let mut streamed: u64 = 0;
     loop {
-        let offer = post_json(
+        let body = Json::Object(vec![("worker".into(), Json::String(config.name.clone()))]);
+        let response = http::call_with(
             &config.server,
+            "POST",
             "/lease",
-            &Json::Object(vec![("worker".into(), Json::String(config.name.clone()))]),
+            Some(&body.to_compact_string()),
+            &[],
         )?;
+        if response.status != 200 {
+            return Err(protocol(format!(
+                "/lease answered {}: {}",
+                response.status, response.body
+            )));
+        }
+        let offer = Json::parse(&response.body)
+            .map_err(|e| protocol(format!("/lease answered malformed JSON: {e}")))?;
         if offer.get("idle").is_some() {
             let outstanding = offer.get("outstanding").and_then(Json::as_u64).unwrap_or(0);
             if config.drain && outstanding == 0 {
@@ -215,13 +276,18 @@ pub fn run_worker(config: &WorkerConfig) -> Result<WorkerSummary, ServiceError> 
             std::thread::sleep(config.poll);
             continue;
         }
-        let grant = parse_grant(&offer)?;
+        let grant = parse_grant(&offer, response.header(TRACE_HEADER))?;
         if config.progress {
             eprintln!(
-                "worker {:?}: leased job {} shard {} ({} resumed)",
+                "worker {:?}: leased job {} shard {}{} ({} resumed)",
                 config.name,
                 grant.job,
                 grant.shard,
+                if grant.speculative {
+                    " [speculative]"
+                } else {
+                    ""
+                },
                 grant.resume.len()
             );
         }
@@ -276,7 +342,7 @@ fn run_shard(
                     continue;
                 }
                 elapsed = Duration::ZERO;
-                match post_json(&config.server, "/heartbeat", &body) {
+                match post_json(&config.server, "/heartbeat", &body, grant.trace) {
                     Ok(answer) => {
                         failures = 0;
                         wait = interval;
@@ -324,6 +390,7 @@ fn run_shard(
         completed: false,
     };
     let mut failure: Option<ServiceError> = None;
+    let mut saw_finished = false;
     let options = RunOptions {
         shard: grant.shard,
         resume: grant.resume.clone(),
@@ -358,18 +425,37 @@ fn run_shard(
                             silenced.store(true, Ordering::SeqCst);
                         }
                         let _ = ack.accepted;
+                        // Straggler fault injection: dawdle *between*
+                        // points, after the submission, so each point's
+                        // wall_ns reflects its real compute time.
+                        if let Some(dawdle) = config.slow_point {
+                            std::thread::sleep(dawdle);
+                        }
                     }
                     Err(e) => failure = Some(e),
                 }
             }
-            CampaignEvent::Finished => match post_event(config, grant, event) {
-                Ok(ack) => run.completed = ack.shard_done,
-                Err(e) => failure = Some(e),
-            },
+            // Deferred: the final `Finished` is submitted only after the
+            // heartbeat thread has been joined, below.
+            CampaignEvent::Finished => saw_finished = true,
         }
     });
+    // Stop and join the heartbeat thread *before* the final submission:
+    // once the join returns, no renewal of ours is in flight, so the
+    // server processes the shard-completing `Finished` strictly after
+    // every heartbeat this worker will ever send for this lease.
     stop.store(true, Ordering::SeqCst);
     let _ = heartbeat.join();
+    if saw_finished
+        && failure.is_none()
+        && !silenced.load(Ordering::SeqCst)
+        && held.load(Ordering::SeqCst)
+    {
+        match post_event(config, grant, &CampaignEvent::Finished) {
+            Ok(ack) => run.completed = ack.shard_done,
+            Err(e) => failure = Some(e),
+        }
+    }
     report.map_err(ServiceError::Campaign)?;
     if let Some(error) = failure {
         return Err(error);

@@ -1,0 +1,327 @@
+//! Historical metric persistence: periodic registry snapshots kept as a
+//! bounded in-memory ring and mirrored to an append-only JSONL file.
+//!
+//! The campaign daemon samples [`Registry::global`](crate::Registry::global)
+//! at a fixed interval (see the `--history*` server flags); each sample is
+//! one [`MetricSample`] — a monotonic timestamp plus the flattened
+//! counter/gauge values — pushed into a [`MetricHistory`] ring (what
+//! `GET /metrics/history` serves) and appended to a [`HistoryWriter`]
+//! file next to the checkpoints. The file is *ring-compacted*: appends
+//! accumulate until they reach twice the retention cap, at which point
+//! the file is atomically rewritten from the in-memory ring, so it stays
+//! bounded without ever dropping the newest samples.
+//!
+//! # Examples
+//!
+//! ```
+//! use rram_telemetry::history::{MetricHistory, MetricSample};
+//!
+//! let mut history = MetricHistory::new(3);
+//! for t in 0..5u64 {
+//!     history.push(MetricSample {
+//!         t_ms: t * 100,
+//!         values: vec![("queue_leases_granted_total".into(), t as f64)],
+//!     });
+//! }
+//! assert_eq!(history.len(), 3); // ring keeps the newest `cap` samples
+//! let series = history.series("queue_leases_granted_total");
+//! assert_eq!(series, vec![(200, 2.0), (300, 3.0), (400, 4.0)]);
+//! assert_eq!(history.jsonl(Some("queue_")).lines().count(), 3);
+//! assert_eq!(history.jsonl(Some("engine_")).lines().count(), 0);
+//! ```
+
+use std::collections::VecDeque;
+use std::io::Write as _;
+use std::path::{Path, PathBuf};
+
+use crate::{json_string, number};
+
+/// One timestamped snapshot of the registry's counter and gauge values.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MetricSample {
+    /// Monotonic milliseconds since the sampler started — strictly
+    /// increasing across one daemon's samples, never wall-clock.
+    pub t_ms: u64,
+    /// `(series name, value)` pairs in sorted order, names rendered with
+    /// their label sets exactly as in the Prometheus exposition.
+    pub values: Vec<(String, f64)>,
+}
+
+/// The metric family of a rendered series name: everything before the
+/// label block (`"queue_worker_up{worker=\"a\"}"` → `"queue_worker_up"`).
+pub fn family_of(name: &str) -> &str {
+    name.split('{').next().unwrap_or(name)
+}
+
+impl MetricSample {
+    /// Encodes the sample as one JSON object on a single line.
+    pub fn to_json_line(&self) -> String {
+        let mut out = String::with_capacity(64 + self.values.len() * 24);
+        out.push_str(&format!("{{\"t_ms\":{},\"values\":{{", self.t_ms));
+        for (slot, (name, value)) in self.values.iter().enumerate() {
+            if slot > 0 {
+                out.push(',');
+            }
+            out.push_str(&json_string(name));
+            out.push(':');
+            let rendered = number(*value);
+            if rendered == "NaN" || rendered.ends_with("Inf") {
+                // JSON has no literal for these; quote them.
+                out.push_str(&json_string(&rendered));
+            } else {
+                out.push_str(&rendered);
+            }
+        }
+        out.push_str("}}");
+        out
+    }
+
+    /// The sample restricted to series whose family starts with
+    /// `family` (`"queue"` matches every `queue_*` series).
+    pub fn filtered(&self, family: &str) -> MetricSample {
+        MetricSample {
+            t_ms: self.t_ms,
+            values: self
+                .values
+                .iter()
+                .filter(|(name, _)| family_of(name).starts_with(family))
+                .cloned()
+                .collect(),
+        }
+    }
+}
+
+/// A bounded ring of the newest [`MetricSample`]s.
+#[derive(Debug, Clone)]
+pub struct MetricHistory {
+    cap: usize,
+    samples: VecDeque<MetricSample>,
+}
+
+impl MetricHistory {
+    /// An empty history retaining at most `cap` samples (minimum 1).
+    pub fn new(cap: usize) -> MetricHistory {
+        MetricHistory {
+            cap: cap.max(1),
+            samples: VecDeque::new(),
+        }
+    }
+
+    /// Appends a sample, evicting the oldest beyond the retention cap.
+    pub fn push(&mut self, sample: MetricSample) {
+        if self.samples.len() == self.cap {
+            self.samples.pop_front();
+        }
+        self.samples.push_back(sample);
+    }
+
+    /// Samples retained, oldest first.
+    pub fn samples(&self) -> impl Iterator<Item = &MetricSample> {
+        self.samples.iter()
+    }
+
+    /// Number of retained samples.
+    pub fn len(&self) -> usize {
+        self.samples.len()
+    }
+
+    /// Whether no sample has been retained yet.
+    pub fn is_empty(&self) -> bool {
+        self.samples.is_empty()
+    }
+
+    /// The retention cap.
+    pub fn cap(&self) -> usize {
+        self.cap
+    }
+
+    /// One series' `(t_ms, value)` trajectory across the retained
+    /// samples (skipping samples where the series is absent).
+    pub fn series(&self, name: &str) -> Vec<(u64, f64)> {
+        self.samples
+            .iter()
+            .filter_map(|sample| {
+                sample
+                    .values
+                    .iter()
+                    .find(|(n, _)| n == name)
+                    .map(|&(_, v)| (sample.t_ms, v))
+            })
+            .collect()
+    }
+
+    /// Encodes the retained samples as JSONL, optionally restricted to
+    /// families starting with `family` (samples left with no values
+    /// after filtering are dropped entirely).
+    pub fn jsonl(&self, family: Option<&str>) -> String {
+        let mut out = String::new();
+        for sample in &self.samples {
+            let line = match family {
+                Some(prefix) => {
+                    let filtered = sample.filtered(prefix);
+                    if filtered.values.is_empty() {
+                        continue;
+                    }
+                    filtered.to_json_line()
+                }
+                None => sample.to_json_line(),
+            };
+            out.push_str(&line);
+            out.push('\n');
+        }
+        out
+    }
+}
+
+/// Mirrors a [`MetricHistory`] to an append-only, bounded JSONL file.
+///
+/// Each [`HistoryWriter::append`] call appends one line; once the file
+/// has accumulated twice the ring's cap it is rewritten from the ring
+/// (via a temporary file and an atomic rename), so the on-disk history
+/// stays within a factor of two of the retention cap.
+#[derive(Debug)]
+pub struct HistoryWriter {
+    path: PathBuf,
+    /// Lines in the file since the last compaction (or creation).
+    lines: usize,
+}
+
+impl HistoryWriter {
+    /// A writer targeting `path`; the file is created lazily on the
+    /// first append and truncated if it already exists (a daemon restart
+    /// starts a fresh monotonic timeline, so old offsets would mislead).
+    pub fn new(path: impl Into<PathBuf>) -> HistoryWriter {
+        let path = path.into();
+        let _ = std::fs::remove_file(&path);
+        HistoryWriter { path, lines: 0 }
+    }
+
+    /// The file being written.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+
+    /// Appends `sample` and ring-compacts against `ring` when the file
+    /// exceeds twice its cap.
+    ///
+    /// # Errors
+    ///
+    /// Returns the underlying I/O error when the file cannot be written.
+    pub fn append(&mut self, sample: &MetricSample, ring: &MetricHistory) -> std::io::Result<()> {
+        if self.lines >= ring.cap() * 2 {
+            let tmp = self.path.with_extension("jsonl.tmp");
+            std::fs::write(&tmp, ring.jsonl(None))?;
+            std::fs::rename(&tmp, &self.path)?;
+            self.lines = ring.len();
+            return Ok(());
+        }
+        let mut file = std::fs::OpenOptions::new()
+            .create(true)
+            .append(true)
+            .open(&self.path)?;
+        file.write_all(sample.to_json_line().as_bytes())?;
+        file.write_all(b"\n")?;
+        self.lines += 1;
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample(t_ms: u64, value: f64) -> MetricSample {
+        MetricSample {
+            t_ms,
+            values: vec![
+                ("engine_pulses_total".into(), value * 10.0),
+                ("queue_leases_granted_total".into(), value),
+                (
+                    "queue_worker_up{worker=\"a\"}".into(),
+                    if value > 0.0 { 1.0 } else { 0.0 },
+                ),
+            ],
+        }
+    }
+
+    #[test]
+    fn json_lines_are_parseable_and_filtered() {
+        let line = sample(250, 3.0).to_json_line();
+        assert_eq!(
+            line,
+            "{\"t_ms\":250,\"values\":{\"engine_pulses_total\":30,\
+             \"queue_leases_granted_total\":3,\"queue_worker_up{worker=\\\"a\\\"}\":1}}"
+        );
+        let filtered = sample(250, 3.0).filtered("queue");
+        assert_eq!(filtered.values.len(), 2);
+        assert!(filtered.values.iter().all(|(n, _)| n.starts_with("queue")));
+    }
+
+    #[test]
+    fn non_finite_values_are_quoted() {
+        let sample = MetricSample {
+            t_ms: 1,
+            values: vec![("g".into(), f64::INFINITY), ("n".into(), f64::NAN)],
+        };
+        assert_eq!(
+            sample.to_json_line(),
+            "{\"t_ms\":1,\"values\":{\"g\":\"+Inf\",\"n\":\"NaN\"}}"
+        );
+    }
+
+    #[test]
+    fn ring_keeps_newest_and_series_tracks_time() {
+        let mut history = MetricHistory::new(4);
+        for t in 0..10u64 {
+            history.push(sample(t * 100, t as f64));
+        }
+        assert_eq!(history.len(), 4);
+        let series = history.series("queue_leases_granted_total");
+        assert_eq!(series.first(), Some(&(600, 6.0)));
+        assert_eq!(series.last(), Some(&(900, 9.0)));
+        // Timestamps stay strictly increasing through the ring.
+        assert!(series.windows(2).all(|w| w[0].0 < w[1].0));
+    }
+
+    #[test]
+    fn family_filter_drops_empty_samples() {
+        let mut history = MetricHistory::new(8);
+        history.push(MetricSample {
+            t_ms: 0,
+            values: vec![("engine_pulses_total".into(), 1.0)],
+        });
+        history.push(sample(100, 2.0));
+        let jsonl = history.jsonl(Some("queue"));
+        assert_eq!(jsonl.lines().count(), 1);
+        assert!(jsonl.contains("\"t_ms\":100"));
+    }
+
+    #[test]
+    fn writer_appends_then_ring_compacts() {
+        let dir = std::env::temp_dir().join(format!(
+            "rram_history_test_{}_{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("history.jsonl");
+        let mut ring = MetricHistory::new(3);
+        let mut writer = HistoryWriter::new(&path);
+        for t in 0..6u64 {
+            let s = sample(t * 100, t as f64);
+            ring.push(s.clone());
+            writer.append(&s, &ring).unwrap();
+        }
+        // Six appends against cap 3: the seventh write triggers the
+        // compaction path (2 * cap reached), rewriting from the ring.
+        let s = sample(600, 6.0);
+        ring.push(s.clone());
+        writer.append(&s, &ring).unwrap();
+        let text = std::fs::read_to_string(&path).unwrap();
+        assert_eq!(text.lines().count(), 3);
+        assert!(text.contains("\"t_ms\":400"));
+        assert!(text.contains("\"t_ms\":600"));
+        assert!(!text.contains("\"t_ms\":0,"));
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+}

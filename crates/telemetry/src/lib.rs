@@ -22,6 +22,12 @@
 //! by the campaign daemon) and [`Registry::snapshot_json`] (embedded in
 //! `--html` report artifacts).
 //!
+//! Two submodules build the fleet-level observability layer on top:
+//! [`trace`] (trace/span ids and monotonic span records — the per-job
+//! timelines behind `GET /jobs/{id}/trace`) and [`history`] (periodic
+//! [`Registry::sample`] snapshots retained as a bounded ring and a
+//! ring-compacted JSONL file — `GET /metrics/history`).
+//!
 //! # Examples
 //!
 //! Counters and gauges are registered once and bumped from anywhere:
@@ -76,6 +82,9 @@
 
 #![deny(missing_docs)]
 #![deny(unsafe_code)]
+
+pub mod history;
+pub mod trace;
 
 use std::collections::BTreeMap;
 use std::fmt::Write as _;
@@ -477,6 +486,43 @@ impl Registry {
         out
     }
 
+    /// Flattens the registry into sorted `(series name, value)` pairs —
+    /// counters and gauges as-is, histograms as their `_count` and
+    /// `_sum` — the sampling format behind [`history`]'s time series.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use rram_telemetry::Registry;
+    ///
+    /// let registry = Registry::new();
+    /// registry.counter("points_total", "Points").add(3);
+    /// registry.gauge("depth", "Depth").set(1.5);
+    /// assert_eq!(
+    ///     registry.sample(),
+    ///     vec![("depth".to_string(), 1.5), ("points_total".to_string(), 3.0)]
+    /// );
+    /// ```
+    pub fn sample(&self) -> Vec<(String, f64)> {
+        let families = self.families.lock().unwrap();
+        let mut out = Vec::new();
+        for (name, family) in families.iter() {
+            for (labels, handle) in family.series.iter() {
+                let series = |suffix: &str| format!("{name}{suffix}{}", render_labels(labels, &[]));
+                match handle {
+                    Handle::Counter(c) => out.push((series(""), c.value() as f64)),
+                    Handle::Gauge(g) => out.push((series(""), g.value())),
+                    Handle::Histogram(h) => {
+                        out.push((series("_count"), h.count() as f64));
+                        out.push((series("_sum"), h.sum()));
+                    }
+                }
+            }
+        }
+        out.sort_by(|a, b| a.0.cmp(&b.0));
+        out
+    }
+
     /// Encodes a snapshot of the registry as a deterministic JSON object
     /// (families and label sets in sorted order).
     ///
@@ -620,7 +666,7 @@ fn escape_help(value: &str) -> String {
     value.replace('\\', "\\\\").replace('\n', "\\n")
 }
 
-fn json_string(value: &str) -> String {
+pub(crate) fn json_string(value: &str) -> String {
     let mut out = String::with_capacity(value.len() + 2);
     out.push('"');
     for c in value.chars() {
@@ -643,7 +689,7 @@ fn json_string(value: &str) -> String {
 /// Formats a float the way the campaign JSON codec does: shortest string
 /// that round-trips (Rust's `Display` for `f64`), integral values without
 /// a trailing `.0`.
-fn number(value: f64) -> String {
+pub(crate) fn number(value: f64) -> String {
     if value.is_nan() {
         return "NaN".to_string();
     }
@@ -758,6 +804,78 @@ mod tests {
         assert!(text.contains("dur_seconds_sum 0.25\n"));
         assert!(text.contains("dur_seconds_count 1\n"));
         assert!(text.contains("leases_total{worker=\"a\\\"b\"} 1\n"));
+    }
+
+    /// Format conformance for the text exposition (version 0.0.4): every
+    /// family — counter, gauge and histogram alike — carries exactly one
+    /// `# HELP` and one `# TYPE` line, headers precede their samples,
+    /// every sample's family resolves to a declared one (histogram
+    /// `_bucket`/`_sum`/`_count` suffixes included) and every value
+    /// parses as a float. A stock Prometheus scraper accepts exactly
+    /// this shape.
+    #[test]
+    fn prometheus_text_conforms_to_the_exposition_format() {
+        let registry = Registry::new();
+        registry
+            .counter("queue_leases_granted_total", "Leases")
+            .add(2);
+        registry.gauge("queue_jobs_outstanding", "Jobs").set(1.0);
+        registry
+            .gauge_with("queue_worker_up", "Liveness", &[("worker", "a")])
+            .set(1.0);
+        registry
+            .histogram("point_wall_seconds", "Durations", &DURATION_SECONDS_BUCKETS)
+            .observe(0.02);
+        let text = registry.prometheus_text();
+
+        let mut declared: BTreeMap<String, String> = BTreeMap::new(); // family → kind
+        let mut helped: Vec<String> = Vec::new();
+        for line in text.lines() {
+            assert!(!line.trim().is_empty(), "no blank lines in the exposition");
+            if let Some(rest) = line.strip_prefix("# HELP ") {
+                let family = rest.split_whitespace().next().unwrap().to_string();
+                assert!(!helped.contains(&family), "duplicate HELP for {family}");
+                helped.push(family);
+                continue;
+            }
+            if let Some(rest) = line.strip_prefix("# TYPE ") {
+                let mut parts = rest.split_whitespace();
+                let family = parts.next().unwrap().to_string();
+                let kind = parts.next().unwrap().to_string();
+                assert!(["counter", "gauge", "histogram"].contains(&kind.as_str()));
+                assert_eq!(
+                    helped.last(),
+                    Some(&family),
+                    "TYPE must directly follow its HELP"
+                );
+                assert!(
+                    declared.insert(family.clone(), kind).is_none(),
+                    "duplicate TYPE for {family}"
+                );
+                continue;
+            }
+            // A sample line: `name{labels} value`.
+            let (series, value) = line.rsplit_once(' ').expect("sample has a value");
+            assert!(
+                value.parse::<f64>().is_ok() || value == "+Inf" || value == "-Inf",
+                "unparseable sample value {value:?}"
+            );
+            let name = series.split('{').next().unwrap();
+            let family = ["_bucket", "_sum", "_count"]
+                .iter()
+                .find_map(|suffix| {
+                    name.strip_suffix(suffix)
+                        .filter(|stem| declared.get(*stem).map(String::as_str) == Some("histogram"))
+                })
+                .unwrap_or(name);
+            assert!(
+                declared.contains_key(family),
+                "sample {series} precedes (or lacks) its # TYPE header"
+            );
+        }
+        // Every registered family was declared exactly once.
+        assert_eq!(declared.len(), 4);
+        assert_eq!(helped.len(), 4);
     }
 
     #[test]

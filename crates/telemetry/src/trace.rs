@@ -1,0 +1,375 @@
+//! Trace propagation for the campaign fleet: trace/span identifiers,
+//! parent links and monotonic span records.
+//!
+//! The campaign service assembles a per-job timeline out of these records
+//! — submit → lease → per-point compute → fold → finish — and serves it
+//! as JSONL at `GET /jobs/{id}/trace`. The module is deliberately pure:
+//! spans carry **monotonic nanosecond offsets** from an origin instant
+//! rather than wall-clock timestamps, and every time-taking call receives
+//! its clock reading from the caller (via [`TraceClock::at`] or a raw
+//! offset), so timelines are unit-testable without sleeping and identical
+//! histories encode identically.
+//!
+//! On the wire a context travels as one HTTP header ([`TRACE_HEADER`])
+//! whose value is [`TraceContext::header_value`] — the server hands it to
+//! a worker with each lease grant, and the worker echoes it on every
+//! `POST /heartbeat` and `POST /results`, so submissions are attributed
+//! to the lease span that produced them even after the lease itself has
+//! expired and been reassigned.
+//!
+//! # Examples
+//!
+//! Build a two-span timeline with an injected clock:
+//!
+//! ```
+//! use rram_telemetry::trace::{TraceClock, TraceId, TraceLog};
+//! use std::time::{Duration, Instant};
+//!
+//! let origin = Instant::now();
+//! let clock = TraceClock::new(origin);
+//! let mut log = TraceLog::new(TraceId::derive(7));
+//! let root = log.start("job", None, 0);
+//! let lease = log.start("lease", Some(root), clock.at(origin + Duration::from_millis(3)));
+//! log.annotate(lease, "worker", "w0");
+//! log.end(lease, clock.at(origin + Duration::from_millis(9)));
+//! log.end(root, clock.at(origin + Duration::from_millis(9)));
+//! let jsonl = log.jsonl();
+//! assert_eq!(jsonl.lines().count(), 2);
+//! assert!(jsonl.contains("\"name\":\"lease\""));
+//! assert!(jsonl.contains("\"worker\":\"w0\""));
+//! ```
+//!
+//! Round-trip a context through its header form:
+//!
+//! ```
+//! use rram_telemetry::trace::{SpanId, TraceContext, TraceId};
+//!
+//! let ctx = TraceContext { trace: TraceId(0xabcd), span: SpanId(2) };
+//! let header = ctx.header_value();
+//! assert_eq!(header, "000000000000abcd-0000000000000002");
+//! assert_eq!(TraceContext::parse(&header), Some(ctx));
+//! ```
+
+use std::fmt;
+use std::time::Instant;
+
+use crate::json_string;
+
+/// The HTTP header that carries a [`TraceContext`] between the campaign
+/// server and its workers.
+pub const TRACE_HEADER: &str = "x-nh-trace";
+
+/// Identifies one trace — one job's whole timeline.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct TraceId(pub u64);
+
+/// Identifies one span within a trace.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct SpanId(pub u64);
+
+impl fmt::Display for TraceId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:016x}", self.0)
+    }
+}
+
+impl fmt::Display for SpanId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:016x}", self.0)
+    }
+}
+
+impl TraceId {
+    /// Derives a well-mixed trace id from a small seed (a job id, say) —
+    /// splitmix64, so consecutive seeds yield unrelated-looking ids while
+    /// staying fully deterministic.
+    pub fn derive(seed: u64) -> TraceId {
+        let mut z = seed.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        TraceId(z ^ (z >> 31))
+    }
+}
+
+/// A propagated trace position: which trace, and which span to parent
+/// new work under.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TraceContext {
+    /// The trace the context belongs to.
+    pub trace: TraceId,
+    /// The span the context points at.
+    pub span: SpanId,
+}
+
+impl TraceContext {
+    /// The header encoding: `"{trace:016x}-{span:016x}"`.
+    pub fn header_value(&self) -> String {
+        format!("{}-{}", self.trace, self.span)
+    }
+
+    /// Parses a [`TraceContext::header_value`] string; `None` for
+    /// anything malformed (an absent or garbled header is simply an
+    /// unattributed request, never an error).
+    pub fn parse(value: &str) -> Option<TraceContext> {
+        let (trace, span) = value.trim().split_once('-')?;
+        if trace.len() != 16 || span.len() != 16 {
+            return None;
+        }
+        Some(TraceContext {
+            trace: TraceId(u64::from_str_radix(trace, 16).ok()?),
+            span: SpanId(u64::from_str_radix(span, 16).ok()?),
+        })
+    }
+}
+
+/// One recorded span: a named interval on a trace's monotonic timeline.
+///
+/// `start_ns`/`end_ns` are offsets from the trace's origin (the job's
+/// submission instant, for the campaign service). An open span has
+/// `end_ns: None`; an instant event has `end_ns == Some(start_ns)`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SpanRecord {
+    /// The trace this span belongs to.
+    pub trace: TraceId,
+    /// This span's id, unique within the trace.
+    pub span: SpanId,
+    /// The enclosing span, if any (`None` for the root).
+    pub parent: Option<SpanId>,
+    /// What the span covers (`"lease"`, `"compute"`, ...).
+    pub name: String,
+    /// Monotonic start offset from the trace origin, in nanoseconds.
+    pub start_ns: u64,
+    /// Monotonic end offset; `None` while the span is open.
+    pub end_ns: Option<u64>,
+    /// Free-form key/value annotations, in insertion order.
+    pub attrs: Vec<(String, String)>,
+}
+
+impl SpanRecord {
+    /// Encodes the record as one JSON object on a single line — the same
+    /// hand-rolled wire-codec style as the campaign event log, so
+    /// `GET /jobs/{id}/trace` output is greppable line by line.
+    pub fn to_json_line(&self) -> String {
+        let mut out = String::with_capacity(128);
+        out.push_str("{\"trace\":");
+        out.push_str(&json_string(&self.trace.to_string()));
+        out.push_str(",\"span\":");
+        out.push_str(&json_string(&self.span.to_string()));
+        if let Some(parent) = self.parent {
+            out.push_str(",\"parent\":");
+            out.push_str(&json_string(&parent.to_string()));
+        }
+        out.push_str(",\"name\":");
+        out.push_str(&json_string(&self.name));
+        out.push_str(&format!(",\"start_ns\":{}", self.start_ns));
+        if let Some(end) = self.end_ns {
+            out.push_str(&format!(",\"end_ns\":{end}"));
+        }
+        if !self.attrs.is_empty() {
+            out.push_str(",\"attrs\":{");
+            for (slot, (key, value)) in self.attrs.iter().enumerate() {
+                if slot > 0 {
+                    out.push(',');
+                }
+                out.push_str(&json_string(key));
+                out.push(':');
+                out.push_str(&json_string(value));
+            }
+            out.push('}');
+        }
+        out.push('}');
+        out
+    }
+}
+
+/// Converts [`Instant`]s into a trace's monotonic nanosecond offsets.
+///
+/// The clock is *injected*: callers pass the instants in, so tests drive
+/// timelines with synthetic times instead of sleeping.
+#[derive(Debug, Clone, Copy)]
+pub struct TraceClock {
+    origin: Instant,
+}
+
+impl TraceClock {
+    /// A clock whose offsets count from `origin`.
+    pub fn new(origin: Instant) -> TraceClock {
+        TraceClock { origin }
+    }
+
+    /// The nanosecond offset of `now` from the origin (zero for instants
+    /// at or before it — the timeline never runs backwards).
+    pub fn at(&self, now: Instant) -> u64 {
+        now.saturating_duration_since(self.origin).as_nanos() as u64
+    }
+}
+
+/// An append-only collection of [`SpanRecord`]s sharing one trace id,
+/// with sequential span-id allocation.
+#[derive(Debug, Clone)]
+pub struct TraceLog {
+    trace: TraceId,
+    next: u64,
+    records: Vec<SpanRecord>,
+}
+
+impl TraceLog {
+    /// An empty log on trace `trace`; span ids start at 1.
+    pub fn new(trace: TraceId) -> TraceLog {
+        TraceLog {
+            trace,
+            next: 1,
+            records: Vec::new(),
+        }
+    }
+
+    /// The log's trace id.
+    pub fn trace(&self) -> TraceId {
+        self.trace
+    }
+
+    /// Opens a span starting at `start_ns` and returns its id.
+    pub fn start(&mut self, name: &str, parent: Option<SpanId>, start_ns: u64) -> SpanId {
+        let span = SpanId(self.next);
+        self.next += 1;
+        self.records.push(SpanRecord {
+            trace: self.trace,
+            span,
+            parent,
+            name: name.to_string(),
+            start_ns,
+            end_ns: None,
+            attrs: Vec::new(),
+        });
+        span
+    }
+
+    /// Closes `span` at `end_ns` (a no-op for unknown or already-closed
+    /// spans — closing is idempotent).
+    pub fn end(&mut self, span: SpanId, end_ns: u64) {
+        if let Some(record) = self
+            .records
+            .iter_mut()
+            .find(|r| r.span == span && r.end_ns.is_none())
+        {
+            record.end_ns = Some(end_ns.max(record.start_ns));
+        }
+    }
+
+    /// Records a zero-length span (an instant event) and returns its id.
+    pub fn instant(&mut self, name: &str, parent: Option<SpanId>, at_ns: u64) -> SpanId {
+        let span = self.start(name, parent, at_ns);
+        self.end(span, at_ns);
+        span
+    }
+
+    /// Records a closed interval span in one call and returns its id.
+    pub fn span(
+        &mut self,
+        name: &str,
+        parent: Option<SpanId>,
+        start_ns: u64,
+        end_ns: u64,
+    ) -> SpanId {
+        let span = self.start(name, parent, start_ns);
+        self.end(span, end_ns);
+        span
+    }
+
+    /// Attaches a key/value annotation to `span` (no-op when unknown).
+    pub fn annotate(&mut self, span: SpanId, key: &str, value: &str) {
+        if let Some(record) = self.records.iter_mut().find(|r| r.span == span) {
+            record.attrs.push((key.to_string(), value.to_string()));
+        }
+    }
+
+    /// Whether `span` was allocated by this log.
+    pub fn contains(&self, span: SpanId) -> bool {
+        self.records.iter().any(|r| r.span == span)
+    }
+
+    /// The recorded spans, in allocation order.
+    pub fn records(&self) -> &[SpanRecord] {
+        &self.records
+    }
+
+    /// Encodes the whole log as JSONL, one [`SpanRecord`] per line.
+    pub fn jsonl(&self) -> String {
+        let mut out = String::new();
+        for record in &self.records {
+            out.push_str(&record.to_json_line());
+            out.push('\n');
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::time::Duration;
+
+    #[test]
+    fn context_header_round_trips() {
+        let ctx = TraceContext {
+            trace: TraceId::derive(42),
+            span: SpanId(17),
+        };
+        assert_eq!(TraceContext::parse(&ctx.header_value()), Some(ctx));
+        assert_eq!(TraceContext::parse(""), None);
+        assert_eq!(TraceContext::parse("zz-11"), None);
+        assert_eq!(TraceContext::parse("0000000000000001"), None);
+    }
+
+    #[test]
+    fn derived_trace_ids_differ_and_are_deterministic() {
+        assert_eq!(TraceId::derive(1), TraceId::derive(1));
+        assert_ne!(TraceId::derive(1), TraceId::derive(2));
+    }
+
+    #[test]
+    fn spans_nest_close_and_encode() {
+        let mut log = TraceLog::new(TraceId(0xfeed));
+        let root = log.start("job", None, 0);
+        let lease = log.start("lease", Some(root), 10);
+        log.annotate(lease, "worker", "w\"0");
+        let compute = log.span("compute", Some(lease), 20, 45);
+        log.instant("fold", Some(compute), 45);
+        log.end(lease, 50);
+        log.end(lease, 99); // idempotent: already closed
+        log.end(root, 60);
+        let records = log.records();
+        assert_eq!(records.len(), 4);
+        assert_eq!(records[1].end_ns, Some(50));
+        assert_eq!(records[2].parent, Some(lease));
+        assert_eq!(records[3].start_ns, records[3].end_ns.unwrap());
+        let jsonl = log.jsonl();
+        assert_eq!(jsonl.lines().count(), 4);
+        assert!(jsonl.contains("\"name\":\"compute\",\"start_ns\":20,\"end_ns\":45"));
+        assert!(jsonl.contains("\"attrs\":{\"worker\":\"w\\\"0\"}"));
+        // Every line is self-describing with the shared trace id.
+        for line in jsonl.lines() {
+            assert!(
+                line.starts_with("{\"trace\":\"000000000000feed\""),
+                "{line}"
+            );
+        }
+    }
+
+    #[test]
+    fn end_never_precedes_start() {
+        let mut log = TraceLog::new(TraceId(1));
+        let span = log.start("s", None, 100);
+        log.end(span, 40);
+        assert_eq!(log.records()[0].end_ns, Some(100));
+    }
+
+    #[test]
+    fn clock_offsets_are_monotonic_from_origin() {
+        let origin = Instant::now();
+        let clock = TraceClock::new(origin);
+        assert_eq!(clock.at(origin), 0);
+        assert_eq!(clock.at(origin - Duration::from_secs(1)), 0);
+        assert_eq!(clock.at(origin + Duration::from_micros(3)), 3_000,);
+    }
+}

@@ -1,0 +1,86 @@
+//! Concurrency coverage for [`rram_telemetry::Registry`]: hammering the
+//! same counter/gauge/histogram families from many threads must neither
+//! lose updates nor perturb the deterministic snapshot.
+//!
+//! The property at stake is the byte-reproducibility contract: the
+//! deterministic snapshot embedded in `--html` artifacts (and the full
+//! Prometheus exposition, for exactly-representable values) is a pure
+//! function of *what* was recorded, never of the thread interleaving
+//! that recorded it.
+
+use proptest::prelude::*;
+use rram_telemetry::{Registry, SnapshotMode};
+
+/// Runs `total` counter increments, `total` gauge adds of `delta` and
+/// `total` histogram observations of `value`, split across `threads`
+/// threads, and returns the registry's encodings.
+fn hammer(threads: usize, total: u64, delta: f64, value: f64) -> (String, String) {
+    let registry = Registry::new();
+    let counter = registry.counter("hammer_points_total", "Points");
+    let gauge = registry.gauge("hammer_depth", "Depth");
+    let hist = registry.histogram("hammer_wall_seconds", "Durations", &[0.25, 1.0, 4.0]);
+    registry
+        .counter_with("hammer_leases_total", "Leases", &[("worker", "a")])
+        .add(3);
+    std::thread::scope(|scope| {
+        for t in 0..threads {
+            let share = total / threads as u64 + u64::from((t as u64) < total % threads as u64);
+            let (counter, gauge, hist) = (counter.clone(), gauge.clone(), hist.clone());
+            scope.spawn(move || {
+                for _ in 0..share {
+                    counter.inc();
+                    gauge.add(delta);
+                    hist.observe(value);
+                }
+            });
+        }
+    });
+    (
+        registry.snapshot_json(SnapshotMode::Full),
+        registry.prometheus_text(),
+    )
+}
+
+proptest! {
+    /// Any thread split produces the identical snapshot: counters are
+    /// exact, and gauge/histogram sums stay order-independent because the
+    /// per-update values are exactly representable (powers of two), so
+    /// f64 addition incurs no rounding anywhere in the tree.
+    #[test]
+    fn snapshot_is_identical_regardless_of_interleaving(
+        threads in 1usize..9,
+        total in 1u64..2_000,
+        exp in 0u32..4,
+    ) {
+        let delta = f64::from(1u32 << exp);
+        let value = 0.5 * f64::from(1u32 << exp);
+        let (reference_json, reference_text) = hammer(1, total, delta, value);
+        let (threaded_json, threaded_text) = hammer(threads, total, delta, value);
+        prop_assert_eq!(&threaded_json, &reference_json);
+        prop_assert_eq!(&threaded_text, &reference_text);
+        // And the totals are what arithmetic says they must be.
+        prop_assert!(threaded_json.contains(&format!("\"hammer_points_total\":{total}")));
+        prop_assert!(threaded_text.contains(&format!("hammer_wall_seconds_count {total}\n")));
+    }
+}
+
+#[test]
+fn registration_races_resolve_to_one_handle() {
+    // Many threads registering the same family concurrently must all end
+    // up incrementing one shared counter.
+    let registry = Registry::new();
+    std::thread::scope(|scope| {
+        for _ in 0..8 {
+            let registry = &registry;
+            scope.spawn(move || {
+                for _ in 0..500 {
+                    registry.counter("race_total", "Racy registration").inc();
+                }
+            });
+        }
+    });
+    assert_eq!(
+        registry.counter("race_total", "Racy registration").value(),
+        4_000
+    );
+}

@@ -6,8 +6,11 @@
 use std::collections::HashSet;
 use std::time::{Duration, Instant};
 
+use neurohammer_repro::attack::campaign::json::Json;
 use neurohammer_repro::attack::campaign::{CampaignEvent, CampaignSpec, PointKey};
-use neurohammer_repro::server::{http, run_worker, Server, WorkerConfig};
+use neurohammer_repro::server::{
+    http, run_worker, Server, ServerOptions, StragglerPolicy, WorkerConfig,
+};
 
 fn grid() -> CampaignSpec {
     CampaignSpec {
@@ -89,6 +92,58 @@ fn killed_worker_lease_reassignment_is_byte_identical() {
     assert_eq!(status, 200);
     assert!(job.contains("\"state\":\"complete\""), "{job}");
 
+    // The assembled trace timeline covers the whole job: one root span,
+    // one submit and one finish instant, every grid point computed and
+    // folded exactly once, and the crashed worker's shard visible as an
+    // expired lease span followed by the survivor's second lease.
+    let (status, trace) = http::call(&addr, "GET", "/jobs/1/trace", None).unwrap();
+    assert_eq!(status, 200);
+    let spans: Vec<Json> = trace
+        .lines()
+        .map(|line| Json::parse(line).unwrap_or_else(|e| panic!("bad span {line:?}: {e}")))
+        .collect();
+    let named = |name: &str| {
+        spans
+            .iter()
+            .filter(|s| s.get("name").and_then(Json::as_str) == Some(name))
+            .collect::<Vec<_>>()
+    };
+    assert_eq!(named("job").len(), 1);
+    assert!(named("job")[0].get("end_ns").is_some(), "root span open");
+    assert_eq!(named("submit").len(), 1);
+    assert_eq!(named("finish").len(), 1);
+    let computed: Vec<&str> = named("compute")
+        .iter()
+        .filter_map(|span| span.get("attrs")?.get("index")?.as_str())
+        .collect();
+    let mut sorted = computed.clone();
+    sorted.sort_unstable();
+    sorted.dedup();
+    assert_eq!(
+        computed.len(),
+        all_keys.len(),
+        "every grid point computed exactly once:\n{trace}"
+    );
+    assert_eq!(sorted.len(), computed.len(), "duplicate compute span");
+    assert_eq!(named("fold").len(), all_keys.len());
+    // Two shards, three leases: the reassignment is a second lease span
+    // on the crashed shard, its predecessor closed with outcome=expired.
+    let leases = named("lease");
+    assert_eq!(leases.len(), 3, "{trace}");
+    let outcome = |spans: &[&Json], tag: &str| {
+        spans
+            .iter()
+            .filter(|s| {
+                s.get("attrs")
+                    .and_then(|a| a.get("outcome"))
+                    .and_then(Json::as_str)
+                    == Some(tag)
+            })
+            .count()
+    };
+    assert_eq!(outcome(&leases, "expired"), 1, "{trace}");
+    assert_eq!(outcome(&leases, "done"), 2, "{trace}");
+
     handle.shutdown();
 }
 
@@ -126,6 +181,30 @@ fn job_crud_lifecycle_over_http() {
     let (status, partial) = http::call(&addr, "GET", "/jobs/1/report", None).unwrap();
     assert_eq!(status, 200);
     assert!(partial.contains("\"outcomes\": []"), "{partial}");
+
+    // The observability routes are up even before any worker connects:
+    // the Prometheus endpoint declares the exposition-format version, the
+    // history is served as JSONL, and the fleet page is self-contained.
+    let metrics = http::call_with(&addr, "GET", "/metrics", None, &[]).unwrap();
+    assert_eq!(metrics.status, 200);
+    assert_eq!(
+        metrics.header("content-type"),
+        Some("text/plain; version=0.0.4")
+    );
+    assert!(metrics.body.contains("# HELP"), "{}", metrics.body);
+    assert!(metrics.body.contains("# TYPE"), "{}", metrics.body);
+    let history =
+        http::call_with(&addr, "GET", "/metrics/history?family=queue", None, &[]).unwrap();
+    assert_eq!(history.status, 200);
+    assert_eq!(history.header("content-type"), Some("application/jsonl"));
+    let fleet = http::call_with(&addr, "GET", "/fleet", None, &[]).unwrap();
+    assert_eq!(fleet.status, 200);
+    assert_eq!(
+        fleet.header("content-type"),
+        Some("text/html; charset=utf-8")
+    );
+    assert!(fleet.body.starts_with("<!DOCTYPE html>"), "{}", fleet.body);
+    assert!(fleet.body.contains("service lifecycle"), "{}", fleet.body);
 
     let (status, body) = http::call(&addr, "DELETE", "/jobs/1", None).unwrap();
     assert_eq!(status, 200, "{body}");
@@ -266,6 +345,115 @@ fn event_stream_disconnect_does_not_wedge_the_service() {
     // response.
     let status = http::stream_lines(addr.as_str(), "/jobs/999/events", |_| true).unwrap();
     assert_eq!(status, 404);
+
+    handle.shutdown();
+}
+
+/// A deliberately slow worker is flagged as a straggler and — with
+/// `--speculate` — its shard re-leased to the idle fast worker, yet the
+/// merged report stays byte-identical to the unsharded run (folding is
+/// idempotent first-wins). The metric history meanwhile records the
+/// straggler counters under strictly increasing timestamps.
+#[test]
+fn speculative_re_lease_is_byte_identical_and_lands_in_history() {
+    let spec = grid();
+    let reference = spec.run().unwrap();
+
+    // Long leases: the shard must move by *speculation*, never by lease
+    // expiry. An aggressive straggler policy and a fast sampler keep the
+    // test short.
+    let options = ServerOptions {
+        lease: Duration::from_secs(30),
+        straggler: StragglerPolicy {
+            multiple: 1.5,
+            min_samples: 1,
+            speculate: true,
+        },
+        history_path: None,
+        history_interval: Duration::from_millis(20),
+        history_cap: 4096,
+    };
+    let server = Server::bind_with("127.0.0.1:0", options).unwrap();
+    let addr = server.local_addr().to_string();
+    let handle = server.spawn();
+
+    let body = format!("{{\"shards\": 2, \"spec\": {}}}", spec.to_json());
+    let (status, _) = http::call(&addr, "POST", "/jobs", Some(&body)).unwrap();
+    assert_eq!(status, 201);
+
+    // The tortoise dawdles a full second after each point, so its shard's
+    // lease age dwarfs the expected duration long before it finishes.
+    let tortoise_addr = addr.clone();
+    let tortoise = std::thread::spawn(move || {
+        let mut config = WorkerConfig::new(tortoise_addr, "tortoise");
+        config.poll = Duration::from_millis(50);
+        config.drain = true;
+        config.slow_point = Some(Duration::from_secs(1));
+        run_worker(&config).unwrap()
+    });
+    // Wait until the tortoise actually holds a lease before starting the
+    // hare, so the shard assignment is deterministic.
+    let deadline = Instant::now() + Duration::from_secs(30);
+    loop {
+        let (status, job) = http::call(&addr, "GET", "/jobs/1", None).unwrap();
+        assert_eq!(status, 200);
+        if job.contains("tortoise") {
+            break;
+        }
+        assert!(Instant::now() < deadline, "tortoise never leased: {job}");
+        std::thread::sleep(Duration::from_millis(10));
+    }
+
+    // The hare finishes its own shard fast (seeding the wall-time
+    // samples the straggler estimate needs), then keeps polling until the
+    // flagged shard is speculatively re-leased to it.
+    let mut config = WorkerConfig::new(addr.clone(), "hare");
+    config.poll = Duration::from_millis(25);
+    config.drain = true;
+    let hare = run_worker(&config).unwrap();
+    assert!(!hare.killed);
+    let tortoise_summary = tortoise.join().unwrap();
+    assert!(!tortoise_summary.killed);
+
+    // Speculation happened: the trace shows a speculative lease span and
+    // a straggler flag on the tortoise's shard.
+    let (status, trace) = http::call(&addr, "GET", "/jobs/1/trace", None).unwrap();
+    assert_eq!(status, 200);
+    assert!(trace.contains("\"speculative\":\"true\""), "{trace}");
+    assert!(trace.contains("\"straggler\""), "{trace}");
+
+    // The race's outcome is irrelevant to the data: the merged report is
+    // byte-identical to the unsharded reference either way.
+    let (status, report_json) = http::call(&addr, "GET", "/jobs/1/report", None).unwrap();
+    assert_eq!(status, 200);
+    assert_eq!(report_json, format!("{}\n", reference.to_json()));
+
+    // The sampler recorded the straggler counters under strictly
+    // increasing timestamps.
+    let (status, history) =
+        http::call(&addr, "GET", "/metrics/history?family=queue", None).unwrap();
+    assert_eq!(status, 200);
+    let mut last_t: Option<u64> = None;
+    let mut flagged_max = 0.0f64;
+    let mut speculative_max = 0.0f64;
+    for line in history.lines().filter(|l| !l.is_empty()) {
+        let sample = Json::parse(line).unwrap_or_else(|e| panic!("bad sample {line:?}: {e}"));
+        let t_ms = sample.get("t_ms").and_then(Json::as_u64).unwrap();
+        assert!(last_t.is_none_or(|last| t_ms > last), "{history}");
+        last_t = Some(t_ms);
+        let counter = |name: &str| {
+            sample
+                .get("values")
+                .and_then(|v| v.get(name))
+                .and_then(Json::as_f64)
+                .unwrap_or(0.0)
+        };
+        flagged_max = flagged_max.max(counter("queue_stragglers_flagged_total"));
+        speculative_max = speculative_max.max(counter("queue_speculative_leases_total"));
+    }
+    assert!(last_t.is_some(), "history is empty");
+    assert!(flagged_max >= 1.0, "{history}");
+    assert!(speculative_max >= 1.0, "{history}");
 
     handle.shutdown();
 }

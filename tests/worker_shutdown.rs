@@ -1,0 +1,172 @@
+//! Worker shutdown ordering: the heartbeat-renewal thread must be
+//! stopped and **joined** before the shard-completing `Finished` event is
+//! submitted, so no in-flight lease renewal can race the submission that
+//! marks the shard done.
+//!
+//! The test wedges a byte-recording proxy between a real worker and a
+//! real server: every request the worker makes passes through one
+//! sequential connection handler, so the proxy's log is the order the
+//! worker issued them in. A worker slowed enough for several heartbeats
+//! to fire must still show every `/heartbeat` strictly before the
+//! `Finished` `/results` submission.
+
+use std::io::{Read, Write};
+use std::net::{TcpListener, TcpStream};
+use std::sync::{Arc, Mutex};
+use std::time::Duration;
+
+use neurohammer_repro::attack::campaign::CampaignSpec;
+use neurohammer_repro::server::{http, run_worker, Server, WorkerConfig};
+
+/// Reads one HTTP/1.1 message (head + `Content-Length` body) off the
+/// stream.
+fn read_request(stream: &mut TcpStream) -> Vec<u8> {
+    let mut buf = Vec::new();
+    let mut chunk = [0u8; 1024];
+    let head_end = loop {
+        match stream.read(&mut chunk) {
+            Ok(0) | Err(_) => return buf,
+            Ok(n) => buf.extend_from_slice(&chunk[..n]),
+        }
+        if let Some(at) = buf.windows(4).position(|w| w == b"\r\n\r\n") {
+            break at;
+        }
+    };
+    let head = String::from_utf8_lossy(&buf[..head_end]).to_string();
+    let content_length: usize = head
+        .lines()
+        .find_map(|line| {
+            let (name, value) = line.split_once(':')?;
+            name.trim()
+                .eq_ignore_ascii_case("content-length")
+                .then(|| value.trim().parse().ok())?
+        })
+        .unwrap_or(0);
+    let total = head_end + 4 + content_length;
+    while buf.len() < total {
+        match stream.read(&mut chunk) {
+            Ok(0) | Err(_) => break,
+            Ok(n) => buf.extend_from_slice(&chunk[..n]),
+        }
+    }
+    buf
+}
+
+/// Labels one recorded request: `"POST /results finished"` etc.
+fn summarize(request: &[u8]) -> String {
+    let text = String::from_utf8_lossy(request);
+    let mut line = text
+        .lines()
+        .next()
+        .unwrap_or("")
+        .trim_end_matches(" HTTP/1.1")
+        .to_string();
+    if line.ends_with("/results") {
+        let tag = if text.contains("\"event\":\"finished\"") {
+            " finished"
+        } else if text.contains("\"event\":\"point_finished\"") {
+            " point"
+        } else {
+            " started"
+        };
+        line.push_str(tag);
+    }
+    line
+}
+
+/// A sequential pass-through proxy recording each request's summary in
+/// arrival order. Returns the address workers should connect to.
+fn spawn_recording_proxy(backend: String, log: Arc<Mutex<Vec<String>>>) -> String {
+    let listener = TcpListener::bind("127.0.0.1:0").expect("proxy bind");
+    let addr = listener.local_addr().expect("proxy addr").to_string();
+    std::thread::spawn(move || {
+        for connection in listener.incoming() {
+            let Ok(mut client) = connection else { break };
+            let request = read_request(&mut client);
+            if request.is_empty() {
+                continue;
+            }
+            log.lock().expect("log").push(summarize(&request));
+            let Ok(mut upstream) = TcpStream::connect(&backend) else {
+                break;
+            };
+            if upstream.write_all(&request).is_err() {
+                break;
+            }
+            // Both sides speak `Connection: close`, so the response ends
+            // at EOF.
+            let mut response = Vec::new();
+            let _ = upstream.read_to_end(&mut response);
+            let _ = client.write_all(&response);
+        }
+    });
+    addr
+}
+
+#[test]
+fn heartbeat_thread_joins_before_the_finished_submission() {
+    let spec = CampaignSpec {
+        name: "shutdown ordering".into(),
+        pulse_lengths_ns: vec![50.0, 100.0],
+        max_pulses: 300_000,
+        ..CampaignSpec::default()
+    };
+
+    // Lease of 300 ms → heartbeat renewal every 100 ms; a worker dawdling
+    // 400 ms after each of the two points guarantees several renewals
+    // land while the shard is still computing.
+    let server = Server::bind("127.0.0.1:0", Duration::from_millis(300)).expect("bind");
+    let backend = server.local_addr().to_string();
+    let handle = server.spawn();
+
+    let log = Arc::new(Mutex::new(Vec::new()));
+    let proxy = spawn_recording_proxy(backend.clone(), Arc::clone(&log));
+
+    let body = format!("{{\"shards\": 1, \"spec\": {}}}", spec.to_json());
+    let (status, _) = http::call(&backend, "POST", "/jobs", Some(&body)).expect("submit");
+    assert_eq!(status, 201);
+
+    let mut config = WorkerConfig::new(proxy, "slowpoke");
+    config.poll = Duration::from_millis(50);
+    config.drain = true;
+    config.slow_point = Some(Duration::from_millis(400));
+    let summary = run_worker(&config).expect("worker");
+    assert!(summary.shards.iter().all(|run| run.completed));
+
+    let log = log.lock().expect("log").clone();
+    let heartbeats: Vec<usize> = log
+        .iter()
+        .enumerate()
+        .filter(|(_, line)| line.as_str() == "POST /heartbeat")
+        .map(|(at, _)| at)
+        .collect();
+    let finished = log
+        .iter()
+        .position(|line| line == "POST /results finished")
+        .unwrap_or_else(|| panic!("no Finished submission recorded: {log:?}"));
+
+    // The dawdling makes renewals unavoidable — if none fired the test
+    // would silently stop guarding the ordering.
+    assert!(
+        !heartbeats.is_empty(),
+        "expected heartbeat renewals during the slowed shard: {log:?}"
+    );
+    // The regression under guard: every heartbeat strictly precedes the
+    // shard-completing Finished submission (the worker joins the renewal
+    // thread first), and Finished is the worker's very last request for
+    // the shard.
+    assert!(
+        heartbeats.iter().all(|&at| at < finished),
+        "a heartbeat renewal raced the Finished submission: {log:?}"
+    );
+    let after: Vec<&String> = log[finished + 1..]
+        .iter()
+        .filter(|line| line.as_str() != "POST /lease")
+        .collect();
+    assert!(
+        after.is_empty(),
+        "requests after the Finished submission: {log:?}"
+    );
+
+    handle.shutdown();
+}
